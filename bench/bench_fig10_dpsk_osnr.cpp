@@ -1,0 +1,65 @@
+// Fig. 10 — OSNR penalty as a function of SOA input power for DPSK and
+// NRZ modulation formats, at BER targets 1e-6 and 1e-10. The paper's
+// headline: DPSK's constant envelope suppresses cross-gain-modulation
+// transients, allowing ~14 dB more SOA input loading at 1 dB OSNR
+// penalty (and deep-saturation operation that cuts guard times to
+// sub-ns, §VII).
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/phy/link_budget.hpp"
+#include "src/phy/soa.hpp"
+#include "src/util/table.hpp"
+
+using namespace osmosis;
+
+int main() {
+  phy::SoaGainModel model;
+
+  std::cout << "Fig. 10 reproduction: OSNR penalty vs SOA input power, "
+               "NRZ vs DPSK\n\n";
+
+  util::Table t({"Pin [dBm]", "NRZ 1e-6", "NRZ 1e-10", "DPSK 1e-6",
+                 "DPSK 1e-10", "SOA gain [dB]"},
+                2);
+  t.set_title("OSNR penalty [dB] (capped at 30)");
+  for (double p = 0.0; p <= 20.0; p += 2.0) {
+    t.add_row({p,
+               model.osnr_penalty_db(p, phy::Modulation::kNrz, 1e-6),
+               model.osnr_penalty_db(p, phy::Modulation::kNrz, 1e-10),
+               model.osnr_penalty_db(p, phy::Modulation::kDpsk, 1e-6),
+               model.osnr_penalty_db(p, phy::Modulation::kDpsk, 1e-10),
+               model.gain_db(p)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nInput loading at 1 dB OSNR penalty (the paper's metric):\n\n";
+  util::Table h({"BER target", "NRZ [dBm]", "DPSK [dBm]",
+                 "DPSK improvement [dB]"},
+                2);
+  for (double ber : {1e-6, 1e-10}) {
+    const double nrz =
+        model.input_power_at_penalty(1.0, phy::Modulation::kNrz, ber);
+    const double dpsk =
+        model.input_power_at_penalty(1.0, phy::Modulation::kDpsk, ber);
+    char label[32];
+    std::snprintf(label, sizeof label, "%.0e", ber);
+    h.add_row({std::string(label), nrz, dpsk, dpsk - nrz});
+  }
+  h.print(std::cout);
+  std::cout << "(paper: 14 dB improvement measured)\n";
+
+  std::cout << "\nRequired OSNR by format (separate measurement in SS VII: "
+               "DPSK ~3 dB lower at any BER):\n\n";
+  util::Table o({"BER", "NRZ OSNR [dB]", "DPSK OSNR [dB]"}, 2);
+  for (double ber : {1e-6, 1e-9, 1e-10, 1e-12}) {
+    char label[32];
+    std::snprintf(label, sizeof label, "%.0e", ber);
+    o.add_row({std::string(label),
+               phy::required_osnr_db(ber, phy::Modulation::kNrz),
+               phy::required_osnr_db(ber, phy::Modulation::kDpsk)});
+  }
+  o.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figs. 3-4 — local and remote flow-control loops in a multistage fat
+// tree with input-only buffers. The scheduler acts as FC manager: it
+// only grants toward downstream buffers with space, and FC state rides
+// the existing links with a deterministic RTT. We verify the paper's
+// claims on a simulated two-level fat tree: (a) lossless under any
+// pressure, (b) in-order delivery, (c) buffers sized to the FC RTT
+// sustain full throughput, smaller ones throttle but never drop.
+
+#include <iostream>
+
+#include "src/fabric/fabric_sim.hpp"
+#include "src/fabric/placement.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+using namespace osmosis;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto slots = static_cast<std::uint64_t>(cli.get_int("slots", 15'000));
+
+  fabric::FabricSimConfig base;
+  base.radix = 8;                // 32 hosts, 8 leaves + 4 spines
+  base.trunk_cable_slots = 6;    // FC RTT = 12 cell cycles
+  base.measure_slots = slots;
+
+  std::cout << "Figs. 3-4 reproduction: scheduler-relayed flow control in a "
+               "two-level fat tree (radix 8, 32 hosts, trunk RTT = 12 "
+               "cycles)\n\n";
+
+  std::cout << "Buffer-size sweep at 90 % uniform load (paper: the "
+               "deterministic FC RTT makes buffer sizing straightforward; "
+               "undersized buffers cost throughput, never packets):\n\n";
+  util::Table t({"buffer [cells]", "throughput", "mean delay [cycles]",
+                 "max leaf occ", "max spine occ", "overflows", "ooo"},
+                3);
+  for (int buf : {2, 4, 8, 12, 16, 24, 32}) {
+    auto cfg = base;
+    cfg.buffer_cells = buf;
+    const auto r = fabric::run_fabric_uniform(cfg, 0.9, 0x34);
+    t.add_row({static_cast<long long>(buf), r.throughput, r.mean_delay_slots,
+               static_cast<long long>(r.max_leaf_input_occupancy),
+               static_cast<long long>(r.max_spine_input_occupancy),
+               static_cast<long long>(r.buffer_overflows),
+               static_cast<long long>(r.out_of_order)});
+  }
+  t.print(std::cout);
+  const int rtt_cells = fabric::buffer_cells_for_rtt(12.0, 1.0, 2);
+  std::cout << "\nFC-RTT buffer sizing rule suggests "
+            << rtt_cells << " cells for this RTT.\n";
+
+  std::cout << "\nAdversarial many-to-one hotspot (50 % of traffic to one "
+               "host) — the many-to-one case the scheduler relay must "
+               "handle:\n\n";
+  util::Table h({"load", "throughput", "overflows", "ooo",
+                 "max leaf occ [<= buffer]"},
+                3);
+  for (double load : {0.3, 0.6, 0.9}) {
+    auto cfg = base;
+    cfg.buffer_cells = 16;
+    const int hosts = cfg.radix * cfg.radix / 2;
+    fabric::FabricSim sim(cfg, sim::make_hotspot(hosts, load, 5, 0.5, 0x43));
+    const auto r = sim.run();
+    h.add_row({load, r.throughput,
+               static_cast<long long>(r.buffer_overflows),
+               static_cast<long long>(r.out_of_order),
+               static_cast<long long>(r.max_leaf_input_occupancy)});
+  }
+  h.print(std::cout);
+  std::cout
+      << "\n(The hot egress line caps at 1 cell/slot, i.e. 1/32 of the "
+         "aggregate; backpressure then spreads through the shared per-port "
+         "input buffers — classic tree saturation. The FC keeps it "
+         "strictly lossless and in order, which is exactly the Table 1 "
+         "contract: loss only from transmission errors, never from "
+         "congestion.)\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// §IV.C / §V — guard time vs effective user bandwidth. The 51.2 ns cell
+// carries guard time (switch settling + burst-mode phase reacquisition +
+// arrival jitter), FEC overhead (6.25 %) and a header; what remains is
+// ~75 % effective user bandwidth. Swept over switching technologies and
+// cell sizes, including the §VII path to shorter cells via sub-ns
+// DPSK-saturated SOA guards.
+
+#include <iostream>
+
+#include "src/phy/guard_time.hpp"
+#include "src/phy/technology.hpp"
+#include "src/util/table.hpp"
+
+using namespace osmosis;
+
+int main() {
+  std::cout << "SS V reproduction: cell timing and effective user "
+               "bandwidth\n\n";
+  const auto demo = phy::demonstrator_cell_format();
+  std::cout << "demonstrator format: " << phy::describe(demo) << "\n"
+            << "(paper: 51.2 ns packet cycle, effective user bandwidth "
+               "close to 75 %)\n\n";
+
+  std::cout << "Technology sweep (256 B cell at 40 Gb/s):\n\n";
+  util::Table t({"switch technology", "guard [ns]", "user efficiency [%]",
+                 "viable for 51.2 ns cells?"},
+                2);
+  for (const auto& tech : phy::technology_catalogue()) {
+    phy::CellFormat f = demo;
+    f.guard.switch_settle_ns = tech.guard_time_ns;
+    const bool viable = phy::viable_for_packet_switching(tech, f.cycle_ns());
+    t.add_row({tech.name, tech.guard_time_ns,
+               f.feasible() && viable ? f.user_efficiency() * 100.0 : 0.0,
+               std::string(viable ? "yes" : "no")});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nCell-size sweep: user efficiency [%] by cell size and "
+               "guard technology (40 Gb/s):\n\n";
+  util::Table c({"cell [B]", "cycle [ns]", "SOA 5 ns", "DPSK-sat 0.8 ns",
+                 "tunable laser 45 ns"},
+                1);
+  for (double bytes : {64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0}) {
+    auto eff = [&](double guard) {
+      phy::CellFormat f = demo;
+      f.cell_bytes = bytes;
+      f.guard.switch_settle_ns = guard;
+      return f.feasible() ? f.user_efficiency() * 100.0 : 0.0;
+    };
+    phy::CellFormat probe = demo;
+    probe.cell_bytes = bytes;
+    c.add_row({bytes, probe.cycle_ns(), eff(5.0), eff(0.8), eff(45.0)});
+  }
+  c.print(std::cout);
+  std::cout
+      << "\nShapes to note: at 51.2 ns cells the 45 ns tunable-laser "
+         "guard is hopeless (hence SOAs, SS IV.C); sub-ns guards (SS VII) "
+         "keep ~75 % efficiency even for 64 B cells, enabling shorter "
+         "cells or faster ports.\n";
+  return 0;
+}

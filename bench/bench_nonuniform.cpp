@@ -1,0 +1,100 @@
+// Non-uniform and bursty traffic study — the "various traffic
+// conditions" under which §V says the scheduler needs its log2(N)
+// iterations, evaluated with the same workload families the
+// input-queued-switch literature of the paper's era used ([17], [22]):
+// uniform Bernoulli, bursty on/off, hotspot, and permutation
+// (contention-free floor). FLPPR vs idealized iSLIP vs the dual-receiver
+// architecture.
+
+#include <iostream>
+#include <memory>
+
+#include "src/sw/switch_sim.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+using namespace osmosis;
+
+namespace {
+
+sw::SwitchSimResult run(sw::SchedulerKind kind, int receivers,
+                        std::unique_ptr<sim::TrafficGen> traffic,
+                        std::uint64_t slots) {
+  sw::SwitchSimConfig cfg;
+  cfg.ports = 64;
+  cfg.sched.kind = kind;
+  cfg.sched.receivers = receivers;
+  cfg.measure_slots = slots;
+  sw::SwitchSim sim(cfg, std::move(traffic));
+  return sim.run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto slots = static_cast<std::uint64_t>(cli.get_int("slots", 15'000));
+  const std::uint64_t seed = 0x40F;
+
+  std::cout << "Non-uniform traffic study, 64-port switch (delays in cell "
+               "cycles, load 0.6 unless noted)\n\n";
+
+  struct WorkloadRow {
+    const char* name;
+    std::unique_ptr<sim::TrafficGen> (*make)(std::uint64_t);
+  };
+  auto make_uniform_w = [](std::uint64_t s) {
+    return sim::make_uniform(64, 0.6, s);
+  };
+  auto make_bursty_w = [](std::uint64_t s) {
+    return sim::make_bursty(64, 0.6, 16.0, s);
+  };
+  // Hotspot sized to keep the hot output subcritical (64 sources x 0.5
+  // x (0.01 + 0.99/64) ~ 0.81 of the hot line) so steady-state delays
+  // are meaningful; saturating hotspots are the fabric-level tree-
+  // saturation study of bench_fig34.
+  auto make_hotspot_w = [](std::uint64_t s) {
+    return sim::make_hotspot(64, 0.5, 0, 0.01, s);
+  };
+  auto make_diag_w = [](std::uint64_t s) -> std::unique_ptr<sim::TrafficGen> {
+    return std::make_unique<sim::Permutation>(
+        sim::Permutation::diagonal(64, 0.6, 7, sim::Rng(s)));
+  };
+
+  const WorkloadRow rows[] = {
+      {"uniform", +make_uniform_w},
+      {"bursty (mean 16)", +make_bursty_w},
+      {"hotspot (hot line @ 81%)", +make_hotspot_w},
+      {"diagonal permutation", +make_diag_w},
+  };
+
+  util::Table t({"workload", "scheduler", "throughput", "mean delay",
+                 "p99 delay", "max VOQ"},
+                3);
+  for (const auto& w : rows) {
+    struct Config {
+      const char* label;
+      sw::SchedulerKind kind;
+      int receivers;
+    };
+    for (const auto& c :
+         {Config{"FLPPR single-rx", sw::SchedulerKind::kFlppr, 1},
+          Config{"FLPPR dual-rx", sw::SchedulerKind::kFlppr, 2},
+          Config{"iSLIP(6)", sw::SchedulerKind::kIslip, 1}}) {
+      const auto r = run(c.kind, c.receivers, w.make(seed), slots);
+      t.add_row({std::string(w.name), std::string(c.label), r.throughput,
+                 r.mean_delay, r.p99_delay,
+                 static_cast<long long>(r.max_voq_depth)});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout
+      << "\nShapes: the diagonal permutation is the contention-free floor "
+         "(~1 cycle); bursty traffic multiplies delay for every scheduler "
+         "(burst-length queueing) but dual receivers absorb much of it; "
+         "the modest hotspot loads one output's VOQs without collapsing "
+         "the rest of the switch (VOQ isolation — the reason Table 1 can "
+         "demand high throughput under non-uniform traffic).\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// §I / §VII — power and aggregate-bandwidth scaling. CMOS switch power
+// is proportional to the data rate; optical switch element power is not
+// (only the control function scales, with the packet rate). And the
+// broadcast-and-select architecture scales its aggregate as
+// fibers x wavelengths x line rate, past 50 Tb/s per stage where
+// electronics tops out at 6-8 Tb/s.
+
+#include <iostream>
+
+#include "src/power/power_model.hpp"
+#include "src/util/table.hpp"
+
+using namespace osmosis;
+
+int main() {
+  std::cout << "SS I / SS VII reproduction: power and bandwidth scaling\n\n";
+
+  std::cout << "Per-switch power vs per-port data rate (64-port switch, "
+               "256 B cells):\n\n";
+  util::Table t({"port rate [Gb/s]", "CMOS switch [W]", "optical switch [W]",
+                 "optical control share [W]"},
+                2);
+  const auto osm = power::osmosis_profile();
+  auto cmos = power::highend_electronic_profile();
+  cmos.radix = 64;  // same radix for an apples-to-apples element view
+  for (double rate : {10.0, 40.0, 100.0, 200.0, 400.0, 800.0}) {
+    const double agg = 64.0 * rate;
+    const double cells = 64.0 * rate * 1e9 / (256.0 * 8.0);
+    const double optical = power::switch_power_w(osm, agg, cells);
+    t.add_row({rate, power::switch_power_w(cmos, agg, cells), optical,
+               optical - osm.optical_static_w_per_switch});
+  }
+  t.print(std::cout);
+  std::cout << "(optical element power flat in the data rate; control "
+               "share scales with the packet rate only)\n";
+
+  std::cout << "\nSingle-stage aggregate-bandwidth envelope:\n\n";
+  util::Table a({"design point", "fibers", "lambdas", "rate [Gb/s]",
+                 "aggregate [Tb/s]", "within electronic limit?"},
+                2);
+  struct Point {
+    const char* name;
+    int f, w;
+    double r;
+  };
+  for (const auto& p : {Point{"OSMOSIS demonstrator", 8, 8, 40.0},
+                        Point{"more wavelengths", 8, 16, 40.0},
+                        Point{"faster ports", 8, 8, 160.0},
+                        Point{"SS VII product point", 16, 16, 200.0},
+                        Point{"stretch", 16, 32, 200.0}}) {
+    const double agg = power::osmosis_aggregate_tbps(p.f, p.w, p.r);
+    a.add_row({std::string(p.name), static_cast<long long>(p.f),
+               static_cast<long long>(p.w), p.r, agg,
+               std::string(agg <= power::electronic_single_stage_limit_tbps()
+                               ? "yes"
+                               : "no — beyond electronics")});
+  }
+  a.print(std::cout);
+  std::cout << "(paper: electronics tops out at 6-8 Tb/s per stage; the "
+               "OSMOSIS architecture scales to >= 50 Tb/s, e.g. 256 ports "
+               "x 200 Gb/s)\n";
+
+  std::cout << "\nFabric-level power per port vs rate (2048 endpoints):\n\n";
+  util::Table f({"port rate [Gb/s]", "OSMOSIS 3-stage [W]",
+                 "high-end 5-stage [W]", "commodity 9-stage [W]"},
+                2);
+  for (double rate : {40.0, 120.0, 320.0, 640.0, 960.0}) {
+    f.add_row(
+        {rate,
+         power::fabric_power(power::osmosis_profile(), 2048, rate, 256.0)
+             .power_per_port_w,
+         power::fabric_power(power::highend_electronic_profile(), 2048, rate,
+                             256.0)
+             .power_per_port_w,
+         power::fabric_power(power::commodity_electronic_profile(), 2048,
+                             rate, 256.0)
+             .power_per_port_w});
+  }
+  f.print(std::cout);
+  std::cout << "(the optical fabric's power is ~flat in rate; CMOS fabrics "
+               "cross over and lose as rates climb)\n";
+  return 0;
+}

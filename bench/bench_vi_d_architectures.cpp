@@ -1,0 +1,115 @@
+// §VI.D — comparison with other switch architectures, all at the same
+// port count and under the same uniform traffic:
+//   * OSMOSIS (FLPPR, dual receiver) — the paper's design,
+//   * ideal output-queued switch — the work-conserving floor,
+//   * burst/container switching — latency on the order of the burst time
+//     even unloaded,
+//   * load-balanced Birkhoff-von-Neumann — N/2 unloaded latency and
+//     out-of-order delivery,
+//   * Data Vortex — deflection routing with limited per-port throughput.
+
+#include <iostream>
+
+#include "src/baseline/birkhoff.hpp"
+#include "src/baseline/burst_switch.hpp"
+#include "src/baseline/data_vortex.hpp"
+#include "src/baseline/oq_switch.hpp"
+#include "src/sw/switch_sim.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+using namespace osmosis;
+
+namespace {
+
+struct Row {
+  std::string name;
+  double unloaded_delay;
+  double delay_at_half;
+  double saturation_throughput;
+  double reorder_fraction;
+  std::string loss;
+};
+
+sw::SwitchSimResult osmosis_run(int ports, double load, std::uint64_t slots) {
+  sw::SwitchSimConfig cfg;
+  cfg.ports = ports;
+  cfg.sched.kind = sw::SchedulerKind::kFlppr;
+  cfg.sched.receivers = 2;
+  cfg.measure_slots = slots;
+  return sw::run_uniform(cfg, load, 0x61D);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int ports = static_cast<int>(cli.get_int("ports", 16));
+  const auto slots = static_cast<std::uint64_t>(cli.get_int("slots", 25'000));
+
+  std::cout << "SS VI.D reproduction: architecture comparison at " << ports
+            << " ports, uniform Bernoulli traffic (delays in cell "
+               "cycles)\n\n";
+
+  std::vector<Row> rows;
+
+  {
+    const auto lo = osmosis_run(ports, 0.05, slots);
+    const auto mid = osmosis_run(ports, 0.5, slots);
+    const auto hi = osmosis_run(ports, 1.0, slots);
+    rows.push_back({"OSMOSIS (FLPPR, dual rx)", lo.mean_delay, mid.mean_delay,
+                    hi.throughput, 0.0, "lossless"});
+  }
+  {
+    const auto lo = baseline::run_oq_uniform(ports, 0.05, 1, 2'000, slots);
+    const auto mid = baseline::run_oq_uniform(ports, 0.5, 1, 2'000, slots);
+    const auto hi = baseline::run_oq_uniform(ports, 1.0, 1, 2'000, slots);
+    rows.push_back({"ideal output-queued", lo.mean_delay, mid.mean_delay,
+                    hi.throughput, 0.0, "lossless"});
+  }
+  {
+    baseline::BurstSwitchConfig cfg;
+    cfg.ports = ports;
+    cfg.burst_cells = 16;
+    cfg.measure_slots = slots;
+    const auto lo = baseline::run_burst_uniform(cfg, 0.05, 2);
+    const auto mid = baseline::run_burst_uniform(cfg, 0.5, 2);
+    const auto hi = baseline::run_burst_uniform(cfg, 1.0, 2);
+    rows.push_back({"burst switching (S=16)", lo.mean_delay, mid.mean_delay,
+                    hi.throughput, 0.0, "lossless"});
+  }
+  {
+    const auto lo = baseline::run_bvn_uniform(ports, 0.05, 3, 2'000, slots);
+    const auto mid = baseline::run_bvn_uniform(ports, 0.5, 3, 2'000, slots);
+    const auto hi = baseline::run_bvn_uniform(ports, 1.0, 3, 2'000, slots);
+    rows.push_back({"Birkhoff-von-Neumann LB", lo.mean_delay, mid.mean_delay,
+                    hi.throughput, mid.reorder_fraction, "lossless, OOO"});
+  }
+  {
+    baseline::DataVortexConfig cfg;
+    cfg.ports = ports;
+    cfg.measure_slots = slots;
+    const auto lo = baseline::run_vortex_uniform(cfg, 0.05, 4);
+    const auto mid = baseline::run_vortex_uniform(cfg, 0.5, 4);
+    const auto hi = baseline::run_vortex_uniform(cfg, 1.0, 4);
+    rows.push_back({"Data Vortex (deflection)", lo.mean_delay, mid.mean_delay,
+                    hi.throughput, 0.0, "inj. blocking"});
+  }
+
+  util::Table t({"architecture", "unloaded delay", "delay @ 50%",
+                 "sat. throughput", "reorder frac @ 50%", "loss model"},
+                3);
+  for (const auto& r : rows)
+    t.add_row({r.name, r.unloaded_delay, r.delay_at_half,
+               r.saturation_throughput, r.reorder_fraction, r.loss});
+  t.print(std::cout);
+
+  std::cout << "\nExpected shapes (paper SS VI.D): burst switching pays ~the "
+               "container time unloaded; BvN pays ~N/2 = "
+            << ports / 2
+            << " cycles unloaded and reorders heavily; Data Vortex "
+               "saturates below full line rate; OSMOSIS tracks the "
+               "output-queued floor closely while remaining bufferless in "
+               "the optical core.\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Degraded-operation walkthrough: the §VI.A management view of a switch
+// taking field failures. Validates a configuration, injects switching-
+// module and broadcast-fiber failures into the gate-accurate crossbar,
+// surveys component health (dual-receiver redundancy degrades rather
+// than fails), and measures the degraded switch.
+//
+//   ./example_degraded_operation [--slots=10000]
+
+#include <iostream>
+
+#include "src/core/config.hpp"
+#include "src/mgmt/config_check.hpp"
+#include "src/mgmt/counters.hpp"
+#include "src/mgmt/health.hpp"
+#include "src/sw/switch_sim.hpp"
+#include "src/util/cli.hpp"
+
+using namespace osmosis;
+
+namespace {
+
+const char* status_name(mgmt::Status s) {
+  switch (s) {
+    case mgmt::Status::kOk:
+      return "OK";
+    case mgmt::Status::kDegraded:
+      return "DEGRADED";
+    case mgmt::Status::kFailed:
+      return "FAILED";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto slots = static_cast<std::uint64_t>(cli.get_int("slots", 10'000));
+
+  // 1. Configuration check before bring-up.
+  const auto cfg = core::demonstrator_config();
+  std::cout << "=== configuration validation ===\n";
+  for (const auto& f : mgmt::validate_config(cfg))
+    std::cout << "  " << mgmt::to_string(f) << "\n";
+
+  // 2. Healthy system survey.
+  phy::BroadcastSelectCrossbar xbar(cfg.crossbar());
+  auto healthy = mgmt::survey_crossbar(xbar, 0);
+  std::cout << "\n=== health survey (healthy) ===\n  components: "
+            << healthy.component_count() << ", system "
+            << status_name(healthy.system_status()) << "\n";
+
+  // 3. Failures hit: one switching module dies, then a fiber.
+  xbar.fail_module(20, 1);
+  auto survey1 = mgmt::survey_crossbar(xbar, 1'000);
+  std::cout << "\n=== after module/20/1 failure ===\n  system "
+            << status_name(survey1.system_status())
+            << " (dual-receiver redundancy holds; egress 20 reachable "
+               "through module/20/0)\n";
+
+  xbar.fail_fiber(3);
+  auto survey2 = mgmt::survey_crossbar(xbar, 2'000);
+  std::cout << "\n=== after broadcast fiber 3 failure ===\n  system "
+            << status_name(survey2.system_status()) << " ("
+            << survey2.count(mgmt::Status::kFailed)
+            << " failed components; inputs 24-31 dark)\n";
+  for (const auto& e : survey2.events())
+    std::cout << "  event @" << e.time_slot << ": " << e.component << " -> "
+              << status_name(e.status) << " " << e.note << "\n";
+
+  // 4. Run the degraded switch and extract performance counters.
+  sw::SwitchSimConfig sc;
+  sc.ports = cfg.ports;
+  sc.sched = cfg.scheduler_config();
+  sc.measure_slots = slots;
+  sc.validate_optical_path = true;
+  sc.failed_receivers = {{20, 1}};
+  sc.failed_fibers = {3};
+  const auto r = sw::run_uniform(sc, 0.8, 0xDE6);
+
+  mgmt::CounterRegistry counters;
+  counters.add("switch.delivered", static_cast<double>(r.delivered));
+  counters.add("switch.reconfigurations",
+               static_cast<double>(r.crossbar_reconfigs));
+  counters.set_gauge("switch.throughput", r.throughput);
+  counters.set_gauge("switch.mean_delay_cycles", r.mean_delay);
+  counters.set_gauge("switch.max_voq_depth", r.max_voq_depth);
+
+  std::cout << "\n=== degraded run (80 % load on surviving ports) ===\n";
+  for (const auto& name : counters.names_with_prefix("switch."))
+    std::cout << "  " << name << " = " << counters.value(name) << "\n";
+  std::cout << "  out_of_order = " << r.out_of_order << " (still 0)\n"
+            << "\nExpected: aggregate throughput ~ 0.8 x 56/64 = 0.70 "
+               "(eight dark ports), zero loss, zero reordering.\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Reliable 40 Gb/s optical link example: the §IV.C two-tier scheme end
+// to end. Random cells are FEC-encoded with the (272,256) GF(2^8) code,
+// pushed through a noisy channel (optionally bursty), decoded — and the
+// detected-uncorrectable residue is repaired by go-back-N hop-by-hop
+// retransmission. Prints the measured waterfall next to the analytic
+// one.
+//
+//   ./example_fec_reliable_link [--ber=1e-4] [--blocks=50000] [--bursty]
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/arq/go_back_n.hpp"
+#include "src/arq/residual.hpp"
+#include "src/fec/channel.hpp"
+#include "src/sim/rng.hpp"
+#include "src/util/cli.hpp"
+
+using namespace osmosis;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const double ber = cli.get_double("ber", 1e-4);
+  const auto blocks = static_cast<std::uint64_t>(
+      cli.get_int("blocks", 50'000));
+  const bool bursty = cli.get_bool("bursty", false);
+  sim::Rng rng(0xFEC);
+
+  std::cout << "reliable link demo: (272,256) FEC + go-back-N over a "
+            << (bursty ? "bursty (Gilbert-Elliott)" : "memoryless")
+            << " channel at raw BER " << ber << "\n\n";
+
+  // --- tier 1: FEC over the noisy channel -----------------------------------
+  fec::CodecStats stats;
+  if (bursty) {
+    fec::GilbertElliottChannel::Params p;
+    p.good_ber = ber;
+    p.bad_ber = 1e-2;
+    p.mean_good_blocks = 5'000;
+    p.mean_bad_blocks = 5;
+    fec::GilbertElliottChannel channel(p, rng.split());
+    for (std::uint64_t i = 0; i < blocks; ++i) {
+      fec::Hamming272::DataBlock data{};
+      for (auto& b : data) b = static_cast<std::uint8_t>(rng.next() & 0xFF);
+      const auto clean = fec::Hamming272::encode(data);
+      auto noisy = clean;
+      channel.transmit(noisy);
+      const auto res = fec::Hamming272::decode(noisy);
+      ++stats.blocks;
+      if (res.status == fec::Hamming272::DecodeStatus::kDetected)
+        ++stats.detected;
+      else if (noisy == clean)
+        res.status == fec::Hamming272::DecodeStatus::kClean ? ++stats.clean
+                                                            : ++stats.corrected;
+      else
+        ++stats.miscorrected;
+    }
+  } else {
+    stats = fec::run_bsc(ber, blocks, rng);
+  }
+
+  std::printf("FEC tier over %llu blocks:\n",
+              static_cast<unsigned long long>(stats.blocks));
+  std::printf("  clean      %10llu\n",
+              static_cast<unsigned long long>(stats.clean));
+  std::printf("  corrected  %10llu   (single-symbol repairs)\n",
+              static_cast<unsigned long long>(stats.corrected));
+  std::printf("  detected   %10llu   (handed to retransmission)\n",
+              static_cast<unsigned long long>(stats.detected));
+  std::printf("  miscorrect %10llu   (would escape; rate %.2e)\n",
+              static_cast<unsigned long long>(stats.miscorrected),
+              stats.miscorrection_rate());
+
+  // --- tier 2: retransmission repairs the detected residue ------------------
+  arq::GoBackNParams p;
+  p.window = 32;
+  p.link_delay_slots = 5;  // ~25 m of fiber at one cell per 51.2 ns
+  p.ack_delay_slots = 5;
+  p.detected_loss_prob = stats.detected_rate();
+  p.undetected_error_prob = stats.miscorrection_rate();
+  arq::GoBackNLink link(p, rng.split());
+  const auto s = link.run_saturated(100'000);
+  std::printf("\nretransmission tier (go-back-N, window %d, RTT %d cycles):\n",
+              p.window, p.rtt_slots());
+  std::printf("  goodput               %.4f of line rate\n", s.goodput());
+  std::printf("  retransmission overhead %.5f per delivered cell\n",
+              s.retransmission_overhead());
+  std::printf("  residual errors       %llu of %llu delivered\n",
+              static_cast<unsigned long long>(s.residual_errors),
+              static_cast<unsigned long long>(s.delivered));
+
+  // --- the paper's envelope --------------------------------------------------
+  std::cout << "\nanalytic waterfall at the paper's raw BERs (using the "
+               "d=3 aliasing fraction ~0.12 for the ARQ tier):\n";
+  for (const auto& tier : arq::reliability_sweep({1e-12, 1e-10}, 0.12)) {
+    std::printf("  raw %.0e -> post-FEC %.2e -> post-ARQ %.2e\n",
+                tier.raw_ber, tier.post_fec_ber, tier.post_arq_ber);
+  }
+  std::cout << "(paper: raw 1e-10..1e-12 -> better than 1e-17 -> better "
+               "than 1e-21; the 1e-21 tier corresponds to the 1e-12 end "
+               "of the raw envelope)\n";
+  return 0;
+}

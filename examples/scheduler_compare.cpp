@@ -1,0 +1,71 @@
+// Scheduler playground: compare FLPPR against pipelined iSLIP (prior
+// art), idealized iSLIP, PIM and TDM on any port count / load / traffic
+// pattern from the command line.
+//
+//   ./example_scheduler_compare [--ports=64] [--load=0.7]
+//       [--traffic=uniform|bursty|hotspot] [--receivers=1]
+//       [--slots=20000] [--burst=16] [--hot-fraction=0.3]
+
+#include <iostream>
+#include <memory>
+
+#include "src/sw/switch_sim.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+using namespace osmosis;
+
+namespace {
+
+std::unique_ptr<sim::TrafficGen> make_traffic(const util::Cli& cli, int ports,
+                                              double load) {
+  const std::string kind = cli.get("traffic", "uniform");
+  const std::uint64_t seed = 0x5C4ED;
+  if (kind == "bursty")
+    return sim::make_bursty(ports, load, cli.get_double("burst", 16.0), seed);
+  if (kind == "hotspot")
+    return sim::make_hotspot(ports, load, 0,
+                             cli.get_double("hot-fraction", 0.3), seed);
+  return sim::make_uniform(ports, load, seed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int ports = static_cast<int>(cli.get_int("ports", 64));
+  const double load = cli.get_double("load", 0.7);
+  const int receivers = static_cast<int>(cli.get_int("receivers", 1));
+  const auto slots = static_cast<std::uint64_t>(cli.get_int("slots", 20'000));
+
+  std::cout << "scheduler comparison: " << ports << " ports, load " << load
+            << ", traffic " << cli.get("traffic", "uniform") << ", "
+            << receivers << " receiver(s)\n\n";
+
+  util::Table t({"scheduler", "throughput", "mean delay", "p99 delay",
+                 "req-to-grant", "max VOQ"},
+                3);
+  const sw::SchedulerKind kinds[] = {
+      sw::SchedulerKind::kFlppr, sw::SchedulerKind::kPipelinedIslip,
+      sw::SchedulerKind::kIslip, sw::SchedulerKind::kPim,
+      sw::SchedulerKind::kWfa,   sw::SchedulerKind::kTdm};
+  for (const auto kind : kinds) {
+    sw::SwitchSimConfig cfg;
+    cfg.ports = ports;
+    cfg.sched.kind = kind;
+    cfg.sched.receivers = receivers;
+    cfg.measure_slots = slots;
+    sw::SwitchSim sim(cfg, make_traffic(cli, ports, load));
+    const auto r = sim.run();
+    t.add_row({r.scheduler, r.throughput, r.mean_delay, r.p99_delay,
+               r.mean_grant_latency, static_cast<long long>(r.max_voq_depth)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nreading the table: FLPPR should match idealized iSLIP on "
+               "throughput while granting in ~1 cycle at light load; the "
+               "pipelined prior art pays ~log2(" << ports
+            << ") cycles of request-to-grant latency; TDM ignores demand "
+               "and pays ~N/2.\n";
+  return 0;
+}

@@ -1,0 +1,119 @@
+#include "src/arq/go_back_n.hpp"
+
+#include <algorithm>
+
+#include "src/util/log.hpp"
+
+namespace osmosis::arq {
+
+GoBackNLink::GoBackNLink(GoBackNParams params, sim::Rng rng)
+    : p_(params), rng_(rng) {
+  OSMOSIS_REQUIRE(p_.window >= 1, "window must be >= 1");
+  OSMOSIS_REQUIRE(p_.link_delay_slots >= 1 && p_.ack_delay_slots >= 1,
+                  "link delays must be >= 1 slot");
+  OSMOSIS_REQUIRE(p_.detected_loss_prob >= 0.0 && p_.detected_loss_prob < 1.0,
+                  "detected-loss probability out of [0,1)");
+  OSMOSIS_REQUIRE(
+      p_.undetected_error_prob >= 0.0 && p_.undetected_error_prob < 1.0,
+      "undetected-error probability out of [0,1)");
+  // A window smaller than the RTT cannot keep the pipe full; allowed,
+  // but the timeout must still exceed the RTT for correctness.
+  OSMOSIS_REQUIRE(p_.timeout_slots() > p_.rtt_slots(),
+                  "timeout must exceed the round-trip time");
+}
+
+GoBackNStats GoBackNLink::run_saturated(std::uint64_t slots) {
+  return run(slots, 1.0);
+}
+
+GoBackNStats GoBackNLink::run(std::uint64_t slots, double offered_load) {
+  OSMOSIS_REQUIRE(offered_load >= 0.0 && offered_load <= 1.0,
+                  "offered load out of [0,1]");
+  GoBackNStats stats;
+  stats.slots = slots;
+
+  std::deque<InFlight> data_fifo;
+  std::deque<AckInFlight> ack_fifo;
+
+  std::uint64_t backlog_limit = 0;  // cells the source has produced so far
+  std::uint64_t next_new_seq = 0;   // first never-transmitted sequence
+  std::uint64_t base = 0;           // oldest unacked sequence
+  std::uint64_t cursor = 0;         // next sequence to put on the wire
+  std::uint64_t expected = 0;       // receiver's next in-order sequence
+  std::uint64_t timer_expiry = 0;
+  bool timer_armed = false;
+
+  for (std::uint64_t t = 0; t < slots; ++t) {
+    // 1. Source produces work.
+    if (offered_load >= 1.0 || rng_.bernoulli(offered_load)) {
+      ++backlog_limit;
+      ++stats.offered;
+    }
+
+    // 2. Data arrivals at the receiver.
+    while (!data_fifo.empty() && data_fifo.front().arrive_slot <= t) {
+      const InFlight cell = data_fifo.front();
+      data_fifo.pop_front();
+      if (cell.detected_bad) continue;  // FEC flagged it; discarded
+      if (cell.seq == expected) {
+        ++expected;
+        ++stats.delivered;
+        if (cell.undetected_bad) ++stats.residual_errors;
+      } else if (cell.seq > expected) {
+        // Out-of-order arrival is never *delivered* by a GBN receiver —
+        // it is discarded, preserving the in-order guarantee.
+        ++stats.out_of_order;  // counts discards, not deliveries
+      }
+      // duplicates (seq < expected) are silently dropped
+    }
+
+    // 3. Receiver emits a cumulative ACK every cycle (the OSMOSIS control
+    //    path carries per-cell control traffic anyway).
+    ack_fifo.push_back(AckInFlight{expected, t + static_cast<std::uint64_t>(
+                                                     p_.ack_delay_slots)});
+
+    // 4. ACK arrivals at the sender.
+    while (!ack_fifo.empty() && ack_fifo.front().arrive_slot <= t) {
+      const AckInFlight ack = ack_fifo.front();
+      ack_fifo.pop_front();
+      if (ack.cumulative_ack > base) {
+        base = ack.cumulative_ack;
+        cursor = std::max(cursor, base);
+        timer_armed = base < next_new_seq;
+        timer_expiry = t + static_cast<std::uint64_t>(p_.timeout_slots());
+      }
+    }
+
+    // 5. Timeout: go back to the window base and resend everything.
+    if (timer_armed && t >= timer_expiry && base < next_new_seq) {
+      cursor = base;
+      timer_expiry = t + static_cast<std::uint64_t>(p_.timeout_slots());
+    }
+
+    // 6. Transmit one cell per slot if the window and backlog allow.
+    const std::uint64_t window_end =
+        base + static_cast<std::uint64_t>(p_.window);
+    const std::uint64_t sendable_end = std::min(window_end, backlog_limit);
+    if (cursor < sendable_end) {
+      const bool is_retx = cursor < next_new_seq;
+      InFlight cell;
+      cell.seq = cursor;
+      cell.arrive_slot = t + static_cast<std::uint64_t>(p_.link_delay_slots);
+      cell.detected_bad = rng_.bernoulli(p_.detected_loss_prob);
+      cell.undetected_bad =
+          !cell.detected_bad && rng_.bernoulli(p_.undetected_error_prob);
+      data_fifo.push_back(cell);
+      ++stats.transmissions;
+      if (is_retx) ++stats.retransmissions;
+      if (cursor == base || !timer_armed) {
+        timer_armed = true;
+        timer_expiry = t + static_cast<std::uint64_t>(p_.timeout_slots());
+      }
+      ++cursor;
+      next_new_seq = std::max(next_new_seq, cursor);
+    }
+  }
+  return stats;
+}
+
+}  // namespace osmosis::arq

@@ -1,0 +1,88 @@
+#pragma once
+// Hop-by-hop hardware retransmission (§IV.C): a go-back-N link layer on
+// one fabric hop. Sits above the FEC: the decoder either delivers a
+// clean block, or flags a *detected* uncorrectable block (which this
+// layer repairs by retransmission), or — very rarely — miscorrects
+// (which escapes undetected; quantified by fec::post_arq_ber).
+//
+// The simulation is slot-synchronous at cell-cycle granularity, matching
+// the hardware the paper describes: per-cell sequence numbers, cumulative
+// ACKs returning on the reverse channel (the paper relays ACKs on the
+// same scheduler-mediated control path as flow control), and a
+// retransmit timeout derived from the deterministic link RTT.
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/sim/rng.hpp"
+
+namespace osmosis::arq {
+
+/// Link and protocol parameters.
+struct GoBackNParams {
+  int window = 32;             // outstanding unacked cells
+  int link_delay_slots = 4;    // one-way cell flight time, in cell cycles
+  int ack_delay_slots = 4;     // reverse control-path delay
+  // Probability a transmitted cell arrives FEC-uncorrectable (detected);
+  // the receiver discards it and the sender eventually retransmits.
+  double detected_loss_prob = 0.0;
+  // Probability a cell arrives corrupted but *undetected* (miscorrected
+  // FEC); it is delivered and counted as a residual error.
+  double undetected_error_prob = 0.0;
+  int timeout_margin_slots = 2;  // extra slack on top of the RTT
+
+  int rtt_slots() const { return link_delay_slots + ack_delay_slots; }
+  int timeout_slots() const { return rtt_slots() + timeout_margin_slots; }
+};
+
+/// Results of a go-back-N run.
+struct GoBackNStats {
+  std::uint64_t offered = 0;          // cells the source wanted to send
+  std::uint64_t transmissions = 0;    // cells put on the wire (incl. retx)
+  std::uint64_t delivered = 0;        // cells accepted in order at receiver
+  std::uint64_t retransmissions = 0;
+  std::uint64_t residual_errors = 0;  // undetected corrupt cells delivered
+  std::uint64_t out_of_order = 0;     // must stay 0: GBN preserves order
+  std::uint64_t slots = 0;
+
+  double goodput() const {
+    return slots ? static_cast<double>(delivered) / static_cast<double>(slots)
+                 : 0.0;
+  }
+  double retransmission_overhead() const {
+    return delivered ? static_cast<double>(retransmissions) /
+                           static_cast<double>(delivered)
+                     : 0.0;
+  }
+};
+
+/// Slot-accurate simulator of one reliable hop.
+class GoBackNLink {
+ public:
+  GoBackNLink(GoBackNParams params, sim::Rng rng);
+
+  /// Runs `slots` cell cycles with a saturated source (always has the
+  /// next cell ready) and returns the stats.
+  GoBackNStats run_saturated(std::uint64_t slots);
+
+  /// Runs with a Bernoulli source of the given load.
+  GoBackNStats run(std::uint64_t slots, double offered_load);
+
+ private:
+  struct InFlight {
+    std::uint64_t seq;
+    std::uint64_t arrive_slot;
+    bool detected_bad;
+    bool undetected_bad;
+  };
+  struct AckInFlight {
+    std::uint64_t cumulative_ack;  // next expected seq at receiver
+    std::uint64_t arrive_slot;
+  };
+
+  GoBackNParams p_;
+  sim::Rng rng_;
+};
+
+}  // namespace osmosis::arq

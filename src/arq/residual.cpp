@@ -1,0 +1,27 @@
+#include "src/arq/residual.hpp"
+
+#include "src/fec/channel.hpp"
+#include "src/util/log.hpp"
+
+namespace osmosis::arq {
+
+ReliabilityTier reliability_waterfall(double raw_ber,
+                                      double miscorrect_given_multi) {
+  OSMOSIS_REQUIRE(raw_ber >= 0.0 && raw_ber <= 1.0, "raw BER out of [0,1]");
+  ReliabilityTier tier;
+  tier.raw_ber = raw_ber;
+  tier.post_fec_ber = fec::post_fec_ber(raw_ber);
+  tier.post_arq_ber = fec::post_arq_ber(raw_ber, miscorrect_given_multi);
+  return tier;
+}
+
+std::vector<ReliabilityTier> reliability_sweep(
+    const std::vector<double>& raw_bers, double miscorrect_given_multi) {
+  std::vector<ReliabilityTier> tiers;
+  tiers.reserve(raw_bers.size());
+  for (double ber : raw_bers)
+    tiers.push_back(reliability_waterfall(ber, miscorrect_given_multi));
+  return tiers;
+}
+
+}  // namespace osmosis::arq

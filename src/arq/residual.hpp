@@ -1,0 +1,31 @@
+#pragma once
+// The §IV.C two-tier reliability waterfall: raw optical BER -> FEC ->
+// hop-by-hop retransmission. Combines the phy raw-BER envelope, the fec
+// analytic coded-BER estimates, and the ARQ undetected-error residue
+// into the single table the paper reports (1e-10 -> better than 1e-17 ->
+// better than 1e-21).
+
+#include <vector>
+
+namespace osmosis::arq {
+
+/// One row of the reliability waterfall.
+struct ReliabilityTier {
+  double raw_ber;        // physical link BER
+  double post_fec_ber;   // user BER after (272,256) FEC
+  double post_arq_ber;   // residual undetected BER after retransmission
+};
+
+/// Computes the waterfall for one raw BER. `miscorrect_given_multi` is
+/// the decoder's conditional miscorrection probability for blocks with
+/// >= 2 corrupted symbols (measure it with fec::inject_bit_errors; the
+/// union-bound default 0.13 comes from counting correctable syndromes of
+/// the shortened code: n·(q-1)/q² ≈ 34·255/65536).
+ReliabilityTier reliability_waterfall(double raw_ber,
+                                      double miscorrect_given_multi = 0.13);
+
+/// The waterfall across a sweep of raw BERs (for the bench table).
+std::vector<ReliabilityTier> reliability_sweep(
+    const std::vector<double>& raw_bers, double miscorrect_given_multi = 0.13);
+
+}  // namespace osmosis::arq

@@ -1,0 +1,69 @@
+#pragma once
+// Burst / container / envelope switching ([5], [6], §II and §VI.D): the
+// classical workaround for slow optical reconfiguration and scheduling.
+// Cells heading to the same output are aggregated into containers of S
+// cells; the crossbar is scheduled once per container, amortizing the
+// guard time and the arbitration over S cell cycles. The cost — and the
+// reason the paper rejects it for HPC — is that an unloaded switch makes
+// a cell wait for its container to fill (or for an aggregation timeout),
+// so latency is on the order of the burst time even with no contention.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/sim/stats.hpp"
+#include "src/sim/traffic.hpp"
+#include "src/sw/cell.hpp"
+
+namespace osmosis::baseline {
+
+struct BurstSwitchConfig {
+  int ports = 16;
+  int burst_cells = 16;        // container capacity S
+  int aggregation_timeout = 0; // slots before a partial container ships;
+                               // 0 = 4 * burst_cells (a typical setting)
+  std::uint64_t warmup_slots = 2'000;
+  std::uint64_t measure_slots = 30'000;
+};
+
+struct BurstSwitchResult {
+  int ports = 0;
+  int burst_cells = 0;
+  double offered_load = 0.0;
+  double throughput = 0.0;
+  double mean_delay = 0.0;   // ~burst time even unloaded
+  double p99_delay = 0.0;
+  std::uint64_t delivered = 0;
+  double mean_container_fill = 0.0;  // cells per shipped container
+};
+
+/// Slot-accurate burst-switching crossbar: containers become eligible
+/// when full or timed out; a round-robin matcher connects eligible
+/// (input, output) pairs, and a connection holds for `burst_cells`
+/// slots while the container drains.
+class BurstSwitch {
+ public:
+  BurstSwitch(BurstSwitchConfig cfg, std::unique_ptr<sim::TrafficGen> traffic);
+
+  BurstSwitchResult run();
+
+ private:
+  struct Aggregator {
+    std::deque<sw::Cell> cells;
+    std::uint64_t oldest_slot = 0;  // arrival of the current head cell
+  };
+
+  BurstSwitchConfig cfg_;
+  std::unique_ptr<sim::TrafficGen> traffic_;
+  std::vector<Aggregator> agg_;              // [in * ports + out]
+  std::vector<std::uint64_t> in_busy_until_;
+  std::vector<std::uint64_t> out_busy_until_;
+  std::vector<int> rr_ptr_;  // per output: round-robin over inputs
+};
+
+BurstSwitchResult run_burst_uniform(const BurstSwitchConfig& cfg, double load,
+                                    std::uint64_t seed);
+
+}  // namespace osmosis::baseline

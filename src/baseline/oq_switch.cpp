@@ -1,0 +1,77 @@
+#include "src/baseline/oq_switch.hpp"
+
+#include "src/util/log.hpp"
+
+namespace osmosis::baseline {
+
+OqSwitch::OqSwitch(int ports, std::unique_ptr<sim::TrafficGen> traffic)
+    : ports_(ports),
+      traffic_(std::move(traffic)),
+      out_queue_(static_cast<std::size_t>(ports)),
+      flow_seq_(static_cast<std::size_t>(ports) *
+                    static_cast<std::size_t>(ports),
+                0) {
+  OSMOSIS_REQUIRE(ports_ >= 1, "need at least one port");
+  OSMOSIS_REQUIRE(traffic_ != nullptr && traffic_->ports() == ports_,
+                  "traffic generator port mismatch");
+}
+
+OqResult OqSwitch::run(std::uint64_t warmup, std::uint64_t measure) {
+  sim::Histogram delay_hist;
+  sim::ThroughputMeter meter;
+  sim::ReorderDetector reorder;
+  OqResult r;
+  r.offered_load = traffic_->offered_load();
+
+  const std::uint64_t total = warmup + measure;
+  for (std::uint64_t t = 0; t < total; ++t) {
+    const bool measuring = t >= warmup;
+    // Arrivals land straight in their output queues (speedup-N fabric).
+    for (int in = 0; in < ports_; ++in) {
+      sim::Arrival a;
+      if (!traffic_->sample(in, a)) continue;
+      const std::size_t flow = static_cast<std::size_t>(in) *
+                                   static_cast<std::size_t>(ports_) +
+                               static_cast<std::size_t>(a.dst);
+      sw::Cell cell;
+      cell.src = in;
+      cell.dst = a.dst;
+      cell.seq = flow_seq_[flow]++;
+      cell.arrival_slot = t;
+      cell.cls = a.cls;
+      out_queue_[static_cast<std::size_t>(a.dst)].push_back(cell);
+    }
+    // Outputs drain one cell per cycle; by construction no output idles
+    // while it has work, so work conservation holds trivially — we keep
+    // the flag to document the property the paper cites from [11].
+    for (int out = 0; out < ports_; ++out) {
+      auto& q = out_queue_[static_cast<std::size_t>(out)];
+      if (q.empty()) continue;
+      const sw::Cell cell = q.front();
+      q.pop_front();
+      reorder.deliver(cell.src, cell.dst, cell.seq);
+      if (measuring) {
+        delay_hist.add(static_cast<double>(t - cell.arrival_slot) + 1.0);
+        meter.add_delivery();
+      }
+    }
+    if (measuring)
+      meter.advance_slots(1, static_cast<std::uint64_t>(ports_));
+  }
+
+  r.throughput = meter.utilization();
+  r.mean_delay = delay_hist.mean();
+  r.p99_delay = delay_hist.p99();
+  r.delivered = delay_hist.count();
+  r.out_of_order = reorder.out_of_order();
+  r.work_conserving_violated = false;
+  return r;
+}
+
+OqResult run_oq_uniform(int ports, double load, std::uint64_t seed,
+                        std::uint64_t warmup, std::uint64_t measure) {
+  OqSwitch s(ports, sim::make_uniform(ports, load, seed));
+  return s.run(warmup, measure);
+}
+
+}  // namespace osmosis::baseline

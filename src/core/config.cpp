@@ -1,0 +1,61 @@
+#include "src/core/config.hpp"
+
+#include "src/util/log.hpp"
+
+namespace osmosis::core {
+
+phy::BroadcastSelectConfig OsmosisConfig::crossbar() const {
+  OSMOSIS_REQUIRE(ports == fibers * wavelengths,
+                  "ports must equal fibers * wavelengths");
+  phy::BroadcastSelectConfig c;
+  c.ports = ports;
+  c.fibers = fibers;
+  c.wavelengths = wavelengths;
+  c.receivers_per_egress = receivers;
+  return c;
+}
+
+sw::SchedulerConfig OsmosisConfig::scheduler_config() const {
+  sw::SchedulerConfig sc;
+  sc.kind = scheduler;
+  sc.ports = ports;
+  sc.receivers = receivers;
+  sc.iterations = scheduler_depth;
+  return sc;
+}
+
+OsmosisConfig demonstrator_config() {
+  OsmosisConfig c;
+  c.ports = 64;
+  c.fibers = 8;
+  c.wavelengths = 8;
+  c.receivers = 2;
+  c.cell = phy::demonstrator_cell_format();
+  c.scheduler = sw::SchedulerKind::kFlppr;
+  c.fabric_ports = 2048;
+  c.machine_diameter_m = 50.0;
+  return c;
+}
+
+OsmosisConfig product_config() {
+  OsmosisConfig c;
+  c.ports = 256;
+  c.fibers = 16;
+  c.wavelengths = 16;
+  c.receivers = 2;
+  c.cell = phy::demonstrator_cell_format();
+  c.cell.line_rate_gbps = 200.0;
+  // ASIC scheduler (4x faster, §VII) supports a shorter cycle at the
+  // higher rate; keep 256 B => 10.24 ns cycle. That only leaves room for
+  // the sub-ns guard of deeply saturated DPSK-driven SOAs (§VII) plus a
+  // fast-locking custom CDR.
+  c.cell.guard.switch_settle_ns = 0.8;
+  c.cell.guard.phase_reacquisition_ns = 0.5;
+  c.cell.guard.arrival_jitter_ns = 0.3;
+  c.scheduler = sw::SchedulerKind::kFlppr;
+  c.fabric_ports = 32'768;
+  c.machine_diameter_m = 50.0;
+  return c;
+}
+
+}  // namespace osmosis::core

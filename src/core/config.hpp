@@ -1,0 +1,46 @@
+#pragma once
+// Top-level OSMOSIS system configuration: the §V demonstrator
+// (64 x 40 Gb/s, 8 fibers x 8 colors, dual receiver, 256 B cells) and
+// the §VII commercialization design point (256 x 200 Gb/s).
+
+#include <cstdint>
+
+#include "src/phy/crossbar_optical.hpp"
+#include "src/phy/guard_time.hpp"
+#include "src/sw/scheduler.hpp"
+
+namespace osmosis::core {
+
+struct OsmosisConfig {
+  // Single-stage switch geometry.
+  int ports = 64;
+  int fibers = 8;
+  int wavelengths = 8;
+  int receivers = 2;  // dual-receiver broadcast-and-select
+
+  // Line format.
+  phy::CellFormat cell;  // 256 B @ 40 Gb/s -> 51.2 ns cycle
+
+  // Scheduler.
+  sw::SchedulerKind scheduler = sw::SchedulerKind::kFlppr;
+  int scheduler_depth = 0;  // 0 = log2(ports)
+
+  // Fabric-level target (Table 1).
+  std::uint64_t fabric_ports = 2048;
+  double machine_diameter_m = 50.0;
+
+  /// Derived: the broadcast-and-select crossbar geometry.
+  phy::BroadcastSelectConfig crossbar() const;
+
+  /// Derived: scheduler configuration for the switch simulator.
+  sw::SchedulerConfig scheduler_config() const;
+};
+
+/// The §V hardware demonstrator.
+OsmosisConfig demonstrator_config();
+
+/// The §VII scaled design point: 256 ports x 200 Gb/s in one stage
+/// (16 fibers x 16 wavelengths), ~50 Tb/s aggregate.
+OsmosisConfig product_config();
+
+}  // namespace osmosis::core

@@ -1,0 +1,69 @@
+#include "src/core/latency_budget.hpp"
+
+#include "src/util/log.hpp"
+#include "src/util/units.hpp"
+
+namespace osmosis::core {
+
+SingleStageLatency single_stage_latency(double machine_diameter_m,
+                                        double schedule_ns,
+                                        double switch_ns) {
+  OSMOSIS_REQUIRE(machine_diameter_m >= 0.0, "negative machine diameter");
+  SingleStageLatency l;
+  // Host -> central crossbar spans the machine room; the round trip is
+  // out and back across the diameter.
+  l.rtt_ns = util::fiber_delay_ns(machine_diameter_m);
+  l.schedule_ns = schedule_ns;
+  l.switch_ns = switch_ns;
+  l.total_ns = 2.0 * l.rtt_ns + schedule_ns + switch_ns;
+  return l;
+}
+
+double multistage_latency_ns(int stages, double per_stage_ns,
+                             double total_cable_ns) {
+  OSMOSIS_REQUIRE(stages >= 1, "need at least one stage");
+  OSMOSIS_REQUIRE(per_stage_ns >= 0.0 && total_cable_ns >= 0.0,
+                  "latencies cannot be negative");
+  return static_cast<double>(stages) * per_stage_ns + total_cable_ns;
+}
+
+double LatencyBudget::fpga_total_ns() const {
+  double sum = 0.0;
+  for (const auto& item : items) sum += item.fpga_ns;
+  return sum;
+}
+
+double LatencyBudget::asic_total_ns() const {
+  double sum = 0.0;
+  for (const auto& item : items) sum += item.asic_ns;
+  return sum;
+}
+
+LatencyBudget demonstrator_latency_budget() {
+  // FPGA figures decompose the measured ~1200 ns (§VI.B); the ASIC
+  // column applies the paper's "straightforward mapping" speedups: >= 4x
+  // on pipelined logic, and short on-package connections replacing the
+  // multi-meter scheduler-to-SOA control fibers.
+  LatencyBudget b;
+  b.items = {
+      {"ingress adapter pipeline (VOQ, framing)", 180.0, 45.0},
+      {"FEC encode", 90.0, 22.0},
+      {"request/grant control path + chip crossings", 260.0, 65.0},
+      {"FLPPR scheduler pipeline", 205.0, 51.0},
+      {"scheduler -> SOA control cables", 160.0, 15.0},
+      {"optical crossbar (guard + transfer)", 102.0, 102.0},
+      {"egress burst-mode Rx + FEC decode", 140.0, 35.0},
+      {"egress adapter pipeline", 75.0, 19.0},
+  };
+  return b;
+}
+
+int scheduler_asic_count(int ports, int depth, int slices_per_asic) {
+  OSMOSIS_REQUIRE(ports >= 1 && depth >= 1 && slices_per_asic >= 1,
+                  "invalid scheduler sizing parameters");
+  const int slices = ports * depth;  // one arbitration slice per
+                                     // (port, sub-scheduler) pair
+  return (slices + slices_per_asic - 1) / slices_per_asic;
+}
+
+}  // namespace osmosis::core

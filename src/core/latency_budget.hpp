@@ -1,0 +1,55 @@
+#pragma once
+// Latency arithmetic: the Fig. 1 single-stage argument, the §III 500 ns
+// fabric budget, and the §VI.B demonstrator decomposition (≈1200 ns in
+// FPGAs, a few hundred ns after ASIC mapping).
+
+#include <string>
+#include <vector>
+
+namespace osmosis::core {
+
+/// Fig. 1: a single-stage fabric with a central scheduler pays one full
+/// cable round trip for the request/grant cycle and another for the data
+/// transfer (half RTT to the crossbar, half RTT onward), plus scheduling
+/// and switching time.
+struct SingleStageLatency {
+  double rtt_ns = 0.0;       // machine-room cable round trip
+  double schedule_ns = 0.0;  // central arbitration
+  double switch_ns = 0.0;    // crossbar reconfiguration + transfer
+  double total_ns = 0.0;     // 2*rtt + schedule + switch
+};
+
+SingleStageLatency single_stage_latency(double machine_diameter_m,
+                                        double schedule_ns,
+                                        double switch_ns);
+
+/// Multistage alternative: per-stage switch latency accumulates but the
+/// cable time is paid once (cells flow through, request/grant is local
+/// to each stage).
+double multistage_latency_ns(int stages, double per_stage_ns,
+                             double total_cable_ns);
+
+/// One line item of the §VI.B demonstrator latency budget.
+struct LatencyItem {
+  std::string name;
+  double fpga_ns;  // as built, commercial FPGAs
+  double asic_ns;  // straightforward ASIC mapping (>= 4x logic speedup)
+};
+
+struct LatencyBudget {
+  std::vector<LatencyItem> items;
+  double fpga_total_ns() const;
+  double asic_total_ns() const;
+};
+
+/// The demonstrator's budget: adapters, FEC, scheduler pipeline and
+/// chip crossings, SOA control cables, crossbar — totalling ≈1200 ns as
+/// built and a few hundred ns as an ASIC (§VI.B).
+LatencyBudget demonstrator_latency_budget();
+
+/// Number of identical scheduler ASICs needed: the paper's size analysis
+/// concludes <= 4. Modeled as ports*depth arbitration slices against a
+/// per-ASIC slice capacity.
+int scheduler_asic_count(int ports, int depth, int slices_per_asic = 128);
+
+}  // namespace osmosis::core

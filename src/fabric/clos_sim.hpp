@@ -1,0 +1,156 @@
+#pragma once
+// Generalized L-level folded-Clos (fat-tree) cell simulator — the
+// multistage machine of §VI.C at cell granularity, for any level count:
+// L = 2 is the paper's three-stage OSMOSIS fabric, L = 3 the five-stage
+// high-end-electronic alternative. Same input-only buffering and
+// credit-based scheduler-relayed flow control as FabricSim (Figs. 3-4),
+// built on an explicit recursive topology:
+//
+//   FT'(1)  = one switch: m host ports down, m uplinks (m = radix/2)
+//   FT'(l)  = m pods of FT'(l-1) + m^(l-1) level-l switches; pod p's
+//             j-th uplink -> switch j, down-port p
+//   Machine = 2m pods of FT'(L-1) + m^(L-1) top switches using all
+//             radix ports down  =>  radix * m^(L-1) hosts, 2L-1 stages.
+//
+// Routing is up/down with static per-destination uplink choice
+// (dst mod m), so per-flow order is preserved; each switch's routing
+// table is precomputed from its descendant host ranges.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/sim/stats.hpp"
+#include "src/sim/traffic.hpp"
+#include "src/sw/scheduler.hpp"
+
+namespace osmosis::fabric {
+
+struct ClosConfig {
+  int radix = 8;   // even, >= 4
+  int levels = 2;  // L: path traverses 2L-1 switch stages worst case
+  int host_cable_slots = 1;
+  int trunk_cable_slots = 4;  // every inter-switch link
+  int buffer_cells = 16;      // input-buffer capacity per switch port
+  sw::SchedulerKind scheduler = sw::SchedulerKind::kIslip;
+  int scheduler_iterations = 0;
+  std::uint64_t warmup_slots = 2'000;
+  std::uint64_t measure_slots = 20'000;
+};
+
+struct ClosResult {
+  int radix = 0;
+  int levels = 0;
+  int hosts = 0;
+  int switches = 0;
+  int path_stages = 0;  // 2L-1
+  double offered_load = 0.0;
+  double throughput = 0.0;
+  std::uint64_t delivered = 0;
+  double mean_delay_slots = 0.0;
+  double p99_delay_slots = 0.0;
+  double mean_hops = 0.0;  // switch stages actually traversed
+  std::vector<int> max_input_occupancy_per_level;  // leaf-first
+  std::uint64_t buffer_overflows = 0;  // must be 0
+  std::uint64_t out_of_order = 0;      // must be 0
+  // All-time conservation counters (warmup included): every injected
+  // cell must eventually be delivered — the fabric never loses cells.
+  std::uint64_t injected_total = 0;
+  std::uint64_t delivered_total = 0;
+};
+
+class ClosFabricSim {
+ public:
+  ClosFabricSim(ClosConfig cfg, std::unique_ptr<sim::TrafficGen> traffic);
+
+  ClosResult run();
+
+  int hosts() const { return hosts_; }
+  int switch_count() const { return static_cast<int>(switches_.size()); }
+
+ private:
+  struct FabricCell {
+    int src = -1;
+    int dst = -1;
+    std::uint64_t seq = 0;
+    std::uint64_t inject_slot = 0;
+    int hops = 0;
+  };
+  struct Timed {
+    std::uint64_t slot;
+    FabricCell cell;
+  };
+  enum class PeerKind { kNone, kHost, kSwitch };
+  struct Peer {
+    PeerKind kind = PeerKind::kNone;
+    int id = -1;    // host id or switch id
+    int port = -1;  // peer's port (switches only)
+    int delay = 1;  // cable flight time in slots
+  };
+  struct SwitchNode {
+    int level = 1;  // 1 = leaf
+    std::unique_ptr<sw::Scheduler> sched;
+    std::vector<Peer> peer;                      // per port
+    std::vector<std::vector<std::deque<FabricCell>>> voq;  // [in][out]
+    std::vector<int> input_occupancy;
+    std::vector<int> out_credits;                // -1 = host egress
+    std::vector<std::deque<Timed>> out_data;     // per port
+    std::vector<std::deque<std::uint64_t>> credit_in;  // per port
+    std::vector<int> route;                      // dst host -> out port
+    // Topology metadata used to derive the routing table.
+    struct DownRange {
+      int lo, hi, port;  // hosts [lo, hi) live below down-port `port`
+    };
+    std::vector<DownRange> down_ranges;
+    std::vector<int> up_ports;
+    int max_input_occ = 0;
+  };
+
+  /// Recursive FT'(level) builder; appends switches, wires hosts
+  /// starting at host id `host_base`, and returns the ids/ports of the
+  /// exposed uplinks (ordered).
+  struct Uplink {
+    int sw;
+    int port;
+  };
+  std::vector<Uplink> build_slice(int level, int& host_base);
+  int new_switch(int level, int ports);
+  void wire(int sw_a, int port_a, int sw_b, int port_b, int delay);
+  void build_routes();
+  void step(std::uint64_t t, bool measuring);
+  void accept_cell(int sw_id, int in_port, FabricCell cell);
+
+  ClosConfig cfg_;
+  int m_;
+  int hosts_ = 0;
+  std::vector<SwitchNode> switches_;
+  std::unique_ptr<sim::TrafficGen> traffic_;
+
+  // Host state.
+  struct HostAttach {
+    int sw = -1;
+    int port = -1;
+  };
+  std::vector<HostAttach> host_attach_;
+  std::vector<std::deque<FabricCell>> host_queue_;
+  std::vector<int> host_credits_;
+  std::vector<std::deque<std::uint64_t>> host_credit_in_;
+  std::vector<std::deque<Timed>> host_out_;
+  std::vector<std::uint64_t> flow_seq_;
+
+  // Statistics.
+  sim::Histogram delay_hist_{512.0};
+  sim::MeanVar hops_;
+  sim::ThroughputMeter meter_;
+  sim::ReorderDetector reorder_;
+  std::uint64_t overflows_ = 0;
+  std::uint64_t injected_total_ = 0;
+  std::uint64_t delivered_total_ = 0;
+};
+
+/// Convenience: uniform Bernoulli run.
+ClosResult run_clos_uniform(const ClosConfig& cfg, double load,
+                            std::uint64_t seed);
+
+}  // namespace osmosis::fabric

@@ -1,0 +1,258 @@
+#include "src/fabric/fabric_sim.hpp"
+
+#include <algorithm>
+
+#include "src/util/log.hpp"
+
+namespace osmosis::fabric {
+
+FabricSim::FabricSim(FabricSimConfig cfg,
+                     std::unique_ptr<sim::TrafficGen> traffic)
+    : cfg_(cfg),
+      radix_(cfg.radix),
+      m_(cfg.radix / 2),
+      hosts_(cfg.radix * (cfg.radix / 2)),
+      traffic_(std::move(traffic)) {
+  OSMOSIS_REQUIRE(radix_ >= 2 && radix_ % 2 == 0,
+                  "radix must be even and >= 2");
+  OSMOSIS_REQUIRE(cfg_.buffer_cells >= 1, "need at least one buffer cell");
+  OSMOSIS_REQUIRE(cfg_.host_cable_slots >= 1 && cfg_.trunk_cable_slots >= 1,
+                  "cable delays must be >= 1 slot");
+  OSMOSIS_REQUIRE(cfg_.scheduler == sw::SchedulerKind::kIslip ||
+                      cfg_.scheduler == sw::SchedulerKind::kPim ||
+                      cfg_.scheduler == sw::SchedulerKind::kTdm ||
+                      cfg_.scheduler == sw::SchedulerKind::kWfa,
+                  "fabric stages need an immediate-issue scheduler kind");
+  OSMOSIS_REQUIRE(traffic_ != nullptr && traffic_->ports() == hosts_,
+                  "traffic generator must cover all " << hosts_ << " hosts");
+
+  const int total_switches = radix_ + m_;  // leaves + spines
+  switches_.resize(static_cast<std::size_t>(total_switches));
+  for (int s = 0; s < total_switches; ++s) {
+    SwitchNode& node = switches_[static_cast<std::size_t>(s)];
+    sw::SchedulerConfig sc;
+    sc.kind = cfg_.scheduler;
+    sc.ports = radix_;
+    sc.receivers = 1;
+    sc.iterations = cfg_.scheduler_iterations;
+    sc.seed = 0x0505ULL + static_cast<std::uint64_t>(s);
+    node.sched = sw::make_scheduler(sc);
+    node.voq.assign(static_cast<std::size_t>(radix_),
+                    std::vector<std::deque<FabricCell>>(
+                        static_cast<std::size_t>(radix_)));
+    node.input_occupancy.assign(static_cast<std::size_t>(radix_), 0);
+    node.out_data.resize(static_cast<std::size_t>(radix_));
+    node.credit_in.resize(static_cast<std::size_t>(radix_));
+    node.out_credits.assign(static_cast<std::size_t>(radix_),
+                            cfg_.buffer_cells);
+    if (is_leaf(s)) {
+      // Leaf down-ports face hosts: egress, no fabric-internal FC.
+      for (int p = 0; p < m_; ++p)
+        node.out_credits[static_cast<std::size_t>(p)] = -1;
+    }
+  }
+
+  host_queue_.resize(static_cast<std::size_t>(hosts_));
+  host_credits_.assign(static_cast<std::size_t>(hosts_), cfg_.buffer_cells);
+  host_credit_in_.resize(static_cast<std::size_t>(hosts_));
+  host_out_.resize(static_cast<std::size_t>(hosts_));
+  flow_seq_.assign(
+      static_cast<std::size_t>(hosts_) * static_cast<std::size_t>(hosts_), 0);
+}
+
+int FabricSim::route(int sw_id, int dst) const {
+  if (is_leaf(sw_id)) {
+    const int dst_leaf = dst / m_;
+    if (dst_leaf == sw_id) return dst % m_;  // down to the host port
+    return m_ + (dst % m_);                  // d-mod-k spine selection
+  }
+  return dst / m_;  // spine: down-port toward the destination leaf
+}
+
+void FabricSim::step(std::uint64_t t, bool measuring) {
+  // 1. Hosts generate traffic.
+  for (int h = 0; h < hosts_; ++h) {
+    sim::Arrival a;
+    if (!traffic_->sample(h, a)) continue;
+    const std::size_t flow = static_cast<std::size_t>(h) *
+                                 static_cast<std::size_t>(hosts_) +
+                             static_cast<std::size_t>(a.dst);
+    host_queue_[static_cast<std::size_t>(h)].push_back(
+        FabricCell{h, a.dst, flow_seq_[flow]++, t});
+    max_host_backlog_ =
+        std::max(max_host_backlog_,
+                 static_cast<std::uint64_t>(
+                     host_queue_[static_cast<std::size_t>(h)].size()));
+  }
+
+  // 2. Credits come home.
+  for (int h = 0; h < hosts_; ++h) {
+    auto& q = host_credit_in_[static_cast<std::size_t>(h)];
+    while (!q.empty() && q.front() <= t) {
+      q.pop_front();
+      ++host_credits_[static_cast<std::size_t>(h)];
+    }
+  }
+  for (auto& node : switches_) {
+    for (int p = 0; p < radix_; ++p) {
+      auto& q = node.credit_in[static_cast<std::size_t>(p)];
+      while (!q.empty() && q.front() <= t) {
+        q.pop_front();
+        ++node.out_credits[static_cast<std::size_t>(p)];
+      }
+    }
+  }
+
+  // Helper: a cell lands on a switch input port.
+  auto accept_cell = [&](int sw_id, int in_port, const FabricCell& cell) {
+    SwitchNode& node = switches_[static_cast<std::size_t>(sw_id)];
+    const int out = route(sw_id, cell.dst);
+    node.voq[static_cast<std::size_t>(in_port)][static_cast<std::size_t>(out)]
+        .push_back(cell);
+    int& occ = node.input_occupancy[static_cast<std::size_t>(in_port)];
+    ++occ;
+    node.max_input_occ = std::max(node.max_input_occ, occ);
+    if (occ > cfg_.buffer_cells) ++overflows_;  // must never happen
+    node.sched->request(in_port, out);
+  };
+
+  // 3a. Host-to-leaf cable arrivals.
+  for (int h = 0; h < hosts_; ++h) {
+    auto& q = host_out_[static_cast<std::size_t>(h)];
+    while (!q.empty() && q.front().slot <= t) {
+      const FabricCell cell = q.front().cell;
+      q.pop_front();
+      accept_cell(h / m_, h % m_, cell);
+    }
+  }
+
+  // 3b. Switch output cables: either host delivery or next-stage input.
+  for (int s = 0; s < static_cast<int>(switches_.size()); ++s) {
+    SwitchNode& node = switches_[static_cast<std::size_t>(s)];
+    for (int p = 0; p < radix_; ++p) {
+      auto& q = node.out_data[static_cast<std::size_t>(p)];
+      while (!q.empty() && q.front().slot <= t) {
+        const FabricCell cell = q.front().cell;
+        q.pop_front();
+        if (is_leaf(s) && p < m_) {
+          // Delivery to host s*m_ + p.
+          reorder_.deliver(cell.src, cell.dst, cell.seq);
+          if (measuring) {
+            delay_hist_.add(static_cast<double>(t - cell.inject_slot));
+            meter_.add_delivery();
+          }
+        } else if (is_leaf(s)) {
+          accept_cell(radix_ + (p - m_), s, cell);  // leaf -> spine
+        } else {
+          accept_cell(p, m_ + (s - radix_), cell);  // spine -> leaf
+        }
+      }
+    }
+  }
+
+  // 4. Host injection, gated by credits into the leaf input buffer.
+  for (int h = 0; h < hosts_; ++h) {
+    auto& q = host_queue_[static_cast<std::size_t>(h)];
+    int& credits = host_credits_[static_cast<std::size_t>(h)];
+    if (!q.empty() && credits > 0) {
+      --credits;
+      host_out_[static_cast<std::size_t>(h)].push_back(
+          Timed{t + static_cast<std::uint64_t>(cfg_.host_cable_slots),
+                q.front()});
+      q.pop_front();
+    }
+  }
+
+  // 5. Per-stage scheduling and crossbar transfer.
+  for (int s = 0; s < static_cast<int>(switches_.size()); ++s) {
+    SwitchNode& node = switches_[static_cast<std::size_t>(s)];
+    // Remote-FC bookkeeping at the scheduler (§IV.B): an output with no
+    // credit for the downstream input buffer is not grantable.
+    for (int p = 0; p < radix_; ++p) {
+      const int credits = node.out_credits[static_cast<std::size_t>(p)];
+      if (credits == 0)
+        node.sched->block_output(p);
+      else
+        node.sched->unblock_output(p);
+    }
+    const std::vector<sw::Grant> grants = node.sched->tick();
+    for (const sw::Grant& g : grants) {
+      auto& fifo = node.voq[static_cast<std::size_t>(g.input)]
+                           [static_cast<std::size_t>(g.output)];
+      OSMOSIS_REQUIRE(!fifo.empty(), "fabric grant without a queued cell");
+      const FabricCell cell = fifo.front();
+      fifo.pop_front();
+      --node.input_occupancy[static_cast<std::size_t>(g.input)];
+
+      // Return a credit to whatever feeds this input port.
+      if (is_leaf(s) && g.input < m_) {
+        const int h = s * m_ + g.input;
+        host_credit_in_[static_cast<std::size_t>(h)].push_back(
+            t + static_cast<std::uint64_t>(cfg_.host_cable_slots));
+      } else if (is_leaf(s)) {
+        // Fed by spine (g.input - m_), its output port s.
+        SwitchNode& spine =
+            switches_[static_cast<std::size_t>(radix_ + (g.input - m_))];
+        spine.credit_in[static_cast<std::size_t>(s)].push_back(
+            t + static_cast<std::uint64_t>(cfg_.trunk_cable_slots));
+      } else {
+        // Spine input g.input is fed by leaf g.input, output m_+spineIdx.
+        SwitchNode& leaf = switches_[static_cast<std::size_t>(g.input)];
+        leaf.credit_in[static_cast<std::size_t>(m_ + (s - radix_))].push_back(
+            t + static_cast<std::uint64_t>(cfg_.trunk_cable_slots));
+      }
+
+      // Consume a credit toward the downstream buffer and launch.
+      int& credits = node.out_credits[static_cast<std::size_t>(g.output)];
+      int delay = cfg_.trunk_cable_slots;
+      if (credits >= 0) {
+        OSMOSIS_REQUIRE(credits > 0, "grant issued to credit-less output");
+        --credits;
+      } else {
+        delay = cfg_.host_cable_slots;  // egress link, no FC
+      }
+      node.out_data[static_cast<std::size_t>(g.output)].push_back(
+          Timed{t + static_cast<std::uint64_t>(delay), cell});
+    }
+  }
+}
+
+FabricSimResult FabricSim::run() {
+  for (std::uint64_t t = 0; t < cfg_.warmup_slots; ++t) step(t, false);
+  for (std::uint64_t t = cfg_.warmup_slots;
+       t < cfg_.warmup_slots + cfg_.measure_slots; ++t) {
+    step(t, true);
+    meter_.advance_slots(1, static_cast<std::uint64_t>(hosts_));
+  }
+
+  FabricSimResult r;
+  r.radix = radix_;
+  r.hosts = hosts_;
+  r.offered_load = traffic_->offered_load();
+  r.throughput = meter_.utilization();
+  r.delivered = delay_hist_.count();
+  r.mean_delay_slots = delay_hist_.mean();
+  r.p99_delay_slots = delay_hist_.p99();
+  r.max_delay_slots = delay_hist_.max();
+  for (int s = 0; s < static_cast<int>(switches_.size()); ++s) {
+    const int occ = switches_[static_cast<std::size_t>(s)].max_input_occ;
+    if (is_leaf(s))
+      r.max_leaf_input_occupancy = std::max(r.max_leaf_input_occupancy, occ);
+    else
+      r.max_spine_input_occupancy =
+          std::max(r.max_spine_input_occupancy, occ);
+  }
+  r.max_host_backlog = max_host_backlog_;
+  r.out_of_order = reorder_.out_of_order();
+  r.buffer_overflows = overflows_;
+  return r;
+}
+
+FabricSimResult run_fabric_uniform(const FabricSimConfig& cfg, double load,
+                                   std::uint64_t seed) {
+  const int hosts = cfg.radix * (cfg.radix / 2);
+  FabricSim sim(cfg, sim::make_uniform(hosts, load, seed));
+  return sim.run();
+}
+
+}  // namespace osmosis::fabric

@@ -1,0 +1,126 @@
+#pragma once
+// Cell-level simulation of a multistage (two-level fat tree / leaf-spine)
+// fabric built from input-buffered switches with independent central
+// schedulers per stage and the paper's input-only buffer placement
+// (§IV.A option 3, §IV.B flow control).
+//
+// Flow control is credit-based with the credits managed at the granting
+// scheduler, exactly the paper's scheme in effect: a scheduler "only
+// issues transmission grants for links/buffers that are available and
+// performs the necessary bookkeeping". Credits return to the upstream
+// stage when a cell leaves the downstream input buffer, delayed by the
+// cable flight time — giving the deterministic FC round trip the paper
+// uses for buffer sizing. The simulator asserts losslessness (no input
+// buffer ever exceeds its capacity) and in-order delivery per flow.
+//
+// Topology: `radix`-port switches; k = radix leaves each with k/2 host
+// ports and k/2 uplinks; k/2 spines; N = k²/2 hosts (64-port switches
+// give the paper's 2048-port fabric; tests run scaled-down radices).
+// Routing is d-mod-k (spine = dst mod k/2): static per destination, so
+// per-flow order is preserved.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/stats.hpp"
+#include "src/sim/traffic.hpp"
+#include "src/sw/scheduler.hpp"
+
+namespace osmosis::fabric {
+
+struct FabricSimConfig {
+  int radix = 8;                   // switch port count (even)
+  int host_cable_slots = 1;        // host <-> leaf flight time, cell cycles
+  int trunk_cable_slots = 4;       // leaf <-> spine flight time
+  int buffer_cells = 16;           // input-buffer capacity per switch port
+  // Stage scheduler. Must be an immediate-issue kind (kIslip, kPim,
+  // kTdm): grants must be issued in the same cycle they are matched so
+  // the credit check at matching time still holds at issue time.
+  sw::SchedulerKind scheduler = sw::SchedulerKind::kIslip;
+  int scheduler_iterations = 0;    // 0 = log2(radix)
+  std::uint64_t warmup_slots = 2'000;
+  std::uint64_t measure_slots = 30'000;
+};
+
+struct FabricSimResult {
+  int radix = 0;
+  int hosts = 0;
+  double offered_load = 0.0;
+  double throughput = 0.0;          // delivered / slot / host
+  std::uint64_t delivered = 0;
+  double mean_delay_slots = 0.0;    // injection -> delivery, cell cycles
+  double p99_delay_slots = 0.0;
+  double max_delay_slots = 0.0;
+  int max_leaf_input_occupancy = 0;   // must stay <= buffer_cells
+  int max_spine_input_occupancy = 0;  // must stay <= buffer_cells
+  std::uint64_t max_host_backlog = 0; // source queue (backpressure depth)
+  std::uint64_t out_of_order = 0;     // must be 0
+  std::uint64_t buffer_overflows = 0; // must be 0 (lossless)
+};
+
+class FabricSim {
+ public:
+  FabricSim(FabricSimConfig cfg, std::unique_ptr<sim::TrafficGen> traffic);
+
+  FabricSimResult run();
+
+  int hosts() const { return hosts_; }
+
+ private:
+  struct FabricCell {
+    int src = -1;
+    int dst = -1;
+    std::uint64_t seq = 0;
+    std::uint64_t inject_slot = 0;
+  };
+  struct Timed {
+    std::uint64_t slot;
+    FabricCell cell;
+  };
+  struct SwitchNode {
+    std::unique_ptr<sw::Scheduler> sched;
+    // voq[input][output] FIFO; the input buffer is the bank of one input.
+    std::vector<std::vector<std::deque<FabricCell>>> voq;
+    std::vector<int> input_occupancy;
+    std::vector<int> out_credits;          // -1 = host egress (no FC)
+    std::vector<std::deque<Timed>> out_data;        // per output port
+    std::vector<std::deque<std::uint64_t>> credit_in;  // per OUTPUT port
+    int max_input_occ = 0;
+  };
+
+  // Routing: output port of switch `sw_id` toward host `dst`.
+  int route(int sw_id, int dst) const;
+  bool is_leaf(int sw_id) const { return sw_id < radix_; }
+
+  void step(std::uint64_t t, bool measuring);
+
+  FabricSimConfig cfg_;
+  int radix_;
+  int m_;       // radix / 2: spine count = uplinks per leaf = hosts per leaf
+  int hosts_;
+  std::unique_ptr<sim::TrafficGen> traffic_;
+  std::vector<SwitchNode> switches_;  // leaves 0..k-1, spines k..k+m-1
+
+  // Host state.
+  std::vector<std::deque<FabricCell>> host_queue_;
+  std::vector<int> host_credits_;
+  std::vector<std::deque<std::uint64_t>> host_credit_in_;
+  std::vector<std::deque<Timed>> host_out_;  // host -> leaf cable
+  std::vector<std::uint64_t> flow_seq_;
+
+  // Statistics.
+  sim::Histogram delay_hist_{256.0};
+  sim::ThroughputMeter meter_;
+  sim::ReorderDetector reorder_;
+  std::uint64_t max_host_backlog_ = 0;
+  std::uint64_t overflows_ = 0;
+};
+
+/// Builds and runs a fabric under uniform Bernoulli host traffic.
+FabricSimResult run_fabric_uniform(const FabricSimConfig& cfg, double load,
+                                   std::uint64_t seed);
+
+}  // namespace osmosis::fabric

@@ -1,0 +1,67 @@
+#include "src/fabric/fat_tree.hpp"
+
+#include <sstream>
+
+#include "src/util/log.hpp"
+#include "src/util/units.hpp"
+
+namespace osmosis::fabric {
+
+FatTreeSizing size_fat_tree(int radix, std::uint64_t min_ports) {
+  OSMOSIS_REQUIRE(radix >= 2 && radix % 2 == 0,
+                  "fat-tree radix must be even and >= 2, got " << radix);
+  OSMOSIS_REQUIRE(min_ports >= 1, "need at least one endpoint");
+
+  const std::uint64_t m = static_cast<std::uint64_t>(radix) / 2;
+  FatTreeSizing s;
+  s.radix = radix;
+  s.levels = 1;
+  s.endpoint_ports = static_cast<std::uint64_t>(radix);
+  while (s.endpoint_ports < min_ports) {
+    ++s.levels;
+    s.endpoint_ports = static_cast<std::uint64_t>(radix) *
+                       util::ipow(m, static_cast<unsigned>(s.levels - 1));
+    OSMOSIS_REQUIRE(s.levels <= 12, "fat tree blew past 12 levels; radix "
+                                        << radix << " cannot realistically"
+                                           " serve "
+                                        << min_ports << " ports");
+  }
+  s.path_stages = 2 * s.levels - 1;
+
+  // Folded-Clos switch counts: every level except the top has
+  // endpoints/m switches (m down-ports each... leaf switches use m ports
+  // for hosts and m up; the top level has endpoints/radix switches with
+  // all `radix` ports facing down.
+  for (int l = 1; l < s.levels; ++l)
+    s.switches_per_level.push_back(s.endpoint_ports / m);
+  s.switches_per_level.push_back(s.endpoint_ports /
+                                 static_cast<std::uint64_t>(radix));
+  for (auto c : s.switches_per_level) s.switches_total += c;
+
+  s.host_cables = s.endpoint_ports;
+  s.interswitch_cables =
+      static_cast<std::uint64_t>(s.levels - 1) * s.endpoint_ports;
+  s.oeo_pairs_per_path = static_cast<std::uint64_t>(s.path_stages);
+  return s;
+}
+
+int cable_hops(const FatTreeSizing& s) { return s.path_stages + 1; }
+
+double path_latency_ns(const FatTreeSizing& s, double per_stage_ns,
+                       double cable_ns_per_hop) {
+  OSMOSIS_REQUIRE(per_stage_ns >= 0.0 && cable_ns_per_hop >= 0.0,
+                  "latencies cannot be negative");
+  return static_cast<double>(s.path_stages) * per_stage_ns +
+         static_cast<double>(cable_hops(s)) * cable_ns_per_hop;
+}
+
+std::string FatTreeSizing::to_string() const {
+  std::ostringstream oss;
+  oss << "fat tree radix " << radix << ": " << levels << " level(s), "
+      << path_stages << " stage(s), " << endpoint_ports << " ports, "
+      << switches_total << " switches, "
+      << host_cables + interswitch_cables << " cables";
+  return oss.str();
+}
+
+}  // namespace osmosis::fabric

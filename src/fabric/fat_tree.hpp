@@ -1,0 +1,49 @@
+#pragma once
+// Analytic fat-tree (folded-Clos) sizing, the arithmetic behind §VI.C:
+// a 2048-port fabric takes 3 stages of 64-port OSMOSIS switches, 5
+// stages of 32-port high-end electronic switches, or 9 stages of 8-12
+// port commodity parts — and every stage adds latency, power and OEO
+// conversions.
+//
+// Conventions: switches have `radix` ports; inner levels split them half
+// down / half up (m = radix/2). An L-level fat tree supports
+// radix * m^(L-1) endpoints; a worst-case path traverses 2L-1 switches
+// ("stages" in the paper's counting: the two-level tree is the
+// three-stage fabric of §V).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace osmosis::fabric {
+
+struct FatTreeSizing {
+  int radix = 0;
+  int levels = 0;                 // L
+  int path_stages = 0;            // 2L-1 worst-case switch traversals
+  std::uint64_t endpoint_ports = 0;  // radix * (radix/2)^(L-1)
+  std::uint64_t switches_total = 0;  // (2L-1) * endpoints / radix
+  std::vector<std::uint64_t> switches_per_level;  // leaf first
+  std::uint64_t host_cables = 0;        // endpoint links
+  std::uint64_t interswitch_cables = 0; // (L-1) * endpoints
+  std::uint64_t oeo_pairs_per_path = 0; // one O/E+E/O pair per stage (opt. 3)
+
+  std::string to_string() const;
+};
+
+/// Smallest fat tree of `radix`-port switches with at least `min_ports`
+/// endpoints. radix must be even and >= 2.
+FatTreeSizing size_fat_tree(int radix, std::uint64_t min_ports);
+
+/// Worst-case fabric traversal latency: `per_stage_ns` per switch stage
+/// plus `cable_ns` per cable hop (2(L-1) inter-switch hops + 2 host
+/// links on the worst-case path... the paper budgets total cabling, so
+/// we charge `cable_hops()` hops).
+double path_latency_ns(const FatTreeSizing& s, double per_stage_ns,
+                       double cable_ns_per_hop);
+
+/// Cable hops on a worst-case path: host link in, (stages-1) inter-switch
+/// hops, host link out.
+int cable_hops(const FatTreeSizing& s);
+
+}  // namespace osmosis::fabric

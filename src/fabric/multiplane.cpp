@@ -1,0 +1,160 @@
+#include "src/fabric/multiplane.hpp"
+
+#include <algorithm>
+
+#include "src/util/log.hpp"
+
+namespace osmosis::fabric {
+
+MultiPlaneSim::MultiPlaneSim(
+    MultiPlaneConfig cfg,
+    std::vector<std::unique_ptr<sim::TrafficGen>> per_plane)
+    : cfg_(cfg), traffic_(std::move(per_plane)) {
+  OSMOSIS_REQUIRE(cfg_.ports >= 2, "need at least two ports");
+  OSMOSIS_REQUIRE(cfg_.planes >= 1, "need at least one plane");
+  OSMOSIS_REQUIRE(static_cast<int>(traffic_.size()) == cfg_.planes,
+                  "need one traffic generator per plane");
+  for (const auto& gen : traffic_)
+    OSMOSIS_REQUIRE(gen != nullptr && gen->ports() == cfg_.ports,
+                    "per-plane traffic generator port mismatch");
+
+  planes_.resize(static_cast<std::size_t>(cfg_.planes));
+  for (int p = 0; p < cfg_.planes; ++p) {
+    Plane& plane = planes_[static_cast<std::size_t>(p)];
+    sw::SchedulerConfig sc;
+    sc.kind = cfg_.scheduler;
+    sc.ports = cfg_.ports;
+    sc.receivers = cfg_.receivers;
+    sc.iterations = cfg_.scheduler_iterations;
+    sc.seed = 0x12AE + static_cast<std::uint64_t>(p);
+    plane.sched = sw::make_scheduler(sc);
+    plane.voqs.reserve(static_cast<std::size_t>(cfg_.ports));
+    for (int in = 0; in < cfg_.ports; ++in)
+      plane.voqs.emplace_back(in, cfg_.ports);
+    plane.egress.resize(static_cast<std::size_t>(cfg_.ports));
+  }
+  flow_seq_.assign(static_cast<std::size_t>(cfg_.ports) *
+                       static_cast<std::size_t>(cfg_.ports),
+                   0);
+  parked_.resize(static_cast<std::size_t>(cfg_.ports));
+  expected_.resize(static_cast<std::size_t>(cfg_.ports));
+}
+
+void MultiPlaneSim::deliver_in_order(int dst, std::uint64_t t,
+                                     bool measuring) {
+  // Drain every run of consecutive sequences that has become available.
+  auto& park = parked_[static_cast<std::size_t>(dst)];
+  auto& expect = expected_[static_cast<std::size_t>(dst)];
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = park.begin(); it != park.end();) {
+      const auto [src, seq] = it->first;
+      auto& next = expect[src];  // default 0
+      if (seq != next) {
+        ++it;
+        continue;
+      }
+      // Deliver.
+      const Parked& parked_cell = it->second;
+      post_reseq_.deliver(src, dst, seq);
+      if (measuring) {
+        delay_hist_.add(
+            static_cast<double>(t - parked_cell.cell.arrival_slot) + 1.0);
+        reseq_wait_.add(static_cast<double>(t - parked_cell.egress_slot));
+        meter_.add_delivery();
+      }
+      ++next;
+      it = park.erase(it);
+      progress = true;
+    }
+  }
+  max_park_depth_ = std::max(max_park_depth_, static_cast<int>(park.size()));
+}
+
+void MultiPlaneSim::step(std::uint64_t t, bool measuring) {
+  const int n = cfg_.ports;
+
+  // 1. Arrivals: each plane's generator feeds that plane; sequences are
+  //    assigned globally per flow, so one flow's cells interleave over
+  //    all planes (striping).
+  for (int p = 0; p < cfg_.planes; ++p) {
+    Plane& plane = planes_[static_cast<std::size_t>(p)];
+    for (int in = 0; in < n; ++in) {
+      sim::Arrival a;
+      if (!traffic_[static_cast<std::size_t>(p)]->sample(in, a)) continue;
+      const std::size_t flow = static_cast<std::size_t>(in) *
+                                   static_cast<std::size_t>(n) +
+                               static_cast<std::size_t>(a.dst);
+      sw::Cell cell;
+      cell.src = in;
+      cell.dst = a.dst;
+      cell.seq = flow_seq_[flow]++;
+      cell.arrival_slot = t;
+      plane.voqs[static_cast<std::size_t>(in)].push(cell);
+      plane.sched->request(in, a.dst);
+    }
+  }
+
+  // 2. Each plane arbitrates and transfers independently.
+  for (auto& plane : planes_) {
+    for (const sw::Grant& g : plane.sched->tick()) {
+      sw::Cell cell =
+          plane.voqs[static_cast<std::size_t>(g.input)].pop(g.output);
+      plane.egress[static_cast<std::size_t>(g.output)].push_back(cell);
+    }
+  }
+
+  // 3. Plane egress lines feed the resequencers (one cell per plane per
+  //    slot — the P physical lanes of the port).
+  for (auto& plane : planes_) {
+    for (int out = 0; out < n; ++out) {
+      auto& q = plane.egress[static_cast<std::size_t>(out)];
+      if (q.empty()) continue;
+      const sw::Cell cell = q.front();
+      q.pop_front();
+      auto& expect = expected_[static_cast<std::size_t>(out)];
+      if (cell.seq != expect[cell.src]) ++cross_plane_ooo_;
+      parked_[static_cast<std::size_t>(out)].emplace(
+          std::make_pair(cell.src, cell.seq), Parked{cell, t});
+    }
+  }
+  for (int out = 0; out < n; ++out) deliver_in_order(out, t, measuring);
+}
+
+MultiPlaneResult MultiPlaneSim::run() {
+  for (std::uint64_t t = 0; t < cfg_.warmup_slots; ++t) step(t, false);
+  for (std::uint64_t t = cfg_.warmup_slots;
+       t < cfg_.warmup_slots + cfg_.measure_slots; ++t) {
+    step(t, true);
+    meter_.advance_slots(1, static_cast<std::uint64_t>(cfg_.ports) *
+                                static_cast<std::uint64_t>(cfg_.planes));
+  }
+  MultiPlaneResult r;
+  r.ports = cfg_.ports;
+  r.planes = cfg_.planes;
+  r.offered_load_per_plane = traffic_.front()->offered_load();
+  r.throughput_per_plane = meter_.utilization();
+  r.delivered = delay_hist_.count();
+  r.mean_delay_slots = delay_hist_.mean();
+  r.p99_delay_slots = delay_hist_.p99();
+  r.mean_resequencing_wait = reseq_wait_.mean();
+  r.max_resequencer_depth = max_park_depth_;
+  r.cross_plane_ooo = cross_plane_ooo_;
+  r.post_resequencer_ooo = post_reseq_.out_of_order();
+  return r;
+}
+
+MultiPlaneResult run_multiplane_uniform(const MultiPlaneConfig& cfg,
+                                        double load_per_plane,
+                                        std::uint64_t seed) {
+  std::vector<std::unique_ptr<sim::TrafficGen>> gens;
+  gens.reserve(static_cast<std::size_t>(cfg.planes));
+  for (int p = 0; p < cfg.planes; ++p)
+    gens.push_back(sim::make_uniform(cfg.ports, load_per_plane,
+                                     seed + static_cast<std::uint64_t>(p)));
+  MultiPlaneSim sim(cfg, std::move(gens));
+  return sim.run();
+}
+
+}  // namespace osmosis::fabric

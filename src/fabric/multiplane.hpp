@@ -1,0 +1,95 @@
+#pragma once
+// Multi-plane fabric: stripe each host port's traffic across P parallel
+// single-stage switch planes. This is how the paper's port bandwidths
+// work in practice — a "12x QDR" InfiniBand port is twelve lanes, and a
+// 12-25 GByte/s OSMOSIS fabric port aggregates multiple 40 Gb/s optical
+// planes. Each plane is internally in-order, but planes see independent
+// queueing, so cells of one flow can cross each other BETWEEN planes;
+// the egress resequencing buffer restores the Table 1 ordering
+// guarantee, and its depth/extra delay is the price of striping, which
+// this simulator measures.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/sim/stats.hpp"
+#include "src/sim/traffic.hpp"
+#include "src/sw/scheduler.hpp"
+#include "src/sw/voq.hpp"
+
+namespace osmosis::fabric {
+
+struct MultiPlaneConfig {
+  int ports = 16;   // host ports (each striped over all planes)
+  int planes = 4;   // parallel switch planes
+  sw::SchedulerKind scheduler = sw::SchedulerKind::kFlppr;
+  int receivers = 1;
+  int scheduler_iterations = 0;
+  // Offered load PER PLANE LINE (so aggregate per-port load = planes x
+  // load cells/slot).
+  std::uint64_t warmup_slots = 1'000;
+  std::uint64_t measure_slots = 20'000;
+};
+
+struct MultiPlaneResult {
+  int ports = 0;
+  int planes = 0;
+  double offered_load_per_plane = 0.0;
+  double throughput_per_plane = 0.0;  // delivered / slot / port / plane
+  std::uint64_t delivered = 0;
+  double mean_delay_slots = 0.0;      // injection -> in-order delivery
+  double p99_delay_slots = 0.0;
+  double mean_resequencing_wait = 0.0;  // extra slots spent in the buffer
+  int max_resequencer_depth = 0;        // cells parked at one egress
+  std::uint64_t cross_plane_ooo = 0;    // raw arrivals out of order
+  std::uint64_t post_resequencer_ooo = 0;  // must be 0
+};
+
+class MultiPlaneSim {
+ public:
+  /// One traffic generator per plane, each covering `ports` endpoints.
+  MultiPlaneSim(MultiPlaneConfig cfg,
+                std::vector<std::unique_ptr<sim::TrafficGen>> per_plane);
+
+  MultiPlaneResult run();
+
+ private:
+  struct Plane {
+    std::unique_ptr<sw::Scheduler> sched;
+    std::vector<sw::VoqBank> voqs;
+    std::vector<std::deque<sw::Cell>> egress;
+  };
+  struct Parked {
+    sw::Cell cell;
+    std::uint64_t egress_slot;  // when it left the plane
+  };
+
+  void step(std::uint64_t t, bool measuring);
+  void deliver_in_order(int dst, std::uint64_t t, bool measuring);
+
+  MultiPlaneConfig cfg_;
+  std::vector<std::unique_ptr<sim::TrafficGen>> traffic_;
+  std::vector<Plane> planes_;
+  std::vector<std::uint64_t> flow_seq_;      // global per (src, dst)
+  // Resequencers: per egress port, per flow (src), parked cells keyed by
+  // sequence plus the next expected sequence.
+  std::vector<std::map<std::pair<int, std::uint64_t>, Parked>> parked_;
+  std::vector<std::map<int, std::uint64_t>> expected_;  // [dst][src] -> seq
+
+  sim::Histogram delay_hist_{256.0};
+  sim::MeanVar reseq_wait_;
+  sim::ThroughputMeter meter_;
+  sim::ReorderDetector post_reseq_;
+  std::uint64_t cross_plane_ooo_ = 0;
+  int max_park_depth_ = 0;
+};
+
+/// Uniform Bernoulli traffic on every plane.
+MultiPlaneResult run_multiplane_uniform(const MultiPlaneConfig& cfg,
+                                        double load_per_plane,
+                                        std::uint64_t seed);
+
+}  // namespace osmosis::fabric

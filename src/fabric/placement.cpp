@@ -1,0 +1,69 @@
+#include "src/fabric/placement.hpp"
+
+#include <cmath>
+
+#include "src/util/log.hpp"
+
+namespace osmosis::fabric {
+
+int buffer_cells_for_rtt(double rtt_ns, double cell_ns, int margin) {
+  OSMOSIS_REQUIRE(cell_ns > 0.0, "cell time must be positive");
+  OSMOSIS_REQUIRE(rtt_ns >= 0.0, "RTT cannot be negative");
+  return static_cast<int>(std::ceil(rtt_ns / cell_ns)) + margin;
+}
+
+PlacementAnalysis analyze_placement(BufferPlacement option, double cable_ns,
+                                    double cell_ns, double sched_ns) {
+  OSMOSIS_REQUIRE(cable_ns >= 0.0 && cell_ns > 0.0 && sched_ns >= 0.0,
+                  "invalid timing parameters");
+  PlacementAnalysis a;
+  a.option = option;
+  switch (option) {
+    case BufferPlacement::kInputAndOutput:
+      a.description = "buffers at inputs and outputs of each stage";
+      a.oeo_pairs_per_stage = 2;  // into input buffer AND into output buffer
+      // Request/grant stays inside the switch: scheduler next to buffers.
+      a.request_grant_rtt_ns = sched_ns;
+      // Output buffer decouples the cable; input buffer only rides out
+      // the local scheduling pipeline.
+      a.min_input_buffer_cells = buffer_cells_for_rtt(sched_ns, cell_ns);
+      a.point_to_point_fc = true;
+      break;
+    case BufferPlacement::kOutputOnly:
+      a.description = "buffers at outputs only (scheduler across the cable)";
+      a.oeo_pairs_per_stage = 1;
+      // The input buffers live in the PRECEDING stage, so the
+      // request/grant protocol crosses the long cable both ways.
+      a.request_grant_rtt_ns = 2.0 * cable_ns + sched_ns;
+      a.min_input_buffer_cells =
+          buffer_cells_for_rtt(2.0 * cable_ns + sched_ns, cell_ns);
+      a.point_to_point_fc = true;
+      break;
+    case BufferPlacement::kInputOnly:
+      a.description = "buffers at inputs only (OSMOSIS; FC via scheduler)";
+      a.oeo_pairs_per_stage = 1;
+      // Request/grant is local; the price is the remote FC loop, which
+      // sizes the input buffer to the data-cable round trip.
+      a.request_grant_rtt_ns = sched_ns;
+      a.min_input_buffer_cells =
+          buffer_cells_for_rtt(2.0 * cable_ns, cell_ns);
+      a.point_to_point_fc = false;  // many-to-one, relayed via scheduler
+      break;
+  }
+  return a;
+}
+
+std::vector<PlacementAnalysis> compare_placements(double cable_ns,
+                                                  double cell_ns,
+                                                  double sched_ns) {
+  return {
+      analyze_placement(BufferPlacement::kInputAndOutput, cable_ns, cell_ns,
+                        sched_ns),
+      analyze_placement(BufferPlacement::kOutputOnly, cable_ns, cell_ns,
+                        sched_ns),
+      analyze_placement(BufferPlacement::kInputOnly, cable_ns, cell_ns,
+                        sched_ns),
+  };
+}
+
+}  // namespace osmosis::fabric

@@ -1,0 +1,51 @@
+#pragma once
+// Buffer-placement analysis around the optical crossbar — Fig. 2 and
+// §IV.A. Three options for a multistage fabric built from identical
+// input-queued switches:
+//   1. buffers at inputs AND outputs of every stage,
+//   2. buffers at outputs only,
+//   3. buffers at inputs only (the paper's choice).
+// Option 1 doubles the OEO conversions. Option 2 pushes the
+// request/grant protocol onto the long inter-switch cable, adding its
+// flight time to every scheduling decision. Option 3 hides request/grant
+// inside the switch but combines each stage's output buffer with the
+// next stage's input buffer, so those buffers must absorb the cable
+// round trip (flow-control loop of Figs. 3-4) — they grow with RTT.
+
+#include <string>
+#include <vector>
+
+namespace osmosis::fabric {
+
+enum class BufferPlacement {
+  kInputAndOutput = 1,
+  kOutputOnly = 2,
+  kInputOnly = 3,  // OSMOSIS
+};
+
+struct PlacementAnalysis {
+  BufferPlacement option;
+  std::string description;
+  int oeo_pairs_per_stage;        // O/E+E/O pairs a cell pays per stage
+  double request_grant_rtt_ns;    // control loop latency per scheduling
+  int min_input_buffer_cells;     // to sustain full rate without underrun
+  bool point_to_point_fc;         // simple link FC possible?
+};
+
+/// Analyzes one option for a stage whose upstream cable is
+/// `cable_ns` away, with `cell_ns` cell cycles and `sched_ns` scheduler
+/// pipeline delay.
+PlacementAnalysis analyze_placement(BufferPlacement option, double cable_ns,
+                                    double cell_ns, double sched_ns);
+
+/// All three options side by side (the Fig. 2 bench table).
+std::vector<PlacementAnalysis> compare_placements(double cable_ns,
+                                                  double cell_ns,
+                                                  double sched_ns);
+
+/// Buffer cells needed to cover a flow-control loop of `rtt_ns` at one
+/// cell per `cell_ns`: ceil(rtt/cell) plus a safety margin. "The FC loop
+/// has a deterministic RTT, which allows straightforward buffer sizing."
+int buffer_cells_for_rtt(double rtt_ns, double cell_ns, int margin = 2);
+
+}  // namespace osmosis::fabric

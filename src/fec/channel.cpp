@@ -1,0 +1,178 @@
+#include "src/fec/channel.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "src/util/log.hpp"
+
+namespace osmosis::fec {
+
+// ---- BinarySymmetricChannel ------------------------------------------------
+
+BinarySymmetricChannel::BinarySymmetricChannel(double ber, sim::Rng rng)
+    : ber_(ber), rng_(rng) {
+  OSMOSIS_REQUIRE(ber_ >= 0.0 && ber_ <= 1.0, "BER out of [0,1]: " << ber_);
+}
+
+int BinarySymmetricChannel::transmit(Hamming272::CodeBlock& cw) {
+  if (ber_ <= 0.0) return 0;
+  int flips = 0;
+  // Geometric skipping: the index of the next flipped bit advances by
+  // 1 + Geom(p) each time.
+  std::uint64_t bit = rng_.geometric(ber_);
+  while (bit < static_cast<std::uint64_t>(Hamming272::kCodeBits)) {
+    Hamming272::flip_bit(cw, static_cast<int>(bit));
+    ++flips;
+    bit += 1 + rng_.geometric(ber_);
+  }
+  return flips;
+}
+
+// ---- GilbertElliottChannel ---------------------------------------------------
+
+GilbertElliottChannel::GilbertElliottChannel(Params p, sim::Rng rng)
+    : p_(p), rng_(rng) {
+  OSMOSIS_REQUIRE(p_.mean_good_blocks >= 1.0 && p_.mean_bad_blocks >= 1.0,
+                  "mean sojourn times must be >= 1 block");
+}
+
+int GilbertElliottChannel::transmit(Hamming272::CodeBlock& cw) {
+  BinarySymmetricChannel bsc(bad_ ? p_.bad_ber : p_.good_ber, rng_.split());
+  const int flips = bsc.transmit(cw);
+  const double leave_prob = 1.0 / (bad_ ? p_.mean_bad_blocks : p_.mean_good_blocks);
+  if (rng_.bernoulli(leave_prob)) bad_ = !bad_;
+  return flips;
+}
+
+// ---- forced-weight injection -------------------------------------------------
+
+ErrorWeightOutcome inject_bit_errors(int weight, std::uint64_t trials,
+                                     sim::Rng& rng) {
+  OSMOSIS_REQUIRE(weight >= 0 && weight <= Hamming272::kCodeBits,
+                  "error weight out of range");
+  ErrorWeightOutcome out;
+  out.weight = weight;
+  out.trials = trials;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    Hamming272::DataBlock data{};
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next() & 0xFF);
+    const Hamming272::CodeBlock clean = Hamming272::encode(data);
+    Hamming272::CodeBlock noisy = clean;
+
+    // Choose `weight` distinct bit positions.
+    int placed = 0;
+    std::array<int, Hamming272::kCodeBits> hit{};  // 0/1 per bit
+    while (placed < weight) {
+      const int bit = static_cast<int>(
+          rng.uniform_int(static_cast<std::uint64_t>(Hamming272::kCodeBits)));
+      if (hit[static_cast<std::size_t>(bit)]) continue;
+      hit[static_cast<std::size_t>(bit)] = 1;
+      Hamming272::flip_bit(noisy, bit);
+      ++placed;
+    }
+
+    const auto result = Hamming272::decode(noisy);
+    if (result.status == Hamming272::DecodeStatus::kDetected) {
+      ++out.detected;
+    } else if (noisy == clean) {
+      ++out.corrected_ok;
+    } else {
+      ++out.miscorrected;
+    }
+  }
+  return out;
+}
+
+CodecStats run_bsc(double ber, std::uint64_t blocks, sim::Rng& rng) {
+  CodecStats stats;
+  BinarySymmetricChannel channel(ber, rng.split());
+  for (std::uint64_t t = 0; t < blocks; ++t) {
+    Hamming272::DataBlock data{};
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next() & 0xFF);
+    const Hamming272::CodeBlock clean = Hamming272::encode(data);
+    Hamming272::CodeBlock noisy = clean;
+    channel.transmit(noisy);
+    const auto result = Hamming272::decode(noisy);
+    ++stats.blocks;
+    switch (result.status) {
+      case Hamming272::DecodeStatus::kClean:
+        if (noisy == clean)
+          ++stats.clean;
+        else
+          ++stats.miscorrected;  // errored block aliased to a codeword
+        break;
+      case Hamming272::DecodeStatus::kCorrected:
+        if (noisy == clean)
+          ++stats.corrected;
+        else
+          ++stats.miscorrected;
+        break;
+      case Hamming272::DecodeStatus::kDetected:
+        ++stats.detected;
+        break;
+    }
+  }
+  return stats;
+}
+
+// ---- analytic estimates ------------------------------------------------------
+
+double symbol_error_prob(double bit_ber) {
+  OSMOSIS_REQUIRE(bit_ber >= 0.0 && bit_ber <= 1.0, "BER out of [0,1]");
+  return -std::expm1(8.0 * std::log1p(-bit_ber));
+}
+
+namespace {
+
+/// Binomial pmf C(n,j) p^j (1-p)^(n-j) computed term-wise in doubles —
+/// no cancellation, accurate down to ~1e-300.
+double binom_pmf(int n, int j, double p) {
+  if (p == 0.0) return j == 0 ? 1.0 : 0.0;
+  double c = 1.0;
+  for (int i = 0; i < j; ++i)
+    c *= static_cast<double>(n - i) / static_cast<double>(j - i);
+  return c * std::pow(p, j) * std::pow(1.0 - p, n - j);
+}
+
+}  // namespace
+
+double frame_multi_error_prob(double bit_ber) {
+  const double ps = symbol_error_prob(bit_ber);
+  const int n = Hamming272::kCodeSymbols;
+  double sum = 0.0;
+  for (int j = 2; j <= n; ++j) {
+    const double term = binom_pmf(n, j, ps);
+    sum += term;
+    if (term < sum * 1e-18) break;  // series has converged
+  }
+  return sum;
+}
+
+double post_fec_ber(double bit_ber) {
+  const double ps = symbol_error_prob(bit_ber);
+  const int n = Hamming272::kCodeSymbols;
+  // Expected corrupted-symbol fraction over unrecoverable blocks; the
+  // failed decoder may add one more corrupted symbol (miscorrection),
+  // hence the (j + 1) numerator — the standard conservative RS bound.
+  double sym_out = 0.0;
+  for (int j = 2; j <= n; ++j) {
+    const double term =
+        binom_pmf(n, j, ps) * static_cast<double>(j + 1) / n;
+    sym_out += term;
+    if (term < sym_out * 1e-18) break;
+  }
+  // Symbol errors -> bit errors: on average half the 8 bits of a wrong
+  // symbol differ (2^(m-1)/(2^m - 1) factor).
+  return sym_out * (128.0 / 255.0);
+}
+
+double post_arq_ber(double bit_ber, double miscorrect_given_multi) {
+  OSMOSIS_REQUIRE(miscorrect_given_multi >= 0.0 && miscorrect_given_multi <= 1.0,
+                  "conditional miscorrection out of [0,1]");
+  // With hop-by-hop retransmission every *detected* block is repaired;
+  // only miscorrected blocks leak errors to the user.
+  return post_fec_ber(bit_ber) * miscorrect_given_multi;
+}
+
+}  // namespace osmosis::fec

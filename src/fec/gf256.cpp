@@ -1,0 +1,74 @@
+#include "src/fec/gf256.hpp"
+
+#include "src/util/log.hpp"
+
+namespace osmosis::fec {
+
+Gf256::Elem Gf256::mul_reference(Elem a, Elem b) {
+  unsigned acc = 0;
+  unsigned aa = a;
+  for (unsigned bit = 0; bit < 8; ++bit) {
+    if (b & (1u << bit)) acc ^= aa << bit;
+  }
+  // Reduce the 15-bit product modulo p(x).
+  for (int bit = 14; bit >= 8; --bit) {
+    if (acc & (1u << bit)) acc ^= kFieldPoly << (bit - 8);
+  }
+  return static_cast<Elem>(acc);
+}
+
+const Gf256::Tables& Gf256::tables() {
+  static const Tables t = [] {
+    Tables tab{};
+    unsigned x = 1;
+    for (unsigned i = 0; i < 255; ++i) {
+      tab.exp[i] = static_cast<Elem>(x);
+      tab.log[x] = i;
+      x <<= 1;
+      if (x & 0x100) x ^= kFieldPoly;
+    }
+    OSMOSIS_REQUIRE(x == 1, "0x11D is not primitive?!");  // α^255 == 1
+    tab.exp[255] = 1;  // convenience wraparound
+    tab.log[0] = 0;    // never read; keeps the array fully initialized
+    return tab;
+  }();
+  return t;
+}
+
+Gf256::Elem Gf256::mul(Elem a, Elem b) {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = tables();
+  const unsigned s = t.log[a] + t.log[b];
+  return t.exp[s % 255];
+}
+
+Gf256::Elem Gf256::div(Elem a, Elem b) {
+  OSMOSIS_REQUIRE(b != 0, "division by zero in GF(256)");
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  const unsigned s = t.log[a] + 255 - t.log[b];
+  return t.exp[s % 255];
+}
+
+Gf256::Elem Gf256::inv(Elem a) {
+  OSMOSIS_REQUIRE(a != 0, "inverse of zero in GF(256)");
+  const Tables& t = tables();
+  return t.exp[(255 - t.log[a]) % 255];
+}
+
+Gf256::Elem Gf256::pow(Elem a, unsigned n) {
+  if (n == 0) return 1;
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  const unsigned e = (t.log[a] * static_cast<unsigned long long>(n)) % 255;
+  return t.exp[e];
+}
+
+Gf256::Elem Gf256::alpha_pow(unsigned n) { return tables().exp[n % 255]; }
+
+unsigned Gf256::log(Elem a) {
+  OSMOSIS_REQUIRE(a != 0, "log of zero in GF(256)");
+  return tables().log[a];
+}
+
+}  // namespace osmosis::fec

@@ -1,0 +1,55 @@
+#pragma once
+// GF(2^8) arithmetic over the paper's field polynomial
+//   p(x) = x^8 + x^4 + x^3 + x^2 + 1   (0x11D)
+// (§IV.C). 0x11D is primitive, so α = x = 0x02 generates the
+// multiplicative group; we build log/antilog tables once and use them for
+// O(1) multiply/divide/inverse. A bitwise reference multiply is exposed
+// for property tests.
+
+#include <array>
+#include <cstdint>
+
+namespace osmosis::fec {
+
+/// The paper's generator (field) polynomial, including the x^8 term.
+inline constexpr unsigned kFieldPoly = 0x11D;
+
+/// GF(2^8) element operations. All static; the tables are process-wide.
+class Gf256 {
+ public:
+  using Elem = std::uint8_t;
+
+  /// Addition and subtraction coincide: carry-less XOR.
+  static Elem add(Elem a, Elem b) { return a ^ b; }
+
+  /// Table-based multiply.
+  static Elem mul(Elem a, Elem b);
+
+  /// Division a/b; b must be nonzero.
+  static Elem div(Elem a, Elem b);
+
+  /// Multiplicative inverse; a must be nonzero.
+  static Elem inv(Elem a);
+
+  /// a^n with a != 0 or n > 0 (0^0 is defined as 1 here).
+  static Elem pow(Elem a, unsigned n);
+
+  /// α^n for the primitive element α = 0x02.
+  static Elem alpha_pow(unsigned n);
+
+  /// Discrete log base α of a nonzero element, in [0, 254].
+  static unsigned log(Elem a);
+
+  /// Reference multiply: shift-and-reduce mod p(x); used to validate the
+  /// tables in property tests.
+  static Elem mul_reference(Elem a, Elem b);
+
+ private:
+  struct Tables {
+    std::array<Elem, 256> exp;    // exp[i] = α^i (period 255; exp[255]=α^0)
+    std::array<unsigned, 256> log;  // log[α^i] = i; log[0] unused
+  };
+  static const Tables& tables();
+};
+
+}  // namespace osmosis::fec

@@ -1,0 +1,97 @@
+#include "src/fec/hamming272.hpp"
+
+#include "src/fec/gf256.hpp"
+#include "src/util/log.hpp"
+
+namespace osmosis::fec {
+namespace {
+
+// g(x) = (x - α)(x - α^2) = x^2 + (α + α^2) x + α^3 over GF(2^8).
+constexpr std::uint8_t kG1 = 0x02 ^ 0x04;  // α + α^2 = 6
+const std::uint8_t kG0 = Gf256::alpha_pow(3);  // α^3 = 8
+
+}  // namespace
+
+Hamming272::CodeBlock Hamming272::encode(const DataBlock& data) {
+  // Systematic encoding: remainder of d(x)·x^2 divided by g(x), computed
+  // with the standard two-register LFSR, processing the highest
+  // polynomial coefficient (data[31] at position 33) first.
+  std::uint8_t b1 = 0, b0 = 0;
+  for (int j = kDataSymbols - 1; j >= 0; --j) {
+    const std::uint8_t f = data[static_cast<std::size_t>(j)] ^ b1;
+    b1 = b0 ^ Gf256::mul(f, kG1);
+    b0 = Gf256::mul(f, kG0);
+  }
+  CodeBlock cw{};
+  cw[0] = b0;
+  cw[1] = b1;
+  for (int j = 0; j < kDataSymbols; ++j)
+    cw[static_cast<std::size_t>(j + kParitySymbols)] =
+        data[static_cast<std::size_t>(j)];
+  return cw;
+}
+
+std::uint8_t Hamming272::eval_at_alpha(const CodeBlock& cw, unsigned k) {
+  const std::uint8_t point = Gf256::alpha_pow(k);
+  std::uint8_t acc = 0;
+  for (int i = kCodeSymbols - 1; i >= 0; --i)
+    acc = Gf256::mul(acc, point) ^ cw[static_cast<std::size_t>(i)];
+  return acc;
+}
+
+bool Hamming272::is_codeword(const CodeBlock& cw) {
+  return eval_at_alpha(cw, 1) == 0 && eval_at_alpha(cw, 2) == 0;
+}
+
+Hamming272::DecodeResult Hamming272::decode(CodeBlock& cw) {
+  const std::uint8_t s1 = eval_at_alpha(cw, 1);
+  const std::uint8_t s2 = eval_at_alpha(cw, 2);
+  DecodeResult r;
+  if (s1 == 0 && s2 == 0) {
+    r.status = DecodeStatus::kClean;
+    return r;
+  }
+  if (s1 == 0 || s2 == 0) {
+    // A single error e at position i gives S1 = e·α^i, S2 = e·α^{2i},
+    // both nonzero; one vanishing syndrome means >= 2 errors.
+    r.status = DecodeStatus::kDetected;
+    return r;
+  }
+  // Candidate single error: α^i = S2/S1.
+  const unsigned pos =
+      (Gf256::log(s2) + 255u - Gf256::log(s1)) % 255u;
+  if (pos >= static_cast<unsigned>(kCodeSymbols)) {
+    // The code is shortened from length 255 to 34; a locator pointing at
+    // a virtual (always-zero) position proves the pattern uncorrectable.
+    r.status = DecodeStatus::kDetected;
+    return r;
+  }
+  const std::uint8_t magnitude = Gf256::div(s1, Gf256::alpha_pow(pos));
+  cw[pos] ^= magnitude;
+  r.status = DecodeStatus::kCorrected;
+  r.error_symbol = static_cast<int>(pos);
+  r.error_magnitude = magnitude;
+  return r;
+}
+
+Hamming272::DecodeResult Hamming272::detect_only(const CodeBlock& cw) {
+  DecodeResult r;
+  r.status = is_codeword(cw) ? DecodeStatus::kClean : DecodeStatus::kDetected;
+  return r;
+}
+
+Hamming272::DataBlock Hamming272::extract(const CodeBlock& cw) {
+  DataBlock d{};
+  for (int j = 0; j < kDataSymbols; ++j)
+    d[static_cast<std::size_t>(j)] =
+        cw[static_cast<std::size_t>(j + kParitySymbols)];
+  return d;
+}
+
+void Hamming272::flip_bit(CodeBlock& cw, int bit) {
+  OSMOSIS_REQUIRE(bit >= 0 && bit < kCodeBits, "bit index out of range");
+  cw[static_cast<std::size_t>(bit / 8)] ^=
+      static_cast<std::uint8_t>(1u << (bit % 8));
+}
+
+}  // namespace osmosis::fec

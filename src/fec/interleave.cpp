@@ -1,0 +1,75 @@
+#include "src/fec/interleave.hpp"
+
+#include "src/util/log.hpp"
+
+namespace osmosis::fec {
+
+Interleaver::Interleaver(int depth) : depth_(depth) {
+  OSMOSIS_REQUIRE(depth_ >= 1, "interleaver depth must be >= 1");
+}
+
+std::vector<std::uint8_t> Interleaver::interleave(
+    const std::vector<Hamming272::CodeBlock>& blocks) const {
+  OSMOSIS_REQUIRE(static_cast<int>(blocks.size()) == depth_,
+                  "need exactly " << depth_ << " blocks, got "
+                                  << blocks.size());
+  std::vector<std::uint8_t> wire(
+      static_cast<std::size_t>(wire_symbols()));
+  for (int i = 0; i < Hamming272::kCodeSymbols; ++i)
+    for (int d = 0; d < depth_; ++d)
+      wire[static_cast<std::size_t>(i * depth_ + d)] =
+          blocks[static_cast<std::size_t>(d)][static_cast<std::size_t>(i)];
+  return wire;
+}
+
+std::vector<Hamming272::CodeBlock> Interleaver::deinterleave(
+    const std::vector<std::uint8_t>& wire) const {
+  OSMOSIS_REQUIRE(static_cast<int>(wire.size()) == wire_symbols(),
+                  "wire stream size mismatch");
+  std::vector<Hamming272::CodeBlock> blocks(
+      static_cast<std::size_t>(depth_));
+  for (int i = 0; i < Hamming272::kCodeSymbols; ++i)
+    for (int d = 0; d < depth_; ++d)
+      blocks[static_cast<std::size_t>(d)][static_cast<std::size_t>(i)] =
+          wire[static_cast<std::size_t>(i * depth_ + d)];
+  return blocks;
+}
+
+void corrupt_burst(std::vector<std::uint8_t>& wire, int start, int symbols) {
+  OSMOSIS_REQUIRE(start >= 0 && symbols >= 0 &&
+                      start + symbols <= static_cast<int>(wire.size()),
+                  "burst out of range");
+  for (int k = 0; k < symbols; ++k) {
+    // Nonzero, position-dependent corruption: every hit symbol changes.
+    wire[static_cast<std::size_t>(start + k)] ^=
+        static_cast<std::uint8_t>(0x5A + k * 7 + 1);
+  }
+}
+
+bool burst_survives(int depth, int burst_symbols, sim::Rng& rng) {
+  Interleaver il(depth);
+  std::vector<Hamming272::DataBlock> data(static_cast<std::size_t>(depth));
+  std::vector<Hamming272::CodeBlock> blocks;
+  blocks.reserve(static_cast<std::size_t>(depth));
+  for (auto& d : data) {
+    for (auto& b : d) b = static_cast<std::uint8_t>(rng.next() & 0xFF);
+    blocks.push_back(Hamming272::encode(d));
+  }
+  auto wire = il.interleave(blocks);
+  const int max_start = il.wire_symbols() - burst_symbols;
+  const int start = max_start > 0
+                        ? static_cast<int>(rng.uniform_int(
+                              static_cast<std::uint64_t>(max_start + 1)))
+                        : 0;
+  corrupt_burst(wire, start, burst_symbols);
+  auto received = il.deinterleave(wire);
+  for (int d = 0; d < depth; ++d) {
+    auto& cw = received[static_cast<std::size_t>(d)];
+    Hamming272::decode(cw);
+    if (Hamming272::extract(cw) != data[static_cast<std::size_t>(d)])
+      return false;
+  }
+  return true;
+}
+
+}  // namespace osmosis::fec

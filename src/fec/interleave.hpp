@@ -1,0 +1,53 @@
+#pragma once
+// Block symbol interleaver for the (272,256) FEC. A 256 B cell carries
+// several FEC blocks; transmitting D codewords column-interleaved means
+// a burst of up to D consecutive corrupted symbols on the wire (an XGM
+// hit, an SOA transient, a burst-mode lock slip) lands at most ONE
+// symbol in each codeword — turning bursts the distance-3 code cannot
+// handle into the single-symbol errors it always corrects. This is the
+// standard companion to short-block FECs on optical links and the
+// concrete mechanism behind surviving the bursty impairments §IV.C's
+// two-tier scheme anticipates.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/fec/hamming272.hpp"
+#include "src/sim/rng.hpp"
+
+namespace osmosis::fec {
+
+class Interleaver {
+ public:
+  /// `depth`: number of codewords interleaved together (D >= 1).
+  explicit Interleaver(int depth);
+
+  int depth() const { return depth_; }
+
+  /// Wire-stream length for one interleaving group.
+  int wire_symbols() const { return depth_ * Hamming272::kCodeSymbols; }
+
+  /// Column-wise interleave: wire[i*D + d] = block d, symbol i.
+  std::vector<std::uint8_t> interleave(
+      const std::vector<Hamming272::CodeBlock>& blocks) const;
+
+  /// Inverse of interleave().
+  std::vector<Hamming272::CodeBlock> deinterleave(
+      const std::vector<std::uint8_t>& wire) const;
+
+ private:
+  int depth_;
+};
+
+/// XORs a burst of `symbols` consecutive wire symbols starting at
+/// `start` with nonzero corruption (deterministic pattern + offset so
+/// every corrupted symbol actually changes).
+void corrupt_burst(std::vector<std::uint8_t>& wire, int start, int symbols);
+
+/// End-to-end helper: encodes `depth` random data blocks, interleaves,
+/// corrupts a `burst_symbols`-long wire burst, deinterleaves and
+/// decodes. Returns true when every block decoded to its original data
+/// (guaranteed for burst_symbols <= depth).
+bool burst_survives(int depth, int burst_symbols, sim::Rng& rng);
+
+}  // namespace osmosis::fec

@@ -1,0 +1,29 @@
+#include "src/host/hca.hpp"
+
+#include "src/util/log.hpp"
+
+namespace osmosis::host {
+
+double AppLatencyBudget::total_ns() const {
+  double sum = 0.0;
+  for (const auto& item : items) sum += item.ns;
+  return sum;
+}
+
+AppLatencyBudget app_to_app_budget(const HcaParams& hca,
+                                   double fabric_switch_ns, double cable_ns) {
+  OSMOSIS_REQUIRE(fabric_switch_ns >= 0.0 && cable_ns >= 0.0,
+                  "latencies cannot be negative");
+  AppLatencyBudget b;
+  b.items = {
+      {"source software stack", hca.sw_stack_ns},
+      {"source HCA pipeline", hca.hca_pipeline_ns},
+      {"switch fabric elements", fabric_switch_ns},
+      {"cable time of flight", cable_ns},
+      {"destination HCA pipeline", hca.hca_pipeline_ns},
+      {"destination software stack", hca.sw_stack_ns},
+  };
+  return b;
+}
+
+}  // namespace osmosis::host

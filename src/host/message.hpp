@@ -1,0 +1,83 @@
+#pragma once
+// Host-level messages over the cell fabric (§III): HPC nodes exchange
+// variable-size messages — short latency-critical control messages and
+// long bandwidth-critical data transfers — which the Host Channel
+// Adapter segments into the fabric's fixed-size cells and reassembles at
+// the destination. In-order cell delivery per (input, output, class)
+// (a Table 1 requirement the switch guarantees) is what makes the
+// reassembly here trivially streaming.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+namespace osmosis::host {
+
+/// One application message.
+struct Message {
+  int src = -1;
+  int dst = -1;
+  std::uint64_t id = 0;       // globally unique
+  double bytes = 0.0;         // application payload
+  std::uint64_t post_slot = 0;  // slot the application posted the send
+  bool control = false;       // short latency-critical class
+};
+
+/// Per-host segmentation engine: splits posted messages into cells (one
+/// cell per slot per host — the line rate), FIFO per class with control
+/// priority at the injection point.
+class Segmenter {
+ public:
+  /// `user_bytes_per_cell`: payload a cell carries after guard/FEC/header
+  /// (phy::CellFormat::user_bytes()).
+  explicit Segmenter(double user_bytes_per_cell);
+
+  /// Application posts a message for transmission.
+  void post(const Message& msg);
+
+  /// How many cells a message of `bytes` occupies (>= 1).
+  int cells_for(double bytes) const;
+
+  /// Emits the next cell this slot, if any work is pending. Returns
+  /// false when idle. `msg_id_out` receives the owning message id,
+  /// `dst_out` its destination, `control_out` its class, `last_out`
+  /// whether this is the message's final cell.
+  bool next_cell(std::uint64_t& msg_id_out, int& dst_out, bool& control_out,
+                 bool& last_out);
+
+  bool idle() const { return control_q_.empty() && data_q_.empty(); }
+  std::size_t backlog_messages() const {
+    return control_q_.size() + data_q_.size();
+  }
+
+ private:
+  struct InProgress {
+    Message msg;
+    int cells_left = 0;
+  };
+
+  double user_bytes_per_cell_;
+  std::deque<InProgress> control_q_;
+  std::deque<InProgress> data_q_;
+};
+
+/// Destination-side reassembly: counts received cells per message and
+/// reports completion. With in-order per-flow delivery no sequence
+/// bookkeeping beyond the count is needed.
+class Reassembler {
+ public:
+  /// Registers an expected message (called by the sim when it is posted).
+  void expect(std::uint64_t msg_id, int total_cells);
+
+  /// A cell of `msg_id` arrived. Returns true when the message is now
+  /// complete (this was its last outstanding cell).
+  bool receive(std::uint64_t msg_id);
+
+  std::size_t incomplete() const { return pending_.size(); }
+
+ private:
+  std::map<std::uint64_t, int> pending_;  // id -> cells still missing
+};
+
+}  // namespace osmosis::host

@@ -1,0 +1,128 @@
+#include "src/host/message_sim.hpp"
+
+#include <algorithm>
+
+#include "src/util/log.hpp"
+
+namespace osmosis::host {
+
+/// Adapts the per-host segmenters to the switch's TrafficGen interface.
+/// SwitchSim samples inputs 0..N-1 once per slot in order; input 0's
+/// sample advances the message-level clock (workload polling).
+class MessageSim::Source final : public sim::TrafficGen {
+ public:
+  explicit Source(MessageSim& owner) : owner_(owner) {}
+
+  int ports() const override {
+    return static_cast<int>(owner_.segmenters_.size());
+  }
+  double offered_load() const override { return 0.0; }  // message-driven
+
+  bool sample(int input, sim::Arrival& out) override {
+    if (input == 0) owner_.on_slot(slot_++);
+    Segmenter& seg = owner_.segmenters_[static_cast<std::size_t>(input)];
+    std::uint64_t msg_id;
+    int dst;
+    bool control, last;
+    if (!seg.next_cell(msg_id, dst, control, last)) return false;
+    out.dst = dst;
+    out.cls = control ? sim::TrafficClass::kControl
+                      : sim::TrafficClass::kData;
+    out.tag = msg_id;
+    return true;
+  }
+
+ private:
+  MessageSim& owner_;
+  std::uint64_t slot_ = 0;
+};
+
+MessageSim::MessageSim(MessageSimConfig cfg,
+                       std::unique_ptr<MessageWorkload> workload)
+    : cfg_(cfg), workload_(std::move(workload)), latency_(256.0),
+      control_latency_(256.0), data_latency_(256.0) {
+  OSMOSIS_REQUIRE(workload_ != nullptr, "workload required");
+  OSMOSIS_REQUIRE(workload_->hosts() == cfg_.sw.ports,
+                  "workload hosts (" << workload_->hosts()
+                                     << ") must equal switch ports ("
+                                     << cfg_.sw.ports << ")");
+  segmenters_.reserve(static_cast<std::size_t>(cfg_.sw.ports));
+  for (int h = 0; h < cfg_.sw.ports; ++h)
+    segmenters_.emplace_back(cfg_.cell.user_bytes());
+}
+
+void MessageSim::on_slot(std::uint64_t t) {
+  for (int h = 0; h < cfg_.sw.ports; ++h) {
+    scratch_.clear();
+    workload_->poll(h, t, scratch_);
+    for (Message& m : scratch_) {
+      m.post_slot = t;
+      OSMOSIS_REQUIRE(m.src == h, "workload posted a message from the "
+                                  "wrong host");
+      OSMOSIS_REQUIRE(m.dst >= 0 && m.dst < cfg_.sw.ports && m.dst != m.src,
+                      "bad message destination " << m.dst);
+      Segmenter& seg = segmenters_[static_cast<std::size_t>(h)];
+      seg.post(m);
+      reassembler_.expect(m.id, seg.cells_for(m.bytes));
+      MsgInfo info;
+      info.post_slot = t;
+      info.control = m.control;
+      info.counted = t >= cfg_.stats_after_slot;
+      info_.emplace(m.id, info);
+      ++posted_;
+    }
+  }
+}
+
+void MessageSim::on_delivery(const sw::Cell& cell, std::uint64_t t) {
+  if (cell.tag == 0) return;  // not a message cell
+  if (!reassembler_.receive(cell.tag)) return;
+  // Message complete.
+  auto it = info_.find(cell.tag);
+  OSMOSIS_REQUIRE(it != info_.end(), "completion for unknown message");
+  const MsgInfo info = it->second;
+  info_.erase(it);
+  ++completed_;
+  last_completion_slot_ = std::max(last_completion_slot_, t);
+  if (info.counted) {
+    const double cycles = static_cast<double>(t - info.post_slot) + 1.0;
+    latency_.add(cycles);
+    (info.control ? control_latency_ : data_latency_).add(cycles);
+  }
+}
+
+MessageSimResult MessageSim::run() {
+  sw::SwitchSimConfig swcfg = cfg_.sw;
+  swcfg.on_delivery = [this](const sw::Cell& cell, std::uint64_t t) {
+    on_delivery(cell, t);
+  };
+  sw::SwitchSim sim(swcfg, std::make_unique<Source>(*this));
+  MessageSimResult r;
+  r.cell_level = sim.run();
+
+  r.posted = posted_;
+  r.completed = completed_;
+  r.mean_latency_cycles = latency_.mean();
+  r.p99_latency_cycles = latency_.p99();
+  r.mean_control_latency_cycles = control_latency_.mean();
+  r.mean_data_latency_cycles = data_latency_.mean();
+
+  const double cycle = cfg_.cell.cycle_ns();
+  const double fixed = 2.0 * (cfg_.hca.sw_stack_ns + cfg_.hca.hca_pipeline_ns) +
+                       2.0 * cfg_.cable_one_way_ns;
+  r.mean_app_latency_ns = latency_.mean() * cycle + fixed;
+  r.control_app_latency_ns = control_latency_.mean() * cycle + fixed;
+
+  r.collective_completion_slot = last_completion_slot_;
+  r.all_complete = reassembler_.incomplete() == 0 && posted_ == completed_;
+  return r;
+}
+
+AppLatencyBudget measure_app_to_app(const MessageSimConfig& cfg,
+                                    double measured_fabric_cycles) {
+  return app_to_app_budget(cfg.hca,
+                           measured_fabric_cycles * cfg.cell.cycle_ns(),
+                           2.0 * cfg.cable_one_way_ns);
+}
+
+}  // namespace osmosis::host

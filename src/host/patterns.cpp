@@ -1,0 +1,73 @@
+#include "src/host/patterns.hpp"
+
+#include "src/util/log.hpp"
+
+namespace osmosis::host {
+
+RandomMessages::RandomMessages(int hosts, double msg_rate,
+                               double control_fraction, double control_bytes,
+                               double data_bytes, sim::Rng rng)
+    : hosts_(hosts),
+      msg_rate_(msg_rate),
+      control_fraction_(control_fraction),
+      control_bytes_(control_bytes),
+      data_bytes_(data_bytes),
+      rng_(rng) {
+  OSMOSIS_REQUIRE(hosts_ >= 2, "need at least two hosts");
+  OSMOSIS_REQUIRE(msg_rate_ >= 0.0 && msg_rate_ <= 1.0,
+                  "message rate out of [0,1]");
+  OSMOSIS_REQUIRE(control_fraction_ >= 0.0 && control_fraction_ <= 1.0,
+                  "control fraction out of [0,1]");
+}
+
+void RandomMessages::poll(int host, std::uint64_t /*t*/,
+                          std::vector<Message>& out) {
+  if (!rng_.bernoulli(msg_rate_)) return;
+  Message m;
+  m.src = host;
+  m.dst = static_cast<int>(
+      rng_.uniform_int(static_cast<std::uint64_t>(hosts_ - 1)));
+  if (m.dst >= host) ++m.dst;  // uniform over peers, excluding self
+  m.id = next_id_++;
+  m.control = rng_.bernoulli(control_fraction_);
+  m.bytes = m.control ? control_bytes_ : data_bytes_;
+  out.push_back(m);
+}
+
+AllToAll::AllToAll(int hosts, double bytes) : hosts_(hosts), bytes_(bytes) {
+  OSMOSIS_REQUIRE(hosts_ >= 2, "need at least two hosts");
+  OSMOSIS_REQUIRE(bytes_ > 0.0, "message size must be positive");
+}
+
+void AllToAll::poll(int host, std::uint64_t t, std::vector<Message>& out) {
+  if (t != 0) return;
+  for (int peer = 0; peer < hosts_; ++peer) {
+    if (peer == host) continue;
+    Message m;
+    m.src = host;
+    m.dst = peer;
+    m.id = next_id_++;
+    m.bytes = bytes_;
+    out.push_back(m);
+  }
+}
+
+RingExchange::RingExchange(int hosts, double bytes)
+    : hosts_(hosts), bytes_(bytes) {
+  OSMOSIS_REQUIRE(hosts_ >= 2, "need at least two hosts");
+  OSMOSIS_REQUIRE(bytes_ > 0.0, "message size must be positive");
+}
+
+void RingExchange::poll(int host, std::uint64_t t,
+                        std::vector<Message>& out) {
+  if (t != 0) return;
+  Message m;
+  m.src = host;
+  m.dst = (host + 1) % hosts_;
+  // Ring messages get ids 1..N keyed by source for uniqueness.
+  m.id = static_cast<std::uint64_t>(host) + 1;
+  m.bytes = bytes_;
+  out.push_back(m);
+}
+
+}  // namespace osmosis::host

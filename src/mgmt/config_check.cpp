@@ -1,0 +1,111 @@
+#include "src/mgmt/config_check.hpp"
+
+#include <sstream>
+
+#include "src/core/latency_budget.hpp"
+#include "src/phy/crossbar_optical.hpp"
+#include "src/phy/sync.hpp"
+#include "src/util/units.hpp"
+
+namespace osmosis::mgmt {
+namespace {
+
+void finding(std::vector<Finding>& out, Severity sev, std::string check,
+             std::string detail) {
+  out.push_back(Finding{sev, std::move(check), std::move(detail)});
+}
+
+}  // namespace
+
+std::vector<Finding> validate_config(const core::OsmosisConfig& cfg) {
+  std::vector<Finding> out;
+
+  // Geometry.
+  if (cfg.ports != cfg.fibers * cfg.wavelengths) {
+    std::ostringstream oss;
+    oss << cfg.ports << " ports != " << cfg.fibers << " fibers x "
+        << cfg.wavelengths << " wavelengths";
+    finding(out, Severity::kError, "geometry", oss.str());
+    return out;  // everything downstream depends on this
+  }
+  if (cfg.receivers < 1 || cfg.receivers > 4)
+    finding(out, Severity::kError, "geometry",
+            "receivers per egress must be 1..4");
+
+  // Cell timing.
+  if (!cfg.cell.feasible()) {
+    std::ostringstream oss;
+    oss << "guard " << cfg.cell.guard.total_ns() << " ns + overheads leave "
+        << "no payload in a " << cfg.cell.cycle_ns() << " ns cycle";
+    finding(out, Severity::kError, "cell timing", oss.str());
+  } else if (cfg.cell.user_efficiency() < 0.75) {
+    std::ostringstream oss;
+    oss << "effective user bandwidth "
+        << cfg.cell.user_efficiency() * 100.0
+        << " % below the 75 % requirement";
+    finding(out, Severity::kWarning, "cell timing", oss.str());
+  }
+
+  // Optical power budget and crosstalk.
+  if (out.empty() || config_ok(out)) {
+    phy::BroadcastSelectCrossbar xbar(cfg.crossbar());
+    const auto budget = xbar.power_budget();
+    if (!budget.closes) {
+      std::ostringstream oss;
+      oss << "margin " << budget.margin_db << " dB below required "
+          << cfg.crossbar().required_margin_db << " dB (split loss "
+          << budget.split_loss_db << " dB)";
+      finding(out, Severity::kError, "optical power budget", oss.str());
+    }
+    if (!xbar.crosstalk_acceptable()) {
+      std::ostringstream oss;
+      oss << "signal-to-crosstalk " << xbar.signal_to_crosstalk_db()
+          << " dB below tolerance";
+      finding(out, Severity::kError, "crosstalk", oss.str());
+    }
+  }
+
+  // Synchronization window.
+  {
+    phy::SyncTreeParams tree;
+    tree.levels = phy::sync_levels_needed(cfg.ports, tree.fanout);
+    const auto sync = phy::analyze_sync_tree(tree);
+    if (!phy::sync_fits_budget(sync, cfg.cell.guard)) {
+      std::ostringstream oss;
+      oss << "arrival window " << sync.arrival_window_ns
+          << " ns exceeds the jitter allocation "
+          << cfg.cell.guard.arrival_jitter_ns << " ns";
+      finding(out, Severity::kWarning, "synchronization", oss.str());
+    }
+  }
+
+  // Scheduler sizing (§VI.B: no more than four ASICs).
+  {
+    const int depth =
+        cfg.scheduler_depth > 0
+            ? cfg.scheduler_depth
+            : util::ceil_log2(static_cast<std::uint64_t>(cfg.ports));
+    const int asics = core::scheduler_asic_count(cfg.ports, depth);
+    std::ostringstream oss;
+    oss << "depth " << depth << " needs " << asics << " scheduler ASIC(s)";
+    finding(out, asics <= 4 ? Severity::kInfo : Severity::kWarning,
+            "scheduler sizing", oss.str());
+  }
+
+  return out;
+}
+
+bool config_ok(const std::vector<Finding>& findings) {
+  for (const auto& f : findings)
+    if (f.severity == Severity::kError) return false;
+  return true;
+}
+
+std::string to_string(const Finding& f) {
+  const char* sev = f.severity == Severity::kError     ? "ERROR"
+                    : f.severity == Severity::kWarning ? "WARN "
+                                                       : "INFO ";
+  return std::string(sev) + " [" + f.check + "] " + f.detail;
+}
+
+}  // namespace osmosis::mgmt

@@ -1,0 +1,35 @@
+#pragma once
+// Configuration validation — the "configuring and testing the system"
+// function of the §VI.A management software. Cross-checks an
+// OsmosisConfig against every physical and architectural constraint the
+// library models: geometry, cell-timing feasibility, effective
+// bandwidth, optical power budget, crosstalk, synchronization window,
+// scheduler sizing. Returns findings rather than aborting, so an
+// operator can review a proposed configuration before deployment.
+
+#include <string>
+#include <vector>
+
+#include "src/core/config.hpp"
+
+namespace osmosis::mgmt {
+
+enum class Severity { kInfo, kWarning, kError };
+
+struct Finding {
+  Severity severity;
+  std::string check;
+  std::string detail;
+};
+
+/// Runs every check; errors mean the configuration cannot work, warnings
+/// flag requirement misses (e.g. user bandwidth below 75 %).
+std::vector<Finding> validate_config(const core::OsmosisConfig& cfg);
+
+/// True when no finding is an error.
+bool config_ok(const std::vector<Finding>& findings);
+
+/// One-line rendering, for the status report / CLI.
+std::string to_string(const Finding& f);
+
+}  // namespace osmosis::mgmt

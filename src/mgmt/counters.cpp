@@ -1,0 +1,55 @@
+#include "src/mgmt/counters.hpp"
+
+#include "src/util/log.hpp"
+
+namespace osmosis::mgmt {
+
+void CounterRegistry::add(const std::string& name, double delta) {
+  OSMOSIS_REQUIRE(delta >= 0.0, "monotonic counter cannot decrease: "
+                                    << name << " += " << delta);
+  values_[name] += delta;
+}
+
+void CounterRegistry::set_gauge(const std::string& name, double value) {
+  values_[name] = value;
+}
+
+double CounterRegistry::value(const std::string& name) const {
+  auto it = values_.find(name);
+  OSMOSIS_REQUIRE(it != values_.end(), "unknown counter: " << name);
+  return it->second;
+}
+
+bool CounterRegistry::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::vector<std::string> CounterRegistry::names_with_prefix(
+    const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto it = values_.lower_bound(prefix); it != values_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+Snapshot CounterRegistry::delta(const Snapshot& earlier,
+                                const Snapshot& later) {
+  Snapshot d;
+  for (const auto& [name, value] : later) {
+    auto it = earlier.find(name);
+    d[name] = it == earlier.end() ? value : value - it->second;
+  }
+  return d;
+}
+
+Snapshot CounterRegistry::rates(const Snapshot& earlier, const Snapshot& later,
+                                double elapsed_s) {
+  OSMOSIS_REQUIRE(elapsed_s > 0.0, "elapsed time must be positive");
+  Snapshot r = delta(earlier, later);
+  for (auto& [name, value] : r) value /= elapsed_s;
+  return r;
+}
+
+}  // namespace osmosis::mgmt

@@ -1,0 +1,48 @@
+#pragma once
+// Performance-counter registry for the management system (§VI.A: "a
+// software-based management system ... for the tasks of configuring and
+// testing the system, monitoring demonstrator operation, and extracting
+// performance values"). Components register named monotonic counters and
+// gauges; the manager takes snapshots and derives deltas/rates between
+// them — the standard shape of switch telemetry.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace osmosis::mgmt {
+
+/// A point-in-time copy of every counter.
+using Snapshot = std::map<std::string, double>;
+
+class CounterRegistry {
+ public:
+  /// Adds `delta` to a monotonic counter (created on first use).
+  void add(const std::string& name, double delta = 1.0);
+
+  /// Sets a gauge to an instantaneous value (created on first use).
+  void set_gauge(const std::string& name, double value);
+
+  double value(const std::string& name) const;
+  bool has(const std::string& name) const;
+  std::size_t size() const { return values_.size(); }
+
+  /// All counters whose name starts with `prefix` (hierarchical names,
+  /// e.g. "ingress.3.").
+  std::vector<std::string> names_with_prefix(const std::string& prefix) const;
+
+  Snapshot snapshot() const { return values_; }
+
+  /// counter-wise (later - earlier); gauges report their later value.
+  static Snapshot delta(const Snapshot& earlier, const Snapshot& later);
+
+  /// Per-second rates given the elapsed time between two snapshots.
+  static Snapshot rates(const Snapshot& earlier, const Snapshot& later,
+                        double elapsed_s);
+
+ private:
+  Snapshot values_;
+};
+
+}  // namespace osmosis::mgmt

@@ -1,0 +1,91 @@
+#include "src/mgmt/health.hpp"
+
+#include <sstream>
+
+#include "src/util/log.hpp"
+
+namespace osmosis::mgmt {
+
+void HealthRegistry::declare(const std::string& name) {
+  const auto [it, inserted] = status_.emplace(name, Status::kOk);
+  OSMOSIS_REQUIRE(inserted, "component declared twice: " << name);
+  (void)it;
+}
+
+void HealthRegistry::report(const std::string& name, Status status,
+                            std::uint64_t slot, const std::string& note) {
+  auto it = status_.find(name);
+  OSMOSIS_REQUIRE(it != status_.end(), "unknown component: " << name);
+  if (it->second == status) return;
+  it->second = status;
+  events_.push_back(Event{slot, name, status, note});
+}
+
+Status HealthRegistry::status(const std::string& name) const {
+  auto it = status_.find(name);
+  OSMOSIS_REQUIRE(it != status_.end(), "unknown component: " << name);
+  return it->second;
+}
+
+bool HealthRegistry::known(const std::string& name) const {
+  return status_.count(name) > 0;
+}
+
+std::size_t HealthRegistry::count(Status s) const {
+  std::size_t n = 0;
+  for (const auto& [name, st] : status_) n += st == s;
+  return n;
+}
+
+Status HealthRegistry::system_status() const {
+  // A switching-module failure is absorbed by its dual-receiver peer:
+  // "module/<egress>/0" and "module/<egress>/1" are redundant pairs.
+  bool degraded = false;
+  for (const auto& [name, st] : status_) {
+    if (st == Status::kOk) continue;
+    if (st == Status::kDegraded) {
+      degraded = true;
+      continue;
+    }
+    // Failed: redundant peer?
+    std::string peer;
+    if (name.rfind("module/", 0) == 0) {
+      const auto slash = name.find_last_of('/');
+      const std::string rx = name.substr(slash + 1);
+      peer = name.substr(0, slash + 1) + (rx == "0" ? "1" : "0");
+    }
+    if (!peer.empty() && known(peer) &&
+        status_.at(peer) == Status::kOk) {
+      degraded = true;  // redundancy holds
+    } else {
+      return Status::kFailed;
+    }
+  }
+  return degraded ? Status::kDegraded : Status::kOk;
+}
+
+HealthRegistry survey_crossbar(const phy::BroadcastSelectCrossbar& xbar,
+                               std::uint64_t slot) {
+  HealthRegistry reg;
+  const auto& cfg = xbar.config();
+  for (int f = 0; f < cfg.fibers; ++f) {
+    std::ostringstream name;
+    name << "broadcast/" << f;
+    reg.declare(name.str());
+    if (xbar.fiber_failed(f))
+      reg.report(name.str(), Status::kFailed, slot, "fiber dark");
+  }
+  for (int eg = 0; eg < cfg.ports; ++eg) {
+    for (int rx = 0; rx < cfg.receivers_per_egress; ++rx) {
+      std::ostringstream name;
+      name << "module/" << eg << "/" << rx;
+      reg.declare(name.str());
+      if (xbar.module_failed(eg, rx))
+        reg.report(name.str(), Status::kFailed, slot, "no light output");
+    }
+  }
+  reg.declare("scheduler");
+  return reg;
+}
+
+}  // namespace osmosis::mgmt

@@ -1,0 +1,59 @@
+#pragma once
+// Component health model for the management system: tracks the status
+// of every field-replaceable unit of the demonstrator (broadcast
+// modules, switching modules, adapters, scheduler cards), aggregates a
+// system-level verdict, and keeps an event log — the "monitoring
+// demonstrator operation" function of §VI.A.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/phy/crossbar_optical.hpp"
+
+namespace osmosis::mgmt {
+
+enum class Status { kOk, kDegraded, kFailed };
+
+struct Event {
+  std::uint64_t time_slot;
+  std::string component;
+  Status status;
+  std::string note;
+};
+
+class HealthRegistry {
+ public:
+  /// Declares a component (initially Ok).
+  void declare(const std::string& name);
+
+  /// Updates a component's status and logs the transition.
+  void report(const std::string& name, Status status, std::uint64_t slot,
+              const std::string& note = "");
+
+  Status status(const std::string& name) const;
+  bool known(const std::string& name) const;
+  std::size_t component_count() const { return status_.size(); }
+
+  /// Worst status across all components, with degraded-vs-failed
+  /// semantics: any Failed component that has a declared redundant peer
+  /// in Ok state only degrades the system.
+  Status system_status() const;
+
+  std::size_t count(Status s) const;
+  const std::vector<Event>& events() const { return events_; }
+
+ private:
+  std::map<std::string, Status> status_;
+  std::vector<Event> events_;
+};
+
+/// Builds the demonstrator's component inventory from a crossbar and
+/// imports its current failure state: one component per broadcast module
+/// (fiber), per switching module, plus scheduler and adapters. Returns a
+/// populated registry; the Fig. 5 inventory becomes the health view.
+HealthRegistry survey_crossbar(const phy::BroadcastSelectCrossbar& xbar,
+                               std::uint64_t slot);
+
+}  // namespace osmosis::mgmt

@@ -1,0 +1,45 @@
+#include "src/phy/burst_rx.hpp"
+
+#include <cmath>
+
+#include "src/util/log.hpp"
+
+namespace osmosis::phy {
+
+BurstRxAnalysis analyze_burst_rx(const BurstRxParams& p) {
+  OSMOSIS_REQUIRE(p.line_rate_gbps > 0.0, "line rate must be positive");
+  OSMOSIS_REQUIRE(p.fast_loop_gain > 0.0 && p.fast_loop_gain < 1.0,
+                  "fast loop gain must be in (0,1)");
+  OSMOSIS_REQUIRE(p.slow_loop_gain > 0.0 && p.slow_loop_gain < 1.0,
+                  "slow loop gain must be in (0,1)");
+  OSMOSIS_REQUIRE(p.lock_threshold_ui > 0.0 && p.lock_threshold_ui < 0.5,
+                  "lock threshold must be in (0, 0.5) UI");
+
+  BurstRxAnalysis a;
+  // Worst-case initial phase error: half a unit interval. Each preamble
+  // bit multiplies the error by (1 - g): lock after
+  //   n >= ln(threshold / 0.5) / ln(1 - g).
+  a.lock_bits = static_cast<int>(std::ceil(
+      std::log(p.lock_threshold_ui / 0.5) / std::log(1.0 - p.fast_loop_gain)));
+  a.lock_time_ns =
+      static_cast<double>(a.lock_bits) / p.line_rate_gbps;
+
+  // Frequency offset in UI per bit: 1 ppm = 1e-6 UI drift per UI.
+  a.drift_ui_per_bit = p.frequency_offset_ppm * 1e-6;
+
+  // The slow loop corrects `slow_loop_gain` of the error per TRANSITION;
+  // it holds lock while the drift accumulated over a transition-free run
+  // stays below the threshold it can pull back:
+  //   run * drift <= threshold  =>  max run = threshold / drift.
+  a.max_run_length_bits = p.lock_threshold_ui / a.drift_ui_per_bit;
+  // Stable when it can ride out the 8B-symbol worst-case runs of the
+  // (272,256) coded stream (< 64 identical bits by construction).
+  a.tracking_stable = a.max_run_length_bits >= 64.0;
+  return a;
+}
+
+double phase_reacquisition_ns(const BurstRxParams& p) {
+  return analyze_burst_rx(p).lock_time_ns;
+}
+
+}  // namespace osmosis::phy

@@ -1,0 +1,49 @@
+#pragma once
+// Burst-mode receiver model (§IV.C: "a given deserializer receives
+// bitstreams from different serializers for different packets ... These
+// bitstreams have independent phase and frequencies. We partially
+// address this problem by ensuring a central reference-clock
+// distribution, but phase re-acquisition is still required"; §VII:
+// "custom clock and data recovery circuits that have a fast phase-lock
+// time constant during the first few bits of a packet followed by a slow
+// time constant to facilitate long run lengths").
+//
+// Model: with a shared reference clock the frequency offset is bounded
+// (ppm-level) and only the phase is unknown. A two-time-constant CDR
+// first slews the phase with a wide loop bandwidth (fast lock, noisy),
+// then narrows the loop for the payload (jitter-tolerant). Lock time is
+// the preamble needed for the wide loop to pull in half a unit interval
+// of worst-case phase error.
+
+namespace osmosis::phy {
+
+struct BurstRxParams {
+  double line_rate_gbps = 40.0;
+  // Wide (acquisition) loop: phase correction per bit, as a fraction of
+  // the remaining error — an exponential pull-in.
+  double fast_loop_gain = 0.2;
+  // Residual phase error (fraction of a UI) considered "locked".
+  double lock_threshold_ui = 0.02;
+  // Frequency offset between Tx and Rx after reference distribution.
+  double frequency_offset_ppm = 5.0;
+  // Tracking (payload) loop gain; must out-pull the ppm drift.
+  double slow_loop_gain = 0.002;
+};
+
+struct BurstRxAnalysis {
+  int lock_bits = 0;          // preamble bits to acquire phase
+  double lock_time_ns = 0.0;  // = lock_bits / rate
+  double drift_ui_per_bit = 0.0;  // phase drift from the ppm offset
+  bool tracking_stable = false;   // slow loop holds lock over a cell
+  double max_run_length_bits = 0.0;  // transition-free run it tolerates
+};
+
+/// Closed-form analysis of the two-time-constant CDR.
+BurstRxAnalysis analyze_burst_rx(const BurstRxParams& p);
+
+/// The phase-reacquisition guard contribution for a cell format: the
+/// lock time of this receiver (what GuardTimeBudget::phase_reacquisition
+/// must budget).
+double phase_reacquisition_ns(const BurstRxParams& p);
+
+}  // namespace osmosis::phy

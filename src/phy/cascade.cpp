@@ -1,0 +1,46 @@
+#include "src/phy/cascade.hpp"
+
+#include "src/phy/link_budget.hpp"
+#include "src/util/log.hpp"
+#include "src/util/units.hpp"
+
+namespace osmosis::phy {
+
+double stage_osnr_db(const CascadeStage& s) {
+  // 58 dB is the shot-noise-limited OSNR of 0 dBm in 0.1 nm at 1550 nm;
+  // each stage's ASE burdens it by its noise figure.
+  return 58.0 + s.input_power_dbm - s.noise_figure_db;
+}
+
+double cascade_osnr_db(const CascadeStage& s, int stages) {
+  OSMOSIS_REQUIRE(stages >= 1, "need at least one stage");
+  const double one = util::from_db(stage_osnr_db(s));
+  // Identical stages: total inverse OSNR is n times one stage's.
+  return util::to_db(one / static_cast<double>(stages));
+}
+
+CascadeAnalysis analyze_cascade(const CascadeStage& s, int stages,
+                                double ber, Modulation mod,
+                                double penalty_allowance_db) {
+  OSMOSIS_REQUIRE(penalty_allowance_db >= 0.0,
+                  "penalty allowance cannot be negative");
+  CascadeAnalysis a;
+  a.stages = stages;
+  a.final_osnr_db = cascade_osnr_db(s, stages);
+  a.required_osnr_db = required_osnr_db(ber, mod) + penalty_allowance_db;
+  a.margin_db = a.final_osnr_db - a.required_osnr_db;
+  a.closes = a.margin_db >= 0.0;
+  return a;
+}
+
+int max_cascade_stages(const CascadeStage& s, double ber, Modulation mod,
+                       double penalty_allowance_db) {
+  // OSNR falls by 10*log10(n); solve for the largest n with margin >= 0.
+  const double headroom_db = stage_osnr_db(s) -
+                             (required_osnr_db(ber, mod) +
+                              penalty_allowance_db);
+  if (headroom_db < 0.0) return 0;
+  return static_cast<int>(util::from_db(headroom_db));
+}
+
+}  // namespace osmosis::phy

@@ -1,0 +1,50 @@
+#pragma once
+// Optical signal-integrity accumulation across fabric stages. Every
+// stage of the fat tree re-amplifies the signal (broadcast-module
+// amplifier + SOA gates), adding ASE noise; OSNR degrades with stage
+// count, which bounds how deep a multistage optical fabric can cascade
+// before the §IV.C BER targets (and the Fig. 10 penalty allowances)
+// stop closing — one more reason fewer stages (§VI.C) is not just a
+// latency/power argument.
+
+#include <vector>
+
+#include "src/phy/soa.hpp"
+
+namespace osmosis::phy {
+
+/// Noise contribution of one opto-electronic stage.
+struct CascadeStage {
+  double input_power_dbm = -3.0;  // per-channel power into the stage's
+                                  // amplification chain
+  double noise_figure_db = 8.0;   // effective NF (amp + 2 SOA gates)
+};
+
+/// OSNR (dB, 0.1 nm reference bandwidth) contributed by one stage:
+/// the standard 58 + P_in - NF link formula.
+double stage_osnr_db(const CascadeStage& s);
+
+/// OSNR after `stages` identical stages: noise powers add, so
+/// 1/OSNR_total = sum(1/OSNR_i).
+double cascade_osnr_db(const CascadeStage& s, int stages);
+
+struct CascadeAnalysis {
+  int stages = 0;
+  double final_osnr_db = 0.0;
+  double required_osnr_db = 0.0;  // for the BER target + penalty
+  double margin_db = 0.0;
+  bool closes = false;
+};
+
+/// Checks an n-stage cascade against a BER target, reserving
+/// `penalty_allowance_db` for XGM/crosstalk impairments (Fig. 10's 1 dB
+/// operating point by default).
+CascadeAnalysis analyze_cascade(const CascadeStage& s, int stages,
+                                double ber, Modulation mod,
+                                double penalty_allowance_db = 1.0);
+
+/// Largest stage count that still closes.
+int max_cascade_stages(const CascadeStage& s, double ber, Modulation mod,
+                       double penalty_allowance_db = 1.0);
+
+}  // namespace osmosis::phy

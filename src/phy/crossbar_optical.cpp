@@ -1,0 +1,170 @@
+#include "src/phy/crossbar_optical.hpp"
+
+#include <cmath>
+
+#include "src/util/log.hpp"
+#include "src/util/units.hpp"
+
+namespace osmosis::phy {
+
+BroadcastSelectCrossbar::BroadcastSelectCrossbar(BroadcastSelectConfig cfg)
+    : cfg_(cfg),
+      modules_(static_cast<std::size_t>(cfg.switching_modules())),
+      module_failed_(static_cast<std::size_t>(cfg.switching_modules()), 0),
+      fiber_failed_(static_cast<std::size_t>(cfg.fibers), 0) {
+  OSMOSIS_REQUIRE(cfg_.fibers >= 1 && cfg_.wavelengths >= 1,
+                  "need at least one fiber and one wavelength");
+  OSMOSIS_REQUIRE(cfg_.ports == cfg_.fibers * cfg_.wavelengths,
+                  "ports (" << cfg_.ports << ") must equal fibers*wavelengths ("
+                            << cfg_.fibers * cfg_.wavelengths << ")");
+  OSMOSIS_REQUIRE(cfg_.receivers_per_egress >= 1,
+                  "need at least one receiver per egress");
+}
+
+int BroadcastSelectCrossbar::fiber_of_input(int input) const {
+  OSMOSIS_REQUIRE(input >= 0 && input < cfg_.ports, "input out of range");
+  return input / cfg_.wavelengths;
+}
+
+int BroadcastSelectCrossbar::wavelength_of_input(int input) const {
+  OSMOSIS_REQUIRE(input >= 0 && input < cfg_.ports, "input out of range");
+  return input % cfg_.wavelengths;
+}
+
+int BroadcastSelectCrossbar::module_of(int egress, int receiver) const {
+  OSMOSIS_REQUIRE(egress >= 0 && egress < cfg_.ports, "egress out of range");
+  OSMOSIS_REQUIRE(receiver >= 0 && receiver < cfg_.receivers_per_egress,
+                  "receiver out of range");
+  return egress * cfg_.receivers_per_egress + receiver;
+}
+
+void BroadcastSelectCrossbar::connect(int input, int egress, int receiver) {
+  ModuleState& m = modules_[static_cast<std::size_t>(module_of(egress, receiver))];
+  const int f = fiber_of_input(input);
+  const int w = wavelength_of_input(input);
+  if (m.fiber != f) {
+    ++reconfigs_;
+    m.fiber = f;
+  }
+  if (m.wavelength != w) {
+    ++reconfigs_;
+    m.wavelength = w;
+  }
+}
+
+void BroadcastSelectCrossbar::release(int egress, int receiver) {
+  ModuleState& m = modules_[static_cast<std::size_t>(module_of(egress, receiver))];
+  if (m.fiber != -1) {
+    ++reconfigs_;
+    m.fiber = -1;
+  }
+  if (m.wavelength != -1) {
+    ++reconfigs_;
+    m.wavelength = -1;
+  }
+}
+
+void BroadcastSelectCrossbar::release_all() {
+  for (int e = 0; e < cfg_.ports; ++e)
+    for (int r = 0; r < cfg_.receivers_per_egress; ++r) release(e, r);
+}
+
+int BroadcastSelectCrossbar::selected_input(int egress, int receiver) const {
+  const int mod = module_of(egress, receiver);
+  if (module_failed_[static_cast<std::size_t>(mod)]) return -1;
+  const ModuleState& m = modules_[static_cast<std::size_t>(mod)];
+  if (m.fiber < 0 || m.wavelength < 0) return -1;
+  if (fiber_failed_[static_cast<std::size_t>(m.fiber)]) return -1;
+  return m.fiber * cfg_.wavelengths + m.wavelength;
+}
+
+void BroadcastSelectCrossbar::fail_module(int egress, int receiver) {
+  module_failed_[static_cast<std::size_t>(module_of(egress, receiver))] = 1;
+}
+
+void BroadcastSelectCrossbar::repair_module(int egress, int receiver) {
+  module_failed_[static_cast<std::size_t>(module_of(egress, receiver))] = 0;
+}
+
+bool BroadcastSelectCrossbar::module_failed(int egress, int receiver) const {
+  return module_failed_[static_cast<std::size_t>(
+             module_of(egress, receiver))] != 0;
+}
+
+void BroadcastSelectCrossbar::fail_fiber(int fiber) {
+  OSMOSIS_REQUIRE(fiber >= 0 && fiber < cfg_.fibers, "fiber out of range");
+  fiber_failed_[static_cast<std::size_t>(fiber)] = 1;
+}
+
+void BroadcastSelectCrossbar::repair_fiber(int fiber) {
+  OSMOSIS_REQUIRE(fiber >= 0 && fiber < cfg_.fibers, "fiber out of range");
+  fiber_failed_[static_cast<std::size_t>(fiber)] = 0;
+}
+
+bool BroadcastSelectCrossbar::fiber_failed(int fiber) const {
+  OSMOSIS_REQUIRE(fiber >= 0 && fiber < cfg_.fibers, "fiber out of range");
+  return fiber_failed_[static_cast<std::size_t>(fiber)] != 0;
+}
+
+int BroadcastSelectCrossbar::reachable_egress_count(int input) const {
+  if (fiber_failed_[static_cast<std::size_t>(fiber_of_input(input))])
+    return 0;
+  int reachable = 0;
+  for (int eg = 0; eg < cfg_.ports; ++eg) {
+    for (int rx = 0; rx < cfg_.receivers_per_egress; ++rx) {
+      if (!module_failed_[static_cast<std::size_t>(module_of(eg, rx))]) {
+        ++reachable;
+        break;
+      }
+    }
+  }
+  return reachable;
+}
+
+int BroadcastSelectCrossbar::gates_on() const {
+  int on = 0;
+  for (const auto& m : modules_) {
+    on += (m.fiber >= 0 ? 1 : 0) + (m.wavelength >= 0 ? 1 : 0);
+  }
+  return on;
+}
+
+PowerBudgetReport BroadcastSelectCrossbar::power_budget() const {
+  PowerBudgetReport r;
+  r.split_loss_db = util::to_db(static_cast<double>(cfg_.split_ways()));
+  // Path: Tx launch - mux + preamp - split - excess + two SOA gate gains.
+  r.received_power_dbm = cfg_.launch_power_dbm - cfg_.mux_loss_db +
+                         cfg_.preamp_gain_db - r.split_loss_db -
+                         cfg_.excess_loss_db + 2.0 * cfg_.soa_gate_gain_db;
+  r.margin_db = r.received_power_dbm - cfg_.receiver_sensitivity_dbm;
+  r.closes = r.margin_db >= cfg_.required_margin_db;
+  return r;
+}
+
+double BroadcastSelectCrossbar::signal_to_crosstalk_db() const {
+  const double leak = util::from_db(-cfg_.soa_extinction_db);
+  // With all ingress ports lit at equal power: (W-1) same-fiber colors
+  // behind one off wavelength gate, (F-1) same-color fibers behind one
+  // off fiber gate, and (F-1)(W-1) doubly-suppressed channels.
+  const double w1 = static_cast<double>(cfg_.wavelengths - 1);
+  const double f1 = static_cast<double>(cfg_.fibers - 1);
+  const double crosstalk = (w1 + f1) * leak + w1 * f1 * leak * leak;
+  OSMOSIS_REQUIRE(crosstalk > 0.0,
+                  "degenerate 1x1 crossbar has no crosstalk to analyze");
+  return -util::to_db(crosstalk);
+}
+
+double BroadcastSelectCrossbar::electrical_power_w() const {
+  const double amps_mw =
+      static_cast<double>(cfg_.fibers) * cfg_.amplifier_power_mw;
+  const double gates_mw =
+      static_cast<double>(gates_on()) * cfg_.soa_bias_power_mw;
+  return (amps_mw + gates_mw) / 1000.0;
+}
+
+double BroadcastSelectCrossbar::control_power_w(double reconfigs_per_s) const {
+  OSMOSIS_REQUIRE(reconfigs_per_s >= 0.0, "negative reconfiguration rate");
+  return reconfigs_per_s * cfg_.control_energy_pj * 1e-12;
+}
+
+}  // namespace osmosis::phy

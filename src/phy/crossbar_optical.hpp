@@ -1,0 +1,156 @@
+#pragma once
+// Structural model of the OSMOSIS broadcast-and-select optical crossbar
+// (Fig. 5): 64 ingress adapters on 8 WDM colors × 8 fibers; each fiber is
+// split 128 ways; 128 switching modules (two per egress adapter — the
+// dual-receiver architecture) each select one fiber and then one color
+// with two stages of fast SOA gates.
+//
+// The model is a gate-accurate state machine: configuring a connection
+// turns on exactly one fiber-select and one wavelength-select SOA in the
+// target module. It also closes the optical power budget (split loss vs
+// amplifier/SOA gain) and books the electrical power of the gates, which
+// feeds the §I/§VII power-scaling benches.
+
+#include <cstdint>
+#include <vector>
+
+namespace osmosis::phy {
+
+/// Geometry and optical-budget parameters of the crossbar.
+struct BroadcastSelectConfig {
+  int ports = 64;                // ingress adapters (= egress adapters)
+  int fibers = 8;                // broadcast modules / WDM fibers
+  int wavelengths = 8;           // colors per fiber; ports = fibers*wavelengths
+  int receivers_per_egress = 2;  // dual-receiver architecture
+
+  // Optical budget elements along the path
+  // Tx -> mux -> amplifier -> star coupler -> fiber-select SOA ->
+  // demux -> wavelength-select SOA -> Rx.
+  double launch_power_dbm = 3.0;
+  double mux_loss_db = 3.5;           // 8x1 combiner + WDM mux
+  double preamp_gain_db = 17.0;       // optical amplifier in broadcast module
+  double excess_loss_db = 2.0;        // connectors, bends, demux
+  double soa_gate_gain_db = 10.0;     // each SOA gate amplifies when on
+  double receiver_sensitivity_dbm = -18.0;
+  double required_margin_db = 3.0;
+
+  // Electrical power bookkeeping (per element).
+  double soa_bias_power_mw = 150.0;        // one "on" SOA gate
+  double amplifier_power_mw = 2000.0;      // EDFA/amp per broadcast module
+  double control_energy_pj = 20.0;         // per gate reconfiguration
+
+  // Off-state suppression of one SOA gate; leakage from unselected
+  // channels becomes in-band crosstalk at the receiver.
+  double soa_extinction_db = 40.0;
+  double min_signal_to_crosstalk_db = 25.0;  // receiver tolerance
+
+  /// Number of ways each broadcast fiber is split.
+  int split_ways() const { return ports * receivers_per_egress; }
+  /// Number of switching modules (Fig. 5: 128).
+  int switching_modules() const { return ports * receivers_per_egress; }
+  /// SOA gates per switching module (fiber-select + wavelength-select).
+  int gates_per_module() const { return fibers + wavelengths; }
+  /// Total SOA gate count (Fig. 5: 128 × 16 = 2048).
+  int total_soa_gates() const {
+    return switching_modules() * gates_per_module();
+  }
+};
+
+/// Closed optical power budget along one selected path.
+struct PowerBudgetReport {
+  double split_loss_db = 0.0;
+  double received_power_dbm = 0.0;
+  double margin_db = 0.0;
+  bool closes = false;
+};
+
+/// Gate-accurate broadcast-and-select crossbar state machine.
+class BroadcastSelectCrossbar {
+ public:
+  explicit BroadcastSelectCrossbar(BroadcastSelectConfig cfg = {});
+
+  const BroadcastSelectConfig& config() const { return cfg_; }
+
+  /// The WDM fiber an ingress port transmits on (port / wavelengths).
+  int fiber_of_input(int input) const;
+  /// The WDM color an ingress port transmits on (port % wavelengths).
+  int wavelength_of_input(int input) const;
+  /// Module index for (egress port, receiver) pairs.
+  int module_of(int egress, int receiver) const;
+
+  /// Connects `input` to receiver `receiver` of `egress`: turns on the
+  /// module's fiber-select gate for the input's fiber and the
+  /// wavelength-select gate for the input's color. Reconfiguring an
+  /// already-connected module first releases the old selection.
+  void connect(int input, int egress, int receiver = 0);
+
+  /// Turns off both gates of the module (no light selected).
+  void release(int egress, int receiver = 0);
+  void release_all();
+
+  /// Which ingress port's light reaches this module, or -1 when dark
+  /// (including failed modules and selections of failed fibers).
+  int selected_input(int egress, int receiver = 0) const;
+
+  // ---- failure injection ----------------------------------------------------
+  // The dual-receiver architecture is also a redundancy story: an egress
+  // adapter whose switching module dies stays reachable through its
+  // surviving receiver; a broadcast-module (fiber) failure takes its
+  // `wavelengths` ingress adapters off the crossbar but leaves the other
+  // 56 ports fully connected.
+
+  void fail_module(int egress, int receiver);
+  void repair_module(int egress, int receiver);
+  bool module_failed(int egress, int receiver) const;
+
+  void fail_fiber(int fiber);
+  void repair_fiber(int fiber);
+  bool fiber_failed(int fiber) const;
+
+  /// Egress ports still reachable from `input` (0 when its fiber is
+  /// down; otherwise the count of egress ports with >= 1 live module).
+  int reachable_egress_count(int input) const;
+
+  /// Structural invariant: per module at most one fiber gate and one
+  /// wavelength gate are on. Returns the number of "on" gates overall.
+  int gates_on() const;
+
+  /// Cumulative count of gate state changes (drives control power).
+  std::uint64_t reconfigurations() const { return reconfigs_; }
+
+  /// Optical power budget for any selected path (all paths are
+  /// symmetric in this topology).
+  PowerBudgetReport power_budget() const;
+
+  /// Worst-case in-band signal-to-crosstalk ratio at a receiver when
+  /// every ingress transmits simultaneously. Same-fiber other colors
+  /// leak through one off wavelength-gate; same-color other fibers leak
+  /// through one off fiber-gate; everything else is suppressed twice.
+  double signal_to_crosstalk_db() const;
+
+  /// True when the SXR clears the configured receiver tolerance.
+  bool crosstalk_acceptable() const {
+    return signal_to_crosstalk_db() >= cfg_.min_signal_to_crosstalk_db;
+  }
+
+  /// Instantaneous electrical power: amplifiers + bias of all "on" SOA
+  /// gates. Independent of the data rate by construction (§I).
+  double electrical_power_w() const;
+
+  /// Average control power at the given cell (reconfiguration) rate.
+  double control_power_w(double reconfigs_per_s) const;
+
+ private:
+  struct ModuleState {
+    int fiber = -1;       // selected fiber gate, -1 = all off
+    int wavelength = -1;  // selected wavelength gate, -1 = all off
+  };
+
+  BroadcastSelectConfig cfg_;
+  std::vector<ModuleState> modules_;
+  std::vector<std::uint8_t> module_failed_;
+  std::vector<std::uint8_t> fiber_failed_;
+  std::uint64_t reconfigs_ = 0;
+};
+
+}  // namespace osmosis::phy

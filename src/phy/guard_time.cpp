@@ -1,0 +1,36 @@
+#include "src/phy/guard_time.hpp"
+
+#include <sstream>
+
+#include "src/util/log.hpp"
+#include "src/util/units.hpp"
+
+namespace osmosis::phy {
+
+CellFormat demonstrator_cell_format() {
+  CellFormat f;
+  f.cell_bytes = 256.0;
+  f.line_rate_gbps = 40.0;
+  f.guard = GuardTimeBudget{};  // 5 + 2 + 1 ns
+  f.fec_overhead = 0.0625;
+  f.header_bytes = 8.0;
+  return f;
+}
+
+double store_and_forward_penalty_ns(double cell_bytes, double rate_gbps) {
+  OSMOSIS_REQUIRE(cell_bytes > 0.0 && rate_gbps > 0.0,
+                  "cell size and rate must be positive");
+  return util::serialization_ns(cell_bytes, rate_gbps);
+}
+
+std::string describe(const CellFormat& f) {
+  std::ostringstream oss;
+  oss << "cell " << f.cell_bytes << " B @ " << f.line_rate_gbps
+      << " Gb/s: cycle " << f.cycle_ns() << " ns, guard "
+      << f.guard.total_ns() << " ns, payload " << f.payload_bytes()
+      << " B, user " << f.user_bytes() << " B, efficiency "
+      << f.user_efficiency() * 100.0 << " %";
+  return oss.str();
+}
+
+}  // namespace osmosis::phy

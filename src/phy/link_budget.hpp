@@ -1,0 +1,36 @@
+#pragma once
+// Bit-error-rate arithmetic for optical links (§IV.C).
+//
+// The paper's reliability story: raw optical links achieve BER in the
+// 1e-10..1e-12 range (copper can be engineered to 1e-17); a (272,256)
+// FEC lifts the user BER past 1e-17, and hop-by-hop retransmission past
+// 1e-21. This header provides the Q-factor/BER conversions and link
+// chaining used throughout; the FEC and ARQ layers compute their own
+// output error rates on top.
+
+#include "src/phy/soa.hpp"  // Modulation
+
+namespace osmosis::phy {
+
+/// Raw BER envelopes the paper quotes.
+inline constexpr double kOpticalRawBerBest = 1e-12;
+inline constexpr double kOpticalRawBerWorst = 1e-10;
+inline constexpr double kCopperEngineeredBer = 1e-17;
+
+/// Gaussian-noise BER for a given Q-factor: 0.5 * erfc(Q / sqrt(2)).
+double ber_from_q(double q);
+
+/// Inverse of ber_from_q (bisection; ber in (0, 0.5)).
+double q_from_ber(double ber);
+
+/// Required OSNR (dB, 0.1 nm reference bandwidth) to reach a BER target.
+/// DPSK with balanced detection needs ~3 dB less OSNR than NRZ at any
+/// BER — the advantage the paper measured on the SOA-switched link.
+double required_osnr_db(double ber, Modulation mod);
+
+/// Error probability after `hops` independent link traversals, each with
+/// per-hop error probability `per_hop` (union bound, exact for the
+/// complement-product form used here).
+double chained_error_rate(double per_hop, int hops);
+
+}  // namespace osmosis::phy

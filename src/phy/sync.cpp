@@ -1,0 +1,45 @@
+#include "src/phy/sync.hpp"
+
+#include <cmath>
+
+#include "src/util/log.hpp"
+#include "src/util/units.hpp"
+
+namespace osmosis::phy {
+
+SyncAnalysis analyze_sync_tree(const SyncTreeParams& p) {
+  OSMOSIS_REQUIRE(p.fanout >= 2, "fanout must be >= 2");
+  OSMOSIS_REQUIRE(p.levels >= 1, "need at least one level");
+  OSMOSIS_REQUIRE(p.jitter_ps_per_hop >= 0.0 &&
+                      p.residual_skew_ps_per_hop >= 0.0,
+                  "jitter/skew cannot be negative");
+  SyncAnalysis a;
+  a.adapters_covered = static_cast<int>(
+      util::ipow(static_cast<std::uint64_t>(p.fanout),
+                 static_cast<unsigned>(p.levels)));
+  const double per_hop_ns =
+      (p.jitter_ps_per_hop + p.residual_skew_ps_per_hop) / 1000.0;
+  a.worst_case_jitter_ns = per_hop_ns * p.levels;
+  a.rss_jitter_ns =
+      std::sqrt(static_cast<double>(p.levels)) * per_hop_ns;
+  // Two adapters can be off in opposite directions.
+  a.arrival_window_ns = 2.0 * a.worst_case_jitter_ns;
+  return a;
+}
+
+int sync_levels_needed(int adapters, int fanout) {
+  OSMOSIS_REQUIRE(adapters >= 1 && fanout >= 2, "invalid tree parameters");
+  int levels = 0;
+  std::uint64_t covered = 1;
+  while (covered < static_cast<std::uint64_t>(adapters)) {
+    covered *= static_cast<std::uint64_t>(fanout);
+    ++levels;
+  }
+  return std::max(levels, 1);
+}
+
+bool sync_fits_budget(const SyncAnalysis& a, const GuardTimeBudget& guard) {
+  return a.arrival_window_ns <= guard.arrival_jitter_ns;
+}
+
+}  // namespace osmosis::phy

@@ -1,0 +1,42 @@
+#pragma once
+// Hierarchical system synchronization ([20], cited in §IV.C): all cells
+// must arrive at the optical crossbar inside the reconfiguration window,
+// so a central reference clock is distributed over a tree to every
+// ingress adapter. Each distribution hop adds timing jitter; what the
+// guard-time budget must reserve as "packet-arrival jitter time" is the
+// resulting arrival window. This model sizes the tree for a machine and
+// checks it against the cell format's jitter allocation.
+
+#include "src/phy/guard_time.hpp"
+
+namespace osmosis::phy {
+
+struct SyncTreeParams {
+  int fanout = 8;                 // distribution fanout per level
+  int levels = 2;                 // hops from the reference to an adapter
+  double jitter_ps_per_hop = 150.0;  // random jitter added per hop
+  // Deterministic skew per hop is calibrated out by the scheme in [20]
+  // (per-link delay measurement); only this residual remains.
+  double residual_skew_ps_per_hop = 40.0;
+};
+
+/// Analysis of one synchronization tree.
+struct SyncAnalysis {
+  int adapters_covered = 0;        // fanout^levels
+  double worst_case_jitter_ns = 0; // linear accumulation over hops
+  double rss_jitter_ns = 0;        // root-sum-square (independent hops)
+  /// Arrival window the crossbar must tolerate: +-worst-case jitter of
+  /// two independently synchronized adapters.
+  double arrival_window_ns = 0;
+};
+
+SyncAnalysis analyze_sync_tree(const SyncTreeParams& p);
+
+/// Levels needed to reach `adapters` endpoints at the given fanout.
+int sync_levels_needed(int adapters, int fanout);
+
+/// True when the cell format's arrival-jitter allocation covers the
+/// tree's arrival window.
+bool sync_fits_budget(const SyncAnalysis& a, const GuardTimeBudget& guard);
+
+}  // namespace osmosis::phy

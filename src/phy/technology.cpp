@@ -1,0 +1,45 @@
+#include "src/phy/technology.hpp"
+
+#include "src/util/log.hpp"
+
+namespace osmosis::phy {
+
+const std::vector<TechEntry>& technology_catalogue() {
+  // Guard times from the paper: MEMS/thermo-optic switch in milliseconds
+  // (circuit provisioning only), Chiaro beam steering ~20 ns [4], tunable
+  // lasers 45 ns [7], SOAs ~5 ns currently, sub-ns with DPSK-enabled deep
+  // saturation (§VII), femtoseconds for XPM-strobed Mach-Zehnder [25].
+  static const std::vector<TechEntry> catalogue = {
+      {SwitchTech::kMems, "MEMS moving mirror", 5e6, false, 1000.0, 50.0,
+       5e6},
+      {SwitchTech::kThermoOptic, "thermo-optic polymer", 2e6, false, 1000.0,
+       400.0, 2e6},
+      {SwitchTech::kBeamSteering, "beam steering (Chiaro)", 20.0, true,
+       1000.0, 300.0, 200.0},
+      {SwitchTech::kTunableLaser, "fast tunable laser", 45.0, true, 1000.0,
+       250.0, 150.0},
+      {SwitchTech::kSoa, "SOA gate", 5.0, true, 1000.0, 150.0, 20.0},
+      {SwitchTech::kSoaDpskSaturated, "SOA gate, DPSK deep saturation", 0.8,
+       true, 1000.0, 120.0, 20.0},
+      {SwitchTech::kSoaXpmStrobed, "SOA XPM-strobed Mach-Zehnder", 1e-3,
+       true, 1000.0, 200.0, 40.0},
+  };
+  return catalogue;
+}
+
+const TechEntry& technology(SwitchTech tech) {
+  for (const auto& entry : technology_catalogue())
+    if (entry.tech == tech) return entry;
+  OSMOSIS_REQUIRE(false, "unknown switch technology");
+  __builtin_unreachable();
+}
+
+bool viable_for_packet_switching(const TechEntry& t, double cell_time_ns,
+                                 double max_guard_fraction) {
+  OSMOSIS_REQUIRE(cell_time_ns > 0.0, "cell time must be positive");
+  OSMOSIS_REQUIRE(max_guard_fraction > 0.0 && max_guard_fraction < 1.0,
+                  "guard fraction must be in (0,1)");
+  return t.guard_time_ns <= max_guard_fraction * cell_time_ns;
+}
+
+}  // namespace osmosis::phy

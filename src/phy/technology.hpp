@@ -1,0 +1,51 @@
+#pragma once
+// Catalogue of optical switching technologies discussed in the paper
+// (§II, §IV.C) with their reconfiguration (guard) times, and the
+// suitability test the paper applies: packet switching needs state
+// changes in the micro- to nanosecond range, which rules out mechanical
+// and thermal effects.
+
+#include <string>
+#include <vector>
+
+namespace osmosis::phy {
+
+/// Switching technology families from the paper's related work.
+enum class SwitchTech {
+  kMems,               // moving mirrors [2] — milliseconds
+  kThermoOptic,        // polymer/silica thermal control [3] — milliseconds
+  kBeamSteering,       // Chiaro [4] — ~20 ns
+  kTunableLaser,       // [7] — ~45 ns
+  kSoa,                // semiconductor optical amplifier [6] — ~5 ns
+  kSoaDpskSaturated,   // §VII: SOA + DPSK deep saturation — sub-ns
+  kSoaXpmStrobed,      // §VII Cambridge XPM Mach-Zehnder [25] — femtoseconds
+};
+
+/// Static properties of one technology entry.
+struct TechEntry {
+  SwitchTech tech;
+  std::string name;
+  double guard_time_ns;        // reconfiguration time inserted between cells
+  bool packet_switchable;      // fast enough for per-cell reconfiguration
+  double max_port_bw_gbps;     // per-waveguide bandwidth the tech supports
+  // Power model (per gate/element): static electrical power plus a
+  // per-reconfiguration control energy. Optical switch element power is
+  // independent of the data rate (§I); only control scales with packet
+  // rate.
+  double static_power_mw;
+  double control_energy_pj_per_reconfig;
+};
+
+/// The full catalogue, ordered from slowest to fastest.
+const std::vector<TechEntry>& technology_catalogue();
+
+/// Lookup by enum; aborts on unknown entries.
+const TechEntry& technology(SwitchTech tech);
+
+/// The paper's viability test: can this technology reconfigure within a
+/// tolerable fraction of the cell cycle? `max_guard_fraction` is the
+/// largest share of the cell that may be spent as guard time.
+bool viable_for_packet_switching(const TechEntry& t, double cell_time_ns,
+                                 double max_guard_fraction = 0.25);
+
+}  // namespace osmosis::phy

@@ -1,0 +1,63 @@
+#include "src/phy/wdm.hpp"
+
+#include <sstream>
+
+#include "src/util/log.hpp"
+
+namespace osmosis::phy {
+
+WdmPlan::WdmPlan(WdmPlanConfig cfg) : cfg_(cfg) {
+  OSMOSIS_REQUIRE(cfg_.channels >= 1, "need at least one channel");
+  OSMOSIS_REQUIRE(cfg_.spacing_ghz > 0.0, "spacing must be positive");
+  OSMOSIS_REQUIRE(cfg_.line_rate_gbps > 0.0, "line rate must be positive");
+  channels_.reserve(static_cast<std::size_t>(cfg_.channels));
+  for (int i = 0; i < cfg_.channels; ++i) {
+    WdmChannel ch;
+    ch.index = i;
+    ch.frequency_thz = cfg_.anchor_thz + i * cfg_.spacing_ghz / 1000.0;
+    ch.wavelength_nm = kCNmThz / ch.frequency_thz;
+    channels_.push_back(ch);
+  }
+}
+
+const WdmChannel& WdmPlan::channel(int index) const {
+  OSMOSIS_REQUIRE(index >= 0 && index < cfg_.channels,
+                  "channel index out of range: " << index);
+  return channels_[static_cast<std::size_t>(index)];
+}
+
+const WdmChannel& WdmPlan::channel_of_adapter(int adapter) const {
+  OSMOSIS_REQUIRE(adapter >= 0, "adapter index cannot be negative");
+  return channel(adapter % cfg_.channels);
+}
+
+double WdmPlan::signal_width_ghz() const {
+  return cfg_.line_rate_gbps * cfg_.spectral_width_factor;
+}
+
+bool WdmPlan::spacing_sufficient() const {
+  return cfg_.spacing_ghz >= signal_width_ghz();
+}
+
+double WdmPlan::plan_width_ghz() const {
+  return static_cast<double>(cfg_.channels - 1) * cfg_.spacing_ghz +
+         signal_width_ghz();
+}
+
+bool WdmPlan::fits_c_band() const { return plan_width_ghz() <= 4'400.0; }
+
+double WdmPlan::tuning_range_nm() const {
+  if (cfg_.channels == 1) return 0.0;
+  return channels_.front().wavelength_nm - channels_.back().wavelength_nm;
+}
+
+std::string WdmPlan::describe() const {
+  std::ostringstream oss;
+  oss << cfg_.channels << " channels @ " << cfg_.spacing_ghz
+      << " GHz from " << channels_.front().frequency_thz << " THz ("
+      << channels_.front().wavelength_nm << " nm), signal width "
+      << signal_width_ghz() << " GHz, plan " << plan_width_ghz() << " GHz";
+  return oss.str();
+}
+
+}  // namespace osmosis::phy

@@ -1,0 +1,72 @@
+#pragma once
+// WDM channel plan for the broadcast-and-select crossbar (Fig. 5: "Eight
+// ingress adapters, each using a different WDM color, are optically
+// multiplexed onto a single fiber"). Models the ITU-T C-band grid,
+// assigns a color to every ingress adapter (adapter i uses color
+// i mod W on fiber i / W), and checks the physical consistency of the
+// plan: channel spacing vs the modulated signal's spectral width, total
+// plan bandwidth vs the C-band, and laser tuning range.
+
+#include <string>
+#include <vector>
+
+namespace osmosis::phy {
+
+/// One ITU grid channel.
+struct WdmChannel {
+  int index = 0;             // 0-based within the plan
+  double frequency_thz = 0;  // center frequency
+  double wavelength_nm = 0;  // center wavelength
+};
+
+struct WdmPlanConfig {
+  int channels = 8;               // colors per fiber
+  double spacing_ghz = 100.0;     // ITU grid spacing
+  double anchor_thz = 193.1;      // ITU anchor frequency (channel 0)
+  double line_rate_gbps = 40.0;   // per-channel data rate
+  // Spectral width factor: an NRZ/DPSK signal occupies roughly this
+  // multiple of its symbol rate in optical bandwidth.
+  double spectral_width_factor = 1.5;
+};
+
+class WdmPlan {
+ public:
+  explicit WdmPlan(WdmPlanConfig cfg = {});
+
+  const WdmPlanConfig& config() const { return cfg_; }
+
+  const std::vector<WdmChannel>& channels() const { return channels_; }
+  const WdmChannel& channel(int index) const;
+
+  /// The color an ingress adapter transmits on, given W colors per fiber
+  /// (matches BroadcastSelectCrossbar::wavelength_of_input).
+  const WdmChannel& channel_of_adapter(int adapter) const;
+
+  /// Signal spectral width at the configured line rate, in GHz.
+  double signal_width_ghz() const;
+
+  /// True when adjacent channels do not overlap spectrally.
+  bool spacing_sufficient() const;
+
+  /// Total optical band the plan occupies, in GHz.
+  double plan_width_ghz() const;
+
+  /// True when the plan fits the C-band (~4.4 THz usable).
+  bool fits_c_band() const;
+
+  /// Tuning range a fast tunable receiver/laser needs to cover the whole
+  /// plan, in nm.
+  double tuning_range_nm() const;
+
+  std::string describe() const;
+
+ private:
+  WdmPlanConfig cfg_;
+  std::vector<WdmChannel> channels_;
+};
+
+/// Speed of light in nm*THz (c = 299792.458 nm·THz) — conversion between
+/// frequency and wavelength on the grid.
+inline constexpr double kCNmThz = 299'792.458;
+
+}  // namespace osmosis::phy

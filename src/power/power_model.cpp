@@ -1,0 +1,114 @@
+#include "src/power/power_model.hpp"
+
+#include "src/util/log.hpp"
+
+namespace osmosis::power {
+
+SwitchTechProfile osmosis_profile() {
+  SwitchTechProfile t;
+  t.name = "OSMOSIS 64p optical";
+  t.radix = 64;
+  t.optical_datapath = true;
+  // 2048 SOA gates, of which 2/cell-path are biased, 8 amplifiers; the
+  // headline property is that none of this scales with the bit rate.
+  t.optical_static_w_per_switch = 350.0;
+  t.control_nj_per_cell = 1.0;
+  t.transceiver_w_per_port = 2.5;
+  t.cost_per_switch_usd = 250'000.0;
+  t.cost_per_transceiver_usd = 400.0;
+  return t;
+}
+
+SwitchTechProfile highend_electronic_profile() {
+  SwitchTechProfile t;
+  t.name = "high-end electronic 32p";
+  t.radix = 32;
+  t.optical_datapath = false;
+  t.cmos_pj_per_bit = 5.0;  // crossbar + SerDes energy per bit moved
+  t.control_nj_per_cell = 0.5;
+  t.transceiver_w_per_port = 2.5;
+  t.cost_per_switch_usd = 60'000.0;
+  t.cost_per_transceiver_usd = 400.0;
+  return t;
+}
+
+SwitchTechProfile commodity_electronic_profile() {
+  SwitchTechProfile t;
+  t.name = "commodity electronic 8p";
+  t.radix = 8;
+  t.optical_datapath = false;
+  t.cmos_pj_per_bit = 8.0;  // older process, less integration
+  t.control_nj_per_cell = 0.5;
+  t.transceiver_w_per_port = 2.5;
+  t.cost_per_switch_usd = 4'000.0;
+  t.cost_per_transceiver_usd = 400.0;
+  return t;
+}
+
+double switch_power_w(const SwitchTechProfile& tech, double aggregate_gbps,
+                      double cells_per_s) {
+  OSMOSIS_REQUIRE(aggregate_gbps >= 0.0 && cells_per_s >= 0.0,
+                  "negative load in power model");
+  const double control_w = cells_per_s * tech.control_nj_per_cell * 1e-9;
+  if (tech.optical_datapath) {
+    // Element power independent of data rate (§I); control scales with
+    // the packet rate only.
+    return tech.optical_static_w_per_switch + control_w;
+  }
+  // CMOS: power proportional to the data rate through the chip.
+  return aggregate_gbps * 1e9 * tech.cmos_pj_per_bit * 1e-12 + control_w;
+}
+
+FabricPowerReport fabric_power(const SwitchTechProfile& tech,
+                               std::uint64_t endpoint_ports,
+                               double port_rate_gbps, double cell_bytes) {
+  OSMOSIS_REQUIRE(port_rate_gbps > 0.0 && cell_bytes > 0.0,
+                  "rate and cell size must be positive");
+  FabricPowerReport r;
+  r.technology = tech.name;
+  r.sizing = fabric::size_fat_tree(tech.radix, endpoint_ports);
+
+  // Aggregate traffic through one switch at full load: every port busy.
+  const double per_switch_gbps =
+      static_cast<double>(tech.radix) * port_rate_gbps;
+  const double cells_per_port_s = port_rate_gbps * 1e9 / (cell_bytes * 8.0);
+  const double per_switch_cells_s =
+      static_cast<double>(tech.radix) * cells_per_port_s;
+
+  r.switch_power_w = static_cast<double>(r.sizing.switches_total) *
+                     switch_power_w(tech, per_switch_gbps, per_switch_cells_s);
+
+  // OEO endpoints: with input-only buffering each stage terminates the
+  // incoming fiber once (O/E) and relaunches once (E/O) per port; count
+  // transceiver pairs on every switch port plus the host adapters.
+  const double switch_ports = static_cast<double>(r.sizing.switches_total) *
+                              static_cast<double>(tech.radix);
+  const double host_ports = static_cast<double>(r.sizing.endpoint_ports);
+  r.transceiver_power_w =
+      (switch_ports + host_ports) * tech.transceiver_w_per_port;
+
+  r.total_power_w = r.switch_power_w + r.transceiver_power_w;
+  r.power_per_port_w =
+      r.total_power_w / static_cast<double>(r.sizing.endpoint_ports);
+  r.oeo_pairs_per_path = static_cast<double>(r.sizing.oeo_pairs_per_path);
+
+  r.cost_usd = static_cast<double>(r.sizing.switches_total) *
+                   tech.cost_per_switch_usd +
+               (switch_ports + host_ports) * tech.cost_per_transceiver_usd;
+  const double fabric_gbps =
+      static_cast<double>(r.sizing.endpoint_ports) * port_rate_gbps;
+  r.usd_per_gbps = r.cost_usd / fabric_gbps;
+  return r;
+}
+
+double electronic_single_stage_limit_tbps() { return 8.0; }
+
+double osmosis_aggregate_tbps(int fibers, int wavelengths,
+                              double line_rate_gbps) {
+  OSMOSIS_REQUIRE(fibers >= 1 && wavelengths >= 1 && line_rate_gbps > 0.0,
+                  "invalid aggregate-bandwidth parameters");
+  return static_cast<double>(fibers) * static_cast<double>(wavelengths) *
+         line_rate_gbps / 1000.0;
+}
+
+}  // namespace osmosis::power

@@ -1,0 +1,75 @@
+#pragma once
+// Power and scaling models behind the paper's economic argument (§I,
+// §VI.C, §VII):
+//  * CMOS switch power is proportional to the clock — i.e. the data —
+//    rate: every bit moved through the chip costs switching energy.
+//  * Optical switch *element* power (SOA bias, amplifiers) is
+//    independent of the data rate; only the control function scales, and
+//    with the packet rate rather than the bit rate.
+//  * Fabric level: every stage adds switches, OEO conversions and
+//    cables; OSMOSIS needs 3 stages for 2048 ports where electronics
+//    needs 5 (high-end 32-port) or 9 (commodity 8-12 port).
+
+#include <string>
+#include <vector>
+
+#include "src/fabric/fat_tree.hpp"
+
+namespace osmosis::power {
+
+/// Technology profile of one switch family used to build a fabric.
+struct SwitchTechProfile {
+  std::string name;
+  int radix = 0;                  // ports per switch
+  bool optical_datapath = false;  // SOA crossbar vs CMOS crossbar
+  // Electronic datapath: energy per bit moved through the crossbar.
+  double cmos_pj_per_bit = 5.0;
+  // Optical datapath: static element power per switch (SOAs + amps),
+  // independent of data rate.
+  double optical_static_w_per_switch = 350.0;
+  // Control (scheduler + gate drivers): energy per cell scheduled.
+  double control_nj_per_cell = 1.0;
+  // Transceiver power per OEO conversion endpoint (one O/E or E/O).
+  double transceiver_w_per_port = 2.5;
+  // Rough cost figures for the $/Gb/s comparison (§VII).
+  double cost_per_switch_usd = 0.0;
+  double cost_per_transceiver_usd = 0.0;
+};
+
+/// The three §VI.C contenders, calibrated to the paper's stage counts.
+SwitchTechProfile osmosis_profile();          // 64-port optical
+SwitchTechProfile highend_electronic_profile();  // 32-port electronic
+SwitchTechProfile commodity_electronic_profile(); // 8-port electronic
+
+/// Power of ONE switch moving `aggregate_gbps` of traffic with
+/// `cells_per_s` scheduling decisions per second.
+double switch_power_w(const SwitchTechProfile& tech, double aggregate_gbps,
+                      double cells_per_s);
+
+/// Full §VI.C roll-up for one technology building an `endpoint_ports`
+/// fabric at `port_rate_gbps` per port.
+struct FabricPowerReport {
+  std::string technology;
+  fabric::FatTreeSizing sizing;
+  double switch_power_w = 0.0;       // all crossbars + schedulers
+  double transceiver_power_w = 0.0;  // all OEO endpoints
+  double total_power_w = 0.0;
+  double power_per_port_w = 0.0;
+  double oeo_pairs_per_path = 0.0;
+  double cost_usd = 0.0;
+  double usd_per_gbps = 0.0;
+};
+
+FabricPowerReport fabric_power(const SwitchTechProfile& tech,
+                               std::uint64_t endpoint_ports,
+                               double port_rate_gbps, double cell_bytes);
+
+/// §VII scaling envelopes: the largest single-stage aggregate bandwidth
+/// each technology supports.
+double electronic_single_stage_limit_tbps();  // paper: 6-8 Tb/s
+/// OSMOSIS aggregate = fibers x wavelengths x line rate (>= 50 Tb/s
+/// claimed; 256 ports x 200 Gb/s is the quoted design point).
+double osmosis_aggregate_tbps(int fibers, int wavelengths,
+                              double line_rate_gbps);
+
+}  // namespace osmosis::power

@@ -1,0 +1,78 @@
+#include "src/sim/event_queue.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "src/util/log.hpp"
+
+namespace osmosis::sim {
+
+void EventQueue::schedule_at(double when_ns, EventFn fn) {
+  OSMOSIS_REQUIRE(when_ns >= now_ns_, "cannot schedule into the past: "
+                                          << when_ns << " < " << now_ns_);
+  heap_.push(Entry{when_ns, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_in(double delay_ns, EventFn fn) {
+  OSMOSIS_REQUIRE(delay_ns >= 0.0, "negative delay: " << delay_ns);
+  schedule_at(now_ns_ + delay_ns, std::move(fn));
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // Move the handler out before popping, then fire after the queue is in
+  // a consistent state (handlers may schedule new events).
+  Entry e = heap_.top();
+  heap_.pop();
+  now_ns_ = e.time_ns;
+  ++fired_;
+  e.fn();
+  return true;
+}
+
+std::uint64_t EventQueue::run_until(double limit_ns) {
+  std::uint64_t n = 0;
+  while (!heap_.empty() && heap_.top().time_ns <= limit_ns) {
+    step();
+    ++n;
+  }
+  // Advance the clock to the horizon even if nothing fired exactly there.
+  if (now_ns_ < limit_ns) now_ns_ = limit_ns;
+  return n;
+}
+
+std::uint64_t EventQueue::run() {
+  std::uint64_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+// ---- PeriodicProcess -------------------------------------------------------
+
+PeriodicProcess::PeriodicProcess(EventQueue& q, double start_ns,
+                                 double period_ns, std::function<void()> body)
+    : q_(q),
+      period_ns_(period_ns),
+      body_(std::move(body)),
+      alive_(std::make_shared<bool>(true)) {
+  OSMOSIS_REQUIRE(period_ns_ > 0.0, "period must be positive");
+  arm(start_ns);
+}
+
+PeriodicProcess::~PeriodicProcess() { cancel(); }
+
+void PeriodicProcess::cancel() { *alive_ = false; }
+
+bool PeriodicProcess::active() const { return *alive_; }
+
+void PeriodicProcess::arm(double when_ns) {
+  std::weak_ptr<bool> watch = alive_;
+  q_.schedule_at(when_ns, [this, watch, when_ns] {
+    auto alive = watch.lock();
+    if (!alive || !*alive) return;
+    body_();
+    arm(when_ns + period_ns_);
+  });
+}
+
+}  // namespace osmosis::sim

@@ -1,0 +1,94 @@
+#pragma once
+// Discrete-event simulation kernel. Time is double nanoseconds. Events
+// with equal timestamps fire in scheduling (FIFO) order, which keeps
+// multi-actor protocols (request/grant, flow control) deterministic.
+//
+// The OSMOSIS reproduction uses two simulation styles:
+//   * slot-synchronous loops for single-stage crossbar studies (the cell
+//     cycle is the natural clock — see sw::SwitchSim), and
+//   * this event kernel for anything with heterogeneous delays: cable
+//     time-of-flight, multistage fabrics, ARQ timers.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace osmosis::sim {
+
+/// Event handler; fires once at its scheduled time.
+using EventFn = std::function<void()>;
+
+/// Priority-queue based event scheduler.
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `when_ns` (must be >= now()).
+  void schedule_at(double when_ns, EventFn fn);
+
+  /// Schedules `fn` at now() + delay_ns (delay >= 0).
+  void schedule_in(double delay_ns, EventFn fn);
+
+  /// Current simulation time (time of the most recently fired event).
+  double now() const { return now_ns_; }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+  std::uint64_t fired() const { return fired_; }
+
+  /// Fires the single earliest event. Returns false if none pending.
+  bool step();
+
+  /// Runs until the queue drains or `limit_ns` is passed (events with
+  /// time > limit_ns remain pending). Returns the number fired.
+  std::uint64_t run_until(double limit_ns);
+
+  /// Runs until the queue drains entirely.
+  std::uint64_t run();
+
+ private:
+  struct Entry {
+    double time_ns;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time_ns != b.time_ns) return a.time_ns > b.time_ns;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  double now_ns_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t fired_ = 0;
+};
+
+/// Convenience: a periodic process hooked to an EventQueue. Calls `body`
+/// every `period_ns` starting at `start_ns`, until cancel() or the queue
+/// stops being run.
+class PeriodicProcess {
+ public:
+  PeriodicProcess(EventQueue& q, double start_ns, double period_ns,
+                  std::function<void()> body);
+  ~PeriodicProcess();
+
+  PeriodicProcess(const PeriodicProcess&) = delete;
+  PeriodicProcess& operator=(const PeriodicProcess&) = delete;
+
+  void cancel();
+  bool active() const;
+
+ private:
+  void arm(double when_ns);
+
+  EventQueue& q_;
+  double period_ns_;
+  std::function<void()> body_;
+  // Shared liveness flag: pending closures check it before firing, so
+  // cancel() (or destruction) safely disarms already-queued events.
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace osmosis::sim

@@ -1,0 +1,94 @@
+#include "src/sim/rng.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "src/util/log.hpp"
+
+namespace osmosis::sim {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& word : s_) word = splitmix64(x);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  OSMOSIS_REQUIRE(n >= 1, "uniform_int needs n >= 1");
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+bool Rng::bernoulli(double p) {
+  OSMOSIS_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range: " << p);
+  return uniform() < p;
+}
+
+std::uint64_t Rng::geometric(double p) {
+  OSMOSIS_REQUIRE(p > 0.0 && p <= 1.0, "geometric needs p in (0,1]");
+  if (p == 1.0) return 0;
+  const double u = uniform();
+  return static_cast<std::uint64_t>(std::log1p(-u) / std::log1p(-p));
+}
+
+double Rng::exponential(double mean) {
+  OSMOSIS_REQUIRE(mean > 0.0, "exponential needs mean > 0");
+  double u;
+  do {
+    u = uniform();
+  } while (u == 0.0);
+  return -mean * std::log(u);
+}
+
+std::vector<int> Rng::permutation(int n) {
+  std::vector<int> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), 0);
+  shuffle(v);
+  return v;
+}
+
+Rng Rng::split() {
+  Rng child(0);
+  child.s_ = {next(), next(), next(), next()};
+  // Guard against an (astronomically unlikely) all-zero child state.
+  if ((child.s_[0] | child.s_[1] | child.s_[2] | child.s_[3]) == 0)
+    child.s_[0] = 1;
+  return child;
+}
+
+}  // namespace osmosis::sim

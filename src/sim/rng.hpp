@@ -1,0 +1,64 @@
+#pragma once
+// Deterministic pseudo-random number generation for the simulation
+// kernel. We use xoshiro256** — fast, high quality, and trivially
+// seedable so every experiment is reproducible from a single seed.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace osmosis::sim {
+
+/// xoshiro256** generator (Blackman & Vigna). Satisfies the essentials of
+/// UniformRandomBitGenerator so it can also feed <random> if needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from `seed` via SplitMix64, which is the
+  /// recommended way to initialize xoshiro state (avoids all-zero state).
+  explicit Rng(std::uint64_t seed = 0x05051112'2005ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+  result_type operator()() { return next(); }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform integer in [0, n) for n >= 1 (unbiased via rejection).
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p);
+
+  /// Geometric: number of failures before first success, success prob p
+  /// in (0, 1]. Mean (1-p)/p.
+  std::uint64_t geometric(double p);
+
+  /// Exponential variate with the given mean (> 0).
+  double exponential(double mean);
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_int(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A random permutation of {0, .., n-1}.
+  std::vector<int> permutation(int n);
+
+  /// Derives an independent child generator (for per-port streams).
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace osmosis::sim

@@ -1,0 +1,109 @@
+#pragma once
+// Statistics collection for the simulation experiments: running
+// mean/variance, latency histograms with percentiles, throughput
+// counters, and an in-order-delivery checker (the paper's Table 1
+// requires packet ordering maintained between in/output pairs).
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace osmosis::sim {
+
+/// Welford running mean / variance / min / max accumulator.
+class MeanVar {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for fewer than two samples).
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+  void merge(const MeanVar& other);
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Histogram over non-negative values with hybrid linear/geometric bins:
+/// exact unit bins up to `linear_limit`, then geometrically growing bins.
+/// Suited to latency distributions whose tail spans orders of magnitude.
+class Histogram {
+ public:
+  explicit Histogram(double linear_limit = 64.0, double growth = 1.25);
+
+  void add(double x);
+
+  std::uint64_t count() const { return total_; }
+  double mean() const { return mv_.mean(); }
+  double max() const { return mv_.max(); }
+
+  /// Quantile via bin interpolation; q in [0, 1]. Returns 0 when empty.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p99() const { return quantile(0.99); }
+
+ private:
+  std::size_t bin_for(double x) const;
+  std::pair<double, double> bin_bounds(std::size_t b) const;
+
+  double linear_limit_;
+  double growth_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+  MeanVar mv_;
+};
+
+/// Counts delivered payload over elapsed slots to yield normalized
+/// throughput (fraction of line rate actually used).
+class ThroughputMeter {
+ public:
+  void add_delivery(double payload_units = 1.0) { delivered_ += payload_units; }
+  void advance_slots(std::uint64_t slots, std::uint64_t lines) {
+    capacity_ += static_cast<double>(slots) * static_cast<double>(lines);
+  }
+  double delivered() const { return delivered_; }
+  /// Delivered / offered-capacity; 0 when no capacity elapsed.
+  double utilization() const {
+    return capacity_ > 0.0 ? delivered_ / capacity_ : 0.0;
+  }
+
+ private:
+  double delivered_ = 0.0;
+  double capacity_ = 0.0;
+};
+
+/// Detects out-of-order delivery per (source, destination) flow using
+/// monotonically increasing per-flow sequence numbers.
+class ReorderDetector {
+ public:
+  /// Records delivery of sequence number `seq` on flow (src, dst).
+  /// Returns true if this delivery was out of order.
+  bool deliver(int src, int dst, std::uint64_t seq);
+
+  std::uint64_t out_of_order() const { return out_of_order_; }
+  std::uint64_t total() const { return total_; }
+  double reorder_fraction() const {
+    return total_ ? static_cast<double>(out_of_order_) /
+                        static_cast<double>(total_)
+                  : 0.0;
+  }
+
+ private:
+  std::map<std::pair<int, int>, std::uint64_t> last_seen_;
+  std::uint64_t out_of_order_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace osmosis::sim

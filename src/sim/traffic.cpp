@@ -1,0 +1,166 @@
+#include "src/sim/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/util/log.hpp"
+
+namespace osmosis::sim {
+
+// ---- BernoulliUniform ------------------------------------------------------
+
+BernoulliUniform::BernoulliUniform(int ports, double load, Rng rng)
+    : ports_(ports), load_(load), rng_(rng) {
+  OSMOSIS_REQUIRE(ports_ >= 1, "need at least one port");
+  OSMOSIS_REQUIRE(load_ >= 0.0 && load_ <= 1.0, "load out of [0,1]: " << load_);
+}
+
+bool BernoulliUniform::sample(int /*input*/, Arrival& out) {
+  if (!rng_.bernoulli(load_)) return false;
+  out.dst = static_cast<int>(rng_.uniform_int(static_cast<std::uint64_t>(ports_)));
+  out.cls = TrafficClass::kData;
+  return true;
+}
+
+// ---- BurstyOnOff -----------------------------------------------------------
+
+BurstyOnOff::BurstyOnOff(int ports, double load, double mean_burst, Rng rng)
+    : ports_(ports),
+      load_(load),
+      mean_burst_(mean_burst),
+      state_(static_cast<std::size_t>(ports)),
+      rng_(rng) {
+  OSMOSIS_REQUIRE(ports_ >= 1, "need at least one port");
+  OSMOSIS_REQUIRE(load_ >= 0.0 && load_ < 1.0, "bursty load must be in [0,1)");
+  OSMOSIS_REQUIRE(mean_burst_ >= 1.0, "mean burst length must be >= 1 cell");
+  // In the on state one cell is emitted per slot; a burst ends after each
+  // cell with probability q, so mean burst length = 1/q.
+  p_on_to_off_ = 1.0 / mean_burst_;
+  // Long-run on-fraction must equal `load`. The off state is left with
+  // per-slot probability p, so the mean gap (possibly zero slots —
+  // back-to-back bursts may merge) is (1-p)/p. Solving
+  //   load = B / (B + gap)  with  gap = B(1-load)/load
+  // gives p = 1 / (1 + gap), which stays in (0, 1] for any load < 1.
+  const double gap = mean_burst_ * (1.0 - load_) / std::max(load_, 1e-12);
+  p_off_to_on_ = load_ > 0.0 ? 1.0 / (1.0 + gap) : 0.0;
+}
+
+bool BurstyOnOff::sample(int input, Arrival& out) {
+  OSMOSIS_REQUIRE(input >= 0 && input < ports_, "input out of range");
+  PortState& st = state_[static_cast<std::size_t>(input)];
+  if (!st.on) {
+    if (!rng_.bernoulli(p_off_to_on_)) return false;
+    st.on = true;
+    st.dst = static_cast<int>(
+        rng_.uniform_int(static_cast<std::uint64_t>(ports_)));
+  }
+  out.dst = st.dst;
+  out.cls = TrafficClass::kData;
+  if (rng_.bernoulli(p_on_to_off_)) st.on = false;  // burst ends after cell
+  return true;
+}
+
+// ---- Hotspot ---------------------------------------------------------------
+
+Hotspot::Hotspot(int ports, double load, int hot_output, double hot_fraction,
+                 Rng rng)
+    : ports_(ports),
+      load_(load),
+      hot_output_(hot_output),
+      hot_fraction_(hot_fraction),
+      rng_(rng) {
+  OSMOSIS_REQUIRE(ports_ >= 1, "need at least one port");
+  OSMOSIS_REQUIRE(hot_output_ >= 0 && hot_output_ < ports_,
+                  "hot output out of range");
+  OSMOSIS_REQUIRE(hot_fraction_ >= 0.0 && hot_fraction_ <= 1.0,
+                  "hot fraction out of [0,1]");
+}
+
+bool Hotspot::sample(int /*input*/, Arrival& out) {
+  if (!rng_.bernoulli(load_)) return false;
+  if (rng_.bernoulli(hot_fraction_)) {
+    out.dst = hot_output_;
+  } else {
+    out.dst = static_cast<int>(
+        rng_.uniform_int(static_cast<std::uint64_t>(ports_)));
+  }
+  out.cls = TrafficClass::kData;
+  return true;
+}
+
+// ---- Permutation -----------------------------------------------------------
+
+Permutation::Permutation(int ports, double load, std::vector<int> perm,
+                         Rng rng)
+    : ports_(ports), load_(load), perm_(std::move(perm)), rng_(rng) {
+  OSMOSIS_REQUIRE(static_cast<int>(perm_.size()) == ports_,
+                  "permutation size mismatch");
+  std::vector<bool> seen(static_cast<std::size_t>(ports_), false);
+  for (int d : perm_) {
+    OSMOSIS_REQUIRE(d >= 0 && d < ports_, "permutation entry out of range");
+    OSMOSIS_REQUIRE(!seen[static_cast<std::size_t>(d)],
+                    "permutation entry repeated: " << d);
+    seen[static_cast<std::size_t>(d)] = true;
+  }
+}
+
+Permutation Permutation::diagonal(int ports, double load, int shift,
+                                  Rng rng) {
+  std::vector<int> perm(static_cast<std::size_t>(ports));
+  for (int i = 0; i < ports; ++i)
+    perm[static_cast<std::size_t>(i)] = (i + shift) % ports;
+  return Permutation(ports, load, std::move(perm), rng);
+}
+
+bool Permutation::sample(int input, Arrival& out) {
+  OSMOSIS_REQUIRE(input >= 0 && input < ports_, "input out of range");
+  if (!rng_.bernoulli(load_)) return false;
+  out.dst = perm_[static_cast<std::size_t>(input)];
+  out.cls = TrafficClass::kData;
+  return true;
+}
+
+// ---- BimodalHpc ------------------------------------------------------------
+
+BimodalHpc::BimodalHpc(int ports, double load, double control_fraction,
+                       Rng rng)
+    : ports_(ports),
+      load_(load),
+      control_fraction_(control_fraction),
+      rng_(rng) {
+  OSMOSIS_REQUIRE(ports_ >= 1, "need at least one port");
+  OSMOSIS_REQUIRE(control_fraction_ >= 0.0 && control_fraction_ <= 1.0,
+                  "control fraction out of [0,1]");
+}
+
+bool BimodalHpc::sample(int /*input*/, Arrival& out) {
+  if (!rng_.bernoulli(load_)) return false;
+  out.dst = static_cast<int>(
+      rng_.uniform_int(static_cast<std::uint64_t>(ports_)));
+  out.cls = rng_.bernoulli(control_fraction_) ? TrafficClass::kControl
+                                              : TrafficClass::kData;
+  return true;
+}
+
+// ---- factories -------------------------------------------------------------
+
+std::unique_ptr<TrafficGen> make_uniform(int ports, double load,
+                                         std::uint64_t seed) {
+  return std::make_unique<BernoulliUniform>(ports, load, Rng(seed));
+}
+
+std::unique_ptr<TrafficGen> make_bursty(int ports, double load,
+                                        double mean_burst,
+                                        std::uint64_t seed) {
+  return std::make_unique<BurstyOnOff>(ports, load, mean_burst, Rng(seed));
+}
+
+std::unique_ptr<TrafficGen> make_hotspot(int ports, double load,
+                                         int hot_output, double hot_fraction,
+                                         std::uint64_t seed) {
+  return std::make_unique<Hotspot>(ports, load, hot_output, hot_fraction,
+                                   Rng(seed));
+}
+
+}  // namespace osmosis::sim

@@ -1,0 +1,155 @@
+#pragma once
+// Synthetic traffic generators for switch and fabric experiments.
+//
+// The paper evaluates with the classic input-queued-switch workloads of
+// its era ([17], [22]): i.i.d. Bernoulli uniform arrivals, bursty (on/off)
+// traffic, and non-uniform patterns, plus the HPC-specific bimodal mix of
+// short control packets and long data packets (§III). Each generator
+// produces, per input port and per cell slot, either "no arrival" or a
+// destination port (with a traffic class for the bimodal mix).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/sim/rng.hpp"
+
+namespace osmosis::sim {
+
+/// Traffic class for the paper's bimodal short-control / long-data mix.
+enum class TrafficClass : std::uint8_t { kControl = 0, kData = 1 };
+
+/// One arrival at an input port within a slot.
+struct Arrival {
+  int dst = -1;  // destination output port
+  TrafficClass cls = TrafficClass::kData;
+  std::uint64_t tag = 0;  // opaque tag carried end to end (message id)
+};
+
+/// Interface: per-slot, per-input arrival process for an N-port device.
+class TrafficGen {
+ public:
+  virtual ~TrafficGen() = default;
+
+  /// Number of ports this generator was built for.
+  virtual int ports() const = 0;
+
+  /// Offered load per input in cells/slot (long-run average).
+  virtual double offered_load() const = 0;
+
+  /// Samples the arrival (if any) at `input` for the next slot.
+  /// Returns true and fills `out` when a cell arrives.
+  virtual bool sample(int input, Arrival& out) = 0;
+};
+
+/// i.i.d. Bernoulli arrivals, destinations uniform over all outputs.
+class BernoulliUniform final : public TrafficGen {
+ public:
+  BernoulliUniform(int ports, double load, Rng rng);
+
+  int ports() const override { return ports_; }
+  double offered_load() const override { return load_; }
+  bool sample(int input, Arrival& out) override;
+
+ private:
+  int ports_;
+  double load_;
+  Rng rng_;
+};
+
+/// Markov on/off bursty traffic: geometrically distributed bursts of
+/// cells to a single destination, separated by geometrically distributed
+/// idle gaps. `mean_burst` is the average burst length in cells; the
+/// on/off probabilities are derived so the long-run load matches `load`.
+class BurstyOnOff final : public TrafficGen {
+ public:
+  BurstyOnOff(int ports, double load, double mean_burst, Rng rng);
+
+  int ports() const override { return ports_; }
+  double offered_load() const override { return load_; }
+  double mean_burst() const { return mean_burst_; }
+  bool sample(int input, Arrival& out) override;
+
+ private:
+  struct PortState {
+    bool on = false;
+    int dst = 0;
+  };
+  int ports_;
+  double load_;
+  double mean_burst_;
+  double p_off_to_on_;  // start a burst
+  double p_on_to_off_;  // end the current burst (after each cell)
+  std::vector<PortState> state_;
+  Rng rng_;
+};
+
+/// Non-uniform "hotspot": a fraction `hot_fraction` of each input's
+/// traffic targets output `hot_output`; the remainder is uniform.
+class Hotspot final : public TrafficGen {
+ public:
+  Hotspot(int ports, double load, int hot_output, double hot_fraction,
+          Rng rng);
+
+  int ports() const override { return ports_; }
+  double offered_load() const override { return load_; }
+  bool sample(int input, Arrival& out) override;
+
+ private:
+  int ports_;
+  double load_;
+  int hot_output_;
+  double hot_fraction_;
+  Rng rng_;
+};
+
+/// Fixed permutation traffic: input i always sends to perm[i]. The
+/// friendliest possible pattern for a crossbar (no output contention) —
+/// used to measure the floor of the scheduling latency.
+class Permutation final : public TrafficGen {
+ public:
+  Permutation(int ports, double load, std::vector<int> perm, Rng rng);
+
+  /// Convenience: shifted-diagonal permutation dst = (i + shift) mod N.
+  static Permutation diagonal(int ports, double load, int shift, Rng rng);
+
+  int ports() const override { return ports_; }
+  double offered_load() const override { return load_; }
+  bool sample(int input, Arrival& out) override;
+
+ private:
+  int ports_;
+  double load_;
+  std::vector<int> perm_;
+  Rng rng_;
+};
+
+/// The paper's bimodal HPC mix: short control packets (latency critical)
+/// plus long data packets (bandwidth critical). `control_fraction` of
+/// arrivals are control-class; destinations are uniform for both.
+class BimodalHpc final : public TrafficGen {
+ public:
+  BimodalHpc(int ports, double load, double control_fraction, Rng rng);
+
+  int ports() const override { return ports_; }
+  double offered_load() const override { return load_; }
+  bool sample(int input, Arrival& out) override;
+
+ private:
+  int ports_;
+  double load_;
+  double control_fraction_;
+  Rng rng_;
+};
+
+/// Factory helpers for the bench harnesses.
+std::unique_ptr<TrafficGen> make_uniform(int ports, double load,
+                                         std::uint64_t seed);
+std::unique_ptr<TrafficGen> make_bursty(int ports, double load,
+                                        double mean_burst,
+                                        std::uint64_t seed);
+std::unique_ptr<TrafficGen> make_hotspot(int ports, double load,
+                                         int hot_output, double hot_fraction,
+                                         std::uint64_t seed);
+
+}  // namespace osmosis::sim

@@ -1,0 +1,159 @@
+#include "src/sw/event_switch_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/log.hpp"
+
+namespace osmosis::sw {
+
+EventSwitchSim::EventSwitchSim(EventSwitchConfig cfg,
+                               std::unique_ptr<sim::TrafficGen> traffic)
+    : cfg_(cfg), traffic_(std::move(traffic)) {
+  OSMOSIS_REQUIRE(cfg_.cell_ns > 0.0, "cell cycle must be positive");
+  OSMOSIS_REQUIRE(traffic_ != nullptr && traffic_->ports() == cfg_.ports,
+                  "traffic generator port mismatch");
+  cfg_.sched.ports = cfg_.ports;
+  sched_ = make_scheduler(cfg_.sched);
+  voqs_.reserve(static_cast<std::size_t>(cfg_.ports));
+  for (int in = 0; in < cfg_.ports; ++in) voqs_.emplace_back(in, cfg_.ports);
+  egress_.resize(static_cast<std::size_t>(cfg_.ports));
+  request_times_.resize(static_cast<std::size_t>(cfg_.ports) *
+                        static_cast<std::size_t>(cfg_.ports));
+  flow_seq_.assign(static_cast<std::size_t>(cfg_.ports) *
+                       static_cast<std::size_t>(cfg_.ports) * 2,
+                   0);
+}
+
+double EventSwitchSim::ctrl_ns(int adapter) const {
+  if (adapter < static_cast<int>(cfg_.ctrl_fiber_ns.size()))
+    return cfg_.ctrl_fiber_ns[static_cast<std::size_t>(adapter)];
+  return cfg_.default_ctrl_ns;
+}
+
+void EventSwitchSim::on_grant_arrival(Grant g, double requested_at) {
+  const double now = queue_.now();
+  grant_ns_.add(now - requested_at);
+
+  Cell cell = voqs_[static_cast<std::size_t>(g.input)].pop(g.output);
+  OSMOSIS_REQUIRE(cell.dst == g.output, "VOQ returned a mis-routed cell");
+
+  // The cell launches with the next cell-cycle boundary after the grant
+  // arrives, rides the data fiber alongside the control run, and crosses
+  // the crossbar in one cycle.
+  const double data_flight = ctrl_ns(g.input);
+  const double ready = now + data_flight;
+  const std::uint64_t slot =
+      static_cast<std::uint64_t>(std::ceil(ready / cfg_.cell_ns - 1e-9));
+  const double arrive = (static_cast<double>(slot) + 1.0) * cfg_.cell_ns;
+
+  // Receiver accounting on the crossbar slot grid.
+  int& booked = slot_bookings_[{g.output, slot}];
+  if (++booked > cfg_.sched.receivers) ++receiver_conflicts_;
+
+  queue_.schedule_at(arrive, [this, cell] {
+    egress_[static_cast<std::size_t>(cell.dst)].push_back(cell);
+  });
+}
+
+void EventSwitchSim::on_cycle() {
+  const double now = queue_.now();
+
+  // 1. Arrivals this cycle; requests fly to the scheduler.
+  for (int in = 0; in < cfg_.ports; ++in) {
+    sim::Arrival a;
+    if (!traffic_->sample(in, a)) continue;
+    const std::size_t flow =
+        (static_cast<std::size_t>(in) * static_cast<std::size_t>(cfg_.ports) +
+         static_cast<std::size_t>(a.dst)) *
+            2 +
+        (a.cls == sim::TrafficClass::kControl ? 0 : 1);
+    Cell cell;
+    cell.src = in;
+    cell.dst = a.dst;
+    cell.seq = flow_seq_[flow]++;
+    cell.arrival_slot = cycle_;
+    cell.cls = a.cls;
+    voqs_[static_cast<std::size_t>(in)].push(cell);
+    const int dst = a.dst;
+    queue_.schedule_in(ctrl_ns(in), [this, in, dst, now] {
+      sched_->request(in, dst);
+      request_times_[static_cast<std::size_t>(in) *
+                         static_cast<std::size_t>(cfg_.ports) +
+                     static_cast<std::size_t>(dst)]
+          .push_back(now);
+    });
+  }
+
+  // 2. The central scheduler arbitrates once per cycle; grants fly back.
+  for (const Grant& g : sched_->tick()) {
+    auto& times = request_times_[static_cast<std::size_t>(g.input) *
+                                     static_cast<std::size_t>(cfg_.ports) +
+                                 static_cast<std::size_t>(g.output)];
+    OSMOSIS_REQUIRE(!times.empty(), "grant without outstanding request");
+    const double requested_at = times.front();
+    times.pop_front();
+    queue_.schedule_in(ctrl_ns(g.input), [this, g, requested_at] {
+      on_grant_arrival(g, requested_at);
+    });
+  }
+
+  // 3. Egress lines drain one cell per cycle.
+  const bool measuring = now >= cfg_.warmup_ns;
+  for (int out = 0; out < cfg_.ports; ++out) {
+    auto& q = egress_[static_cast<std::size_t>(out)];
+    if (q.empty()) continue;
+    const Cell cell = q.front();
+    q.pop_front();
+    reorder_.deliver(
+        cell.src,
+        cell.dst * 2 + (cell.cls == sim::TrafficClass::kControl ? 0 : 1),
+        cell.seq);
+    if (measuring) {
+      const double delay =
+          now + cfg_.cell_ns -
+          static_cast<double>(cell.arrival_slot) * cfg_.cell_ns;
+      delay_ns_.add(delay);
+      meter_.add_delivery();
+    }
+  }
+  if (measuring) meter_.advance_slots(1, static_cast<std::uint64_t>(cfg_.ports));
+
+  // Trim stale slot bookings to keep the map bounded.
+  if (cycle_ % 4096 == 0 && cycle_ > 0) {
+    const std::uint64_t horizon = cycle_ - 2048;
+    for (auto it = slot_bookings_.begin(); it != slot_bookings_.end();) {
+      it = it->first.second < horizon ? slot_bookings_.erase(it)
+                                      : std::next(it);
+    }
+  }
+  ++cycle_;
+}
+
+EventSwitchResult EventSwitchSim::run() {
+  sim::PeriodicProcess cycles(queue_, 0.0, cfg_.cell_ns,
+                              [this] { on_cycle(); });
+  queue_.run_until(cfg_.warmup_ns + cfg_.measure_ns);
+  cycles.cancel();
+  queue_.run();  // flush in-flight messages
+
+  EventSwitchResult r;
+  r.offered_load = traffic_->offered_load();
+  r.throughput = meter_.utilization();
+  r.delivered = delay_ns_.count();
+  r.mean_delay_ns = delay_ns_.mean();
+  r.p99_delay_ns = delay_ns_.p99();
+  r.mean_delay_cycles = delay_ns_.mean() / cfg_.cell_ns;
+  r.mean_grant_latency_ns = grant_ns_.mean();
+  r.receiver_conflicts = receiver_conflicts_;
+  r.out_of_order = reorder_.out_of_order();
+  return r;
+}
+
+EventSwitchResult run_event_uniform(const EventSwitchConfig& cfg, double load,
+                                    std::uint64_t seed) {
+  EventSwitchSim sim(cfg, sim::make_uniform(cfg.ports, load, seed));
+  return sim.run();
+}
+
+}  // namespace osmosis::sw

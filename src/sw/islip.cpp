@@ -1,0 +1,243 @@
+#include "src/sw/islip.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/util/log.hpp"
+#include "src/util/units.hpp"
+
+namespace osmosis::sw {
+
+// ---- DemandState (defined here with the engine it serves) ------------------
+
+DemandState::DemandState(int ports)
+    : ports_(ports),
+      residual_(static_cast<std::size_t>(ports) * static_cast<std::size_t>(ports),
+                0),
+      avail_(static_cast<std::size_t>(ports), PortSet(ports)),
+      empty_(ports),
+      blocked_(static_cast<std::size_t>(ports), 0),
+      input_blocked_(static_cast<std::size_t>(ports), 0) {
+  OSMOSIS_REQUIRE(ports_ >= 1, "need at least one port");
+}
+
+void DemandState::add_request(int in, int out) {
+  OSMOSIS_REQUIRE(in >= 0 && in < ports_ && out >= 0 && out < ports_,
+                  "request (" << in << "," << out << ") out of range");
+  auto& r = residual_[static_cast<std::size_t>(index(in, out))];
+  if (r == 0 && !input_blocked_[static_cast<std::size_t>(in)])
+    avail_[static_cast<std::size_t>(out)].set(in);
+  ++r;
+  ++total_;
+}
+
+void DemandState::reserve(int in, int out) {
+  auto& r = residual_[static_cast<std::size_t>(index(in, out))];
+  OSMOSIS_REQUIRE(r > 0, "reserve without residual demand (" << in << ","
+                                                             << out << ")");
+  --r;
+  --total_;
+  if (r == 0) avail_[static_cast<std::size_t>(out)].clear(in);
+}
+
+int DemandState::residual(int in, int out) const {
+  OSMOSIS_REQUIRE(in >= 0 && in < ports_ && out >= 0 && out < ports_,
+                  "query out of range");
+  return static_cast<int>(residual_[static_cast<std::size_t>(index(in, out))]);
+}
+
+const PortSet& DemandState::candidates(int out) const {
+  OSMOSIS_REQUIRE(out >= 0 && out < ports_, "output out of range");
+  if (blocked_[static_cast<std::size_t>(out)]) return empty_;
+  return avail_[static_cast<std::size_t>(out)];
+}
+
+void DemandState::block_output(int out) {
+  OSMOSIS_REQUIRE(out >= 0 && out < ports_, "output out of range");
+  blocked_[static_cast<std::size_t>(out)] = 1;
+}
+
+void DemandState::unblock_output(int out) {
+  OSMOSIS_REQUIRE(out >= 0 && out < ports_, "output out of range");
+  blocked_[static_cast<std::size_t>(out)] = 0;
+}
+
+bool DemandState::blocked(int out) const {
+  OSMOSIS_REQUIRE(out >= 0 && out < ports_, "output out of range");
+  return blocked_[static_cast<std::size_t>(out)] != 0;
+}
+
+void DemandState::block_input(int in) {
+  OSMOSIS_REQUIRE(in >= 0 && in < ports_, "input out of range");
+  if (input_blocked_[static_cast<std::size_t>(in)]) return;
+  input_blocked_[static_cast<std::size_t>(in)] = 1;
+  for (int out = 0; out < ports_; ++out)
+    avail_[static_cast<std::size_t>(out)].clear(in);
+}
+
+void DemandState::unblock_input(int in) {
+  OSMOSIS_REQUIRE(in >= 0 && in < ports_, "input out of range");
+  if (!input_blocked_[static_cast<std::size_t>(in)]) return;
+  input_blocked_[static_cast<std::size_t>(in)] = 0;
+  for (int out = 0; out < ports_; ++out)
+    if (residual_[static_cast<std::size_t>(index(in, out))] > 0)
+      avail_[static_cast<std::size_t>(out)].set(in);
+}
+
+bool DemandState::input_blocked(int in) const {
+  OSMOSIS_REQUIRE(in >= 0 && in < ports_, "input out of range");
+  return input_blocked_[static_cast<std::size_t>(in)] != 0;
+}
+
+// ---- IslipIteration ----------------------------------------------------------
+
+void IslipIteration::Matching::reset(int ports, int receivers) {
+  if (input_free.size() != ports) input_free = PortSet(ports);
+  input_free.set_all();
+  capacity.assign(static_cast<std::size_t>(ports), receivers);
+  matches.clear();
+  iterations_run = 0;
+}
+
+void IslipIteration::Matching::reset(int ports,
+                                     const std::vector<int>& capacities) {
+  OSMOSIS_REQUIRE(static_cast<int>(capacities.size()) == ports,
+                  "capacity vector size mismatch");
+  if (input_free.size() != ports) input_free = PortSet(ports);
+  input_free.set_all();
+  capacity = capacities;
+  matches.clear();
+  iterations_run = 0;
+}
+
+IslipIteration::IslipIteration(int ports)
+    : ports_(ports),
+      grant_ptr_(static_cast<std::size_t>(ports), 0),
+      accept_ptr_(static_cast<std::size_t>(ports), 0),
+      grants_to_input_(static_cast<std::size_t>(ports)) {
+  OSMOSIS_REQUIRE(ports_ >= 1, "need at least one port");
+}
+
+void IslipIteration::run(DemandState& primary, DemandState* shared,
+                         Matching& m, bool update_pointers) {
+  granted_inputs_.clear();
+
+  // Grant phase: each output with remaining receiver capacity offers up
+  // to `capacity` grants, scanning inputs round-robin from its pointer.
+  for (int out = 0; out < ports_; ++out) {
+    int cap = m.capacity[static_cast<std::size_t>(out)];
+    if (cap <= 0) continue;
+    PortSet cands = primary.candidates(out);
+    if (shared != nullptr) cands &= shared->candidates(out);
+    cands &= m.input_free;
+    int from = grant_ptr_[static_cast<std::size_t>(out)];
+    while (cap > 0) {
+      const int in = cands.next_circular(from);
+      if (in < 0) break;
+      auto& list = grants_to_input_[static_cast<std::size_t>(in)];
+      if (list.empty()) granted_inputs_.push_back(in);
+      list.push_back(out);
+      cands.clear(in);  // one grant per (output, input) pair per round
+      --cap;
+      from = (in + 1) % ports_;
+    }
+  }
+
+  // Accept phase: each granted input accepts the offer closest (in
+  // round-robin order) to its accept pointer.
+  for (const int in : granted_inputs_) {
+    auto& offers = grants_to_input_[static_cast<std::size_t>(in)];
+    int best = -1;
+    int best_dist = ports_ + 1;
+    const int ap = accept_ptr_[static_cast<std::size_t>(in)];
+    for (const int out : offers) {
+      const int dist = (out - ap + ports_) % ports_;
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = out;
+      }
+    }
+    offers.clear();
+    if (best < 0) continue;
+
+    // Commit the match.
+    m.input_free.clear(in);
+    --m.capacity[static_cast<std::size_t>(best)];
+    primary.reserve(in, best);
+    if (shared != nullptr) shared->reserve(in, best);
+    m.matches.push_back(Grant{in, best, 0});
+
+    if (update_pointers) {
+      grant_ptr_[static_cast<std::size_t>(best)] = (in + 1) % ports_;
+      accept_ptr_[static_cast<std::size_t>(in)] = (best + 1) % ports_;
+    }
+  }
+  ++m.iterations_run;
+}
+
+// ---- Scheduler base -----------------------------------------------------------
+
+Scheduler::Scheduler(int ports, int receivers)
+    : demand_(ports),
+      receivers_(receivers),
+      output_capacity_(static_cast<std::size_t>(ports), receivers) {
+  OSMOSIS_REQUIRE(receivers_ >= 1, "need at least one receiver per output");
+}
+
+void Scheduler::set_output_capacity(int out, int capacity) {
+  OSMOSIS_REQUIRE(out >= 0 && out < ports(), "output out of range");
+  OSMOSIS_REQUIRE(capacity >= 0 && capacity <= receivers_,
+                  "capacity must be in [0, receivers]");
+  output_capacity_[static_cast<std::size_t>(out)] = capacity;
+  // A zero-capacity output is equivalent to a blocked one; keep the
+  // demand masks consistent so pipelined matchings stop considering it.
+  if (capacity == 0)
+    demand_.block_output(out);
+  else if (demand_.blocked(out))
+    demand_.unblock_output(out);
+  on_output_capacity_changed(out, capacity);
+}
+
+int Scheduler::output_capacity(int out) const {
+  OSMOSIS_REQUIRE(out >= 0 && out < ports(), "output out of range");
+  return output_capacity_[static_cast<std::size_t>(out)];
+}
+
+void Scheduler::number_receivers(std::vector<Grant>& grants) const {
+  std::vector<int> used(static_cast<std::size_t>(ports()), 0);
+  for (auto& g : grants) {
+    g.receiver = used[static_cast<std::size_t>(g.output)]++;
+    OSMOSIS_REQUIRE(g.receiver < receivers_,
+                    "output " << g.output << " over-matched: receiver "
+                              << g.receiver << " of " << receivers_);
+  }
+}
+
+// ---- IslipScheduler --------------------------------------------------------------
+
+IslipScheduler::IslipScheduler(int ports, int receivers, int iterations)
+    : Scheduler(ports, receivers),
+      iterations_(iterations > 0 ? iterations : util::ceil_log2(
+                                                    static_cast<std::uint64_t>(
+                                                        ports))),
+      engine_(ports) {
+  if (iterations_ < 1) iterations_ = 1;  // 1-port switch edge case
+}
+
+std::string IslipScheduler::name() const {
+  std::ostringstream oss;
+  oss << "iSLIP(" << iterations_ << ")";
+  return oss.str();
+}
+
+std::vector<Grant> IslipScheduler::tick() {
+  matching_.reset(ports(), output_capacity_);
+  for (int it = 0; it < iterations_; ++it)
+    engine_.run(demand_, nullptr, matching_, /*update_pointers=*/it == 0);
+  std::vector<Grant> grants = std::move(matching_.matches);
+  matching_.matches.clear();
+  number_receivers(grants);
+  return grants;
+}
+
+}  // namespace osmosis::sw

@@ -1,0 +1,30 @@
+#pragma once
+// Iterative iSLIP scheduler [17]-style: k grant/accept iterations
+// executed within a single cell cycle. This is the *idealized* central
+// scheduler — it assumes hardware fast enough to run log2(N) iterations
+// inside one 51.2 ns cycle, which the paper argues is not feasible at 64
+// ports / 40 Gb/s. It serves as the throughput reference against which
+// the pipelined variants are judged.
+
+#include "src/sw/scheduler.hpp"
+
+namespace osmosis::sw {
+
+class IslipScheduler final : public Scheduler {
+ public:
+  /// `iterations` = 0 picks ceil(log2(ports)), the classic rule.
+  IslipScheduler(int ports, int receivers, int iterations);
+
+  std::string name() const override;
+
+  std::vector<Grant> tick() override;
+
+  int iterations() const { return iterations_; }
+
+ private:
+  int iterations_;
+  IslipIteration engine_;
+  IslipIteration::Matching matching_;
+};
+
+}  // namespace osmosis::sw

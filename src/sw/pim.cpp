@@ -1,0 +1,77 @@
+#include "src/sw/pim.hpp"
+
+#include <sstream>
+
+#include "src/util/log.hpp"
+#include "src/util/units.hpp"
+
+namespace osmosis::sw {
+
+PimScheduler::PimScheduler(int ports, int receivers, int iterations,
+                           sim::Rng rng)
+    : Scheduler(ports, receivers),
+      iterations_(iterations > 0
+                      ? iterations
+                      : util::ceil_log2(static_cast<std::uint64_t>(ports))),
+      rng_(rng),
+      grants_to_input_(static_cast<std::size_t>(ports)) {
+  if (iterations_ < 1) iterations_ = 1;
+}
+
+std::string PimScheduler::name() const {
+  std::ostringstream oss;
+  oss << "PIM(" << iterations_ << ")";
+  return oss.str();
+}
+
+void PimScheduler::run_iteration(IslipIteration::Matching& m) {
+  const int n = ports();
+  granted_inputs_.clear();
+
+  // Grant phase: each output with capacity picks random requesting,
+  // still-free inputs.
+  for (int out = 0; out < n; ++out) {
+    int cap = m.capacity[static_cast<std::size_t>(out)];
+    if (cap <= 0) continue;
+    PortSet cands = demand_.candidates(out);
+    cands &= m.input_free;
+    // Collect candidate indices (PIM is a reference implementation; the
+    // O(N) scan is acceptable here).
+    std::vector<int> list;
+    for (int in = 0; in < n; ++in)
+      if (cands.test(in)) list.push_back(in);
+    rng_.shuffle(list);
+    const int take = std::min<int>(cap, static_cast<int>(list.size()));
+    for (int k = 0; k < take; ++k) {
+      const int in = list[static_cast<std::size_t>(k)];
+      auto& offers = grants_to_input_[static_cast<std::size_t>(in)];
+      if (offers.empty()) granted_inputs_.push_back(in);
+      offers.push_back(out);
+    }
+  }
+
+  // Accept phase: each granted input accepts one random offer.
+  for (const int in : granted_inputs_) {
+    auto& offers = grants_to_input_[static_cast<std::size_t>(in)];
+    const auto pick =
+        rng_.uniform_int(static_cast<std::uint64_t>(offers.size()));
+    const int out = offers[static_cast<std::size_t>(pick)];
+    offers.clear();
+    m.input_free.clear(in);
+    --m.capacity[static_cast<std::size_t>(out)];
+    demand_.reserve(in, out);
+    m.matches.push_back(Grant{in, out, 0});
+  }
+  ++m.iterations_run;
+}
+
+std::vector<Grant> PimScheduler::tick() {
+  matching_.reset(ports(), output_capacity_);
+  for (int it = 0; it < iterations_; ++it) run_iteration(matching_);
+  std::vector<Grant> grants = std::move(matching_.matches);
+  matching_.matches.clear();
+  number_receivers(grants);
+  return grants;
+}
+
+}  // namespace osmosis::sw

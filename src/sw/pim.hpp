@@ -1,0 +1,32 @@
+#pragma once
+// Parallel Iterative Matching (Anderson et al.): like iSLIP but with
+// uniformly random grant and accept choices instead of round-robin
+// pointers. Included as the classical randomized reference; its
+// convergence in ~log2(N) iterations is the origin of the paper's
+// "log2 N iterations" rule.
+
+#include "src/sim/rng.hpp"
+#include "src/sw/scheduler.hpp"
+
+namespace osmosis::sw {
+
+class PimScheduler final : public Scheduler {
+ public:
+  PimScheduler(int ports, int receivers, int iterations, sim::Rng rng);
+
+  std::string name() const override;
+  std::vector<Grant> tick() override;
+
+  int iterations() const { return iterations_; }
+
+ private:
+  void run_iteration(IslipIteration::Matching& m);
+
+  int iterations_;
+  sim::Rng rng_;
+  IslipIteration::Matching matching_;
+  std::vector<std::vector<int>> grants_to_input_;  // scratch
+  std::vector<int> granted_inputs_;                // scratch
+};
+
+}  // namespace osmosis::sw

@@ -1,0 +1,41 @@
+#pragma once
+// Fixed-capacity bitmask over switch ports with circular first-set
+// search — the core primitive of the round-robin grant/accept arbiters.
+// For the demonstrator's 64 ports this is a single machine word, making
+// one scheduler iteration O(ports/64) per output rather than O(ports).
+
+#include <cstdint>
+#include <vector>
+
+namespace osmosis::sw {
+
+class PortSet {
+ public:
+  explicit PortSet(int ports = 0);
+
+  int size() const { return ports_; }
+
+  void set(int p);
+  void clear(int p);
+  bool test(int p) const;
+  void clear_all();
+  void set_all();
+
+  bool any() const;
+  int count() const;
+
+  /// First set bit at or after `from`, wrapping circularly; -1 if empty.
+  /// This is the round-robin pointer scan of iSLIP/FLPPR.
+  int next_circular(int from) const;
+
+  /// In-place intersection with another set of the same size.
+  PortSet& operator&=(const PortSet& other);
+
+ private:
+  int word_count() const { return static_cast<int>(words_.size()); }
+
+  int ports_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace osmosis::sw

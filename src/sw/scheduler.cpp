@@ -1,0 +1,39 @@
+#include "src/sw/scheduler.hpp"
+
+#include "src/sw/flppr.hpp"
+#include "src/sw/islip.hpp"
+#include "src/sw/pim.hpp"
+#include "src/sw/pipelined_islip.hpp"
+#include "src/sw/tdm.hpp"
+#include "src/sw/wfa.hpp"
+#include "src/util/log.hpp"
+
+namespace osmosis::sw {
+
+std::unique_ptr<Scheduler> make_scheduler(const SchedulerConfig& cfg) {
+  OSMOSIS_REQUIRE(cfg.ports >= 1, "need at least one port");
+  switch (cfg.kind) {
+    case SchedulerKind::kIslip:
+      return std::make_unique<IslipScheduler>(cfg.ports, cfg.receivers,
+                                              cfg.iterations);
+    case SchedulerKind::kPim:
+      return std::make_unique<PimScheduler>(cfg.ports, cfg.receivers,
+                                            cfg.iterations,
+                                            sim::Rng(cfg.seed));
+    case SchedulerKind::kPipelinedIslip:
+      return std::make_unique<PipelinedIslipScheduler>(
+          cfg.ports, cfg.receivers, cfg.iterations);
+    case SchedulerKind::kFlppr:
+      return std::make_unique<FlpprScheduler>(cfg.ports, cfg.receivers,
+                                              cfg.iterations,
+                                              cfg.flppr_policy);
+    case SchedulerKind::kTdm:
+      return std::make_unique<TdmScheduler>(cfg.ports, cfg.receivers);
+    case SchedulerKind::kWfa:
+      return std::make_unique<WfaScheduler>(cfg.ports, cfg.receivers);
+  }
+  OSMOSIS_REQUIRE(false, "unknown scheduler kind");
+  __builtin_unreachable();
+}
+
+}  // namespace osmosis::sw

@@ -1,0 +1,196 @@
+#pragma once
+// Central-scheduler framework for the bufferless crossbar (§III–§V).
+//
+// The scheduler mirrors every ingress adapter's VOQ occupancy through
+// request messages (request(in, out) per arriving cell) and, once per
+// cell cycle, emits a set of crossbar grants: a (partial) matching of
+// inputs to (output, receiver) pairs. Residual demand bookkeeping is
+// shared between the paper's FLPPR and the prior-art pipelined iSLIP so
+// the two are compared on identical footing (Fig. 6 / Fig. 7).
+//
+// Remote flow control (§IV.B) plugs in through block_output(): the
+// scheduler "only issues transmission grants for links/buffers that are
+// available and performs the necessary bookkeeping".
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sw/cell.hpp"
+#include "src/sw/portset.hpp"
+
+namespace osmosis::sw {
+
+/// Residual (ungranted, unreserved) request counts per (input, output),
+/// with per-output candidate masks for O(1) arbiter scans.
+class DemandState {
+ public:
+  explicit DemandState(int ports);
+
+  int ports() const { return ports_; }
+
+  /// A new cell arrived into VOQ (in -> out).
+  void add_request(int in, int out);
+
+  /// A matching reserved one cell of (in -> out); the residual shrinks
+  /// so no other (sub)scheduler can promise the same cell.
+  void reserve(int in, int out);
+
+  int residual(int in, int out) const;
+  std::uint64_t total_residual() const { return total_; }
+
+  /// Inputs with residual demand for `out` (excludes blocked outputs —
+  /// the mask is empty while the output is blocked — and blocked inputs).
+  const PortSet& candidates(int out) const;
+
+  void block_output(int out);
+  void unblock_output(int out);
+  bool blocked(int out) const;
+
+  /// Input-side masking: a dark ingress (e.g. a failed broadcast fiber
+  /// takes all its WDM inputs off the crossbar) must receive no grants
+  /// even though its VOQs report demand.
+  void block_input(int in);
+  void unblock_input(int in);
+  bool input_blocked(int in) const;
+
+ private:
+  int index(int in, int out) const { return in * ports_ + out; }
+
+  int ports_;
+  std::vector<std::uint32_t> residual_;
+  std::vector<PortSet> avail_;     // per output: inputs with residual > 0,
+                                   // minus blocked inputs
+  PortSet empty_;                  // returned for blocked outputs
+  std::vector<std::uint8_t> blocked_;
+  std::vector<std::uint8_t> input_blocked_;
+  std::uint64_t total_ = 0;
+};
+
+/// One round-robin grant/accept iteration over a demand state — the
+/// building block of iSLIP, pipelined iSLIP and FLPPR. Owns the
+/// per-output grant pointers and per-input accept pointers.
+class IslipIteration {
+ public:
+  explicit IslipIteration(int ports);
+
+  /// Partial matching being accumulated for one future issue slot.
+  struct Matching {
+    PortSet input_free;             // inputs not yet matched
+    std::vector<int> capacity;      // accepts left per output (receivers)
+    std::vector<Grant> matches;     // receiver field filled at issue time
+    int iterations_run = 0;
+
+    void reset(int ports, int receivers);
+    /// Reset with per-output capacities (failure-degraded outputs).
+    void reset(int ports, const std::vector<int>& capacities);
+  };
+
+  /// Runs one grant/accept round. `primary` supplies and pays the
+  /// demand; when `shared` is non-null a match additionally requires and
+  /// consumes residual there (used by snapshot-based pipelined iSLIP so
+  /// two sub-schedulers never promise the same cell).
+  /// iSLIP pointer-update rule: pointers move only when
+  /// `update_pointers` (callers pass true on a matching's first
+  /// iteration), which is what desynchronizes the arbiters.
+  void run(DemandState& primary, DemandState* shared, Matching& m,
+           bool update_pointers);
+
+ private:
+  int ports_;
+  std::vector<int> grant_ptr_;   // per output
+  std::vector<int> accept_ptr_;  // per input
+  // scratch, reused across calls
+  std::vector<std::vector<int>> grants_to_input_;
+  std::vector<int> granted_inputs_;
+};
+
+/// Abstract central scheduler.
+class Scheduler {
+ public:
+  Scheduler(int ports, int receivers);
+  virtual ~Scheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  int ports() const { return demand_.ports(); }
+  int receivers() const { return receivers_; }
+
+  /// One request per arriving cell (control-path message).
+  void request(int in, int out) { demand_.add_request(in, out); }
+
+  /// Remote-FC hooks (§IV.B). Unblocking never revives an output whose
+  /// capacity was set to zero by failure handling.
+  void block_output(int out) { demand_.block_output(out); }
+  void unblock_output(int out) {
+    if (output_capacity(out) > 0) demand_.unblock_output(out);
+  }
+
+  /// Failure-handling hooks: mask a dark input entirely, or reduce an
+  /// output's usable receiver count (a failed optical switching module
+  /// leaves the egress reachable through its surviving receiver — the
+  /// dual-receiver architecture's redundancy).
+  void block_input(int in) { demand_.block_input(in); }
+  void unblock_input(int in) { demand_.unblock_input(in); }
+  void set_output_capacity(int out, int capacity);
+  int output_capacity(int out) const;
+
+  std::uint64_t outstanding() const { return demand_.total_residual(); }
+
+  /// Advances one cell cycle and returns the grants for this cycle.
+  /// Postconditions (checked by tests): each input appears at most once;
+  /// each (output, receiver) appears at most once; every grant had
+  /// residual demand when matched.
+  virtual std::vector<Grant> tick() = 0;
+
+ protected:
+  /// Assigns distinct receiver indices per output within one grant set.
+  void number_receivers(std::vector<Grant>& grants) const;
+
+  /// Pipelined schedulers keep in-flight partial matchings whose
+  /// capacity arrays must shrink immediately when an output degrades;
+  /// the base notification fires after set_output_capacity updates the
+  /// bookkeeping.
+  virtual void on_output_capacity_changed(int /*out*/, int /*capacity*/) {}
+
+  DemandState demand_;
+  int receivers_;
+  std::vector<int> output_capacity_;  // usable receivers per output
+};
+
+/// Scheduler families compared in the paper.
+enum class SchedulerKind {
+  kIslip,           // k iterations within one cycle (idealized hardware)
+  kPim,             // parallel iterative matching, random arbiters
+  kPipelinedIslip,  // prior art in Fig. 6: log2(N)-deep pipeline
+  kFlppr,           // the paper's contribution [22]
+  kTdm,             // demand-oblivious round-robin (BvN-style stage)
+  kWfa,             // wavefront arbiter: diagonal-sweep maximal matching
+};
+
+/// FLPPR request-filing policy: how the parallel sub-schedulers are
+/// served within a cell cycle ([22] §IV discusses filing variants).
+enum class FlpprPolicy {
+  // The paper's design: the sub-scheduler issuing soonest arbitrates
+  // first, so fresh requests land in the earliest grant opportunity —
+  // this is what produces the 1-cycle request-to-grant latency.
+  kEarliestFirst,
+  // Naive fixed service order (ablation): requests fill whichever
+  // sub-scheduler happens to come first, spreading grants over the
+  // whole pipeline window.
+  kFixedOrder,
+};
+
+struct SchedulerConfig {
+  SchedulerKind kind = SchedulerKind::kFlppr;
+  int ports = 64;
+  int receivers = 2;      // dual-receiver architecture by default
+  int iterations = 0;     // 0 = ceil(log2(ports)), the paper's rule
+  std::uint64_t seed = 1; // used by randomized schedulers (PIM)
+  FlpprPolicy flppr_policy = FlpprPolicy::kEarliestFirst;
+};
+
+std::unique_ptr<Scheduler> make_scheduler(const SchedulerConfig& cfg);
+
+}  // namespace osmosis::sw

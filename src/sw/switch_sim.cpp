@@ -1,0 +1,218 @@
+#include "src/sw/switch_sim.hpp"
+
+#include <algorithm>
+
+#include "src/util/log.hpp"
+
+namespace osmosis::sw {
+
+SwitchSim::SwitchSim(SwitchSimConfig cfg,
+                     std::unique_ptr<sim::TrafficGen> traffic)
+    : cfg_(cfg), traffic_(std::move(traffic)) {
+  OSMOSIS_REQUIRE(traffic_ != nullptr, "traffic generator required");
+  OSMOSIS_REQUIRE(traffic_->ports() == cfg_.ports,
+                  "traffic generator built for " << traffic_->ports()
+                                                 << " ports, switch has "
+                                                 << cfg_.ports);
+  OSMOSIS_REQUIRE(cfg_.egress_line_rate >= 1, "egress line rate must be >= 1");
+  cfg_.sched.ports = cfg_.ports;
+  sched_ = make_scheduler(cfg_.sched);
+  voqs_.reserve(static_cast<std::size_t>(cfg_.ports));
+  for (int i = 0; i < cfg_.ports; ++i) voqs_.emplace_back(i, cfg_.ports);
+  egress_.resize(static_cast<std::size_t>(cfg_.ports));
+  // One sequence stream per (input, output, traffic class).
+  flow_seq_.assign(static_cast<std::size_t>(cfg_.ports) *
+                       static_cast<std::size_t>(cfg_.ports) * 2,
+                   0);
+  if (cfg_.measure_grant_latency)
+    request_times_.resize(static_cast<std::size_t>(cfg_.ports) *
+                          static_cast<std::size_t>(cfg_.ports));
+  // Square-ish fiber/wavelength split, used for optical validation and
+  // for mapping failed fibers to their dark ingress ports.
+  int fibers = 1;
+  while (fibers * fibers < cfg_.ports) fibers <<= 1;
+  OSMOSIS_REQUIRE(cfg_.ports % fibers == 0,
+                  "port count must factor into fibers * wavelengths");
+  const int wavelengths = cfg_.ports / fibers;
+  if (cfg_.validate_optical_path) {
+    phy::BroadcastSelectConfig ocfg;
+    ocfg.ports = cfg_.ports;
+    ocfg.fibers = fibers;
+    ocfg.wavelengths = wavelengths;
+    ocfg.receivers_per_egress = std::max(1, cfg_.sched.receivers);
+    optical_.emplace(ocfg);
+  }
+
+  // ---- failure injection ------------------------------------------------
+  const int receivers = std::max(1, cfg_.sched.receivers);
+  std::vector<std::vector<std::uint8_t>> rx_failed(
+      static_cast<std::size_t>(cfg_.ports),
+      std::vector<std::uint8_t>(static_cast<std::size_t>(receivers), 0));
+  for (const auto& [out, rx] : cfg_.failed_receivers) {
+    OSMOSIS_REQUIRE(out >= 0 && out < cfg_.ports && rx >= 0 &&
+                        rx < receivers,
+                    "failed receiver (" << out << "," << rx
+                                        << ") out of range");
+    rx_failed[static_cast<std::size_t>(out)][static_cast<std::size_t>(rx)] = 1;
+    if (optical_) optical_->fail_module(out, rx);
+  }
+  surviving_rx_.resize(static_cast<std::size_t>(cfg_.ports));
+  for (int out = 0; out < cfg_.ports; ++out) {
+    auto& survivors = surviving_rx_[static_cast<std::size_t>(out)];
+    for (int rx = 0; rx < receivers; ++rx)
+      if (!rx_failed[static_cast<std::size_t>(out)]
+                    [static_cast<std::size_t>(rx)])
+        survivors.push_back(rx);
+    sched_->set_output_capacity(out, static_cast<int>(survivors.size()));
+  }
+
+  dark_input_.assign(static_cast<std::size_t>(cfg_.ports), 0);
+  for (const int f : cfg_.failed_fibers) {
+    OSMOSIS_REQUIRE(f >= 0 && f < fibers, "failed fiber out of range");
+    if (optical_) optical_->fail_fiber(f);
+    for (int w = 0; w < wavelengths; ++w) {
+      const int in = f * wavelengths + w;
+      dark_input_[static_cast<std::size_t>(in)] = 1;
+      sched_->block_input(in);
+    }
+  }
+}
+
+void SwitchSim::step(std::uint64_t t, bool measuring) {
+  const int n = cfg_.ports;
+
+  // 1. Arrivals into the VOQs; requests enter the control pipe. Dark
+  //    inputs (failed broadcast fiber) are offline hosts: no arrivals.
+  for (int in = 0; in < n; ++in) {
+    sim::Arrival a;
+    if (!traffic_->sample(in, a)) continue;
+    if (dark_input_[static_cast<std::size_t>(in)]) continue;
+    // Ordering is guaranteed per (input, output, class): the two classes
+    // are independent streams (control has strict priority and may
+    // legitimately overtake data of the same port pair).
+    const std::size_t flow =
+        (static_cast<std::size_t>(in) * static_cast<std::size_t>(n) +
+         static_cast<std::size_t>(a.dst)) *
+            2 +
+        (a.cls == sim::TrafficClass::kControl ? 0 : 1);
+    Cell cell;
+    cell.src = in;
+    cell.dst = a.dst;
+    cell.seq = flow_seq_[flow]++;
+    cell.arrival_slot = t;
+    cell.cls = a.cls;
+    cell.tag = a.tag;
+    voqs_[static_cast<std::size_t>(in)].push(cell);
+    request_pipe_.push_back(PendingRequest{
+        t + static_cast<std::uint64_t>(cfg_.request_delay_slots), in, a.dst});
+  }
+
+  // 2. Control-path delivery of requests to the scheduler.
+  while (!request_pipe_.empty() && request_pipe_.front().deliver_slot <= t) {
+    const PendingRequest req = request_pipe_.front();
+    request_pipe_.pop_front();
+    sched_->request(req.in, req.out);
+    if (cfg_.measure_grant_latency)
+      request_times_[static_cast<std::size_t>(req.in) *
+                         static_cast<std::size_t>(n) +
+                     static_cast<std::size_t>(req.out)]
+          .push_back(t);
+  }
+
+  // 3. The central scheduler arbitrates this cell cycle.
+  const std::vector<Grant> grants = sched_->tick();
+
+  // 4. Crossbar transfer: granted cells move VOQ -> egress queue.
+  if (optical_) optical_->release_all();
+  for (const Grant& g : grants) {
+    if (cfg_.measure_grant_latency) {
+      auto& times = request_times_[static_cast<std::size_t>(g.input) *
+                                       static_cast<std::size_t>(n) +
+                                   static_cast<std::size_t>(g.output)];
+      OSMOSIS_REQUIRE(!times.empty(), "grant without outstanding request");
+      const std::uint64_t requested = times.front();
+      times.pop_front();
+      if (measuring)
+        grant_latency_.add(static_cast<double>(t - requested) + 1.0);
+    }
+    // Logical receiver index -> surviving physical switching module.
+    const auto& survivors = surviving_rx_[static_cast<std::size_t>(g.output)];
+    OSMOSIS_REQUIRE(g.receiver >= 0 &&
+                        g.receiver < static_cast<int>(survivors.size()),
+                    "grant to receiver " << g.receiver << " of output "
+                                         << g.output << " exceeds its "
+                                         << survivors.size()
+                                         << " surviving module(s)");
+    const int phys_rx = survivors[static_cast<std::size_t>(g.receiver)];
+    if (optical_) {
+      optical_->connect(g.input, g.output, phys_rx);
+      OSMOSIS_REQUIRE(optical_->selected_input(g.output, phys_rx) == g.input,
+                      "optical path does not carry the granted input");
+    }
+    Cell cell = voqs_[static_cast<std::size_t>(g.input)].pop(g.output);
+    OSMOSIS_REQUIRE(cell.dst == g.output, "VOQ returned a mis-routed cell");
+    egress_[static_cast<std::size_t>(g.output)].push_back(cell);
+  }
+  for (const auto& q : egress_)
+    max_egress_depth_ = std::max(max_egress_depth_, static_cast<int>(q.size()));
+
+  // 5. Egress lines drain.
+  for (int out = 0; out < n; ++out) {
+    auto& q = egress_[static_cast<std::size_t>(out)];
+    for (int k = 0; k < cfg_.egress_line_rate && !q.empty(); ++k) {
+      const Cell cell = q.front();
+      q.pop_front();
+      // +1: the crossbar transfer itself occupies this cell cycle.
+      const double delay = static_cast<double>(t - cell.arrival_slot) + 1.0;
+      reorder_.deliver(cell.src,
+                       cell.dst * 2 + (cell.cls == sim::TrafficClass::kControl
+                                           ? 0
+                                           : 1),
+                       cell.seq);
+      if (cfg_.on_delivery) cfg_.on_delivery(cell, t);
+      if (measuring) {
+        delay_hist_.add(delay);
+        (cell.cls == sim::TrafficClass::kControl ? control_delay_
+                                                 : data_delay_)
+            .add(delay);
+        meter_.add_delivery();
+      }
+    }
+  }
+}
+
+SwitchSimResult SwitchSim::run() {
+  for (std::uint64_t t = 0; t < cfg_.warmup_slots; ++t) step(t, false);
+  for (std::uint64_t t = cfg_.warmup_slots;
+       t < cfg_.warmup_slots + cfg_.measure_slots; ++t) {
+    step(t, true);
+    meter_.advance_slots(1, static_cast<std::uint64_t>(cfg_.ports));
+  }
+
+  SwitchSimResult r;
+  r.scheduler = sched_->name();
+  r.offered_load = traffic_->offered_load();
+  r.throughput = meter_.utilization();
+  r.delivered = delay_hist_.count();
+  r.mean_delay = delay_hist_.mean();
+  r.p99_delay = delay_hist_.p99();
+  r.max_delay = delay_hist_.max();
+  r.mean_control_delay = control_delay_.mean();
+  r.mean_data_delay = data_delay_.mean();
+  r.mean_grant_latency = grant_latency_.mean();
+  r.p99_grant_latency = grant_latency_.p99();
+  for (const auto& v : voqs_) r.max_voq_depth = std::max(r.max_voq_depth,
+                                                         v.max_depth_seen());
+  r.max_egress_depth = max_egress_depth_;
+  r.out_of_order = reorder_.out_of_order();
+  if (optical_) r.crossbar_reconfigs = optical_->reconfigurations();
+  return r;
+}
+
+SwitchSimResult run_uniform(const SwitchSimConfig& cfg, double load,
+                            std::uint64_t seed) {
+  SwitchSim sim(cfg, sim::make_uniform(cfg.ports, load, seed));
+  return sim.run();
+}
+
+}  // namespace osmosis::sw

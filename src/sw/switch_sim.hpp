@@ -1,0 +1,122 @@
+#pragma once
+// Slot-accurate simulator of one OSMOSIS single-stage switch (§V): VOQ
+// ingress adapters, a central scheduler (FLPPR / pipelined iSLIP / ...),
+// the bufferless crossbar, and egress adapters with one or two receivers
+// feeding an egress queue that drains at line rate. Time advances in
+// cell cycles (51.2 ns each for the demonstrator format).
+//
+// This is the tool behind Fig. 6 (request-to-grant latency) and Fig. 7
+// (delay vs throughput, single vs dual receiver), and the measured half
+// of the Table 1 compliance bench.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/phy/crossbar_optical.hpp"
+#include "src/sim/stats.hpp"
+#include "src/sim/traffic.hpp"
+#include "src/sw/scheduler.hpp"
+#include "src/sw/voq.hpp"
+
+namespace osmosis::sw {
+
+struct SwitchSimConfig {
+  int ports = 64;
+  SchedulerConfig sched;          // sched.ports is overridden by `ports`
+  int egress_line_rate = 1;       // cells/slot the egress line drains
+  int request_delay_slots = 0;    // ingress -> scheduler control latency
+  std::uint64_t warmup_slots = 2'000;
+  std::uint64_t measure_slots = 50'000;
+  bool measure_grant_latency = true;
+  // When set, every grant also reconfigures a gate-accurate
+  // phy::BroadcastSelectCrossbar and the simulator asserts the selected
+  // light path matches the granted input (slower; used by tests).
+  bool validate_optical_path = false;
+  // Called for every cell leaving an egress line (warmup included), with
+  // the departure slot. Used by the host reassembly layer.
+  std::function<void(const Cell&, std::uint64_t slot)> on_delivery;
+  // Failure injection, applied before the run. A failed optical
+  // switching module (egress, receiver) reduces that output's usable
+  // receiver count (the dual-receiver redundancy keeps it reachable); a
+  // failed broadcast fiber takes all its WDM ingress ports dark (those
+  // hosts are offline: they stop generating and the scheduler masks
+  // them).
+  std::vector<std::pair<int, int>> failed_receivers;
+  std::vector<int> failed_fibers;
+};
+
+struct SwitchSimResult {
+  std::string scheduler;
+  double offered_load = 0.0;
+  double throughput = 0.0;           // delivered cells / slot / port
+  std::uint64_t delivered = 0;
+  // Delays in cell cycles, ingress arrival -> egress line departure.
+  double mean_delay = 0.0;
+  double p99_delay = 0.0;
+  double max_delay = 0.0;
+  double mean_control_delay = 0.0;   // control-class cells only
+  double mean_data_delay = 0.0;
+  // Request-to-grant latency in cycles (Fig. 6 metric).
+  double mean_grant_latency = 0.0;
+  double p99_grant_latency = 0.0;
+  int max_voq_depth = 0;
+  int max_egress_depth = 0;
+  std::uint64_t out_of_order = 0;    // must be 0 (Table 1)
+  std::uint64_t crossbar_reconfigs = 0;
+};
+
+class SwitchSim {
+ public:
+  SwitchSim(SwitchSimConfig cfg, std::unique_ptr<sim::TrafficGen> traffic);
+
+  /// Runs warmup + measurement and returns the aggregated result.
+  SwitchSimResult run();
+
+  /// Access to the scheduler (tests poke FC hooks through this).
+  Scheduler& scheduler() { return *sched_; }
+
+ private:
+  void step(std::uint64_t t, bool measuring);
+
+  SwitchSimConfig cfg_;
+  std::unique_ptr<sim::TrafficGen> traffic_;
+  std::unique_ptr<Scheduler> sched_;
+  std::vector<VoqBank> voqs_;
+  std::vector<std::deque<Cell>> egress_;       // per output
+  std::vector<std::uint64_t> flow_seq_;        // per (src,dst)
+  // Requests in flight on the control path: (deliver_slot, in, out).
+  struct PendingRequest {
+    std::uint64_t deliver_slot;
+    int in;
+    int out;
+  };
+  std::deque<PendingRequest> request_pipe_;
+  // Issue times of requests, for grant-latency attribution (FIFO per VOQ).
+  std::vector<std::deque<std::uint64_t>> request_times_;
+  std::optional<phy::BroadcastSelectCrossbar> optical_;
+  // Failure state: per output, the physical receiver index behind each
+  // logical (capacity-numbered) receiver; per input, dark flag.
+  std::vector<std::vector<int>> surviving_rx_;
+  std::vector<std::uint8_t> dark_input_;
+
+  // statistics
+  sim::Histogram delay_hist_;
+  sim::Histogram control_delay_;
+  sim::Histogram data_delay_;
+  sim::Histogram grant_latency_;
+  sim::ThroughputMeter meter_;
+  sim::ReorderDetector reorder_;
+  int max_egress_depth_ = 0;
+};
+
+/// Convenience: build, run, and return the result for a uniform
+/// Bernoulli workload (the Fig. 7 sweep helper).
+SwitchSimResult run_uniform(const SwitchSimConfig& cfg, double load,
+                            std::uint64_t seed);
+
+}  // namespace osmosis::sw

@@ -1,0 +1,50 @@
+#include "src/sw/voq.hpp"
+
+#include <algorithm>
+
+#include "src/util/log.hpp"
+
+namespace osmosis::sw {
+
+VoqBank::VoqBank(int input, int outputs)
+    : input_(input),
+      outputs_(outputs),
+      queues_(static_cast<std::size_t>(outputs)) {
+  OSMOSIS_REQUIRE(outputs_ >= 1, "need at least one output");
+}
+
+void VoqBank::push(const Cell& cell) {
+  OSMOSIS_REQUIRE(cell.dst >= 0 && cell.dst < outputs_,
+                  "cell destination out of range: " << cell.dst);
+  ClassQueues& q = queues_[static_cast<std::size_t>(cell.dst)];
+  if (cell.cls == sim::TrafficClass::kControl)
+    q.control.push_back(cell);
+  else
+    q.data.push_back(cell);
+  ++total_;
+  max_depth_ = std::max(max_depth_, q.size());
+}
+
+Cell VoqBank::pop(int dst) {
+  OSMOSIS_REQUIRE(dst >= 0 && dst < outputs_, "dst out of range: " << dst);
+  ClassQueues& q = queues_[static_cast<std::size_t>(dst)];
+  OSMOSIS_REQUIRE(q.size() > 0, "pop on empty VOQ (" << input_ << " -> "
+                                                     << dst << ")");
+  Cell cell;
+  if (!q.control.empty()) {
+    cell = q.control.front();
+    q.control.pop_front();
+  } else {
+    cell = q.data.front();
+    q.data.pop_front();
+  }
+  --total_;
+  return cell;
+}
+
+int VoqBank::occupancy(int dst) const {
+  OSMOSIS_REQUIRE(dst >= 0 && dst < outputs_, "dst out of range: " << dst);
+  return queues_[static_cast<std::size_t>(dst)].size();
+}
+
+}  // namespace osmosis::sw

@@ -1,0 +1,59 @@
+#pragma once
+// Virtual Output Queuing ingress adapter (§III, [17]): one FIFO per
+// destination output eliminates head-of-line blocking in the bufferless
+// crossbar. Each VOQ is further split by traffic class: the paper's
+// bimodal HPC traffic wants strict priority for short control packets at
+// every buffer output (§IV), so pop() serves the control sub-queue
+// first. Order within a class and flow is FIFO, preserving the Table 1
+// in-order requirement.
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/sw/cell.hpp"
+
+namespace osmosis::sw {
+
+/// The VOQ bank of one ingress adapter.
+class VoqBank {
+ public:
+  VoqBank(int input, int outputs);
+
+  int input() const { return input_; }
+  int outputs() const { return outputs_; }
+
+  /// Enqueues a cell destined to cell.dst.
+  void push(const Cell& cell);
+
+  /// Dequeues the next cell for `dst` (control class first). The queue
+  /// must be non-empty — the scheduler only grants against known
+  /// occupancy, so popping empty indicates a bookkeeping bug.
+  Cell pop(int dst);
+
+  /// Cells queued for `dst` (all classes).
+  int occupancy(int dst) const;
+
+  /// Total cells across all VOQs of this adapter.
+  int total_occupancy() const { return total_; }
+
+  /// Largest single-VOQ depth seen so far (buffer-sizing studies).
+  int max_depth_seen() const { return max_depth_; }
+
+ private:
+  struct ClassQueues {
+    std::deque<Cell> control;
+    std::deque<Cell> data;
+    int size() const {
+      return static_cast<int>(control.size() + data.size());
+    }
+  };
+
+  int input_;
+  int outputs_;
+  std::vector<ClassQueues> queues_;  // one per destination
+  int total_ = 0;
+  int max_depth_ = 0;
+};
+
+}  // namespace osmosis::sw

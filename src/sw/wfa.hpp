@@ -1,0 +1,25 @@
+#pragma once
+// Wavefront arbiter (WFA): the classic hardware-friendly maximal
+// matcher that sweeps the request matrix along diagonals — all cells of
+// a diagonal are independent, so an N-port arbitration finishes in N
+// combinational "wavefront" steps with no iteration loops or pointers.
+// Included as the third arbitration family (after round-robin iSLIP and
+// randomized PIM) for the scheduler comparison; the starting diagonal
+// rotates each cell cycle for fairness.
+
+#include "src/sw/scheduler.hpp"
+
+namespace osmosis::sw {
+
+class WfaScheduler final : public Scheduler {
+ public:
+  WfaScheduler(int ports, int receivers);
+
+  std::string name() const override { return "WFA"; }
+  std::vector<Grant> tick() override;
+
+ private:
+  std::uint64_t t_ = 0;
+};
+
+}  // namespace osmosis::sw

@@ -1,0 +1,55 @@
+#include "src/util/cli.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "src/util/log.hpp"
+
+namespace osmosis::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    if (auto eq = arg.find('='); eq != std::string_view::npos) {
+      options_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    } else {
+      // Bare flag. Only the --key=value form binds a value, so flags and
+      // positionals never collide.
+      options_[std::string(arg)] = "true";
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return options_.count(key) > 0; }
+
+std::string Cli::get(const std::string& key, const std::string& def) const {
+  auto it = options_.find(key);
+  return it == options_.end() ? def : it->second;
+}
+
+long long Cli::get_int(const std::string& key, long long def) const {
+  auto it = options_.find(key);
+  if (it == options_.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& key, double def) const {
+  auto it = options_.find(key);
+  if (it == options_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& key, bool def) const {
+  auto it = options_.find(key);
+  if (it == options_.end()) return def;
+  const std::string& v = it->second;
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+}  // namespace osmosis::util

@@ -1,0 +1,33 @@
+#pragma once
+// Minimal command-line option parser for the example programs and
+// benchmark harnesses. Supports `--key=value` and bare `--flag` forms;
+// anything else is a positional argument.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace osmosis::util {
+
+/// Parsed command line with typed getters and defaults.
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+
+  std::string get(const std::string& key, const std::string& def) const;
+  long long get_int(const std::string& key, long long def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace osmosis::util

@@ -1,0 +1,15 @@
+#include "src/util/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace osmosis::util {
+
+void fatal(std::string_view file, int line, const std::string& msg) {
+  std::fprintf(stderr, "[osmosis fatal] %.*s:%d: %s\n",
+               static_cast<int>(file.size()), file.data(), line, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace osmosis::util

@@ -1,0 +1,27 @@
+#pragma once
+// Assertion and fatal-error helpers.
+//
+// OSMOSIS_REQUIRE is an always-on precondition check (simulation models
+// are full of structural invariants whose violation means the experiment
+// is meaningless, so we never compile them out). On failure it prints the
+// message and aborts.
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace osmosis::util {
+
+/// Print `msg` (with file/line context) to stderr and abort.
+[[noreturn]] void fatal(std::string_view file, int line, const std::string& msg);
+
+}  // namespace osmosis::util
+
+#define OSMOSIS_REQUIRE(cond, msg)                                        \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream oss_;                                            \
+      oss_ << "requirement failed: " #cond " — " << msg;                  \
+      ::osmosis::util::fatal(__FILE__, __LINE__, oss_.str());             \
+    }                                                                     \
+  } while (0)

@@ -1,0 +1,82 @@
+#include "src/util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "src/util/log.hpp"
+
+namespace osmosis::util {
+
+Table::Table(std::vector<std::string> headers, int precision)
+    : headers_(std::move(headers)), precision_(precision) {
+  OSMOSIS_REQUIRE(!headers_.empty(), "a table needs at least one column");
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  OSMOSIS_REQUIRE(cells.size() == headers_.size(),
+                  "row width " << cells.size() << " != header width "
+                               << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render_cell(const Cell& c) const {
+  std::ostringstream oss;
+  if (const auto* s = std::get_if<std::string>(&c)) {
+    oss << *s;
+  } else if (const auto* i = std::get_if<long long>(&c)) {
+    oss << *i;
+  } else {
+    oss << std::setprecision(precision_) << std::fixed
+        << std::get<double>(c);
+  }
+  return oss.str();
+}
+
+std::string Table::rendered(std::size_t r, std::size_t c) const {
+  OSMOSIS_REQUIRE(r < rows_.size() && c < headers_.size(),
+                  "cell (" << r << "," << c << ") out of range");
+  return render_cell(rows_[r][c]);
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  std::vector<std::vector<std::string>> rendered_rows;
+  rendered_rows.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> rr;
+    rr.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      rr.push_back(render_cell(row[c]));
+      width[c] = std::max(width[c], rr.back().size());
+    }
+    rendered_rows.push_back(std::move(rr));
+  }
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::setw(static_cast<int>(width[c])) << cells[c];
+      os << (c + 1 == cells.size() ? "\n" : "  ");
+    }
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& rr : rendered_rows) emit(rr);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << headers_[c] << (c + 1 == headers_.size() ? "\n" : ",");
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << render_cell(row[c]) << (c + 1 == row.size() ? "\n" : ",");
+  }
+}
+
+}  // namespace osmosis::util

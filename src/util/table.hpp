@@ -1,0 +1,52 @@
+#pragma once
+// Aligned-column table writer used by every benchmark harness to print
+// the rows/series the paper's tables and figures report, plus optional
+// CSV emission for post-processing.
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace osmosis::util {
+
+/// One table cell: text, integer, or a double with per-column precision.
+using Cell = std::variant<std::string, long long, double>;
+
+/// Builds a table row by row, then renders it aligned to a stream.
+///
+/// Usage:
+///   Table t({"load", "mean delay [cycles]", "p99"});
+///   t.add_row({0.5, 1.8, 4.0});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int precision = 4);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<Cell> cells);
+
+  /// Renders with aligned columns, a header rule, and optional title.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (no alignment, comma-separated, header first).
+  void print_csv(std::ostream& os) const;
+
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  std::size_t row_count() const { return rows_.size(); }
+  std::size_t column_count() const { return headers_.size(); }
+
+  /// Cell accessor for tests: row r, column c, rendered as string.
+  std::string rendered(std::size_t r, std::size_t c) const;
+
+ private:
+  std::string render_cell(const Cell& c) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  std::string title_;
+  int precision_;
+};
+
+}  // namespace osmosis::util

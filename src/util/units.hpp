@@ -1,0 +1,85 @@
+#pragma once
+// Units and small numeric helpers shared across the OSMOSIS library.
+//
+// Time is carried as double nanoseconds everywhere (the paper's natural
+// unit: cell cycles are 51.2 ns, guard times a few ns, cable delays a few
+// hundred ns). Data rates are double Gb/s. Strong typedefs proved noisier
+// than helpful for this domain, so we use disciplined naming instead:
+// any variable suffixed _ns, _gbps, _db, _dbm, _m carries that unit.
+
+#include <cmath>
+#include <cstdint>
+
+namespace osmosis::util {
+
+// ---- physical constants -------------------------------------------------
+
+/// Speed of light in vacuum, m/s.
+inline constexpr double kSpeedOfLightMps = 299'792'458.0;
+
+/// Group index of standard single-mode fiber; light travels at c/n.
+inline constexpr double kFiberGroupIndex = 1.468;
+
+/// Propagation delay of one metre of standard fiber, in nanoseconds
+/// (~4.9 ns/m; the paper budgets 250 ns for a 50 m machine-room diameter,
+/// i.e. ~51 m of fiber).
+inline constexpr double kFiberDelayNsPerM =
+    1e9 * kFiberGroupIndex / kSpeedOfLightMps;
+
+// ---- conversions ---------------------------------------------------------
+
+/// Linear power ratio -> decibels.
+inline double to_db(double linear) { return 10.0 * std::log10(linear); }
+
+/// Decibels -> linear power ratio.
+inline double from_db(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Absolute power in milliwatt -> dBm.
+inline double mw_to_dbm(double mw) { return 10.0 * std::log10(mw); }
+
+/// dBm -> absolute power in milliwatt.
+inline double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+
+/// Time to serialize `bytes` onto a line of `gbps` Gb/s, in ns.
+inline double serialization_ns(double bytes, double gbps) {
+  return bytes * 8.0 / gbps;
+}
+
+/// Propagation delay over `metres` of fiber, in ns.
+inline double fiber_delay_ns(double metres) {
+  return metres * kFiberDelayNsPerM;
+}
+
+/// GByte/s -> Gb/s (the paper quotes port speeds both ways:
+/// 12 GByte/s ports, 40 Gb/s demonstrator lines).
+inline double gbyte_to_gbit(double gbyte_per_s) { return gbyte_per_s * 8.0; }
+
+// ---- tiny numeric helpers -------------------------------------------------
+
+/// True when |a-b| is within `rel` relative tolerance (or `abs` absolute).
+inline bool almost_equal(double a, double b, double rel = 1e-9,
+                         double abs = 1e-12) {
+  const double diff = std::fabs(a - b);
+  if (diff <= abs) return true;
+  return diff <= rel * std::fmax(std::fabs(a), std::fabs(b));
+}
+
+/// Integer ceil(log2(n)) for n >= 1; the paper's "log2 N iterations".
+inline int ceil_log2(std::uint64_t n) {
+  int bits = 0;
+  std::uint64_t v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+/// Integer x^p for small powers (fat-tree sizing arithmetic).
+inline std::uint64_t ipow(std::uint64_t x, unsigned p) {
+  std::uint64_t r = 1;
+  while (p-- > 0) r *= x;
+  return r;
+}
+
+}  // namespace osmosis::util

@@ -1,0 +1,162 @@
+// Tests for the generalized L-level folded-Clos fabric simulator:
+// topology construction, routing, cross-validation against the
+// dedicated leaf-spine simulator, and 3-vs-5-stage behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/fabric/clos_sim.hpp"
+#include "src/fabric/fabric_sim.hpp"
+#include "src/fabric/fat_tree.hpp"
+
+namespace osmosis::fabric {
+namespace {
+
+ClosConfig clos_config(int radix, int levels) {
+  ClosConfig cfg;
+  cfg.radix = radix;
+  cfg.levels = levels;
+  cfg.trunk_cable_slots = 4;
+  cfg.buffer_cells = 16;
+  cfg.warmup_slots = 1'000;
+  cfg.measure_slots = 10'000;
+  return cfg;
+}
+
+TEST(ClosSim, TopologyCountsMatchAnalyticSizing) {
+  for (const auto& [radix, levels] : {std::pair{8, 2}, std::pair{8, 3},
+                                      std::pair{4, 3}, std::pair{16, 2}}) {
+    ClosConfig cfg = clos_config(radix, levels);
+    const int hosts = radix * static_cast<int>(std::pow(radix / 2.0,
+                                                        levels - 1));
+    ClosFabricSim sim(cfg, sim::make_uniform(hosts, 0.1, 1));
+    const auto sizing = size_fat_tree(radix, static_cast<std::uint64_t>(hosts));
+    EXPECT_EQ(sim.hosts(), hosts) << radix << "/" << levels;
+    EXPECT_EQ(static_cast<std::uint64_t>(sim.switch_count()),
+              sizing.switches_total)
+        << radix << "/" << levels;
+  }
+}
+
+TEST(ClosSim, SingleSwitchDegenerateCase) {
+  ClosConfig cfg = clos_config(8, 1);
+  const auto r = run_clos_uniform(cfg, 0.6, 3);
+  EXPECT_EQ(r.hosts, 8);
+  EXPECT_EQ(r.switches, 1);
+  EXPECT_NEAR(r.throughput, 0.6, 0.03);
+  EXPECT_EQ(r.buffer_overflows, 0u);
+  EXPECT_EQ(r.out_of_order, 0u);
+  EXPECT_NEAR(r.mean_hops, 1.0, 0.01);  // exactly one stage
+}
+
+TEST(ClosSim, TwoLevelMatchesLeafSpineSimulator) {
+  // Same topology, same FC mechanics — the two independent
+  // implementations must agree on the steady-state metrics.
+  ClosConfig cc = clos_config(8, 2);
+  const auto clos = run_clos_uniform(cc, 0.7, 5);
+
+  FabricSimConfig fc;
+  fc.radix = 8;
+  fc.trunk_cable_slots = 4;
+  fc.buffer_cells = 16;
+  fc.warmup_slots = 1'000;
+  fc.measure_slots = 10'000;
+  const auto leafspine = run_fabric_uniform(fc, 0.7, 5);
+
+  EXPECT_EQ(clos.hosts, leafspine.hosts);
+  EXPECT_NEAR(clos.throughput, leafspine.throughput, 0.02);
+  EXPECT_NEAR(clos.mean_delay_slots, leafspine.mean_delay_slots,
+              leafspine.mean_delay_slots * 0.25);
+  EXPECT_EQ(clos.buffer_overflows, 0u);
+  EXPECT_EQ(clos.out_of_order, 0u);
+}
+
+TEST(ClosSim, ThreeLevelLosslessAndInOrder) {
+  ClosConfig cfg = clos_config(8, 3);  // 128 hosts, 5 stages, 80 switches
+  const auto r = run_clos_uniform(cfg, 0.6, 7);
+  EXPECT_EQ(r.hosts, 128);
+  EXPECT_EQ(r.path_stages, 5);
+  EXPECT_NEAR(r.throughput, 0.6, 0.03);
+  EXPECT_EQ(r.buffer_overflows, 0u);
+  EXPECT_EQ(r.out_of_order, 0u);
+}
+
+TEST(ClosSim, MoreStagesMoreLatency) {
+  // §VI.C at cell level: 128 hosts either as a 3-stage radix-16 fabric
+  // or a 5-stage radix-8 fabric. The extra stages cost delay.
+  const auto three = run_clos_uniform(clos_config(16, 2), 0.5, 9);
+  const auto five = run_clos_uniform(clos_config(8, 3), 0.5, 9);
+  ASSERT_EQ(three.hosts, five.hosts);
+  EXPECT_LT(three.mean_hops, five.mean_hops);
+  EXPECT_LT(three.mean_delay_slots, five.mean_delay_slots);
+}
+
+TEST(ClosSim, HopCountsBoundedByPathStages) {
+  const auto r = run_clos_uniform(clos_config(8, 3), 0.3, 11);
+  EXPECT_GE(r.mean_hops, 1.0);
+  EXPECT_LE(r.mean_hops, 5.0);  // never more than 2L-1 switch traversals
+}
+
+TEST(ClosSim, BuffersRespectCapacityAtHighLoad) {
+  ClosConfig cfg = clos_config(8, 3);
+  cfg.buffer_cells = 10;  // just above the trunk RTT of 8
+  const auto r = run_clos_uniform(cfg, 0.85, 13);
+  EXPECT_EQ(r.buffer_overflows, 0u);
+  for (int occ : r.max_input_occupancy_per_level)
+    EXPECT_LE(occ, cfg.buffer_cells);
+}
+
+namespace {
+
+/// Generator that injects Bernoulli traffic for `active_slots` host
+/// polls, then goes silent — used to drain the fabric and prove cell
+/// conservation.
+class TruncatedUniform final : public sim::TrafficGen {
+ public:
+  TruncatedUniform(int ports, double load, std::uint64_t active_slots,
+                   std::uint64_t seed)
+      : inner_(ports, load, sim::Rng(seed)),
+        samples_budget_(active_slots * static_cast<std::uint64_t>(ports)) {}
+
+  int ports() const override { return inner_.ports(); }
+  double offered_load() const override { return inner_.offered_load(); }
+  bool sample(int input, sim::Arrival& out) override {
+    if (samples_budget_ == 0) return false;
+    --samples_budget_;
+    return inner_.sample(input, out);
+  }
+
+ private:
+  sim::BernoulliUniform inner_;
+  std::uint64_t samples_budget_;
+};
+
+}  // namespace
+
+TEST(ClosSim, ConservationEveryInjectedCellDelivered) {
+  // Inject for 3000 slots, then drain for 5000 silent slots: the fabric
+  // must deliver every single cell it accepted (losslessness as exact
+  // conservation, not just "no overflow counters").
+  ClosConfig cfg = clos_config(8, 3);
+  cfg.warmup_slots = 0;
+  cfg.measure_slots = 8'000;
+  const int hosts = 128;
+  ClosFabricSim sim(cfg, std::make_unique<TruncatedUniform>(hosts, 0.7,
+                                                            3'000, 99));
+  const auto r = sim.run();
+  EXPECT_GT(r.injected_total, 100'000u);
+  EXPECT_EQ(r.injected_total, r.delivered_total);
+  EXPECT_EQ(r.buffer_overflows, 0u);
+  EXPECT_EQ(r.out_of_order, 0u);
+}
+
+TEST(ClosSim, RejectsBadConfigs) {
+  EXPECT_DEATH(run_clos_uniform(clos_config(7, 2), 0.5, 1), "even");
+  ClosConfig cfg = clos_config(8, 2);
+  cfg.scheduler = sw::SchedulerKind::kFlppr;
+  EXPECT_DEATH(run_clos_uniform(cfg, 0.5, 1), "immediate-issue");
+}
+
+}  // namespace
+}  // namespace osmosis::fabric

@@ -1,0 +1,123 @@
+// Tests for the top-level OSMOSIS system: configs, latency budgets
+// (Fig. 1, §VI.B), and the Table 1 compliance report.
+
+#include <gtest/gtest.h>
+
+#include "src/core/config.hpp"
+#include "src/core/latency_budget.hpp"
+#include "src/core/osmosis_system.hpp"
+
+namespace osmosis::core {
+namespace {
+
+TEST(Config, DemonstratorMatchesSectionV) {
+  const auto c = demonstrator_config();
+  EXPECT_EQ(c.ports, 64);
+  EXPECT_EQ(c.fibers * c.wavelengths, 64);
+  EXPECT_EQ(c.receivers, 2);
+  EXPECT_DOUBLE_EQ(c.cell.cycle_ns(), 51.2);
+  EXPECT_EQ(c.fabric_ports, 2048u);
+}
+
+TEST(Config, ProductPointReaches50TbpsClass) {
+  const auto c = product_config();
+  EXPECT_EQ(c.ports, 256);
+  const double aggregate_tbps =
+      c.ports * c.cell.line_rate_gbps / 1000.0;
+  EXPECT_GE(aggregate_tbps, 50.0);
+}
+
+TEST(Config, CrossbarGeometryDerived) {
+  const auto c = demonstrator_config();
+  const auto xb = c.crossbar();
+  EXPECT_EQ(xb.switching_modules(), 128);
+  EXPECT_EQ(xb.total_soa_gates(), 2048);
+}
+
+TEST(LatencyBudget, SingleStageCostsTwoRtts) {
+  // Fig. 1: 2 x RTT + scheduling + switching.
+  const auto l = single_stage_latency(50.0, 51.2, 51.2);
+  EXPECT_NEAR(l.rtt_ns, 245.0, 5.0);
+  EXPECT_NEAR(l.total_ns, 2.0 * l.rtt_ns + 102.4, 1e-9);
+  // This blows the 500 ns fabric budget on cables alone — the paper's
+  // argument for multistage.
+  EXPECT_GT(l.total_ns, 500.0);
+}
+
+TEST(LatencyBudget, MultistageAvoidsTheDoubleRtt) {
+  const auto single = single_stage_latency(50.0, 51.2, 51.2);
+  const double multi = multistage_latency_ns(3, 102.4, 245.0);
+  EXPECT_LT(multi, single.total_ns);
+}
+
+TEST(LatencyBudget, DemonstratorTotalsMatchSectionVIB) {
+  const auto b = demonstrator_latency_budget();
+  // "the demonstrator prototype has only around 1200 ns latency".
+  EXPECT_NEAR(b.fpga_total_ns(), 1200.0, 60.0);
+  // "A straightforward mapping of the FPGAs into ASIC technology will
+  // reduce the latency down to a few hundred nanoseconds."
+  EXPECT_LT(b.asic_total_ns(), 450.0);
+  EXPECT_GT(b.asic_total_ns(), 200.0);
+  // ASIC wins at least 3x overall.
+  EXPECT_GT(b.fpga_total_ns() / b.asic_total_ns(), 3.0);
+}
+
+TEST(LatencyBudget, SchedulerFitsInFourAsics) {
+  // §VI.B: "the scheduler can be built with no more than four identical
+  // ASICs".
+  EXPECT_LE(scheduler_asic_count(64, 6), 4);
+  EXPECT_GE(scheduler_asic_count(64, 6), 2);
+}
+
+TEST(OsmosisSystem, OpticalBudgetCloses) {
+  OsmosisSystem sys;
+  EXPECT_TRUE(sys.optical_budget().closes);
+}
+
+TEST(OsmosisSystem, FabricSizingThreeStages) {
+  OsmosisSystem sys;
+  const auto s = sys.fabric_sizing();
+  EXPECT_EQ(s.path_stages, 3);
+  EXPECT_EQ(s.endpoint_ports, 2048u);
+}
+
+TEST(OsmosisSystem, SwitchLatencyUnderModerateLoad) {
+  OsmosisSystem sys;
+  // Mean queueing traversal in a 64-port FLPPR switch at 50 % load is a
+  // couple of cell cycles -> around 100 ns.
+  const double ns = sys.switch_latency_ns(0.5);
+  EXPECT_GT(ns, 51.2);
+  EXPECT_LT(ns, 250.0);
+}
+
+TEST(OsmosisSystem, ProductFabricMeetsLatencyBudget) {
+  // §III: < 500 ns fabric including cabling. The 200 Gb/s product cell
+  // (10.24 ns) makes the 3-stage path + 50 m cabling fit.
+  OsmosisSystem sys{product_config()};
+  EXPECT_LT(sys.fabric_latency_ns(), 500.0);
+}
+
+TEST(OsmosisSystem, ComplianceReportAllPass) {
+  OsmosisSystem sys;
+  const auto rows = sys.check_requirements(10'000);
+  ASSERT_EQ(rows.size(), 8u);
+  for (const auto& row : rows)
+    EXPECT_TRUE(row.pass) << row.requirement << ": " << row.achieved;
+}
+
+TEST(OsmosisSystem, SimulationHonorsConfiguredScheduler) {
+  OsmosisConfig cfg = demonstrator_config();
+  cfg.scheduler = sw::SchedulerKind::kPipelinedIslip;
+  OsmosisSystem sys{cfg};
+  const auto r = sys.simulate_uniform(0.3, 1, 5'000);
+  EXPECT_NE(r.scheduler.find("pipelined"), std::string::npos);
+}
+
+TEST(OsmosisSystem, RejectsInfeasibleCellFormat) {
+  OsmosisConfig cfg = demonstrator_config();
+  cfg.cell.guard.switch_settle_ns = 60.0;  // guard exceeds the cycle
+  EXPECT_DEATH(OsmosisSystem{cfg}, "no user payload");
+}
+
+}  // namespace
+}  // namespace osmosis::core

@@ -1,0 +1,97 @@
+// Tests for the discrete-event kernel.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.hpp"
+
+namespace osmosis::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30.0, [&] { order.push_back(3); });
+  q.schedule_at(10.0, [&] { order.push_back(1); });
+  q.schedule_at(20.0, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 30.0);
+}
+
+TEST(EventQueue, EqualTimesFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    q.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, HandlersCanScheduleMore) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) q.schedule_in(1.0, chain);
+  };
+  q.schedule_at(0.0, chain);
+  q.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(q.now(), 4.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizon) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] { ++fired; });
+  q.schedule_at(100.0, [&] { ++fired; });
+  q.run_until(50.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 50.0);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  q.schedule_at(0.0, [] {});
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, CountsFired) {
+  EventQueue q;
+  for (int i = 0; i < 7; ++i) q.schedule_at(static_cast<double>(i), [] {});
+  q.run();
+  EXPECT_EQ(q.fired(), 7u);
+}
+
+TEST(PeriodicProcess, FiresAtPeriod) {
+  EventQueue q;
+  int count = 0;
+  PeriodicProcess p(q, 10.0, 5.0, [&] { ++count; });
+  q.run_until(30.0);  // fires at 10, 15, 20, 25, 30
+  EXPECT_EQ(count, 5);
+  p.cancel();
+  q.run_until(100.0);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(PeriodicProcess, CancelledByDestruction) {
+  EventQueue q;
+  int count = 0;
+  {
+    PeriodicProcess p(q, 0.0, 1.0, [&] { ++count; });
+    q.run_until(3.0);
+  }
+  const int at_destruction = count;
+  q.run_until(10.0);
+  EXPECT_EQ(count, at_destruction);
+}
+
+}  // namespace
+}  // namespace osmosis::sim

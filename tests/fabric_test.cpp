@@ -1,0 +1,219 @@
+// Tests for fat-tree sizing (§VI.C), buffer placement (Fig. 2), and the
+// flow-controlled multistage fabric simulation (Figs. 3-4).
+
+#include <gtest/gtest.h>
+
+#include "src/fabric/fabric_sim.hpp"
+#include "src/fabric/fat_tree.hpp"
+#include "src/fabric/placement.hpp"
+
+namespace osmosis::fabric {
+namespace {
+
+// ---- sizing (§VI.C) ----------------------------------------------------------
+
+TEST(FatTree, Osmosis64PortGives2048InThreeStages) {
+  // §V/§VI.C: "a two-level (i.e., three-stage) fat-tree topology yields
+  // 2048 ports at the fabric level".
+  const auto s = size_fat_tree(64, 2048);
+  EXPECT_EQ(s.levels, 2);
+  EXPECT_EQ(s.path_stages, 3);
+  EXPECT_EQ(s.endpoint_ports, 2048u);
+  EXPECT_EQ(s.switches_total, 96u);  // 64 leaves + 32 spines
+}
+
+TEST(FatTree, HighEndElectronic32PortNeedsFiveStages) {
+  const auto s = size_fat_tree(32, 2048);
+  EXPECT_EQ(s.path_stages, 5);
+  EXPECT_GE(s.endpoint_ports, 2048u);
+}
+
+TEST(FatTree, Commodity8PortNeedsNineStages) {
+  const auto s = size_fat_tree(8, 2048);
+  EXPECT_EQ(s.path_stages, 9);
+  EXPECT_GE(s.endpoint_ports, 2048u);
+}
+
+TEST(FatTree, Commodity12PortSavesALevel) {
+  // "commodity parts will probably offer only 8 to 12 ports": the
+  // paper's 9-stage figure corresponds to the 8-port end; 12-port parts
+  // reach 2048 endpoints one level earlier (7 stages) — still far more
+  // than OSMOSIS' 3.
+  const auto s = size_fat_tree(12, 2048);
+  EXPECT_EQ(s.path_stages, 7);
+  EXPECT_GE(s.endpoint_ports, 2048u);
+}
+
+TEST(FatTree, OsmosisSavesTwoOeoLayersVsHighEnd) {
+  // §VI.C: "OSMOSIS saves two layers of OEO conversions in the fat tree".
+  const auto osmosis = size_fat_tree(64, 2048);
+  const auto electronic = size_fat_tree(32, 2048);
+  EXPECT_EQ(electronic.oeo_pairs_per_path - osmosis.oeo_pairs_per_path, 2u);
+}
+
+TEST(FatTree, SingleSwitchCase) {
+  const auto s = size_fat_tree(64, 64);
+  EXPECT_EQ(s.levels, 1);
+  EXPECT_EQ(s.path_stages, 1);
+  EXPECT_EQ(s.switches_total, 1u);
+  EXPECT_EQ(s.interswitch_cables, 0u);
+}
+
+TEST(FatTree, SwitchCountFormulaHolds) {
+  // Folded Clos: total switches = stages * endpoints / radix.
+  for (int radix : {8, 16, 32, 64}) {
+    const auto s = size_fat_tree(radix, 2048);
+    EXPECT_EQ(s.switches_total,
+              static_cast<std::uint64_t>(s.path_stages) * s.endpoint_ports /
+                  static_cast<std::uint64_t>(radix))
+        << "radix " << radix;
+  }
+}
+
+TEST(FatTree, PathLatencyComposition) {
+  const auto s = size_fat_tree(64, 2048);
+  // 3 stages x 100 ns + 4 cable hops x 50 ns.
+  EXPECT_DOUBLE_EQ(path_latency_ns(s, 100.0, 50.0), 500.0);
+  EXPECT_EQ(cable_hops(s), 4);
+}
+
+TEST(FatTree, RejectsOddRadix) {
+  EXPECT_DEATH(size_fat_tree(7, 100), "even");
+}
+
+// ---- buffer placement (Fig. 2) -------------------------------------------------
+
+TEST(Placement, OptionOneDoublesOeo) {
+  const auto rows = compare_placements(250.0, 51.2, 51.2);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].oeo_pairs_per_stage, 2);
+  EXPECT_EQ(rows[1].oeo_pairs_per_stage, 1);
+  EXPECT_EQ(rows[2].oeo_pairs_per_stage, 1);
+}
+
+TEST(Placement, OptionTwoPaysCableOnEveryGrant) {
+  const double cable = 250.0, cell = 51.2, sched = 51.2;
+  const auto o2 = analyze_placement(BufferPlacement::kOutputOnly, cable, cell,
+                                    sched);
+  const auto o3 = analyze_placement(BufferPlacement::kInputOnly, cable, cell,
+                                    sched);
+  EXPECT_NEAR(o2.request_grant_rtt_ns - o3.request_grant_rtt_ns, 2.0 * cable,
+              1e-9);
+}
+
+TEST(Placement, OptionThreeBuffersSizedByRtt) {
+  const auto a = analyze_placement(BufferPlacement::kInputOnly, 250.0, 51.2,
+                                   51.2);
+  // 2 x 250 ns / 51.2 ns/cell ~ 10 cells + margin.
+  EXPECT_GE(a.min_input_buffer_cells, 10);
+  EXPECT_LE(a.min_input_buffer_cells, 14);
+  EXPECT_FALSE(a.point_to_point_fc);  // many-to-one, relayed via scheduler
+}
+
+TEST(Placement, BufferCellsForRtt) {
+  EXPECT_EQ(buffer_cells_for_rtt(0.0, 51.2, 0), 0);
+  EXPECT_EQ(buffer_cells_for_rtt(512.0, 51.2, 2), 12);
+}
+
+// ---- multistage simulation (Figs. 3-4) ------------------------------------------
+
+FabricSimConfig small_fabric() {
+  FabricSimConfig cfg;
+  cfg.radix = 8;  // 32 hosts, 8 leaves + 4 spines
+  cfg.trunk_cable_slots = 4;
+  cfg.buffer_cells = 16;
+  cfg.warmup_slots = 1'000;
+  cfg.measure_slots = 12'000;
+  return cfg;
+}
+
+TEST(FabricSim, LosslessAndInOrderUnderUniformLoad) {
+  const auto r = run_fabric_uniform(small_fabric(), 0.7, 31);
+  EXPECT_EQ(r.buffer_overflows, 0u);
+  EXPECT_EQ(r.out_of_order, 0u);
+  EXPECT_GT(r.delivered, 100'000u);
+}
+
+TEST(FabricSim, ThroughputMatchesOfferedLoad) {
+  for (double load : {0.3, 0.6}) {
+    const auto r = run_fabric_uniform(small_fabric(), load, 37);
+    EXPECT_NEAR(r.throughput, load, 0.03) << "load " << load;
+  }
+}
+
+TEST(FabricSim, BuffersNeverExceedCapacity) {
+  auto cfg = small_fabric();
+  cfg.buffer_cells = 6;
+  const auto r = run_fabric_uniform(cfg, 0.9, 41);
+  EXPECT_EQ(r.buffer_overflows, 0u);
+  EXPECT_LE(r.max_leaf_input_occupancy, cfg.buffer_cells);
+  EXPECT_LE(r.max_spine_input_occupancy, cfg.buffer_cells);
+}
+
+TEST(FabricSim, SmallBuffersThrottleButNeverDrop) {
+  // Figs. 3-4 story: the FC loop has a deterministic RTT; buffers
+  // smaller than the RTT product cost throughput, never packets.
+  auto starved = small_fabric();
+  starved.buffer_cells = 2;  // far below the trunk RTT of ~8 slots
+  starved.trunk_cable_slots = 8;
+  const auto r_starved = run_fabric_uniform(starved, 0.9, 43);
+
+  auto sized = small_fabric();
+  sized.trunk_cable_slots = 8;
+  sized.buffer_cells = buffer_cells_for_rtt(2.0 * 8.0, 1.0, 4);
+  const auto r_sized = run_fabric_uniform(sized, 0.9, 43);
+
+  EXPECT_EQ(r_starved.buffer_overflows, 0u);
+  EXPECT_LT(r_starved.throughput, r_sized.throughput * 0.8);
+}
+
+TEST(FabricSim, RttSizedBuffersSustainHighLoad) {
+  auto cfg = small_fabric();
+  cfg.trunk_cable_slots = 6;
+  cfg.buffer_cells = buffer_cells_for_rtt(2.0 * 6.0, 1.0, 4);
+  const auto r = run_fabric_uniform(cfg, 0.85, 47);
+  EXPECT_GT(r.throughput, 0.80);
+  EXPECT_EQ(r.buffer_overflows, 0u);
+}
+
+TEST(FabricSim, HotspotStaysLossless) {
+  // Adversarial many-to-one pressure exercises the many-to-one FC that
+  // §IV.B's scheduler relay solves.
+  auto cfg = small_fabric();
+  const int hosts = cfg.radix * cfg.radix / 2;
+  FabricSim sim(cfg, sim::make_hotspot(hosts, 0.6, 5, 0.5, 51));
+  const auto r = sim.run();
+  EXPECT_EQ(r.buffer_overflows, 0u);
+  EXPECT_EQ(r.out_of_order, 0u);
+}
+
+TEST(FabricSim, LargerRadixScalesHostCount) {
+  FabricSimConfig cfg = small_fabric();
+  cfg.radix = 16;
+  cfg.measure_slots = 4'000;
+  const auto r = run_fabric_uniform(cfg, 0.5, 53);
+  EXPECT_EQ(r.hosts, 128);
+  EXPECT_EQ(r.buffer_overflows, 0u);
+}
+
+TEST(FabricSim, DelayIncludesCableFlightTimes) {
+  // Remote traffic crosses host + 2 trunk cables + 3 switch stages; the
+  // minimum end-to-end delay must exceed the raw flight time.
+  auto cfg = small_fabric();
+  cfg.trunk_cable_slots = 10;
+  const auto r = run_fabric_uniform(cfg, 0.1, 59);
+  // Remote minimum: host(1) + trunk(10) + trunk(10) + egress(1) = 22;
+  // 1/8 of traffic is leaf-local (~3 slots), so the mean sits near
+  // 0.875 * 22 + 0.125 * 3 ~ 19.6 at light load.
+  EXPECT_GT(r.mean_delay_slots, 18.0);
+  EXPECT_LT(r.mean_delay_slots, 26.0);
+}
+
+TEST(FabricSim, RequiresImmediateIssueScheduler) {
+  auto cfg = small_fabric();
+  cfg.scheduler = sw::SchedulerKind::kFlppr;
+  EXPECT_DEATH(run_fabric_uniform(cfg, 0.5, 61), "immediate-issue");
+}
+
+}  // namespace
+}  // namespace osmosis::fabric

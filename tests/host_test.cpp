@@ -1,0 +1,225 @@
+// Tests for the host layer: segmentation/reassembly, HCA latency budget,
+// message workloads, and end-to-end message simulation over the switch.
+
+#include <gtest/gtest.h>
+
+#include "src/host/hca.hpp"
+#include "src/host/message.hpp"
+#include "src/host/message_sim.hpp"
+#include "src/host/patterns.hpp"
+
+namespace osmosis::host {
+namespace {
+
+// ---- segmentation / reassembly -----------------------------------------------
+
+TEST(Segmenter, CellCountRounding) {
+  Segmenter seg(195.0);
+  EXPECT_EQ(seg.cells_for(1.0), 1);
+  EXPECT_EQ(seg.cells_for(195.0), 1);
+  EXPECT_EQ(seg.cells_for(196.0), 2);
+  EXPECT_EQ(seg.cells_for(1950.0), 10);
+  EXPECT_EQ(seg.cells_for(0.0), 1);  // header-only message still ships
+}
+
+TEST(Segmenter, EmitsAllCellsInOrder) {
+  Segmenter seg(100.0);
+  Message m;
+  m.src = 0;
+  m.dst = 3;
+  m.id = 42;
+  m.bytes = 450.0;  // 5 cells
+  seg.post(m);
+  for (int i = 0; i < 5; ++i) {
+    std::uint64_t id;
+    int dst;
+    bool control, last;
+    ASSERT_TRUE(seg.next_cell(id, dst, control, last));
+    EXPECT_EQ(id, 42u);
+    EXPECT_EQ(dst, 3);
+    EXPECT_FALSE(control);
+    EXPECT_EQ(last, i == 4);
+  }
+  std::uint64_t id;
+  int dst;
+  bool control, last;
+  EXPECT_FALSE(seg.next_cell(id, dst, control, last));
+  EXPECT_TRUE(seg.idle());
+}
+
+TEST(Segmenter, ControlMessagesPreemptDataBetweenCells) {
+  Segmenter seg(100.0);
+  Message data;
+  data.src = 0;
+  data.dst = 1;
+  data.id = 1;
+  data.bytes = 300.0;  // 3 cells
+  seg.post(data);
+  std::uint64_t id;
+  int dst;
+  bool control, last;
+  ASSERT_TRUE(seg.next_cell(id, dst, control, last));
+  EXPECT_EQ(id, 1u);  // data cell 1 goes out
+
+  Message ctrl;
+  ctrl.src = 0;
+  ctrl.dst = 2;
+  ctrl.id = 2;
+  ctrl.bytes = 50.0;
+  ctrl.control = true;
+  seg.post(ctrl);
+  ASSERT_TRUE(seg.next_cell(id, dst, control, last));
+  EXPECT_EQ(id, 2u);  // control preempts the remaining data cells
+  EXPECT_TRUE(control);
+  EXPECT_TRUE(last);
+  ASSERT_TRUE(seg.next_cell(id, dst, control, last));
+  EXPECT_EQ(id, 1u);  // data resumes
+}
+
+TEST(Reassembler, CompletesOnLastCell) {
+  Reassembler r;
+  r.expect(7, 3);
+  EXPECT_FALSE(r.receive(7));
+  EXPECT_FALSE(r.receive(7));
+  EXPECT_TRUE(r.receive(7));
+  EXPECT_EQ(r.incomplete(), 0u);
+}
+
+TEST(Reassembler, RejectsUnknownAndDuplicate) {
+  Reassembler r;
+  r.expect(1, 1);
+  EXPECT_TRUE(r.receive(1));
+  EXPECT_DEATH(r.receive(1), "unknown");
+  EXPECT_DEATH(r.expect(2, 0), "at least one");
+}
+
+// ---- HCA budget ----------------------------------------------------------------
+
+TEST(Hca, AppToAppBudgetComposition) {
+  HcaParams hca;
+  const auto b = app_to_app_budget(hca, 150.0, 245.0);
+  ASSERT_EQ(b.items.size(), 6u);
+  EXPECT_DOUBLE_EQ(b.total_ns(),
+                   2 * 250.0 + 2 * 120.0 + 150.0 + 245.0);
+  // The paper's contemporary target: ~1 us application to application.
+  EXPECT_LT(b.total_ns(), 1'200.0);
+}
+
+// ---- workloads ------------------------------------------------------------------
+
+TEST(Workloads, RandomMessagesNeverSelfAddressed) {
+  RandomMessages w(8, 1.0, 0.3, 64.0, 2048.0, sim::Rng(1));
+  std::vector<Message> out;
+  for (int t = 0; t < 200; ++t) {
+    for (int h = 0; h < 8; ++h) {
+      out.clear();
+      w.poll(h, static_cast<std::uint64_t>(t), out);
+      for (const auto& m : out) {
+        EXPECT_NE(m.dst, h);
+        EXPECT_GE(m.dst, 0);
+        EXPECT_LT(m.dst, 8);
+        EXPECT_GT(m.id, 0u);
+      }
+    }
+  }
+}
+
+TEST(Workloads, AllToAllPostsExactlyOnce) {
+  AllToAll w(6, 512.0);
+  std::vector<Message> out;
+  int total = 0;
+  for (int h = 0; h < 6; ++h) {
+    out.clear();
+    w.poll(h, 0, out);
+    EXPECT_EQ(out.size(), 5u);
+    total += static_cast<int>(out.size());
+    out.clear();
+    w.poll(h, 1, out);
+    EXPECT_TRUE(out.empty());
+  }
+  EXPECT_EQ(total, 30);  // N(N-1)
+}
+
+TEST(Workloads, RingIsPermutation) {
+  RingExchange w(5, 100.0);
+  std::vector<bool> dst_seen(5, false);
+  for (int h = 0; h < 5; ++h) {
+    std::vector<Message> out;
+    w.poll(h, 0, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_FALSE(dst_seen[static_cast<std::size_t>(out[0].dst)]);
+    dst_seen[static_cast<std::size_t>(out[0].dst)] = true;
+  }
+}
+
+// ---- end-to-end message simulation ------------------------------------------------
+
+MessageSimConfig base_config(int hosts) {
+  MessageSimConfig cfg;
+  cfg.sw.ports = hosts;
+  cfg.sw.sched.kind = sw::SchedulerKind::kFlppr;
+  cfg.sw.sched.receivers = 2;
+  cfg.sw.warmup_slots = 0;
+  cfg.sw.measure_slots = 20'000;
+  cfg.cell = phy::demonstrator_cell_format();
+  return cfg;
+}
+
+TEST(MessageSim, AllToAllCompletesAndIsAccounted) {
+  auto cfg = base_config(8);
+  MessageSim sim(cfg, std::make_unique<AllToAll>(8, 1024.0));
+  const auto r = sim.run();
+  EXPECT_TRUE(r.all_complete);
+  EXPECT_EQ(r.posted, 56u);
+  EXPECT_EQ(r.completed, 56u);
+  EXPECT_EQ(r.cell_level.out_of_order, 0u);
+  // 1024 B = 6 cells of ~195 B; 7 messages per source; the collective
+  // cannot finish faster than 42 injection slots per host.
+  EXPECT_GE(r.collective_completion_slot, 42u);
+  EXPECT_LT(r.collective_completion_slot, 200u);
+}
+
+TEST(MessageSim, RingExchangeNearOptimal) {
+  auto cfg = base_config(16);
+  const double bytes = 1950.0;  // 10 cells
+  MessageSim sim(cfg, std::make_unique<RingExchange>(16, bytes));
+  const auto r = sim.run();
+  EXPECT_TRUE(r.all_complete);
+  // A permutation has no contention: completion ~ cells + pipeline.
+  EXPECT_LE(r.collective_completion_slot, 10u + 8u);
+}
+
+TEST(MessageSim, ControlMessagesFasterThanDataUnderLoad) {
+  auto cfg = base_config(16);
+  cfg.sw.measure_slots = 30'000;
+  cfg.stats_after_slot = 2'000;
+  // 0.05 msgs/slot/host x ~11 cells mean -> ~55 % cell load.
+  MessageSim sim(cfg, std::make_unique<RandomMessages>(
+                          16, 0.05, 0.3, 64.0, 2048.0, sim::Rng(3)));
+  const auto r = sim.run();
+  EXPECT_GT(r.completed, 10'000u);
+  // Control messages are single-cell and strictly prioritized.
+  EXPECT_LT(r.mean_control_latency_cycles, r.mean_data_latency_cycles);
+  EXPECT_EQ(r.cell_level.out_of_order, 0u);
+}
+
+TEST(MessageSim, SmallMessageAppLatencyNearMicrosecond) {
+  // §III: "a contemporary target is 1 us application to application".
+  auto cfg = base_config(64);
+  cfg.sw.measure_slots = 10'000;
+  MessageSim sim(cfg, std::make_unique<RandomMessages>(
+                          64, 0.02, 1.0, 64.0, 64.0, sim::Rng(5)));
+  const auto r = sim.run();
+  EXPECT_GT(r.completed, 10'000u);
+  EXPECT_LT(r.control_app_latency_ns, 1'300.0);
+  EXPECT_GT(r.control_app_latency_ns, 700.0);
+}
+
+TEST(MessageSim, RejectsWorkloadPortMismatch) {
+  auto cfg = base_config(8);
+  EXPECT_DEATH(MessageSim(cfg, std::make_unique<AllToAll>(4, 100.0)),
+               "must equal switch ports");
+}
+
+}  // namespace
+}  // namespace osmosis::host

@@ -1,0 +1,159 @@
+// Tests for the §VI.A management subsystem: counters, component health
+// with dual-receiver redundancy semantics, and configuration validation.
+
+#include <gtest/gtest.h>
+
+#include "src/core/config.hpp"
+#include "src/mgmt/config_check.hpp"
+#include "src/mgmt/counters.hpp"
+#include "src/mgmt/health.hpp"
+
+namespace osmosis::mgmt {
+namespace {
+
+// ---- counters ----------------------------------------------------------------
+
+TEST(Counters, AddAndRead) {
+  CounterRegistry reg;
+  reg.add("ingress.0.cells", 5);
+  reg.add("ingress.0.cells", 3);
+  EXPECT_DOUBLE_EQ(reg.value("ingress.0.cells"), 8.0);
+  EXPECT_TRUE(reg.has("ingress.0.cells"));
+  EXPECT_FALSE(reg.has("ingress.1.cells"));
+}
+
+TEST(Counters, GaugesOverwrite) {
+  CounterRegistry reg;
+  reg.set_gauge("voq.depth", 7.0);
+  reg.set_gauge("voq.depth", 3.0);
+  EXPECT_DOUBLE_EQ(reg.value("voq.depth"), 3.0);
+}
+
+TEST(Counters, MonotonicCountersRejectDecrease) {
+  CounterRegistry reg;
+  EXPECT_DEATH(reg.add("x", -1.0), "cannot decrease");
+}
+
+TEST(Counters, PrefixQuery) {
+  CounterRegistry reg;
+  reg.add("a.one");
+  reg.add("a.two");
+  reg.add("b.one");
+  const auto names = reg.names_with_prefix("a.");
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a.one");
+  EXPECT_EQ(names[1], "a.two");
+}
+
+TEST(Counters, SnapshotDeltaAndRates) {
+  CounterRegistry reg;
+  reg.add("cells", 100);
+  const Snapshot s1 = reg.snapshot();
+  reg.add("cells", 60);
+  const Snapshot s2 = reg.snapshot();
+  const auto d = CounterRegistry::delta(s1, s2);
+  EXPECT_DOUBLE_EQ(d.at("cells"), 60.0);
+  const auto r = CounterRegistry::rates(s1, s2, 2.0);
+  EXPECT_DOUBLE_EQ(r.at("cells"), 30.0);
+}
+
+// ---- health -------------------------------------------------------------------
+
+TEST(Health, DeclareAndReport) {
+  HealthRegistry reg;
+  reg.declare("scheduler");
+  EXPECT_EQ(reg.status("scheduler"), Status::kOk);
+  reg.report("scheduler", Status::kDegraded, 100, "FPGA over temperature");
+  EXPECT_EQ(reg.status("scheduler"), Status::kDegraded);
+  ASSERT_EQ(reg.events().size(), 1u);
+  EXPECT_EQ(reg.events()[0].time_slot, 100u);
+}
+
+TEST(Health, RedundantModuleFailureOnlyDegrades) {
+  HealthRegistry reg;
+  reg.declare("module/5/0");
+  reg.declare("module/5/1");
+  reg.report("module/5/0", Status::kFailed, 1);
+  // Dual-receiver redundancy: the egress is still reachable.
+  EXPECT_EQ(reg.system_status(), Status::kDegraded);
+  reg.report("module/5/1", Status::kFailed, 2);
+  EXPECT_EQ(reg.system_status(), Status::kFailed);
+}
+
+TEST(Health, NonRedundantFailureIsFatal) {
+  HealthRegistry reg;
+  reg.declare("broadcast/3");
+  reg.report("broadcast/3", Status::kFailed, 1, "fiber cut");
+  EXPECT_EQ(reg.system_status(), Status::kFailed);
+}
+
+TEST(Health, SurveyImportsCrossbarState) {
+  phy::BroadcastSelectCrossbar xbar;
+  xbar.fail_module(9, 1);
+  xbar.fail_fiber(4);
+  const auto reg = survey_crossbar(xbar, 77);
+  // 8 broadcast + 128 modules + scheduler.
+  EXPECT_EQ(reg.component_count(), 137u);
+  EXPECT_EQ(reg.status("module/9/1"), Status::kFailed);
+  EXPECT_EQ(reg.status("module/9/0"), Status::kOk);
+  EXPECT_EQ(reg.status("broadcast/4"), Status::kFailed);
+  EXPECT_EQ(reg.count(Status::kFailed), 2u);
+  // The dark fiber is not redundant: system failed.
+  EXPECT_EQ(reg.system_status(), Status::kFailed);
+}
+
+TEST(Health, HealthyCrossbarSurveyIsOk) {
+  phy::BroadcastSelectCrossbar xbar;
+  const auto reg = survey_crossbar(xbar, 0);
+  EXPECT_EQ(reg.system_status(), Status::kOk);
+  EXPECT_TRUE(reg.events().empty());
+}
+
+// ---- configuration validation ---------------------------------------------------
+
+TEST(ConfigCheck, DemonstratorConfigValidates) {
+  const auto findings = validate_config(core::demonstrator_config());
+  EXPECT_TRUE(config_ok(findings));
+  for (const auto& f : findings)
+    EXPECT_NE(f.severity, Severity::kError) << to_string(f);
+}
+
+TEST(ConfigCheck, ProductConfigValidates) {
+  const auto findings = validate_config(core::product_config());
+  EXPECT_TRUE(config_ok(findings)) << findings.size() << " findings";
+}
+
+TEST(ConfigCheck, DetectsGeometryMismatch) {
+  auto cfg = core::demonstrator_config();
+  cfg.fibers = 7;
+  const auto findings = validate_config(cfg);
+  EXPECT_FALSE(config_ok(findings));
+  EXPECT_EQ(findings[0].check, "geometry");
+}
+
+TEST(ConfigCheck, DetectsInfeasibleCellTiming) {
+  auto cfg = core::demonstrator_config();
+  cfg.cell.guard.switch_settle_ns = 60.0;
+  const auto findings = validate_config(cfg);
+  EXPECT_FALSE(config_ok(findings));
+}
+
+TEST(ConfigCheck, WarnsOnLowEfficiency) {
+  auto cfg = core::demonstrator_config();
+  cfg.cell.guard.switch_settle_ns = 20.0;  // beam-steering-class guard
+  const auto findings = validate_config(cfg);
+  bool warned = false;
+  for (const auto& f : findings)
+    warned |= f.severity == Severity::kWarning && f.check == "cell timing";
+  EXPECT_TRUE(warned);
+}
+
+TEST(ConfigCheck, ReportsSchedulerSizing) {
+  const auto findings = validate_config(core::demonstrator_config());
+  bool sized = false;
+  for (const auto& f : findings) sized |= f.check == "scheduler sizing";
+  EXPECT_TRUE(sized);
+}
+
+}  // namespace
+}  // namespace osmosis::mgmt

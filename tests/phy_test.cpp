@@ -1,0 +1,264 @@
+// Tests for the optical physical layer: technology viability, guard-time
+// and efficiency budgets, SOA gain / DPSK model (Fig. 10), BER math.
+
+#include <gtest/gtest.h>
+
+#include "src/phy/cascade.hpp"
+#include "src/phy/guard_time.hpp"
+#include "src/phy/link_budget.hpp"
+#include "src/phy/soa.hpp"
+#include "src/phy/sync.hpp"
+#include "src/phy/technology.hpp"
+
+namespace osmosis::phy {
+namespace {
+
+// ---- technology catalogue ---------------------------------------------------
+
+TEST(Technology, CatalogueCoversPaperEntries) {
+  EXPECT_NEAR(technology(SwitchTech::kSoa).guard_time_ns, 5.0, 0.01);
+  EXPECT_NEAR(technology(SwitchTech::kTunableLaser).guard_time_ns, 45.0, 0.1);
+  EXPECT_NEAR(technology(SwitchTech::kBeamSteering).guard_time_ns, 20.0, 0.1);
+  EXPECT_LT(technology(SwitchTech::kSoaDpskSaturated).guard_time_ns, 1.0);
+}
+
+TEST(Technology, MechanicalAndThermalNotPacketSwitchable) {
+  // §IV.C: "this prohibits technologies that use slower physical
+  // effects (moving mirrors, heating/cooling)".
+  const double cell_ns = demonstrator_cell_format().cycle_ns();
+  EXPECT_FALSE(viable_for_packet_switching(technology(SwitchTech::kMems),
+                                           cell_ns));
+  EXPECT_FALSE(viable_for_packet_switching(
+      technology(SwitchTech::kThermoOptic), cell_ns));
+  EXPECT_TRUE(viable_for_packet_switching(technology(SwitchTech::kSoa),
+                                          cell_ns));
+}
+
+TEST(Technology, TunableLaserMarginalAtShortCells) {
+  // A 45 ns guard cannot fit a 51.2 ns cell; it needs longer cells.
+  const auto& laser = technology(SwitchTech::kTunableLaser);
+  EXPECT_FALSE(viable_for_packet_switching(laser, 51.2));
+  EXPECT_TRUE(viable_for_packet_switching(laser, 400.0));
+}
+
+// ---- guard time and efficiency ----------------------------------------------
+
+TEST(GuardTime, DemonstratorCycleIs51ns) {
+  const CellFormat f = demonstrator_cell_format();
+  EXPECT_DOUBLE_EQ(f.cycle_ns(), 51.2);
+}
+
+TEST(GuardTime, EffectiveUserBandwidthNear75Percent) {
+  // §V / Table 1: effective user bandwidth close to 75 %.
+  const CellFormat f = demonstrator_cell_format();
+  EXPECT_GT(f.user_efficiency(), 0.72);
+  EXPECT_LT(f.user_efficiency(), 0.80);
+}
+
+TEST(GuardTime, FecOverheadMatchesCode) {
+  EXPECT_DOUBLE_EQ(demonstrator_cell_format().fec_overhead, 0.0625);
+}
+
+TEST(GuardTime, EfficiencyFallsWithGuard) {
+  CellFormat f = demonstrator_cell_format();
+  const double base = f.user_efficiency();
+  f.guard.switch_settle_ns = 45.0;  // tunable-laser class guard
+  EXPECT_LT(f.user_efficiency(), base);
+}
+
+TEST(GuardTime, SubNanosecondGuardRecoversEfficiency) {
+  // §VII: DPSK-saturated SOAs with sub-ns guard let the cell shrink
+  // while keeping the payload fraction.
+  CellFormat f = demonstrator_cell_format();
+  f.guard.switch_settle_ns = 0.8;
+  EXPECT_GT(f.user_efficiency(), demonstrator_cell_format().user_efficiency());
+}
+
+TEST(GuardTime, InfeasibleWhenGuardSwallowsCell) {
+  CellFormat f = demonstrator_cell_format();
+  f.guard.switch_settle_ns = 60.0;  // exceeds the 51.2 ns cycle
+  EXPECT_FALSE(f.feasible());
+}
+
+TEST(GuardTime, StoreAndForwardPenaltyMatchesPaper) {
+  // §IV: 64 B at 12 GByte/s stores in 5.33 ns.
+  EXPECT_NEAR(store_and_forward_penalty_ns(64.0, 96.0), 5.33, 0.01);
+}
+
+// ---- SOA / Fig. 10 -----------------------------------------------------------
+
+TEST(Soa, GainCompresses3dbAtSaturationInput) {
+  SoaGainModel model;
+  const double psat = model.params().saturation_input_dbm;
+  EXPECT_NEAR(model.compression_db(psat), 3.01, 0.05);
+  EXPECT_NEAR(model.gain_db(-30.0), model.params().small_signal_gain_db,
+              0.05);
+}
+
+TEST(Soa, QForBerRoundTrip) {
+  for (double ber : {1e-3, 1e-6, 1e-10, 1e-12}) {
+    const double q = SoaGainModel::q_for_ber(ber);
+    EXPECT_NEAR(ber_from_q(q), ber, ber * 1e-3);
+  }
+  // Known values: Q(1e-6) ~ 4.75, Q(1e-10) ~ 6.36.
+  EXPECT_NEAR(SoaGainModel::q_for_ber(1e-6), 4.75, 0.02);
+  EXPECT_NEAR(SoaGainModel::q_for_ber(1e-10), 6.36, 0.02);
+}
+
+TEST(Soa, PenaltyMonotoneInPower) {
+  SoaGainModel model;
+  double prev = -1.0;
+  for (double p = 0.0; p <= 20.0; p += 1.0) {
+    const double pen = model.osnr_penalty_db(p, Modulation::kNrz, 1e-6);
+    EXPECT_GE(pen, prev);
+    prev = pen;
+  }
+}
+
+TEST(Soa, DpskAllows14dbMoreLoading) {
+  // The Fig. 10 headline: "a 14 dB improvement measured in SOA input
+  // loading at 1 dB OSNR penalty".
+  SoaGainModel model;
+  EXPECT_NEAR(model.dpsk_loading_improvement_db(1.0, 1e-6), 14.0, 0.2);
+  EXPECT_NEAR(model.dpsk_loading_improvement_db(1.0, 1e-10), 14.0, 0.2);
+}
+
+TEST(Soa, StricterBerCurveSitsAbove) {
+  // Fig. 10 shows the 1e-10 curves above the 1e-6 curves.
+  SoaGainModel model;
+  for (double p = 0.0; p <= 20.0; p += 2.0) {
+    EXPECT_GE(model.osnr_penalty_db(p, Modulation::kNrz, 1e-10),
+              model.osnr_penalty_db(p, Modulation::kNrz, 1e-6));
+  }
+}
+
+TEST(Soa, DpskPenaltyBelowNrzEverywhere) {
+  SoaGainModel model;
+  for (double p = 0.0; p <= 20.0; p += 1.0) {
+    EXPECT_LE(model.osnr_penalty_db(p, Modulation::kDpsk, 1e-6),
+              model.osnr_penalty_db(p, Modulation::kNrz, 1e-6));
+  }
+}
+
+TEST(Soa, SweepCoversFigureRange) {
+  SoaGainModel model;
+  const auto pts = sweep_osnr_penalty(model, 1e-10, 0.0, 20.0, 4.0);
+  ASSERT_EQ(pts.size(), 6u);
+  EXPECT_DOUBLE_EQ(pts.front().input_dbm, 0.0);
+  EXPECT_DOUBLE_EQ(pts.back().input_dbm, 20.0);
+  // NRZ collapses within the plotted range; DPSK stays moderate.
+  EXPECT_GT(pts.back().penalty_nrz_db, 5.0);
+  EXPECT_LT(pts.back().penalty_dpsk_db, 5.0);
+}
+
+// ---- link budget -------------------------------------------------------------
+
+TEST(LinkBudget, DpskNeeds3dbLessOsnr) {
+  // §VII: "the SOA-switched link operates with 3 dB lower OSNR than NRZ
+  // at any given bit-error rate".
+  for (double ber : {1e-6, 1e-10}) {
+    EXPECT_NEAR(required_osnr_db(ber, Modulation::kNrz) -
+                    required_osnr_db(ber, Modulation::kDpsk),
+                3.0, 1e-9);
+  }
+}
+
+TEST(LinkBudget, ChainedErrorRateSmallProbabilities) {
+  // Union-bound regime: n * p for tiny p.
+  EXPECT_NEAR(chained_error_rate(1e-12, 3), 3e-12, 1e-15);
+  EXPECT_DOUBLE_EQ(chained_error_rate(0.0, 100), 0.0);
+  EXPECT_NEAR(chained_error_rate(0.5, 2), 0.75, 1e-12);
+}
+
+// ---- stage cascade ------------------------------------------------------------
+
+TEST(Cascade, SingleStageOsnrFormula) {
+  CascadeStage s;  // -3 dBm in, NF 8 dB
+  EXPECT_DOUBLE_EQ(stage_osnr_db(s), 47.0);
+  EXPECT_DOUBLE_EQ(cascade_osnr_db(s, 1), 47.0);
+}
+
+TEST(Cascade, OsnrFallsLogarithmicallyWithStages) {
+  CascadeStage s;
+  EXPECT_NEAR(cascade_osnr_db(s, 2), 47.0 - 3.01, 0.02);
+  EXPECT_NEAR(cascade_osnr_db(s, 10), 47.0 - 10.0, 0.02);
+}
+
+TEST(Cascade, PaperStageCountsAllClose) {
+  // 3, 5 and 9 stages all close comfortably at healthy per-stage power
+  // — OSNR is not what forbids multistage optics; buffering is (§III).
+  CascadeStage s;
+  for (int stages : {3, 5, 9}) {
+    const auto a = analyze_cascade(s, stages, 1e-12, Modulation::kNrz);
+    EXPECT_TRUE(a.closes) << stages << " stages, margin " << a.margin_db;
+  }
+}
+
+TEST(Cascade, StarvedStagesLimitDepth) {
+  // Skip the per-stage amplification (deep split, no preamp): the
+  // cascade depth collapses.
+  CascadeStage starved;
+  starved.input_power_dbm = -24.0;
+  const int max_nrz = max_cascade_stages(starved, 1e-12, Modulation::kNrz);
+  EXPECT_LT(max_nrz, 9);
+  // DPSK's 3 dB OSNR advantage doubles the admissible depth.
+  const int max_dpsk = max_cascade_stages(starved, 1e-12, Modulation::kDpsk);
+  EXPECT_NEAR(static_cast<double>(max_dpsk) / std::max(max_nrz, 1), 2.0,
+              0.7);
+}
+
+TEST(Cascade, MarginMonotoneInStages) {
+  CascadeStage s;
+  const auto a3 = analyze_cascade(s, 3, 1e-10, Modulation::kNrz);
+  const auto a9 = analyze_cascade(s, 9, 1e-10, Modulation::kNrz);
+  EXPECT_GT(a3.margin_db, a9.margin_db);
+}
+
+// ---- synchronization ([20]) -------------------------------------------------
+
+TEST(Sync, DemonstratorTreeCoversAdaptersWithinJitterBudget) {
+  // 64 adapters at fanout 8 need 2 levels; the resulting arrival window
+  // must fit the cell format's arrival-jitter allocation.
+  SyncTreeParams p;  // fanout 8, 2 levels
+  EXPECT_EQ(sync_levels_needed(64, 8), 2);
+  const auto a = analyze_sync_tree(p);
+  EXPECT_EQ(a.adapters_covered, 64);
+  EXPECT_TRUE(sync_fits_budget(a, demonstrator_cell_format().guard));
+}
+
+TEST(Sync, JitterAccumulatesWithDepth) {
+  SyncTreeParams shallow;
+  shallow.levels = 1;
+  SyncTreeParams deep;
+  deep.levels = 4;
+  const auto s = analyze_sync_tree(shallow);
+  const auto d = analyze_sync_tree(deep);
+  EXPECT_NEAR(d.worst_case_jitter_ns, 4.0 * s.worst_case_jitter_ns, 1e-12);
+  EXPECT_LT(d.rss_jitter_ns, d.worst_case_jitter_ns);
+  EXPECT_GE(s.rss_jitter_ns, s.worst_case_jitter_ns - 1e-12);  // 1 hop: equal
+}
+
+TEST(Sync, DeepTreeBreaksTightBudget) {
+  SyncTreeParams p;
+  p.levels = 6;  // machine-scale tree without recalibration
+  const auto a = analyze_sync_tree(p);
+  GuardTimeBudget tight;
+  tight.arrival_jitter_ns = 1.0;
+  EXPECT_FALSE(sync_fits_budget(a, tight));
+}
+
+TEST(Sync, LevelsNeededMonotone) {
+  EXPECT_EQ(sync_levels_needed(1, 8), 1);
+  EXPECT_EQ(sync_levels_needed(8, 8), 1);
+  EXPECT_EQ(sync_levels_needed(9, 8), 2);
+  EXPECT_EQ(sync_levels_needed(2048, 8), 4);
+}
+
+TEST(LinkBudget, RawBerEnvelopes) {
+  // The paper's premise: optics 1e-10..1e-12 raw, copper to 1e-17.
+  EXPECT_LT(kOpticalRawBerBest, kOpticalRawBerWorst);
+  EXPECT_LT(kCopperEngineeredBer, kOpticalRawBerBest);
+}
+
+}  // namespace
+}  // namespace osmosis::phy

@@ -1,0 +1,101 @@
+// Tests for the power/cost models behind §I, §VI.C and §VII.
+
+#include <gtest/gtest.h>
+
+#include "src/power/power_model.hpp"
+
+namespace osmosis::power {
+namespace {
+
+TEST(SwitchPower, CmosScalesWithDataRate) {
+  const auto tech = highend_electronic_profile();
+  const double p1 = switch_power_w(tech, 1'000.0, 0.0);
+  const double p2 = switch_power_w(tech, 2'000.0, 0.0);
+  EXPECT_NEAR(p2 / p1, 2.0, 1e-9);
+}
+
+TEST(SwitchPower, OpticalIndependentOfDataRate) {
+  // §I: "the optical switch element power consumption is independent of
+  // the data rate".
+  const auto tech = osmosis_profile();
+  const double cells = 64.0 * 40e9 / (256.0 * 8.0);
+  EXPECT_DOUBLE_EQ(switch_power_w(tech, 2'560.0, cells),
+                   switch_power_w(tech, 25'600.0, cells));
+}
+
+TEST(SwitchPower, OpticalControlScalesWithPacketRate) {
+  // "...power consumption of the optical switch control function is
+  // proportional to the packet rate."
+  const auto tech = osmosis_profile();
+  const double base = switch_power_w(tech, 1'000.0, 0.0);
+  const double loaded = switch_power_w(tech, 1'000.0, 1e9);
+  EXPECT_NEAR(loaded - base, 1e9 * tech.control_nj_per_cell * 1e-9, 1e-9);
+}
+
+TEST(FabricPower, StageCountsMatchSectionVIC) {
+  const auto osmosis = fabric_power(osmosis_profile(), 2048, 320.0, 256.0);
+  const auto highend =
+      fabric_power(highend_electronic_profile(), 2048, 320.0, 256.0);
+  const auto commodity =
+      fabric_power(commodity_electronic_profile(), 2048, 320.0, 256.0);
+  EXPECT_EQ(osmosis.sizing.path_stages, 3);
+  EXPECT_EQ(highend.sizing.path_stages, 5);
+  EXPECT_EQ(commodity.sizing.path_stages, 9);
+}
+
+TEST(FabricPower, OpticalWinsAtHighPortRates) {
+  // The paper's §I argument: CMOS power scales with the data rate,
+  // optical element power does not — so there is a crossover rate above
+  // which the optical fabric wins. At 12 GByte/s-class ports (~100
+  // Gb/s) electronics is still competitive; at the §VII product rates
+  // the hybrid fabric clearly wins per port.
+  const auto at = [](const SwitchTechProfile& t, double rate) {
+    return fabric_power(t, 2048, rate, 256.0).power_per_port_w;
+  };
+  const auto osm = osmosis_profile();
+  const auto he = highend_electronic_profile();
+  const auto com = commodity_electronic_profile();
+  // High rate: optical < high-end electronic < commodity.
+  EXPECT_LT(at(osm, 960.0), at(he, 960.0));
+  EXPECT_LT(at(he, 960.0), at(com, 960.0));
+  // The optical ELEMENT power is rate-independent — only the control
+  // share (proportional to the packet rate) moves, a few percent here.
+  // The CMOS datapath grows with the rate itself.
+  EXPECT_LT(at(osm, 960.0), at(osm, 120.0) * 1.10);
+  EXPECT_GT(at(he, 960.0), at(he, 120.0) * 1.5);
+}
+
+TEST(FabricPower, OeoSavings) {
+  const auto osmosis = fabric_power(osmosis_profile(), 2048, 320.0, 256.0);
+  const auto highend =
+      fabric_power(highend_electronic_profile(), 2048, 320.0, 256.0);
+  EXPECT_DOUBLE_EQ(highend.oeo_pairs_per_path - osmosis.oeo_pairs_per_path,
+                   2.0);
+}
+
+TEST(FabricPower, CostRollupPositive) {
+  const auto r = fabric_power(osmosis_profile(), 2048, 320.0, 256.0);
+  EXPECT_GT(r.cost_usd, 0.0);
+  EXPECT_GT(r.usd_per_gbps, 0.0);
+  EXPECT_GT(r.total_power_w, r.switch_power_w);
+}
+
+TEST(Scaling, ElectronicLimitMatchesPaper) {
+  // §VII: "6 - 8 Tb/s aggregate switch bandwidth around the maximum
+  // single-stage electronic limit".
+  EXPECT_GE(electronic_single_stage_limit_tbps(), 6.0);
+  EXPECT_LE(electronic_single_stage_limit_tbps(), 8.0);
+}
+
+TEST(Scaling, OsmosisAggregateScales) {
+  // Demonstrator: 8 x 8 x 40 Gb/s = 2.56 Tb/s.
+  EXPECT_NEAR(osmosis_aggregate_tbps(8, 8, 40.0), 2.56, 1e-9);
+  // §VII product point: 256 ports x 200 Gb/s = 51.2 Tb/s >= 50 Tb/s.
+  EXPECT_GE(osmosis_aggregate_tbps(16, 16, 200.0), 50.0);
+  // And it beats the electronic single-stage ceiling by a wide margin.
+  EXPECT_GT(osmosis_aggregate_tbps(16, 16, 200.0),
+            electronic_single_stage_limit_tbps() * 6.0);
+}
+
+}  // namespace
+}  // namespace osmosis::power

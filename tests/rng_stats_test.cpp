@@ -1,0 +1,195 @@
+// Tests for the RNG and the statistics accumulators.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/sim/rng.hpp"
+#include "src/sim/stats.hpp"
+
+namespace osmosis::sim {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  MeanVar mv;
+  for (int i = 0; i < 100'000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    mv.add(u);
+  }
+  EXPECT_NEAR(mv.mean(), 0.5, 0.01);
+  EXPECT_NEAR(mv.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformIntUnbiased) {
+  Rng rng(9);
+  std::vector<int> counts(7, 0);
+  const int trials = 140'000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.uniform_int(7)];
+  for (int c : counts) EXPECT_NEAR(c, trials / 7.0, trials * 0.01);
+}
+
+TEST(Rng, GeometricMean) {
+  Rng rng(11);
+  const double p = 0.2;
+  MeanVar mv;
+  for (int i = 0; i < 100'000; ++i)
+    mv.add(static_cast<double>(rng.geometric(p)));
+  EXPECT_NEAR(mv.mean(), (1.0 - p) / p, 0.1);
+}
+
+TEST(Rng, GeometricPOneIsZero) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  MeanVar mv;
+  for (int i = 0; i < 100'000; ++i) mv.add(rng.exponential(3.0));
+  EXPECT_NEAR(mv.mean(), 3.0, 0.1);
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng rng(17);
+  for (int n : {1, 2, 8, 64}) {
+    auto p = rng.permutation(n);
+    ASSERT_EQ(static_cast<int>(p.size()), n);
+    std::vector<bool> seen(static_cast<std::size_t>(n), false);
+    for (int v : p) {
+      ASSERT_GE(v, 0);
+      ASSERT_LT(v, n);
+      ASSERT_FALSE(seen[static_cast<std::size_t>(v)]);
+      seen[static_cast<std::size_t>(v)] = true;
+    }
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(21);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += parent.next() == child.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(MeanVar, BasicMoments) {
+  MeanVar mv;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) mv.add(x);
+  EXPECT_DOUBLE_EQ(mv.mean(), 2.5);
+  EXPECT_NEAR(mv.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(mv.min(), 1.0);
+  EXPECT_DOUBLE_EQ(mv.max(), 4.0);
+  EXPECT_EQ(mv.count(), 4u);
+  EXPECT_DOUBLE_EQ(mv.sum(), 10.0);
+}
+
+TEST(MeanVar, EmptyIsZero) {
+  MeanVar mv;
+  EXPECT_DOUBLE_EQ(mv.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(mv.variance(), 0.0);
+}
+
+TEST(MeanVar, MergeMatchesCombined) {
+  Rng rng(3);
+  MeanVar a, b, all;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform();
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Histogram, ExactInLinearRegion) {
+  Histogram h(64.0);
+  for (int i = 0; i < 100; ++i) h.add(5.0);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.p50(), 5.5, 0.6);  // within the [5,6) bin
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+}
+
+TEST(Histogram, QuantilesOrdered) {
+  Histogram h;
+  Rng rng(5);
+  for (int i = 0; i < 50'000; ++i) h.add(rng.exponential(10.0));
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.9));
+  EXPECT_LE(h.quantile(0.9), h.quantile(0.99));
+  EXPECT_LE(h.quantile(0.99), h.max());
+  // Exponential(10): median = 10*ln2 ~ 6.93, p99 ~ 46.
+  EXPECT_NEAR(h.p50(), 6.93, 0.7);
+  EXPECT_NEAR(h.p99(), 46.0, 6.0);
+}
+
+TEST(Histogram, GeometricTailHoldsLargeValues) {
+  Histogram h(8.0, 1.5);
+  h.add(1e6);
+  h.add(2.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GE(h.quantile(1.0), 1e5);
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
+}
+
+TEST(ThroughputMeter, Utilization) {
+  ThroughputMeter m;
+  m.advance_slots(100, 4);  // 400 cell opportunities
+  for (int i = 0; i < 300; ++i) m.add_delivery();
+  EXPECT_DOUBLE_EQ(m.utilization(), 0.75);
+}
+
+TEST(ThroughputMeter, EmptyIsZero) {
+  ThroughputMeter m;
+  EXPECT_DOUBLE_EQ(m.utilization(), 0.0);
+}
+
+TEST(ReorderDetector, InOrderFlows) {
+  ReorderDetector d;
+  for (std::uint64_t s = 0; s < 100; ++s) {
+    EXPECT_FALSE(d.deliver(0, 1, s));
+    EXPECT_FALSE(d.deliver(2, 3, s));
+  }
+  EXPECT_EQ(d.out_of_order(), 0u);
+  EXPECT_EQ(d.total(), 200u);
+}
+
+TEST(ReorderDetector, DetectsReordering) {
+  ReorderDetector d;
+  d.deliver(0, 0, 0);
+  d.deliver(0, 0, 2);
+  EXPECT_TRUE(d.deliver(0, 0, 1));  // late
+  EXPECT_EQ(d.out_of_order(), 1u);
+  EXPECT_NEAR(d.reorder_fraction(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(ReorderDetector, FlowsAreIndependent) {
+  ReorderDetector d;
+  d.deliver(0, 0, 5);
+  EXPECT_FALSE(d.deliver(0, 1, 0));  // different flow, fresh sequence
+}
+
+}  // namespace
+}  // namespace osmosis::sim

@@ -1,0 +1,330 @@
+// Tests for the central schedulers: matching validity properties across
+// all kinds, FLPPR's single-cycle grant latency vs the pipelined prior
+// art (Fig. 6), throughput, flow-control blocking, fairness.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "src/sim/rng.hpp"
+#include "src/sw/scheduler.hpp"
+
+namespace osmosis::sw {
+namespace {
+
+struct KindParam {
+  SchedulerKind kind;
+  const char* name;
+  int receivers;
+};
+
+class MatchingValidityTest : public ::testing::TestWithParam<KindParam> {};
+
+TEST_P(MatchingValidityTest, GrantsFormValidMatching) {
+  // Property: over random demand, every tick's grant set matches each
+  // input at most once and each (output, receiver) at most once, and
+  // never grants demand that does not exist.
+  const auto param = GetParam();
+  SchedulerConfig cfg;
+  cfg.kind = param.kind;
+  cfg.ports = 16;
+  cfg.receivers = param.receivers;
+  cfg.seed = 99;
+  auto sched = make_scheduler(cfg);
+
+  sim::Rng rng(1234);
+  std::map<std::pair<int, int>, long> owed;  // requests minus grants
+  for (int t = 0; t < 2'000; ++t) {
+    for (int in = 0; in < cfg.ports; ++in) {
+      if (rng.bernoulli(0.4)) {
+        const int out = static_cast<int>(rng.uniform_int(16));
+        sched->request(in, out);
+        ++owed[{in, out}];
+      }
+    }
+    const auto grants = sched->tick();
+    std::set<int> inputs;
+    std::set<std::pair<int, int>> slots;
+    for (const auto& g : grants) {
+      ASSERT_TRUE(inputs.insert(g.input).second)
+          << "input " << g.input << " matched twice in one cycle";
+      ASSERT_TRUE(slots.insert({g.output, g.receiver}).second)
+          << "(output, receiver) reused";
+      ASSERT_GE(g.receiver, 0);
+      ASSERT_LT(g.receiver, param.receivers);
+      const long remaining = --owed[std::make_pair(g.input, g.output)];
+      ASSERT_GE(remaining, 0)
+          << "granted more cells than requested for (" << g.input << ","
+          << g.output << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, MatchingValidityTest,
+    ::testing::Values(KindParam{SchedulerKind::kIslip, "islip", 1},
+                      KindParam{SchedulerKind::kIslip, "islip_dual", 2},
+                      KindParam{SchedulerKind::kPim, "pim", 1},
+                      KindParam{SchedulerKind::kPipelinedIslip, "pipe", 1},
+                      KindParam{SchedulerKind::kPipelinedIslip, "pipe_dual",
+                                2},
+                      KindParam{SchedulerKind::kFlppr, "flppr", 1},
+                      KindParam{SchedulerKind::kFlppr, "flppr_dual", 2},
+                      KindParam{SchedulerKind::kTdm, "tdm", 1},
+                      KindParam{SchedulerKind::kWfa, "wfa", 1},
+                      KindParam{SchedulerKind::kWfa, "wfa_dual", 2}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+/// Cycles from a single request in an otherwise idle switch to its grant.
+int grant_latency_of_single_request(Scheduler& sched, int in, int out,
+                                    int max_cycles = 64) {
+  sched.request(in, out);
+  for (int t = 0; t < max_cycles; ++t) {
+    const auto grants = sched.tick();
+    for (const auto& g : grants)
+      if (g.input == in && g.output == out) return t + 1;
+  }
+  return -1;
+}
+
+TEST(Flppr, SingleRequestGrantedInOneCycle) {
+  // Fig. 6: FLPPR needs a single packet cycle from request to grant in
+  // a lightly loaded 64-port switch.
+  SchedulerConfig cfg;
+  cfg.kind = SchedulerKind::kFlppr;
+  cfg.ports = 64;
+  cfg.receivers = 1;
+  auto sched = make_scheduler(cfg);
+  // Warm the pipeline with a few idle cycles first.
+  for (int t = 0; t < 12; ++t) sched->tick();
+  EXPECT_EQ(grant_latency_of_single_request(*sched, 5, 9), 1);
+  EXPECT_EQ(grant_latency_of_single_request(*sched, 63, 0), 1);
+}
+
+TEST(PipelinedIslip, SingleRequestWaitsPipelineDepth) {
+  // Fig. 6: prior art grants after ~log2(N) = 6 cycles at 64 ports.
+  SchedulerConfig cfg;
+  cfg.kind = SchedulerKind::kPipelinedIslip;
+  cfg.ports = 64;
+  cfg.receivers = 1;
+  auto sched = make_scheduler(cfg);
+  for (int t = 0; t < 12; ++t) sched->tick();
+  const int latency = grant_latency_of_single_request(*sched, 5, 9);
+  EXPECT_GE(latency, 5);
+  EXPECT_LE(latency, 7);
+}
+
+TEST(Flppr, EarliestFirstPolicyIsTheLowLatencyOne) {
+  // Ablation: the FLPPR novelty is serving the soonest-issuing
+  // sub-scheduler first. With a naive fixed service order the same
+  // hardware averages ~(K+1)/2 cycles of request-to-grant latency.
+  auto latency_of = [](FlpprPolicy policy) {
+    SchedulerConfig cfg;
+    cfg.kind = SchedulerKind::kFlppr;
+    cfg.ports = 64;
+    cfg.receivers = 1;
+    cfg.flppr_policy = policy;
+    auto sched = make_scheduler(cfg);
+    for (int t = 0; t < 12; ++t) sched->tick();
+    double total = 0;
+    int samples = 0;
+    for (int probe = 0; probe < 24; ++probe) {
+      const int in = (probe * 7) % 64;
+      const int out = (probe * 13 + 5) % 64;
+      const int lat = grant_latency_of_single_request(*sched, in, out);
+      EXPECT_GT(lat, 0);
+      total += lat;
+      ++samples;
+    }
+    return total / samples;
+  };
+  const double fast = latency_of(FlpprPolicy::kEarliestFirst);
+  const double naive = latency_of(FlpprPolicy::kFixedOrder);
+  EXPECT_LT(fast, 1.3);
+  EXPECT_GT(naive, fast + 1.0);
+}
+
+TEST(Flppr, DepthMatchesLog2Ports) {
+  SchedulerConfig cfg;
+  cfg.kind = SchedulerKind::kFlppr;
+  cfg.ports = 64;
+  auto sched = make_scheduler(cfg);
+  EXPECT_NE(sched->name().find("depth=6"), std::string::npos);
+}
+
+TEST(Scheduler, SaturatedUniformThroughputNear100) {
+  // [17]: VOQ + good matching reaches ~100 % throughput. Saturate all
+  // VOQs and count grants per cycle.
+  for (SchedulerKind kind :
+       {SchedulerKind::kIslip, SchedulerKind::kFlppr,
+        SchedulerKind::kPipelinedIslip}) {
+    SchedulerConfig cfg;
+    cfg.kind = kind;
+    cfg.ports = 16;
+    cfg.receivers = 1;
+    auto sched = make_scheduler(cfg);
+    sim::Rng rng(7);
+    // Pre-fill: every VOQ holds plenty of cells.
+    for (int in = 0; in < 16; ++in)
+      for (int out = 0; out < 16; ++out)
+        for (int k = 0; k < 64; ++k) sched->request(in, out);
+    std::uint64_t grants = 0;
+    const int cycles = 500;
+    for (int t = 0; t < cycles; ++t) grants += sched->tick().size();
+    const double throughput =
+        static_cast<double>(grants) / (cycles * 16.0);
+    EXPECT_GT(throughput, 0.95) << "kind " << static_cast<int>(kind);
+  }
+}
+
+TEST(Wfa, ProducesMaximalMatching) {
+  // After a WFA tick no augmenting pair may remain: any (input, output)
+  // with leftover demand must have its input matched or its output full.
+  SchedulerConfig cfg;
+  cfg.kind = SchedulerKind::kWfa;
+  cfg.ports = 16;
+  cfg.receivers = 1;
+  auto sched = make_scheduler(cfg);
+  sim::Rng rng(0x3FA);
+  for (int t = 0; t < 200; ++t) {
+    std::vector<std::vector<int>> demand(16, std::vector<int>(16, 0));
+    for (int in = 0; in < 16; ++in) {
+      if (rng.bernoulli(0.6)) {
+        const int out = static_cast<int>(rng.uniform_int(16));
+        sched->request(in, out);
+        ++demand[static_cast<std::size_t>(in)][static_cast<std::size_t>(out)];
+      }
+    }
+    const auto grants = sched->tick();
+    std::vector<bool> in_matched(16, false);
+    std::vector<int> out_used(16, 0);
+    for (const auto& g : grants) {
+      in_matched[static_cast<std::size_t>(g.input)] = true;
+      ++out_used[static_cast<std::size_t>(g.output)];
+      --demand[static_cast<std::size_t>(g.input)]
+              [static_cast<std::size_t>(g.output)];
+    }
+    // demand[][] now holds what was requested this tick minus grants;
+    // older leftovers also count, so query the scheduler's residual via
+    // a second tick opportunity instead: check only this tick's fresh
+    // leftovers for augmenting pairs.
+    for (int in = 0; in < 16; ++in) {
+      for (int out = 0; out < 16; ++out) {
+        if (demand[static_cast<std::size_t>(in)]
+                  [static_cast<std::size_t>(out)] > 0) {
+          EXPECT_TRUE(in_matched[static_cast<std::size_t>(in)] ||
+                      out_used[static_cast<std::size_t>(out)] >= 1)
+              << "augmenting pair (" << in << "," << out << ") left";
+        }
+      }
+    }
+  }
+}
+
+TEST(Wfa, SaturatedThroughputNearFull) {
+  SchedulerConfig cfg;
+  cfg.kind = SchedulerKind::kWfa;
+  cfg.ports = 16;
+  cfg.receivers = 1;
+  auto sched = make_scheduler(cfg);
+  for (int in = 0; in < 16; ++in)
+    for (int out = 0; out < 16; ++out)
+      for (int k = 0; k < 64; ++k) sched->request(in, out);
+  std::uint64_t grants = 0;
+  for (int t = 0; t < 400; ++t) grants += sched->tick().size();
+  EXPECT_GT(static_cast<double>(grants) / (400.0 * 16.0), 0.99);
+}
+
+TEST(Scheduler, BlockedOutputReceivesNoGrants) {
+  SchedulerConfig cfg;
+  cfg.kind = SchedulerKind::kFlppr;
+  cfg.ports = 8;
+  auto sched = make_scheduler(cfg);
+  for (int in = 0; in < 8; ++in) {
+    sched->request(in, 3);
+    sched->request(in, 4);
+  }
+  sched->block_output(3);
+  for (int t = 0; t < 50; ++t) {
+    for (const auto& g : sched->tick()) EXPECT_NE(g.output, 3);
+  }
+  // Unblocking releases the parked demand.
+  sched->unblock_output(3);
+  std::uint64_t grants_to_3 = 0;
+  for (int t = 0; t < 50; ++t)
+    for (const auto& g : sched->tick())
+      if (g.output == 3) ++grants_to_3;
+  EXPECT_EQ(grants_to_3, 8u);
+}
+
+TEST(Scheduler, DualReceiverDoublesOutputCapacity) {
+  // All inputs demand the same output: with R receivers the output can
+  // sink R cells per cycle.
+  SchedulerConfig cfg;
+  cfg.kind = SchedulerKind::kIslip;
+  cfg.ports = 8;
+  cfg.receivers = 2;
+  auto sched = make_scheduler(cfg);
+  for (int in = 0; in < 8; ++in)
+    for (int k = 0; k < 10; ++k) sched->request(in, 0);
+  const auto grants = sched->tick();
+  int to_zero = 0;
+  for (const auto& g : grants) to_zero += g.output == 0;
+  EXPECT_EQ(to_zero, 2);
+}
+
+TEST(Scheduler, IslipFairUnderPersistentContention) {
+  // Round-robin pointers must serve all inputs contending for one
+  // output, with no starvation.
+  SchedulerConfig cfg;
+  cfg.kind = SchedulerKind::kIslip;
+  cfg.ports = 8;
+  cfg.receivers = 1;
+  auto sched = make_scheduler(cfg);
+  std::vector<int> served(8, 0);
+  for (int t = 0; t < 800; ++t) {
+    for (int in = 0; in < 8; ++in) sched->request(in, 5);
+    for (const auto& g : sched->tick()) ++served[static_cast<std::size_t>(g.input)];
+  }
+  for (int in = 0; in < 8; ++in)
+    EXPECT_NEAR(served[static_cast<std::size_t>(in)], 100, 25) << "input " << in;
+}
+
+TEST(Scheduler, TdmServesDiagonalPattern) {
+  SchedulerConfig cfg;
+  cfg.kind = SchedulerKind::kTdm;
+  cfg.ports = 4;
+  auto sched = make_scheduler(cfg);
+  sched->request(0, 0);
+  const auto g0 = sched->tick();  // t=0 connects 0->0
+  ASSERT_EQ(g0.size(), 1u);
+  EXPECT_EQ(g0[0].input, 0);
+  EXPECT_EQ(g0[0].output, 0);
+  sched->request(0, 1);  // only served when the rotation hits 0->1 (t=1)
+  const auto g1 = sched->tick();
+  ASSERT_EQ(g1.size(), 1u);
+  EXPECT_EQ(g1[0].output, 1);
+}
+
+TEST(Scheduler, OutstandingTracksRequestsMinusGrants) {
+  SchedulerConfig cfg;
+  cfg.kind = SchedulerKind::kIslip;
+  cfg.ports = 4;
+  auto sched = make_scheduler(cfg);
+  sched->request(0, 1);
+  sched->request(2, 3);
+  EXPECT_EQ(sched->outstanding(), 2u);
+  const auto grants = sched->tick();
+  EXPECT_EQ(sched->outstanding(), 2u - grants.size());
+}
+
+TEST(Scheduler, FactoryRejectsInvalid) {
+  SchedulerConfig cfg;
+  cfg.ports = 0;
+  EXPECT_DEATH(make_scheduler(cfg), "at least one port");
+}
+
+}  // namespace
+}  // namespace osmosis::sw

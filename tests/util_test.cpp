@@ -1,0 +1,115 @@
+// Unit tests for src/util: units, tables, CLI parsing.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+#include "src/util/units.hpp"
+
+namespace osmosis::util {
+namespace {
+
+TEST(Units, FiberDelayMatchesPaperBudget) {
+  // The paper supports "fiber cabling with 250 ns time-of-flight delay
+  // for a 50-m-diameter machine room" — about 5 ns/m.
+  EXPECT_NEAR(kFiberDelayNsPerM, 4.9, 0.1);
+  EXPECT_NEAR(fiber_delay_ns(50.0), 245.0, 5.0);
+}
+
+TEST(Units, SerializationTimeMatchesPaperExample) {
+  // §IV: "at 12 GByte/s a 64-Byte packet takes 5.33 ns to store".
+  EXPECT_NEAR(serialization_ns(64.0, gbyte_to_gbit(12.0)), 5.33, 0.01);
+}
+
+TEST(Units, DemonstratorCellCycle) {
+  // 256 B at 40 Gb/s = 51.2 ns (§V).
+  EXPECT_DOUBLE_EQ(serialization_ns(256.0, 40.0), 51.2);
+}
+
+TEST(Units, DbRoundTrip) {
+  for (double x : {0.001, 0.5, 1.0, 2.0, 1234.5}) {
+    EXPECT_NEAR(from_db(to_db(x)), x, 1e-9 * x);
+  }
+  EXPECT_DOUBLE_EQ(to_db(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(to_db(100.0), 20.0);
+}
+
+TEST(Units, DbmRoundTrip) {
+  EXPECT_DOUBLE_EQ(mw_to_dbm(1.0), 0.0);
+  EXPECT_NEAR(dbm_to_mw(10.0), 10.0, 1e-12);
+  EXPECT_NEAR(dbm_to_mw(mw_to_dbm(3.7)), 3.7, 1e-12);
+}
+
+TEST(Units, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(64), 6);   // the paper's 64-port switch
+  EXPECT_EQ(ceil_log2(65), 7);
+  EXPECT_EQ(ceil_log2(2048), 11);
+}
+
+TEST(Units, Ipow) {
+  EXPECT_EQ(ipow(2, 0), 1u);
+  EXPECT_EQ(ipow(2, 10), 1024u);
+  EXPECT_EQ(ipow(32, 2), 1024u);
+  EXPECT_EQ(ipow(7, 3), 343u);
+}
+
+TEST(Units, AlmostEqual) {
+  EXPECT_TRUE(almost_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(almost_equal(1.0, 1.001));
+  EXPECT_TRUE(almost_equal(0.0, 0.0));
+}
+
+TEST(Table, AlignedRendering) {
+  Table t({"a", "bb"});
+  t.add_row({std::string("x"), 42LL});
+  t.add_row({1.5, 7LL});
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(t.column_count(), 2u);
+}
+
+TEST(Table, CsvRendering) {
+  Table t({"x", "y"}, 2);
+  t.add_row({1LL, 2.5});
+  std::ostringstream oss;
+  t.print_csv(oss);
+  EXPECT_EQ(oss.str(), "x,y\n1,2.50\n");
+}
+
+TEST(Table, CellAccessor) {
+  Table t({"v"}, 3);
+  t.add_row({3.14159});
+  EXPECT_EQ(t.rendered(0, 0), "3.142");
+}
+
+TEST(Cli, KeyValueForms) {
+  const char* argv[] = {"prog", "--ports=64", "--load=0.9", "--verbose",
+                        "positional"};
+  Cli cli(5, argv);
+  EXPECT_EQ(cli.get_int("ports", 0), 64);
+  EXPECT_DOUBLE_EQ(cli.get_double("load", 0.0), 0.9);
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "positional");
+}
+
+TEST(Cli, Defaults) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, argv);
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+  EXPECT_EQ(cli.get("missing", "d"), "d");
+  EXPECT_FALSE(cli.has("missing"));
+}
+
+}  // namespace
+}  // namespace osmosis::util

@@ -1,0 +1,118 @@
+// Tests for the WDM channel plan and the burst-mode receiver model.
+
+#include <gtest/gtest.h>
+
+#include "src/phy/burst_rx.hpp"
+#include "src/phy/guard_time.hpp"
+#include "src/phy/wdm.hpp"
+
+namespace osmosis::phy {
+namespace {
+
+// ---- WDM plan ----------------------------------------------------------------
+
+TEST(Wdm, ItuGridFrequencies) {
+  WdmPlan plan;  // 8 channels @ 100 GHz from 193.1 THz
+  EXPECT_DOUBLE_EQ(plan.channel(0).frequency_thz, 193.1);
+  EXPECT_DOUBLE_EQ(plan.channel(1).frequency_thz, 193.2);
+  EXPECT_DOUBLE_EQ(plan.channel(7).frequency_thz, 193.8);
+  // 193.1 THz is ~1552.5 nm (ITU anchor).
+  EXPECT_NEAR(plan.channel(0).wavelength_nm, 1552.52, 0.01);
+  // Wavelengths decrease with frequency.
+  EXPECT_LT(plan.channel(7).wavelength_nm, plan.channel(0).wavelength_nm);
+}
+
+TEST(Wdm, AdapterColorAssignmentMatchesCrossbar) {
+  WdmPlan plan;
+  // Adapter i uses color i mod 8 (Fig. 5's eight colors per fiber).
+  EXPECT_EQ(plan.channel_of_adapter(0).index, 0);
+  EXPECT_EQ(plan.channel_of_adapter(7).index, 7);
+  EXPECT_EQ(plan.channel_of_adapter(8).index, 0);
+  EXPECT_EQ(plan.channel_of_adapter(63).index, 7);
+}
+
+TEST(Wdm, DemonstratorPlanIsConsistent) {
+  WdmPlan plan;  // 40 Gb/s on the 100 GHz grid
+  EXPECT_TRUE(plan.spacing_sufficient());  // 60 GHz signal in 100 GHz slots
+  EXPECT_TRUE(plan.fits_c_band());
+  EXPECT_GT(plan.tuning_range_nm(), 0.0);
+  EXPECT_LT(plan.tuning_range_nm(), 10.0);  // a few nm across 8 channels
+}
+
+TEST(Wdm, ProductPlanNeedsWiderSpacingAndDenserModulation) {
+  // §VII: 200 Gb/s per port. On the 100 GHz grid a binary 200 G signal
+  // cannot fit; with a spectrally denser format (DPSK-class, ~0.75
+  // factor) on a 200 GHz grid, 16 channels fit the C-band — the kind of
+  // engineering the product design point implies.
+  WdmPlanConfig tight;
+  tight.channels = 16;
+  tight.line_rate_gbps = 200.0;
+  EXPECT_FALSE(WdmPlan(tight).spacing_sufficient());
+
+  WdmPlanConfig dense = tight;
+  dense.spacing_ghz = 200.0;
+  dense.spectral_width_factor = 0.75;
+  WdmPlan plan(dense);
+  EXPECT_TRUE(plan.spacing_sufficient());
+  EXPECT_TRUE(plan.fits_c_band());
+}
+
+TEST(Wdm, SingleChannelEdgeCases) {
+  WdmPlanConfig cfg;
+  cfg.channels = 1;
+  WdmPlan plan(cfg);
+  EXPECT_DOUBLE_EQ(plan.tuning_range_nm(), 0.0);
+  EXPECT_EQ(plan.channel_of_adapter(5).index, 0);
+}
+
+// ---- burst-mode receiver --------------------------------------------------------
+
+TEST(BurstRx, LocksWithinAFewBits) {
+  // §VII: fast phase-lock "during the first few bits of a packet".
+  const auto a = analyze_burst_rx(BurstRxParams{});
+  EXPECT_GT(a.lock_bits, 2);
+  EXPECT_LT(a.lock_bits, 40);
+  EXPECT_LT(a.lock_time_ns, 1.0);  // well under the 2 ns guard allocation
+}
+
+TEST(BurstRx, LockTimeFitsGuardBudget) {
+  const double reacq = phase_reacquisition_ns(BurstRxParams{});
+  EXPECT_LE(reacq, GuardTimeBudget{}.phase_reacquisition_ns);
+}
+
+TEST(BurstRx, HigherGainLocksFaster) {
+  BurstRxParams slow;
+  slow.fast_loop_gain = 0.05;
+  BurstRxParams fast;
+  fast.fast_loop_gain = 0.4;
+  EXPECT_LT(analyze_burst_rx(fast).lock_bits,
+            analyze_burst_rx(slow).lock_bits);
+}
+
+TEST(BurstRx, TracksReferenceDisciplinedOffset) {
+  // With the central reference clock the offset is a few ppm: the slow
+  // loop rides out any coded run length comfortably.
+  const auto a = analyze_burst_rx(BurstRxParams{});
+  EXPECT_TRUE(a.tracking_stable);
+  EXPECT_GT(a.max_run_length_bits, 1'000.0);
+}
+
+TEST(BurstRx, FreeRunningClocksWouldBreakTracking) {
+  // Without reference distribution (~100 ppm), long runs break lock —
+  // the reason the paper distributes a central reference (§IV.C).
+  BurstRxParams p;
+  p.frequency_offset_ppm = 400.0;
+  const auto a = analyze_burst_rx(p);
+  EXPECT_FALSE(a.tracking_stable);
+}
+
+TEST(BurstRx, FasterLineShortensLockTime) {
+  BurstRxParams demo;  // 40 G
+  BurstRxParams product;
+  product.line_rate_gbps = 200.0;
+  EXPECT_LT(analyze_burst_rx(product).lock_time_ns,
+            analyze_burst_rx(demo).lock_time_ns);
+}
+
+}  // namespace
+}  // namespace osmosis::phy
