@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_app_latency.dir/bench_app_latency.cpp.o"
+  "CMakeFiles/bench_app_latency.dir/bench_app_latency.cpp.o.d"
+  "bench_app_latency"
+  "bench_app_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_app_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fec_waterfall.dir/bench_fec_waterfall.cpp.o"
+  "CMakeFiles/bench_fec_waterfall.dir/bench_fec_waterfall.cpp.o.d"
+  "bench_fec_waterfall"
+  "bench_fec_waterfall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fec_waterfall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

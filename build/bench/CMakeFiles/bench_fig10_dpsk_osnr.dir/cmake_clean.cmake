@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_dpsk_osnr.dir/bench_fig10_dpsk_osnr.cpp.o"
+  "CMakeFiles/bench_fig10_dpsk_osnr.dir/bench_fig10_dpsk_osnr.cpp.o.d"
+  "bench_fig10_dpsk_osnr"
+  "bench_fig10_dpsk_osnr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_dpsk_osnr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

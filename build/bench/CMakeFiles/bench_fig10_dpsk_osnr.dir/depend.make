@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10_dpsk_osnr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig34_flow_control.dir/bench_fig34_flow_control.cpp.o"
+  "CMakeFiles/bench_fig34_flow_control.dir/bench_fig34_flow_control.cpp.o.d"
+  "bench_fig34_flow_control"
+  "bench_fig34_flow_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig34_flow_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_datapath_audit.dir/bench_fig5_datapath_audit.cpp.o"
+  "CMakeFiles/bench_fig5_datapath_audit.dir/bench_fig5_datapath_audit.cpp.o.d"
+  "bench_fig5_datapath_audit"
+  "bench_fig5_datapath_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_datapath_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

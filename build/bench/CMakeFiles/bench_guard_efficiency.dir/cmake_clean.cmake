@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_guard_efficiency.dir/bench_guard_efficiency.cpp.o"
+  "CMakeFiles/bench_guard_efficiency.dir/bench_guard_efficiency.cpp.o.d"
+  "bench_guard_efficiency"
+  "bench_guard_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_guard_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiplane.dir/bench_multiplane.cpp.o"
+  "CMakeFiles/bench_multiplane.dir/bench_multiplane.cpp.o.d"
+  "bench_multiplane"
+  "bench_multiplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

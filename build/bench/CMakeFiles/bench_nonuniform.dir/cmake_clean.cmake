@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nonuniform.dir/bench_nonuniform.cpp.o"
+  "CMakeFiles/bench_nonuniform.dir/bench_nonuniform.cpp.o.d"
+  "bench_nonuniform"
+  "bench_nonuniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nonuniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_power_scaling.dir/bench_power_scaling.cpp.o"
+  "CMakeFiles/bench_power_scaling.dir/bench_power_scaling.cpp.o.d"
+  "bench_power_scaling"
+  "bench_power_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_power_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

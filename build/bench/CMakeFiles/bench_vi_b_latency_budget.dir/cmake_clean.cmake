@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vi_b_latency_budget.dir/bench_vi_b_latency_budget.cpp.o"
+  "CMakeFiles/bench_vi_b_latency_budget.dir/bench_vi_b_latency_budget.cpp.o.d"
+  "bench_vi_b_latency_budget"
+  "bench_vi_b_latency_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vi_b_latency_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vi_c_stage_count.dir/bench_vi_c_stage_count.cpp.o"
+  "CMakeFiles/bench_vi_c_stage_count.dir/bench_vi_c_stage_count.cpp.o.d"
+  "bench_vi_c_stage_count"
+  "bench_vi_c_stage_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vi_c_stage_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vi_d_architectures.dir/bench_vi_d_architectures.cpp.o"
+  "CMakeFiles/bench_vi_d_architectures.dir/bench_vi_d_architectures.cpp.o.d"
+  "bench_vi_d_architectures"
+  "bench_vi_d_architectures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vi_d_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

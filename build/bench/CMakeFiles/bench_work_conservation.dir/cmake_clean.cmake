@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_work_conservation.dir/bench_work_conservation.cpp.o"
+  "CMakeFiles/bench_work_conservation.dir/bench_work_conservation.cpp.o.d"
+  "bench_work_conservation"
+  "bench_work_conservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_work_conservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_degraded_operation.dir/degraded_operation.cpp.o"
+  "CMakeFiles/example_degraded_operation.dir/degraded_operation.cpp.o.d"
+  "example_degraded_operation"
+  "example_degraded_operation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_degraded_operation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

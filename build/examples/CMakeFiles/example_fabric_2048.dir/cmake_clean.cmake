@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fabric_2048.dir/fabric_2048.cpp.o"
+  "CMakeFiles/example_fabric_2048.dir/fabric_2048.cpp.o.d"
+  "example_fabric_2048"
+  "example_fabric_2048.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fabric_2048.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fec_reliable_link.dir/fec_reliable_link.cpp.o"
+  "CMakeFiles/example_fec_reliable_link.dir/fec_reliable_link.cpp.o.d"
+  "example_fec_reliable_link"
+  "example_fec_reliable_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fec_reliable_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_fec_reliable_link.
+# This may be replaced when dependencies are built.

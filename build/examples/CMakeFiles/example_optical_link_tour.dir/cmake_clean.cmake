@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_optical_link_tour.dir/optical_link_tour.cpp.o"
+  "CMakeFiles/example_optical_link_tour.dir/optical_link_tour.cpp.o.d"
+  "example_optical_link_tour"
+  "example_optical_link_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_optical_link_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/example_quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/example_quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/host/CMakeFiles/osmosis_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/osmosis_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/mgmt/CMakeFiles/osmosis_mgmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/osmosis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/arq/CMakeFiles/osmosis_arq.dir/DependInfo.cmake"
+  "/root/repo/build/src/fec/CMakeFiles/osmosis_fec.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/osmosis_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/osmosis_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sw/CMakeFiles/osmosis_sw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/osmosis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/osmosis_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/osmosis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

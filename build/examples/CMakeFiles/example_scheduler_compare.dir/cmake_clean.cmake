@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_scheduler_compare.dir/scheduler_compare.cpp.o"
+  "CMakeFiles/example_scheduler_compare.dir/scheduler_compare.cpp.o.d"
+  "example_scheduler_compare"
+  "example_scheduler_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_scheduler_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("phy")
+subdirs("fec")
+subdirs("arq")
+subdirs("sw")
+subdirs("host")
+subdirs("fabric")
+subdirs("baseline")
+subdirs("power")
+subdirs("core")
+subdirs("mgmt")

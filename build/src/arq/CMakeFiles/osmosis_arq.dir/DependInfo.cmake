@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arq/go_back_n.cpp" "src/arq/CMakeFiles/osmosis_arq.dir/go_back_n.cpp.o" "gcc" "src/arq/CMakeFiles/osmosis_arq.dir/go_back_n.cpp.o.d"
+  "/root/repo/src/arq/reliable_control.cpp" "src/arq/CMakeFiles/osmosis_arq.dir/reliable_control.cpp.o" "gcc" "src/arq/CMakeFiles/osmosis_arq.dir/reliable_control.cpp.o.d"
+  "/root/repo/src/arq/residual.cpp" "src/arq/CMakeFiles/osmosis_arq.dir/residual.cpp.o" "gcc" "src/arq/CMakeFiles/osmosis_arq.dir/residual.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/osmosis_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/osmosis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fec/CMakeFiles/osmosis_fec.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/osmosis_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

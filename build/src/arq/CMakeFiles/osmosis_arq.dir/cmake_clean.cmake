@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osmosis_arq.dir/go_back_n.cpp.o"
+  "CMakeFiles/osmosis_arq.dir/go_back_n.cpp.o.d"
+  "CMakeFiles/osmosis_arq.dir/reliable_control.cpp.o"
+  "CMakeFiles/osmosis_arq.dir/reliable_control.cpp.o.d"
+  "CMakeFiles/osmosis_arq.dir/residual.cpp.o"
+  "CMakeFiles/osmosis_arq.dir/residual.cpp.o.d"
+  "libosmosis_arq.a"
+  "libosmosis_arq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osmosis_arq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

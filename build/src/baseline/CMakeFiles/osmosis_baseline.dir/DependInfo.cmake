@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/birkhoff.cpp" "src/baseline/CMakeFiles/osmosis_baseline.dir/birkhoff.cpp.o" "gcc" "src/baseline/CMakeFiles/osmosis_baseline.dir/birkhoff.cpp.o.d"
+  "/root/repo/src/baseline/burst_switch.cpp" "src/baseline/CMakeFiles/osmosis_baseline.dir/burst_switch.cpp.o" "gcc" "src/baseline/CMakeFiles/osmosis_baseline.dir/burst_switch.cpp.o.d"
+  "/root/repo/src/baseline/cioq.cpp" "src/baseline/CMakeFiles/osmosis_baseline.dir/cioq.cpp.o" "gcc" "src/baseline/CMakeFiles/osmosis_baseline.dir/cioq.cpp.o.d"
+  "/root/repo/src/baseline/data_vortex.cpp" "src/baseline/CMakeFiles/osmosis_baseline.dir/data_vortex.cpp.o" "gcc" "src/baseline/CMakeFiles/osmosis_baseline.dir/data_vortex.cpp.o.d"
+  "/root/repo/src/baseline/oq_switch.cpp" "src/baseline/CMakeFiles/osmosis_baseline.dir/oq_switch.cpp.o" "gcc" "src/baseline/CMakeFiles/osmosis_baseline.dir/oq_switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/osmosis_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/osmosis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sw/CMakeFiles/osmosis_sw.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/osmosis_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

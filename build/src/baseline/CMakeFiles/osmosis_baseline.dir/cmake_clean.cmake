@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osmosis_baseline.dir/birkhoff.cpp.o"
+  "CMakeFiles/osmosis_baseline.dir/birkhoff.cpp.o.d"
+  "CMakeFiles/osmosis_baseline.dir/burst_switch.cpp.o"
+  "CMakeFiles/osmosis_baseline.dir/burst_switch.cpp.o.d"
+  "CMakeFiles/osmosis_baseline.dir/cioq.cpp.o"
+  "CMakeFiles/osmosis_baseline.dir/cioq.cpp.o.d"
+  "CMakeFiles/osmosis_baseline.dir/data_vortex.cpp.o"
+  "CMakeFiles/osmosis_baseline.dir/data_vortex.cpp.o.d"
+  "CMakeFiles/osmosis_baseline.dir/oq_switch.cpp.o"
+  "CMakeFiles/osmosis_baseline.dir/oq_switch.cpp.o.d"
+  "libosmosis_baseline.a"
+  "libosmosis_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osmosis_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osmosis_core.dir/config.cpp.o"
+  "CMakeFiles/osmosis_core.dir/config.cpp.o.d"
+  "CMakeFiles/osmosis_core.dir/latency_budget.cpp.o"
+  "CMakeFiles/osmosis_core.dir/latency_budget.cpp.o.d"
+  "CMakeFiles/osmosis_core.dir/osmosis_system.cpp.o"
+  "CMakeFiles/osmosis_core.dir/osmosis_system.cpp.o.d"
+  "libosmosis_core.a"
+  "libosmosis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osmosis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

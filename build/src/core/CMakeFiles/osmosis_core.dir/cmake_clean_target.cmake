@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libosmosis_core.a"
+)

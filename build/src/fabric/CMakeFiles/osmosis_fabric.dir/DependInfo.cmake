@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/clos_sim.cpp" "src/fabric/CMakeFiles/osmosis_fabric.dir/clos_sim.cpp.o" "gcc" "src/fabric/CMakeFiles/osmosis_fabric.dir/clos_sim.cpp.o.d"
+  "/root/repo/src/fabric/fabric_sim.cpp" "src/fabric/CMakeFiles/osmosis_fabric.dir/fabric_sim.cpp.o" "gcc" "src/fabric/CMakeFiles/osmosis_fabric.dir/fabric_sim.cpp.o.d"
+  "/root/repo/src/fabric/fat_tree.cpp" "src/fabric/CMakeFiles/osmosis_fabric.dir/fat_tree.cpp.o" "gcc" "src/fabric/CMakeFiles/osmosis_fabric.dir/fat_tree.cpp.o.d"
+  "/root/repo/src/fabric/multiplane.cpp" "src/fabric/CMakeFiles/osmosis_fabric.dir/multiplane.cpp.o" "gcc" "src/fabric/CMakeFiles/osmosis_fabric.dir/multiplane.cpp.o.d"
+  "/root/repo/src/fabric/placement.cpp" "src/fabric/CMakeFiles/osmosis_fabric.dir/placement.cpp.o" "gcc" "src/fabric/CMakeFiles/osmosis_fabric.dir/placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/osmosis_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/osmosis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sw/CMakeFiles/osmosis_sw.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/osmosis_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

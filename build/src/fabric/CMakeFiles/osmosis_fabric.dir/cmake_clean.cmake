@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osmosis_fabric.dir/clos_sim.cpp.o"
+  "CMakeFiles/osmosis_fabric.dir/clos_sim.cpp.o.d"
+  "CMakeFiles/osmosis_fabric.dir/fabric_sim.cpp.o"
+  "CMakeFiles/osmosis_fabric.dir/fabric_sim.cpp.o.d"
+  "CMakeFiles/osmosis_fabric.dir/fat_tree.cpp.o"
+  "CMakeFiles/osmosis_fabric.dir/fat_tree.cpp.o.d"
+  "CMakeFiles/osmosis_fabric.dir/multiplane.cpp.o"
+  "CMakeFiles/osmosis_fabric.dir/multiplane.cpp.o.d"
+  "CMakeFiles/osmosis_fabric.dir/placement.cpp.o"
+  "CMakeFiles/osmosis_fabric.dir/placement.cpp.o.d"
+  "libosmosis_fabric.a"
+  "libosmosis_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osmosis_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fec/channel.cpp" "src/fec/CMakeFiles/osmosis_fec.dir/channel.cpp.o" "gcc" "src/fec/CMakeFiles/osmosis_fec.dir/channel.cpp.o.d"
+  "/root/repo/src/fec/gf256.cpp" "src/fec/CMakeFiles/osmosis_fec.dir/gf256.cpp.o" "gcc" "src/fec/CMakeFiles/osmosis_fec.dir/gf256.cpp.o.d"
+  "/root/repo/src/fec/hamming272.cpp" "src/fec/CMakeFiles/osmosis_fec.dir/hamming272.cpp.o" "gcc" "src/fec/CMakeFiles/osmosis_fec.dir/hamming272.cpp.o.d"
+  "/root/repo/src/fec/interleave.cpp" "src/fec/CMakeFiles/osmosis_fec.dir/interleave.cpp.o" "gcc" "src/fec/CMakeFiles/osmosis_fec.dir/interleave.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/osmosis_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/osmosis_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osmosis_fec.dir/channel.cpp.o"
+  "CMakeFiles/osmosis_fec.dir/channel.cpp.o.d"
+  "CMakeFiles/osmosis_fec.dir/gf256.cpp.o"
+  "CMakeFiles/osmosis_fec.dir/gf256.cpp.o.d"
+  "CMakeFiles/osmosis_fec.dir/hamming272.cpp.o"
+  "CMakeFiles/osmosis_fec.dir/hamming272.cpp.o.d"
+  "CMakeFiles/osmosis_fec.dir/interleave.cpp.o"
+  "CMakeFiles/osmosis_fec.dir/interleave.cpp.o.d"
+  "libosmosis_fec.a"
+  "libosmosis_fec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osmosis_fec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/hca.cpp" "src/host/CMakeFiles/osmosis_host.dir/hca.cpp.o" "gcc" "src/host/CMakeFiles/osmosis_host.dir/hca.cpp.o.d"
+  "/root/repo/src/host/message.cpp" "src/host/CMakeFiles/osmosis_host.dir/message.cpp.o" "gcc" "src/host/CMakeFiles/osmosis_host.dir/message.cpp.o.d"
+  "/root/repo/src/host/message_sim.cpp" "src/host/CMakeFiles/osmosis_host.dir/message_sim.cpp.o" "gcc" "src/host/CMakeFiles/osmosis_host.dir/message_sim.cpp.o.d"
+  "/root/repo/src/host/patterns.cpp" "src/host/CMakeFiles/osmosis_host.dir/patterns.cpp.o" "gcc" "src/host/CMakeFiles/osmosis_host.dir/patterns.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/osmosis_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/osmosis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sw/CMakeFiles/osmosis_sw.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/osmosis_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

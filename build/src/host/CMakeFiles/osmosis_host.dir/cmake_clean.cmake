@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osmosis_host.dir/hca.cpp.o"
+  "CMakeFiles/osmosis_host.dir/hca.cpp.o.d"
+  "CMakeFiles/osmosis_host.dir/message.cpp.o"
+  "CMakeFiles/osmosis_host.dir/message.cpp.o.d"
+  "CMakeFiles/osmosis_host.dir/message_sim.cpp.o"
+  "CMakeFiles/osmosis_host.dir/message_sim.cpp.o.d"
+  "CMakeFiles/osmosis_host.dir/patterns.cpp.o"
+  "CMakeFiles/osmosis_host.dir/patterns.cpp.o.d"
+  "libosmosis_host.a"
+  "libosmosis_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osmosis_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

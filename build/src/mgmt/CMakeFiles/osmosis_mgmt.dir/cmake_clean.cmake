@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osmosis_mgmt.dir/config_check.cpp.o"
+  "CMakeFiles/osmosis_mgmt.dir/config_check.cpp.o.d"
+  "CMakeFiles/osmosis_mgmt.dir/counters.cpp.o"
+  "CMakeFiles/osmosis_mgmt.dir/counters.cpp.o.d"
+  "CMakeFiles/osmosis_mgmt.dir/health.cpp.o"
+  "CMakeFiles/osmosis_mgmt.dir/health.cpp.o.d"
+  "libosmosis_mgmt.a"
+  "libosmosis_mgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osmosis_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/burst_rx.cpp" "src/phy/CMakeFiles/osmosis_phy.dir/burst_rx.cpp.o" "gcc" "src/phy/CMakeFiles/osmosis_phy.dir/burst_rx.cpp.o.d"
+  "/root/repo/src/phy/cascade.cpp" "src/phy/CMakeFiles/osmosis_phy.dir/cascade.cpp.o" "gcc" "src/phy/CMakeFiles/osmosis_phy.dir/cascade.cpp.o.d"
+  "/root/repo/src/phy/crossbar_optical.cpp" "src/phy/CMakeFiles/osmosis_phy.dir/crossbar_optical.cpp.o" "gcc" "src/phy/CMakeFiles/osmosis_phy.dir/crossbar_optical.cpp.o.d"
+  "/root/repo/src/phy/guard_time.cpp" "src/phy/CMakeFiles/osmosis_phy.dir/guard_time.cpp.o" "gcc" "src/phy/CMakeFiles/osmosis_phy.dir/guard_time.cpp.o.d"
+  "/root/repo/src/phy/link_budget.cpp" "src/phy/CMakeFiles/osmosis_phy.dir/link_budget.cpp.o" "gcc" "src/phy/CMakeFiles/osmosis_phy.dir/link_budget.cpp.o.d"
+  "/root/repo/src/phy/soa.cpp" "src/phy/CMakeFiles/osmosis_phy.dir/soa.cpp.o" "gcc" "src/phy/CMakeFiles/osmosis_phy.dir/soa.cpp.o.d"
+  "/root/repo/src/phy/sync.cpp" "src/phy/CMakeFiles/osmosis_phy.dir/sync.cpp.o" "gcc" "src/phy/CMakeFiles/osmosis_phy.dir/sync.cpp.o.d"
+  "/root/repo/src/phy/technology.cpp" "src/phy/CMakeFiles/osmosis_phy.dir/technology.cpp.o" "gcc" "src/phy/CMakeFiles/osmosis_phy.dir/technology.cpp.o.d"
+  "/root/repo/src/phy/wdm.cpp" "src/phy/CMakeFiles/osmosis_phy.dir/wdm.cpp.o" "gcc" "src/phy/CMakeFiles/osmosis_phy.dir/wdm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/osmosis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

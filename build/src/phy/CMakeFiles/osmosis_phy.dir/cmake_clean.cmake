@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osmosis_phy.dir/burst_rx.cpp.o"
+  "CMakeFiles/osmosis_phy.dir/burst_rx.cpp.o.d"
+  "CMakeFiles/osmosis_phy.dir/cascade.cpp.o"
+  "CMakeFiles/osmosis_phy.dir/cascade.cpp.o.d"
+  "CMakeFiles/osmosis_phy.dir/crossbar_optical.cpp.o"
+  "CMakeFiles/osmosis_phy.dir/crossbar_optical.cpp.o.d"
+  "CMakeFiles/osmosis_phy.dir/guard_time.cpp.o"
+  "CMakeFiles/osmosis_phy.dir/guard_time.cpp.o.d"
+  "CMakeFiles/osmosis_phy.dir/link_budget.cpp.o"
+  "CMakeFiles/osmosis_phy.dir/link_budget.cpp.o.d"
+  "CMakeFiles/osmosis_phy.dir/soa.cpp.o"
+  "CMakeFiles/osmosis_phy.dir/soa.cpp.o.d"
+  "CMakeFiles/osmosis_phy.dir/sync.cpp.o"
+  "CMakeFiles/osmosis_phy.dir/sync.cpp.o.d"
+  "CMakeFiles/osmosis_phy.dir/technology.cpp.o"
+  "CMakeFiles/osmosis_phy.dir/technology.cpp.o.d"
+  "CMakeFiles/osmosis_phy.dir/wdm.cpp.o"
+  "CMakeFiles/osmosis_phy.dir/wdm.cpp.o.d"
+  "libosmosis_phy.a"
+  "libosmosis_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osmosis_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/power_model.cpp" "src/power/CMakeFiles/osmosis_power.dir/power_model.cpp.o" "gcc" "src/power/CMakeFiles/osmosis_power.dir/power_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/osmosis_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/osmosis_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/osmosis_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sw/CMakeFiles/osmosis_sw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/osmosis_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osmosis_power.dir/power_model.cpp.o"
+  "CMakeFiles/osmosis_power.dir/power_model.cpp.o.d"
+  "libosmosis_power.a"
+  "libosmosis_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osmosis_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

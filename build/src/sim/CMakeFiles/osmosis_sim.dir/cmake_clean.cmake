@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osmosis_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/osmosis_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/osmosis_sim.dir/rng.cpp.o"
+  "CMakeFiles/osmosis_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/osmosis_sim.dir/stats.cpp.o"
+  "CMakeFiles/osmosis_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/osmosis_sim.dir/traffic.cpp.o"
+  "CMakeFiles/osmosis_sim.dir/traffic.cpp.o.d"
+  "libosmosis_sim.a"
+  "libosmosis_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osmosis_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sw/event_switch_sim.cpp" "src/sw/CMakeFiles/osmosis_sw.dir/event_switch_sim.cpp.o" "gcc" "src/sw/CMakeFiles/osmosis_sw.dir/event_switch_sim.cpp.o.d"
+  "/root/repo/src/sw/flppr.cpp" "src/sw/CMakeFiles/osmosis_sw.dir/flppr.cpp.o" "gcc" "src/sw/CMakeFiles/osmosis_sw.dir/flppr.cpp.o.d"
+  "/root/repo/src/sw/islip.cpp" "src/sw/CMakeFiles/osmosis_sw.dir/islip.cpp.o" "gcc" "src/sw/CMakeFiles/osmosis_sw.dir/islip.cpp.o.d"
+  "/root/repo/src/sw/pim.cpp" "src/sw/CMakeFiles/osmosis_sw.dir/pim.cpp.o" "gcc" "src/sw/CMakeFiles/osmosis_sw.dir/pim.cpp.o.d"
+  "/root/repo/src/sw/pipelined_islip.cpp" "src/sw/CMakeFiles/osmosis_sw.dir/pipelined_islip.cpp.o" "gcc" "src/sw/CMakeFiles/osmosis_sw.dir/pipelined_islip.cpp.o.d"
+  "/root/repo/src/sw/portset.cpp" "src/sw/CMakeFiles/osmosis_sw.dir/portset.cpp.o" "gcc" "src/sw/CMakeFiles/osmosis_sw.dir/portset.cpp.o.d"
+  "/root/repo/src/sw/scheduler.cpp" "src/sw/CMakeFiles/osmosis_sw.dir/scheduler.cpp.o" "gcc" "src/sw/CMakeFiles/osmosis_sw.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sw/switch_sim.cpp" "src/sw/CMakeFiles/osmosis_sw.dir/switch_sim.cpp.o" "gcc" "src/sw/CMakeFiles/osmosis_sw.dir/switch_sim.cpp.o.d"
+  "/root/repo/src/sw/tdm.cpp" "src/sw/CMakeFiles/osmosis_sw.dir/tdm.cpp.o" "gcc" "src/sw/CMakeFiles/osmosis_sw.dir/tdm.cpp.o.d"
+  "/root/repo/src/sw/voq.cpp" "src/sw/CMakeFiles/osmosis_sw.dir/voq.cpp.o" "gcc" "src/sw/CMakeFiles/osmosis_sw.dir/voq.cpp.o.d"
+  "/root/repo/src/sw/wfa.cpp" "src/sw/CMakeFiles/osmosis_sw.dir/wfa.cpp.o" "gcc" "src/sw/CMakeFiles/osmosis_sw.dir/wfa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/osmosis_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/osmosis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/osmosis_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osmosis_sw.dir/event_switch_sim.cpp.o"
+  "CMakeFiles/osmosis_sw.dir/event_switch_sim.cpp.o.d"
+  "CMakeFiles/osmosis_sw.dir/flppr.cpp.o"
+  "CMakeFiles/osmosis_sw.dir/flppr.cpp.o.d"
+  "CMakeFiles/osmosis_sw.dir/islip.cpp.o"
+  "CMakeFiles/osmosis_sw.dir/islip.cpp.o.d"
+  "CMakeFiles/osmosis_sw.dir/pim.cpp.o"
+  "CMakeFiles/osmosis_sw.dir/pim.cpp.o.d"
+  "CMakeFiles/osmosis_sw.dir/pipelined_islip.cpp.o"
+  "CMakeFiles/osmosis_sw.dir/pipelined_islip.cpp.o.d"
+  "CMakeFiles/osmosis_sw.dir/portset.cpp.o"
+  "CMakeFiles/osmosis_sw.dir/portset.cpp.o.d"
+  "CMakeFiles/osmosis_sw.dir/scheduler.cpp.o"
+  "CMakeFiles/osmosis_sw.dir/scheduler.cpp.o.d"
+  "CMakeFiles/osmosis_sw.dir/switch_sim.cpp.o"
+  "CMakeFiles/osmosis_sw.dir/switch_sim.cpp.o.d"
+  "CMakeFiles/osmosis_sw.dir/tdm.cpp.o"
+  "CMakeFiles/osmosis_sw.dir/tdm.cpp.o.d"
+  "CMakeFiles/osmosis_sw.dir/voq.cpp.o"
+  "CMakeFiles/osmosis_sw.dir/voq.cpp.o.d"
+  "CMakeFiles/osmosis_sw.dir/wfa.cpp.o"
+  "CMakeFiles/osmosis_sw.dir/wfa.cpp.o.d"
+  "libosmosis_sw.a"
+  "libosmosis_sw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osmosis_sw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osmosis_util.dir/cli.cpp.o"
+  "CMakeFiles/osmosis_util.dir/cli.cpp.o.d"
+  "CMakeFiles/osmosis_util.dir/log.cpp.o"
+  "CMakeFiles/osmosis_util.dir/log.cpp.o.d"
+  "CMakeFiles/osmosis_util.dir/table.cpp.o"
+  "CMakeFiles/osmosis_util.dir/table.cpp.o.d"
+  "libosmosis_util.a"
+  "libosmosis_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osmosis_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

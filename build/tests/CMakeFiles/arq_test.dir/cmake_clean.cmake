@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arq_test.dir/arq_test.cpp.o"
+  "CMakeFiles/arq_test.dir/arq_test.cpp.o.d"
+  "arq_test"
+  "arq_test.pdb"
+  "arq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

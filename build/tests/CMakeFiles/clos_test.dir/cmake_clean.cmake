@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clos_test.dir/clos_test.cpp.o"
+  "CMakeFiles/clos_test.dir/clos_test.cpp.o.d"
+  "clos_test"
+  "clos_test.pdb"
+  "clos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossbar_optical_test.dir/crossbar_optical_test.cpp.o"
+  "CMakeFiles/crossbar_optical_test.dir/crossbar_optical_test.cpp.o.d"
+  "crossbar_optical_test"
+  "crossbar_optical_test.pdb"
+  "crossbar_optical_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossbar_optical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiplane_test.dir/multiplane_test.cpp.o"
+  "CMakeFiles/multiplane_test.dir/multiplane_test.cpp.o.d"
+  "multiplane_test"
+  "multiplane_test.pdb"
+  "multiplane_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiplane_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portset_test.dir/portset_test.cpp.o"
+  "CMakeFiles/portset_test.dir/portset_test.cpp.o.d"
+  "portset_test"
+  "portset_test.pdb"
+  "portset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

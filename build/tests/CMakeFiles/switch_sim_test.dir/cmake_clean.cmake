@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_sim_test.dir/switch_sim_test.cpp.o"
+  "CMakeFiles/switch_sim_test.dir/switch_sim_test.cpp.o.d"
+  "switch_sim_test"
+  "switch_sim_test.pdb"
+  "switch_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

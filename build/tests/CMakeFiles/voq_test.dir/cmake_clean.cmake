@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voq_test.dir/voq_test.cpp.o"
+  "CMakeFiles/voq_test.dir/voq_test.cpp.o.d"
+  "voq_test"
+  "voq_test.pdb"
+  "voq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdm_burst_test.dir/wdm_burst_test.cpp.o"
+  "CMakeFiles/wdm_burst_test.dir/wdm_burst_test.cpp.o.d"
+  "wdm_burst_test"
+  "wdm_burst_test.pdb"
+  "wdm_burst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdm_burst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

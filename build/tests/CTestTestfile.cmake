@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/rng_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/event_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/traffic_test[1]_include.cmake")
+include("/root/repo/build/tests/portset_test[1]_include.cmake")
+include("/root/repo/build/tests/voq_test[1]_include.cmake")
+include("/root/repo/build/tests/phy_test[1]_include.cmake")
+include("/root/repo/build/tests/wdm_burst_test[1]_include.cmake")
+include("/root/repo/build/tests/crossbar_optical_test[1]_include.cmake")
+include("/root/repo/build/tests/fec_test[1]_include.cmake")
+include("/root/repo/build/tests/arq_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/switch_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/event_switch_test[1]_include.cmake")
+include("/root/repo/build/tests/host_test[1]_include.cmake")
+include("/root/repo/build/tests/failures_test[1]_include.cmake")
+include("/root/repo/build/tests/fabric_test[1]_include.cmake")
+include("/root/repo/build/tests/clos_test[1]_include.cmake")
+include("/root/repo/build/tests/multiplane_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/power_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/mgmt_test[1]_include.cmake")
