@@ -9,9 +9,12 @@
 // count K.
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 
 #include "src/sw/switch_sim.hpp"
+#include "src/telemetry/run_report.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/table.hpp"
 
@@ -28,6 +31,37 @@ sw::SwitchSimResult run(sw::SchedulerKind kind, int depth, double load,
   cfg.sched.iterations = depth;
   cfg.measure_slots = slots;
   return sw::run_uniform(cfg, load, 0x516);
+}
+
+// Structured companion to the tables: one traced run at the figure's
+// headline operating point, exported as RunReport JSON to stdout or, with
+// --json=<path>, to a file.
+void emit_report(const util::Cli& cli, const char* figure, double load,
+                 std::uint64_t slots) {
+  sw::SwitchSimConfig cfg;
+  cfg.ports = 64;
+  cfg.sched.kind = sw::SchedulerKind::kFlppr;
+  cfg.sched.receivers = 1;
+  cfg.measure_slots = slots;
+  cfg.telemetry.enabled = true;
+  cfg.telemetry.sample_every = 4;
+  sw::SwitchSim sim(cfg, sim::make_uniform(cfg.ports, load, 0x516));
+  sim.run();
+  auto report = sim.report();
+  report.info["figure"] = figure;
+  const std::string json = report.to_json();
+  if (cli.has("json")) {
+    const std::string path = cli.get("json", "");
+    std::ofstream out(path);
+    if (!(out << json << "\n")) {
+      std::cerr << "error: cannot write RunReport to " << path << "\n";
+      std::exit(EXIT_FAILURE);
+    }
+    std::cout << "\nRunReport written to " << path << "\n";
+  } else {
+    std::cout << "\nRunReport (FLPPR at load " << load << "):\n"
+              << json << "\n";
+  }
 }
 
 }  // namespace
@@ -93,5 +127,7 @@ int main(int argc, char** argv) {
                  heavy.throughput});
   }
   pol.print(std::cout);
+
+  emit_report(cli, "fig6", /*load=*/0.5, slots);
   return 0;
 }

@@ -9,8 +9,11 @@
 #include "src/fec/hamming272.hpp"
 #include "src/sim/event_queue.hpp"
 #include "src/sim/rng.hpp"
+#include "src/sim/traffic.hpp"
 #include "src/sw/portset.hpp"
 #include "src/sw/scheduler.hpp"
+#include "src/sw/switch_sim.hpp"
+#include "src/telemetry/trace.hpp"
 
 using namespace osmosis;
 
@@ -108,6 +111,36 @@ void BM_Rng(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(rng.next());
 }
 
+// Whole-switch simulation with telemetry off (the default) vs tracing
+// every cell. Arg = sample_every; 0 = telemetry disabled entirely. The
+// off/disabled pair bounds the cost of having the hooks compiled in.
+void BM_SwitchSimRun(benchmark::State& state) {
+  const int sample_every = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sw::SwitchSimConfig cfg;
+    cfg.ports = 16;
+    cfg.warmup_slots = 100;
+    cfg.measure_slots = 1'000;
+    cfg.telemetry.enabled = sample_every > 0;
+    cfg.telemetry.sample_every = sample_every > 0 ? sample_every : 1;
+    sw::SwitchSim sim(cfg, sim::make_uniform(cfg.ports, 0.6, 7));
+    benchmark::DoNotOptimize(sim.run());
+  }
+}
+
+void BM_CellTraceSpan(benchmark::State& state) {
+  telemetry::CellTrace trace(/*ring_capacity=*/1024, /*sample_every=*/1);
+  double t = 0.0;
+  for (auto _ : state) {
+    const auto h = trace.begin(0, 1, t);
+    trace.mark(h, telemetry::Stage::kRequest, t + 1.0);
+    trace.mark(h, telemetry::Stage::kGrant, t + 2.0);
+    trace.mark(h, telemetry::Stage::kTransmit, t + 3.0);
+    benchmark::DoNotOptimize(trace.end(h, t + 4.0));
+    t += 1.0;
+  }
+}
+
 }  // namespace
 
 BENCHMARK(BM_FlpprTick)->Arg(16)->Arg(64);
@@ -120,3 +153,5 @@ BENCHMARK(BM_GfMul);
 BENCHMARK(BM_EventQueueScheduleFire);
 BENCHMARK(BM_PortSetNextCircular)->Arg(64)->Arg(256);
 BENCHMARK(BM_Rng);
+BENCHMARK(BM_SwitchSimRun)->Arg(0)->Arg(16)->Arg(1);
+BENCHMARK(BM_CellTraceSpan);

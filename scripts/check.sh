@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# One-shot verification: configure, build, run the test suite, then run
+# the telemetry tour example and check that its RunReport JSON carries
+# every key the osmosis.run_report.v1 schema promises.
+#
+#   scripts/check.sh [build-dir]    (default: build)
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build="${1:-$repo/build}"
+
+echo "== configure =="
+cmake -B "$build" -S "$repo"
+
+echo "== build =="
+cmake --build "$build" -j "$(nproc)"
+
+echo "== tests =="
+ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+
+echo "== telemetry tour =="
+out="$("$build/examples/example_telemetry_tour" --slots=5000)"
+echo "$out" | head -12
+
+echo "== RunReport schema check =="
+# The example prints the full JSON document; every schema key must appear.
+for key in '"schema": "osmosis.run_report.v1"' '"sim"' '"time_unit"' \
+           '"config"' '"info"' '"counters"' '"histograms"' '"health"' \
+           '"stage.request_to_grant"' '"stage.grant_to_transmit"' \
+           '"stage.transmit_to_deliver"' '"stage.end_to_end"'; do
+  if ! grep -qF "$key" <<<"$out"; then
+    echo "FAIL: RunReport JSON is missing $key" >&2
+    exit 1
+  fi
+done
+echo "all schema keys present"
+
+echo "== OK =="

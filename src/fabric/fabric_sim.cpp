@@ -12,7 +12,8 @@ FabricSim::FabricSim(FabricSimConfig cfg,
       radix_(cfg.radix),
       m_(cfg.radix / 2),
       hosts_(cfg.radix * (cfg.radix / 2)),
-      traffic_(std::move(traffic)) {
+      traffic_(std::move(traffic)),
+      telem_(cfg.telemetry) {
   OSMOSIS_REQUIRE(radix_ >= 2 && radix_ % 2 == 0,
                   "radix must be even and >= 2");
   OSMOSIS_REQUIRE(cfg_.buffer_cells >= 1, "need at least one buffer cell");
@@ -58,6 +59,7 @@ FabricSim::FabricSim(FabricSimConfig cfg,
   host_out_.resize(static_cast<std::size_t>(hosts_));
   flow_seq_.assign(
       static_cast<std::size_t>(hosts_) * static_cast<std::size_t>(hosts_), 0);
+  grants_per_switch_.assign(static_cast<std::size_t>(total_switches), 0);
 }
 
 int FabricSim::route(int sw_id, int dst) const {
@@ -77,8 +79,9 @@ void FabricSim::step(std::uint64_t t, bool measuring) {
     const std::size_t flow = static_cast<std::size_t>(h) *
                                  static_cast<std::size_t>(hosts_) +
                              static_cast<std::size_t>(a.dst);
-    host_queue_[static_cast<std::size_t>(h)].push_back(
-        FabricCell{h, a.dst, flow_seq_[flow]++, t});
+    FabricCell cell{h, a.dst, flow_seq_[flow]++, t,
+                    telem_.begin_cell(h, a.dst, static_cast<double>(t))};
+    host_queue_[static_cast<std::size_t>(h)].push_back(cell);
     max_host_backlog_ =
         std::max(max_host_backlog_,
                  static_cast<std::uint64_t>(
@@ -114,6 +117,9 @@ void FabricSim::step(std::uint64_t t, bool measuring) {
     node.max_input_occ = std::max(node.max_input_occ, occ);
     if (occ > cfg_.buffer_cells) ++overflows_;  // must never happen
     node.sched->request(in_port, out);
+    // First switch reached = the request stage of the lifecycle.
+    telem_.mark_first(cell.trace, telemetry::Stage::kRequest,
+                      static_cast<double>(t));
   };
 
   // 3a. Host-to-leaf cable arrivals.
@@ -137,6 +143,7 @@ void FabricSim::step(std::uint64_t t, bool measuring) {
         if (is_leaf(s) && p < m_) {
           // Delivery to host s*m_ + p.
           reorder_.deliver(cell.src, cell.dst, cell.seq);
+          telem_.finish_cell(cell.trace, static_cast<double>(t), measuring);
           if (measuring) {
             delay_hist_.add(static_cast<double>(t - cell.inject_slot));
             meter_.add_delivery();
@@ -154,6 +161,11 @@ void FabricSim::step(std::uint64_t t, bool measuring) {
   for (int h = 0; h < hosts_; ++h) {
     auto& q = host_queue_[static_cast<std::size_t>(h)];
     int& credits = host_credits_[static_cast<std::size_t>(h)];
+    if (!q.empty() && credits == 0) {
+      // Head-of-line cell held back by exhausted downstream credits.
+      telem_.fc_hold(q.front().trace);
+      ++fc_host_hold_cycles_;
+    }
     if (!q.empty() && credits > 0) {
       --credits;
       host_out_[static_cast<std::size_t>(h)].push_back(
@@ -170,12 +182,15 @@ void FabricSim::step(std::uint64_t t, bool measuring) {
     // credit for the downstream input buffer is not grantable.
     for (int p = 0; p < radix_; ++p) {
       const int credits = node.out_credits[static_cast<std::size_t>(p)];
-      if (credits == 0)
+      if (credits == 0) {
         node.sched->block_output(p);
-      else
+        ++fc_blocked_output_cycles_;
+      } else {
         node.sched->unblock_output(p);
+      }
     }
     const std::vector<sw::Grant> grants = node.sched->tick();
+    grants_per_switch_[static_cast<std::size_t>(s)] += grants.size();
     for (const sw::Grant& g : grants) {
       auto& fifo = node.voq[static_cast<std::size_t>(g.input)]
                            [static_cast<std::size_t>(g.output)];
@@ -183,6 +198,12 @@ void FabricSim::step(std::uint64_t t, bool measuring) {
       const FabricCell cell = fifo.front();
       fifo.pop_front();
       --node.input_occupancy[static_cast<std::size_t>(g.input)];
+      // First grant = the grant stage; the last grant (each re-stamp
+      // overwrites) launches the final hop = the transmit stage.
+      telem_.mark_first(cell.trace, telemetry::Stage::kGrant,
+                        static_cast<double>(t));
+      telem_.mark(cell.trace, telemetry::Stage::kTransmit,
+                  static_cast<double>(t));
 
       // Return a credit to whatever feeds this input port.
       if (is_leaf(s) && g.input < m_) {
@@ -245,6 +266,48 @@ FabricSimResult FabricSim::run() {
   r.max_host_backlog = max_host_backlog_;
   r.out_of_order = reorder_.out_of_order();
   r.buffer_overflows = overflows_;
+
+  if (telem_.enabled()) {
+    auto& ctr = telem_.counters();
+    for (int s = 0; s < static_cast<int>(switches_.size()); ++s) {
+      const SwitchNode& node = switches_[static_cast<std::size_t>(s)];
+      const std::string name =
+          is_leaf(s) ? "stage.leaf." + std::to_string(s)
+                     : "stage.spine." + std::to_string(s - radix_);
+      ctr.add(name + ".grants",
+              static_cast<double>(
+                  grants_per_switch_[static_cast<std::size_t>(s)]));
+      ctr.set_gauge("buffer." + name.substr(6) + ".max_occupancy",
+                    node.max_input_occ);
+    }
+    // Per-stage roll-up of the per-switch counters.
+    ctr.set_gauge("rollup.leaf.grants", ctr.subtotal("stage.leaf."));
+    ctr.set_gauge("rollup.spine.grants", ctr.subtotal("stage.spine."));
+    ctr.add("fc.host_hold_cycles",
+            static_cast<double>(fc_host_hold_cycles_));
+    ctr.add("fc.blocked_output_cycles",
+            static_cast<double>(fc_blocked_output_cycles_));
+    ctr.add("fabric.delivered", static_cast<double>(r.delivered));
+    ctr.add("fabric.out_of_order", static_cast<double>(r.out_of_order));
+    ctr.add("fabric.buffer_overflows", static_cast<double>(r.buffer_overflows));
+  }
+  return r;
+}
+
+telemetry::RunReport FabricSim::report() const {
+  telemetry::RunReport r = telem_.make_report("FabricSim", "cycles");
+  r.config["radix"] = radix_;
+  r.config["hosts"] = hosts_;
+  r.config["host_cable_slots"] = cfg_.host_cable_slots;
+  r.config["trunk_cable_slots"] = cfg_.trunk_cable_slots;
+  r.config["buffer_cells"] = cfg_.buffer_cells;
+  r.config["warmup_slots"] = static_cast<double>(cfg_.warmup_slots);
+  r.config["measure_slots"] = static_cast<double>(cfg_.measure_slots);
+  r.config["offered_load"] = traffic_->offered_load();
+  r.config["telemetry.sample_every"] = cfg_.telemetry.sample_every;
+  r.info["scheduler"] = switches_.front().sched->name();
+  r.histograms.emplace("delay",
+                       telemetry::HistogramSummary::of(delay_hist_));
   return r;
 }
 

@@ -28,6 +28,7 @@
 #include "src/sim/stats.hpp"
 #include "src/sim/traffic.hpp"
 #include "src/sw/scheduler.hpp"
+#include "src/telemetry/telemetry.hpp"
 
 namespace osmosis::fabric {
 
@@ -43,6 +44,11 @@ struct FabricSimConfig {
   int scheduler_iterations = 0;    // 0 = log2(radix)
   std::uint64_t warmup_slots = 2'000;
   std::uint64_t measure_slots = 30'000;
+  // Cell-lifecycle tracing / RunReport export (timestamps in cell
+  // cycles). The multi-hop stage mapping: request = arrival at the leaf
+  // ingress buffer, grant = first-stage grant, transmit = the grant
+  // that launches the final hop. Off by default.
+  telemetry::TelemetryConfig telemetry;
 };
 
 struct FabricSimResult {
@@ -69,12 +75,21 @@ class FabricSim {
 
   int hosts() const { return hosts_; }
 
+  telemetry::Telemetry& telemetry() { return telem_; }
+  const telemetry::Telemetry& telemetry() const { return telem_; }
+
+  /// Structured run export; stage histograms are in cell cycles and the
+  /// counters carry the per-switch (leaf.<id>.* / spine.<id>.*) grant
+  /// counts plus their rollup.* subtotals.
+  telemetry::RunReport report() const;
+
  private:
   struct FabricCell {
     int src = -1;
     int dst = -1;
     std::uint64_t seq = 0;
     std::uint64_t inject_slot = 0;
+    std::int32_t trace = -1;  // telemetry::CellTrace handle
   };
   struct Timed {
     std::uint64_t slot;
@@ -117,6 +132,12 @@ class FabricSim {
   sim::ReorderDetector reorder_;
   std::uint64_t max_host_backlog_ = 0;
   std::uint64_t overflows_ = 0;
+
+  // Telemetry.
+  telemetry::Telemetry telem_;
+  std::vector<std::uint64_t> grants_per_switch_;
+  std::uint64_t fc_blocked_output_cycles_ = 0;
+  std::uint64_t fc_host_hold_cycles_ = 0;
 };
 
 /// Builds and runs a fabric under uniform Bernoulli host traffic.

@@ -34,6 +34,19 @@ std::vector<std::string> CounterRegistry::names_with_prefix(
   return out;
 }
 
+void CounterRegistry::merge(const CounterRegistry& other) {
+  for (const auto& [name, value] : other.values_) values_[name] += value;
+}
+
+double CounterRegistry::subtotal(const std::string& prefix) const {
+  double sum = 0.0;
+  for (auto it = values_.lower_bound(prefix); it != values_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    sum += it->second;
+  }
+  return sum;
+}
+
 Snapshot CounterRegistry::delta(const Snapshot& earlier,
                                 const Snapshot& later) {
   Snapshot d;

@@ -32,6 +32,15 @@ class CounterRegistry {
   /// e.g. "ingress.3.").
   std::vector<std::string> names_with_prefix(const std::string& prefix) const;
 
+  /// Value-wise accumulation of another registry: every counter of
+  /// `other` is added to the counter of the same name here (created if
+  /// absent). Used to roll per-stage/per-switch registries up into one.
+  void merge(const CounterRegistry& other);
+
+  /// Sum of all values whose name starts with `prefix` — the per-prefix
+  /// subtotal behind roll-ups like "all leaf.* grants".
+  double subtotal(const std::string& prefix) const;
+
   Snapshot snapshot() const { return values_; }
 
   /// counter-wise (later - earlier); gauges report their later value.

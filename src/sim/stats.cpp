@@ -80,6 +80,10 @@ void Histogram::add(double x) {
 double Histogram::quantile(double q) const {
   OSMOSIS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q out of [0,1]: " << q);
   if (total_ == 0) return 0.0;
+  // The distribution's exact extremes are tracked out-of-band; bin
+  // interpolation would return the (coarser) bin edges instead.
+  if (q == 0.0) return mv_.min();
+  if (q == 1.0) return mv_.max();
   const double target = q * static_cast<double>(total_);
   double cum = 0.0;
   for (std::size_t b = 0; b < bins_.size(); ++b) {
@@ -88,7 +92,10 @@ double Histogram::quantile(double q) const {
       const auto [lo, hi] = bin_bounds(b);
       const double frac =
           (target - cum) / static_cast<double>(bins_[b]);  // within-bin pos
-      return lo + frac * (hi - lo);
+      // Interpolation works on bin bounds, which in the geometric region
+      // can stretch past the actual extremes; never report a quantile
+      // outside the observed range.
+      return std::clamp(lo + frac * (hi - lo), mv_.min(), mv_.max());
     }
     cum = next;
   }

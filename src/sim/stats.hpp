@@ -47,9 +47,12 @@ class Histogram {
 
   std::uint64_t count() const { return total_; }
   double mean() const { return mv_.mean(); }
+  double min() const { return mv_.min(); }
   double max() const { return mv_.max(); }
 
   /// Quantile via bin interpolation; q in [0, 1]. Returns 0 when empty.
+  /// q = 0 and q = 1 return the exact observed min/max rather than
+  /// bin-interpolated bounds.
   double quantile(double q) const;
   double p50() const { return quantile(0.50); }
   double p99() const { return quantile(0.99); }

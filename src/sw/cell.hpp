@@ -17,6 +17,8 @@ struct Cell {
   sim::TrafficClass cls = sim::TrafficClass::kData;
   std::uint64_t tag = 0;           // opaque user tag (e.g. message id for
                                    // the host segmentation/reassembly layer)
+  std::int32_t trace = -1;         // telemetry::CellTrace handle (-1 =
+                                   // untraced; see src/telemetry/)
 };
 
 /// One crossbar connection for one cell cycle: input -> (output, receiver).

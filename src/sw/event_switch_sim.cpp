@@ -2,14 +2,32 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "src/util/log.hpp"
 
 namespace osmosis::sw {
 
+namespace {
+
+// The facade's histogram defaults suit cycle-unit values; this sim
+// records nanoseconds, so widen an untouched default to the shape the
+// sim's own delay histogram uses.
+telemetry::TelemetryConfig ns_scaled(telemetry::TelemetryConfig t) {
+  if (t.hist_linear_limit == telemetry::TelemetryConfig{}.hist_linear_limit) {
+    t.hist_linear_limit = 8192.0;
+    t.hist_growth = 1.1;
+  }
+  return t;
+}
+
+}  // namespace
+
 EventSwitchSim::EventSwitchSim(EventSwitchConfig cfg,
                                std::unique_ptr<sim::TrafficGen> traffic)
-    : cfg_(cfg), traffic_(std::move(traffic)) {
+    : cfg_(cfg),
+      traffic_(std::move(traffic)),
+      telem_(ns_scaled(cfg.telemetry)) {
   OSMOSIS_REQUIRE(cfg_.cell_ns > 0.0, "cell cycle must be positive");
   OSMOSIS_REQUIRE(traffic_ != nullptr && traffic_->ports() == cfg_.ports,
                   "traffic generator port mismatch");
@@ -23,6 +41,7 @@ EventSwitchSim::EventSwitchSim(EventSwitchConfig cfg,
   flow_seq_.assign(static_cast<std::size_t>(cfg_.ports) *
                        static_cast<std::size_t>(cfg_.ports) * 2,
                    0);
+  delivered_per_port_.assign(static_cast<std::size_t>(cfg_.ports), 0);
 }
 
 double EventSwitchSim::ctrl_ns(int adapter) const {
@@ -37,6 +56,7 @@ void EventSwitchSim::on_grant_arrival(Grant g, double requested_at) {
 
   Cell cell = voqs_[static_cast<std::size_t>(g.input)].pop(g.output);
   OSMOSIS_REQUIRE(cell.dst == g.output, "VOQ returned a mis-routed cell");
+  telem_.mark(cell.trace, telemetry::Stage::kGrant, now);
 
   // The cell launches with the next cell-cycle boundary after the grant
   // arrives, rides the data fiber alongside the control run, and crosses
@@ -50,6 +70,7 @@ void EventSwitchSim::on_grant_arrival(Grant g, double requested_at) {
   // Receiver accounting on the crossbar slot grid.
   int& booked = slot_bookings_[{g.output, slot}];
   if (++booked > cfg_.sched.receivers) ++receiver_conflicts_;
+  telem_.mark(cell.trace, telemetry::Stage::kTransmit, arrive);
 
   queue_.schedule_at(arrive, [this, cell] {
     egress_[static_cast<std::size_t>(cell.dst)].push_back(cell);
@@ -74,6 +95,8 @@ void EventSwitchSim::on_cycle() {
     cell.seq = flow_seq_[flow]++;
     cell.arrival_slot = cycle_;
     cell.cls = a.cls;
+    cell.trace = telem_.begin_cell(in, a.dst, now);
+    telem_.mark(cell.trace, telemetry::Stage::kRequest, now + ctrl_ns(in));
     voqs_[static_cast<std::size_t>(in)].push(cell);
     const int dst = a.dst;
     queue_.schedule_in(ctrl_ns(in), [this, in, dst, now] {
@@ -109,12 +132,14 @@ void EventSwitchSim::on_cycle() {
         cell.src,
         cell.dst * 2 + (cell.cls == sim::TrafficClass::kControl ? 0 : 1),
         cell.seq);
+    telem_.finish_cell(cell.trace, now + cfg_.cell_ns, measuring);
     if (measuring) {
       const double delay =
           now + cfg_.cell_ns -
           static_cast<double>(cell.arrival_slot) * cfg_.cell_ns;
       delay_ns_.add(delay);
       meter_.add_delivery();
+      ++delivered_per_port_[static_cast<std::size_t>(out)];
     }
   }
   if (measuring) meter_.advance_slots(1, static_cast<std::uint64_t>(cfg_.ports));
@@ -147,6 +172,36 @@ EventSwitchResult EventSwitchSim::run() {
   r.mean_grant_latency_ns = grant_ns_.mean();
   r.receiver_conflicts = receiver_conflicts_;
   r.out_of_order = reorder_.out_of_order();
+
+  if (telem_.enabled()) {
+    auto& ctr = telem_.counters();
+    for (int p = 0; p < cfg_.ports; ++p)
+      ctr.add("egress." + std::to_string(p) + ".delivered",
+              static_cast<double>(
+                  delivered_per_port_[static_cast<std::size_t>(p)]));
+    ctr.add("switch.delivered", static_cast<double>(r.delivered));
+    ctr.add("switch.out_of_order", static_cast<double>(r.out_of_order));
+    ctr.add("sched.receiver_conflicts",
+            static_cast<double>(receiver_conflicts_));
+  }
+  return r;
+}
+
+telemetry::RunReport EventSwitchSim::report() const {
+  telemetry::RunReport r = telem_.make_report("EventSwitchSim", "ns");
+  r.config["ports"] = cfg_.ports;
+  r.config["receivers"] = cfg_.sched.receivers;
+  r.config["cell_ns"] = cfg_.cell_ns;
+  r.config["default_ctrl_ns"] = cfg_.default_ctrl_ns;
+  r.config["warmup_ns"] = cfg_.warmup_ns;
+  r.config["measure_ns"] = cfg_.measure_ns;
+  r.config["offered_load"] = traffic_->offered_load();
+  r.config["telemetry.sample_every"] = cfg_.telemetry.sample_every;
+  r.info["scheduler"] = sched_->name();
+  r.histograms.emplace("delay",
+                       telemetry::HistogramSummary::of(delay_ns_));
+  r.histograms.emplace("grant_latency",
+                       telemetry::HistogramSummary::of(grant_ns_));
   return r;
 }
 

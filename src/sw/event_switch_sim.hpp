@@ -26,6 +26,7 @@
 #include "src/sim/traffic.hpp"
 #include "src/sw/scheduler.hpp"
 #include "src/sw/voq.hpp"
+#include "src/telemetry/telemetry.hpp"
 
 namespace osmosis::sw {
 
@@ -40,6 +41,10 @@ struct EventSwitchConfig {
   double default_ctrl_ns = 0.0;
   double warmup_ns = 100'000.0;
   double measure_ns = 1'000'000.0;
+  // Cell-lifecycle tracing / RunReport export (timestamps in ns). Off
+  // by default. The stage-histogram linear limit is widened on
+  // construction to suit ns-scale values.
+  telemetry::TelemetryConfig telemetry;
 };
 
 struct EventSwitchResult {
@@ -60,6 +65,12 @@ class EventSwitchSim {
                  std::unique_ptr<sim::TrafficGen> traffic);
 
   EventSwitchResult run();
+
+  telemetry::Telemetry& telemetry() { return telem_; }
+  const telemetry::Telemetry& telemetry() const { return telem_; }
+
+  /// Structured run export; stage histograms are in nanoseconds.
+  telemetry::RunReport report() const;
 
  private:
   double ctrl_ns(int adapter) const;
@@ -83,6 +94,10 @@ class EventSwitchSim {
   sim::ThroughputMeter meter_;
   sim::ReorderDetector reorder_;
   std::uint64_t receiver_conflicts_ = 0;
+
+  // telemetry
+  telemetry::Telemetry telem_;
+  std::vector<std::uint64_t> delivered_per_port_;
 };
 
 /// Uniform Bernoulli helper.

@@ -8,7 +8,7 @@ namespace osmosis::sw {
 
 SwitchSim::SwitchSim(SwitchSimConfig cfg,
                      std::unique_ptr<sim::TrafficGen> traffic)
-    : cfg_(cfg), traffic_(std::move(traffic)) {
+    : cfg_(cfg), traffic_(std::move(traffic)), telem_(cfg.telemetry) {
   OSMOSIS_REQUIRE(traffic_ != nullptr, "traffic generator required");
   OSMOSIS_REQUIRE(traffic_->ports() == cfg_.ports,
                   "traffic generator built for " << traffic_->ports()
@@ -27,6 +27,8 @@ SwitchSim::SwitchSim(SwitchSimConfig cfg,
   if (cfg_.measure_grant_latency)
     request_times_.resize(static_cast<std::size_t>(cfg_.ports) *
                           static_cast<std::size_t>(cfg_.ports));
+  enqueued_per_port_.assign(static_cast<std::size_t>(cfg_.ports), 0);
+  delivered_per_port_.assign(static_cast<std::size_t>(cfg_.ports), 0);
   // Square-ish fiber/wavelength split, used for optical validation and
   // for mapping failed fibers to their dark ingress ports.
   int fibers = 1;
@@ -102,6 +104,11 @@ void SwitchSim::step(std::uint64_t t, bool measuring) {
     cell.arrival_slot = t;
     cell.cls = a.cls;
     cell.tag = a.tag;
+    cell.trace = telem_.begin_cell(in, a.dst, static_cast<double>(t));
+    telem_.mark(cell.trace, telemetry::Stage::kRequest,
+                static_cast<double>(t + static_cast<std::uint64_t>(
+                                            cfg_.request_delay_slots)));
+    ++enqueued_per_port_[static_cast<std::size_t>(in)];
     voqs_[static_cast<std::size_t>(in)].push(cell);
     request_pipe_.push_back(PendingRequest{
         t + static_cast<std::uint64_t>(cfg_.request_delay_slots), in, a.dst});
@@ -151,6 +158,12 @@ void SwitchSim::step(std::uint64_t t, bool measuring) {
     }
     Cell cell = voqs_[static_cast<std::size_t>(g.input)].pop(g.output);
     OSMOSIS_REQUIRE(cell.dst == g.output, "VOQ returned a mis-routed cell");
+    // The crossbar transfer occupies this cell cycle: granted at t,
+    // landed on the egress queue at t + 1.
+    telem_.mark(cell.trace, telemetry::Stage::kGrant, static_cast<double>(t));
+    telem_.mark(cell.trace, telemetry::Stage::kTransmit,
+                static_cast<double>(t) + 1.0);
+    ++grants_issued_;
     egress_[static_cast<std::size_t>(g.output)].push_back(cell);
   }
   for (const auto& q : egress_)
@@ -170,12 +183,14 @@ void SwitchSim::step(std::uint64_t t, bool measuring) {
                                            : 1),
                        cell.seq);
       if (cfg_.on_delivery) cfg_.on_delivery(cell, t);
+      telem_.finish_cell(cell.trace, static_cast<double>(t) + 1.0, measuring);
       if (measuring) {
         delay_hist_.add(delay);
         (cell.cls == sim::TrafficClass::kControl ? control_delay_
                                                  : data_delay_)
             .add(delay);
         meter_.add_delivery();
+        ++delivered_per_port_[static_cast<std::size_t>(out)];
       }
     }
   }
@@ -206,6 +221,47 @@ SwitchSimResult SwitchSim::run() {
   r.max_egress_depth = max_egress_depth_;
   r.out_of_order = reorder_.out_of_order();
   if (optical_) r.crossbar_reconfigs = optical_->reconfigurations();
+
+  if (telem_.enabled()) {
+    auto& ctr = telem_.counters();
+    for (int p = 0; p < cfg_.ports; ++p) {
+      const std::string port = std::to_string(p);
+      ctr.add("ingress." + port + ".enqueued",
+              static_cast<double>(enqueued_per_port_[static_cast<std::size_t>(p)]));
+      ctr.add("egress." + port + ".delivered",
+              static_cast<double>(delivered_per_port_[static_cast<std::size_t>(p)]));
+      ctr.set_gauge("ingress." + port + ".max_voq_depth",
+                    voqs_[static_cast<std::size_t>(p)].max_depth_seen());
+    }
+    ctr.add("sched.grants", static_cast<double>(grants_issued_));
+    ctr.add("switch.delivered", static_cast<double>(r.delivered));
+    ctr.add("switch.out_of_order", static_cast<double>(r.out_of_order));
+    ctr.set_gauge("egress.max_depth", max_egress_depth_);
+    if (optical_)
+      ctr.add("crossbar.reconfigs", static_cast<double>(r.crossbar_reconfigs));
+  }
+  return r;
+}
+
+telemetry::RunReport SwitchSim::report() const {
+  telemetry::RunReport r = telem_.make_report("SwitchSim", "cycles");
+  r.config["ports"] = cfg_.ports;
+  r.config["receivers"] = cfg_.sched.receivers;
+  r.config["egress_line_rate"] = cfg_.egress_line_rate;
+  r.config["request_delay_slots"] = cfg_.request_delay_slots;
+  r.config["warmup_slots"] = static_cast<double>(cfg_.warmup_slots);
+  r.config["measure_slots"] = static_cast<double>(cfg_.measure_slots);
+  r.config["offered_load"] = traffic_->offered_load();
+  r.config["telemetry.sample_every"] = cfg_.telemetry.sample_every;
+  r.info["scheduler"] = sched_->name();
+  r.histograms.emplace("delay",
+                       telemetry::HistogramSummary::of(delay_hist_));
+  r.histograms.emplace("grant_latency",
+                       telemetry::HistogramSummary::of(grant_latency_));
+  r.histograms.emplace("control_delay",
+                       telemetry::HistogramSummary::of(control_delay_));
+  r.histograms.emplace("data_delay",
+                       telemetry::HistogramSummary::of(data_delay_));
   return r;
 }
 

@@ -22,6 +22,7 @@
 #include "src/sim/traffic.hpp"
 #include "src/sw/scheduler.hpp"
 #include "src/sw/voq.hpp"
+#include "src/telemetry/telemetry.hpp"
 
 namespace osmosis::sw {
 
@@ -48,6 +49,9 @@ struct SwitchSimConfig {
   // them).
   std::vector<std::pair<int, int>> failed_receivers;
   std::vector<int> failed_fibers;
+  // Cell-lifecycle tracing / RunReport export; off by default, no
+  // measurable cost when off (see src/telemetry/).
+  telemetry::TelemetryConfig telemetry;
 };
 
 struct SwitchSimResult {
@@ -79,6 +83,14 @@ class SwitchSim {
 
   /// Access to the scheduler (tests poke FC hooks through this).
   Scheduler& scheduler() { return *sched_; }
+
+  /// Telemetry access (trace ring, stage book, counters).
+  telemetry::Telemetry& telemetry() { return telem_; }
+  const telemetry::Telemetry& telemetry() const { return telem_; }
+
+  /// Structured run export; meaningful after run() with
+  /// cfg.telemetry.enabled. Stage histograms are in cell cycles.
+  telemetry::RunReport report() const;
 
  private:
   void step(std::uint64_t t, bool measuring);
@@ -112,6 +124,12 @@ class SwitchSim {
   sim::ThroughputMeter meter_;
   sim::ReorderDetector reorder_;
   int max_egress_depth_ = 0;
+
+  // telemetry
+  telemetry::Telemetry telem_;
+  std::vector<std::uint64_t> enqueued_per_port_;   // per input
+  std::vector<std::uint64_t> delivered_per_port_;  // per output, measured
+  std::uint64_t grants_issued_ = 0;
 };
 
 /// Convenience: build, run, and return the result for a uniform

@@ -1,0 +1,250 @@
+#include "src/telemetry/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/log.hpp"
+
+namespace osmosis::telemetry {
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  OSMOSIS_REQUIRE(kind == Kind::kObject, "JSON value is not an object");
+  auto it = object.find(key);
+  OSMOSIS_REQUIRE(it != object.end(), "JSON object has no key \"" << key
+                                                                  << "\"");
+  return it->second;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    OSMOSIS_REQUIRE(pos_ == text_.size(),
+                    "trailing garbage after JSON document at offset " << pos_);
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    OSMOSIS_REQUIRE(pos_ < text_.size(), "unexpected end of JSON input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    OSMOSIS_REQUIRE(peek() == c, "expected '" << c << "' at offset " << pos_
+                                              << ", got '" << peek() << "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n]) ++n;
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kString;
+      v.str = parse_string();
+      return v;
+    }
+    if (consume_literal("true")) {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = false;
+      return v;
+    }
+    if (consume_literal("null")) return JsonValue{};
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          OSMOSIS_REQUIRE(pos_ + 4 <= text_.size(), "truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            unsigned digit;
+            if (h >= '0' && h <= '9')
+              digit = static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              digit = static_cast<unsigned>(h - 'a') + 10;
+            else if (h >= 'A' && h <= 'F')
+              digit = static_cast<unsigned>(h - 'A') + 10;
+            else
+              OSMOSIS_REQUIRE(false, "bad hex digit in \\u escape: " << h);
+            code = code * 16 + digit;
+          }
+          OSMOSIS_REQUIRE(code < 0x80,
+                          "non-ASCII \\u escape not supported: " << code);
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          OSMOSIS_REQUIRE(false, "bad string escape: \\" << esc);
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    OSMOSIS_REQUIRE(pos_ > start, "expected a JSON value at offset " << start);
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    const std::string tok = text_.substr(start, pos_ - start);
+    char* endp = nullptr;
+    v.number = std::strtod(tok.c_str(), &endp);
+    OSMOSIS_REQUIRE(endp == tok.c_str() + tok.size(),
+                    "malformed number: " << tok);
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue json_parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  OSMOSIS_REQUIRE(std::isfinite(v), "JSON numbers must be finite, got " << v);
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  OSMOSIS_REQUIRE(ec == std::errc(), "number formatting failed");
+  return std::string(buf, ptr);
+}
+
+}  // namespace osmosis::telemetry

@@ -1,0 +1,49 @@
+#pragma once
+// Minimal JSON support for the RunReport exporter: string escaping for
+// the writer side and a small recursive-descent parser for the read
+// side, so tests and tooling can round-trip a report without external
+// dependencies. Supports the JSON subset RunReport emits: objects,
+// arrays, strings (with \"\\/bfnrt and \uXXXX escapes parsed to raw
+// bytes for ASCII), finite numbers, booleans, and null.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace osmosis::telemetry {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  bool has(const std::string& key) const {
+    return kind == Kind::kObject && object.count(key) > 0;
+  }
+  /// Member access; the value must be an object holding `key`.
+  const JsonValue& at(const std::string& key) const;
+};
+
+/// Parses a complete JSON document; aborts (OSMOSIS_REQUIRE) on
+/// malformed input or trailing garbage.
+JsonValue json_parse(const std::string& text);
+
+/// Escapes a string for embedding between double quotes in JSON.
+std::string json_escape(const std::string& s);
+
+/// Formats a double the way the writer emits numbers: integral values
+/// without a fraction, otherwise shortest round-trippable form.
+std::string json_number(double v);
+
+}  // namespace osmosis::telemetry

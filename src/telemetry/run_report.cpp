@@ -1,0 +1,176 @@
+#include "src/telemetry/run_report.hpp"
+
+#include <sstream>
+
+#include "src/telemetry/json.hpp"
+#include "src/util/log.hpp"
+
+namespace osmosis::telemetry {
+
+HistogramSummary HistogramSummary::of(const sim::Histogram& h) {
+  HistogramSummary s;
+  s.count = h.count();
+  s.mean = h.mean();
+  s.min = h.min();
+  s.p50 = h.p50();
+  s.p99 = h.p99();
+  s.max = h.max();
+  return s;
+}
+
+namespace {
+
+// Tiny structural writer: tracks nesting and lays out either pretty
+// (indent > 0) or single-line JSON.
+class Writer {
+ public:
+  explicit Writer(int indent) : indent_(indent) {}
+
+  void open(char bracket) {
+    value_prefix();
+    os_ << bracket;
+    ++depth_;
+    first_ = true;
+  }
+  void close(char bracket) {
+    --depth_;
+    if (!first_) newline(depth_);
+    os_ << bracket;
+    first_ = false;
+  }
+  void key(const std::string& k) {
+    item_prefix();
+    os_ << '"' << json_escape(k) << "\":";
+    if (indent_ > 0) os_ << ' ';
+    pending_value_ = true;
+  }
+  void string(const std::string& v) {
+    value_prefix();
+    os_ << '"' << json_escape(v) << '"';
+  }
+  void number(double v) {
+    value_prefix();
+    os_ << json_number(v);
+  }
+
+  std::string str() const { return os_.str(); }
+
+ private:
+  void item_prefix() {
+    if (!first_) os_ << ',';
+    newline(depth_);
+    first_ = false;
+  }
+  void value_prefix() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    item_prefix();
+  }
+  void newline(int depth) {
+    if (indent_ <= 0) return;
+    os_ << '\n';
+    for (int i = 0; i < depth * indent_; ++i) os_ << ' ';
+  }
+
+  std::ostringstream os_;
+  int indent_;
+  int depth_ = 0;
+  bool first_ = true;
+  bool pending_value_ = false;
+};
+
+}  // namespace
+
+std::string RunReport::to_json(int indent) const {
+  Writer w(indent);
+  w.open('{');
+  w.key("schema");
+  w.string(kSchema);
+  w.key("sim");
+  w.string(sim);
+  w.key("time_unit");
+  w.string(time_unit);
+
+  w.key("config");
+  w.open('{');
+  for (const auto& [k, v] : config) {
+    w.key(k);
+    w.number(v);
+  }
+  w.close('}');
+
+  w.key("info");
+  w.open('{');
+  for (const auto& [k, v] : info) {
+    w.key(k);
+    w.string(v);
+  }
+  w.close('}');
+
+  w.key("counters");
+  w.open('{');
+  for (const auto& [k, v] : counters) {
+    w.key(k);
+    w.number(v);
+  }
+  w.close('}');
+
+  w.key("histograms");
+  w.open('{');
+  for (const auto& [name, h] : histograms) {
+    w.key(name);
+    w.open('{');
+    w.key("count");
+    w.number(static_cast<double>(h.count));
+    w.key("mean");
+    w.number(h.mean);
+    w.key("min");
+    w.number(h.min);
+    w.key("p50");
+    w.number(h.p50);
+    w.key("p99");
+    w.number(h.p99);
+    w.key("max");
+    w.number(h.max);
+    w.close('}');
+  }
+  w.close('}');
+
+  w.key("health");
+  w.open('[');
+  for (const auto& e : health) w.string(e);
+  w.close(']');
+
+  w.close('}');
+  return w.str();
+}
+
+RunReport RunReport::from_json(const std::string& text) {
+  const JsonValue doc = json_parse(text);
+  OSMOSIS_REQUIRE(doc.is_object(), "run report must be a JSON object");
+  OSMOSIS_REQUIRE(doc.at("schema").str == kSchema,
+                  "unknown report schema: " << doc.at("schema").str);
+  RunReport r;
+  r.sim = doc.at("sim").str;
+  r.time_unit = doc.at("time_unit").str;
+  for (const auto& [k, v] : doc.at("config").object) r.config[k] = v.number;
+  for (const auto& [k, v] : doc.at("info").object) r.info[k] = v.str;
+  for (const auto& [k, v] : doc.at("counters").object)
+    r.counters[k] = v.number;
+  for (const auto& [name, h] : doc.at("histograms").object) {
+    HistogramSummary s;
+    s.count = static_cast<std::uint64_t>(h.at("count").number);
+    s.mean = h.at("mean").number;
+    s.min = h.at("min").number;
+    s.p50 = h.at("p50").number;
+    s.p99 = h.at("p99").number;
+    s.max = h.at("max").number;
+    r.histograms.emplace(name, s);
+  }
+  for (const auto& e : doc.at("health").array) r.health.push_back(e.str);
+  return r;
+}
+
+}  // namespace osmosis::telemetry

@@ -1,0 +1,63 @@
+#pragma once
+// Structured run export: one machine-readable JSON document per
+// simulation run, carrying the run configuration, performance counters
+// (mgmt::CounterRegistry snapshot), per-stage latency histogram
+// summaries, health events, and trace-sampling statistics. Every
+// simulator emits the same schema (DESIGN.md "Telemetry & metrics"), so
+// benches and tooling can diff runs without parsing per-bench tables.
+//
+// Schema (all keys always present):
+//   {
+//     "schema": "osmosis.run_report.v1",
+//     "sim": "<simulator name>",
+//     "time_unit": "cycles" | "ns",
+//     "config": { "<knob>": <number>, ... },
+//     "info": { "<key>": "<string>", ... },
+//     "counters": { "<subsystem.port.metric>": <number>, ... },
+//     "histograms": { "<name>": {"count","mean","min","p50","p99","max"} },
+//     "health": [ "<event>", ... ]
+//   }
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/mgmt/counters.hpp"
+#include "src/sim/stats.hpp"
+
+namespace osmosis::telemetry {
+
+/// Six-number summary of a latency histogram.
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+
+  static HistogramSummary of(const sim::Histogram& h);
+};
+
+struct RunReport {
+  static constexpr const char* kSchema = "osmosis.run_report.v1";
+
+  std::string sim;        // simulator name, e.g. "SwitchSim"
+  std::string time_unit;  // unit of every histogram: "cycles" or "ns"
+  std::map<std::string, double> config;
+  std::map<std::string, std::string> info;
+  mgmt::Snapshot counters;
+  std::map<std::string, HistogramSummary> histograms;
+  std::vector<std::string> health;
+
+  /// Serializes to JSON with deterministic key order (maps are sorted).
+  /// indent <= 0 emits a single line.
+  std::string to_json(int indent = 2) const;
+
+  /// Parses a document produced by to_json (exact round trip for the
+  /// schema fields; aborts on schema mismatch).
+  static RunReport from_json(const std::string& text);
+};
+
+}  // namespace osmosis::telemetry

@@ -1,0 +1,28 @@
+#include "src/telemetry/stage_latency.hpp"
+
+#include "src/util/log.hpp"
+
+namespace osmosis::telemetry {
+
+StageLatencyBook::StageLatencyBook(double linear_limit, double growth)
+    : req_grant_(linear_limit, growth),
+      grant_tx_(linear_limit, growth),
+      tx_deliver_(linear_limit, growth),
+      end_to_end_(linear_limit, growth) {}
+
+void StageLatencyBook::record(const CellSpan& s) {
+  OSMOSIS_REQUIRE(s.has(Stage::kEnqueue) && s.has(Stage::kGrant) &&
+                      s.has(Stage::kTransmit) && s.has(Stage::kDeliver),
+                  "span for cell " << s.src << "->" << s.dst
+                                   << " is missing lifecycle stamps");
+  req_grant_.add(s.request_to_grant());
+  grant_tx_.add(s.grant_to_transmit());
+  tx_deliver_.add(s.transmit_to_deliver());
+  end_to_end_.add(s.end_to_end());
+}
+
+double StageLatencyBook::decomposition_mean() const {
+  return req_grant_.mean() + grant_tx_.mean() + tx_deliver_.mean();
+}
+
+}  // namespace osmosis::telemetry

@@ -1,0 +1,47 @@
+#pragma once
+// Per-stage latency bookkeeping: completed cell spans feed one
+// sim::Histogram per lifecycle leg, giving the request→grant /
+// grant→transmit / transmit→deliver decomposition that the paper's
+// latency claims (<500 ns fabric, FLPPR one-cell request-to-grant,
+// Fig. 7 delay flattening) are actually made of. Because the three legs
+// telescope, their means sum exactly to the end-to-end mean — the
+// invariant tests/telemetry_test.cpp checks — and the decomposition can
+// be compared line-for-line against the §VI.B demonstrator budget in
+// core/latency_budget (see examples/telemetry_tour.cpp, which scales the
+// measured decomposition to ns and holds it against the budget total).
+
+#include "src/sim/stats.hpp"
+#include "src/telemetry/trace.hpp"
+
+namespace osmosis::telemetry {
+
+class StageLatencyBook {
+ public:
+  /// Histogram shape defaults suit latencies in cell cycles; pass a
+  /// larger linear limit for nanosecond-unit simulators.
+  explicit StageLatencyBook(double linear_limit = 256.0,
+                            double growth = 1.25);
+
+  /// Records one completed span (all three legs and the end-to-end leg,
+  /// so every histogram covers the same cell population).
+  void record(const CellSpan& s);
+
+  std::uint64_t count() const { return end_to_end_.count(); }
+
+  const sim::Histogram& request_to_grant() const { return req_grant_; }
+  const sim::Histogram& grant_to_transmit() const { return grant_tx_; }
+  const sim::Histogram& transmit_to_deliver() const { return tx_deliver_; }
+  const sim::Histogram& end_to_end() const { return end_to_end_; }
+
+  /// Sum of the three stage means; equals end_to_end().mean() up to
+  /// floating-point rounding.
+  double decomposition_mean() const;
+
+ private:
+  sim::Histogram req_grant_;
+  sim::Histogram grant_tx_;
+  sim::Histogram tx_deliver_;
+  sim::Histogram end_to_end_;
+};
+
+}  // namespace osmosis::telemetry

@@ -1,0 +1,35 @@
+#include "src/telemetry/telemetry.hpp"
+
+namespace osmosis::telemetry {
+
+Telemetry::Telemetry(const TelemetryConfig& cfg)
+    : cfg_(cfg),
+      trace_(cfg.ring_capacity, cfg.sample_every, cfg.max_open_spans),
+      stages_(cfg.hist_linear_limit, cfg.hist_growth) {}
+
+RunReport Telemetry::make_report(const std::string& sim_name,
+                                 const std::string& time_unit) const {
+  RunReport r;
+  r.sim = sim_name;
+  r.time_unit = time_unit;
+  r.counters = counters_.snapshot();
+  r.counters["trace.cells_seen"] =
+      static_cast<double>(trace_.cells_seen());
+  r.counters["trace.cells_sampled"] =
+      static_cast<double>(trace_.cells_sampled());
+  r.counters["trace.cells_dropped"] =
+      static_cast<double>(trace_.cells_dropped());
+  r.counters["trace.sample_every"] =
+      static_cast<double>(trace_.sample_every());
+  r.histograms.emplace("stage.request_to_grant",
+                       HistogramSummary::of(stages_.request_to_grant()));
+  r.histograms.emplace("stage.grant_to_transmit",
+                       HistogramSummary::of(stages_.grant_to_transmit()));
+  r.histograms.emplace("stage.transmit_to_deliver",
+                       HistogramSummary::of(stages_.transmit_to_deliver()));
+  r.histograms.emplace("stage.end_to_end",
+                       HistogramSummary::of(stages_.end_to_end()));
+  return r;
+}
+
+}  // namespace osmosis::telemetry

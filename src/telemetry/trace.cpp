@@ -1,0 +1,109 @@
+#include "src/telemetry/trace.hpp"
+
+#include "src/util/log.hpp"
+
+namespace osmosis::telemetry {
+
+const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kEnqueue: return "enqueue";
+    case Stage::kRequest: return "request";
+    case Stage::kGrant: return "grant";
+    case Stage::kTransmit: return "transmit";
+    case Stage::kDeliver: return "deliver";
+  }
+  return "?";
+}
+
+// ---- TraceRing -------------------------------------------------------------
+
+TraceRing::TraceRing(std::size_t capacity) : buf_(capacity) {
+  OSMOSIS_REQUIRE(capacity >= 1, "trace ring needs capacity >= 1");
+}
+
+void TraceRing::push(const CellSpan& s) {
+  buf_[head_] = s;
+  head_ = (head_ + 1) % buf_.size();
+  ++pushed_;
+}
+
+std::size_t TraceRing::size() const {
+  return pushed_ < buf_.size() ? static_cast<std::size_t>(pushed_)
+                               : buf_.size();
+}
+
+const CellSpan& TraceRing::at(std::size_t i) const {
+  OSMOSIS_REQUIRE(i < size(), "trace ring index " << i << " out of range");
+  // Before wrapping, the oldest span sits at slot 0; after, at head_.
+  const std::size_t base = pushed_ < buf_.size() ? 0 : head_;
+  return buf_[(base + i) % buf_.size()];
+}
+
+// ---- CellTrace -------------------------------------------------------------
+
+CellTrace::CellTrace(std::size_t ring_capacity, std::uint32_t sample_every,
+                     std::size_t max_open_spans)
+    : sample_every_(sample_every),
+      max_open_(max_open_spans),
+      ring_(ring_capacity) {
+  OSMOSIS_REQUIRE(sample_every_ >= 1, "sample_every must be >= 1");
+  OSMOSIS_REQUIRE(max_open_ >= 1, "need at least one open-span slot");
+}
+
+std::int32_t CellTrace::begin(int src, int dst, double when) {
+  if (seen_++ % sample_every_ != 0) return -1;
+  std::int32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else if (open_.size() < max_open_) {
+    slot = static_cast<std::int32_t>(open_.size());
+    open_.emplace_back();
+  } else {
+    ++dropped_;
+    return -1;
+  }
+  CellSpan& s = open_[static_cast<std::size_t>(slot)];
+  s = CellSpan{};
+  s.trace_seq = sampled_++;
+  s.src = src;
+  s.dst = dst;
+  s.t[static_cast<int>(Stage::kEnqueue)] = when;
+  s.stamped = 1;
+  return slot;
+}
+
+void CellTrace::mark(std::int32_t handle, Stage s, double when) {
+  if (handle < 0) return;
+  CellSpan& span = open_[static_cast<std::size_t>(handle)];
+  span.t[static_cast<int>(s)] = when;
+  span.stamped |= static_cast<std::uint8_t>(1u << static_cast<int>(s));
+}
+
+void CellTrace::mark_first(std::int32_t handle, Stage s, double when) {
+  if (handle < 0) return;
+  if (!open_[static_cast<std::size_t>(handle)].has(s)) mark(handle, s, when);
+}
+
+void CellTrace::fc_hold(std::int32_t handle, std::uint32_t cycles) {
+  if (handle < 0) return;
+  open_[static_cast<std::size_t>(handle)].fc_hold_cycles += cycles;
+}
+
+void CellTrace::retransmit(std::int32_t handle) {
+  if (handle < 0) return;
+  ++open_[static_cast<std::size_t>(handle)].retransmits;
+}
+
+CellSpan CellTrace::end(std::int32_t handle, double when) {
+  OSMOSIS_REQUIRE(handle >= 0 &&
+                      handle < static_cast<std::int32_t>(open_.size()),
+                  "bad trace handle " << handle);
+  mark(handle, Stage::kDeliver, when);
+  const CellSpan finished = open_[static_cast<std::size_t>(handle)];
+  free_.push_back(handle);
+  ring_.push(finished);
+  return finished;
+}
+
+}  // namespace osmosis::telemetry

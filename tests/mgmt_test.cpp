@@ -59,6 +59,35 @@ TEST(Counters, SnapshotDeltaAndRates) {
 
 // ---- health -------------------------------------------------------------------
 
+TEST(Counters, MergeAccumulatesValueWise) {
+  CounterRegistry a;
+  a.add("leaf.0.grants", 10);
+  a.add("leaf.1.grants", 5);
+  CounterRegistry b;
+  b.add("leaf.0.grants", 3);
+  b.add("spine.0.grants", 7);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.value("leaf.0.grants"), 13.0);
+  EXPECT_DOUBLE_EQ(a.value("leaf.1.grants"), 5.0);
+  EXPECT_DOUBLE_EQ(a.value("spine.0.grants"), 7.0);
+  // Merging an empty registry is a no-op.
+  a.merge(CounterRegistry{});
+  EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(Counters, SubtotalSumsPrefix) {
+  CounterRegistry reg;
+  reg.add("leaf.0.grants", 4);
+  reg.add("leaf.1.grants", 6);
+  reg.add("leafy.other", 100);  // shares a string prefix, not a hierarchy
+  reg.add("spine.0.grants", 9);
+  EXPECT_DOUBLE_EQ(reg.subtotal("leaf."), 10.0);
+  EXPECT_DOUBLE_EQ(reg.subtotal("spine."), 9.0);
+  EXPECT_DOUBLE_EQ(reg.subtotal("leaf"), 110.0);  // prefix is literal
+  EXPECT_DOUBLE_EQ(reg.subtotal("nope."), 0.0);
+  EXPECT_DOUBLE_EQ(reg.subtotal(""), 119.0);  // whole registry
+}
+
 TEST(Health, DeclareAndReport) {
   HealthRegistry reg;
   reg.declare("scheduler");

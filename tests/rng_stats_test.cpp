@@ -152,6 +152,40 @@ TEST(Histogram, GeometricTailHoldsLargeValues) {
 TEST(Histogram, EmptyQuantileIsZero) {
   Histogram h;
   EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+// Regression: q = 0 and q = 1 must return the exact observed extremes,
+// not bin-interpolated edge values (which round min down to its bin's
+// lower bound and can push max past the largest sample).
+TEST(Histogram, ExtremeQuantilesReturnObservedMinMax) {
+  Histogram h(8.0, 1.5);
+  h.add(1.5);
+  h.add(20.25);
+  h.add(7.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.25);
+  EXPECT_DOUBLE_EQ(h.min(), 1.5);
+  EXPECT_DOUBLE_EQ(h.max(), 20.25);
+}
+
+TEST(Histogram, SingleSampleQuantilesAllEqualIt) {
+  Histogram h;
+  h.add(7.3);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 7.3);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 7.3);
+  // Interior quantiles still interpolate within the sample's bin.
+  EXPECT_GE(h.p50(), 7.0);
+  EXPECT_LE(h.p50(), 8.0);
+}
+
+TEST(Histogram, TailQuantileNeverExceedsMax) {
+  Histogram h(8.0, 1.5);
+  for (int i = 0; i < 99; ++i) h.add(2.0);
+  h.add(1000.0);  // deep in a wide geometric bin
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
+  EXPECT_LE(h.quantile(0.999), h.max());
 }
 
 TEST(ThroughputMeter, Utilization) {
