@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# One-shot verification: configure, build, run the test suite, then run
-# the telemetry tour example and check that its RunReport JSON carries
-# every key the osmosis.run_report.v1 schema promises.
+# One-shot verification: configure, build, run the test suite, run the
+# telemetry tour example and check that its RunReport JSON carries every
+# key the osmosis.run_report.v1 schema promises, then rebuild the
+# failure/fault-injection tests under ASan+UBSan and run them — the
+# fault paths exercise mid-run structural changes (module death, fiber
+# cuts, plane re-steering) where memory bugs would hide.
 #
 #   scripts/check.sh [build-dir]    (default: build)
 
@@ -35,5 +38,17 @@ for key in '"schema": "osmosis.run_report.v1"' '"sim"' '"time_unit"' \
   fi
 done
 echo "all schema keys present"
+
+echo "== sanitizer build (ASan + UBSan) =="
+san_build="$repo/build-asan"
+cmake -B "$san_build" -S "$repo" -DOSMOSIS_SANITIZE=ON
+cmake --build "$san_build" -j "$(nproc)" \
+  --target failures_test faults_test arq_test fec_test
+
+echo "== sanitizer run: failure & fault-injection tests =="
+for t in failures_test faults_test arq_test fec_test; do
+  echo "-- $t"
+  "$san_build/tests/$t" --gtest_brief=1
+done
 
 echo "== OK =="

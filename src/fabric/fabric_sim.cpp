@@ -1,10 +1,22 @@
 #include "src/fabric/fabric_sim.hpp"
 
 #include <algorithm>
+#include <sstream>
+#include <string>
 
 #include "src/util/log.hpp"
 
 namespace osmosis::fabric {
+
+namespace {
+
+std::string fab_fault_key(const faults::FaultEvent& e) {
+  std::ostringstream oss;
+  oss << faults::to_string(e.kind) << '/' << e.a << '@' << e.at_slot;
+  return oss.str();
+}
+
+}  // namespace
 
 FabricSim::FabricSim(FabricSimConfig cfg,
                      std::unique_ptr<sim::TrafficGen> traffic)
@@ -60,6 +72,75 @@ FabricSim::FabricSim(FabricSimConfig cfg,
   flow_seq_.assign(
       static_cast<std::size_t>(hosts_) * static_cast<std::size_t>(hosts_), 0);
   grants_per_switch_.assign(static_cast<std::size_t>(total_switches), 0);
+
+  // ---- runtime fault plan ----------------------------------------------
+  spine_down_.assign(static_cast<std::size_t>(m_), 0);
+  host_stalled_.assign(static_cast<std::size_t>(hosts_), 0);
+  for (int sp = 0; sp < m_; ++sp)
+    health_.declare("spine/" + std::to_string(sp));
+  for (int lf = 0; lf < radix_; ++lf)
+    health_.declare("leaf/" + std::to_string(lf));
+  for (int h = 0; h < hosts_; ++h)
+    health_.declare("host/" + std::to_string(h));
+  if (!cfg_.fault_plan.empty()) {
+    for (const faults::FaultEvent& e : cfg_.fault_plan.events()) {
+      switch (e.kind) {
+        case faults::FaultKind::kPlaneFailure:
+          OSMOSIS_REQUIRE(e.a >= 0 && e.a < m_,
+                          "fault plan: spine " << e.a << " out of range");
+          // d-mod-k routing is static: a permanently dead spine strands
+          // every flow hashed onto it, so only outages are modeled.
+          OSMOSIS_REQUIRE(e.transient(),
+                          "fabric spine failures must be transient");
+          break;
+        case faults::FaultKind::kAdapterStall:
+          OSMOSIS_REQUIRE(e.a >= 0 && e.a < hosts_,
+                          "fault plan: host " << e.a << " out of range");
+          break;
+        default:
+          OSMOSIS_REQUIRE(false,
+                          "fabric fault plan accepts only spine "
+                          "kPlaneFailure and host kAdapterStall entries");
+      }
+    }
+    injector_.emplace(cfg_.fault_plan);
+  }
+}
+
+void FabricSim::apply_fault_transitions(std::uint64_t t) {
+  for (const faults::FaultTransition& tr : injector_->tick(t)) {
+    const faults::FaultEvent& e = tr.event;
+    if (tr.begin) {
+      ++faults_injected_;
+      recovery_.on_fault(t, fab_fault_key(e), backlog());
+    } else {
+      ++faults_repaired_;
+      recovery_.on_repair(t, fab_fault_key(e));
+    }
+    if (e.kind == faults::FaultKind::kPlaneFailure) {
+      spine_down_[static_cast<std::size_t>(e.a)] = tr.begin ? 1 : 0;
+      health_.report("spine/" + std::to_string(e.a),
+                     tr.begin ? mgmt::Status::kFailed : mgmt::Status::kOk, t,
+                     tr.begin ? "spine down" : "spine restored");
+    } else {  // kAdapterStall
+      host_stalled_[static_cast<std::size_t>(e.a)] = tr.begin ? 1 : 0;
+      health_.report("host/" + std::to_string(e.a),
+                     tr.begin ? mgmt::Status::kDegraded : mgmt::Status::kOk,
+                     t, tr.begin ? "adapter stalled" : "resumed");
+    }
+  }
+}
+
+std::uint64_t FabricSim::backlog() const {
+  std::uint64_t total = 0;
+  for (const auto& q : host_queue_) total += q.size();
+  for (const auto& q : host_out_) total += q.size();
+  for (const auto& node : switches_) {
+    for (const int occ : node.input_occupancy)
+      total += static_cast<std::uint64_t>(occ);
+    for (const auto& q : node.out_data) total += q.size();
+  }
+  return total;
 }
 
 int FabricSim::route(int sw_id, int dst) const {
@@ -71,21 +152,28 @@ int FabricSim::route(int sw_id, int dst) const {
   return dst / m_;  // spine: down-port toward the destination leaf
 }
 
-void FabricSim::step(std::uint64_t t, bool measuring) {
+void FabricSim::step(std::uint64_t t, bool measuring, bool inject_traffic) {
+  // 0. Scheduled faults begin / get repaired at the slot boundary.
+  if (injector_) apply_fault_transitions(t);
+
   // 1. Hosts generate traffic.
-  for (int h = 0; h < hosts_; ++h) {
-    sim::Arrival a;
-    if (!traffic_->sample(h, a)) continue;
-    const std::size_t flow = static_cast<std::size_t>(h) *
-                                 static_cast<std::size_t>(hosts_) +
-                             static_cast<std::size_t>(a.dst);
-    FabricCell cell{h, a.dst, flow_seq_[flow]++, t,
-                    telem_.begin_cell(h, a.dst, static_cast<double>(t))};
-    host_queue_[static_cast<std::size_t>(h)].push_back(cell);
-    max_host_backlog_ =
-        std::max(max_host_backlog_,
-                 static_cast<std::uint64_t>(
-                     host_queue_[static_cast<std::size_t>(h)].size()));
+  if (inject_traffic) {
+    for (int h = 0; h < hosts_; ++h) {
+      sim::Arrival a;
+      if (!traffic_->sample(h, a)) continue;
+      const std::size_t flow = static_cast<std::size_t>(h) *
+                                   static_cast<std::size_t>(hosts_) +
+                               static_cast<std::size_t>(a.dst);
+      FabricCell cell{h, a.dst, flow_seq_[flow]++, t,
+                      telem_.begin_cell(h, a.dst, static_cast<double>(t))};
+      ++offered_;
+      invariants_.offered(static_cast<std::uint64_t>(flow));
+      host_queue_[static_cast<std::size_t>(h)].push_back(cell);
+      max_host_backlog_ =
+          std::max(max_host_backlog_,
+                   static_cast<std::uint64_t>(
+                       host_queue_[static_cast<std::size_t>(h)].size()));
+    }
   }
 
   // 2. Credits come home.
@@ -143,6 +231,10 @@ void FabricSim::step(std::uint64_t t, bool measuring) {
         if (is_leaf(s) && p < m_) {
           // Delivery to host s*m_ + p.
           reorder_.deliver(cell.src, cell.dst, cell.seq);
+          invariants_.delivered(static_cast<std::uint64_t>(cell.src) *
+                                        static_cast<std::uint64_t>(hosts_) +
+                                    static_cast<std::uint64_t>(cell.dst),
+                                cell.seq);
           telem_.finish_cell(cell.trace, static_cast<double>(t), measuring);
           if (measuring) {
             delay_hist_.add(static_cast<double>(t - cell.inject_slot));
@@ -157,8 +249,10 @@ void FabricSim::step(std::uint64_t t, bool measuring) {
     }
   }
 
-  // 4. Host injection, gated by credits into the leaf input buffer.
+  // 4. Host injection, gated by credits into the leaf input buffer. A
+  //    stalled adapter holds its queue (generation continues upstream).
   for (int h = 0; h < hosts_; ++h) {
+    if (host_stalled_[static_cast<std::size_t>(h)]) continue;
     auto& q = host_queue_[static_cast<std::size_t>(h)];
     int& credits = host_credits_[static_cast<std::size_t>(h)];
     if (!q.empty() && credits == 0) {
@@ -178,11 +272,20 @@ void FabricSim::step(std::uint64_t t, bool measuring) {
   // 5. Per-stage scheduling and crossbar transfer.
   for (int s = 0; s < static_cast<int>(switches_.size()); ++s) {
     SwitchNode& node = switches_[static_cast<std::size_t>(s)];
+    // A downed spine's scheduler and crossbar freeze: its buffered
+    // cells wait out the outage and resume untouched on repair.
+    if (!is_leaf(s) && spine_down_[static_cast<std::size_t>(s - radix_)])
+      continue;
     // Remote-FC bookkeeping at the scheduler (§IV.B): an output with no
-    // credit for the downstream input buffer is not grantable.
+    // credit for the downstream input buffer is not grantable. The same
+    // mask covers a leaf uplink whose spine is down (the management
+    // plane tells every leaf scheduler about the outage).
     for (int p = 0; p < radix_; ++p) {
       const int credits = node.out_credits[static_cast<std::size_t>(p)];
-      if (credits == 0) {
+      const bool dead_uplink =
+          is_leaf(s) && p >= m_ &&
+          spine_down_[static_cast<std::size_t>(p - m_)] != 0;
+      if (credits == 0 || dead_uplink) {
         node.sched->block_output(p);
         ++fc_blocked_output_cycles_;
       } else {
@@ -236,14 +339,30 @@ void FabricSim::step(std::uint64_t t, bool measuring) {
           Timed{t + static_cast<std::uint64_t>(delay), cell});
     }
   }
+
+  // 6. Recovery bookkeeping: a repaired fault counts as recovered once
+  //    the fabric-wide backlog returns to its pre-fault baseline.
+  if (injector_) recovery_.observe(t, backlog());
 }
 
 FabricSimResult FabricSim::run() {
-  for (std::uint64_t t = 0; t < cfg_.warmup_slots; ++t) step(t, false);
+  for (std::uint64_t t = 0; t < cfg_.warmup_slots; ++t) step(t, false, true);
   for (std::uint64_t t = cfg_.warmup_slots;
        t < cfg_.warmup_slots + cfg_.measure_slots; ++t) {
-    step(t, true);
+    step(t, true, true);
     meter_.advance_slots(1, static_cast<std::uint64_t>(hosts_));
+  }
+  // Post-run drain: arrivals off, keep stepping until every buffer and
+  // cable is empty (exactly-once verification needs it).
+  if (cfg_.drain_max_slots > 0) {
+    std::uint64_t t = cfg_.warmup_slots + cfg_.measure_slots;
+    const std::uint64_t end = t + cfg_.drain_max_slots;
+    while (t < end &&
+           (backlog() > 0 || (injector_ && injector_->pending() > 0))) {
+      step(t, false, false);
+      ++drained_slots_;
+      ++t;
+    }
   }
 
   FabricSimResult r;
@@ -266,6 +385,17 @@ FabricSimResult FabricSim::run() {
   r.max_host_backlog = max_host_backlog_;
   r.out_of_order = reorder_.out_of_order();
   r.buffer_overflows = overflows_;
+  r.offered = offered_;
+  r.faults_injected = faults_injected_;
+  r.faults_repaired = faults_repaired_;
+  r.faults_recovered = recovery_.recovered();
+  r.mean_recovery_slots = recovery_.mean_recovery_slots();
+  r.max_recovery_slots = recovery_.max_recovery_slots();
+  r.drained_slots = drained_slots_;
+  const auto inv = invariants_.report();
+  r.exactly_once_in_order = inv.exactly_once_in_order();
+  r.duplicates = inv.duplicates;
+  r.missing = inv.missing;
 
   if (telem_.enabled()) {
     auto& ctr = telem_.counters();
@@ -290,6 +420,14 @@ FabricSimResult FabricSim::run() {
     ctr.add("fabric.delivered", static_cast<double>(r.delivered));
     ctr.add("fabric.out_of_order", static_cast<double>(r.out_of_order));
     ctr.add("fabric.buffer_overflows", static_cast<double>(r.buffer_overflows));
+    if (injector_) {
+      ctr.add("faults.injected", static_cast<double>(r.faults_injected));
+      ctr.add("faults.repaired", static_cast<double>(r.faults_repaired));
+      ctr.add("faults.recovered", static_cast<double>(r.faults_recovered));
+      ctr.set_gauge("faults.mean_recovery_slots", r.mean_recovery_slots);
+      ctr.set_gauge("faults.drained_slots",
+                    static_cast<double>(r.drained_slots));
+    }
   }
   return r;
 }
@@ -305,7 +443,12 @@ telemetry::RunReport FabricSim::report() const {
   r.config["measure_slots"] = static_cast<double>(cfg_.measure_slots);
   r.config["offered_load"] = traffic_->offered_load();
   r.config["telemetry.sample_every"] = cfg_.telemetry.sample_every;
+  if (!cfg_.fault_plan.empty()) {
+    r.config["fault_events"] = static_cast<double>(cfg_.fault_plan.size());
+    r.config["drain_max_slots"] = static_cast<double>(cfg_.drain_max_slots);
+  }
   r.info["scheduler"] = switches_.front().sched->name();
+  r.health = health_.event_log();
   r.histograms.emplace("delay",
                        telemetry::HistogramSummary::of(delay_hist_));
   return r;

@@ -22,9 +22,14 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "src/faults/fault_injector.hpp"
+#include "src/faults/fault_plan.hpp"
+#include "src/faults/invariant.hpp"
+#include "src/mgmt/health.hpp"
 #include "src/sim/stats.hpp"
 #include "src/sim/traffic.hpp"
 #include "src/sw/scheduler.hpp"
@@ -49,6 +54,16 @@ struct FabricSimConfig {
   // ingress buffer, grant = first-stage grant, transmit = the grant
   // that launches the final hop. Off by default.
   telemetry::TelemetryConfig telemetry;
+  // Mid-run fault schedule (src/faults/). The fabric accepts
+  // kPlaneFailure (a = spine index; must be transient — d-mod-k routing
+  // has no alternate path, so a permanent spine loss would strand
+  // cells) and kAdapterStall (a = host index). While a spine is down
+  // its scheduler freezes and every leaf masks the uplink toward it;
+  // credit flow control backpressures the sources losslessly.
+  faults::FaultPlan fault_plan;
+  // Extra slots (arrivals off) after the measurement window so the
+  // invariant checker can confirm exactly-once delivery. 0 = no drain.
+  std::uint64_t drain_max_slots = 0;
 };
 
 struct FabricSimResult {
@@ -65,6 +80,17 @@ struct FabricSimResult {
   std::uint64_t max_host_backlog = 0; // source queue (backpressure depth)
   std::uint64_t out_of_order = 0;     // must be 0
   std::uint64_t buffer_overflows = 0; // must be 0 (lossless)
+  // Degraded-operation accounting (fault injection / recovery).
+  std::uint64_t offered = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t faults_repaired = 0;
+  std::uint64_t faults_recovered = 0;
+  double mean_recovery_slots = 0.0;
+  double max_recovery_slots = 0.0;
+  std::uint64_t drained_slots = 0;
+  bool exactly_once_in_order = false;
+  std::uint64_t duplicates = 0;
+  std::uint64_t missing = 0;
 };
 
 class FabricSim {
@@ -77,6 +103,9 @@ class FabricSim {
 
   telemetry::Telemetry& telemetry() { return telem_; }
   const telemetry::Telemetry& telemetry() const { return telem_; }
+
+  /// Component health view with the injector-driven transitions.
+  const mgmt::HealthRegistry& health() const { return health_; }
 
   /// Structured run export; stage histograms are in cell cycles and the
   /// counters carry the per-switch (leaf.<id>.* / spine.<id>.*) grant
@@ -110,7 +139,9 @@ class FabricSim {
   int route(int sw_id, int dst) const;
   bool is_leaf(int sw_id) const { return sw_id < radix_; }
 
-  void step(std::uint64_t t, bool measuring);
+  void step(std::uint64_t t, bool measuring, bool inject_traffic);
+  void apply_fault_transitions(std::uint64_t t);
+  std::uint64_t backlog() const;
 
   FabricSimConfig cfg_;
   int radix_;
@@ -138,6 +169,18 @@ class FabricSim {
   std::vector<std::uint64_t> grants_per_switch_;
   std::uint64_t fc_blocked_output_cycles_ = 0;
   std::uint64_t fc_host_hold_cycles_ = 0;
+
+  // Runtime fault injection & recovery.
+  std::optional<faults::FaultInjector> injector_;
+  mgmt::HealthRegistry health_;
+  faults::ExactlyOnceChecker invariants_;
+  faults::RecoveryTracker recovery_;
+  std::vector<std::uint8_t> spine_down_;    // per spine
+  std::vector<std::uint8_t> host_stalled_;  // per host adapter
+  std::uint64_t offered_ = 0;
+  std::uint64_t faults_injected_ = 0;
+  std::uint64_t faults_repaired_ = 0;
+  std::uint64_t drained_slots_ = 0;
 };
 
 /// Builds and runs a fabric under uniform Bernoulli host traffic.

@@ -1,10 +1,22 @@
 #include "src/fabric/multiplane.hpp"
 
 #include <algorithm>
+#include <sstream>
+#include <string>
 
 #include "src/util/log.hpp"
 
 namespace osmosis::fabric {
+
+namespace {
+
+std::string mp_fault_key(const faults::FaultEvent& e) {
+  std::ostringstream oss;
+  oss << faults::to_string(e.kind) << '/' << e.a << '@' << e.at_slot;
+  return oss.str();
+}
+
+}  // namespace
 
 MultiPlaneSim::MultiPlaneSim(
     MultiPlaneConfig cfg,
@@ -38,6 +50,89 @@ MultiPlaneSim::MultiPlaneSim(
                    0);
   parked_.resize(static_cast<std::size_t>(cfg_.ports));
   expected_.resize(static_cast<std::size_t>(cfg_.ports));
+
+  // ---- runtime fault plan ----------------------------------------------
+  plane_down_.assign(static_cast<std::size_t>(cfg_.planes), 0);
+  for (int p = 0; p < cfg_.planes; ++p)
+    health_.declare("plane/" + std::to_string(p));
+  if (!cfg_.fault_plan.empty()) {
+    for (const faults::FaultEvent& e : cfg_.fault_plan.events()) {
+      OSMOSIS_REQUIRE(e.kind == faults::FaultKind::kPlaneFailure,
+                      "multi-plane fault plan accepts only kPlaneFailure "
+                      "entries");
+      OSMOSIS_REQUIRE(e.a >= 0 && e.a < cfg_.planes,
+                      "fault plan: plane " << e.a << " out of range");
+    }
+    injector_.emplace(cfg_.fault_plan);
+  }
+}
+
+int MultiPlaneSim::next_live_plane(int from) const {
+  for (int k = 1; k <= cfg_.planes; ++k) {
+    const int p = (from + k) % cfg_.planes;
+    if (!plane_down_[static_cast<std::size_t>(p)]) return p;
+  }
+  OSMOSIS_REQUIRE(false, "every plane is down: nothing to re-steer onto");
+  return -1;
+}
+
+void MultiPlaneSim::apply_fault_transitions(std::uint64_t t) {
+  for (const faults::FaultTransition& tr : injector_->tick(t)) {
+    const faults::FaultEvent& e = tr.event;
+    if (tr.begin) {
+      ++faults_injected_;
+      recovery_.on_fault(t, mp_fault_key(e), backlog());
+    } else {
+      ++faults_repaired_;
+      recovery_.on_repair(t, mp_fault_key(e));
+    }
+    plane_down_[static_cast<std::size_t>(e.a)] = tr.begin ? 1 : 0;
+    health_.report("plane/" + std::to_string(e.a),
+                   tr.begin ? mgmt::Status::kFailed : mgmt::Status::kOk, t,
+                   tr.begin ? "plane down" : "plane restored");
+    if (!tr.begin) continue;
+    // Re-steer: the VOQs live in the ingress adapters, not the plane, so
+    // their cells survive the plane loss. Move them (FIFO per VOQ) to
+    // the next live plane and re-file the requests there; the egress
+    // resequencer absorbs the resulting cross-plane reordering. The
+    // plane's egress buffers sit in the egress adapters and keep
+    // draining.
+    Plane& dead = planes_[static_cast<std::size_t>(e.a)];
+    const int target = next_live_plane(e.a);
+    Plane& live = planes_[static_cast<std::size_t>(target)];
+    for (int in = 0; in < cfg_.ports; ++in) {
+      for (int dst = 0; dst < cfg_.ports; ++dst) {
+        while (dead.voqs[static_cast<std::size_t>(in)].occupancy(dst) > 0) {
+          const sw::Cell cell =
+              dead.voqs[static_cast<std::size_t>(in)].pop(dst);
+          live.voqs[static_cast<std::size_t>(in)].push(cell);
+          live.sched->request(in, dst);
+          ++resteered_;
+        }
+      }
+    }
+    // The failed plane's scheduler card is replaced along with the
+    // plane: rebuild it so stale demand for the re-steered cells can't
+    // produce phantom grants after a revival.
+    sw::SchedulerConfig sc;
+    sc.kind = cfg_.scheduler;
+    sc.ports = cfg_.ports;
+    sc.receivers = cfg_.receivers;
+    sc.iterations = cfg_.scheduler_iterations;
+    sc.seed = 0x12AE + static_cast<std::uint64_t>(e.a);
+    dead.sched = sw::make_scheduler(sc);
+  }
+}
+
+std::uint64_t MultiPlaneSim::backlog() const {
+  std::uint64_t total = 0;
+  for (const auto& plane : planes_) {
+    for (const auto& v : plane.voqs)
+      total += static_cast<std::uint64_t>(v.total_occupancy());
+    for (const auto& q : plane.egress) total += q.size();
+  }
+  for (const auto& park : parked_) total += park.size();
+  return total;
 }
 
 void MultiPlaneSim::deliver_in_order(int dst, std::uint64_t t,
@@ -58,6 +153,10 @@ void MultiPlaneSim::deliver_in_order(int dst, std::uint64_t t,
       // Deliver.
       const Parked& parked_cell = it->second;
       post_reseq_.deliver(src, dst, seq);
+      invariants_.delivered(static_cast<std::uint64_t>(src) *
+                                    static_cast<std::uint64_t>(cfg_.ports) +
+                                static_cast<std::uint64_t>(dst),
+                            seq);
       if (measuring) {
         delay_hist_.add(
             static_cast<double>(t - parked_cell.cell.arrival_slot) + 1.0);
@@ -72,32 +171,47 @@ void MultiPlaneSim::deliver_in_order(int dst, std::uint64_t t,
   max_park_depth_ = std::max(max_park_depth_, static_cast<int>(park.size()));
 }
 
-void MultiPlaneSim::step(std::uint64_t t, bool measuring) {
+void MultiPlaneSim::step(std::uint64_t t, bool measuring,
+                         bool inject_traffic) {
   const int n = cfg_.ports;
+
+  // 0. Scheduled faults begin / get repaired at the slot boundary.
+  if (injector_) apply_fault_transitions(t);
 
   // 1. Arrivals: each plane's generator feeds that plane; sequences are
   //    assigned globally per flow, so one flow's cells interleave over
-  //    all planes (striping).
-  for (int p = 0; p < cfg_.planes; ++p) {
-    Plane& plane = planes_[static_cast<std::size_t>(p)];
-    for (int in = 0; in < n; ++in) {
-      sim::Arrival a;
-      if (!traffic_[static_cast<std::size_t>(p)]->sample(in, a)) continue;
-      const std::size_t flow = static_cast<std::size_t>(in) *
-                                   static_cast<std::size_t>(n) +
-                               static_cast<std::size_t>(a.dst);
-      sw::Cell cell;
-      cell.src = in;
-      cell.dst = a.dst;
-      cell.seq = flow_seq_[flow]++;
-      cell.arrival_slot = t;
-      plane.voqs[static_cast<std::size_t>(in)].push(cell);
-      plane.sched->request(in, a.dst);
+  //    all planes (striping). Arrivals for a dead plane are re-steered
+  //    to the next live one by the ingress adapter.
+  if (inject_traffic) {
+    for (int p = 0; p < cfg_.planes; ++p) {
+      const int lane = plane_down_[static_cast<std::size_t>(p)]
+                           ? next_live_plane(p)
+                           : p;
+      Plane& plane = planes_[static_cast<std::size_t>(lane)];
+      for (int in = 0; in < n; ++in) {
+        sim::Arrival a;
+        if (!traffic_[static_cast<std::size_t>(p)]->sample(in, a)) continue;
+        const std::size_t flow = static_cast<std::size_t>(in) *
+                                     static_cast<std::size_t>(n) +
+                                 static_cast<std::size_t>(a.dst);
+        sw::Cell cell;
+        cell.src = in;
+        cell.dst = a.dst;
+        cell.seq = flow_seq_[flow]++;
+        cell.arrival_slot = t;
+        ++offered_;
+        invariants_.offered(static_cast<std::uint64_t>(flow));
+        plane.voqs[static_cast<std::size_t>(in)].push(cell);
+        plane.sched->request(in, a.dst);
+      }
     }
   }
 
-  // 2. Each plane arbitrates and transfers independently.
-  for (auto& plane : planes_) {
+  // 2. Each live plane arbitrates and transfers independently; a dead
+  //    plane's scheduler and crossbar are frozen.
+  for (int p = 0; p < cfg_.planes; ++p) {
+    if (plane_down_[static_cast<std::size_t>(p)]) continue;
+    Plane& plane = planes_[static_cast<std::size_t>(p)];
     for (const sw::Grant& g : plane.sched->tick()) {
       sw::Cell cell =
           plane.voqs[static_cast<std::size_t>(g.input)].pop(g.output);
@@ -120,15 +234,31 @@ void MultiPlaneSim::step(std::uint64_t t, bool measuring) {
     }
   }
   for (int out = 0; out < n; ++out) deliver_in_order(out, t, measuring);
+
+  // 4. Recovery bookkeeping: a repaired fault counts as recovered once
+  //    the port-wide backlog returns to its pre-fault baseline.
+  if (injector_) recovery_.observe(t, backlog());
 }
 
 MultiPlaneResult MultiPlaneSim::run() {
-  for (std::uint64_t t = 0; t < cfg_.warmup_slots; ++t) step(t, false);
+  for (std::uint64_t t = 0; t < cfg_.warmup_slots; ++t) step(t, false, true);
   for (std::uint64_t t = cfg_.warmup_slots;
        t < cfg_.warmup_slots + cfg_.measure_slots; ++t) {
-    step(t, true);
+    step(t, true, true);
     meter_.advance_slots(1, static_cast<std::uint64_t>(cfg_.ports) *
                                 static_cast<std::uint64_t>(cfg_.planes));
+  }
+  // Post-run drain: arrivals off, keep stepping until the planes and
+  // resequencers are empty (exactly-once verification needs it).
+  if (cfg_.drain_max_slots > 0) {
+    std::uint64_t t = cfg_.warmup_slots + cfg_.measure_slots;
+    const std::uint64_t end = t + cfg_.drain_max_slots;
+    while (t < end &&
+           (backlog() > 0 || (injector_ && injector_->pending() > 0))) {
+      step(t, false, false);
+      ++drained_slots_;
+      ++t;
+    }
   }
   MultiPlaneResult r;
   r.ports = cfg_.ports;
@@ -142,6 +272,18 @@ MultiPlaneResult MultiPlaneSim::run() {
   r.max_resequencer_depth = max_park_depth_;
   r.cross_plane_ooo = cross_plane_ooo_;
   r.post_resequencer_ooo = post_reseq_.out_of_order();
+  r.offered = offered_;
+  r.resteered = resteered_;
+  r.faults_injected = faults_injected_;
+  r.faults_repaired = faults_repaired_;
+  r.faults_recovered = recovery_.recovered();
+  r.mean_recovery_slots = recovery_.mean_recovery_slots();
+  r.max_recovery_slots = recovery_.max_recovery_slots();
+  r.drained_slots = drained_slots_;
+  const auto inv = invariants_.report();
+  r.exactly_once_in_order = inv.exactly_once_in_order();
+  r.duplicates = inv.duplicates;
+  r.missing = inv.missing;
   return r;
 }
 

@@ -13,8 +13,13 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "src/faults/fault_injector.hpp"
+#include "src/faults/fault_plan.hpp"
+#include "src/faults/invariant.hpp"
+#include "src/mgmt/health.hpp"
 #include "src/sim/stats.hpp"
 #include "src/sim/traffic.hpp"
 #include "src/sw/scheduler.hpp"
@@ -32,6 +37,16 @@ struct MultiPlaneConfig {
   // load cells/slot).
   std::uint64_t warmup_slots = 1'000;
   std::uint64_t measure_slots = 20'000;
+  // Mid-run fault schedule (src/faults/). The multi-plane port accepts
+  // kPlaneFailure entries (a = plane index; transient or permanent).
+  // When a plane dies, its scheduler and crossbar freeze; the ingress
+  // adapters re-steer both their parked VOQ cells and all new arrivals
+  // to the next live plane, and the egress resequencer absorbs the
+  // cross-plane reordering — delivery stays exactly-once, in-order.
+  faults::FaultPlan fault_plan;
+  // Extra slots (arrivals off) after the measurement window so the
+  // invariant checker can confirm exactly-once delivery. 0 = no drain.
+  std::uint64_t drain_max_slots = 0;
 };
 
 struct MultiPlaneResult {
@@ -46,6 +61,18 @@ struct MultiPlaneResult {
   int max_resequencer_depth = 0;        // cells parked at one egress
   std::uint64_t cross_plane_ooo = 0;    // raw arrivals out of order
   std::uint64_t post_resequencer_ooo = 0;  // must be 0
+  // Degraded-operation accounting (fault injection / recovery).
+  std::uint64_t offered = 0;
+  std::uint64_t resteered = 0;  // cells moved off a dead plane
+  std::uint64_t faults_injected = 0;
+  std::uint64_t faults_repaired = 0;
+  std::uint64_t faults_recovered = 0;
+  double mean_recovery_slots = 0.0;
+  double max_recovery_slots = 0.0;
+  std::uint64_t drained_slots = 0;
+  bool exactly_once_in_order = false;
+  std::uint64_t duplicates = 0;
+  std::uint64_t missing = 0;
 };
 
 class MultiPlaneSim {
@@ -55,6 +82,9 @@ class MultiPlaneSim {
                 std::vector<std::unique_ptr<sim::TrafficGen>> per_plane);
 
   MultiPlaneResult run();
+
+  /// Component health view ("plane/<p>") with injector transitions.
+  const mgmt::HealthRegistry& health() const { return health_; }
 
  private:
   struct Plane {
@@ -67,8 +97,11 @@ class MultiPlaneSim {
     std::uint64_t egress_slot;  // when it left the plane
   };
 
-  void step(std::uint64_t t, bool measuring);
+  void step(std::uint64_t t, bool measuring, bool inject_traffic);
   void deliver_in_order(int dst, std::uint64_t t, bool measuring);
+  void apply_fault_transitions(std::uint64_t t);
+  int next_live_plane(int from) const;
+  std::uint64_t backlog() const;
 
   MultiPlaneConfig cfg_;
   std::vector<std::unique_ptr<sim::TrafficGen>> traffic_;
@@ -85,6 +118,18 @@ class MultiPlaneSim {
   sim::ReorderDetector post_reseq_;
   std::uint64_t cross_plane_ooo_ = 0;
   int max_park_depth_ = 0;
+
+  // Runtime fault injection & recovery.
+  std::optional<faults::FaultInjector> injector_;
+  mgmt::HealthRegistry health_;
+  faults::ExactlyOnceChecker invariants_;
+  faults::RecoveryTracker recovery_;
+  std::vector<std::uint8_t> plane_down_;
+  std::uint64_t offered_ = 0;
+  std::uint64_t resteered_ = 0;
+  std::uint64_t faults_injected_ = 0;
+  std::uint64_t faults_repaired_ = 0;
+  std::uint64_t drained_slots_ = 0;
 };
 
 /// Uniform Bernoulli traffic on every plane.

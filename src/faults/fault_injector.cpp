@@ -1,0 +1,77 @@
+#include "src/faults/fault_injector.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/util/log.hpp"
+
+namespace osmosis::faults {
+
+std::string describe(const FaultTransition& t) {
+  std::ostringstream oss;
+  oss << "t=" << t.slot << ' ' << (t.begin ? "begin" : "repair") << ' '
+      << to_string(t.event.kind);
+  if (t.event.a >= 0) oss << " a=" << t.event.a;
+  if (t.event.b >= 0) oss << " b=" << t.event.b;
+  if (t.event.rate > 0.0) oss << " rate=" << t.event.rate;
+  return oss.str();
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan) : rng_(plan.seed()) {
+  timeline_.reserve(plan.size() * 2);
+  for (const FaultEvent& e : plan.events()) {
+    timeline_.push_back(FaultTransition{e.at_slot, true, e});
+    if (e.transient())
+      timeline_.push_back(FaultTransition{e.end_slot(), false, e});
+  }
+  std::stable_sort(timeline_.begin(), timeline_.end(),
+                   [](const FaultTransition& x, const FaultTransition& y) {
+                     return x.slot < y.slot;
+                   });
+}
+
+std::vector<FaultTransition> FaultInjector::tick(std::uint64_t t) {
+  std::vector<FaultTransition> due;
+  while (next_ < timeline_.size() && timeline_[next_].slot <= t) {
+    FaultTransition tr = timeline_[next_++];
+    tr.slot = t;  // a late first tick applies backlogged transitions now
+    const FaultEvent& e = tr.event;
+    if (e.kind == FaultKind::kBurstErrors ||
+        e.kind == FaultKind::kGrantCorruption) {
+      if (tr.begin) {
+        windows_.push_back(RateWindow{e.kind, e.a, e.rate});
+      } else {
+        auto it = std::find_if(windows_.begin(), windows_.end(),
+                               [&](const RateWindow& w) {
+                                 return w.kind == e.kind && w.port == e.a &&
+                                        w.rate == e.rate;
+                               });
+        OSMOSIS_REQUIRE(it != windows_.end(),
+                        "rate window closed without a matching open");
+        windows_.erase(it);
+      }
+    }
+    active_ += tr.begin ? 1 : -1;
+    log_.push_back(describe(tr));
+    due.push_back(tr);
+  }
+  return due;
+}
+
+bool FaultInjector::corrupt_grant() {
+  for (const RateWindow& w : windows_)
+    if (w.kind == FaultKind::kGrantCorruption && rng_.bernoulli(w.rate))
+      return true;
+  return false;
+}
+
+bool FaultInjector::corrupt_transfer(int ingress) {
+  for (const RateWindow& w : windows_) {
+    if (w.kind != FaultKind::kBurstErrors) continue;
+    if (w.port >= 0 && w.port != ingress) continue;
+    if (rng_.bernoulli(w.rate)) return true;
+  }
+  return false;
+}
+
+}  // namespace osmosis::faults

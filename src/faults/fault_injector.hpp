@@ -1,0 +1,75 @@
+#pragma once
+// Expands a FaultPlan into a slot-ordered timeline of begin/repair
+// transitions and answers the simulators' per-cell error-roll queries.
+//
+// Determinism contract: the injector owns a private xoshiro stream
+// seeded from the plan, and consumes it ONLY while a rate-based window
+// (burst errors, grant corruption) is active. A simulator that calls
+// tick() once per slot and makes its roll queries in its deterministic
+// grant order therefore replays the exact same degraded run for the
+// same plan — the property the fault-plan determinism test pins down.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/faults/fault_plan.hpp"
+#include "src/sim/rng.hpp"
+
+namespace osmosis::faults {
+
+/// One structural change the simulator must apply: a fault beginning
+/// (`begin` true) or being repaired (`begin` false).
+struct FaultTransition {
+  std::uint64_t slot = 0;
+  bool begin = true;
+  FaultEvent event;
+};
+
+/// One line per applied transition, e.g.
+/// "t=1200 begin module-death a=3 b=1" — the determinism audit trail.
+std::string describe(const FaultTransition& t);
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+
+  /// All transitions due at slot `t` (in timeline order). Call exactly
+  /// once per simulated slot with non-decreasing `t`. Rate-window
+  /// begins/ends also update the injector's internal roll state.
+  std::vector<FaultTransition> tick(std::uint64_t t);
+
+  /// True when the grant now being delivered is corrupted (rolls the
+  /// seeded stream only while a grant-corruption window is open).
+  bool corrupt_grant();
+
+  /// True when a crossbar transfer from `ingress` arrives
+  /// FEC-uncorrectable (rolls only while a burst window covers it).
+  bool corrupt_transfer(int ingress);
+
+  /// Transitions not yet fired (a drain loop keeps stepping while this
+  /// is non-zero so late repairs still land and get logged).
+  std::size_t pending() const { return timeline_.size() - next_; }
+
+  /// Windows currently open (any kind).
+  int active_faults() const { return active_; }
+
+  /// Applied-transition audit log.
+  const std::vector<std::string>& log() const { return log_; }
+
+ private:
+  struct RateWindow {
+    FaultKind kind;
+    int port;  // -1 = all (grant corruption is always global)
+    double rate;
+  };
+
+  std::vector<FaultTransition> timeline_;  // sorted by slot, stable
+  std::size_t next_ = 0;
+  sim::Rng rng_;
+  std::vector<RateWindow> windows_;
+  int active_ = 0;
+  std::vector<std::string> log_;
+};
+
+}  // namespace osmosis::faults

@@ -1,0 +1,86 @@
+#include "src/faults/fault_plan.hpp"
+
+#include "src/util/log.hpp"
+
+namespace osmosis::faults {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kModuleDeath:
+      return "module-death";
+    case FaultKind::kFiberCut:
+      return "fiber-cut";
+    case FaultKind::kBurstErrors:
+      return "burst-errors";
+    case FaultKind::kGrantCorruption:
+      return "grant-corruption";
+    case FaultKind::kAdapterStall:
+      return "adapter-stall";
+    case FaultKind::kPlaneFailure:
+      return "plane-failure";
+  }
+  return "unknown";
+}
+
+FaultPlan& FaultPlan::kill_module(std::uint64_t at_slot, int egress,
+                                  int receiver,
+                                  std::uint64_t duration_slots) {
+  return add(FaultEvent{at_slot, FaultKind::kModuleDeath, egress, receiver,
+                        duration_slots, 0.0});
+}
+
+FaultPlan& FaultPlan::cut_fiber(std::uint64_t at_slot, int fiber,
+                                std::uint64_t duration_slots) {
+  return add(FaultEvent{at_slot, FaultKind::kFiberCut, fiber, -1,
+                        duration_slots, 0.0});
+}
+
+FaultPlan& FaultPlan::burst_errors(std::uint64_t at_slot, int ingress,
+                                   std::uint64_t duration_slots,
+                                   double rate) {
+  OSMOSIS_REQUIRE(duration_slots > 0, "burst-error windows must be transient");
+  return add(FaultEvent{at_slot, FaultKind::kBurstErrors, ingress, -1,
+                        duration_slots, rate});
+}
+
+FaultPlan& FaultPlan::corrupt_grants(std::uint64_t at_slot,
+                                     std::uint64_t duration_slots,
+                                     double rate) {
+  OSMOSIS_REQUIRE(duration_slots > 0,
+                  "grant-corruption windows must be transient");
+  return add(FaultEvent{at_slot, FaultKind::kGrantCorruption, -1, -1,
+                        duration_slots, rate});
+}
+
+FaultPlan& FaultPlan::stall_adapter(std::uint64_t at_slot, int ingress,
+                                    std::uint64_t duration_slots) {
+  OSMOSIS_REQUIRE(duration_slots > 0, "adapter stalls must be transient");
+  return add(FaultEvent{at_slot, FaultKind::kAdapterStall, ingress, -1,
+                        duration_slots, 0.0});
+}
+
+FaultPlan& FaultPlan::fail_plane(std::uint64_t at_slot, int plane,
+                                 std::uint64_t duration_slots) {
+  return add(FaultEvent{at_slot, FaultKind::kPlaneFailure, plane, -1,
+                        duration_slots, 0.0});
+}
+
+FaultPlan& FaultPlan::add(const FaultEvent& e) {
+  OSMOSIS_REQUIRE(e.rate >= 0.0 && e.rate <= 1.0,
+                  "fault rate must be a probability, got " << e.rate);
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::seeded(std::uint64_t seed) {
+  seed_ = seed;
+  return *this;
+}
+
+bool FaultPlan::has_permanent_fault() const {
+  for (const auto& e : events_)
+    if (!e.transient()) return true;
+  return false;
+}
+
+}  // namespace osmosis::faults

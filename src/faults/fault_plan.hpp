@@ -1,0 +1,98 @@
+#pragma once
+// Deterministic, seeded fault scheduling for the simulators (§VI.A
+// "monitoring demonstrator operation" turned into a live story): a
+// FaultPlan is a declarative list of transient or permanent faults to
+// inject DURING a run — SOA switching-module death and revival,
+// broadcast-fiber cuts, per-link burst bit errors feeding the FEC/ARQ
+// path, corrupted (dropped) grants on the control path, ingress-adapter
+// stalls, and whole-plane failures of a striped multi-plane fabric.
+//
+// The plan is pure data: the simulators hand it to a FaultInjector
+// (fault_injector.hpp) which expands it into a slot-ordered timeline of
+// begin/repair transitions plus seeded per-cell error rolls, so the
+// same plan + seed always reproduces the same degraded run.
+
+#include <cstdint>
+#include <vector>
+
+namespace osmosis::faults {
+
+enum class FaultKind : std::uint8_t {
+  // An optical switching module (egress `a`, receiver `b`) goes dark;
+  // the dual-receiver architecture keeps the egress reachable through
+  // the survivor and the scheduler masks the lost capacity.
+  kModuleDeath,
+  // Broadcast fiber `a` is cut: its whole WDM ingress group loses its
+  // light path. Unlike a pre-run `failed_fibers` entry (host offline),
+  // a mid-run cut leaves the hosts up — cells keep arriving and park in
+  // the VOQs until the repair.
+  kFiberCut,
+  // Burst bit errors on ingress link `a` (-1 = every link): each
+  // crossbar transfer from that ingress arrives FEC-uncorrectable with
+  // probability `rate` while the window is open, and the go-back-N path
+  // retransmits it.
+  kBurstErrors,
+  // Control-path corruption: each grant is dropped on its way to the
+  // ingress adapter with probability `rate`; the adapter's missed-grant
+  // timeout re-files the request.
+  kGrantCorruption,
+  // Ingress adapter `a` stalls (firmware hiccup): it keeps buffering
+  // arrivals but neither transmits nor accepts grants.
+  kAdapterStall,
+  // Parallel-path element `a` dies: a whole switch plane in the
+  // multi-plane striped fabric, or spine switch `a` in the two-stage
+  // fabric. Traffic is re-steered (multi-plane) or back-pressured
+  // losslessly (fabric) until revival.
+  kPlaneFailure,
+};
+
+const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  std::uint64_t at_slot = 0;
+  FaultKind kind = FaultKind::kModuleDeath;
+  int a = -1;                        // kind-specific: egress/fiber/port/plane
+  int b = -1;                        // kind-specific: receiver
+  std::uint64_t duration_slots = 0;  // 0 = permanent (never repaired)
+  double rate = 0.0;                 // per-cell probability for rate kinds
+
+  bool transient() const { return duration_slots > 0; }
+  std::uint64_t end_slot() const { return at_slot + duration_slots; }
+};
+
+/// A seeded, declarative schedule of faults. Builder methods return the
+/// plan so scenarios read as one chained expression.
+class FaultPlan {
+ public:
+  FaultPlan& kill_module(std::uint64_t at_slot, int egress, int receiver,
+                         std::uint64_t duration_slots = 0);
+  FaultPlan& cut_fiber(std::uint64_t at_slot, int fiber,
+                       std::uint64_t duration_slots = 0);
+  FaultPlan& burst_errors(std::uint64_t at_slot, int ingress,
+                          std::uint64_t duration_slots, double rate);
+  FaultPlan& corrupt_grants(std::uint64_t at_slot,
+                            std::uint64_t duration_slots, double rate);
+  FaultPlan& stall_adapter(std::uint64_t at_slot, int ingress,
+                           std::uint64_t duration_slots);
+  FaultPlan& fail_plane(std::uint64_t at_slot, int plane,
+                        std::uint64_t duration_slots = 0);
+  FaultPlan& add(const FaultEvent& e);
+
+  /// Seed for the injector's error-roll stream (burst / grant faults).
+  FaultPlan& seeded(std::uint64_t seed);
+
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// True when any event is permanent (duration 0) — such a plan can
+  /// strand cells, so a drain phase will not terminate on empty queues.
+  bool has_permanent_fault() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+  std::uint64_t seed_ = 0x0FA7'17ULL;
+};
+
+}  // namespace osmosis::faults

@@ -1,0 +1,70 @@
+#include "src/faults/invariant.hpp"
+
+#include <algorithm>
+
+namespace osmosis::faults {
+
+void ExactlyOnceChecker::delivered(std::uint64_t flow, std::uint64_t seq) {
+  FlowState& f = flows_[flow];
+  ++f.delivered;
+  if (seq == f.next_expected) {
+    ++f.next_expected;
+  } else if (seq < f.next_expected) {
+    ++f.duplicates;
+  } else {
+    // A gap: cells next_expected..seq-1 were skipped over. They may
+    // still arrive (counting then as duplicates-of-position is wrong,
+    // so gaps are charged as reorderings here and the gap cells as
+    // missing only if they never show up — report() reconciles totals).
+    ++f.reordered;
+    f.next_expected = seq + 1;
+  }
+}
+
+ExactlyOnceChecker::Report ExactlyOnceChecker::report() const {
+  Report r;
+  for (const auto& [flow, f] : flows_) {
+    r.offered += f.offered;
+    r.delivered += f.delivered;
+    r.duplicates += f.duplicates;
+    r.reordered += f.reordered;
+    // Per flow, every offered cell not accounted for by a delivery is
+    // missing. Duplicates over-count deliveries, so net them out.
+    const std::uint64_t unique =
+        f.delivered >= f.duplicates ? f.delivered - f.duplicates : 0;
+    if (f.offered > unique) r.missing += f.offered - unique;
+  }
+  return r;
+}
+
+void RecoveryTracker::on_fault(std::uint64_t t, const std::string& key,
+                               std::uint64_t baseline_backlog) {
+  (void)t;
+  ++faults_;
+  open_[key] = Open{baseline_backlog, 0, false};
+}
+
+void RecoveryTracker::on_repair(std::uint64_t t, const std::string& key) {
+  auto it = open_.find(key);
+  if (it == open_.end()) return;
+  it->second.repaired = true;
+  it->second.repaired_at = t;
+  ++repaired_;
+}
+
+void RecoveryTracker::observe(std::uint64_t t, std::uint64_t backlog) {
+  for (auto it = open_.begin(); it != open_.end();) {
+    const Open& o = it->second;
+    if (o.repaired && backlog <= o.baseline) {
+      const double dt = static_cast<double>(t - o.repaired_at);
+      ++recovered_;
+      sum_recovery_ += dt;
+      max_recovery_ = std::max(max_recovery_, dt);
+      it = open_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace osmosis::faults

@@ -1,0 +1,93 @@
+#pragma once
+// End-of-run correctness accounting for degraded operation. Two
+// independent trackers:
+//
+//  * ExactlyOnceChecker — per-flow sequence audit. Every offered cell
+//    must be delivered exactly once and in order (Table 1) even across
+//    mid-run faults and retransmissions; anything else is quantified
+//    (duplicates, reorderings, cells still missing at end of run).
+//
+//  * RecoveryTracker — time-to-recover measurement. A fault snapshots
+//    the backlog at onset; after the repair, the system counts as
+//    recovered on the first slot the backlog returns to that baseline,
+//    and the elapsed repair->recovered time feeds the RunReport.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace osmosis::faults {
+
+class ExactlyOnceChecker {
+ public:
+  /// A cell of `flow` was offered (entered the system). Sequence
+  /// numbers per flow are implicit: 0, 1, 2, ... in offer order.
+  void offered(std::uint64_t flow) { ++flows_[flow].offered; }
+
+  /// A cell of `flow` with sequence `seq` left the system.
+  void delivered(std::uint64_t flow, std::uint64_t seq);
+
+  struct Report {
+    std::uint64_t offered = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t duplicates = 0;  // seq seen again after delivery
+    std::uint64_t reordered = 0;   // seq arrived ahead of an earlier gap
+    std::uint64_t missing = 0;     // offered but never delivered
+
+    /// The Table 1 verdict: every offered cell delivered exactly once,
+    /// in per-flow order, none lost.
+    bool exactly_once_in_order() const {
+      return duplicates == 0 && reordered == 0 && missing == 0 &&
+             delivered == offered;
+    }
+  };
+
+  Report report() const;
+
+ private:
+  struct FlowState {
+    std::uint64_t offered = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t next_expected = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t reordered = 0;
+  };
+  std::unordered_map<std::uint64_t, FlowState> flows_;
+};
+
+class RecoveryTracker {
+ public:
+  /// A fault keyed `key` began at `t` with the given system backlog.
+  void on_fault(std::uint64_t t, const std::string& key,
+                std::uint64_t baseline_backlog);
+
+  /// The fault was repaired at `t`; recovery timing starts here.
+  void on_repair(std::uint64_t t, const std::string& key);
+
+  /// Call once per slot with the current total backlog (queued cells).
+  void observe(std::uint64_t t, std::uint64_t backlog);
+
+  std::uint64_t faults() const { return faults_; }
+  std::uint64_t repaired() const { return repaired_; }
+  std::uint64_t recovered() const { return recovered_; }
+  double mean_recovery_slots() const {
+    return recovered_ ? sum_recovery_ / static_cast<double>(recovered_) : 0.0;
+  }
+  double max_recovery_slots() const { return max_recovery_; }
+
+ private:
+  struct Open {
+    std::uint64_t baseline = 0;
+    std::uint64_t repaired_at = 0;
+    bool repaired = false;
+  };
+  std::unordered_map<std::string, Open> open_;
+  std::uint64_t faults_ = 0;
+  std::uint64_t repaired_ = 0;
+  std::uint64_t recovered_ = 0;
+  double sum_recovery_ = 0.0;
+  double max_recovery_ = 0.0;
+};
+
+}  // namespace osmosis::faults

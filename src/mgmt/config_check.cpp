@@ -1,5 +1,8 @@
 #include "src/mgmt/config_check.hpp"
 
+#include <algorithm>
+#include <map>
+#include <set>
 #include <sstream>
 
 #include "src/core/latency_budget.hpp"
@@ -91,6 +94,169 @@ std::vector<Finding> validate_config(const core::OsmosisConfig& cfg) {
     finding(out, asics <= 4 ? Severity::kInfo : Severity::kWarning,
             "scheduler sizing", oss.str());
   }
+
+  return out;
+}
+
+std::vector<Finding> validate_failures(
+    const core::OsmosisConfig& cfg,
+    const std::vector<std::pair<int, int>>& failed_receivers,
+    const std::vector<int>& failed_fibers) {
+  std::vector<Finding> out;
+
+  std::set<std::pair<int, int>> seen_rx;
+  std::map<int, int> dead_per_egress;
+  for (const auto& [egress, rx] : failed_receivers) {
+    std::ostringstream oss;
+    if (egress < 0 || egress >= cfg.ports || rx < 0 || rx >= cfg.receivers) {
+      oss << "failed receiver (" << egress << "," << rx
+          << ") outside the " << cfg.ports << "x" << cfg.receivers
+          << " module grid";
+      finding(out, Severity::kError, "failures", oss.str());
+      continue;
+    }
+    if (!seen_rx.insert({egress, rx}).second) {
+      oss << "receiver (" << egress << "," << rx << ") listed twice";
+      finding(out, Severity::kWarning, "failures", oss.str());
+      continue;
+    }
+    ++dead_per_egress[egress];
+  }
+  for (const auto& [egress, dead] : dead_per_egress) {
+    if (dead >= cfg.receivers) {
+      std::ostringstream oss;
+      oss << "egress " << egress << " has no surviving switching module";
+      finding(out, Severity::kError, "failures", oss.str());
+    } else if (dead > 0) {
+      std::ostringstream oss;
+      oss << "egress " << egress << " running on "
+          << cfg.receivers - dead << " of " << cfg.receivers
+          << " modules (redundancy exhausted on next failure)";
+      finding(out, Severity::kInfo, "failures", oss.str());
+    }
+  }
+
+  std::set<int> seen_fiber;
+  for (const int f : failed_fibers) {
+    std::ostringstream oss;
+    if (f < 0 || f >= cfg.fibers) {
+      oss << "failed fiber " << f << " outside the " << cfg.fibers
+          << "-fiber broadcast stage";
+      finding(out, Severity::kError, "failures", oss.str());
+      continue;
+    }
+    if (!seen_fiber.insert(f).second) {
+      oss << "fiber " << f << " listed twice";
+      finding(out, Severity::kWarning, "failures", oss.str());
+    }
+  }
+  if (static_cast<int>(seen_fiber.size()) >= cfg.fibers && cfg.fibers > 0)
+    finding(out, Severity::kError, "failures",
+            "every broadcast fiber is dark: no ingress can reach the "
+            "crossbar");
+
+  return out;
+}
+
+std::vector<Finding> validate_fault_plan(const core::OsmosisConfig& cfg,
+                                         const faults::FaultPlan& plan) {
+  std::vector<Finding> out;
+
+  for (const faults::FaultEvent& e : plan.events()) {
+    std::ostringstream oss;
+    oss << faults::to_string(e.kind) << " at slot " << e.at_slot << ": ";
+    if (e.rate < 0.0 || e.rate > 1.0) {
+      oss << "rate " << e.rate << " is not a probability";
+      finding(out, Severity::kError, "fault plan", oss.str());
+      continue;
+    }
+    switch (e.kind) {
+      case faults::FaultKind::kModuleDeath:
+        if (e.a < 0 || e.a >= cfg.ports || e.b < 0 ||
+            e.b >= cfg.receivers) {
+          oss << "module (" << e.a << "," << e.b << ") outside the "
+              << cfg.ports << "x" << cfg.receivers << " grid";
+          finding(out, Severity::kError, "fault plan", oss.str());
+        }
+        break;
+      case faults::FaultKind::kFiberCut:
+        if (e.a < 0 || e.a >= cfg.fibers) {
+          oss << "fiber " << e.a << " outside the " << cfg.fibers
+              << "-fiber broadcast stage";
+          finding(out, Severity::kError, "fault plan", oss.str());
+        }
+        break;
+      case faults::FaultKind::kBurstErrors:
+        if (e.a < -1 || e.a >= cfg.ports) {
+          oss << "link " << e.a << " outside the " << cfg.ports
+              << " ingress links (-1 = all)";
+          finding(out, Severity::kError, "fault plan", oss.str());
+        } else if (!e.transient()) {
+          oss << "burst-error windows must be transient";
+          finding(out, Severity::kError, "fault plan", oss.str());
+        }
+        break;
+      case faults::FaultKind::kGrantCorruption:
+        if (!e.transient()) {
+          oss << "grant-corruption windows must be transient";
+          finding(out, Severity::kError, "fault plan", oss.str());
+        }
+        break;
+      case faults::FaultKind::kAdapterStall:
+        if (e.a < 0 || e.a >= cfg.ports) {
+          oss << "adapter " << e.a << " outside the " << cfg.ports
+              << " ingress adapters";
+          finding(out, Severity::kError, "fault plan", oss.str());
+        } else if (!e.transient()) {
+          oss << "adapter stalls must be transient";
+          finding(out, Severity::kError, "fault plan", oss.str());
+        }
+        break;
+      case faults::FaultKind::kPlaneFailure:
+        if (e.a < 0) {
+          oss << "plane index must be non-negative";
+          finding(out, Severity::kError, "fault plan", oss.str());
+        } else {
+          oss << "plane " << e.a
+              << " (only meaningful to multi-plane / fabric simulators)";
+          finding(out, Severity::kInfo, "fault plan", oss.str());
+        }
+        break;
+    }
+  }
+
+  // Overlapping module kills that leave an egress with no live module:
+  // the scheduler masks the output and its VOQs back up for the whole
+  // overlap — legal, but worth flagging.
+  for (std::size_t i = 0; i < plan.events().size(); ++i) {
+    const auto& a = plan.events()[i];
+    if (a.kind != faults::FaultKind::kModuleDeath) continue;
+    int concurrent = 1;
+    for (std::size_t j = 0; j < plan.events().size(); ++j) {
+      if (j == i) continue;
+      const auto& b = plan.events()[j];
+      if (b.kind != faults::FaultKind::kModuleDeath || b.a != a.a ||
+          b.b == a.b)
+        continue;
+      const std::uint64_t a_end =
+          a.transient() ? a.end_slot() : ~std::uint64_t{0};
+      const std::uint64_t b_end =
+          b.transient() ? b.end_slot() : ~std::uint64_t{0};
+      if (b.at_slot < a_end && a.at_slot < b_end) ++concurrent;
+    }
+    if (concurrent >= cfg.receivers && cfg.receivers > 0) {
+      std::ostringstream oss;
+      oss << "egress " << a.a << " loses all " << cfg.receivers
+          << " modules around slot " << a.at_slot
+          << " (output fully masked until a repair)";
+      finding(out, Severity::kWarning, "fault plan", oss.str());
+    }
+  }
+
+  if (plan.has_permanent_fault())
+    finding(out, Severity::kInfo, "fault plan",
+            "plan contains permanent faults: post-repair recovery "
+            "metrics will stay open for them");
 
   return out;
 }

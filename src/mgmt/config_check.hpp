@@ -8,9 +8,11 @@
 // operator can review a proposed configuration before deployment.
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/config.hpp"
+#include "src/faults/fault_plan.hpp"
 
 namespace osmosis::mgmt {
 
@@ -25,6 +27,21 @@ struct Finding {
 /// Runs every check; errors mean the configuration cannot work, warnings
 /// flag requirement misses (e.g. user bandwidth below 75 %).
 std::vector<Finding> validate_config(const core::OsmosisConfig& cfg);
+
+/// Validates a static failure set (pre-run failed receivers / dark
+/// fibers) against the geometry: indices in range, no duplicates, and
+/// at least one surviving switching module per egress — losing both
+/// modules of a dual-receiver egress makes that port unreachable.
+std::vector<Finding> validate_failures(
+    const core::OsmosisConfig& cfg,
+    const std::vector<std::pair<int, int>>& failed_receivers,
+    const std::vector<int>& failed_fibers);
+
+/// Validates a runtime fault plan against the geometry: per-kind index
+/// ranges, probability rates, windows that must be transient, and
+/// overlapping module kills that would take a whole egress dark.
+std::vector<Finding> validate_fault_plan(const core::OsmosisConfig& cfg,
+                                         const faults::FaultPlan& plan);
 
 /// True when no finding is an error.
 bool config_ok(const std::vector<Finding>& findings);

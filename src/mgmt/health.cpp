@@ -37,6 +37,21 @@ std::size_t HealthRegistry::count(Status s) const {
   return n;
 }
 
+std::vector<std::string> HealthRegistry::event_log() const {
+  std::vector<std::string> lines;
+  lines.reserve(events_.size());
+  for (const Event& e : events_) {
+    std::ostringstream oss;
+    oss << "t=" << e.time_slot << ' ' << e.component << ' '
+        << (e.status == Status::kOk         ? "OK"
+            : e.status == Status::kDegraded ? "DEGRADED"
+                                            : "FAILED");
+    if (!e.note.empty()) oss << " (" << e.note << ")";
+    lines.push_back(oss.str());
+  }
+  return lines;
+}
+
 Status HealthRegistry::system_status() const {
   // A switching-module failure is absorbed by its dual-receiver peer:
   // "module/<egress>/0" and "module/<egress>/1" are redundant pairs.

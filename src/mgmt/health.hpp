@@ -44,6 +44,11 @@ class HealthRegistry {
   std::size_t count(Status s) const;
   const std::vector<Event>& events() const { return events_; }
 
+  /// The event log rendered one line per transition
+  /// ("t=<slot> <component> FAILED (<note>)") — the RunReport `health`
+  /// section consumes exactly this.
+  std::vector<std::string> event_log() const;
+
  private:
   std::map<std::string, Status> status_;
   std::vector<Event> events_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <string>
 
 #include "src/util/log.hpp"
@@ -9,6 +10,20 @@
 namespace osmosis::sw {
 
 namespace {
+
+std::string evs_component(const char* prefix, int a, int b = -1) {
+  std::ostringstream oss;
+  oss << prefix << '/' << a;
+  if (b >= 0) oss << '/' << b;
+  return oss.str();
+}
+
+std::string evs_fault_key(const faults::FaultEvent& e) {
+  std::ostringstream oss;
+  oss << faults::to_string(e.kind) << '/' << e.a << '/' << e.b << '@'
+      << e.at_slot;
+  return oss.str();
+}
 
 // The facade's histogram defaults suit cycle-unit values; this sim
 // records nanoseconds, so widen an untouched default to the shape the
@@ -42,6 +57,152 @@ EventSwitchSim::EventSwitchSim(EventSwitchConfig cfg,
                        static_cast<std::size_t>(cfg_.ports) * 2,
                    0);
   delivered_per_port_.assign(static_cast<std::size_t>(cfg_.ports), 0);
+
+  // ---- runtime fault plan ----------------------------------------------
+  fibers_ = 1;
+  while (fibers_ * fibers_ < cfg_.ports) fibers_ <<= 1;
+  OSMOSIS_REQUIRE(cfg_.ports % fibers_ == 0,
+                  "port count must factor into fibers * wavelengths");
+  wavelengths_ = cfg_.ports / fibers_;
+  const int receivers = std::max(1, cfg_.sched.receivers);
+  rx_failed_.assign(static_cast<std::size_t>(cfg_.ports),
+                    std::vector<std::uint8_t>(
+                        static_cast<std::size_t>(receivers), 0));
+  input_block_depth_.assign(static_cast<std::size_t>(cfg_.ports), 0);
+  for (int f = 0; f < fibers_; ++f)
+    health_.declare(evs_component("broadcast", f));
+  for (int out = 0; out < cfg_.ports; ++out)
+    for (int rx = 0; rx < receivers; ++rx)
+      health_.declare(evs_component("module", out, rx));
+  for (int in = 0; in < cfg_.ports; ++in) {
+    health_.declare(evs_component("adapter", in));
+    health_.declare(evs_component("link", in));
+  }
+  health_.declare("link/all");
+  health_.declare("controlpath");
+  health_.declare("scheduler");
+  if (!cfg_.fault_plan.empty()) {
+    OSMOSIS_REQUIRE(cfg_.grant_timeout_cycles >= 1 &&
+                        cfg_.arq_timeout_cycles >= 1,
+                    "fault-recovery timeouts must be >= 1 cycle");
+    for (const faults::FaultEvent& e : cfg_.fault_plan.events()) {
+      switch (e.kind) {
+        case faults::FaultKind::kModuleDeath:
+          OSMOSIS_REQUIRE(e.a >= 0 && e.a < cfg_.ports && e.b >= 0 &&
+                              e.b < receivers,
+                          "fault plan: module (" << e.a << "," << e.b
+                                                 << ") out of range");
+          break;
+        case faults::FaultKind::kFiberCut:
+          OSMOSIS_REQUIRE(e.a >= 0 && e.a < fibers_,
+                          "fault plan: fiber " << e.a << " out of range");
+          break;
+        case faults::FaultKind::kBurstErrors:
+          OSMOSIS_REQUIRE(e.a >= -1 && e.a < cfg_.ports,
+                          "fault plan: burst-error link " << e.a
+                                                          << " out of range");
+          break;
+        case faults::FaultKind::kGrantCorruption:
+          break;
+        case faults::FaultKind::kAdapterStall:
+          OSMOSIS_REQUIRE(e.a >= 0 && e.a < cfg_.ports,
+                          "fault plan: adapter " << e.a << " out of range");
+          break;
+        case faults::FaultKind::kPlaneFailure:
+          OSMOSIS_REQUIRE(false,
+                          "plane faults target the multi-plane / fabric "
+                          "simulators, not the single-stage switch");
+          break;
+      }
+    }
+    injector_.emplace(cfg_.fault_plan);
+  }
+}
+
+void EventSwitchSim::block_input_ref(int in) {
+  if (input_block_depth_[static_cast<std::size_t>(in)]++ == 0)
+    sched_->block_input(in);
+}
+
+void EventSwitchSim::unblock_input_ref(int in) {
+  auto& depth = input_block_depth_[static_cast<std::size_t>(in)];
+  OSMOSIS_REQUIRE(depth > 0, "input mask underflow on input " << in);
+  if (--depth == 0) sched_->unblock_input(in);
+}
+
+void EventSwitchSim::set_module_state(int out, int rx, bool failed,
+                                      std::uint64_t cycle) {
+  auto& flag =
+      rx_failed_[static_cast<std::size_t>(out)][static_cast<std::size_t>(rx)];
+  if (static_cast<bool>(flag) == failed) return;
+  flag = failed ? 1 : 0;
+  int alive = 0;
+  for (const std::uint8_t dead : rx_failed_[static_cast<std::size_t>(out)])
+    alive += dead ? 0 : 1;
+  sched_->set_output_capacity(out, alive);
+  health_.report(evs_component("module", out, rx),
+                 failed ? mgmt::Status::kFailed : mgmt::Status::kOk, cycle,
+                 failed ? "injected" : "repaired");
+}
+
+void EventSwitchSim::apply_fault_transitions(std::uint64_t cycle) {
+  for (const faults::FaultTransition& tr : injector_->tick(cycle)) {
+    const faults::FaultEvent& e = tr.event;
+    if (tr.begin) {
+      ++faults_injected_;
+      recovery_.on_fault(cycle, evs_fault_key(e), backlog());
+    } else {
+      ++faults_repaired_;
+      recovery_.on_repair(cycle, evs_fault_key(e));
+    }
+    switch (e.kind) {
+      case faults::FaultKind::kModuleDeath:
+        set_module_state(e.a, e.b, tr.begin, cycle);
+        break;
+      case faults::FaultKind::kFiberCut:
+        for (int w = 0; w < wavelengths_; ++w) {
+          const int in = e.a * wavelengths_ + w;
+          if (tr.begin)
+            block_input_ref(in);
+          else
+            unblock_input_ref(in);
+        }
+        health_.report(evs_component("broadcast", e.a),
+                       tr.begin ? mgmt::Status::kFailed : mgmt::Status::kOk,
+                       cycle, tr.begin ? "fiber cut" : "spliced");
+        break;
+      case faults::FaultKind::kAdapterStall:
+        if (tr.begin)
+          block_input_ref(e.a);
+        else
+          unblock_input_ref(e.a);
+        health_.report(evs_component("adapter", e.a),
+                       tr.begin ? mgmt::Status::kDegraded : mgmt::Status::kOk,
+                       cycle, tr.begin ? "stalled" : "resumed");
+        break;
+      case faults::FaultKind::kBurstErrors:
+        health_.report(e.a >= 0 ? evs_component("link", e.a)
+                                : std::string("link/all"),
+                       tr.begin ? mgmt::Status::kDegraded : mgmt::Status::kOk,
+                       cycle, tr.begin ? "burst errors" : "clean");
+        break;
+      case faults::FaultKind::kGrantCorruption:
+        health_.report("controlpath",
+                       tr.begin ? mgmt::Status::kDegraded : mgmt::Status::kOk,
+                       cycle, tr.begin ? "grant corruption" : "clean");
+        break;
+      case faults::FaultKind::kPlaneFailure:
+        break;  // rejected at construction
+    }
+  }
+}
+
+std::uint64_t EventSwitchSim::backlog() const {
+  std::uint64_t total = in_flight_ + retry_pending_;
+  for (const auto& v : voqs_)
+    total += static_cast<std::uint64_t>(v.total_occupancy());
+  for (const auto& q : egress_) total += q.size();
+  return total;
 }
 
 double EventSwitchSim::ctrl_ns(int adapter) const {
@@ -52,6 +213,45 @@ double EventSwitchSim::ctrl_ns(int adapter) const {
 
 void EventSwitchSim::on_grant_arrival(Grant g, double requested_at) {
   const double now = queue_.now();
+
+  // Control-path grant corruption / data-path FEC-uncorrectable loss:
+  // the cell stays at the head of its VOQ (per-flow FIFO keeps order)
+  // and the adapter re-files the request after the timeout.
+  const bool lost_grant = injector_ && injector_->corrupt_grant();
+  const bool lost_transfer =
+      !lost_grant && injector_ && injector_->corrupt_transfer(g.input);
+  // A fault can land while this grant was in the scheduler pipeline or
+  // on the control fiber: the ingress went dark / stalled, or the
+  // egress lost the granted switching module. The transfer is lost in
+  // flight and heals through the same ARQ re-request.
+  bool stale_path = false;
+  if (injector_) {
+    int alive = 0;
+    for (const auto failed : rx_failed_[static_cast<std::size_t>(g.output)])
+      alive += failed == 0;
+    stale_path =
+        input_block_depth_[static_cast<std::size_t>(g.input)] > 0 ||
+        g.receiver >= alive;
+  }
+  if (lost_grant || lost_transfer || stale_path) {
+    const int timeout_cycles =
+        lost_grant ? cfg_.grant_timeout_cycles : cfg_.arq_timeout_cycles;
+    if (lost_grant)
+      ++grant_corruptions_;
+    else
+      ++retransmissions_;
+    ++retry_pending_;
+    queue_.schedule_in(
+        static_cast<double>(timeout_cycles) * cfg_.cell_ns, [this, g] {
+          --retry_pending_;
+          sched_->request(g.input, g.output);
+          request_times_[static_cast<std::size_t>(g.input) *
+                             static_cast<std::size_t>(cfg_.ports) +
+                         static_cast<std::size_t>(g.output)]
+              .push_back(queue_.now());
+        });
+    return;
+  }
   grant_ns_.add(now - requested_at);
 
   Cell cell = voqs_[static_cast<std::size_t>(g.input)].pop(g.output);
@@ -72,7 +272,9 @@ void EventSwitchSim::on_grant_arrival(Grant g, double requested_at) {
   if (++booked > cfg_.sched.receivers) ++receiver_conflicts_;
   telem_.mark(cell.trace, telemetry::Stage::kTransmit, arrive);
 
+  ++in_flight_;
   queue_.schedule_at(arrive, [this, cell] {
+    --in_flight_;
     egress_[static_cast<std::size_t>(cell.dst)].push_back(cell);
   });
 }
@@ -80,8 +282,11 @@ void EventSwitchSim::on_grant_arrival(Grant g, double requested_at) {
 void EventSwitchSim::on_cycle() {
   const double now = queue_.now();
 
+  // 0. Scheduled faults begin / get repaired at the cycle boundary.
+  if (injector_) apply_fault_transitions(cycle_);
+
   // 1. Arrivals this cycle; requests fly to the scheduler.
-  for (int in = 0; in < cfg_.ports; ++in) {
+  for (int in = 0; in < cfg_.ports && !draining_; ++in) {
     sim::Arrival a;
     if (!traffic_->sample(in, a)) continue;
     const std::size_t flow =
@@ -97,6 +302,8 @@ void EventSwitchSim::on_cycle() {
     cell.cls = a.cls;
     cell.trace = telem_.begin_cell(in, a.dst, now);
     telem_.mark(cell.trace, telemetry::Stage::kRequest, now + ctrl_ns(in));
+    ++offered_;
+    invariants_.offered(static_cast<std::uint64_t>(flow));
     voqs_[static_cast<std::size_t>(in)].push(cell);
     const int dst = a.dst;
     queue_.schedule_in(ctrl_ns(in), [this, in, dst, now] {
@@ -128,9 +335,14 @@ void EventSwitchSim::on_cycle() {
     if (q.empty()) continue;
     const Cell cell = q.front();
     q.pop_front();
-    reorder_.deliver(
-        cell.src,
-        cell.dst * 2 + (cell.cls == sim::TrafficClass::kControl ? 0 : 1),
+    const int cls_bit = cell.cls == sim::TrafficClass::kControl ? 0 : 1;
+    reorder_.deliver(cell.src, cell.dst * 2 + cls_bit, cell.seq);
+    invariants_.delivered(
+        (static_cast<std::uint64_t>(cell.src) *
+             static_cast<std::uint64_t>(cfg_.ports) +
+         static_cast<std::uint64_t>(cell.dst)) *
+                2 +
+            static_cast<std::uint64_t>(cls_bit),
         cell.seq);
     telem_.finish_cell(cell.trace, now + cfg_.cell_ns, measuring);
     if (measuring) {
@@ -143,6 +355,10 @@ void EventSwitchSim::on_cycle() {
     }
   }
   if (measuring) meter_.advance_slots(1, static_cast<std::uint64_t>(cfg_.ports));
+
+  // Recovery bookkeeping: a repaired fault counts as recovered once the
+  // backlog returns to its pre-fault baseline.
+  if (injector_) recovery_.observe(cycle_, backlog());
 
   // Trim stale slot bookings to keep the map bounded.
   if (cycle_ % 4096 == 0 && cycle_ > 0) {
@@ -159,6 +375,18 @@ EventSwitchResult EventSwitchSim::run() {
   sim::PeriodicProcess cycles(queue_, 0.0, cfg_.cell_ns,
                               [this] { on_cycle(); });
   queue_.run_until(cfg_.warmup_ns + cfg_.measure_ns);
+  // Post-run drain: arrivals off, keep cycling until the recovered
+  // switch has emptied every queue (exactly-once verification needs it).
+  if (cfg_.drain_max_cycles > 0) {
+    draining_ = true;
+    double horizon = cfg_.warmup_ns + cfg_.measure_ns;
+    while (drained_cycles_ < cfg_.drain_max_cycles &&
+           (backlog() > 0 || (injector_ && injector_->pending() > 0))) {
+      horizon += cfg_.cell_ns;
+      queue_.run_until(horizon);
+      ++drained_cycles_;
+    }
+  }
   cycles.cancel();
   queue_.run();  // flush in-flight messages
 
@@ -172,6 +400,19 @@ EventSwitchResult EventSwitchSim::run() {
   r.mean_grant_latency_ns = grant_ns_.mean();
   r.receiver_conflicts = receiver_conflicts_;
   r.out_of_order = reorder_.out_of_order();
+  r.offered = offered_;
+  r.grant_corruptions = grant_corruptions_;
+  r.retransmissions = retransmissions_;
+  r.faults_injected = faults_injected_;
+  r.faults_repaired = faults_repaired_;
+  r.faults_recovered = recovery_.recovered();
+  r.mean_recovery_cycles = recovery_.mean_recovery_slots();
+  r.max_recovery_cycles = recovery_.max_recovery_slots();
+  r.drained_cycles = drained_cycles_;
+  const auto inv = invariants_.report();
+  r.exactly_once_in_order = inv.exactly_once_in_order();
+  r.duplicates = inv.duplicates;
+  r.missing = inv.missing;
 
   if (telem_.enabled()) {
     auto& ctr = telem_.counters();
@@ -197,7 +438,10 @@ telemetry::RunReport EventSwitchSim::report() const {
   r.config["measure_ns"] = cfg_.measure_ns;
   r.config["offered_load"] = traffic_->offered_load();
   r.config["telemetry.sample_every"] = cfg_.telemetry.sample_every;
+  if (!cfg_.fault_plan.empty())
+    r.config["fault_events"] = static_cast<double>(cfg_.fault_plan.size());
   r.info["scheduler"] = sched_->name();
+  r.health = health_.event_log();
   r.histograms.emplace("delay",
                        telemetry::HistogramSummary::of(delay_ns_));
   r.histograms.emplace("grant_latency",

@@ -19,8 +19,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "src/faults/fault_injector.hpp"
+#include "src/faults/fault_plan.hpp"
+#include "src/faults/invariant.hpp"
+#include "src/mgmt/health.hpp"
 #include "src/sim/event_queue.hpp"
 #include "src/sim/stats.hpp"
 #include "src/sim/traffic.hpp"
@@ -45,6 +50,15 @@ struct EventSwitchConfig {
   // by default. The stage-histogram linear limit is widened on
   // construction to suit ns-scale values.
   telemetry::TelemetryConfig telemetry;
+  // Mid-run fault schedule (src/faults/). Fault slots are cell-cycle
+  // indices, applied at the cycle boundary. Empty = untouched fault-free
+  // path (bit-identical results).
+  faults::FaultPlan fault_plan;
+  int grant_timeout_cycles = 8;  // missed-grant re-request delay
+  int arq_timeout_cycles = 8;    // FEC-uncorrectable re-request delay
+  // Extra cycles (arrivals off) after the measurement window so the
+  // invariant checker can confirm exactly-once delivery. 0 = no drain.
+  std::uint64_t drain_max_cycles = 0;
 };
 
 struct EventSwitchResult {
@@ -57,6 +71,19 @@ struct EventSwitchResult {
   double mean_grant_latency_ns = 0.0;  // request issue -> grant at adapter
   std::uint64_t receiver_conflicts = 0;  // cycles an output was overbooked
   std::uint64_t out_of_order = 0;
+  // Degraded-operation accounting (fault injection / recovery).
+  std::uint64_t offered = 0;
+  std::uint64_t grant_corruptions = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t faults_repaired = 0;
+  std::uint64_t faults_recovered = 0;
+  double mean_recovery_cycles = 0.0;
+  double max_recovery_cycles = 0.0;
+  std::uint64_t drained_cycles = 0;
+  bool exactly_once_in_order = false;
+  std::uint64_t duplicates = 0;
+  std::uint64_t missing = 0;
 };
 
 class EventSwitchSim {
@@ -69,6 +96,9 @@ class EventSwitchSim {
   telemetry::Telemetry& telemetry() { return telem_; }
   const telemetry::Telemetry& telemetry() const { return telem_; }
 
+  /// Component health view with the injector-driven transitions.
+  const mgmt::HealthRegistry& health() const { return health_; }
+
   /// Structured run export; stage histograms are in nanoseconds.
   telemetry::RunReport report() const;
 
@@ -76,6 +106,11 @@ class EventSwitchSim {
   double ctrl_ns(int adapter) const;
   void on_cycle();
   void on_grant_arrival(Grant g, double requested_at);
+  void apply_fault_transitions(std::uint64_t cycle);
+  void set_module_state(int out, int rx, bool failed, std::uint64_t cycle);
+  void block_input_ref(int in);
+  void unblock_input_ref(int in);
+  std::uint64_t backlog() const;
 
   EventSwitchConfig cfg_;
   std::unique_ptr<sim::TrafficGen> traffic_;
@@ -94,6 +129,27 @@ class EventSwitchSim {
   sim::ThroughputMeter meter_;
   sim::ReorderDetector reorder_;
   std::uint64_t receiver_conflicts_ = 0;
+
+  // ---- runtime fault injection & recovery -------------------------------
+  std::optional<faults::FaultInjector> injector_;
+  mgmt::HealthRegistry health_;
+  faults::ExactlyOnceChecker invariants_;
+  faults::RecoveryTracker recovery_;
+  int fibers_ = 1;
+  int wavelengths_ = 1;
+  std::vector<std::vector<std::uint8_t>> rx_failed_;  // per (output, rx)
+  std::vector<int> input_block_depth_;
+  bool draining_ = false;
+  // Cells between VOQ pop and egress landing, plus re-requests in
+  // flight: both keep the post-run drain loop alive.
+  std::uint64_t in_flight_ = 0;
+  std::uint64_t retry_pending_ = 0;
+  std::uint64_t offered_ = 0;
+  std::uint64_t grant_corruptions_ = 0;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t faults_injected_ = 0;
+  std::uint64_t faults_repaired_ = 0;
+  std::uint64_t drained_cycles_ = 0;
 
   // telemetry
   telemetry::Telemetry telem_;

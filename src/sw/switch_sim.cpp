@@ -1,10 +1,49 @@
 #include "src/sw/switch_sim.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "src/util/log.hpp"
 
 namespace osmosis::sw {
+
+namespace {
+
+std::string module_name(int out, int rx) {
+  std::ostringstream oss;
+  oss << "module/" << out << '/' << rx;
+  return oss.str();
+}
+
+std::string fiber_name(int f) {
+  std::ostringstream oss;
+  oss << "broadcast/" << f;
+  return oss.str();
+}
+
+std::string adapter_name(int in) {
+  std::ostringstream oss;
+  oss << "adapter/" << in;
+  return oss.str();
+}
+
+std::string link_name(int in) {
+  if (in < 0) return "link/all";
+  std::ostringstream oss;
+  oss << "link/" << in;
+  return oss.str();
+}
+
+// Unique recovery-tracker key per plan entry (two faults of the same
+// kind on the same component at different times stay distinct).
+std::string fault_key(const faults::FaultEvent& e) {
+  std::ostringstream oss;
+  oss << faults::to_string(e.kind) << '/' << e.a << '/' << e.b << '@'
+      << e.at_slot;
+  return oss.str();
+}
+
+}  // namespace
 
 SwitchSim::SwitchSim(SwitchSimConfig cfg,
                      std::unique_ptr<sim::TrafficGen> traffic)
@@ -15,6 +54,8 @@ SwitchSim::SwitchSim(SwitchSimConfig cfg,
                                                  << " ports, switch has "
                                                  << cfg_.ports);
   OSMOSIS_REQUIRE(cfg_.egress_line_rate >= 1, "egress line rate must be >= 1");
+  OSMOSIS_REQUIRE(cfg_.grant_timeout_slots >= 1 && cfg_.arq_timeout_slots >= 1,
+                  "fault-recovery timeouts must be >= 1 slot");
   cfg_.sched.ports = cfg_.ports;
   sched_ = make_scheduler(cfg_.sched);
   voqs_.reserve(static_cast<std::size_t>(cfg_.ports));
@@ -31,90 +72,275 @@ SwitchSim::SwitchSim(SwitchSimConfig cfg,
   delivered_per_port_.assign(static_cast<std::size_t>(cfg_.ports), 0);
   // Square-ish fiber/wavelength split, used for optical validation and
   // for mapping failed fibers to their dark ingress ports.
-  int fibers = 1;
-  while (fibers * fibers < cfg_.ports) fibers <<= 1;
-  OSMOSIS_REQUIRE(cfg_.ports % fibers == 0,
+  fibers_ = 1;
+  while (fibers_ * fibers_ < cfg_.ports) fibers_ <<= 1;
+  OSMOSIS_REQUIRE(cfg_.ports % fibers_ == 0,
                   "port count must factor into fibers * wavelengths");
-  const int wavelengths = cfg_.ports / fibers;
+  wavelengths_ = cfg_.ports / fibers_;
   if (cfg_.validate_optical_path) {
     phy::BroadcastSelectConfig ocfg;
     ocfg.ports = cfg_.ports;
-    ocfg.fibers = fibers;
-    ocfg.wavelengths = wavelengths;
+    ocfg.fibers = fibers_;
+    ocfg.wavelengths = wavelengths_;
     ocfg.receivers_per_egress = std::max(1, cfg_.sched.receivers);
     optical_.emplace(ocfg);
   }
 
-  // ---- failure injection ------------------------------------------------
+  // ---- component inventory (§VI.A health view) --------------------------
   const int receivers = std::max(1, cfg_.sched.receivers);
-  std::vector<std::vector<std::uint8_t>> rx_failed(
-      static_cast<std::size_t>(cfg_.ports),
-      std::vector<std::uint8_t>(static_cast<std::size_t>(receivers), 0));
+  for (int f = 0; f < fibers_; ++f) health_.declare(fiber_name(f));
+  for (int out = 0; out < cfg_.ports; ++out)
+    for (int rx = 0; rx < receivers; ++rx)
+      health_.declare(module_name(out, rx));
+  for (int in = 0; in < cfg_.ports; ++in) {
+    health_.declare(adapter_name(in));
+    health_.declare(link_name(in));
+  }
+  health_.declare(link_name(-1));
+  health_.declare("controlpath");
+  health_.declare("scheduler");
+
+  // ---- static failure injection (applied before slot 0) -----------------
+  rx_failed_.assign(static_cast<std::size_t>(cfg_.ports),
+                    std::vector<std::uint8_t>(
+                        static_cast<std::size_t>(receivers), 0));
   for (const auto& [out, rx] : cfg_.failed_receivers) {
     OSMOSIS_REQUIRE(out >= 0 && out < cfg_.ports && rx >= 0 &&
                         rx < receivers,
                     "failed receiver (" << out << "," << rx
                                         << ") out of range");
-    rx_failed[static_cast<std::size_t>(out)][static_cast<std::size_t>(rx)] = 1;
+    rx_failed_[static_cast<std::size_t>(out)][static_cast<std::size_t>(rx)] =
+        1;
     if (optical_) optical_->fail_module(out, rx);
+    health_.report(module_name(out, rx), mgmt::Status::kFailed, 0,
+                   "configured failed");
   }
   surviving_rx_.resize(static_cast<std::size_t>(cfg_.ports));
   for (int out = 0; out < cfg_.ports; ++out) {
     auto& survivors = surviving_rx_[static_cast<std::size_t>(out)];
     for (int rx = 0; rx < receivers; ++rx)
-      if (!rx_failed[static_cast<std::size_t>(out)]
-                    [static_cast<std::size_t>(rx)])
+      if (!rx_failed_[static_cast<std::size_t>(out)]
+                     [static_cast<std::size_t>(rx)])
         survivors.push_back(rx);
     sched_->set_output_capacity(out, static_cast<int>(survivors.size()));
   }
 
   dark_input_.assign(static_cast<std::size_t>(cfg_.ports), 0);
+  input_block_depth_.assign(static_cast<std::size_t>(cfg_.ports), 0);
   for (const int f : cfg_.failed_fibers) {
-    OSMOSIS_REQUIRE(f >= 0 && f < fibers, "failed fiber out of range");
+    OSMOSIS_REQUIRE(f >= 0 && f < fibers_, "failed fiber out of range");
     if (optical_) optical_->fail_fiber(f);
-    for (int w = 0; w < wavelengths; ++w) {
-      const int in = f * wavelengths + w;
+    health_.report(fiber_name(f), mgmt::Status::kFailed, 0,
+                   "configured dark");
+    for (int w = 0; w < wavelengths_; ++w) {
+      const int in = f * wavelengths_ + w;
       dark_input_[static_cast<std::size_t>(in)] = 1;
       sched_->block_input(in);
     }
   }
+
+  // ---- runtime fault plan ----------------------------------------------
+  if (!cfg_.fault_plan.empty()) {
+    for (const faults::FaultEvent& e : cfg_.fault_plan.events()) {
+      switch (e.kind) {
+        case faults::FaultKind::kModuleDeath:
+          OSMOSIS_REQUIRE(e.a >= 0 && e.a < cfg_.ports && e.b >= 0 &&
+                              e.b < receivers,
+                          "fault plan: module (" << e.a << "," << e.b
+                                                 << ") out of range");
+          break;
+        case faults::FaultKind::kFiberCut:
+          OSMOSIS_REQUIRE(e.a >= 0 && e.a < fibers_,
+                          "fault plan: fiber " << e.a << " out of range");
+          break;
+        case faults::FaultKind::kBurstErrors:
+          OSMOSIS_REQUIRE(e.a >= -1 && e.a < cfg_.ports,
+                          "fault plan: burst-error link " << e.a
+                                                          << " out of range");
+          break;
+        case faults::FaultKind::kGrantCorruption:
+          break;
+        case faults::FaultKind::kAdapterStall:
+          OSMOSIS_REQUIRE(e.a >= 0 && e.a < cfg_.ports,
+                          "fault plan: adapter " << e.a << " out of range");
+          break;
+        case faults::FaultKind::kPlaneFailure:
+          OSMOSIS_REQUIRE(false,
+                          "plane faults target the multi-plane / fabric "
+                          "simulators, not the single-stage switch");
+          break;
+      }
+    }
+    injector_.emplace(cfg_.fault_plan);
+  }
 }
 
-void SwitchSim::step(std::uint64_t t, bool measuring) {
+void SwitchSim::block_input_ref(int in) {
+  if (input_block_depth_[static_cast<std::size_t>(in)]++ == 0)
+    sched_->block_input(in);
+}
+
+void SwitchSim::unblock_input_ref(int in) {
+  auto& depth = input_block_depth_[static_cast<std::size_t>(in)];
+  OSMOSIS_REQUIRE(depth > 0, "input mask underflow on input " << in);
+  if (--depth == 0) sched_->unblock_input(in);
+}
+
+void SwitchSim::set_module_state(int out, int rx, bool failed,
+                                 std::uint64_t t) {
+  auto& flag =
+      rx_failed_[static_cast<std::size_t>(out)][static_cast<std::size_t>(rx)];
+  if (static_cast<bool>(flag) == failed) return;  // e.g. statically failed
+  flag = failed ? 1 : 0;
+  auto& survivors = surviving_rx_[static_cast<std::size_t>(out)];
+  survivors.clear();
+  const int receivers = std::max(1, cfg_.sched.receivers);
+  for (int r = 0; r < receivers; ++r)
+    if (!rx_failed_[static_cast<std::size_t>(out)]
+                   [static_cast<std::size_t>(r)])
+      survivors.push_back(r);
+  // The scheduler immediately stops matching onto the lost capacity
+  // (in-flight pipelined matchings shrink too); on revival the next
+  // matchings pick the restored receiver back up.
+  sched_->set_output_capacity(out, static_cast<int>(survivors.size()));
+  if (optical_) {
+    if (failed)
+      optical_->fail_module(out, rx);
+    else
+      optical_->repair_module(out, rx);
+  }
+  health_.report(module_name(out, rx),
+                 failed ? mgmt::Status::kFailed : mgmt::Status::kOk, t,
+                 failed ? "injected" : "repaired");
+}
+
+void SwitchSim::apply_fault_transitions(std::uint64_t t) {
+  for (const faults::FaultTransition& tr : injector_->tick(t)) {
+    const faults::FaultEvent& e = tr.event;
+    if (tr.begin) {
+      ++faults_injected_;
+      recovery_.on_fault(t, fault_key(e), backlog());
+    } else {
+      ++faults_repaired_;
+      recovery_.on_repair(t, fault_key(e));
+    }
+    switch (e.kind) {
+      case faults::FaultKind::kModuleDeath:
+        set_module_state(e.a, e.b, tr.begin, t);
+        break;
+      case faults::FaultKind::kFiberCut: {
+        if (optical_) {
+          if (tr.begin)
+            optical_->fail_fiber(e.a);
+          else
+            optical_->repair_fiber(e.a);
+        }
+        // Unlike a pre-run dark fiber (host offline), a mid-run cut
+        // leaves the hosts generating: cells park in the VOQs and the
+        // scheduler is masked until the splice.
+        for (int w = 0; w < wavelengths_; ++w) {
+          const int in = e.a * wavelengths_ + w;
+          if (dark_input_[static_cast<std::size_t>(in)]) continue;
+          if (tr.begin)
+            block_input_ref(in);
+          else
+            unblock_input_ref(in);
+        }
+        health_.report(fiber_name(e.a),
+                       tr.begin ? mgmt::Status::kFailed : mgmt::Status::kOk,
+                       t, tr.begin ? "fiber cut" : "spliced");
+        break;
+      }
+      case faults::FaultKind::kAdapterStall:
+        if (tr.begin)
+          block_input_ref(e.a);
+        else
+          unblock_input_ref(e.a);
+        health_.report(adapter_name(e.a),
+                       tr.begin ? mgmt::Status::kDegraded : mgmt::Status::kOk,
+                       t, tr.begin ? "stalled" : "resumed");
+        break;
+      case faults::FaultKind::kBurstErrors:
+        // The injector owns the per-cell error rolls; only the health
+        // view changes here.
+        health_.report(link_name(e.a),
+                       tr.begin ? mgmt::Status::kDegraded : mgmt::Status::kOk,
+                       t, tr.begin ? "burst errors" : "clean");
+        break;
+      case faults::FaultKind::kGrantCorruption:
+        health_.report("controlpath",
+                       tr.begin ? mgmt::Status::kDegraded : mgmt::Status::kOk,
+                       t,
+                       tr.begin ? "grant corruption" : "clean");
+        break;
+      case faults::FaultKind::kPlaneFailure:
+        break;  // rejected at construction
+    }
+  }
+}
+
+std::uint64_t SwitchSim::backlog() const {
+  std::uint64_t total = 0;
+  for (const auto& v : voqs_)
+    total += static_cast<std::uint64_t>(v.total_occupancy());
+  for (const auto& q : egress_) total += q.size();
+  return total;
+}
+
+void SwitchSim::step(std::uint64_t t, bool measuring, bool inject_traffic) {
   const int n = cfg_.ports;
+
+  // 0. Scheduled faults begin / get repaired at the cycle boundary.
+  if (injector_) apply_fault_transitions(t);
 
   // 1. Arrivals into the VOQs; requests enter the control pipe. Dark
   //    inputs (failed broadcast fiber) are offline hosts: no arrivals.
-  for (int in = 0; in < n; ++in) {
-    sim::Arrival a;
-    if (!traffic_->sample(in, a)) continue;
-    if (dark_input_[static_cast<std::size_t>(in)]) continue;
-    // Ordering is guaranteed per (input, output, class): the two classes
-    // are independent streams (control has strict priority and may
-    // legitimately overtake data of the same port pair).
-    const std::size_t flow =
-        (static_cast<std::size_t>(in) * static_cast<std::size_t>(n) +
-         static_cast<std::size_t>(a.dst)) *
-            2 +
-        (a.cls == sim::TrafficClass::kControl ? 0 : 1);
-    Cell cell;
-    cell.src = in;
-    cell.dst = a.dst;
-    cell.seq = flow_seq_[flow]++;
-    cell.arrival_slot = t;
-    cell.cls = a.cls;
-    cell.tag = a.tag;
-    cell.trace = telem_.begin_cell(in, a.dst, static_cast<double>(t));
-    telem_.mark(cell.trace, telemetry::Stage::kRequest,
-                static_cast<double>(t + static_cast<std::uint64_t>(
-                                            cfg_.request_delay_slots)));
-    ++enqueued_per_port_[static_cast<std::size_t>(in)];
-    voqs_[static_cast<std::size_t>(in)].push(cell);
-    request_pipe_.push_back(PendingRequest{
-        t + static_cast<std::uint64_t>(cfg_.request_delay_slots), in, a.dst});
+  if (inject_traffic) {
+    for (int in = 0; in < n; ++in) {
+      sim::Arrival a;
+      if (!traffic_->sample(in, a)) continue;
+      if (dark_input_[static_cast<std::size_t>(in)]) continue;
+      // Ordering is guaranteed per (input, output, class): the two classes
+      // are independent streams (control has strict priority and may
+      // legitimately overtake data of the same port pair).
+      const std::size_t flow =
+          (static_cast<std::size_t>(in) * static_cast<std::size_t>(n) +
+           static_cast<std::size_t>(a.dst)) *
+              2 +
+          (a.cls == sim::TrafficClass::kControl ? 0 : 1);
+      Cell cell;
+      cell.src = in;
+      cell.dst = a.dst;
+      cell.seq = flow_seq_[flow]++;
+      cell.arrival_slot = t;
+      cell.cls = a.cls;
+      cell.tag = a.tag;
+      cell.trace = telem_.begin_cell(in, a.dst, static_cast<double>(t));
+      telem_.mark(cell.trace, telemetry::Stage::kRequest,
+                  static_cast<double>(t + static_cast<std::uint64_t>(
+                                              cfg_.request_delay_slots)));
+      ++enqueued_per_port_[static_cast<std::size_t>(in)];
+      ++offered_;
+      invariants_.offered(static_cast<std::uint64_t>(flow));
+      voqs_[static_cast<std::size_t>(in)].push(cell);
+      request_pipe_.push_back(PendingRequest{
+          t + static_cast<std::uint64_t>(cfg_.request_delay_slots), in,
+          a.dst});
+    }
   }
 
-  // 2. Control-path delivery of requests to the scheduler.
+  // 2. Control-path delivery of requests to the scheduler, including
+  //    re-filed requests from missed-grant / ARQ timeouts.
+  while (!retry_queue_.empty() && retry_queue_.begin()->first <= t) {
+    const auto [in, out] = retry_queue_.begin()->second;
+    retry_queue_.erase(retry_queue_.begin());
+    sched_->request(in, out);
+    if (cfg_.measure_grant_latency)
+      request_times_[static_cast<std::size_t>(in) *
+                         static_cast<std::size_t>(n) +
+                     static_cast<std::size_t>(out)]
+          .push_back(t);
+  }
   while (!request_pipe_.empty() && request_pipe_.front().deliver_slot <= t) {
     const PendingRequest req = request_pipe_.front();
     request_pipe_.pop_front();
@@ -132,6 +358,15 @@ void SwitchSim::step(std::uint64_t t, bool measuring) {
   // 4. Crossbar transfer: granted cells move VOQ -> egress queue.
   if (optical_) optical_->release_all();
   for (const Grant& g : grants) {
+    // A grant can be lost on the control path (corrupted grant message:
+    // the adapter never transmits) or its cell corrupted on the data
+    // path (FEC-uncorrectable at the receiver: the egress discards it).
+    // Either way the cell stays at the head of its VOQ — per-flow FIFO
+    // order is preserved by construction — and the adapter re-files the
+    // request once the missed-grant / ARQ timeout fires.
+    const bool lost_grant = injector_ && injector_->corrupt_grant();
+    const bool lost_transfer =
+        !lost_grant && injector_ && injector_->corrupt_transfer(g.input);
     if (cfg_.measure_grant_latency) {
       auto& times = request_times_[static_cast<std::size_t>(g.input) *
                                        static_cast<std::size_t>(n) +
@@ -139,22 +374,45 @@ void SwitchSim::step(std::uint64_t t, bool measuring) {
       OSMOSIS_REQUIRE(!times.empty(), "grant without outstanding request");
       const std::uint64_t requested = times.front();
       times.pop_front();
-      if (measuring)
+      if (measuring && !lost_grant)
         grant_latency_.add(static_cast<double>(t - requested) + 1.0);
     }
     // Logical receiver index -> surviving physical switching module.
     const auto& survivors = surviving_rx_[static_cast<std::size_t>(g.output)];
-    OSMOSIS_REQUIRE(g.receiver >= 0 &&
-                        g.receiver < static_cast<int>(survivors.size()),
+    // A mid-run fault can land while this grant was already in the
+    // scheduler pipeline (FLPPR issues a match up to depth-1 cycles
+    // after computing it). Such a grant reaches hardware that can no
+    // longer honor it — the ingress fiber went dark, the adapter
+    // stalled, or the egress lost the granted switching module — and
+    // the transfer is simply lost in flight; the ARQ timeout re-files
+    // the request like any other failed transfer.
+    const bool stale_path =
+        injector_ &&
+        (input_block_depth_[static_cast<std::size_t>(g.input)] > 0 ||
+         g.receiver >= static_cast<int>(survivors.size()));
+    OSMOSIS_REQUIRE(stale_path ||
+                        (g.receiver >= 0 &&
+                         g.receiver < static_cast<int>(survivors.size())),
                     "grant to receiver " << g.receiver << " of output "
                                          << g.output << " exceeds its "
                                          << survivors.size()
                                          << " surviving module(s)");
-    const int phys_rx = survivors[static_cast<std::size_t>(g.receiver)];
-    if (optical_) {
+    if (optical_ && !stale_path) {
+      const int phys_rx = survivors[static_cast<std::size_t>(g.receiver)];
       optical_->connect(g.input, g.output, phys_rx);
       OSMOSIS_REQUIRE(optical_->selected_input(g.output, phys_rx) == g.input,
                       "optical path does not carry the granted input");
+    }
+    ++grants_issued_;
+    if (lost_grant || lost_transfer || stale_path) {
+      const std::uint64_t timeout = static_cast<std::uint64_t>(
+          lost_grant ? cfg_.grant_timeout_slots : cfg_.arq_timeout_slots);
+      retry_queue_.emplace(t + timeout, std::make_pair(g.input, g.output));
+      if (lost_grant)
+        ++grant_corruptions_;
+      else
+        ++retransmissions_;
+      continue;
     }
     Cell cell = voqs_[static_cast<std::size_t>(g.input)].pop(g.output);
     OSMOSIS_REQUIRE(cell.dst == g.output, "VOQ returned a mis-routed cell");
@@ -163,7 +421,6 @@ void SwitchSim::step(std::uint64_t t, bool measuring) {
     telem_.mark(cell.trace, telemetry::Stage::kGrant, static_cast<double>(t));
     telem_.mark(cell.trace, telemetry::Stage::kTransmit,
                 static_cast<double>(t) + 1.0);
-    ++grants_issued_;
     egress_[static_cast<std::size_t>(g.output)].push_back(cell);
   }
   for (const auto& q : egress_)
@@ -177,11 +434,15 @@ void SwitchSim::step(std::uint64_t t, bool measuring) {
       q.pop_front();
       // +1: the crossbar transfer itself occupies this cell cycle.
       const double delay = static_cast<double>(t - cell.arrival_slot) + 1.0;
-      reorder_.deliver(cell.src,
-                       cell.dst * 2 + (cell.cls == sim::TrafficClass::kControl
-                                           ? 0
-                                           : 1),
-                       cell.seq);
+      const int cls_bit = cell.cls == sim::TrafficClass::kControl ? 0 : 1;
+      reorder_.deliver(cell.src, cell.dst * 2 + cls_bit, cell.seq);
+      invariants_.delivered(
+          (static_cast<std::uint64_t>(cell.src) *
+               static_cast<std::uint64_t>(n) +
+           static_cast<std::uint64_t>(cell.dst)) *
+                  2 +
+              static_cast<std::uint64_t>(cls_bit),
+          cell.seq);
       if (cfg_.on_delivery) cfg_.on_delivery(cell, t);
       telem_.finish_cell(cell.trace, static_cast<double>(t) + 1.0, measuring);
       if (measuring) {
@@ -194,14 +455,47 @@ void SwitchSim::step(std::uint64_t t, bool measuring) {
       }
     }
   }
+
+  // 6. Recovery bookkeeping: a repaired fault counts as recovered once
+  //    the backlog returns to its pre-fault baseline.
+  if (injector_) recovery_.observe(t, backlog());
 }
 
 SwitchSimResult SwitchSim::run() {
-  for (std::uint64_t t = 0; t < cfg_.warmup_slots; ++t) step(t, false);
+  for (std::uint64_t t = 0; t < cfg_.warmup_slots; ++t) step(t, false, true);
+  // Windowed delivery accounting: the worst window is the depth of the
+  // throughput dip a mid-run fault carves out.
+  constexpr std::uint64_t kWindowSlots = 512;
+  std::uint64_t window_mark = 0;
+  double min_window_thr = -1.0;
   for (std::uint64_t t = cfg_.warmup_slots;
        t < cfg_.warmup_slots + cfg_.measure_slots; ++t) {
-    step(t, true);
+    step(t, true, true);
     meter_.advance_slots(1, static_cast<std::uint64_t>(cfg_.ports));
+    const std::uint64_t elapsed = t + 1 - cfg_.warmup_slots;
+    if (elapsed % kWindowSlots == 0) {
+      const std::uint64_t in_window = delay_hist_.count() - window_mark;
+      window_mark = delay_hist_.count();
+      const double thr =
+          static_cast<double>(in_window) /
+          (static_cast<double>(kWindowSlots) * static_cast<double>(cfg_.ports));
+      min_window_thr = min_window_thr < 0.0 ? thr
+                                            : std::min(min_window_thr, thr);
+    }
+  }
+  // Post-run drain: stop arrivals and let the recovered switch empty
+  // its queues so the invariant checker can confirm exactly-once
+  // delivery of everything offered.
+  if (cfg_.drain_max_slots > 0) {
+    std::uint64_t t = cfg_.warmup_slots + cfg_.measure_slots;
+    const std::uint64_t end = t + cfg_.drain_max_slots;
+    while (t < end &&
+           (backlog() > 0 || !retry_queue_.empty() ||
+            (injector_ && injector_->pending() > 0))) {
+      step(t, false, false);
+      ++drained_slots_;
+      ++t;
+    }
   }
 
   SwitchSimResult r;
@@ -221,6 +515,21 @@ SwitchSimResult SwitchSim::run() {
   r.max_egress_depth = max_egress_depth_;
   r.out_of_order = reorder_.out_of_order();
   if (optical_) r.crossbar_reconfigs = optical_->reconfigurations();
+  r.offered = offered_;
+  r.grant_corruptions = grant_corruptions_;
+  r.retransmissions = retransmissions_;
+  r.faults_injected = faults_injected_;
+  r.faults_repaired = faults_repaired_;
+  r.faults_recovered = recovery_.recovered();
+  r.mean_recovery_slots = recovery_.mean_recovery_slots();
+  r.max_recovery_slots = recovery_.max_recovery_slots();
+  r.min_window_throughput = min_window_thr < 0.0 ? r.throughput
+                                                 : min_window_thr;
+  r.drained_slots = drained_slots_;
+  const auto inv = invariants_.report();
+  r.exactly_once_in_order = inv.exactly_once_in_order();
+  r.duplicates = inv.duplicates;
+  r.missing = inv.missing;
 
   if (telem_.enabled()) {
     auto& ctr = telem_.counters();
@@ -235,10 +544,25 @@ SwitchSimResult SwitchSim::run() {
     }
     ctr.add("sched.grants", static_cast<double>(grants_issued_));
     ctr.add("switch.delivered", static_cast<double>(r.delivered));
+    ctr.add("switch.offered", static_cast<double>(r.offered));
     ctr.add("switch.out_of_order", static_cast<double>(r.out_of_order));
     ctr.set_gauge("egress.max_depth", max_egress_depth_);
     if (optical_)
       ctr.add("crossbar.reconfigs", static_cast<double>(r.crossbar_reconfigs));
+    if (injector_) {
+      ctr.add("faults.injected", static_cast<double>(r.faults_injected));
+      ctr.add("faults.repaired", static_cast<double>(r.faults_repaired));
+      ctr.add("faults.recovered", static_cast<double>(r.faults_recovered));
+      ctr.add("faults.grant_corruptions",
+              static_cast<double>(r.grant_corruptions));
+      ctr.add("faults.retransmissions",
+              static_cast<double>(r.retransmissions));
+      ctr.set_gauge("faults.mean_recovery_slots", r.mean_recovery_slots);
+      ctr.set_gauge("faults.drained_slots",
+                    static_cast<double>(r.drained_slots));
+      ctr.set_gauge("faults.exactly_once_in_order",
+                    r.exactly_once_in_order ? 1.0 : 0.0);
+    }
   }
   return r;
 }
@@ -253,7 +577,14 @@ telemetry::RunReport SwitchSim::report() const {
   r.config["measure_slots"] = static_cast<double>(cfg_.measure_slots);
   r.config["offered_load"] = traffic_->offered_load();
   r.config["telemetry.sample_every"] = cfg_.telemetry.sample_every;
+  if (!cfg_.fault_plan.empty()) {
+    r.config["fault_events"] = static_cast<double>(cfg_.fault_plan.size());
+    r.config["drain_max_slots"] = static_cast<double>(cfg_.drain_max_slots);
+    r.config["grant_timeout_slots"] = cfg_.grant_timeout_slots;
+    r.config["arq_timeout_slots"] = cfg_.arq_timeout_slots;
+  }
   r.info["scheduler"] = sched_->name();
+  r.health = health_.event_log();
   r.histograms.emplace("delay",
                        telemetry::HistogramSummary::of(delay_hist_));
   r.histograms.emplace("grant_latency",

@@ -12,11 +12,17 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/faults/fault_injector.hpp"
+#include "src/faults/fault_plan.hpp"
+#include "src/faults/invariant.hpp"
+#include "src/mgmt/health.hpp"
 #include "src/phy/crossbar_optical.hpp"
 #include "src/sim/stats.hpp"
 #include "src/sim/traffic.hpp"
@@ -49,6 +55,24 @@ struct SwitchSimConfig {
   // them).
   std::vector<std::pair<int, int>> failed_receivers;
   std::vector<int> failed_fibers;
+  // Mid-run fault schedule (src/faults/): module death/revival, fiber
+  // cuts, burst errors, grant corruption, adapter stalls. Empty (the
+  // default) leaves the fault-free path untouched — results are
+  // bit-identical to a build without the fault layer.
+  faults::FaultPlan fault_plan;
+  // Missed-grant detection: a grant corrupted on the control path is
+  // noticed by the ingress adapter this many cycles later and the
+  // request is re-filed with the scheduler.
+  int grant_timeout_slots = 8;
+  // FEC-uncorrectable detection: a cell corrupted on the data path is
+  // discarded at the egress and the go-back-N layer re-requests it
+  // after this link-RTT-derived timeout.
+  int arq_timeout_slots = 8;
+  // After the measurement window, keep stepping (arrivals off) until
+  // every queue is empty or this budget runs out — the invariant
+  // checker needs the post-recovery drain to confirm exactly-once
+  // delivery. 0 (default) skips the drain entirely.
+  std::uint64_t drain_max_slots = 0;
   // Cell-lifecycle tracing / RunReport export; off by default, no
   // measurable cost when off (see src/telemetry/).
   telemetry::TelemetryConfig telemetry;
@@ -72,6 +96,24 @@ struct SwitchSimResult {
   int max_egress_depth = 0;
   std::uint64_t out_of_order = 0;    // must be 0 (Table 1)
   std::uint64_t crossbar_reconfigs = 0;
+  // Degraded-operation accounting (fault injection / recovery).
+  std::uint64_t offered = 0;           // cells injected, warmup included
+  std::uint64_t grant_corruptions = 0;
+  std::uint64_t retransmissions = 0;   // ARQ re-requests after FEC loss
+  std::uint64_t faults_injected = 0;
+  std::uint64_t faults_repaired = 0;
+  std::uint64_t faults_recovered = 0;
+  double mean_recovery_slots = 0.0;    // repair -> backlog back to baseline
+  double max_recovery_slots = 0.0;
+  // Worst 512-slot window throughput during measurement — the depth of
+  // the dip a mid-run fault carves into the delivery rate.
+  double min_window_throughput = 0.0;
+  std::uint64_t drained_slots = 0;
+  // End-of-run invariant verdict over every cell offered (all phases):
+  // delivered exactly once, in per-flow order, none missing.
+  bool exactly_once_in_order = false;
+  std::uint64_t duplicates = 0;
+  std::uint64_t missing = 0;
 };
 
 class SwitchSim {
@@ -88,12 +130,21 @@ class SwitchSim {
   telemetry::Telemetry& telemetry() { return telem_; }
   const telemetry::Telemetry& telemetry() const { return telem_; }
 
+  /// Component health view (§VI.A monitoring): every FRU of the switch
+  /// plus the transitions the fault injector drove, with timestamps.
+  const mgmt::HealthRegistry& health() const { return health_; }
+
   /// Structured run export; meaningful after run() with
   /// cfg.telemetry.enabled. Stage histograms are in cell cycles.
   telemetry::RunReport report() const;
 
  private:
-  void step(std::uint64_t t, bool measuring);
+  void step(std::uint64_t t, bool measuring, bool inject_traffic);
+  void apply_fault_transitions(std::uint64_t t);
+  void set_module_state(int out, int rx, bool failed, std::uint64_t t);
+  void block_input_ref(int in);
+  void unblock_input_ref(int in);
+  std::uint64_t backlog() const;
 
   SwitchSimConfig cfg_;
   std::unique_ptr<sim::TrafficGen> traffic_;
@@ -115,6 +166,28 @@ class SwitchSim {
   // logical (capacity-numbered) receiver; per input, dark flag.
   std::vector<std::vector<int>> surviving_rx_;
   std::vector<std::uint8_t> dark_input_;
+  int fibers_ = 1;
+  int wavelengths_ = 1;
+
+  // ---- runtime fault injection & recovery -------------------------------
+  std::optional<faults::FaultInjector> injector_;
+  mgmt::HealthRegistry health_;
+  faults::ExactlyOnceChecker invariants_;
+  faults::RecoveryTracker recovery_;
+  // Per-output receiver-failure flags (static + runtime combined).
+  std::vector<std::vector<std::uint8_t>> rx_failed_;
+  // Scheduler input-mask refcount: a fiber cut and an adapter stall may
+  // overlap on the same input; the mask lifts only when both clear.
+  std::vector<int> input_block_depth_;
+  // Re-requests pending after a corrupted grant (missed-grant timeout)
+  // or a corrupted transfer (ARQ timeout): slot -> (input, output).
+  std::multimap<std::uint64_t, std::pair<int, int>> retry_queue_;
+  std::uint64_t offered_ = 0;
+  std::uint64_t grant_corruptions_ = 0;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t faults_injected_ = 0;
+  std::uint64_t faults_repaired_ = 0;
+  std::uint64_t drained_slots_ = 0;
 
   // statistics
   sim::Histogram delay_hist_;

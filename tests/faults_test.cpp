@@ -1,0 +1,299 @@
+// Unit tests for the fault-injection layer: FaultPlan builders, the
+// FaultInjector timeline/roll determinism contract, the exactly-once
+// invariant checker, the recovery-time tracker, and the management-side
+// validators for static failures and fault plans.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/config.hpp"
+#include "src/faults/fault_injector.hpp"
+#include "src/faults/fault_plan.hpp"
+#include "src/faults/invariant.hpp"
+#include "src/mgmt/config_check.hpp"
+
+namespace osmosis {
+namespace {
+
+// ---- FaultPlan -------------------------------------------------------------
+
+TEST(FaultPlan, BuildersRecordEventsInOrder) {
+  faults::FaultPlan plan;
+  plan.kill_module(100, 3, 1, 50)
+      .cut_fiber(200, 2)
+      .burst_errors(300, 5, 40, 0.1)
+      .corrupt_grants(400, 20, 0.05)
+      .stall_adapter(500, 7, 10)
+      .fail_plane(600, 1, 30);
+  ASSERT_EQ(plan.size(), 6u);
+  EXPECT_FALSE(plan.empty());
+  const auto& e = plan.events();
+  EXPECT_EQ(e[0].kind, faults::FaultKind::kModuleDeath);
+  EXPECT_TRUE(e[0].transient());
+  EXPECT_EQ(e[0].end_slot(), 150u);
+  EXPECT_EQ(e[1].kind, faults::FaultKind::kFiberCut);
+  EXPECT_FALSE(e[1].transient());  // duration 0 = permanent
+  EXPECT_EQ(e[2].rate, 0.1);
+  EXPECT_EQ(e[4].a, 7);
+  EXPECT_TRUE(plan.has_permanent_fault());
+}
+
+TEST(FaultPlan, RejectsNonProbabilityRates) {
+  faults::FaultPlan plan;
+  EXPECT_DEATH(plan.burst_errors(0, 1, 10, 1.5), "probability");
+}
+
+TEST(FaultPlan, RejectsPermanentRateWindows) {
+  faults::FaultPlan plan;
+  EXPECT_DEATH(plan.corrupt_grants(0, 0, 0.1), "transient");
+  EXPECT_DEATH(plan.stall_adapter(0, 1, 0), "transient");
+}
+
+// ---- FaultInjector ---------------------------------------------------------
+
+TEST(FaultInjector, TimelineFiresBeginAndRepairAtTheRightSlots) {
+  faults::FaultPlan plan;
+  plan.kill_module(10, 2, 0, 5).cut_fiber(12, 1);
+  faults::FaultInjector inj(plan);
+  EXPECT_EQ(inj.pending(), 3u);  // 2 begins + 1 repair
+
+  for (std::uint64_t t = 0; t < 10; ++t)
+    EXPECT_TRUE(inj.tick(t).empty());
+  const auto at10 = inj.tick(10);
+  ASSERT_EQ(at10.size(), 1u);
+  EXPECT_TRUE(at10[0].begin);
+  EXPECT_EQ(at10[0].event.kind, faults::FaultKind::kModuleDeath);
+  EXPECT_EQ(inj.active_faults(), 1);
+
+  const auto at12 = inj.tick(12);
+  ASSERT_EQ(at12.size(), 1u);
+  EXPECT_EQ(at12[0].event.kind, faults::FaultKind::kFiberCut);
+
+  EXPECT_TRUE(inj.tick(13).empty());
+  const auto at15 = inj.tick(15);
+  ASSERT_EQ(at15.size(), 1u);
+  EXPECT_FALSE(at15[0].begin);  // module repair
+  EXPECT_EQ(inj.pending(), 0u);
+  EXPECT_EQ(inj.active_faults(), 1);  // permanent fiber cut stays open
+  EXPECT_EQ(inj.log().size(), 3u);
+}
+
+TEST(FaultInjector, LateTickCatchesUpMissedTransitions) {
+  faults::FaultPlan plan;
+  plan.kill_module(5, 0, 0, 2);
+  faults::FaultInjector inj(plan);
+  // One call far past both slots delivers begin AND repair, in order.
+  const auto both = inj.tick(100);
+  ASSERT_EQ(both.size(), 2u);
+  EXPECT_TRUE(both[0].begin);
+  EXPECT_FALSE(both[1].begin);
+}
+
+TEST(FaultInjector, RollsOnlyInsideActiveWindows) {
+  faults::FaultPlan plan;
+  plan.corrupt_grants(10, 5, 1.0).burst_errors(10, 3, 5, 1.0);
+  faults::FaultInjector inj(plan);
+  inj.tick(0);
+  EXPECT_FALSE(inj.corrupt_grant());       // window not open yet
+  EXPECT_FALSE(inj.corrupt_transfer(3));
+  inj.tick(10);
+  EXPECT_TRUE(inj.corrupt_grant());        // rate 1.0: certain
+  EXPECT_TRUE(inj.corrupt_transfer(3));
+  EXPECT_FALSE(inj.corrupt_transfer(4));   // burst scoped to ingress 3
+  inj.tick(15);                            // windows closed
+  EXPECT_FALSE(inj.corrupt_grant());
+  EXPECT_FALSE(inj.corrupt_transfer(3));
+}
+
+TEST(FaultInjector, SamePlanSameSeedReplaysIdentically) {
+  faults::FaultPlan plan;
+  plan.corrupt_grants(0, 200, 0.35).seeded(0xBEEF);
+  faults::FaultInjector a(plan);
+  faults::FaultInjector b(plan);
+  std::vector<bool> rolls_a, rolls_b;
+  for (std::uint64_t t = 0; t < 200; ++t) {
+    a.tick(t);
+    b.tick(t);
+    for (int k = 0; k < 3; ++k) {
+      rolls_a.push_back(a.corrupt_grant());
+      rolls_b.push_back(b.corrupt_grant());
+    }
+  }
+  EXPECT_EQ(rolls_a, rolls_b);
+  EXPECT_EQ(a.log(), b.log());
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  faults::FaultPlan base;
+  base.corrupt_grants(0, 500, 0.5);
+  faults::FaultInjector a(base);
+  faults::FaultPlan reseeded = base;
+  reseeded.seeded(0x1234);
+  faults::FaultInjector b(reseeded);
+  int differ = 0;
+  for (std::uint64_t t = 0; t < 500; ++t) {
+    a.tick(t);
+    b.tick(t);
+    differ += a.corrupt_grant() != b.corrupt_grant();
+  }
+  EXPECT_GT(differ, 0);
+}
+
+// ---- ExactlyOnceChecker ----------------------------------------------------
+
+TEST(ExactlyOnce, CleanRunPasses) {
+  faults::ExactlyOnceChecker c;
+  for (int i = 0; i < 5; ++i) c.offered(7);
+  for (int i = 0; i < 5; ++i) c.delivered(7, static_cast<std::uint64_t>(i));
+  const auto r = c.report();
+  EXPECT_TRUE(r.exactly_once_in_order());
+  EXPECT_EQ(r.offered, 5u);
+  EXPECT_EQ(r.delivered, 5u);
+}
+
+TEST(ExactlyOnce, DetectsDuplicates) {
+  faults::ExactlyOnceChecker c;
+  c.offered(1);
+  c.offered(1);
+  c.delivered(1, 0);
+  c.delivered(1, 0);  // duplicate
+  c.delivered(1, 1);
+  const auto r = c.report();
+  EXPECT_FALSE(r.exactly_once_in_order());
+  EXPECT_EQ(r.duplicates, 1u);
+}
+
+TEST(ExactlyOnce, DetectsReorderingAndMissing) {
+  faults::ExactlyOnceChecker c;
+  for (int i = 0; i < 3; ++i) c.offered(2);
+  c.delivered(2, 1);  // 0 skipped: reorder, and 0 never arrives
+  c.delivered(2, 2);
+  const auto r = c.report();
+  EXPECT_FALSE(r.exactly_once_in_order());
+  EXPECT_GE(r.reordered, 1u);
+  EXPECT_EQ(r.missing, 1u);
+}
+
+TEST(ExactlyOnce, TracksFlowsIndependently) {
+  faults::ExactlyOnceChecker c;
+  c.offered(10);
+  c.offered(11);
+  c.delivered(11, 0);
+  c.delivered(10, 0);  // cross-flow interleave is fine
+  EXPECT_TRUE(c.report().exactly_once_in_order());
+}
+
+// ---- RecoveryTracker -------------------------------------------------------
+
+TEST(RecoveryTracker, MeasuresRepairToBaselineBacklog) {
+  faults::RecoveryTracker rt;
+  rt.on_fault(100, "cut", 4);  // baseline backlog 4
+  rt.observe(150, 50);         // still faulty, backlog ballooning
+  rt.on_repair(200, "cut");
+  rt.observe(210, 30);         // draining
+  rt.observe(240, 4);          // back at baseline -> recovered
+  rt.observe(260, 2);          // no double count
+  EXPECT_EQ(rt.faults(), 1u);
+  EXPECT_EQ(rt.repaired(), 1u);
+  EXPECT_EQ(rt.recovered(), 1u);
+  EXPECT_DOUBLE_EQ(rt.mean_recovery_slots(), 40.0);
+  EXPECT_DOUBLE_EQ(rt.max_recovery_slots(), 40.0);
+}
+
+TEST(RecoveryTracker, UnrepairedFaultNeverRecovers) {
+  faults::RecoveryTracker rt;
+  rt.on_fault(10, "perm", 0);
+  for (std::uint64_t t = 11; t < 100; ++t) rt.observe(t, 0);
+  EXPECT_EQ(rt.recovered(), 0u);
+  EXPECT_EQ(rt.repaired(), 0u);
+}
+
+// ---- management-side validation --------------------------------------------
+
+core::OsmosisConfig demo_config() { return core::OsmosisConfig{}; }
+
+TEST(ValidateFailures, AcceptsSurvivableSets) {
+  const auto f = mgmt::validate_failures(demo_config(), {{0, 1}, {5, 0}},
+                                         {2});
+  EXPECT_TRUE(mgmt::config_ok(f));
+}
+
+TEST(ValidateFailures, RejectsOutOfRangeAndDeadEgress) {
+  const auto bad_range =
+      mgmt::validate_failures(demo_config(), {{64, 0}}, {});
+  EXPECT_FALSE(mgmt::config_ok(bad_range));
+
+  // Both modules of egress 3 dead: the port is unreachable.
+  const auto dead =
+      mgmt::validate_failures(demo_config(), {{3, 0}, {3, 1}}, {});
+  EXPECT_FALSE(mgmt::config_ok(dead));
+
+  const auto bad_fiber = mgmt::validate_failures(demo_config(), {}, {8});
+  EXPECT_FALSE(mgmt::config_ok(bad_fiber));
+}
+
+TEST(ValidateFailures, FlagsDuplicatesAsWarnings) {
+  const auto f =
+      mgmt::validate_failures(demo_config(), {{1, 0}, {1, 0}}, {2, 2});
+  EXPECT_TRUE(mgmt::config_ok(f));  // warnings, not errors
+  int warnings = 0;
+  for (const auto& x : f) warnings += x.severity == mgmt::Severity::kWarning;
+  EXPECT_EQ(warnings, 2);
+}
+
+TEST(ValidateFailures, AllFibersDarkIsAnError) {
+  std::vector<int> all;
+  for (int i = 0; i < 8; ++i) all.push_back(i);
+  EXPECT_FALSE(mgmt::config_ok(
+      mgmt::validate_failures(demo_config(), {}, all)));
+}
+
+TEST(ValidateFaultPlan, AcceptsAWellFormedPlan) {
+  faults::FaultPlan plan;
+  plan.kill_module(100, 3, 1, 50)
+      .cut_fiber(200, 2, 100)
+      .burst_errors(300, -1, 40, 0.1)
+      .corrupt_grants(400, 20, 0.05)
+      .stall_adapter(500, 7, 10);
+  const auto f = mgmt::validate_fault_plan(demo_config(), plan);
+  EXPECT_TRUE(mgmt::config_ok(f));
+}
+
+TEST(ValidateFaultPlan, RejectsOutOfRangeTargets) {
+  faults::FaultPlan plan;
+  plan.kill_module(0, 64, 0, 10);  // egress out of range
+  EXPECT_FALSE(mgmt::config_ok(
+      mgmt::validate_fault_plan(demo_config(), plan)));
+
+  faults::FaultPlan fiber;
+  fiber.cut_fiber(0, 9);
+  EXPECT_FALSE(mgmt::config_ok(
+      mgmt::validate_fault_plan(demo_config(), fiber)));
+
+  faults::FaultPlan stall;
+  stall.stall_adapter(0, 64, 10);
+  EXPECT_FALSE(mgmt::config_ok(
+      mgmt::validate_fault_plan(demo_config(), stall)));
+}
+
+TEST(ValidateFaultPlan, WarnsWhenBothModulesOfAnEgressOverlap) {
+  faults::FaultPlan plan;
+  plan.kill_module(100, 3, 0, 200).kill_module(150, 3, 1, 200);
+  const auto f = mgmt::validate_fault_plan(demo_config(), plan);
+  EXPECT_TRUE(mgmt::config_ok(f));  // masked output is legal
+  bool warned = false;
+  for (const auto& x : f)
+    warned |= x.severity == mgmt::Severity::kWarning;
+  EXPECT_TRUE(warned);
+}
+
+TEST(ValidateFaultPlan, NonOverlappingModuleKillsDoNotWarn) {
+  faults::FaultPlan plan;
+  plan.kill_module(100, 3, 0, 50).kill_module(500, 3, 1, 50);
+  for (const auto& x : mgmt::validate_fault_plan(demo_config(), plan))
+    EXPECT_NE(x.severity, mgmt::Severity::kWarning);
+}
+
+}  // namespace
+}  // namespace osmosis
