@@ -1,0 +1,119 @@
+// End-to-end campaign runner for the paper's headline sweep: the Fig. 7
+// delay-vs-throughput grid (receiver count x offered load on the 64-port
+// FLPPR switch) executed as one declarative CampaignSpec fanned out over
+// a worker pool, emitted as a single osmosis.campaign.v1 JSON document.
+//
+//   bench_campaign [--threads=N] [--slots=S] [--loads=a,b,c]
+//                  [--receivers=1,2,4] [--seed=S] [--json=<path>]
+//                  [--timing=false] [--smoke]
+//
+// --threads=0 (default) uses every hardware thread; results are
+// byte-identical at any thread count because each job's seed derives
+// from (campaign_seed, job_index), never from execution order.
+//
+// --smoke runs the small fixed campaign whose output is committed as
+// bench/baselines/campaign_smoke.json; scripts/check.sh re-runs it and
+// holds the fresh document against the baseline with campaign_compare.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "src/exec/campaign_runner.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+using namespace osmosis;
+
+namespace {
+
+exec::CampaignSpec smoke_spec() {
+  exec::CampaignSpec spec;
+  spec.name = "campaign_smoke";
+  spec.ports = {16};
+  spec.schedulers = {sw::SchedulerKind::kFlppr, sw::SchedulerKind::kIslip};
+  spec.receivers = {2};
+  spec.loads = {0.3, 0.7};
+  spec.faults = {exec::FaultScenario::kNone, exec::FaultScenario::kCombined};
+  spec.warmup_slots = 500;
+  spec.measure_slots = 4'000;
+  spec.campaign_seed = 0xCA4B;
+  return spec;
+}
+
+exec::CampaignSpec headline_spec(const util::Cli& cli) {
+  exec::CampaignSpec spec;
+  spec.name = "fig7_headline";
+  spec.ports = {64};
+  std::vector<int> rx;
+  for (long long r : cli.get_ints("receivers", {1, 2, 4}))
+    rx.push_back(static_cast<int>(r));
+  spec.receivers = rx;
+  spec.loads = cli.get_doubles(
+      "loads", {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95,
+                0.99});
+  spec.warmup_slots = 2'000;
+  spec.measure_slots =
+      static_cast<std::uint64_t>(cli.get_int("slots", 20'000));
+  spec.campaign_seed = static_cast<std::uint64_t>(cli.get_int("seed", 0x717));
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+
+  const exec::CampaignSpec spec =
+      cli.has("smoke") ? smoke_spec() : headline_spec(cli);
+
+  exec::RunnerOptions opts;
+  opts.threads = static_cast<unsigned>(cli.get_int("threads", 0));
+
+  std::cout << "campaign '" << spec.name << "': " << spec.job_count()
+            << " jobs\n";
+
+  exec::CampaignRunner runner(opts);
+  const exec::CampaignResult result = runner.run(spec);
+
+  util::Table t({"label", "throughput", "mean delay", "p99 delay",
+                 "grant lat"},
+                3);
+  t.set_title("per-job results (delays in cell cycles)");
+  for (const auto& j : result.jobs) {
+    if (!j.ok) {
+      t.add_row({j.spec.label(), std::string("FAILED: " + j.error),
+                 std::string("-"), std::string("-"), std::string("-")});
+      continue;
+    }
+    t.add_row({j.spec.label(), j.metrics.at("throughput"),
+               j.metrics.at("mean_delay"), j.metrics.at("p99_delay"),
+               j.metrics.at("mean_grant_latency")});
+  }
+  t.print(std::cout);
+
+  std::cout << "\naggregate: " << result.jobs.size() << " jobs ("
+            << result.failed_jobs() << " failed), "
+            << result.threads_used << " threads, " << result.wall_ms
+            << " ms wall\n";
+  for (const auto& [name, h] : result.aggregate_hists)
+    std::cout << "  " << name << ": n=" << h.count() << " mean=" << h.mean()
+              << " p99=" << h.p99() << "\n";
+
+  if (result.failed_jobs() > 0) {
+    std::cerr << "error: " << result.failed_jobs() << " jobs failed\n";
+    return 1;
+  }
+
+  if (cli.has("json")) {
+    const std::string path = cli.get("json", "");
+    const bool timing = cli.get_bool("timing", true);
+    std::ofstream out(path);
+    if (!(out << result.to_json(2, timing) << "\n")) {
+      std::cerr << "error: cannot write campaign JSON to " << path << "\n";
+      return 1;
+    }
+    std::cout << "campaign JSON written to " << path << "\n";
+  }
+  return 0;
+}

@@ -9,14 +9,22 @@
 // its pre-fault baseline) and the throughput dip each fault carves out,
 // and checks the exactly-once in-order delivery invariant end to end.
 //
+// The mid-run scenario table is a fault-scenario axis driven through the
+// exec::CampaignRunner; the static failed-module/failed-fiber sweeps fan
+// out directly over an exec::ThreadPool. --threads=N bounds the worker
+// count (default: every hardware thread); the numbers are identical at
+// any thread count.
+//
 // --json=<path> dumps the RunReport of the combined-fault scenario
 // (fault counters, recovery gauges, and the health event log).
 
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
-#include "src/faults/fault_plan.hpp"
+#include "src/exec/campaign_runner.hpp"
+#include "src/exec/thread_pool.hpp"
 #include "src/phy/crossbar_optical.hpp"
 #include "src/sw/switch_sim.hpp"
 #include "src/util/cli.hpp"
@@ -35,79 +43,52 @@ sw::SwitchSimConfig base_config(std::uint64_t slots) {
   return cfg;
 }
 
-struct Scenario {
-  const char* name;
-  faults::FaultPlan plan;
-};
-
-std::vector<Scenario> mid_run_scenarios(std::uint64_t slots) {
-  const std::uint64_t t0 = 2'000 + slots / 4;  // inside the window
-  const std::uint64_t dur = slots / 4;
-  std::vector<Scenario> s;
-  s.push_back({"fault-free", faults::FaultPlan{}});
-  {
-    faults::FaultPlan p;
-    p.kill_module(t0, 7, 1, dur);
-    s.push_back({"module outage (7,1)", p});
-  }
-  {
-    faults::FaultPlan p;
-    p.kill_module(t0, 7, 1);  // permanent: survivor carries the egress
-    s.push_back({"module dead (7,1) perm", p});
-  }
-  {
-    faults::FaultPlan p;
-    p.cut_fiber(t0, 3, dur);
-    s.push_back({"fiber 3 cut + splice", p});
-  }
-  {
-    faults::FaultPlan p;
-    p.corrupt_grants(t0, dur, 0.02);
-    s.push_back({"grant corruption 2%", p});
-  }
-  {
-    faults::FaultPlan p;
-    p.burst_errors(t0, -1, dur, 0.01);
-    s.push_back({"burst errors 1% all", p});
-  }
-  {
-    faults::FaultPlan p;
-    p.stall_adapter(t0, 12, dur);
-    s.push_back({"adapter 12 stalled", p});
-  }
-  {
-    faults::FaultPlan p;
-    p.kill_module(t0, 7, 1, dur)
-        .cut_fiber(t0 + dur / 2, 3, dur)
-        .corrupt_grants(t0, dur, 0.01)
-        .burst_errors(t0 + dur / 4, 5, dur, 0.02)
-        .stall_adapter(t0 + dur / 3, 12, dur / 2);
-    s.push_back({"combined", p});
-  }
-  return s;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto slots = static_cast<std::uint64_t>(cli.get_int("slots", 15'000));
+  exec::ThreadPool pool(static_cast<unsigned>(cli.get_int("threads", 0)));
 
   std::cout << "Degraded operation: failed switching modules and fibers in "
                "the 64-port dual-receiver OSMOSIS switch (0.85 uniform "
                "load)\n\n";
 
+  // Static-failure sweeps: independent points, fanned out over the pool
+  // into pre-sized result slots (each worker writes only its own index).
+  const std::vector<int> module_counts = {0, 8, 16, 32, 64};
+  std::vector<sw::SwitchSimResult> module_results(module_counts.size());
+  for (std::size_t i = 0; i < module_counts.size(); ++i) {
+    pool.submit([&, i] {
+      auto cfg = base_config(slots);
+      // Spread the failures: kill receiver 1 of the first `failed` outputs.
+      for (int out = 0; out < module_counts[i]; ++out)
+        cfg.failed_receivers.push_back({out, 1});
+      module_results[i] = sw::run_uniform(cfg, 0.85, 0xFA1);
+    });
+  }
+
+  const std::vector<int> fiber_counts = {0, 1, 2, 4};
+  std::vector<sw::SwitchSimResult> fiber_results(fiber_counts.size());
+  for (std::size_t i = 0; i < fiber_counts.size(); ++i) {
+    pool.submit([&, i] {
+      auto cfg = base_config(slots);
+      for (int fi = 0; fi < fiber_counts[i]; ++fi)
+        cfg.failed_fibers.push_back(fi);
+      fiber_results[i] = sw::run_uniform(cfg, 0.8, 0xFA2);
+    });
+  }
+  pool.wait_idle();
+  for (const auto& e : pool.take_exceptions()) std::rethrow_exception(e);
+
   util::Table t({"failed modules (of 128)", "throughput", "mean delay",
                  "p99 delay", "ooo"},
                 3);
-  for (int failed : {0, 8, 16, 32, 64}) {
-    auto cfg = base_config(slots);
-    // Spread the failures: kill receiver 1 of the first `failed` outputs.
-    for (int out = 0; out < failed; ++out)
-      cfg.failed_receivers.push_back({out, 1});
-    const auto r = sw::run_uniform(cfg, 0.85, 0xFA1);
-    t.add_row({static_cast<long long>(failed), r.throughput, r.mean_delay,
-               r.p99_delay, static_cast<long long>(r.out_of_order)});
+  for (std::size_t i = 0; i < module_counts.size(); ++i) {
+    const auto& r = module_results[i];
+    t.add_row({static_cast<long long>(module_counts[i]), r.throughput,
+               r.mean_delay, r.p99_delay,
+               static_cast<long long>(r.out_of_order)});
   }
   t.print(std::cout);
   std::cout << "(even with HALF the switching modules dead — one per "
@@ -120,12 +101,10 @@ int main(int argc, char** argv) {
   util::Table f({"failed fibers (of 8)", "live hosts", "aggregate "
                  "throughput", "per-live-host throughput", "ooo"},
                 3);
-  for (int fibers : {0, 1, 2, 4}) {
-    auto cfg = base_config(slots);
-    for (int fi = 0; fi < fibers; ++fi) cfg.failed_fibers.push_back(fi);
-    const auto r = sw::run_uniform(cfg, 0.8, 0xFA2);
-    const int live = 64 - fibers * 8;
-    f.add_row({static_cast<long long>(fibers),
+  for (std::size_t i = 0; i < fiber_counts.size(); ++i) {
+    const auto& r = fiber_results[i];
+    const int live = 64 - fiber_counts[i] * 8;
+    f.add_row({static_cast<long long>(fiber_counts[i]),
                static_cast<long long>(live), r.throughput,
                live > 0 ? r.throughput * 64.0 / live : 0.0,
                static_cast<long long>(r.out_of_order)});
@@ -142,32 +121,76 @@ int main(int argc, char** argv) {
             << "/64 egress ports\n";
 
   // ---- mid-run faults with automatic recovery ---------------------------
+  // The scenario table is the FaultScenario axis of a campaign: one job
+  // per scenario at 0.7 uniform load, dual receivers.
   std::cout << "\nMid-run fault injection with automatic recovery (0.7 "
                "uniform load, fault window inside the measurement "
                "phase):\n\n";
+
+  exec::CampaignSpec spec;
+  spec.name = "failures_mid_run";
+  spec.ports = {64};
+  spec.receivers = {2};
+  spec.loads = {0.7};
+  spec.faults = {exec::FaultScenario::kNone,
+                 exec::FaultScenario::kModuleOutage,
+                 exec::FaultScenario::kModulePermanent,
+                 exec::FaultScenario::kFiberCut,
+                 exec::FaultScenario::kGrantCorruption,
+                 exec::FaultScenario::kBurstErrors,
+                 exec::FaultScenario::kAdapterStall,
+                 exec::FaultScenario::kCombined};
+  spec.warmup_slots = 2'000;
+  spec.measure_slots = slots;
+  spec.campaign_seed = 0xFA3;
+
+  exec::RunnerOptions opts;
+  opts.threads = static_cast<unsigned>(cli.get_int("threads", 0));
+  exec::CampaignRunner runner(opts);
+  const exec::CampaignResult result = runner.run(spec);
+
   util::Table m({"scenario", "throughput", "min 512-slot thr",
                  "grant corr", "retx", "recov", "mean recov slots",
                  "exactly-once"},
                 3);
-  for (auto& scenario : mid_run_scenarios(slots)) {
-    auto cfg = base_config(slots);
-    cfg.fault_plan = scenario.plan;
-    cfg.drain_max_slots = 50'000;
-    const bool emit_json = cli.has("json") &&
-                           std::string(scenario.name) == "combined";
-    cfg.telemetry.enabled = emit_json;
-    sw::SwitchSim sim(cfg, sim::make_uniform(cfg.ports, 0.7, 0xFA3));
-    const auto r = sim.run();
-    m.add_row({scenario.name, r.throughput, r.min_window_throughput,
-               static_cast<long long>(r.grant_corruptions),
-               static_cast<long long>(r.retransmissions),
-               static_cast<long long>(r.faults_recovered),
-               r.mean_recovery_slots,
-               r.exactly_once_in_order ? "yes" : "NO"});
-    if (emit_json) {
+  for (const auto& j : result.jobs) {
+    if (!j.ok) {
+      m.add_row({to_string(j.spec.fault),
+                 std::string("FAILED: " + j.error), std::string("-"),
+                 std::string("-"), std::string("-"), std::string("-"),
+                 std::string("-"), std::string("-")});
+      continue;
+    }
+    auto metric = [&](const char* name) {
+      auto it = j.metrics.find(name);
+      return it != j.metrics.end() ? it->second : 0.0;
+    };
+    m.add_row({to_string(j.spec.fault), metric("throughput"),
+               metric("min_window_throughput"),
+               static_cast<long long>(metric("grant_corruptions")),
+               static_cast<long long>(metric("retransmissions")),
+               static_cast<long long>(metric("faults_recovered")),
+               metric("mean_recovery_slots"),
+               metric("exactly_once_in_order") != 0.0 ? "yes" : "NO"});
+  }
+  m.print(std::cout);
+  std::cout << "(every scenario drains to empty after the window and "
+               "passes the exactly-once in-order invariant; the min "
+               "512-slot throughput column is the depth of the dip the "
+               "fault carves out, and recovery time runs from repair to "
+               "backlog back at its pre-fault baseline; "
+            << result.jobs.size() << " jobs on " << result.threads_used
+            << " threads, " << result.wall_ms << " ms wall)\n";
+
+  if (cli.has("json")) {
+    const exec::JobResult* combined =
+        result.find([](const exec::JobSpec& s) {
+          return s.fault == exec::FaultScenario::kCombined;
+        });
+    if (combined && combined->ok) {
       const std::string path = cli.get("json", "");
       std::ofstream out(path);
-      if (!(out << sim.report().to_json() << "\n")) {
+      if (!(out << combined->report.to_json() << "\n")) {
         std::cerr << "cannot write " << path << "\n";
         return 1;
       }
@@ -175,11 +198,5 @@ int main(int argc, char** argv) {
                 << ")\n";
     }
   }
-  m.print(std::cout);
-  std::cout << "(every scenario drains to empty after the window and "
-               "passes the exactly-once in-order invariant; the min "
-               "512-slot throughput column is the depth of the dip the "
-               "fault carves out, and recovery time runs from repair to "
-               "backlog back at its pre-fault baseline)\n";
   return 0;
 }

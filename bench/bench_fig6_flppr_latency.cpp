@@ -5,14 +5,20 @@
 // ports) by the previous state of the art (a snapshot-pipelined
 // scheduler). We reproduce it as measured request-to-grant latency vs
 // offered load for FLPPR, the pipelined prior art, and idealized
-// single-cycle iSLIP, plus an ablation over the FLPPR sub-scheduler
-// count K.
+// single-cycle iSLIP, plus ablations over the FLPPR sub-scheduler count
+// K and the request-filing policy.
+//
+// All three grids run through the exec::CampaignRunner: --threads=N
+// (default: every hardware thread) fans the grid points out over a
+// worker pool; per-job seeds derive from (campaign seed, job index), so
+// the tables are identical at any thread count.
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 
+#include "src/exec/campaign_runner.hpp"
 #include "src/sw/switch_sim.hpp"
 #include "src/telemetry/run_report.hpp"
 #include "src/util/cli.hpp"
@@ -22,15 +28,21 @@ using namespace osmosis;
 
 namespace {
 
-sw::SwitchSimResult run(sw::SchedulerKind kind, int depth, double load,
-                        std::uint64_t slots) {
-  sw::SwitchSimConfig cfg;
-  cfg.ports = 64;
-  cfg.sched.kind = kind;
-  cfg.sched.receivers = 1;
-  cfg.sched.iterations = depth;
-  cfg.measure_slots = slots;
-  return sw::run_uniform(cfg, load, 0x516);
+exec::CampaignSpec base_spec(std::uint64_t slots) {
+  exec::CampaignSpec spec;
+  spec.ports = {64};
+  spec.receivers = {1};
+  spec.warmup_slots = 2'000;
+  spec.measure_slots = slots;
+  spec.campaign_seed = 0x516;
+  return spec;
+}
+
+double metric(const exec::CampaignResult& result,
+              const std::function<bool(const exec::JobSpec&)>& pred,
+              const char* name) {
+  const exec::JobResult* j = result.find(pred);
+  return j && j->ok ? j->metrics.at(name) : 0.0;
 }
 
 // Structured companion to the tables: one traced run at the figure's
@@ -71,62 +83,98 @@ int main(int argc, char** argv) {
   const auto slots =
       static_cast<std::uint64_t>(cli.get_int("slots", 20'000));
 
+  exec::RunnerOptions opts;
+  opts.threads = static_cast<unsigned>(cli.get_int("threads", 0));
+  exec::CampaignRunner runner(opts);
+
   std::cout << "Fig. 6 reproduction: request-to-grant latency, 64-port "
                "switch, uniform Bernoulli traffic\n"
             << "(paper: FLPPR grants in 1 cycle at light-to-moderate load; "
                "prior art needs log2(64) = 6)\n\n";
 
+  exec::CampaignSpec grid = base_spec(slots);
+  grid.name = "fig6_schedulers";
+  grid.schedulers = {sw::SchedulerKind::kFlppr,
+                     sw::SchedulerKind::kPipelinedIslip,
+                     sw::SchedulerKind::kIslip};
+  grid.loads = cli.get_doubles(
+      "loads", {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9});
+  const exec::CampaignResult sched = runner.run(grid);
+
   util::Table t({"load", "FLPPR mean", "FLPPR p99", "prior-art mean",
                  "prior-art p99", "ideal iSLIP mean"},
                 2);
   t.set_title("request-to-grant latency [cell cycles]");
-  for (double load : {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
-    const auto flppr = run(sw::SchedulerKind::kFlppr, 0, load, slots);
-    const auto pipe = run(sw::SchedulerKind::kPipelinedIslip, 0, load, slots);
-    const auto ideal = run(sw::SchedulerKind::kIslip, 0, load, slots);
-    t.add_row({load, flppr.mean_grant_latency, flppr.p99_grant_latency,
-               pipe.mean_grant_latency, pipe.p99_grant_latency,
-               ideal.mean_grant_latency});
+  for (double load : grid.loads) {
+    auto at = [&](sw::SchedulerKind kind, const char* name) {
+      return metric(sched,
+                    [&](const exec::JobSpec& s) {
+                      return s.scheduler == kind && s.load == load;
+                    },
+                    name);
+    };
+    t.add_row({load, at(sw::SchedulerKind::kFlppr, "mean_grant_latency"),
+               at(sw::SchedulerKind::kFlppr, "p99_grant_latency"),
+               at(sw::SchedulerKind::kPipelinedIslip, "mean_grant_latency"),
+               at(sw::SchedulerKind::kPipelinedIslip, "p99_grant_latency"),
+               at(sw::SchedulerKind::kIslip, "mean_grant_latency")});
   }
   t.print(std::cout);
 
   std::cout << "\nAblation: FLPPR sub-scheduler count K at load 0.3 "
                "(K = 6 is the paper's log2(N) design point)\n\n";
+  exec::CampaignSpec kgrid = base_spec(slots);
+  kgrid.name = "fig6_k_ablation";
+  kgrid.iterations = {1, 2, 3, 6, 8};
+  kgrid.loads = {0.3, 0.99};
+  const exec::CampaignResult kres = runner.run(kgrid);
+
   util::Table abl({"K", "grant latency mean", "throughput @ 99% load"}, 3);
-  for (int k : {1, 2, 3, 6, 8}) {
-    const auto light = run(sw::SchedulerKind::kFlppr, k, 0.3, slots);
-    const auto heavy = run(sw::SchedulerKind::kFlppr, k, 0.99, slots);
-    abl.add_row({static_cast<long long>(k), light.mean_grant_latency,
-                 heavy.throughput});
+  for (int k : kgrid.iterations) {
+    auto at = [&](double load, const char* name) {
+      return metric(kres,
+                    [&](const exec::JobSpec& s) {
+                      return s.iterations == k && s.load == load;
+                    },
+                    name);
+    };
+    abl.add_row({static_cast<long long>(k),
+                 at(0.3, "mean_grant_latency"), at(0.99, "throughput")});
   }
   abl.print(std::cout);
 
   std::cout << "\nAblation: request-filing policy (the FLPPR novelty is "
                "serving the soonest-issuing sub-scheduler first)\n\n";
+  exec::CampaignSpec pgrid = base_spec(slots);
+  pgrid.name = "fig6_policy";
+  pgrid.policies = {sw::FlpprPolicy::kEarliestFirst,
+                    sw::FlpprPolicy::kFixedOrder};
+  pgrid.loads = {0.1, 0.5, 0.99};
+  const exec::CampaignResult pres = runner.run(pgrid);
+
   util::Table pol({"policy", "grant latency @ 0.1", "grant latency @ 0.5",
                    "throughput @ 99% load"},
                   3);
-  for (const auto policy :
-       {sw::FlpprPolicy::kEarliestFirst, sw::FlpprPolicy::kFixedOrder}) {
-    auto run_policy = [&](double load) {
-      sw::SwitchSimConfig cfg;
-      cfg.ports = 64;
-      cfg.sched.kind = sw::SchedulerKind::kFlppr;
-      cfg.sched.receivers = 1;
-      cfg.sched.flppr_policy = policy;
-      cfg.measure_slots = slots;
-      return sw::run_uniform(cfg, load, 0x516);
+  for (const auto policy : pgrid.policies) {
+    auto at = [&](double load, const char* name) {
+      return metric(pres,
+                    [&](const exec::JobSpec& s) {
+                      return s.policy == policy && s.load == load;
+                    },
+                    name);
     };
-    const auto l1 = run_policy(0.1);
-    const auto l5 = run_policy(0.5);
-    const auto heavy = run_policy(0.99);
     pol.add_row({std::string(policy == sw::FlpprPolicy::kEarliestFirst
                                  ? "earliest-first (paper)"
                                  : "fixed order (naive)"),
-                 l1.mean_grant_latency, l5.mean_grant_latency,
-                 heavy.throughput});
+                 at(0.1, "mean_grant_latency"),
+                 at(0.5, "mean_grant_latency"), at(0.99, "throughput")});
   }
   pol.print(std::cout);
+
+  std::cout << "\n("
+            << sched.jobs.size() + kres.jobs.size() + pres.jobs.size()
+            << " jobs on " << sched.threads_used << " threads, "
+            << sched.wall_ms + kres.wall_ms + pres.wall_ms << " ms wall)\n";
 
   emit_report(cli, "fig6", /*load=*/0.5, slots);
   return 0;

@@ -1,0 +1,54 @@
+// Perf-regression gate: diffs two osmosis.campaign.v1 documents and
+// exits non-zero when the candidate regresses beyond tolerance on any
+// gated metric (throughput down, latency up), fails a job the baseline
+// completed, or dropped a baseline job entirely.
+//
+//   campaign_compare <baseline.json> <candidate.json>
+//                    [--tolerance=0.02] [--latency-slack=0.5]
+//
+// scripts/check.sh runs this against the committed
+// bench/baselines/campaign_smoke.json after every build.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/exec/campaign_compare.hpp"
+#include "src/util/cli.hpp"
+
+using namespace osmosis;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot read " << path << "\n";
+    std::exit(2);
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  if (cli.positional().size() != 2) {
+    std::cerr << "usage: campaign_compare <baseline.json> <candidate.json> "
+                 "[--tolerance=0.02] [--latency-slack=0.5]\n";
+    return 2;
+  }
+
+  exec::CompareOptions options;
+  options.tolerance = cli.get_double("tolerance", options.tolerance);
+  options.latency_slack =
+      cli.get_double("latency-slack", options.latency_slack);
+
+  const exec::CompareReport report =
+      exec::compare_campaigns(slurp(cli.positional()[0]),
+                              slurp(cli.positional()[1]), options);
+  std::cout << exec::describe(report);
+  return report.ok() ? 0 : 1;
+}

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # One-shot verification: configure, build, run the test suite, run the
 # telemetry tour example and check that its RunReport JSON carries every
-# key the osmosis.run_report.v1 schema promises, then rebuild the
-# failure/fault-injection tests under ASan+UBSan and run them — the
-# fault paths exercise mid-run structural changes (module death, fiber
-# cuts, plane re-steering) where memory bugs would hide.
+# key the osmosis.run_report.v1 schema promises, run the smoke campaign
+# and hold it against the committed perf baseline with campaign_compare,
+# then rebuild under ASan+UBSan (failure/fault tests — mid-run
+# structural changes where memory bugs hide) and under TSan (the exec
+# tests plus a multi-threaded smoke campaign — the campaign runner's
+# worker pool is the only concurrency in the tree).
 #
 #   scripts/check.sh [build-dir]    (default: build)
 
@@ -39,6 +41,21 @@ for key in '"schema": "osmosis.run_report.v1"' '"sim"' '"time_unit"' \
 done
 echo "all schema keys present"
 
+echo "== smoke campaign + perf-regression gate =="
+smoke_json="$build/campaign_smoke.json"
+"$build/bench/bench_campaign" --smoke --json="$smoke_json" --timing=false \
+  > /dev/null
+"$build/bench/campaign_compare" "$repo/bench/baselines/campaign_smoke.json" \
+  "$smoke_json"
+
+echo "== campaign determinism: 1 thread vs 8 threads =="
+"$build/bench/bench_campaign" --smoke --threads=1 \
+  --json="$build/campaign_smoke_t1.json" --timing=false > /dev/null
+"$build/bench/bench_campaign" --smoke --threads=8 \
+  --json="$build/campaign_smoke_t8.json" --timing=false > /dev/null
+cmp "$build/campaign_smoke_t1.json" "$build/campaign_smoke_t8.json"
+echo "byte-identical at 1 and 8 threads"
+
 echo "== sanitizer build (ASan + UBSan) =="
 san_build="$repo/build-asan"
 cmake -B "$san_build" -S "$repo" -DOSMOSIS_SANITIZE=ON
@@ -50,5 +67,19 @@ for t in failures_test faults_test arq_test fec_test; do
   echo "-- $t"
   "$san_build/tests/$t" --gtest_brief=1
 done
+
+echo "== sanitizer build (TSan) =="
+tsan_build="$repo/build-tsan"
+cmake -B "$tsan_build" -S "$repo" -DOSMOSIS_SANITIZE=thread
+cmake --build "$tsan_build" -j "$(nproc)" \
+  --target exec_test bench_campaign campaign_compare
+
+echo "== sanitizer run: exec tests + multi-threaded smoke campaign =="
+"$tsan_build/tests/exec_test" --gtest_brief=1
+"$tsan_build/bench/bench_campaign" --smoke --threads=8 \
+  --json="$tsan_build/campaign_smoke.json" --timing=false > /dev/null
+"$tsan_build/bench/campaign_compare" \
+  "$repo/bench/baselines/campaign_smoke.json" \
+  "$tsan_build/campaign_smoke.json"
 
 echo "== OK =="

@@ -1,0 +1,200 @@
+#include "src/exec/campaign.hpp"
+
+#include <cstdio>
+
+#include "src/sim/rng.hpp"
+#include "src/util/log.hpp"
+
+namespace osmosis::exec {
+
+const char* to_string(SimKind kind) {
+  switch (kind) {
+    case SimKind::kSwitch: return "switch";
+    case SimKind::kEventSwitch: return "event_switch";
+    case SimKind::kFabric: return "fabric";
+  }
+  return "?";
+}
+
+const char* to_string(TrafficKind kind) {
+  switch (kind) {
+    case TrafficKind::kUniform: return "uniform";
+    case TrafficKind::kBursty: return "bursty";
+  }
+  return "?";
+}
+
+const char* to_string(FaultScenario scenario) {
+  switch (scenario) {
+    case FaultScenario::kNone: return "none";
+    case FaultScenario::kModuleOutage: return "module_outage";
+    case FaultScenario::kModulePermanent: return "module_permanent";
+    case FaultScenario::kFiberCut: return "fiber_cut";
+    case FaultScenario::kGrantCorruption: return "grant_corruption";
+    case FaultScenario::kBurstErrors: return "burst_errors";
+    case FaultScenario::kAdapterStall: return "adapter_stall";
+    case FaultScenario::kCombined: return "combined";
+    case FaultScenario::kSpineOutage: return "spine_outage";
+  }
+  return "?";
+}
+
+const char* to_string(sw::SchedulerKind kind) {
+  switch (kind) {
+    case sw::SchedulerKind::kIslip: return "islip";
+    case sw::SchedulerKind::kPim: return "pim";
+    case sw::SchedulerKind::kPipelinedIslip: return "pislip";
+    case sw::SchedulerKind::kFlppr: return "flppr";
+    case sw::SchedulerKind::kTdm: return "tdm";
+    case sw::SchedulerKind::kWfa: return "wfa";
+  }
+  return "?";
+}
+
+const char* to_string(sw::FlpprPolicy policy) {
+  switch (policy) {
+    case sw::FlpprPolicy::kEarliestFirst: return "earliest";
+    case sw::FlpprPolicy::kFixedOrder: return "fixed";
+  }
+  return "?";
+}
+
+faults::FaultPlan make_fault_plan(FaultScenario scenario,
+                                  std::uint64_t warmup_slots,
+                                  std::uint64_t measure_slots) {
+  // bench_failures timing: the fault window opens a quarter of the way
+  // into the measurement phase and spans another quarter of it.
+  const std::uint64_t t0 = warmup_slots + measure_slots / 4;
+  const std::uint64_t dur = measure_slots / 4;
+  faults::FaultPlan p;
+  switch (scenario) {
+    case FaultScenario::kNone:
+      break;
+    case FaultScenario::kModuleOutage:
+      p.kill_module(t0, 7, 1, dur);
+      break;
+    case FaultScenario::kModulePermanent:
+      p.kill_module(t0, 7, 1);
+      break;
+    case FaultScenario::kFiberCut:
+      p.cut_fiber(t0, 3, dur);
+      break;
+    case FaultScenario::kGrantCorruption:
+      p.corrupt_grants(t0, dur, 0.02);
+      break;
+    case FaultScenario::kBurstErrors:
+      p.burst_errors(t0, -1, dur, 0.01);
+      break;
+    case FaultScenario::kAdapterStall:
+      p.stall_adapter(t0, 12, dur);
+      break;
+    case FaultScenario::kCombined:
+      p.kill_module(t0, 7, 1, dur)
+          .cut_fiber(t0 + dur / 2, 3, dur)
+          .corrupt_grants(t0, dur, 0.01)
+          .burst_errors(t0 + dur / 4, 5, dur, 0.02)
+          .stall_adapter(t0 + dur / 3, 12, dur / 2);
+      break;
+    case FaultScenario::kSpineOutage:
+      p.fail_plane(t0, 0, dur);
+      break;
+  }
+  return p;
+}
+
+std::uint64_t derive_job_seed(std::uint64_t campaign_seed,
+                              std::uint64_t job_index) {
+  // Whiten the campaign seed once, fold the index in with the SplitMix64
+  // increment (odd, so distinct indices stay distinct), then finalize.
+  std::uint64_t x = campaign_seed;
+  const std::uint64_t whitened = sim::splitmix64(x);
+  x = whitened ^ (job_index * 0x9E3779B97F4A7C15ULL);
+  return sim::splitmix64(x);
+}
+
+std::string JobSpec::label() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%s/%s/K%d/%s/N%d/R%d/%s/load%.3f/%s/rep%d",
+                to_string(sim), to_string(scheduler), iterations,
+                to_string(policy), ports, receivers, to_string(traffic),
+                load, to_string(fault), repetition);
+  return buf;
+}
+
+std::size_t CampaignSpec::job_count() const {
+  return sims.size() * schedulers.size() * iterations.size() *
+         policies.size() * ports.size() * receivers.size() * traffics.size() *
+         loads.size() * faults.size() *
+         static_cast<std::size_t>(repetitions);
+}
+
+std::vector<JobSpec> CampaignSpec::expand() const {
+  OSMOSIS_REQUIRE(repetitions >= 1, "campaign needs repetitions >= 1");
+  OSMOSIS_REQUIRE(job_count() > 0, "campaign grid is empty (an axis has "
+                                   "no values)");
+  std::vector<JobSpec> jobs;
+  jobs.reserve(job_count());
+  for (SimKind sim : sims)
+    for (sw::SchedulerKind sched : schedulers)
+      for (int iters : iterations)
+        for (sw::FlpprPolicy policy : policies)
+          for (int n : ports)
+            for (int rx : receivers)
+              for (TrafficKind traffic : traffics)
+                for (double load : loads)
+                  for (FaultScenario fault : faults)
+                    for (int rep = 0; rep < repetitions; ++rep) {
+                      JobSpec j;
+                      j.index = jobs.size();
+                      j.sim = sim;
+                      j.scheduler = sched;
+                      j.iterations = iters;
+                      j.policy = policy;
+                      j.ports = n;
+                      j.receivers = rx;
+                      j.traffic = traffic;
+                      j.mean_burst = mean_burst;
+                      j.load = load;
+                      j.fault = fault;
+                      j.repetition = rep;
+                      j.seed = derive_job_seed(campaign_seed, j.index);
+                      j.warmup_slots = warmup_slots;
+                      j.measure_slots = measure_slots;
+                      if (sim == SimKind::kFabric) {
+                        OSMOSIS_REQUIRE(
+                            sched == sw::SchedulerKind::kIslip ||
+                                sched == sw::SchedulerKind::kPim ||
+                                sched == sw::SchedulerKind::kTdm,
+                            "fabric jobs need an immediate-issue scheduler "
+                            "(islip/pim/tdm), got "
+                                << to_string(sched));
+                        OSMOSIS_REQUIRE(
+                            fault == FaultScenario::kNone ||
+                                fault == FaultScenario::kAdapterStall ||
+                                fault == FaultScenario::kSpineOutage,
+                            "fabric jobs accept only none/adapter_stall/"
+                            "spine_outage fault scenarios, got "
+                                << to_string(fault));
+                      } else {
+                        OSMOSIS_REQUIRE(fault != FaultScenario::kSpineOutage,
+                                        "spine_outage is a fabric-only fault "
+                                        "scenario");
+                        // Module-killing scenarios take down receiver 1 of
+                        // egress 7 — they presume the dual-receiver design.
+                        const bool kills_module =
+                            fault == FaultScenario::kModuleOutage ||
+                            fault == FaultScenario::kModulePermanent ||
+                            fault == FaultScenario::kCombined;
+                        OSMOSIS_REQUIRE(!kills_module || rx >= 2,
+                                        "fault scenario "
+                                            << to_string(fault)
+                                            << " kills receiver 1 and needs "
+                                               ">= 2 receivers, got "
+                                            << rx);
+                      }
+                      jobs.push_back(j);
+                    }
+  return jobs;
+}
+
+}  // namespace osmosis::exec

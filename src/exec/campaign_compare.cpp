@@ -1,0 +1,119 @@
+#include "src/exec/campaign_compare.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "src/telemetry/json.hpp"
+#include "src/util/log.hpp"
+
+namespace osmosis::exec {
+
+namespace {
+
+// Gated metric classes. Throughput-like: lower candidate is a
+// regression. Latency-like: higher candidate is a regression. Anything
+// else (counters, verdict flags, config echoes) is informational only.
+bool is_throughput_metric(const std::string& name) {
+  return name == "throughput" || name == "min_window_throughput";
+}
+
+bool is_latency_metric(const std::string& name) {
+  return name.rfind("mean_delay", 0) == 0 || name.rfind("p99_delay", 0) == 0 ||
+         name.rfind("mean_grant_latency", 0) == 0 ||
+         name.rfind("p99_grant_latency", 0) == 0;
+}
+
+struct JobView {
+  bool ok = false;
+  std::map<std::string, double> metrics;
+};
+
+std::map<std::string, JobView> index_jobs(const telemetry::JsonValue& doc) {
+  std::map<std::string, JobView> out;
+  for (const auto& job : doc.at("jobs").array) {
+    JobView v;
+    v.ok = job.at("ok").boolean;
+    for (const auto& [name, value] : job.at("metrics").object)
+      v.metrics[name] = value.number;
+    out[job.at("label").str] = v;
+  }
+  return out;
+}
+
+telemetry::JsonValue parse_campaign(const std::string& text,
+                                    const char* which) {
+  const telemetry::JsonValue doc = telemetry::json_parse(text);
+  OSMOSIS_REQUIRE(doc.is_object() && doc.has("schema"),
+                  which << " document is not a campaign JSON object");
+  OSMOSIS_REQUIRE(doc.at("schema").str == "osmosis.campaign.v1",
+                  which << " document has schema '" << doc.at("schema").str
+                        << "', expected osmosis.campaign.v1");
+  return doc;
+}
+
+}  // namespace
+
+CompareReport compare_campaigns(const std::string& baseline_json,
+                                const std::string& candidate_json,
+                                const CompareOptions& options) {
+  const auto base_doc = parse_campaign(baseline_json, "baseline");
+  const auto cand_doc = parse_campaign(candidate_json, "candidate");
+  const auto base = index_jobs(base_doc);
+  const auto cand = index_jobs(cand_doc);
+
+  CompareReport report;
+  for (const auto& [label, b] : base) {
+    auto it = cand.find(label);
+    if (it == cand.end()) {
+      report.regressions.push_back({label, "missing", 0.0, 0.0});
+      continue;
+    }
+    const JobView& c = it->second;
+    ++report.jobs_compared;
+    if (b.ok && !c.ok) {
+      report.regressions.push_back({label, "job_failed", 1.0, 0.0});
+      continue;
+    }
+    for (const auto& [metric, bv] : b.metrics) {
+      auto mc = c.metrics.find(metric);
+      if (mc == c.metrics.end()) continue;
+      const double cv = mc->second;
+      if (is_throughput_metric(metric)) {
+        ++report.metrics_compared;
+        if (cv < bv * (1.0 - options.tolerance))
+          report.regressions.push_back({label, metric, bv, cv});
+      } else if (is_latency_metric(metric)) {
+        ++report.metrics_compared;
+        if (cv > bv * (1.0 + options.tolerance) + options.latency_slack)
+          report.regressions.push_back({label, metric, bv, cv});
+      }
+    }
+  }
+  for (const auto& [label, c] : cand) {
+    (void)c;
+    if (!base.count(label))
+      report.notes.push_back("candidate adds job not in baseline: " + label);
+  }
+  return report;
+}
+
+std::string describe(const CompareReport& report) {
+  std::ostringstream os;
+  os << "compared " << report.jobs_compared << " jobs, "
+     << report.metrics_compared << " gated metrics\n";
+  for (const auto& r : report.regressions) {
+    if (r.metric == "missing") {
+      os << "REGRESSION " << r.label << ": job missing from candidate\n";
+    } else if (r.metric == "job_failed") {
+      os << "REGRESSION " << r.label << ": job failed in candidate\n";
+    } else {
+      os << "REGRESSION " << r.label << ": " << r.metric << " "
+         << r.baseline << " -> " << r.candidate << "\n";
+    }
+  }
+  for (const auto& n : report.notes) os << "note: " << n << "\n";
+  os << (report.ok() ? "OK: no regressions" : "FAIL") << "\n";
+  return os.str();
+}
+
+}  // namespace osmosis::exec

@@ -1,0 +1,47 @@
+#pragma once
+// Perf-regression gate over osmosis.campaign.v1 documents: matches jobs
+// between a baseline and a candidate campaign by label and flags
+//   - throughput-like metrics that dropped beyond the tolerance,
+//   - latency-like metrics that rose beyond the tolerance (plus a small
+//     absolute slack, so near-zero delays don't gate on dust),
+//   - jobs that failed or disappeared in the candidate.
+// The campaign_compare tool exits non-zero when any regression is found,
+// which is what scripts/check.sh holds against the committed smoke
+// baseline.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace osmosis::exec {
+
+struct CompareOptions {
+  double tolerance = 0.02;      // relative headroom on every gated metric
+  double latency_slack = 0.5;   // absolute slack on latency metrics
+};
+
+struct Regression {
+  std::string label;    // job label ("<campaign>" for document-level)
+  std::string metric;   // gated metric, or "missing" / "job_failed"
+  double baseline = 0.0;
+  double candidate = 0.0;
+};
+
+struct CompareReport {
+  std::size_t jobs_compared = 0;
+  std::size_t metrics_compared = 0;
+  std::vector<Regression> regressions;
+  std::vector<std::string> notes;  // non-gating observations
+
+  bool ok() const { return regressions.empty(); }
+};
+
+/// Parses both documents (aborts on schema mismatch) and compares.
+CompareReport compare_campaigns(const std::string& baseline_json,
+                                const std::string& candidate_json,
+                                const CompareOptions& options = {});
+
+/// Human-readable rendering of the report, one line per finding.
+std::string describe(const CompareReport& report);
+
+}  // namespace osmosis::exec

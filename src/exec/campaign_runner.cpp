@@ -1,0 +1,376 @@
+#include "src/exec/campaign_runner.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "src/exec/thread_pool.hpp"
+#include "src/fabric/fabric_sim.hpp"
+#include "src/sim/traffic.hpp"
+#include "src/sw/event_switch_sim.hpp"
+#include "src/sw/switch_sim.hpp"
+#include "src/telemetry/json.hpp"
+#include "src/util/log.hpp"
+
+namespace osmosis::exec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+std::string hex_seed(std::uint64_t seed) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+std::unique_ptr<sim::TrafficGen> make_traffic(const JobSpec& j, int ports) {
+  if (j.traffic == TrafficKind::kBursty)
+    return sim::make_bursty(ports, j.load, j.mean_burst, j.seed);
+  return sim::make_uniform(ports, j.load, j.seed);
+}
+
+JobResult run_switch_job(const JobSpec& j) {
+  sw::SwitchSimConfig cfg;
+  cfg.ports = j.ports;
+  cfg.sched.kind = j.scheduler;
+  cfg.sched.receivers = j.receivers;
+  cfg.sched.iterations = j.iterations;
+  cfg.sched.flppr_policy = j.policy;
+  cfg.warmup_slots = j.warmup_slots;
+  cfg.measure_slots = j.measure_slots;
+  cfg.telemetry.enabled = true;
+  cfg.telemetry.sample_every = 4;
+  const bool faulty = j.fault != FaultScenario::kNone;
+  if (faulty) {
+    cfg.fault_plan = make_fault_plan(j.fault, j.warmup_slots, j.measure_slots);
+    cfg.fault_plan.seeded(j.seed ^ 0x0FA7'17ULL);
+  }
+  // The drain phase runs with arrivals off after the measurement window,
+  // so it never shifts the measured stats — always enable it and carry
+  // the exactly-once verdict for every job.
+  cfg.drain_max_slots = 50'000;
+  sw::SwitchSim sim(cfg, make_traffic(j, cfg.ports));
+  const auto r = sim.run();
+
+  JobResult out;
+  out.metrics["throughput"] = r.throughput;
+  out.metrics["delivered"] = static_cast<double>(r.delivered);
+  out.metrics["mean_delay"] = r.mean_delay;
+  out.metrics["p99_delay"] = r.p99_delay;
+  out.metrics["max_delay"] = r.max_delay;
+  out.metrics["mean_grant_latency"] = r.mean_grant_latency;
+  out.metrics["p99_grant_latency"] = r.p99_grant_latency;
+  out.metrics["out_of_order"] = static_cast<double>(r.out_of_order);
+  out.metrics["max_voq_depth"] = r.max_voq_depth;
+  out.metrics["exactly_once_in_order"] = r.exactly_once_in_order ? 1.0 : 0.0;
+  out.metrics["min_window_throughput"] = r.min_window_throughput;
+  if (faulty) {
+    out.metrics["grant_corruptions"] =
+        static_cast<double>(r.grant_corruptions);
+    out.metrics["retransmissions"] = static_cast<double>(r.retransmissions);
+    out.metrics["faults_injected"] = static_cast<double>(r.faults_injected);
+    out.metrics["faults_recovered"] = static_cast<double>(r.faults_recovered);
+    out.metrics["mean_recovery_slots"] = r.mean_recovery_slots;
+  }
+  out.report = sim.report();
+  out.raw_hists.emplace("delay", sim.delay_histogram());
+  out.raw_hists.emplace("grant_latency", sim.grant_latency_histogram());
+  return out;
+}
+
+JobResult run_event_switch_job(const JobSpec& j) {
+  sw::EventSwitchConfig cfg;
+  cfg.ports = j.ports;
+  cfg.sched.kind = j.scheduler;
+  cfg.sched.receivers = j.receivers;
+  cfg.sched.iterations = j.iterations;
+  cfg.sched.flppr_policy = j.policy;
+  cfg.warmup_ns = static_cast<double>(j.warmup_slots) * cfg.cell_ns;
+  cfg.measure_ns = static_cast<double>(j.measure_slots) * cfg.cell_ns;
+  cfg.telemetry.enabled = true;
+  cfg.telemetry.sample_every = 4;
+  if (j.fault != FaultScenario::kNone) {
+    cfg.fault_plan = make_fault_plan(j.fault, j.warmup_slots, j.measure_slots);
+    cfg.fault_plan.seeded(j.seed ^ 0x0FA7'17ULL);
+    cfg.drain_max_cycles = 50'000;
+  }
+  sw::EventSwitchSim sim(cfg, make_traffic(j, cfg.ports));
+  const auto r = sim.run();
+
+  JobResult out;
+  out.metrics["throughput"] = r.throughput;
+  out.metrics["delivered"] = static_cast<double>(r.delivered);
+  out.metrics["mean_delay_ns"] = r.mean_delay_ns;
+  out.metrics["p99_delay_ns"] = r.p99_delay_ns;
+  out.metrics["mean_grant_latency_ns"] = r.mean_grant_latency_ns;
+  out.metrics["receiver_conflicts"] =
+      static_cast<double>(r.receiver_conflicts);
+  out.metrics["out_of_order"] = static_cast<double>(r.out_of_order);
+  out.report = sim.report();
+  out.raw_hists.emplace("delay", sim.delay_histogram());
+  out.raw_hists.emplace("grant_latency", sim.grant_latency_histogram());
+  return out;
+}
+
+JobResult run_fabric_job(const JobSpec& j) {
+  fabric::FabricSimConfig cfg;
+  cfg.radix = j.ports;
+  cfg.scheduler = j.scheduler;
+  cfg.scheduler_iterations = j.iterations;
+  cfg.warmup_slots = j.warmup_slots;
+  cfg.measure_slots = j.measure_slots;
+  cfg.telemetry.enabled = true;
+  cfg.telemetry.sample_every = 4;
+  if (j.fault != FaultScenario::kNone) {
+    cfg.fault_plan = make_fault_plan(j.fault, j.warmup_slots, j.measure_slots);
+    cfg.fault_plan.seeded(j.seed ^ 0x0FA7'17ULL);
+    cfg.drain_max_slots = 50'000;
+  }
+  const int hosts = cfg.radix * cfg.radix / 2;
+  fabric::FabricSim sim(cfg, j.traffic == TrafficKind::kBursty
+                                 ? sim::make_bursty(hosts, j.load,
+                                                    j.mean_burst, j.seed)
+                                 : sim::make_uniform(hosts, j.load, j.seed));
+  const auto r = sim.run();
+
+  JobResult out;
+  out.metrics["throughput"] = r.throughput;
+  out.metrics["delivered"] = static_cast<double>(r.delivered);
+  out.metrics["mean_delay"] = r.mean_delay_slots;
+  out.metrics["p99_delay"] = r.p99_delay_slots;
+  out.metrics["out_of_order"] = static_cast<double>(r.out_of_order);
+  out.metrics["buffer_overflows"] = static_cast<double>(r.buffer_overflows);
+  out.metrics["hosts"] = r.hosts;
+  out.report = sim.report();
+  out.raw_hists.emplace("delay", sim.delay_histogram());
+  return out;
+}
+
+}  // namespace
+
+JobResult run_job(const JobSpec& spec) {
+  JobResult out;
+  switch (spec.sim) {
+    case SimKind::kSwitch: out = run_switch_job(spec); break;
+    case SimKind::kEventSwitch: out = run_event_switch_job(spec); break;
+    case SimKind::kFabric: out = run_fabric_job(spec); break;
+  }
+  out.spec = spec;
+  out.ok = true;
+  return out;
+}
+
+std::size_t CampaignResult::failed_jobs() const {
+  std::size_t n = 0;
+  for (const auto& j : jobs)
+    if (!j.ok) ++n;
+  return n;
+}
+
+const JobResult* CampaignResult::find(
+    const std::function<bool(const JobSpec&)>& pred) const {
+  for (const auto& j : jobs)
+    if (pred(j.spec)) return &j;
+  return nullptr;
+}
+
+std::string CampaignResult::to_json(int indent, bool include_timing) const {
+  telemetry::JsonWriter w(indent);
+  w.open('{');
+  w.key("schema");
+  w.string(kSchema);
+  w.key("name");
+  w.string(name);
+  w.key("campaign_seed");
+  w.string(hex_seed(campaign_seed));
+
+  w.key("jobs");
+  w.open('[');
+  for (const auto& j : jobs) {
+    w.open('{');
+    w.key("index");
+    w.number(static_cast<double>(j.spec.index));
+    w.key("label");
+    w.string(j.spec.label());
+    w.key("sim");
+    w.string(to_string(j.spec.sim));
+    w.key("scheduler");
+    w.string(to_string(j.spec.scheduler));
+    w.key("iterations");
+    w.number(j.spec.iterations);
+    w.key("policy");
+    w.string(to_string(j.spec.policy));
+    w.key("ports");
+    w.number(j.spec.ports);
+    w.key("receivers");
+    w.number(j.spec.receivers);
+    w.key("traffic");
+    w.string(to_string(j.spec.traffic));
+    w.key("load");
+    w.number(j.spec.load);
+    w.key("fault");
+    w.string(to_string(j.spec.fault));
+    w.key("rep");
+    w.number(j.spec.repetition);
+    w.key("seed");
+    w.string(hex_seed(j.spec.seed));
+    w.key("ok");
+    w.boolean(j.ok);
+    w.key("attempts");
+    w.number(j.attempts);
+    w.key("error");
+    w.string(j.error);
+    w.key("metrics");
+    w.open('{');
+    for (const auto& [k, v] : j.metrics) {
+      w.key(k);
+      w.number(v);
+    }
+    w.close('}');
+    w.key("histograms");
+    w.open('{');
+    for (const auto& [hname, h] : j.report.histograms) {
+      w.key(hname);
+      telemetry::write_histogram_summary(w, h);
+    }
+    w.close('}');
+    if (include_timing) {
+      w.key("wall_ms");
+      w.number(j.wall_ms);
+      w.key("timed_out");
+      w.boolean(j.timed_out);
+    }
+    w.close('}');
+  }
+  w.close(']');
+
+  w.key("aggregate");
+  w.open('{');
+  w.key("jobs");
+  w.number(static_cast<double>(jobs.size()));
+  w.key("failed");
+  w.number(static_cast<double>(failed_jobs()));
+  w.key("counters");
+  w.open('{');
+  for (const auto& [k, v] : aggregate_counters.snapshot()) {
+    w.key(k);
+    w.number(v);
+  }
+  w.close('}');
+  w.key("histograms");
+  w.open('{');
+  for (const auto& [hname, h] : aggregate_hists) {
+    w.key(hname);
+    telemetry::write_histogram_summary(
+        w, telemetry::HistogramSummary::of(h));
+  }
+  w.close('}');
+  w.close('}');
+
+  if (include_timing) {
+    w.key("timing");
+    w.open('{');
+    w.key("wall_ms");
+    w.number(wall_ms);
+    w.key("threads");
+    w.number(threads_used);
+    w.close('}');
+  }
+
+  w.close('}');
+  return w.str();
+}
+
+CampaignRunner::CampaignRunner(RunnerOptions opts) : opts_(std::move(opts)) {
+  OSMOSIS_REQUIRE(opts_.max_attempts >= 1, "runner needs max_attempts >= 1");
+}
+
+JobResult CampaignRunner::execute_with_retry(const JobSpec& spec) const {
+  JobResult result;
+  for (int attempt = 1; attempt <= opts_.max_attempts; ++attempt) {
+    const auto t0 = Clock::now();
+    try {
+      result = opts_.executor ? opts_.executor(spec) : run_job(spec);
+      result.spec = spec;
+      result.attempts = attempt;
+      result.wall_ms = ms_since(t0);
+      result.timed_out = opts_.job_timeout_ms > 0.0 &&
+                         result.wall_ms > opts_.job_timeout_ms;
+      return result;
+    } catch (const std::exception& e) {
+      result = JobResult{};
+      result.spec = spec;
+      result.attempts = attempt;
+      result.error = e.what();
+    } catch (...) {
+      result = JobResult{};
+      result.spec = spec;
+      result.attempts = attempt;
+      result.error = "unknown exception";
+    }
+    result.wall_ms = ms_since(t0);
+    result.timed_out = opts_.job_timeout_ms > 0.0 &&
+                       result.wall_ms > opts_.job_timeout_ms;
+  }
+  return result;  // ok == false after exhausting attempts
+}
+
+CampaignResult CampaignRunner::run(const CampaignSpec& spec) {
+  const std::vector<JobSpec> jobs = spec.expand();
+
+  CampaignResult out;
+  out.name = spec.name;
+  out.campaign_seed = spec.campaign_seed;
+  out.jobs.resize(jobs.size());
+
+  const auto t0 = Clock::now();
+  {
+    ThreadPool pool(opts_.threads);
+    out.threads_used = pool.size();
+    std::mutex done_mu;
+    for (const JobSpec& job : jobs) {
+      // Each task writes only its own pre-sized slot, so no cross-job
+      // synchronization is needed beyond the pool's queue.
+      pool.submit([this, job, &out, &done_mu] {
+        JobResult r = execute_with_retry(job);
+        if (opts_.on_job_done) {
+          std::lock_guard<std::mutex> lock(done_mu);
+          opts_.on_job_done(r);
+        }
+        out.jobs[job.index] = std::move(r);
+      });
+    }
+    pool.wait_idle();
+    // execute_with_retry captures everything; an exception here would
+    // mean a bug in the runner itself.
+    OSMOSIS_REQUIRE(pool.take_exceptions().empty(),
+                    "campaign job escaped its exception capture");
+  }
+  out.wall_ms = ms_since(t0);
+
+  // Aggregate serially in job-index order: merge order is fixed, so the
+  // merged floating-point results never depend on completion order.
+  for (const auto& j : out.jobs) {
+    if (!j.ok) continue;
+    out.aggregate_counters.merge(j.report.counters);
+    for (const auto& [hname, h] : j.raw_hists) {
+      const std::string key = std::string(to_string(j.spec.sim)) + "." + hname;
+      auto it = out.aggregate_hists.find(key);
+      if (it == out.aggregate_hists.end()) {
+        out.aggregate_hists.emplace(
+            key, sim::Histogram(h.linear_limit(), h.growth()));
+        it = out.aggregate_hists.find(key);
+      }
+      it->second.merge(h);
+    }
+  }
+  return out;
+}
+
+}  // namespace osmosis::exec

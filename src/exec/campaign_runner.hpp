@@ -1,0 +1,106 @@
+#pragma once
+// Parallel campaign execution: expands a CampaignSpec, fans the jobs out
+// over a ThreadPool, and collects one CampaignResult with per-job and
+// aggregated views. Each job runs a whole simulator (telemetry enabled)
+// and returns its metrics, its RunReport, and its raw measurement
+// histograms; aggregation merges counters (mgmt::CounterRegistry::merge)
+// and histograms (sim::Histogram::merge) serially in job-index order, so
+// the emitted osmosis.campaign.v1 document is byte-identical at any
+// thread count (wall-clock fields live in an optional "timing" section).
+//
+// Schema osmosis.campaign.v1:
+//   {
+//     "schema": "osmosis.campaign.v1",
+//     "name": <campaign name>,
+//     "campaign_seed": "0x<16 hex digits>",
+//     "jobs": [ { "index", "label", axes..., "seed", "ok", "attempts",
+//                 "error", "metrics": {name: number},
+//                 "histograms": {name: {count,mean,min,p50,p99,max}}
+//                 [, "wall_ms", "timed_out"] }, ... ],
+//     "aggregate": { "jobs", "failed", "counters": {...},
+//                    "histograms": {"<sim>.<name>": summary} }
+//     [, "timing": { "wall_ms", "threads" } ]
+//   }
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/exec/campaign.hpp"
+#include "src/mgmt/counters.hpp"
+#include "src/sim/stats.hpp"
+#include "src/telemetry/run_report.hpp"
+
+namespace osmosis::exec {
+
+/// Outcome of one grid point.
+struct JobResult {
+  JobSpec spec;
+  bool ok = false;
+  int attempts = 0;
+  bool timed_out = false;  // exceeded RunnerOptions::job_timeout_ms
+  std::string error;       // last captured exception message
+  // Scalar results, sorted by name for deterministic export. Keys vary
+  // by simulator kind (e.g. "throughput", "mean_delay", "p99_delay",
+  // "mean_grant_latency"; fault runs add recovery metrics).
+  std::map<std::string, double> metrics;
+  telemetry::RunReport report;
+  // Raw histograms for exact aggregation (merged via Histogram::merge).
+  std::map<std::string, sim::Histogram> raw_hists;
+  double wall_ms = 0.0;
+};
+
+struct RunnerOptions {
+  unsigned threads = 0;     // 0 = hardware_concurrency
+  int max_attempts = 2;     // retries per job on a captured exception
+  double job_timeout_ms = 0.0;  // 0 = no limit; exceeding flags the job
+  // Test/extension hook: replaces the built-in job executor.
+  std::function<JobResult(const JobSpec&)> executor;
+  // Progress callback, invoked from worker threads as jobs finish
+  // (guarded by an internal mutex; may be empty).
+  std::function<void(const JobResult&)> on_job_done;
+};
+
+struct CampaignResult {
+  static constexpr const char* kSchema = "osmosis.campaign.v1";
+
+  std::string name;
+  std::uint64_t campaign_seed = 0;
+  unsigned threads_used = 0;
+  std::vector<JobResult> jobs;  // in job-index order
+  mgmt::CounterRegistry aggregate_counters;
+  std::map<std::string, sim::Histogram> aggregate_hists;
+  double wall_ms = 0.0;
+
+  std::size_t failed_jobs() const;
+
+  /// First job whose spec satisfies `pred`, or nullptr. The benches use
+  /// this to pick grid points back out for their tables.
+  const JobResult* find(const std::function<bool(const JobSpec&)>& pred) const;
+
+  /// Serializes the osmosis.campaign.v1 document. `include_timing`
+  /// false drops every wall-clock-derived field, leaving a document
+  /// that is byte-identical across runs and thread counts.
+  std::string to_json(int indent = 2, bool include_timing = true) const;
+};
+
+/// Built-in executor: builds and runs the simulator a JobSpec names.
+/// Exposed so tests can execute single grid points without a pool.
+JobResult run_job(const JobSpec& spec);
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(RunnerOptions opts = {});
+
+  /// Expands and executes the campaign; blocks until every job finished.
+  CampaignResult run(const CampaignSpec& spec);
+
+ private:
+  JobResult execute_with_retry(const JobSpec& spec) const;
+
+  RunnerOptions opts_;
+};
+
+}  // namespace osmosis::exec

@@ -1,0 +1,64 @@
+#pragma once
+// Fixed-size worker pool for the campaign runner: a mutex+condvar job
+// queue drained by `threads` workers. Jobs are plain std::function<void()>;
+// an exception escaping a job is captured (std::exception_ptr) rather
+// than terminating the process, and handed back via take_exceptions().
+//
+// The pool is deliberately minimal — no futures, no work stealing, no
+// priorities. Campaign jobs are coarse (whole simulator runs, tens of
+// milliseconds to seconds each), so a single locked deque is nowhere
+// near contended; determinism comes from the jobs themselves (each owns
+// its seed and writes only its own result slot), not from scheduling
+// order.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace osmosis::exec {
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers; 0 picks hardware_concurrency (min 1).
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Waits for all queued and running jobs, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues a job. Safe from any thread, including from inside a job.
+  void submit(std::function<void()> job);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void wait_idle();
+
+  /// Exceptions that escaped jobs since the last call, in completion
+  /// order. Empty in a healthy run.
+  std::vector<std::exception_ptr> take_exceptions();
+
+  /// The worker count a default-constructed pool would use.
+  static unsigned default_threads();
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for jobs / stop
+  std::condition_variable idle_cv_;   // wait_idle waits for quiescence
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::exception_ptr> exceptions_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace osmosis::exec

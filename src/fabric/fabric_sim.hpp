@@ -112,6 +112,10 @@ class FabricSim {
   /// counts plus their rollup.* subtotals.
   telemetry::RunReport report() const;
 
+  /// Raw end-to-end delay histogram (cell cycles), for exact cross-run
+  /// aggregation via sim::Histogram::merge.
+  const sim::Histogram& delay_histogram() const { return delay_hist_; }
+
  private:
   struct FabricCell {
     int src = -1;

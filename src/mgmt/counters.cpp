@@ -35,7 +35,11 @@ std::vector<std::string> CounterRegistry::names_with_prefix(
 }
 
 void CounterRegistry::merge(const CounterRegistry& other) {
-  for (const auto& [name, value] : other.values_) values_[name] += value;
+  merge(other.values_);
+}
+
+void CounterRegistry::merge(const Snapshot& other) {
+  for (const auto& [name, value] : other) values_[name] += value;
 }
 
 double CounterRegistry::subtotal(const std::string& prefix) const {

@@ -37,6 +37,11 @@ class CounterRegistry {
   /// absent). Used to roll per-stage/per-switch registries up into one.
   void merge(const CounterRegistry& other);
 
+  /// Same accumulation from a raw snapshot — the shape a RunReport
+  /// carries — so campaign aggregation can roll job reports up without
+  /// reconstructing registries.
+  void merge(const Snapshot& other);
+
   /// Sum of all values whose name starts with `prefix` — the per-prefix
   /// subtotal behind roll-ups like "all leaf.* grants".
   double subtotal(const std::string& prefix) const;

@@ -9,6 +9,12 @@
 
 namespace osmosis::sim {
 
+/// One step of the SplitMix64 sequence: advances `state` and returns the
+/// next output. This is the generator xoshiro seeding uses internally;
+/// it is exposed so seed-derivation schemes (per-port streams, campaign
+/// job seeds) share one well-tested mixing function.
+std::uint64_t splitmix64(std::uint64_t& state);
+
 /// xoshiro256** generator (Blackman & Vigna). Satisfies the essentials of
 /// UniformRandomBitGenerator so it can also feed <random> if needed.
 class Rng {

@@ -77,6 +77,19 @@ void Histogram::add(double x) {
   mv_.add(x);
 }
 
+void Histogram::merge(const Histogram& other) {
+  OSMOSIS_REQUIRE(linear_limit_ == other.linear_limit_ &&
+                      growth_ == other.growth_,
+                  "histogram merge requires identical bin shape: ("
+                      << linear_limit_ << ", " << growth_ << ") vs ("
+                      << other.linear_limit_ << ", " << other.growth_ << ")");
+  if (other.bins_.size() > bins_.size()) bins_.resize(other.bins_.size(), 0);
+  for (std::size_t b = 0; b < other.bins_.size(); ++b)
+    bins_[b] += other.bins_[b];
+  total_ += other.total_;
+  mv_.merge(other.mv_);
+}
+
 double Histogram::quantile(double q) const {
   OSMOSIS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q out of [0,1]: " << q);
   if (total_ == 0) return 0.0;

@@ -57,6 +57,17 @@ class Histogram {
   double p50() const { return quantile(0.50); }
   double p99() const { return quantile(0.99); }
 
+  /// Accumulates another histogram of the *same bin shape* (equal
+  /// linear_limit and growth; enforced). Bins add element-wise and the
+  /// out-of-band extremes/mean merge exactly, so sharded collection
+  /// followed by merge() reports the same count/mean/min/max/quantiles
+  /// as one histogram fed every sample — the campaign runner's
+  /// aggregation invariant.
+  void merge(const Histogram& other);
+
+  double linear_limit() const { return linear_limit_; }
+  double growth() const { return growth_; }
+
  private:
   std::size_t bin_for(double x) const;
   std::pair<double, double> bin_bounds(std::size_t b) const;

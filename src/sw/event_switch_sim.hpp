@@ -102,6 +102,11 @@ class EventSwitchSim {
   /// Structured run export; stage histograms are in nanoseconds.
   telemetry::RunReport report() const;
 
+  /// Raw measurement histograms (ns), for exact cross-run aggregation
+  /// via sim::Histogram::merge.
+  const sim::Histogram& delay_histogram() const { return delay_ns_; }
+  const sim::Histogram& grant_latency_histogram() const { return grant_ns_; }
+
  private:
   double ctrl_ns(int adapter) const;
   void on_cycle();

@@ -138,6 +138,14 @@ class SwitchSim {
   /// cfg.telemetry.enabled. Stage histograms are in cell cycles.
   telemetry::RunReport report() const;
 
+  /// Raw measurement histograms (cell cycles), for exact cross-run
+  /// aggregation via sim::Histogram::merge (the campaign runner's
+  /// shard-merge path; summaries alone cannot merge exactly).
+  const sim::Histogram& delay_histogram() const { return delay_hist_; }
+  const sim::Histogram& grant_latency_histogram() const {
+    return grant_latency_;
+  }
+
  private:
   void step(std::uint64_t t, bool measuring, bool inject_traffic);
   void apply_fault_transitions(std::uint64_t t);

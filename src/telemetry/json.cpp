@@ -10,6 +10,23 @@
 
 namespace osmosis::telemetry {
 
+void JsonWriter::key(const std::string& k) {
+  item_prefix();
+  os_ << '"' << json_escape(k) << "\":";
+  if (indent_ > 0) os_ << ' ';
+  pending_value_ = true;
+}
+
+void JsonWriter::string(const std::string& v) {
+  value_prefix();
+  os_ << '"' << json_escape(v) << '"';
+}
+
+void JsonWriter::number(double v) {
+  value_prefix();
+  os_ << json_number(v);
+}
+
 const JsonValue& JsonValue::at(const std::string& key) const {
   OSMOSIS_REQUIRE(kind == Kind::kObject, "JSON value is not an object");
   auto it = object.find(key);

@@ -8,10 +8,68 @@
 
 #include <cstdint>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 namespace osmosis::telemetry {
+
+/// Tiny structural JSON writer shared by the RunReport and campaign
+/// exporters: tracks nesting and lays out either pretty (indent > 0) or
+/// single-line documents. The caller drives structure with open/close
+/// and key/value calls; output is deterministic for identical call
+/// sequences, which is what makes report diffs byte-stable.
+class JsonWriter {
+ public:
+  explicit JsonWriter(int indent) : indent_(indent) {}
+
+  void open(char bracket) {
+    value_prefix();
+    os_ << bracket;
+    ++depth_;
+    first_ = true;
+  }
+  void close(char bracket) {
+    --depth_;
+    if (!first_) newline(depth_);
+    os_ << bracket;
+    first_ = false;
+  }
+  void key(const std::string& k);
+  void string(const std::string& v);
+  void number(double v);
+  void boolean(bool v) {
+    value_prefix();
+    os_ << (v ? "true" : "false");
+  }
+
+  std::string str() const { return os_.str(); }
+
+ private:
+  void item_prefix() {
+    if (!first_) os_ << ',';
+    newline(depth_);
+    first_ = false;
+  }
+  void value_prefix() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    item_prefix();
+  }
+  void newline(int depth) {
+    if (indent_ <= 0) return;
+    os_ << '\n';
+    for (int i = 0; i < depth * indent_; ++i) os_ << ' ';
+  }
+
+  std::ostringstream os_;
+  int indent_;
+  int depth_ = 0;
+  bool first_ = true;
+  bool pending_value_ = false;
+};
 
 struct JsonValue {
   enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };

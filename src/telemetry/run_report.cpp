@@ -18,73 +18,36 @@ HistogramSummary HistogramSummary::of(const sim::Histogram& h) {
   return s;
 }
 
-namespace {
+void write_histogram_summary(JsonWriter& w, const HistogramSummary& h) {
+  w.open('{');
+  w.key("count");
+  w.number(static_cast<double>(h.count));
+  w.key("mean");
+  w.number(h.mean);
+  w.key("min");
+  w.number(h.min);
+  w.key("p50");
+  w.number(h.p50);
+  w.key("p99");
+  w.number(h.p99);
+  w.key("max");
+  w.number(h.max);
+  w.close('}');
+}
 
-// Tiny structural writer: tracks nesting and lays out either pretty
-// (indent > 0) or single-line JSON.
-class Writer {
- public:
-  explicit Writer(int indent) : indent_(indent) {}
-
-  void open(char bracket) {
-    value_prefix();
-    os_ << bracket;
-    ++depth_;
-    first_ = true;
-  }
-  void close(char bracket) {
-    --depth_;
-    if (!first_) newline(depth_);
-    os_ << bracket;
-    first_ = false;
-  }
-  void key(const std::string& k) {
-    item_prefix();
-    os_ << '"' << json_escape(k) << "\":";
-    if (indent_ > 0) os_ << ' ';
-    pending_value_ = true;
-  }
-  void string(const std::string& v) {
-    value_prefix();
-    os_ << '"' << json_escape(v) << '"';
-  }
-  void number(double v) {
-    value_prefix();
-    os_ << json_number(v);
-  }
-
-  std::string str() const { return os_.str(); }
-
- private:
-  void item_prefix() {
-    if (!first_) os_ << ',';
-    newline(depth_);
-    first_ = false;
-  }
-  void value_prefix() {
-    if (pending_value_) {
-      pending_value_ = false;
-      return;
-    }
-    item_prefix();
-  }
-  void newline(int depth) {
-    if (indent_ <= 0) return;
-    os_ << '\n';
-    for (int i = 0; i < depth * indent_; ++i) os_ << ' ';
-  }
-
-  std::ostringstream os_;
-  int indent_;
-  int depth_ = 0;
-  bool first_ = true;
-  bool pending_value_ = false;
-};
-
-}  // namespace
+HistogramSummary parse_histogram_summary(const JsonValue& h) {
+  HistogramSummary s;
+  s.count = static_cast<std::uint64_t>(h.at("count").number);
+  s.mean = h.at("mean").number;
+  s.min = h.at("min").number;
+  s.p50 = h.at("p50").number;
+  s.p99 = h.at("p99").number;
+  s.max = h.at("max").number;
+  return s;
+}
 
 std::string RunReport::to_json(int indent) const {
-  Writer w(indent);
+  JsonWriter w(indent);
   w.open('{');
   w.key("schema");
   w.string(kSchema);
@@ -121,20 +84,7 @@ std::string RunReport::to_json(int indent) const {
   w.open('{');
   for (const auto& [name, h] : histograms) {
     w.key(name);
-    w.open('{');
-    w.key("count");
-    w.number(static_cast<double>(h.count));
-    w.key("mean");
-    w.number(h.mean);
-    w.key("min");
-    w.number(h.min);
-    w.key("p50");
-    w.number(h.p50);
-    w.key("p99");
-    w.number(h.p99);
-    w.key("max");
-    w.number(h.max);
-    w.close('}');
+    write_histogram_summary(w, h);
   }
   w.close('}');
 
@@ -159,16 +109,8 @@ RunReport RunReport::from_json(const std::string& text) {
   for (const auto& [k, v] : doc.at("info").object) r.info[k] = v.str;
   for (const auto& [k, v] : doc.at("counters").object)
     r.counters[k] = v.number;
-  for (const auto& [name, h] : doc.at("histograms").object) {
-    HistogramSummary s;
-    s.count = static_cast<std::uint64_t>(h.at("count").number);
-    s.mean = h.at("mean").number;
-    s.min = h.at("min").number;
-    s.p50 = h.at("p50").number;
-    s.p99 = h.at("p99").number;
-    s.max = h.at("max").number;
-    r.histograms.emplace(name, s);
-  }
+  for (const auto& [name, h] : doc.at("histograms").object)
+    r.histograms.emplace(name, parse_histogram_summary(h));
   for (const auto& e : doc.at("health").array) r.health.push_back(e.str);
   return r;
 }

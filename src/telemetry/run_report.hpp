@@ -40,6 +40,15 @@ struct HistogramSummary {
   static HistogramSummary of(const sim::Histogram& h);
 };
 
+class JsonWriter;
+struct JsonValue;
+
+/// Shared summary (de)serialization: the {count,mean,min,p50,p99,max}
+/// object shape used by both osmosis.run_report.v1 and
+/// osmosis.campaign.v1 documents.
+void write_histogram_summary(JsonWriter& w, const HistogramSummary& h);
+HistogramSummary parse_histogram_summary(const JsonValue& h);
+
 struct RunReport {
   static constexpr const char* kSchema = "osmosis.run_report.v1";
 

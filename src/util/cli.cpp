@@ -1,11 +1,91 @@
 #include "src/util/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
+#include <iostream>
 #include <string_view>
 
-#include "src/util/log.hpp"
-
 namespace osmosis::util {
+
+namespace {
+
+void set_err(std::string* err, const std::string& msg) {
+  if (err) *err = msg;
+}
+
+}  // namespace
+
+bool parse_strict_int(const std::string& text, long long* out,
+                      std::string* err) {
+  if (text.empty()) {
+    set_err(err, "empty value where an integer was expected");
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(text.c_str(), &end, 0);
+  if (errno != 0 || end != text.c_str() + text.size()) {
+    set_err(err, "'" + text + "' is not an integer");
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool parse_strict_double(const std::string& text, double* out,
+                         std::string* err) {
+  if (text.empty()) {
+    set_err(err, "empty value where a number was expected");
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size()) {
+    set_err(err, "'" + text + "' is not a number");
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+namespace {
+
+// Shared comma-splitting shell for the two list parsers.
+template <typename T, typename ParseOne>
+bool parse_list(const std::string& text, std::vector<T>* out,
+                std::string* err, ParseOne parse_one) {
+  std::vector<T> items;
+  std::size_t start = 0;
+  if (text.empty()) {
+    set_err(err, "empty list");
+    return false;
+  }
+  for (;;) {
+    const std::size_t comma = text.find(',', start);
+    const std::string item = text.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    T v;
+    if (!parse_one(item, &v, err)) return false;
+    items.push_back(v);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  *out = std::move(items);
+  return true;
+}
+
+}  // namespace
+
+bool parse_int_list(const std::string& text, std::vector<long long>* out,
+                    std::string* err) {
+  return parse_list<long long>(text, out, err, parse_strict_int);
+}
+
+bool parse_double_list(const std::string& text, std::vector<double>* out,
+                       std::string* err) {
+  return parse_list<double>(text, out, err, parse_strict_double);
+}
 
 Cli::Cli(int argc, const char* const* argv) {
   if (argc > 0) program_ = argv[0];
@@ -36,13 +116,19 @@ std::string Cli::get(const std::string& key, const std::string& def) const {
 long long Cli::get_int(const std::string& key, long long def) const {
   auto it = options_.find(key);
   if (it == options_.end()) return def;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  long long v = 0;
+  std::string err;
+  if (!parse_strict_int(it->second, &v, &err)) usage_error(key, err);
+  return v;
 }
 
 double Cli::get_double(const std::string& key, double def) const {
   auto it = options_.find(key);
   if (it == options_.end()) return def;
-  return std::strtod(it->second.c_str(), nullptr);
+  double v = 0.0;
+  std::string err;
+  if (!parse_strict_double(it->second, &v, &err)) usage_error(key, err);
+  return v;
 }
 
 bool Cli::get_bool(const std::string& key, bool def) const {
@@ -50,6 +136,34 @@ bool Cli::get_bool(const std::string& key, bool def) const {
   if (it == options_.end()) return def;
   const std::string& v = it->second;
   return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::vector<long long> Cli::get_ints(const std::string& key,
+                                     std::vector<long long> def) const {
+  auto it = options_.find(key);
+  if (it == options_.end()) return def;
+  std::vector<long long> v;
+  std::string err;
+  if (!parse_int_list(it->second, &v, &err))
+    usage_error(key, err + " (expected comma-separated integers)");
+  return v;
+}
+
+std::vector<double> Cli::get_doubles(const std::string& key,
+                                     std::vector<double> def) const {
+  auto it = options_.find(key);
+  if (it == options_.end()) return def;
+  std::vector<double> v;
+  std::string err;
+  if (!parse_double_list(it->second, &v, &err))
+    usage_error(key, err + " (expected comma-separated numbers)");
+  return v;
+}
+
+void Cli::usage_error(const std::string& key, const std::string& reason) const {
+  std::cerr << (program_.empty() ? "osmosis" : program_) << ": error: --"
+            << key << ": " << reason << "\n";
+  std::exit(2);
 }
 
 }  // namespace osmosis::util

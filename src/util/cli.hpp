@@ -1,13 +1,31 @@
 #pragma once
 // Minimal command-line option parser for the example programs and
 // benchmark harnesses. Supports `--key=value` and bare `--flag` forms;
-// anything else is a positional argument.
+// anything else is a positional argument. Numeric getters are strict:
+// a malformed value prints a usage error naming the flag and exits(2)
+// rather than silently truncating. List-valued flags
+// (`--loads=0.1,0.5,0.9`) back the sweep grids of the campaign runner
+// and the bench harnesses.
 
 #include <map>
 #include <string>
 #include <vector>
 
 namespace osmosis::util {
+
+// Strict parse helpers (exposed for tests). Each consumes the entire
+// text or reports failure; `err` (optional) receives a human-readable
+// reason.
+bool parse_strict_int(const std::string& text, long long* out,
+                      std::string* err = nullptr);
+bool parse_strict_double(const std::string& text, double* out,
+                         std::string* err = nullptr);
+/// Comma-separated lists; empty items (",," or trailing comma) and an
+/// entirely empty string are rejected.
+bool parse_int_list(const std::string& text, std::vector<long long>* out,
+                    std::string* err = nullptr);
+bool parse_double_list(const std::string& text, std::vector<double>* out,
+                       std::string* err = nullptr);
 
 /// Parsed command line with typed getters and defaults.
 class Cli {
@@ -21,10 +39,20 @@ class Cli {
   double get_double(const std::string& key, double def) const;
   bool get_bool(const std::string& key, bool def) const;
 
+  /// List-valued flags: `--key=a,b,c`. Absent key returns `def`;
+  /// malformed values are a usage error (message to stderr, exit 2).
+  std::vector<long long> get_ints(const std::string& key,
+                                  std::vector<long long> def) const;
+  std::vector<double> get_doubles(const std::string& key,
+                                  std::vector<double> def) const;
+
   const std::vector<std::string>& positional() const { return positional_; }
   const std::string& program() const { return program_; }
 
  private:
+  [[noreturn]] void usage_error(const std::string& key,
+                                const std::string& reason) const;
+
   std::string program_;
   std::map<std::string, std::string> options_;
   std::vector<std::string> positional_;

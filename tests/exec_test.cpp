@@ -1,0 +1,343 @@
+// Tests for src/exec: the thread pool, campaign expansion and seed
+// derivation, thread-count determinism of the campaign runner (the
+// osmosis.campaign.v1 document must be byte-identical at any worker
+// count, including under an active FaultPlan), the retry path, and the
+// campaign_compare regression gate.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/exec/campaign.hpp"
+#include "src/exec/campaign_compare.hpp"
+#include "src/exec/campaign_runner.hpp"
+#include "src/exec/thread_pool.hpp"
+
+namespace osmosis::exec {
+namespace {
+
+// ---- ThreadPool -----------------------------------------------------------
+
+TEST(ThreadPool, RunsAllSubmittedJobs) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { done.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 100);
+  EXPECT_TRUE(pool.take_exceptions().empty());
+}
+
+TEST(ThreadPool, CapturesExceptionsPerJob) {
+  ThreadPool pool(2);
+  std::atomic<int> survivors{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&, i] {
+      if (i % 2) throw std::runtime_error("job " + std::to_string(i));
+      survivors.fetch_add(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(survivors.load(), 5);  // throwing jobs never kill workers
+  auto errs = pool.take_exceptions();
+  EXPECT_EQ(errs.size(), 5u);
+  EXPECT_TRUE(pool.take_exceptions().empty());  // take clears the list
+}
+
+TEST(ThreadPool, SubmitFromInsideAJob) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  pool.submit([&] {
+    done.fetch_add(1);
+    pool.submit([&] { done.fetch_add(1); });
+  });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 2);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  pool.submit([&] { done.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 1);
+  pool.submit([&] { done.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 2);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), ThreadPool::default_threads());
+  EXPECT_GE(pool.size(), 1u);
+}
+
+// ---- seed derivation and grid expansion -----------------------------------
+
+TEST(Campaign, SeedDependsOnlyOnCampaignSeedAndIndex) {
+  EXPECT_EQ(derive_job_seed(1, 0), derive_job_seed(1, 0));
+  EXPECT_NE(derive_job_seed(1, 0), derive_job_seed(1, 1));
+  EXPECT_NE(derive_job_seed(1, 0), derive_job_seed(2, 0));
+  // No collisions over a realistic campaign size.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10'000; ++i)
+    seen.insert(derive_job_seed(0xCA3B'A167ULL, i));
+  EXPECT_EQ(seen.size(), 10'000u);
+}
+
+TEST(Campaign, ExpandCoversTheFullGridInDeclaredOrder) {
+  CampaignSpec spec;
+  spec.receivers = {1, 2};
+  spec.loads = {0.3, 0.7};
+  spec.faults = {FaultScenario::kNone, FaultScenario::kGrantCorruption};
+  spec.repetitions = 2;
+  ASSERT_EQ(spec.job_count(), 16u);
+  const auto jobs = spec.expand();
+  ASSERT_EQ(jobs.size(), 16u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].index, i);
+    EXPECT_EQ(jobs[i].seed, derive_job_seed(spec.campaign_seed, i));
+  }
+  // Outermost-to-innermost: receivers varies slowest of the three axes,
+  // repetition fastest.
+  EXPECT_EQ(jobs[0].receivers, 1);
+  EXPECT_EQ(jobs[8].receivers, 2);
+  EXPECT_EQ(jobs[0].repetition, 0);
+  EXPECT_EQ(jobs[1].repetition, 1);
+  EXPECT_EQ(jobs[0].fault, FaultScenario::kNone);
+  EXPECT_EQ(jobs[2].fault, FaultScenario::kGrantCorruption);
+  // Labels are unique — campaign_compare keys on them.
+  std::set<std::string> labels;
+  for (const auto& j : jobs) labels.insert(j.label());
+  EXPECT_EQ(labels.size(), jobs.size());
+}
+
+TEST(CampaignDeathTest, RejectsIncompatibleAxes) {
+  CampaignSpec fabric;
+  fabric.sims = {SimKind::kFabric};
+  fabric.schedulers = {sw::SchedulerKind::kFlppr};  // needs immediate issue
+  EXPECT_DEATH(fabric.expand(), "immediate-issue");
+
+  CampaignSpec spine;
+  spine.faults = {FaultScenario::kSpineOutage};  // fabric-only scenario
+  EXPECT_DEATH(spine.expand(), "fabric-only");
+
+  CampaignSpec single_rx;
+  single_rx.receivers = {1};
+  single_rx.faults = {FaultScenario::kCombined};  // kills receiver 1
+  EXPECT_DEATH(single_rx.expand(), "receivers");
+}
+
+// ---- runner: determinism across thread counts -----------------------------
+
+CampaignSpec small_campaign() {
+  // Small but representative: two loads, a fault-free and a combined
+  // mid-run fault scenario, dual receivers, 16 ports.
+  CampaignSpec spec;
+  spec.name = "determinism";
+  spec.ports = {16};
+  spec.receivers = {2};
+  spec.loads = {0.3, 0.7};
+  spec.faults = {FaultScenario::kNone, FaultScenario::kCombined};
+  spec.warmup_slots = 200;
+  spec.measure_slots = 1'500;
+  spec.campaign_seed = 0xD17E;
+  return spec;
+}
+
+TEST(CampaignRunner, ByteIdenticalAcrossThreadCounts) {
+  const CampaignSpec spec = small_campaign();
+  std::vector<std::string> docs;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    RunnerOptions opts;
+    opts.threads = threads;
+    CampaignRunner runner(opts);
+    const CampaignResult result = runner.run(spec);
+    EXPECT_EQ(result.failed_jobs(), 0u);
+    EXPECT_EQ(result.threads_used, threads);
+    docs.push_back(result.to_json(2, /*include_timing=*/false));
+  }
+  EXPECT_EQ(docs[0], docs[1]);
+  EXPECT_EQ(docs[1], docs[2]);
+  // The fault scenario actually fired (the document is not trivially
+  // identical because nothing happened).
+  EXPECT_NE(docs[0].find("combined"), std::string::npos);
+  EXPECT_NE(docs[0].find("faults_injected"), std::string::npos);
+}
+
+TEST(CampaignRunner, TimingFieldsAreExcludedOnRequest) {
+  RunnerOptions opts;
+  opts.threads = 2;
+  CampaignRunner runner(opts);
+  const CampaignResult result = runner.run(small_campaign());
+  const std::string timed = result.to_json(2, true);
+  const std::string bare = result.to_json(2, false);
+  EXPECT_NE(timed.find("wall_ms"), std::string::npos);
+  EXPECT_NE(timed.find("timing"), std::string::npos);
+  EXPECT_EQ(bare.find("wall_ms"), std::string::npos);
+  EXPECT_EQ(bare.find("timing"), std::string::npos);
+  EXPECT_EQ(bare.find("timed_out"), std::string::npos);
+}
+
+TEST(CampaignRunner, AggregatesCountersAndHistogramsExactly) {
+  RunnerOptions opts;
+  opts.threads = 4;
+  CampaignRunner runner(opts);
+  const CampaignResult result = runner.run(small_campaign());
+  // Aggregate delay histogram holds exactly the union of the per-job
+  // raw histograms.
+  std::uint64_t expected = 0;
+  for (const auto& j : result.jobs) expected += j.raw_hists.at("delay").count();
+  ASSERT_TRUE(result.aggregate_hists.count("switch.delay"));
+  EXPECT_EQ(result.aggregate_hists.at("switch.delay").count(), expected);
+  EXPECT_GT(expected, 0u);
+}
+
+// ---- runner: retry and failure capture ------------------------------------
+
+TEST(CampaignRunner, RetriesFailedJobsViaExecutorHook) {
+  CampaignSpec spec;
+  spec.name = "retry";
+  spec.loads = {0.1, 0.2, 0.3};
+  std::atomic<int> attempts_of_job1{0};
+  RunnerOptions opts;
+  opts.threads = 2;
+  opts.max_attempts = 3;
+  opts.executor = [&](const JobSpec& j) {
+    if (j.index == 1 && attempts_of_job1.fetch_add(1) < 2)
+      throw std::runtime_error("transient failure");
+    JobResult r;
+    r.ok = true;
+    r.metrics["throughput"] = j.load;
+    return r;
+  };
+  CampaignRunner runner(opts);
+  const CampaignResult result = runner.run(spec);
+  EXPECT_EQ(result.failed_jobs(), 0u);
+  EXPECT_EQ(result.jobs[1].attempts, 3);  // two failures, then success
+  EXPECT_EQ(result.jobs[0].attempts, 1);
+  EXPECT_DOUBLE_EQ(result.jobs[1].metrics.at("throughput"), 0.2);
+}
+
+TEST(CampaignRunner, ExhaustedRetriesMarkTheJobFailed) {
+  CampaignSpec spec;
+  spec.name = "fail";
+  spec.loads = {0.1, 0.2};
+  RunnerOptions opts;
+  opts.threads = 2;
+  opts.max_attempts = 2;
+  opts.executor = [](const JobSpec& j) -> JobResult {
+    if (j.index == 0) throw std::runtime_error("persistent failure");
+    JobResult r;
+    r.ok = true;
+    return r;
+  };
+  CampaignRunner runner(opts);
+  const CampaignResult result = runner.run(spec);
+  EXPECT_EQ(result.failed_jobs(), 1u);
+  EXPECT_FALSE(result.jobs[0].ok);
+  EXPECT_EQ(result.jobs[0].attempts, 2);
+  EXPECT_EQ(result.jobs[0].error, "persistent failure");
+  EXPECT_TRUE(result.jobs[1].ok);
+  // A failed job still serializes (ok=false, error filled in).
+  const std::string doc = result.to_json(2, false);
+  EXPECT_NE(doc.find("persistent failure"), std::string::npos);
+}
+
+// ---- campaign_compare ------------------------------------------------------
+
+CampaignResult synthetic_campaign(double throughput, double delay,
+                                  bool drop_last = false, bool fail_last = false) {
+  CampaignSpec spec;
+  spec.name = "gate";
+  spec.loads = {0.3, 0.7};
+  const auto jobs = spec.expand();
+  CampaignResult result;
+  result.name = spec.name;
+  result.campaign_seed = spec.campaign_seed;
+  for (const auto& j : jobs) {
+    if (drop_last && j.index + 1 == jobs.size()) continue;
+    JobResult r;
+    r.spec = j;
+    r.ok = !(fail_last && j.index + 1 == jobs.size());
+    r.attempts = 1;
+    r.metrics["throughput"] = throughput;
+    r.metrics["mean_delay"] = delay;
+    r.metrics["p99_delay"] = delay * 3.0;
+    result.jobs.push_back(std::move(r));
+  }
+  return result;
+}
+
+TEST(CampaignCompare, IdenticalDocumentsPass) {
+  const std::string doc = synthetic_campaign(0.8, 10.0).to_json(2, false);
+  const auto report = compare_campaigns(doc, doc);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.jobs_compared, 2u);
+  EXPECT_GT(report.metrics_compared, 0u);
+}
+
+TEST(CampaignCompare, SmallNoiseWithinTolerancePasses) {
+  const std::string base = synthetic_campaign(0.80, 10.0).to_json(2, false);
+  const std::string cand = synthetic_campaign(0.795, 10.1).to_json(2, false);
+  EXPECT_TRUE(compare_campaigns(base, cand).ok());
+}
+
+TEST(CampaignCompare, FivePercentThroughputDropFails) {
+  const std::string base = synthetic_campaign(0.80, 10.0).to_json(2, false);
+  const std::string cand = synthetic_campaign(0.76, 10.0).to_json(2, false);
+  const auto report = compare_campaigns(base, cand);
+  EXPECT_FALSE(report.ok());
+  ASSERT_FALSE(report.regressions.empty());
+  EXPECT_EQ(report.regressions[0].metric, "throughput");
+}
+
+TEST(CampaignCompare, LatencyRiseBeyondToleranceFails) {
+  const std::string base = synthetic_campaign(0.80, 10.0).to_json(2, false);
+  const std::string cand = synthetic_campaign(0.80, 12.0).to_json(2, false);
+  const auto report = compare_campaigns(base, cand);
+  EXPECT_FALSE(report.ok());
+  bool latency_flagged = false;
+  for (const auto& r : report.regressions)
+    latency_flagged |= r.metric == "mean_delay" || r.metric == "p99_delay";
+  EXPECT_TRUE(latency_flagged);
+}
+
+TEST(CampaignCompare, NearZeroLatencyDustIsNotGated) {
+  // 0.5 -> 0.65 cycles is within the absolute slack even though it is
+  // +30% relative (applies to p99 = 3x the mean as well).
+  const std::string base = synthetic_campaign(0.80, 0.5).to_json(2, false);
+  const std::string cand = synthetic_campaign(0.80, 0.65).to_json(2, false);
+  EXPECT_TRUE(compare_campaigns(base, cand).ok());
+}
+
+TEST(CampaignCompare, MissingAndFailedJobsAreRegressions) {
+  const std::string base = synthetic_campaign(0.8, 10.0).to_json(2, false);
+  const std::string dropped =
+      synthetic_campaign(0.8, 10.0, /*drop_last=*/true).to_json(2, false);
+  const auto m = compare_campaigns(base, dropped);
+  EXPECT_FALSE(m.ok());
+  EXPECT_EQ(m.regressions[0].metric, "missing");
+
+  const std::string failed =
+      synthetic_campaign(0.8, 10.0, false, /*fail_last=*/true)
+          .to_json(2, false);
+  const auto f = compare_campaigns(base, failed);
+  EXPECT_FALSE(f.ok());
+  EXPECT_EQ(f.regressions[0].metric, "job_failed");
+}
+
+TEST(CampaignCompare, WiderToleranceAcceptsTheSameDrop) {
+  const std::string base = synthetic_campaign(0.80, 10.0).to_json(2, false);
+  const std::string cand = synthetic_campaign(0.76, 10.0).to_json(2, false);
+  CompareOptions loose;
+  loose.tolerance = 0.10;
+  EXPECT_TRUE(compare_campaigns(base, cand, loose).ok());
+}
+
+}  // namespace
+}  // namespace osmosis::exec

@@ -225,5 +225,98 @@ TEST(ReorderDetector, FlowsAreIndependent) {
   EXPECT_FALSE(d.deliver(0, 1, 0));  // different flow, fresh sequence
 }
 
+// ---- Histogram::merge (exact shard aggregation for the campaign runner)
+
+TEST(HistogramMerge, MatchesSingleHistogramBinForBin) {
+  // Two shards of one sample stream must merge into exactly the
+  // histogram the full stream produces: same counts, same quantiles.
+  Histogram full(64.0, 1.1), a(64.0, 1.1), b(64.0, 1.1);
+  Rng rng(0xABCDEF);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.uniform() * 500.0;
+    full.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), full.count());
+  // The parallel mean/variance combine reassociates the sums, so allow
+  // last-bit float differences against the sequential accumulation.
+  EXPECT_NEAR(a.mean(), full.mean(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), full.min());
+  EXPECT_DOUBLE_EQ(a.max(), full.max());
+  for (double q : {0.1, 0.5, 0.9, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(a.quantile(q), full.quantile(q)) << "q=" << q;
+}
+
+TEST(HistogramMerge, BucketsAlignAcrossDifferentRanges) {
+  // Shards that populated different bin ranges: merge must extend the
+  // shorter bin vector, not clip it.
+  Histogram a(8.0, 1.5), b(8.0, 1.5);
+  for (int i = 0; i < 10; ++i) a.add(2.0);     // low bins only
+  for (int i = 0; i < 10; ++i) b.add(5000.0);  // deep geometric bin
+  a.merge(b);
+  EXPECT_EQ(a.count(), 20u);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5000.0);
+  EXPECT_DOUBLE_EQ(a.quantile(1.0), 5000.0);
+  // Low half still resolves to the low samples.
+  EXPECT_LE(a.quantile(0.25), 8.0);
+}
+
+TEST(HistogramMerge, MinMaxAndMeanAfterMerge) {
+  Histogram a, b;
+  a.add(1.0);
+  a.add(3.0);
+  b.add(100.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 100.0);
+  EXPECT_NEAR(a.mean(), (1.0 + 3.0 + 100.0) / 3.0, 1e-12);
+}
+
+TEST(HistogramMerge, EmptyOperands) {
+  Histogram a, b;
+  a.add(4.0);
+  a.merge(b);  // merging empty is a no-op
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  Histogram c;
+  c.merge(a);  // merging into empty adopts the other's contents
+  EXPECT_EQ(c.count(), 1u);
+  EXPECT_DOUBLE_EQ(c.min(), 4.0);
+  EXPECT_DOUBLE_EQ(c.max(), 4.0);
+}
+
+TEST(HistogramMerge, MergeOrderInvariant) {
+  // a.merge(b) and b.merge(a) agree — required for deterministic
+  // aggregation regardless of which shard is the accumulator.
+  Histogram a1(64.0, 1.1), b1(64.0, 1.1), a2(64.0, 1.1), b2(64.0, 1.1);
+  Rng rng(0x5EED);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform() * 300.0;
+    if (i % 3) {
+      a1.add(x);
+      a2.add(x);
+    } else {
+      b1.add(x);
+      b2.add(x);
+    }
+  }
+  a1.merge(b1);
+  b2.merge(a2);
+  EXPECT_EQ(a1.count(), b2.count());
+  EXPECT_DOUBLE_EQ(a1.mean(), b2.mean());
+  EXPECT_DOUBLE_EQ(a1.p50(), b2.p50());
+  EXPECT_DOUBLE_EQ(a1.p99(), b2.p99());
+}
+
+TEST(HistogramMergeDeathTest, RejectsMismatchedBinShape) {
+  Histogram a(64.0, 1.1), b(8.0, 1.5);
+  a.add(1.0);
+  b.add(1.0);
+  EXPECT_DEATH(a.merge(b), "merge");
+}
+
 }  // namespace
 }  // namespace osmosis::sim

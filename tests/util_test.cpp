@@ -111,5 +111,83 @@ TEST(Cli, Defaults) {
   EXPECT_FALSE(cli.has("missing"));
 }
 
+TEST(Cli, StrictIntParsing) {
+  long long v = 0;
+  std::string err;
+  EXPECT_TRUE(parse_strict_int("42", &v, &err));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(parse_strict_int("-7", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_TRUE(parse_strict_int("0x1f", &v));  // hex accepted (base 0)
+  EXPECT_EQ(v, 31);
+  EXPECT_FALSE(parse_strict_int("", &v, &err));
+  EXPECT_FALSE(parse_strict_int("12abc", &v, &err));  // trailing junk
+  EXPECT_FALSE(parse_strict_int("1.5", &v, &err));
+  EXPECT_FALSE(parse_strict_int("99999999999999999999", &v, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(Cli, StrictDoubleParsing) {
+  double v = 0.0;
+  EXPECT_TRUE(parse_strict_double("0.85", &v));
+  EXPECT_DOUBLE_EQ(v, 0.85);
+  EXPECT_TRUE(parse_strict_double("1e-3", &v));
+  EXPECT_DOUBLE_EQ(v, 1e-3);
+  EXPECT_FALSE(parse_strict_double("", &v));
+  EXPECT_FALSE(parse_strict_double("0.5x", &v));
+  EXPECT_FALSE(parse_strict_double("load", &v));
+}
+
+TEST(Cli, IntListParsing) {
+  std::vector<long long> v;
+  EXPECT_TRUE(parse_int_list("1,2,8", &v));
+  EXPECT_EQ(v, (std::vector<long long>{1, 2, 8}));
+  EXPECT_TRUE(parse_int_list("64", &v));
+  EXPECT_EQ(v, (std::vector<long long>{64}));
+  std::string err;
+  EXPECT_FALSE(parse_int_list("", &v, &err));
+  EXPECT_FALSE(parse_int_list("1,,2", &v, &err));   // empty item
+  EXPECT_FALSE(parse_int_list("1,2,", &v, &err));   // trailing comma
+  EXPECT_FALSE(parse_int_list("1,two", &v, &err));  // malformed item
+  EXPECT_NE(err.find("two"), std::string::npos);
+}
+
+TEST(Cli, DoubleListParsing) {
+  std::vector<double> v;
+  EXPECT_TRUE(parse_double_list("0.1,0.5,0.9", &v));
+  EXPECT_EQ(v, (std::vector<double>{0.1, 0.5, 0.9}));
+  EXPECT_FALSE(parse_double_list("0.1,oops", &v));
+  EXPECT_FALSE(parse_double_list(",0.1", &v));
+}
+
+TEST(Cli, ListFlagsWithDefaults) {
+  const char* argv[] = {"prog", "--loads=0.1,0.5,0.9", "--receivers=1,2"};
+  Cli cli(3, argv);
+  EXPECT_EQ(cli.get_doubles("loads", {}),
+            (std::vector<double>{0.1, 0.5, 0.9}));
+  EXPECT_EQ(cli.get_ints("receivers", {}),
+            (std::vector<long long>{1, 2}));
+  // Absent key returns the default unchanged.
+  EXPECT_EQ(cli.get_doubles("missing", {0.7}), (std::vector<double>{0.7}));
+  EXPECT_EQ(cli.get_ints("missing", {3, 4}),
+            (std::vector<long long>{3, 4}));
+}
+
+using CliDeathTest = ::testing::Test;
+
+TEST(CliDeathTest, MalformedIntExitsWithUsageError) {
+  const char* argv[] = {"prog", "--ports=sixty-four"};
+  Cli cli(2, argv);
+  EXPECT_EXIT(cli.get_int("ports", 0), ::testing::ExitedWithCode(2),
+              "--ports");
+}
+
+TEST(CliDeathTest, MalformedListExitsWithUsageError) {
+  const char* argv[] = {"prog", "--loads=0.1,,0.9"};
+  Cli cli(2, argv);
+  EXPECT_EXIT(cli.get_doubles("loads", {}), ::testing::ExitedWithCode(2),
+              "--loads");
+}
+
 }  // namespace
 }  // namespace osmosis::util
