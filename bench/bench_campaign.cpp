@@ -6,6 +6,8 @@
 //   bench_campaign [--threads=N] [--slots=S] [--loads=a,b,c]
 //                  [--receivers=1,2,4] [--seed=S] [--json=<path>]
 //                  [--timing=false] [--smoke]
+//                  [--checkpoint-dir=DIR] [--checkpoint-every=N]
+//                  [--resume=DIR]
 //
 // --threads=0 (default) uses every hardware thread; results are
 // byte-identical at any thread count because each job's seed derives
@@ -14,8 +16,16 @@
 // --smoke runs the small fixed campaign whose output is committed as
 // bench/baselines/campaign_smoke.json; scripts/check.sh re-runs it and
 // holds the fresh document against the baseline with campaign_compare.
+//
+// --checkpoint-dir=DIR snapshots each in-flight job every
+// --checkpoint-every=N steps and records finished jobs, so a killed
+// campaign resumes with --resume=DIR: completed jobs load verbatim,
+// interrupted jobs restore mid-flight, and the final document is
+// byte-identical (with --timing=false) to an uninterrupted run. See
+// DESIGN.md §10.
 
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 
@@ -69,6 +79,22 @@ int main(int argc, char** argv) {
 
   exec::RunnerOptions opts;
   opts.threads = static_cast<unsigned>(cli.get_int("threads", 0));
+  const std::string resume_dir = cli.get_path("resume", "");
+  opts.checkpoint.dir = resume_dir.empty()
+                            ? cli.get_path("checkpoint-dir", "")
+                            : resume_dir;
+  opts.checkpoint.every =
+      static_cast<std::uint64_t>(cli.get_int("checkpoint-every", 0));
+  opts.checkpoint.resume = !resume_dir.empty();
+  if (!opts.checkpoint.dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(opts.checkpoint.dir, ec);
+    if (ec) {
+      std::cerr << "error: cannot create checkpoint dir "
+                << opts.checkpoint.dir << ": " << ec.message() << "\n";
+      return 1;
+    }
+  }
 
   std::cout << "campaign '" << spec.name << "': " << spec.job_count()
             << " jobs\n";
@@ -106,7 +132,7 @@ int main(int argc, char** argv) {
   }
 
   if (cli.has("json")) {
-    const std::string path = cli.get("json", "");
+    const std::string path = cli.get_path("json", "");
     const bool timing = cli.get_bool("timing", true);
     std::ofstream out(path);
     if (!(out << result.to_json(2, timing) << "\n")) {

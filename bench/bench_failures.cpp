@@ -188,7 +188,7 @@ int main(int argc, char** argv) {
           return s.fault == exec::FaultScenario::kCombined;
         });
     if (combined && combined->ok) {
-      const std::string path = cli.get("json", "");
+      const std::string path = cli.get_path("json", "");
       std::ofstream out(path);
       if (!(out << combined->report.to_json() << "\n")) {
         std::cerr << "cannot write " << path << "\n";

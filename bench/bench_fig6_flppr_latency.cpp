@@ -63,7 +63,7 @@ void emit_report(const util::Cli& cli, const char* figure, double load,
   report.info["figure"] = figure;
   const std::string json = report.to_json();
   if (cli.has("json")) {
-    const std::string path = cli.get("json", "");
+    const std::string path = cli.get_path("json", "");
     std::ofstream out(path);
     if (!(out << json << "\n")) {
       std::cerr << "error: cannot write RunReport to " << path << "\n";

@@ -65,7 +65,7 @@ void emit_report(const util::Cli& cli, std::uint64_t slots) {
   report.info["figure"] = "fig7";
   const std::string json = report.to_json();
   if (cli.has("json")) {
-    const std::string path = cli.get("json", "");
+    const std::string path = cli.get_path("json", "");
     std::ofstream out(path);
     if (!(out << json << "\n")) {
       std::cerr << "error: cannot write RunReport to " << path << "\n";

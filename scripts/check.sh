@@ -3,10 +3,14 @@
 # telemetry tour example and check that its RunReport JSON carries every
 # key the osmosis.run_report.v1 schema promises, run the smoke campaign
 # and hold it against the committed perf baseline with campaign_compare,
-# then rebuild under ASan+UBSan (failure/fault tests — mid-run
-# structural changes where memory bugs hide) and under TSan (the exec
-# tests plus a multi-threaded smoke campaign — the campaign runner's
-# worker pool is the only concurrency in the tree).
+# SIGKILL a checkpointing smoke campaign mid-flight and prove the
+# resumed document is byte-identical to the uninterrupted run (plus a
+# ckpt_verify divergence replay of any surviving state file), then
+# rebuild under ASan+UBSan (failure/fault/checkpoint tests — mid-run
+# structural changes and raw-byte deserialization, where memory bugs
+# hide) and under TSan (the exec tests plus a multi-threaded smoke
+# campaign — the campaign runner's worker pool is the only concurrency
+# in the tree).
 #
 #   scripts/check.sh [build-dir]    (default: build)
 
@@ -56,14 +60,47 @@ echo "== campaign determinism: 1 thread vs 8 threads =="
 cmp "$build/campaign_smoke_t1.json" "$build/campaign_smoke_t8.json"
 echo "byte-identical at 1 and 8 threads"
 
+echo "== kill-and-resume: SIGKILL mid-campaign, resume, byte-diff =="
+ck_dir="$build/ckpt_smoke"
+rm -rf "$ck_dir"
+# Start the checkpointing smoke campaign and SIGKILL it mid-flight. A
+# tiny --checkpoint-every keeps state files fresh so the kill always
+# lands with work outstanding.
+"$build/bench/bench_campaign" --smoke --timing=false \
+  --checkpoint-dir="$ck_dir" --checkpoint-every=200 \
+  --json="$build/campaign_killed.json" > /dev/null 2>&1 &
+victim=$!
+sleep 0.3
+kill -9 "$victim" 2> /dev/null || true
+wait "$victim" 2> /dev/null || true
+
+echo "== divergence-checking replay on surviving state files =="
+# Before the resume consumes them: restore each mid-flight snapshot,
+# replay the same job from scratch, and walk both in lockstep.
+found_state=0
+for f in "$ck_dir"/job_*.state.ckpt; do
+  [ -e "$f" ] || continue
+  found_state=1
+  "$build/bench/ckpt_verify" --state="$f" --stride=500
+done
+if [ "$found_state" = 0 ]; then
+  echo "note: the kill landed between checkpoints (no state file to replay)"
+fi
+
+"$build/bench/bench_campaign" --smoke --timing=false \
+  --resume="$ck_dir" --checkpoint-every=200 \
+  --json="$build/campaign_resumed.json" > /dev/null
+cmp "$build/campaign_smoke_t1.json" "$build/campaign_resumed.json"
+echo "resumed document byte-identical to the uninterrupted run"
+
 echo "== sanitizer build (ASan + UBSan) =="
 san_build="$repo/build-asan"
 cmake -B "$san_build" -S "$repo" -DOSMOSIS_SANITIZE=ON
 cmake --build "$san_build" -j "$(nproc)" \
-  --target failures_test faults_test arq_test fec_test
+  --target failures_test faults_test arq_test fec_test ckpt_test
 
-echo "== sanitizer run: failure & fault-injection tests =="
-for t in failures_test faults_test arq_test fec_test; do
+echo "== sanitizer run: failure, fault-injection & checkpoint tests =="
+for t in failures_test faults_test arq_test fec_test ckpt_test; do
   echo "-- $t"
   "$san_build/tests/$t" --gtest_brief=1
 done

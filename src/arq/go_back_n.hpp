@@ -15,6 +15,7 @@
 #include <deque>
 #include <vector>
 
+#include "src/ckpt/archive.hpp"
 #include "src/sim/rng.hpp"
 
 namespace osmosis::arq {
@@ -83,6 +84,15 @@ class GoBackNLink {
 
   GoBackNParams p_;
   sim::Rng rng_;
+
+ public:
+  /// Checkpoint serialization: between run_saturated calls the only
+  /// carried state is the PRNG (the in-flight/ack queues are locals of
+  /// one run); params are construction-time config.
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, rng_);
+  }
 };
 
 }  // namespace osmosis::arq

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/ckpt/archive.hpp"
 #include "src/sim/rng.hpp"
 
 namespace osmosis::arq {
@@ -55,6 +56,17 @@ class ReliableControlChannel {
   }
   const std::vector<std::uint64_t>& scheduler_counters() const {
     return scheduler_;
+  }
+
+  /// Checkpoint serialization: the ARQ window position (sent/applied
+  /// sequence numbers), both counter views, and the roll stream.
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, adapter_);
+    ckpt::field(a, scheduler_);
+    ckpt::field(a, seq_sent_);
+    ckpt::field(a, seq_applied_);
+    ckpt::field(a, rng_);
   }
 
  private:

@@ -1,0 +1,147 @@
+#include "src/ckpt/ckpt.hpp"
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace osmosis::ckpt {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+void append_u32(std::string& out, std::uint32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view bytes) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (unsigned char b : bytes) c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+void Writer::add_chunk(std::string name, std::string payload) {
+  chunks_.emplace_back(std::move(name), std::move(payload));
+}
+
+std::string Writer::serialize() const {
+  std::string out;
+  out.append(kMagic.data(), kMagic.size());
+  append_u64(out, chunks_.size());
+  for (const auto& [name, payload] : chunks_) {
+    append_u32(out, static_cast<std::uint32_t>(name.size()));
+    out.append(name);
+    append_u64(out, payload.size());
+    out.append(payload);
+  }
+  append_u32(out, crc32(out));
+  return out;
+}
+
+void Writer::write_file(const std::string& path) const {
+  const std::string bytes = serialize();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out || !out.write(bytes.data(),
+                           static_cast<std::streamsize>(bytes.size()))) {
+      throw Error("cannot write checkpoint file " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw Error("cannot rename checkpoint file " + tmp + " -> " + path);
+  }
+}
+
+Reader Reader::from_bytes(std::string bytes) {
+  Reader r;
+  r.bytes_ = std::move(bytes);
+  const std::string& b = r.bytes_;
+
+  if (b.size() < kMagic.size() + sizeof(std::uint64_t) + sizeof(std::uint32_t))
+    throw Error("checkpoint too small to be valid");
+  if (std::string_view(b.data(), kMagic.size()) != kMagic)
+    throw Error("checkpoint magic mismatch (not an osmosis.ckpt.v1 file)");
+
+  // Checksum covers everything before the trailing u32; validate it
+  // before trusting any length field.
+  const std::size_t body_size = b.size() - sizeof(std::uint32_t);
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, b.data() + body_size, sizeof stored);
+  if (crc32(std::string_view(b.data(), body_size)) != stored)
+    throw Error("checkpoint checksum mismatch (corrupted or truncated)");
+
+  std::size_t pos = kMagic.size();
+  const auto need = [&](std::size_t n) {
+    if (body_size - pos < n) throw Error("checkpoint structure overruns");
+  };
+  need(sizeof(std::uint64_t));
+  std::uint64_t count = 0;
+  std::memcpy(&count, b.data() + pos, sizeof count);
+  pos += sizeof count;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    need(sizeof(std::uint32_t));
+    std::uint32_t name_len = 0;
+    std::memcpy(&name_len, b.data() + pos, sizeof name_len);
+    pos += sizeof name_len;
+    need(name_len);
+    std::string name(b.data() + pos, name_len);
+    pos += name_len;
+    need(sizeof(std::uint64_t));
+    std::uint64_t payload_len = 0;
+    std::memcpy(&payload_len, b.data() + pos, sizeof payload_len);
+    pos += sizeof payload_len;
+    need(static_cast<std::size_t>(payload_len));
+    for (const auto& e : r.index_)
+      if (e.name == name) throw Error("duplicate checkpoint chunk: " + name);
+    r.index_.push_back({std::move(name), pos,
+                        static_cast<std::size_t>(payload_len)});
+    pos += static_cast<std::size_t>(payload_len);
+  }
+  if (pos != body_size)
+    throw Error("checkpoint has trailing bytes after last chunk");
+  return r;
+}
+
+Reader Reader::from_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open checkpoint file " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof())
+    throw Error("cannot read checkpoint file " + path);
+  return from_bytes(std::move(buf).str());
+}
+
+bool Reader::has(std::string_view name) const {
+  for (const auto& e : index_)
+    if (e.name == name) return true;
+  return false;
+}
+
+Source Reader::chunk(std::string_view name) const {
+  for (const auto& e : index_)
+    if (e.name == name)
+      return Source(std::string_view(bytes_.data() + e.offset, e.size));
+  throw Error("checkpoint is missing chunk: " + std::string(name));
+}
+
+}  // namespace osmosis::ckpt

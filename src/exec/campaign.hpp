@@ -79,6 +79,27 @@ struct JobSpec {
   /// "switch/flppr/K0/earliest/N64/R2/uniform/load0.700/none/rep0".
   /// campaign_compare matches jobs across documents by this label.
   std::string label() const;
+
+  /// Checkpoint serialization: every axis value, so a resume can verify
+  /// a state/done file belongs to the grid point it is about to skip.
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, index);
+    ckpt::field(a, sim);
+    ckpt::field(a, scheduler);
+    ckpt::field(a, iterations);
+    ckpt::field(a, policy);
+    ckpt::field(a, ports);
+    ckpt::field(a, receivers);
+    ckpt::field(a, traffic);
+    ckpt::field(a, mean_burst);
+    ckpt::field(a, load);
+    ckpt::field(a, fault);
+    ckpt::field(a, repetition);
+    ckpt::field(a, seed);
+    ckpt::field(a, warmup_slots);
+    ckpt::field(a, measure_slots);
+  }
 };
 
 /// SplitMix64-based per-job seed: mixes the campaign seed and the job

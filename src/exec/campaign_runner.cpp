@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <mutex>
 
 #include "src/exec/thread_pool.hpp"
@@ -35,28 +36,46 @@ std::unique_ptr<sim::TrafficGen> make_traffic(const JobSpec& j, int ports) {
   return sim::make_uniform(ports, j.load, j.seed);
 }
 
-JobResult run_switch_job(const JobSpec& j) {
-  sw::SwitchSimConfig cfg;
-  cfg.ports = j.ports;
-  cfg.sched.kind = j.scheduler;
-  cfg.sched.receivers = j.receivers;
-  cfg.sched.iterations = j.iterations;
-  cfg.sched.flppr_policy = j.policy;
-  cfg.warmup_slots = j.warmup_slots;
-  cfg.measure_slots = j.measure_slots;
-  cfg.telemetry.enabled = true;
-  cfg.telemetry.sample_every = 4;
-  const bool faulty = j.fault != FaultScenario::kNone;
-  if (faulty) {
-    cfg.fault_plan = make_fault_plan(j.fault, j.warmup_slots, j.measure_slots);
-    cfg.fault_plan.seeded(j.seed ^ 0x0FA7'17ULL);
+class SwitchJobDriver final : public JobDriver {
+ public:
+  explicit SwitchJobDriver(const JobSpec& j)
+      : faulty_(j.fault != FaultScenario::kNone) {
+    sw::SwitchSimConfig cfg;
+    cfg.ports = j.ports;
+    cfg.sched.kind = j.scheduler;
+    cfg.sched.receivers = j.receivers;
+    cfg.sched.iterations = j.iterations;
+    cfg.sched.flppr_policy = j.policy;
+    cfg.warmup_slots = j.warmup_slots;
+    cfg.measure_slots = j.measure_slots;
+    cfg.telemetry.enabled = true;
+    cfg.telemetry.sample_every = 4;
+    if (faulty_) {
+      cfg.fault_plan =
+          make_fault_plan(j.fault, j.warmup_slots, j.measure_slots);
+      cfg.fault_plan.seeded(j.seed ^ 0x0FA7'17ULL);
+    }
+    // The drain phase runs with arrivals off after the measurement
+    // window, so it never shifts the measured stats — always enable it
+    // and carry the exactly-once verdict for every job.
+    cfg.drain_max_slots = 50'000;
+    sim_ = std::make_unique<sw::SwitchSim>(cfg, make_traffic(j, cfg.ports));
   }
-  // The drain phase runs with arrivals off after the measurement window,
-  // so it never shifts the measured stats — always enable it and carry
-  // the exactly-once verdict for every job.
-  cfg.drain_max_slots = 50'000;
-  sw::SwitchSim sim(cfg, make_traffic(j, cfg.ports));
-  const auto r = sim.run();
+
+  bool advance() override { return sim_->advance_slot(); }
+  void save(ckpt::Writer& w) const override { sim_->save_state(w); }
+  void load(const ckpt::Reader& r) override { sim_->load_state(r); }
+  JobResult finalize() override;
+
+ private:
+  bool faulty_;
+  std::unique_ptr<sw::SwitchSim> sim_;
+};
+
+JobResult SwitchJobDriver::finalize() {
+  const auto r = sim_->finalize();
+  auto& sim = *sim_;
+  const bool faulty = faulty_;
 
   JobResult out;
   out.metrics["throughput"] = r.throughput;
@@ -84,24 +103,41 @@ JobResult run_switch_job(const JobSpec& j) {
   return out;
 }
 
-JobResult run_event_switch_job(const JobSpec& j) {
-  sw::EventSwitchConfig cfg;
-  cfg.ports = j.ports;
-  cfg.sched.kind = j.scheduler;
-  cfg.sched.receivers = j.receivers;
-  cfg.sched.iterations = j.iterations;
-  cfg.sched.flppr_policy = j.policy;
-  cfg.warmup_ns = static_cast<double>(j.warmup_slots) * cfg.cell_ns;
-  cfg.measure_ns = static_cast<double>(j.measure_slots) * cfg.cell_ns;
-  cfg.telemetry.enabled = true;
-  cfg.telemetry.sample_every = 4;
-  if (j.fault != FaultScenario::kNone) {
-    cfg.fault_plan = make_fault_plan(j.fault, j.warmup_slots, j.measure_slots);
-    cfg.fault_plan.seeded(j.seed ^ 0x0FA7'17ULL);
-    cfg.drain_max_cycles = 50'000;
+class EventSwitchJobDriver final : public JobDriver {
+ public:
+  explicit EventSwitchJobDriver(const JobSpec& j) {
+    sw::EventSwitchConfig cfg;
+    cfg.ports = j.ports;
+    cfg.sched.kind = j.scheduler;
+    cfg.sched.receivers = j.receivers;
+    cfg.sched.iterations = j.iterations;
+    cfg.sched.flppr_policy = j.policy;
+    cfg.warmup_ns = static_cast<double>(j.warmup_slots) * cfg.cell_ns;
+    cfg.measure_ns = static_cast<double>(j.measure_slots) * cfg.cell_ns;
+    cfg.telemetry.enabled = true;
+    cfg.telemetry.sample_every = 4;
+    if (j.fault != FaultScenario::kNone) {
+      cfg.fault_plan =
+          make_fault_plan(j.fault, j.warmup_slots, j.measure_slots);
+      cfg.fault_plan.seeded(j.seed ^ 0x0FA7'17ULL);
+      cfg.drain_max_cycles = 50'000;
+    }
+    sim_ = std::make_unique<sw::EventSwitchSim>(cfg,
+                                                make_traffic(j, cfg.ports));
   }
-  sw::EventSwitchSim sim(cfg, make_traffic(j, cfg.ports));
-  const auto r = sim.run();
+
+  bool advance() override { return sim_->advance(); }
+  void save(ckpt::Writer& w) const override { sim_->save_state(w); }
+  void load(const ckpt::Reader& r) override { sim_->load_state(r); }
+  JobResult finalize() override;
+
+ private:
+  std::unique_ptr<sw::EventSwitchSim> sim_;
+};
+
+JobResult EventSwitchJobDriver::finalize() {
+  const auto r = sim_->finalize();
+  auto& sim = *sim_;
 
   JobResult out;
   out.metrics["throughput"] = r.throughput;
@@ -118,26 +154,42 @@ JobResult run_event_switch_job(const JobSpec& j) {
   return out;
 }
 
-JobResult run_fabric_job(const JobSpec& j) {
-  fabric::FabricSimConfig cfg;
-  cfg.radix = j.ports;
-  cfg.scheduler = j.scheduler;
-  cfg.scheduler_iterations = j.iterations;
-  cfg.warmup_slots = j.warmup_slots;
-  cfg.measure_slots = j.measure_slots;
-  cfg.telemetry.enabled = true;
-  cfg.telemetry.sample_every = 4;
-  if (j.fault != FaultScenario::kNone) {
-    cfg.fault_plan = make_fault_plan(j.fault, j.warmup_slots, j.measure_slots);
-    cfg.fault_plan.seeded(j.seed ^ 0x0FA7'17ULL);
-    cfg.drain_max_slots = 50'000;
+class FabricJobDriver final : public JobDriver {
+ public:
+  explicit FabricJobDriver(const JobSpec& j) {
+    fabric::FabricSimConfig cfg;
+    cfg.radix = j.ports;
+    cfg.scheduler = j.scheduler;
+    cfg.scheduler_iterations = j.iterations;
+    cfg.warmup_slots = j.warmup_slots;
+    cfg.measure_slots = j.measure_slots;
+    cfg.telemetry.enabled = true;
+    cfg.telemetry.sample_every = 4;
+    if (j.fault != FaultScenario::kNone) {
+      cfg.fault_plan =
+          make_fault_plan(j.fault, j.warmup_slots, j.measure_slots);
+      cfg.fault_plan.seeded(j.seed ^ 0x0FA7'17ULL);
+      cfg.drain_max_slots = 50'000;
+    }
+    const int hosts = cfg.radix * cfg.radix / 2;
+    sim_ = std::make_unique<fabric::FabricSim>(
+        cfg, j.traffic == TrafficKind::kBursty
+                 ? sim::make_bursty(hosts, j.load, j.mean_burst, j.seed)
+                 : sim::make_uniform(hosts, j.load, j.seed));
   }
-  const int hosts = cfg.radix * cfg.radix / 2;
-  fabric::FabricSim sim(cfg, j.traffic == TrafficKind::kBursty
-                                 ? sim::make_bursty(hosts, j.load,
-                                                    j.mean_burst, j.seed)
-                                 : sim::make_uniform(hosts, j.load, j.seed));
-  const auto r = sim.run();
+
+  bool advance() override { return sim_->advance_slot(); }
+  void save(ckpt::Writer& w) const override { sim_->save_state(w); }
+  void load(const ckpt::Reader& r) override { sim_->load_state(r); }
+  JobResult finalize() override;
+
+ private:
+  std::unique_ptr<fabric::FabricSim> sim_;
+};
+
+JobResult FabricJobDriver::finalize() {
+  const auto r = sim_->finalize();
+  auto& sim = *sim_;
 
   JobResult out;
   out.metrics["throughput"] = r.throughput;
@@ -152,15 +204,184 @@ JobResult run_fabric_job(const JobSpec& j) {
   return out;
 }
 
+// Serialized-spec equality: two JobSpecs match iff every axis value
+// matches, byte for byte.
+std::string spec_bytes(const JobSpec& spec) {
+  ckpt::Sink s;
+  ckpt::field(s, const_cast<JobSpec&>(spec));
+  return s.take();
+}
+
+void write_spec_chunk(ckpt::Writer& w, const JobSpec& spec) {
+  w.add_chunk("job.spec", spec_bytes(spec));
+}
+
+void require_spec_match(const ckpt::Reader& r, const JobSpec& expected) {
+  ckpt::Source s = r.chunk("job.spec");
+  JobSpec seen;
+  ckpt::field(s, seen);
+  s.expect_end();
+  if (spec_bytes(seen) != spec_bytes(expected))
+    throw ckpt::Error("checkpoint belongs to a different job (found '" +
+                      seen.label() + "')");
+}
+
+std::string job_state_path(const CheckpointPolicy& ck, std::size_t index) {
+  return ck.dir + "/job_" + std::to_string(index) + ".state.ckpt";
+}
+
+std::string job_done_path(const CheckpointPolicy& ck, std::size_t index) {
+  return ck.dir + "/job_" + std::to_string(index) + ".done.ckpt";
+}
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path, std::ios::binary).good();
+}
+
 }  // namespace
 
-JobResult run_job(const JobSpec& spec) {
-  JobResult out;
+std::unique_ptr<JobDriver> make_job_driver(const JobSpec& spec) {
   switch (spec.sim) {
-    case SimKind::kSwitch: out = run_switch_job(spec); break;
-    case SimKind::kEventSwitch: out = run_event_switch_job(spec); break;
-    case SimKind::kFabric: out = run_fabric_job(spec); break;
+    case SimKind::kSwitch: return std::make_unique<SwitchJobDriver>(spec);
+    case SimKind::kEventSwitch:
+      return std::make_unique<EventSwitchJobDriver>(spec);
+    case SimKind::kFabric: return std::make_unique<FabricJobDriver>(spec);
   }
+  OSMOSIS_REQUIRE(false, "unknown SimKind");
+  return nullptr;
+}
+
+JobResult run_job(const JobSpec& spec) {
+  auto driver = make_job_driver(spec);
+  while (driver->advance()) {
+  }
+  JobResult out = driver->finalize();
+  out.spec = spec;
+  out.ok = true;
+  return out;
+}
+
+JobSpec read_job_spec_chunk(const ckpt::Reader& r) {
+  ckpt::Source s = r.chunk("job.spec");
+  JobSpec spec;
+  ckpt::field(s, spec);
+  s.expect_end();
+  return spec;
+}
+
+std::uint64_t read_job_progress(const ckpt::Reader& r) {
+  std::uint64_t steps = 0;
+  ckpt::read_chunk(r, "job.progress",
+                   [&](ckpt::Source& s) { ckpt::field(s, steps); });
+  return steps;
+}
+
+std::uint32_t job_state_digest(const JobDriver& d) {
+  ckpt::Writer w;
+  d.save(w);
+  return ckpt::crc32(w.serialize());
+}
+
+void write_job_result_file(const JobResult& r, const std::string& path) {
+  ckpt::Writer w;
+  write_spec_chunk(w, r.spec);
+  auto* self = const_cast<JobResult*>(&r);
+  ckpt::write_chunk(w, "job.result", [&](ckpt::Sink& s) {
+    ckpt::field(s, self->ok);
+    ckpt::field(s, self->attempts);
+    ckpt::field(s, self->timed_out);
+    ckpt::field(s, self->error);
+    ckpt::field(s, self->metrics);
+    ckpt::field(s, self->wall_ms);
+  });
+  ckpt::write_chunk(w, "job.report",
+                    [&](ckpt::Sink& s) { ckpt::field(s, self->report); });
+  // Raw histograms carry their bin shape out-of-band so the loader can
+  // construct each one before Histogram::io_state verifies it.
+  ckpt::write_chunk(w, "job.hists", [&](ckpt::Sink& s) {
+    std::uint64_t n = r.raw_hists.size();
+    ckpt::field(s, n);
+    for (auto& [name, h] : self->raw_hists) {
+      std::string key = name;
+      double limit = h.linear_limit();
+      double growth = h.growth();
+      ckpt::field(s, key);
+      ckpt::field(s, limit);
+      ckpt::field(s, growth);
+      ckpt::field(s, h);
+    }
+  });
+  w.write_file(path);
+}
+
+JobResult read_job_result_file(const JobSpec& expected,
+                               const std::string& path) {
+  const ckpt::Reader r = ckpt::Reader::from_file(path);
+  require_spec_match(r, expected);
+  JobResult out;
+  out.spec = expected;
+  ckpt::read_chunk(r, "job.result", [&](ckpt::Source& s) {
+    ckpt::field(s, out.ok);
+    ckpt::field(s, out.attempts);
+    ckpt::field(s, out.timed_out);
+    ckpt::field(s, out.error);
+    ckpt::field(s, out.metrics);
+    ckpt::field(s, out.wall_ms);
+  });
+  ckpt::read_chunk(r, "job.report",
+                   [&](ckpt::Source& s) { ckpt::field(s, out.report); });
+  ckpt::read_chunk(r, "job.hists", [&](ckpt::Source& s) {
+    std::uint64_t n = 0;
+    ckpt::field(s, n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::string key;
+      double limit = 0.0;
+      double growth = 0.0;
+      ckpt::field(s, key);
+      ckpt::field(s, limit);
+      ckpt::field(s, growth);
+      sim::Histogram h(limit, growth);
+      ckpt::field(s, h);
+      out.raw_hists.emplace(std::move(key), std::move(h));
+    }
+  });
+  return out;
+}
+
+JobResult run_job_checkpointed(const JobSpec& spec,
+                               const CheckpointPolicy& ck) {
+  if (ck.dir.empty()) return run_job(spec);
+  const std::string state_path = job_state_path(ck, spec.index);
+  auto driver = make_job_driver(spec);
+  std::uint64_t steps = 0;
+  if (ck.resume && file_exists(state_path)) {
+    try {
+      const ckpt::Reader r = ckpt::Reader::from_file(state_path);
+      require_spec_match(r, spec);
+      steps = read_job_progress(r);
+      driver->load(r);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "[osmosis] warning: ignoring unusable checkpoint %s (%s); "
+                   "re-running job %zu from scratch\n",
+                   state_path.c_str(), e.what(), spec.index);
+      driver = make_job_driver(spec);  // drop any partially loaded state
+      steps = 0;
+    }
+  }
+  while (driver->advance()) {
+    ++steps;
+    if (ck.every > 0 && steps % ck.every == 0) {
+      ckpt::Writer w;
+      write_spec_chunk(w, spec);
+      ckpt::write_chunk(w, "job.progress",
+                        [&](ckpt::Sink& s) { ckpt::field(s, steps); });
+      driver->save(w);
+      w.write_file(state_path);
+      if (ck.on_checkpoint) ck.on_checkpoint(state_path, steps);
+    }
+  }
+  JobResult out = driver->finalize();
   out.spec = spec;
   out.ok = true;
   return out;
@@ -296,7 +517,8 @@ JobResult CampaignRunner::execute_with_retry(const JobSpec& spec) const {
   for (int attempt = 1; attempt <= opts_.max_attempts; ++attempt) {
     const auto t0 = Clock::now();
     try {
-      result = opts_.executor ? opts_.executor(spec) : run_job(spec);
+      result = opts_.executor ? opts_.executor(spec)
+                              : run_job_checkpointed(spec, opts_.checkpoint);
       result.spec = spec;
       result.attempts = attempt;
       result.wall_ms = ms_since(t0);
@@ -329,16 +551,49 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) {
   out.campaign_seed = spec.campaign_seed;
   out.jobs.resize(jobs.size());
 
+  // Resume pass: completed jobs load verbatim from their done files and
+  // never re-run; anything unusable falls through to normal execution.
+  const CheckpointPolicy& ck = opts_.checkpoint;
+  std::vector<char> restored(jobs.size(), 0);
+  if (ck.resume && !ck.dir.empty()) {
+    for (const JobSpec& job : jobs) {
+      const std::string path = job_done_path(ck, job.index);
+      if (!file_exists(path)) continue;
+      try {
+        out.jobs[job.index] = read_job_result_file(job, path);
+        restored[job.index] = 1;
+        if (opts_.on_job_done) opts_.on_job_done(out.jobs[job.index]);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr,
+                     "[osmosis] warning: ignoring unusable checkpoint %s "
+                     "(%s); re-running job %zu from scratch\n",
+                     path.c_str(), e.what(), job.index);
+      }
+    }
+  }
+
   const auto t0 = Clock::now();
   {
     ThreadPool pool(opts_.threads);
     out.threads_used = pool.size();
     std::mutex done_mu;
     for (const JobSpec& job : jobs) {
+      if (restored[job.index]) continue;
       // Each task writes only its own pre-sized slot, so no cross-job
       // synchronization is needed beyond the pool's queue.
-      pool.submit([this, job, &out, &done_mu] {
+      pool.submit([this, job, &out, &done_mu, &ck] {
         JobResult r = execute_with_retry(job);
+        if (!ck.dir.empty() && r.ok) {
+          try {
+            write_job_result_file(r, job_done_path(ck, job.index));
+            std::remove(job_state_path(ck, job.index).c_str());
+          } catch (const std::exception& e) {
+            std::fprintf(stderr,
+                         "[osmosis] warning: cannot write checkpoint for "
+                         "job %zu: %s\n",
+                         job.index, e.what());
+          }
+        }
         if (opts_.on_job_done) {
           std::lock_guard<std::mutex> lock(done_mu);
           opts_.on_job_done(r);

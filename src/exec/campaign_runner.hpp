@@ -25,9 +25,11 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/ckpt/ckpt.hpp"
 #include "src/exec/campaign.hpp"
 #include "src/mgmt/counters.hpp"
 #include "src/sim/stats.hpp"
@@ -52,10 +54,30 @@ struct JobResult {
   double wall_ms = 0.0;
 };
 
+/// Kill-safe campaign checkpointing (DESIGN.md §10). With a non-empty
+/// `dir`, each finished job writes `job_<index>.done.ckpt` (its full
+/// JobResult) and, with `every > 0`, each running job writes
+/// `job_<index>.state.ckpt` snapshots every `every` advance steps. A
+/// rerun with `resume = true` loads done files verbatim, restores
+/// in-flight jobs from their state files, and re-runs from scratch on
+/// any unusable file (stderr warning) — so a SIGKILL at any point costs
+/// work, never correctness: the final campaign JSON is byte-identical
+/// to an uninterrupted run (timing fields excluded).
+struct CheckpointPolicy {
+  std::string dir;          // empty = checkpointing off
+  std::uint64_t every = 0;  // advance steps between state snapshots;
+                            // 0 = completed-job files only
+  bool resume = false;      // consult existing done/state files first
+  // Test hook: observes every state snapshot as it lands on disk.
+  std::function<void(const std::string& path, std::uint64_t step)>
+      on_checkpoint;
+};
+
 struct RunnerOptions {
   unsigned threads = 0;     // 0 = hardware_concurrency
   int max_attempts = 2;     // retries per job on a captured exception
   double job_timeout_ms = 0.0;  // 0 = no limit; exceeding flags the job
+  CheckpointPolicy checkpoint;
   // Test/extension hook: replaces the built-in job executor.
   std::function<JobResult(const JobSpec&)> executor;
   // Progress callback, invoked from worker threads as jobs finish
@@ -89,6 +111,37 @@ struct CampaignResult {
 /// Built-in executor: builds and runs the simulator a JobSpec names.
 /// Exposed so tests can execute single grid points without a pool.
 JobResult run_job(const JobSpec& spec);
+
+/// One simulator behind a uniform incremental interface — the unit the
+/// checkpointing executor and the ckpt_verify replay tool drive.
+class JobDriver {
+ public:
+  virtual ~JobDriver() = default;
+  virtual bool advance() = 0;                   // one step; false = done
+  virtual void save(ckpt::Writer& w) const = 0; // sim state chunks
+  virtual void load(const ckpt::Reader& r) = 0;
+  virtual JobResult finalize() = 0;  // call once, after advance() == false
+};
+std::unique_ptr<JobDriver> make_job_driver(const JobSpec& spec);
+
+/// Checkpoint-file helpers (exposed for ckpt_verify and tests). Loaders
+/// throw ckpt::Error on corruption or on a file written for a different
+/// JobSpec; nothing is partially applied on failure.
+void write_job_result_file(const JobResult& r, const std::string& path);
+JobResult read_job_result_file(const JobSpec& expected,
+                               const std::string& path);
+JobSpec read_job_spec_chunk(const ckpt::Reader& r);
+std::uint64_t read_job_progress(const ckpt::Reader& r);
+
+/// CRC32 of a driver's full serialized state — the divergence probe
+/// ckpt_verify compares between a restored run and a fresh replay.
+std::uint32_t job_state_digest(const JobDriver& d);
+
+/// Built-in executor with checkpointing: resumes from / writes
+/// job_<index>.state.ckpt under `ck` (falls back to run_job when
+/// checkpointing is off).
+JobResult run_job_checkpointed(const JobSpec& spec,
+                               const CheckpointPolicy& ck);
 
 class CampaignRunner {
  public:

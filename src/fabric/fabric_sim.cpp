@@ -345,26 +345,38 @@ void FabricSim::step(std::uint64_t t, bool measuring, bool inject_traffic) {
   if (injector_) recovery_.observe(t, backlog());
 }
 
-FabricSimResult FabricSim::run() {
-  for (std::uint64_t t = 0; t < cfg_.warmup_slots; ++t) step(t, false, true);
-  for (std::uint64_t t = cfg_.warmup_slots;
-       t < cfg_.warmup_slots + cfg_.measure_slots; ++t) {
-    step(t, true, true);
+bool FabricSim::advance_slot() {
+  const std::uint64_t measure_end = cfg_.warmup_slots + cfg_.measure_slots;
+  if (now_ < cfg_.warmup_slots) {
+    step(now_, false, true);
+    ++now_;
+    return true;
+  }
+  if (now_ < measure_end) {
+    step(now_, true, true);
     meter_.advance_slots(1, static_cast<std::uint64_t>(hosts_));
+    ++now_;
+    return true;
   }
   // Post-run drain: arrivals off, keep stepping until every buffer and
   // cable is empty (exactly-once verification needs it).
-  if (cfg_.drain_max_slots > 0) {
-    std::uint64_t t = cfg_.warmup_slots + cfg_.measure_slots;
-    const std::uint64_t end = t + cfg_.drain_max_slots;
-    while (t < end &&
-           (backlog() > 0 || (injector_ && injector_->pending() > 0))) {
-      step(t, false, false);
-      ++drained_slots_;
-      ++t;
-    }
-  }
+  if (cfg_.drain_max_slots == 0) return false;
+  if (now_ >= measure_end + cfg_.drain_max_slots) return false;
+  if (backlog() == 0 && !(injector_ && injector_->pending() > 0))
+    return false;
+  step(now_, false, false);
+  ++drained_slots_;
+  ++now_;
+  return true;
+}
 
+FabricSimResult FabricSim::run() {
+  while (advance_slot()) {
+  }
+  return finalize();
+}
+
+FabricSimResult FabricSim::finalize() {
   FabricSimResult r;
   r.radix = radix_;
   r.hosts = hosts_;
@@ -430,6 +442,102 @@ FabricSimResult FabricSim::run() {
     }
   }
   return r;
+}
+
+template <class Ar>
+void FabricSim::io_core(Ar& a) {
+  ckpt::field(a, now_);
+  ckpt::field(a, host_queue_);
+  ckpt::field(a, host_credits_);
+  ckpt::field(a, host_credit_in_);
+  ckpt::field(a, host_out_);
+  ckpt::field(a, flow_seq_);
+  ckpt::field(a, spine_down_);
+  ckpt::field(a, host_stalled_);
+  ckpt::field(a, offered_);
+  ckpt::field(a, faults_injected_);
+  ckpt::field(a, faults_repaired_);
+  ckpt::field(a, drained_slots_);
+  ckpt::field(a, grants_per_switch_);
+  ckpt::field(a, fc_blocked_output_cycles_);
+  ckpt::field(a, fc_host_hold_cycles_);
+  if constexpr (Ar::kLoading) {
+    if (host_queue_.size() != static_cast<std::size_t>(hosts_) ||
+        spine_down_.size() != static_cast<std::size_t>(m_) ||
+        grants_per_switch_.size() != switches_.size())
+      throw ckpt::Error("fabric core state sized for a different topology");
+  }
+}
+
+template <class Ar>
+void FabricSim::io_stats(Ar& a) {
+  ckpt::field(a, delay_hist_);
+  ckpt::field(a, meter_);
+  ckpt::field(a, reorder_);
+  ckpt::field(a, max_host_backlog_);
+  ckpt::field(a, overflows_);
+  ckpt::field(a, invariants_);
+  ckpt::field(a, recovery_);
+  ckpt::field(a, health_);
+}
+
+void FabricSim::save_state(ckpt::Writer& w) const {
+  auto* self = const_cast<FabricSim*>(this);
+  ckpt::write_chunk(w, "fabric.core",
+                    [&](ckpt::Sink& s) { self->io_core(s); });
+  ckpt::write_chunk(w, "fabric.traffic",
+                    [&](ckpt::Sink& s) { traffic_->save_state(s); });
+  ckpt::write_chunk(w, "fabric.switches", [&](ckpt::Sink& s) {
+    std::uint64_t n = switches_.size();
+    ckpt::field(s, n);
+    for (auto& node : self->switches_) {
+      node.sched->save_state(s);
+      ckpt::field(s, node.voq);
+      ckpt::field(s, node.input_occupancy);
+      ckpt::field(s, node.out_credits);
+      ckpt::field(s, node.out_data);
+      ckpt::field(s, node.credit_in);
+      ckpt::field(s, node.max_input_occ);
+    }
+  });
+  ckpt::write_chunk(w, "fabric.stats",
+                    [&](ckpt::Sink& s) { self->io_stats(s); });
+  if (injector_)
+    ckpt::write_chunk(w, "fabric.faults", [&](ckpt::Sink& s) {
+      ckpt::field(s, *self->injector_);
+    });
+  ckpt::write_chunk(w, "fabric.telemetry",
+                    [&](ckpt::Sink& s) { ckpt::field(s, self->telem_); });
+}
+
+void FabricSim::load_state(const ckpt::Reader& r) {
+  ckpt::read_chunk(r, "fabric.core", [&](ckpt::Source& s) { io_core(s); });
+  ckpt::read_chunk(r, "fabric.traffic",
+                   [&](ckpt::Source& s) { traffic_->load_state(s); });
+  ckpt::read_chunk(r, "fabric.switches", [&](ckpt::Source& s) {
+    std::uint64_t n = 0;
+    ckpt::field(s, n);
+    if (n != switches_.size())
+      throw ckpt::Error("fabric switch count mismatch in checkpoint");
+    for (auto& node : switches_) {
+      node.sched->load_state(s);
+      ckpt::field(s, node.voq);
+      ckpt::field(s, node.input_occupancy);
+      ckpt::field(s, node.out_credits);
+      ckpt::field(s, node.out_data);
+      ckpt::field(s, node.credit_in);
+      ckpt::field(s, node.max_input_occ);
+      if (node.voq.size() != static_cast<std::size_t>(radix_) ||
+          node.input_occupancy.size() != static_cast<std::size_t>(radix_))
+        throw ckpt::Error("fabric switch state sized for a different radix");
+    }
+  });
+  ckpt::read_chunk(r, "fabric.stats", [&](ckpt::Source& s) { io_stats(s); });
+  if (injector_)
+    ckpt::read_chunk(r, "fabric.faults",
+                     [&](ckpt::Source& s) { ckpt::field(s, *injector_); });
+  ckpt::read_chunk(r, "fabric.telemetry",
+                   [&](ckpt::Source& s) { ckpt::field(s, telem_); });
 }
 
 telemetry::RunReport FabricSim::report() const {

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "src/ckpt/ckpt.hpp"
 #include "src/faults/fault_injector.hpp"
 #include "src/faults/fault_plan.hpp"
 #include "src/faults/invariant.hpp"
@@ -99,6 +100,24 @@ class FabricSim {
 
   FabricSimResult run();
 
+  /// Incremental stepping for checkpoint/restore: advances one slot of
+  /// the warmup / measurement / drain schedule; returns false when the
+  /// run is complete. run() == { while (advance_slot()) {} finalize(); }.
+  bool advance_slot();
+
+  /// Assembles the result and writes the end-of-run telemetry counters.
+  /// Call exactly once, after advance_slot() returns false.
+  FabricSimResult finalize();
+
+  std::uint64_t current_slot() const { return now_; }
+
+  /// Snapshots every mutable field (schedulers, VOQs, cables, credits,
+  /// stats, fault cursor) into "fabric.*" chunks. The loader must be a
+  /// FabricSim built from the identical config; structural mismatches
+  /// throw ckpt::Error.
+  void save_state(ckpt::Writer& w) const;
+  void load_state(const ckpt::Reader& r);
+
   int hosts() const { return hosts_; }
 
   telemetry::Telemetry& telemetry() { return telem_; }
@@ -123,10 +142,25 @@ class FabricSim {
     std::uint64_t seq = 0;
     std::uint64_t inject_slot = 0;
     std::int32_t trace = -1;  // telemetry::CellTrace handle
+
+    template <class Ar>
+    void io_state(Ar& a) {
+      ckpt::field(a, src);
+      ckpt::field(a, dst);
+      ckpt::field(a, seq);
+      ckpt::field(a, inject_slot);
+      ckpt::field(a, trace);
+    }
   };
   struct Timed {
-    std::uint64_t slot;
+    std::uint64_t slot = 0;
     FabricCell cell;
+
+    template <class Ar>
+    void io_state(Ar& a) {
+      ckpt::field(a, slot);
+      ckpt::field(a, cell);
+    }
   };
   struct SwitchNode {
     std::unique_ptr<sw::Scheduler> sched;
@@ -144,6 +178,10 @@ class FabricSim {
   bool is_leaf(int sw_id) const { return sw_id < radix_; }
 
   void step(std::uint64_t t, bool measuring, bool inject_traffic);
+  template <class Ar>
+  void io_core(Ar& a);
+  template <class Ar>
+  void io_stats(Ar& a);
   void apply_fault_transitions(std::uint64_t t);
   std::uint64_t backlog() const;
 
@@ -153,6 +191,7 @@ class FabricSim {
   int hosts_;
   std::unique_ptr<sim::TrafficGen> traffic_;
   std::vector<SwitchNode> switches_;  // leaves 0..k-1, spines k..k+m-1
+  std::uint64_t now_ = 0;             // next slot advance_slot() will run
 
   // Host state.
   std::vector<std::deque<FabricCell>> host_queue_;

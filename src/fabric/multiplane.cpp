@@ -240,26 +240,39 @@ void MultiPlaneSim::step(std::uint64_t t, bool measuring,
   if (injector_) recovery_.observe(t, backlog());
 }
 
-MultiPlaneResult MultiPlaneSim::run() {
-  for (std::uint64_t t = 0; t < cfg_.warmup_slots; ++t) step(t, false, true);
-  for (std::uint64_t t = cfg_.warmup_slots;
-       t < cfg_.warmup_slots + cfg_.measure_slots; ++t) {
-    step(t, true, true);
+bool MultiPlaneSim::advance_slot() {
+  const std::uint64_t measure_end = cfg_.warmup_slots + cfg_.measure_slots;
+  if (now_ < cfg_.warmup_slots) {
+    step(now_, false, true);
+    ++now_;
+    return true;
+  }
+  if (now_ < measure_end) {
+    step(now_, true, true);
     meter_.advance_slots(1, static_cast<std::uint64_t>(cfg_.ports) *
                                 static_cast<std::uint64_t>(cfg_.planes));
+    ++now_;
+    return true;
   }
   // Post-run drain: arrivals off, keep stepping until the planes and
   // resequencers are empty (exactly-once verification needs it).
-  if (cfg_.drain_max_slots > 0) {
-    std::uint64_t t = cfg_.warmup_slots + cfg_.measure_slots;
-    const std::uint64_t end = t + cfg_.drain_max_slots;
-    while (t < end &&
-           (backlog() > 0 || (injector_ && injector_->pending() > 0))) {
-      step(t, false, false);
-      ++drained_slots_;
-      ++t;
-    }
+  if (cfg_.drain_max_slots == 0) return false;
+  if (now_ >= measure_end + cfg_.drain_max_slots) return false;
+  if (backlog() == 0 && !(injector_ && injector_->pending() > 0))
+    return false;
+  step(now_, false, false);
+  ++drained_slots_;
+  ++now_;
+  return true;
+}
+
+MultiPlaneResult MultiPlaneSim::run() {
+  while (advance_slot()) {
   }
+  return finalize();
+}
+
+MultiPlaneResult MultiPlaneSim::finalize() {
   MultiPlaneResult r;
   r.ports = cfg_.ports;
   r.planes = cfg_.planes;
@@ -285,6 +298,99 @@ MultiPlaneResult MultiPlaneSim::run() {
   r.duplicates = inv.duplicates;
   r.missing = inv.missing;
   return r;
+}
+
+template <class Ar>
+void MultiPlaneSim::io_core(Ar& a) {
+  ckpt::field(a, now_);
+  ckpt::field(a, flow_seq_);
+  ckpt::field(a, parked_);
+  ckpt::field(a, expected_);
+  ckpt::field(a, plane_down_);
+  ckpt::field(a, offered_);
+  ckpt::field(a, resteered_);
+  ckpt::field(a, faults_injected_);
+  ckpt::field(a, faults_repaired_);
+  ckpt::field(a, drained_slots_);
+  if constexpr (Ar::kLoading) {
+    if (parked_.size() != static_cast<std::size_t>(cfg_.ports) ||
+        plane_down_.size() != static_cast<std::size_t>(cfg_.planes))
+      throw ckpt::Error(
+          "multi-plane core state sized for a different topology");
+  }
+}
+
+template <class Ar>
+void MultiPlaneSim::io_stats(Ar& a) {
+  ckpt::field(a, delay_hist_);
+  ckpt::field(a, reseq_wait_);
+  ckpt::field(a, meter_);
+  ckpt::field(a, post_reseq_);
+  ckpt::field(a, cross_plane_ooo_);
+  ckpt::field(a, max_park_depth_);
+  ckpt::field(a, invariants_);
+  ckpt::field(a, recovery_);
+  ckpt::field(a, health_);
+}
+
+void MultiPlaneSim::save_state(ckpt::Writer& w) const {
+  auto* self = const_cast<MultiPlaneSim*>(this);
+  ckpt::write_chunk(w, "multiplane.core",
+                    [&](ckpt::Sink& s) { self->io_core(s); });
+  ckpt::write_chunk(w, "multiplane.traffic", [&](ckpt::Sink& s) {
+    std::uint64_t n = traffic_.size();
+    ckpt::field(s, n);
+    for (const auto& gen : traffic_) gen->save_state(s);
+  });
+  ckpt::write_chunk(w, "multiplane.planes", [&](ckpt::Sink& s) {
+    std::uint64_t n = planes_.size();
+    ckpt::field(s, n);
+    for (auto& plane : self->planes_) {
+      plane.sched->save_state(s);
+      std::uint64_t nv = plane.voqs.size();
+      ckpt::field(s, nv);
+      for (auto& v : plane.voqs) ckpt::field(s, v);
+      ckpt::field(s, plane.egress);
+    }
+  });
+  ckpt::write_chunk(w, "multiplane.stats",
+                    [&](ckpt::Sink& s) { self->io_stats(s); });
+  if (injector_)
+    ckpt::write_chunk(w, "multiplane.faults", [&](ckpt::Sink& s) {
+      ckpt::field(s, *self->injector_);
+    });
+}
+
+void MultiPlaneSim::load_state(const ckpt::Reader& r) {
+  ckpt::read_chunk(r, "multiplane.core",
+                   [&](ckpt::Source& s) { io_core(s); });
+  ckpt::read_chunk(r, "multiplane.traffic", [&](ckpt::Source& s) {
+    std::uint64_t n = 0;
+    ckpt::field(s, n);
+    if (n != traffic_.size())
+      throw ckpt::Error("plane traffic count mismatch in checkpoint");
+    for (auto& gen : traffic_) gen->load_state(s);
+  });
+  ckpt::read_chunk(r, "multiplane.planes", [&](ckpt::Source& s) {
+    std::uint64_t n = 0;
+    ckpt::field(s, n);
+    if (n != planes_.size())
+      throw ckpt::Error("plane count mismatch in checkpoint");
+    for (auto& plane : planes_) {
+      plane.sched->load_state(s);
+      std::uint64_t nv = 0;
+      ckpt::field(s, nv);
+      if (nv != plane.voqs.size())
+        throw ckpt::Error("plane VOQ bank count mismatch in checkpoint");
+      for (auto& v : plane.voqs) ckpt::field(s, v);
+      ckpt::field(s, plane.egress);
+    }
+  });
+  ckpt::read_chunk(r, "multiplane.stats",
+                   [&](ckpt::Source& s) { io_stats(s); });
+  if (injector_)
+    ckpt::read_chunk(r, "multiplane.faults",
+                     [&](ckpt::Source& s) { ckpt::field(s, *injector_); });
 }
 
 MultiPlaneResult run_multiplane_uniform(const MultiPlaneConfig& cfg,

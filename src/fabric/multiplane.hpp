@@ -16,6 +16,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/ckpt/ckpt.hpp"
 #include "src/faults/fault_injector.hpp"
 #include "src/faults/fault_plan.hpp"
 #include "src/faults/invariant.hpp"
@@ -83,6 +84,23 @@ class MultiPlaneSim {
 
   MultiPlaneResult run();
 
+  /// Incremental stepping for checkpoint/restore: advances one slot of
+  /// the warmup / measurement / drain schedule; returns false when the
+  /// run is complete. run() == { while (advance_slot()) {} finalize(); }.
+  bool advance_slot();
+
+  /// Assembles the result. Call once, after advance_slot() returns false.
+  MultiPlaneResult finalize();
+
+  std::uint64_t current_slot() const { return now_; }
+
+  /// Snapshots every mutable field (plane schedulers, VOQs, egress
+  /// lines, resequencers, stats, fault cursor) into "multiplane.*"
+  /// chunks. The loader must be a MultiPlaneSim built from the identical
+  /// config; structural mismatches throw ckpt::Error.
+  void save_state(ckpt::Writer& w) const;
+  void load_state(const ckpt::Reader& r);
+
   /// Component health view ("plane/<p>") with injector transitions.
   const mgmt::HealthRegistry& health() const { return health_; }
 
@@ -94,7 +112,13 @@ class MultiPlaneSim {
   };
   struct Parked {
     sw::Cell cell;
-    std::uint64_t egress_slot;  // when it left the plane
+    std::uint64_t egress_slot = 0;  // when it left the plane
+
+    template <class Ar>
+    void io_state(Ar& a) {
+      ckpt::field(a, cell);
+      ckpt::field(a, egress_slot);
+    }
   };
 
   void step(std::uint64_t t, bool measuring, bool inject_traffic);
@@ -102,10 +126,15 @@ class MultiPlaneSim {
   void apply_fault_transitions(std::uint64_t t);
   int next_live_plane(int from) const;
   std::uint64_t backlog() const;
+  template <class Ar>
+  void io_core(Ar& a);
+  template <class Ar>
+  void io_stats(Ar& a);
 
   MultiPlaneConfig cfg_;
   std::vector<std::unique_ptr<sim::TrafficGen>> traffic_;
   std::vector<Plane> planes_;
+  std::uint64_t now_ = 0;  // next slot advance_slot() will run
   std::vector<std::uint64_t> flow_seq_;      // global per (src, dst)
   // Resequencers: per egress port, per flow (src), parked cells keyed by
   // sequence plus the next expected sequence.

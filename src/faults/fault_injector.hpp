@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/ckpt/archive.hpp"
 #include "src/faults/fault_plan.hpp"
 #include "src/sim/rng.hpp"
 
@@ -57,11 +58,37 @@ class FaultInjector {
   /// Applied-transition audit log.
   const std::vector<std::string>& log() const { return log_; }
 
+  /// Checkpoint serialization. The timeline is a pure function of the
+  /// plan (the ctor rebuilds it), so only the cursor, the roll stream,
+  /// the open windows and the audit log are persisted; the cursor is
+  /// range-checked against the rebuilt timeline on load.
+  template <class Ar>
+  void io_state(Ar& a) {
+    std::uint64_t next = next_;
+    ckpt::field(a, next);
+    if constexpr (Ar::kLoading) {
+      if (next > timeline_.size())
+        throw ckpt::Error("fault timeline cursor out of range in checkpoint");
+      next_ = static_cast<std::size_t>(next);
+    }
+    ckpt::field(a, rng_);
+    ckpt::field(a, windows_);
+    ckpt::field(a, active_);
+    ckpt::field(a, log_);
+  }
+
  private:
   struct RateWindow {
     FaultKind kind;
     int port;  // -1 = all (grant corruption is always global)
     double rate;
+
+    template <class Ar>
+    void io_state(Ar& a) {
+      ckpt::field(a, kind);
+      ckpt::field(a, port);
+      ckpt::field(a, rate);
+    }
   };
 
   std::vector<FaultTransition> timeline_;  // sorted by slot, stable

@@ -17,6 +17,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/ckpt/archive.hpp"
+
 namespace osmosis::faults {
 
 class ExactlyOnceChecker {
@@ -45,6 +47,11 @@ class ExactlyOnceChecker {
 
   Report report() const;
 
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, flows_);
+  }
+
  private:
   struct FlowState {
     std::uint64_t offered = 0;
@@ -52,6 +59,15 @@ class ExactlyOnceChecker {
     std::uint64_t next_expected = 0;
     std::uint64_t duplicates = 0;
     std::uint64_t reordered = 0;
+
+    template <class Ar>
+    void io_state(Ar& a) {
+      ckpt::field(a, offered);
+      ckpt::field(a, delivered);
+      ckpt::field(a, next_expected);
+      ckpt::field(a, duplicates);
+      ckpt::field(a, reordered);
+    }
   };
   std::unordered_map<std::uint64_t, FlowState> flows_;
 };
@@ -76,11 +92,28 @@ class RecoveryTracker {
   }
   double max_recovery_slots() const { return max_recovery_; }
 
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, open_);
+    ckpt::field(a, faults_);
+    ckpt::field(a, repaired_);
+    ckpt::field(a, recovered_);
+    ckpt::field(a, sum_recovery_);
+    ckpt::field(a, max_recovery_);
+  }
+
  private:
   struct Open {
     std::uint64_t baseline = 0;
     std::uint64_t repaired_at = 0;
     bool repaired = false;
+
+    template <class Ar>
+    void io_state(Ar& a) {
+      ckpt::field(a, baseline);
+      ckpt::field(a, repaired_at);
+      ckpt::field(a, repaired);
+    }
   };
   std::unordered_map<std::string, Open> open_;
   std::uint64_t faults_ = 0;

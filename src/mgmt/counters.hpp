@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "src/ckpt/archive.hpp"
+
 namespace osmosis::mgmt {
 
 /// A point-in-time copy of every counter.
@@ -54,6 +56,11 @@ class CounterRegistry {
   /// Per-second rates given the elapsed time between two snapshots.
   static Snapshot rates(const Snapshot& earlier, const Snapshot& later,
                         double elapsed_s);
+
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, values_);
+  }
 
  private:
   Snapshot values_;

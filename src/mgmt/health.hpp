@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/ckpt/archive.hpp"
 #include "src/phy/crossbar_optical.hpp"
 
 namespace osmosis::mgmt {
@@ -17,10 +18,18 @@ namespace osmosis::mgmt {
 enum class Status { kOk, kDegraded, kFailed };
 
 struct Event {
-  std::uint64_t time_slot;
+  std::uint64_t time_slot = 0;
   std::string component;
-  Status status;
+  Status status = Status::kOk;
   std::string note;
+
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, time_slot);
+    ckpt::field(a, component);
+    ckpt::field(a, status);
+    ckpt::field(a, note);
+  }
 };
 
 class HealthRegistry {
@@ -48,6 +57,12 @@ class HealthRegistry {
   /// ("t=<slot> <component> FAILED (<note>)") — the RunReport `health`
   /// section consumes exactly this.
   std::vector<std::string> event_log() const;
+
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, status_);
+    ckpt::field(a, events_);
+  }
 
  private:
   std::map<std::string, Status> status_;

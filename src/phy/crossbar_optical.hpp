@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/ckpt/archive.hpp"
+
 namespace osmosis::phy {
 
 /// Geometry and optical-budget parameters of the crossbar.
@@ -140,10 +142,30 @@ class BroadcastSelectCrossbar {
   /// Average control power at the given cell (reconfiguration) rate.
   double control_power_w(double reconfigs_per_s) const;
 
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, modules_);
+    ckpt::field(a, module_failed_);
+    ckpt::field(a, fiber_failed_);
+    ckpt::field(a, reconfigs_);
+    if constexpr (Ar::kLoading) {
+      if (modules_.size() !=
+              static_cast<std::size_t>(cfg_.switching_modules()) ||
+          fiber_failed_.size() != static_cast<std::size_t>(cfg_.fibers))
+        throw ckpt::Error("crossbar geometry mismatch in checkpoint");
+    }
+  }
+
  private:
   struct ModuleState {
     int fiber = -1;       // selected fiber gate, -1 = all off
     int wavelength = -1;  // selected wavelength gate, -1 = all off
+
+    template <class Ar>
+    void io_state(Ar& a) {
+      ckpt::field(a, fiber);
+      ckpt::field(a, wavelength);
+    }
   };
 
   BroadcastSelectConfig cfg_;

@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/ckpt/archive.hpp"
+
 namespace osmosis::sim {
 
 /// One step of the SplitMix64 sequence: advances `state` and returns the
@@ -62,6 +64,13 @@ class Rng {
 
   /// Derives an independent child generator (for per-port streams).
   Rng split();
+
+  /// Checkpoint serialization: the four xoshiro state words are the
+  /// entire generator state.
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, s_);
+  }
 
  private:
   std::array<std::uint64_t, 4> s_;

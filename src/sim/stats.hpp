@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/ckpt/archive.hpp"
+
 namespace osmosis::sim {
 
 /// Welford running mean / variance / min / max accumulator.
@@ -27,6 +29,15 @@ class MeanVar {
   double sum() const { return mean_ * static_cast<double>(n_); }
 
   void merge(const MeanVar& other);
+
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, n_);
+    ckpt::field(a, mean_);
+    ckpt::field(a, m2_);
+    ckpt::field(a, min_);
+    ckpt::field(a, max_);
+  }
 
  private:
   std::uint64_t n_ = 0;
@@ -68,6 +79,24 @@ class Histogram {
   double linear_limit() const { return linear_limit_; }
   double growth() const { return growth_; }
 
+  /// Bin shape (linear_limit, growth) is construction-time config and is
+  /// re-checked on load rather than overwritten, so a snapshot can never
+  /// graft bins onto a histogram of a different shape.
+  template <class Ar>
+  void io_state(Ar& a) {
+    double limit = linear_limit_;
+    double growth = growth_;
+    ckpt::field(a, limit);
+    ckpt::field(a, growth);
+    if constexpr (Ar::kLoading) {
+      if (limit != linear_limit_ || growth != growth_)
+        throw ckpt::Error("histogram bin shape mismatch in checkpoint");
+    }
+    ckpt::field(a, bins_);
+    ckpt::field(a, total_);
+    ckpt::field(a, mv_);
+  }
+
  private:
   std::size_t bin_for(double x) const;
   std::pair<double, double> bin_bounds(std::size_t b) const;
@@ -93,6 +122,12 @@ class ThroughputMeter {
     return capacity_ > 0.0 ? delivered_ / capacity_ : 0.0;
   }
 
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, delivered_);
+    ckpt::field(a, capacity_);
+  }
+
  private:
   double delivered_ = 0.0;
   double capacity_ = 0.0;
@@ -112,6 +147,13 @@ class ReorderDetector {
     return total_ ? static_cast<double>(out_of_order_) /
                         static_cast<double>(total_)
                   : 0.0;
+  }
+
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, last_seen_);
+    ckpt::field(a, out_of_order_);
+    ckpt::field(a, total_);
   }
 
  private:

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/ckpt/archive.hpp"
 #include "src/sim/rng.hpp"
 
 namespace osmosis::sim {
@@ -40,6 +41,19 @@ class TrafficGen {
   /// Samples the arrival (if any) at `input` for the next slot.
   /// Returns true and fills `out` when a cell arrives.
   virtual bool sample(int input, Arrival& out) = 0;
+
+  /// Checkpoint hooks. Generators persist only mutable state (RNG, burst
+  /// state); construction parameters are supplied by re-building the
+  /// generator from the same config before load_state. The default
+  /// throws: a generator that carries hidden state (e.g. the host
+  /// message-sim adapter) must either implement these or stay out of
+  /// checkpointed runs.
+  virtual void save_state(ckpt::Sink&) const {
+    throw ckpt::Error("traffic generator does not support checkpointing");
+  }
+  virtual void load_state(ckpt::Source&) {
+    throw ckpt::Error("traffic generator does not support checkpointing");
+  }
 };
 
 /// i.i.d. Bernoulli arrivals, destinations uniform over all outputs.
@@ -50,6 +64,11 @@ class BernoulliUniform final : public TrafficGen {
   int ports() const override { return ports_; }
   double offered_load() const override { return load_; }
   bool sample(int input, Arrival& out) override;
+
+  void save_state(ckpt::Sink& s) const override {
+    ckpt::field(s, const_cast<Rng&>(rng_));
+  }
+  void load_state(ckpt::Source& s) override { ckpt::field(s, rng_); }
 
  private:
   int ports_;
@@ -70,11 +89,29 @@ class BurstyOnOff final : public TrafficGen {
   double mean_burst() const { return mean_burst_; }
   bool sample(int input, Arrival& out) override;
 
+  void save_state(ckpt::Sink& s) const override {
+    const_cast<BurstyOnOff*>(this)->io_traffic(s);
+  }
+  void load_state(ckpt::Source& s) override { io_traffic(s); }
+
  private:
   struct PortState {
     bool on = false;
     int dst = 0;
+
+    template <class Ar>
+    void io_state(Ar& a) {
+      ckpt::field(a, on);
+      ckpt::field(a, dst);
+    }
   };
+
+  template <class Ar>
+  void io_traffic(Ar& a) {
+    ckpt::field(a, state_);
+    ckpt::field(a, rng_);
+  }
+
   int ports_;
   double load_;
   double mean_burst_;
@@ -94,6 +131,11 @@ class Hotspot final : public TrafficGen {
   int ports() const override { return ports_; }
   double offered_load() const override { return load_; }
   bool sample(int input, Arrival& out) override;
+
+  void save_state(ckpt::Sink& s) const override {
+    ckpt::field(s, const_cast<Rng&>(rng_));
+  }
+  void load_state(ckpt::Source& s) override { ckpt::field(s, rng_); }
 
  private:
   int ports_;
@@ -117,6 +159,11 @@ class Permutation final : public TrafficGen {
   double offered_load() const override { return load_; }
   bool sample(int input, Arrival& out) override;
 
+  void save_state(ckpt::Sink& s) const override {
+    ckpt::field(s, const_cast<Rng&>(rng_));
+  }
+  void load_state(ckpt::Source& s) override { ckpt::field(s, rng_); }
+
  private:
   int ports_;
   double load_;
@@ -134,6 +181,11 @@ class BimodalHpc final : public TrafficGen {
   int ports() const override { return ports_; }
   double offered_load() const override { return load_; }
   bool sample(int input, Arrival& out) override;
+
+  void save_state(ckpt::Sink& s) const override {
+    ckpt::field(s, const_cast<Rng&>(rng_));
+  }
+  void load_state(ckpt::Source& s) override { ckpt::field(s, rng_); }
 
  private:
   int ports_;

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 
+#include "src/ckpt/archive.hpp"
 #include "src/sim/traffic.hpp"
 
 namespace osmosis::sw {
@@ -19,6 +20,17 @@ struct Cell {
                                    // the host segmentation/reassembly layer)
   std::int32_t trace = -1;         // telemetry::CellTrace handle (-1 =
                                    // untraced; see src/telemetry/)
+
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, src);
+    ckpt::field(a, dst);
+    ckpt::field(a, seq);
+    ckpt::field(a, arrival_slot);
+    ckpt::field(a, cls);
+    ckpt::field(a, tag);
+    ckpt::field(a, trace);
+  }
 };
 
 /// One crossbar connection for one cell cycle: input -> (output, receiver).
@@ -28,6 +40,13 @@ struct Grant {
   int input = -1;
   int output = -1;
   int receiver = 0;
+
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, input);
+    ckpt::field(a, output);
+    ckpt::field(a, receiver);
+  }
 };
 
 }  // namespace osmosis::sw

@@ -117,6 +117,67 @@ EventSwitchSim::EventSwitchSim(EventSwitchConfig cfg,
     }
     injector_.emplace(cfg_.fault_plan);
   }
+
+  // Arm the cell-cycle clock; seq 0 so the first cycle fires before any
+  // same-timestamp message (matching the old PeriodicProcess behavior).
+  Ev tick;
+  tick.kind = EvKind::kCycle;
+  push_event(tick);
+}
+
+void EventSwitchSim::push_event(Ev ev) {
+  OSMOSIS_REQUIRE(ev.time_ns >= now_ns_, "cannot schedule into the past: "
+                                             << ev.time_ns << " < "
+                                             << now_ns_);
+  ev.seq = next_seq_++;
+  events_.push_back(std::move(ev));
+  std::push_heap(events_.begin(), events_.end(), EvLater{});
+}
+
+void EventSwitchSim::fire_next() {
+  std::pop_heap(events_.begin(), events_.end(), EvLater{});
+  const Ev e = events_.back();
+  events_.pop_back();
+  now_ns_ = e.time_ns;
+  switch (e.kind) {
+    case EvKind::kCycle:
+      if (!cycles_active_) break;  // canceled clock: pending tick no-ops
+      on_cycle();
+      {
+        Ev tick;
+        tick.time_ns = e.time_ns + cfg_.cell_ns;
+        tick.kind = EvKind::kCycle;
+        push_event(tick);
+      }
+      break;
+    case EvKind::kRequest:
+      sched_->request(e.a, e.b);
+      request_times_[static_cast<std::size_t>(e.a) *
+                         static_cast<std::size_t>(cfg_.ports) +
+                     static_cast<std::size_t>(e.b)]
+          .push_back(e.d);
+      break;
+    case EvKind::kGrant: {
+      Grant g;
+      g.input = e.a;
+      g.output = e.b;
+      g.receiver = e.c;
+      on_grant_arrival(g, e.d);
+      break;
+    }
+    case EvKind::kRetry:
+      --retry_pending_;
+      sched_->request(e.a, e.b);
+      request_times_[static_cast<std::size_t>(e.a) *
+                         static_cast<std::size_t>(cfg_.ports) +
+                     static_cast<std::size_t>(e.b)]
+          .push_back(now_ns_);
+      break;
+    case EvKind::kLanding:
+      --in_flight_;
+      egress_[static_cast<std::size_t>(e.cell.dst)].push_back(e.cell);
+      break;
+  }
 }
 
 void EventSwitchSim::block_input_ref(int in) {
@@ -212,7 +273,7 @@ double EventSwitchSim::ctrl_ns(int adapter) const {
 }
 
 void EventSwitchSim::on_grant_arrival(Grant g, double requested_at) {
-  const double now = queue_.now();
+  const double now = now_ns_;
 
   // Control-path grant corruption / data-path FEC-uncorrectable loss:
   // the cell stays at the head of its VOQ (per-flow FIFO keeps order)
@@ -241,15 +302,12 @@ void EventSwitchSim::on_grant_arrival(Grant g, double requested_at) {
     else
       ++retransmissions_;
     ++retry_pending_;
-    queue_.schedule_in(
-        static_cast<double>(timeout_cycles) * cfg_.cell_ns, [this, g] {
-          --retry_pending_;
-          sched_->request(g.input, g.output);
-          request_times_[static_cast<std::size_t>(g.input) *
-                             static_cast<std::size_t>(cfg_.ports) +
-                         static_cast<std::size_t>(g.output)]
-              .push_back(queue_.now());
-        });
+    Ev retry;
+    retry.time_ns = now + static_cast<double>(timeout_cycles) * cfg_.cell_ns;
+    retry.kind = EvKind::kRetry;
+    retry.a = g.input;
+    retry.b = g.output;
+    push_event(retry);
     return;
   }
   grant_ns_.add(now - requested_at);
@@ -273,14 +331,15 @@ void EventSwitchSim::on_grant_arrival(Grant g, double requested_at) {
   telem_.mark(cell.trace, telemetry::Stage::kTransmit, arrive);
 
   ++in_flight_;
-  queue_.schedule_at(arrive, [this, cell] {
-    --in_flight_;
-    egress_[static_cast<std::size_t>(cell.dst)].push_back(cell);
-  });
+  Ev landing;
+  landing.time_ns = arrive;
+  landing.kind = EvKind::kLanding;
+  landing.cell = cell;
+  push_event(landing);
 }
 
 void EventSwitchSim::on_cycle() {
-  const double now = queue_.now();
+  const double now = now_ns_;
 
   // 0. Scheduled faults begin / get repaired at the cycle boundary.
   if (injector_) apply_fault_transitions(cycle_);
@@ -305,14 +364,13 @@ void EventSwitchSim::on_cycle() {
     ++offered_;
     invariants_.offered(static_cast<std::uint64_t>(flow));
     voqs_[static_cast<std::size_t>(in)].push(cell);
-    const int dst = a.dst;
-    queue_.schedule_in(ctrl_ns(in), [this, in, dst, now] {
-      sched_->request(in, dst);
-      request_times_[static_cast<std::size_t>(in) *
-                         static_cast<std::size_t>(cfg_.ports) +
-                     static_cast<std::size_t>(dst)]
-          .push_back(now);
-    });
+    Ev req;
+    req.time_ns = now + ctrl_ns(in);
+    req.kind = EvKind::kRequest;
+    req.a = in;
+    req.b = a.dst;
+    req.d = now;  // the grant latency clock starts at request issue
+    push_event(req);
   }
 
   // 2. The central scheduler arbitrates once per cycle; grants fly back.
@@ -323,9 +381,14 @@ void EventSwitchSim::on_cycle() {
     OSMOSIS_REQUIRE(!times.empty(), "grant without outstanding request");
     const double requested_at = times.front();
     times.pop_front();
-    queue_.schedule_in(ctrl_ns(g.input), [this, g, requested_at] {
-      on_grant_arrival(g, requested_at);
-    });
+    Ev gr;
+    gr.time_ns = now + ctrl_ns(g.input);
+    gr.kind = EvKind::kGrant;
+    gr.a = g.input;
+    gr.b = g.output;
+    gr.c = g.receiver;
+    gr.d = requested_at;
+    push_event(gr);
   }
 
   // 3. Egress lines drain one cell per cycle.
@@ -371,25 +434,58 @@ void EventSwitchSim::on_cycle() {
   ++cycle_;
 }
 
-EventSwitchResult EventSwitchSim::run() {
-  sim::PeriodicProcess cycles(queue_, 0.0, cfg_.cell_ns,
-                              [this] { on_cycle(); });
-  queue_.run_until(cfg_.warmup_ns + cfg_.measure_ns);
-  // Post-run drain: arrivals off, keep cycling until the recovered
-  // switch has emptied every queue (exactly-once verification needs it).
-  if (cfg_.drain_max_cycles > 0) {
-    draining_ = true;
-    double horizon = cfg_.warmup_ns + cfg_.measure_ns;
-    while (drained_cycles_ < cfg_.drain_max_cycles &&
-           (backlog() > 0 || (injector_ && injector_->pending() > 0))) {
-      horizon += cfg_.cell_ns;
-      queue_.run_until(horizon);
-      ++drained_cycles_;
-    }
+bool EventSwitchSim::advance() {
+  ++advance_count_;
+  const double main_limit = cfg_.warmup_ns + cfg_.measure_ns;
+  switch (phase_) {
+    case Phase::kMain:
+      if (!events_.empty() && events_.front().time_ns <= main_limit) {
+        fire_next();
+        return true;
+      }
+      if (now_ns_ < main_limit) now_ns_ = main_limit;
+      drain_horizon_ = main_limit;
+      draining_ = true;
+      phase_ = Phase::kDrain;
+      return true;
+    case Phase::kDrain:
+      // Post-run drain: arrivals off, keep cycling until the recovered
+      // switch has emptied every queue (exactly-once verification
+      // needs it). One drain cycle per advance().
+      if (cfg_.drain_max_cycles > 0 &&
+          drained_cycles_ < cfg_.drain_max_cycles &&
+          (backlog() > 0 || (injector_ && injector_->pending() > 0))) {
+        drain_horizon_ += cfg_.cell_ns;
+        while (!events_.empty() &&
+               events_.front().time_ns <= drain_horizon_)
+          fire_next();
+        if (now_ns_ < drain_horizon_) now_ns_ = drain_horizon_;
+        ++drained_cycles_;
+        return true;
+      }
+      cycles_active_ = false;  // cancel the clock; flush everything else
+      phase_ = Phase::kFlush;
+      return true;
+    case Phase::kFlush:
+      if (!events_.empty()) {
+        fire_next();
+        return true;
+      }
+      phase_ = Phase::kDone;
+      return false;
+    case Phase::kDone:
+      return false;
   }
-  cycles.cancel();
-  queue_.run();  // flush in-flight messages
+  return false;
+}
 
+EventSwitchResult EventSwitchSim::run() {
+  while (advance()) {
+  }
+  return finalize();
+}
+
+EventSwitchResult EventSwitchSim::finalize() {
   EventSwitchResult r;
   r.offered_load = traffic_->offered_load();
   r.throughput = meter_.utilization();
@@ -426,6 +522,97 @@ EventSwitchResult EventSwitchSim::run() {
             static_cast<double>(receiver_conflicts_));
   }
   return r;
+}
+
+template <class Ar>
+void EventSwitchSim::io_core(Ar& a) {
+  ckpt::field(a, now_ns_);
+  ckpt::field(a, next_seq_);
+  ckpt::field(a, events_);
+  ckpt::field(a, phase_);
+  ckpt::field(a, drain_horizon_);
+  ckpt::field(a, cycles_active_);
+  ckpt::field(a, advance_count_);
+  ckpt::field(a, cycle_);
+  ckpt::field(a, draining_);
+  ckpt::field(a, drained_cycles_);
+  ckpt::field(a, in_flight_);
+  ckpt::field(a, retry_pending_);
+  ckpt::field(a, flow_seq_);
+  ckpt::field(a, request_times_);
+  ckpt::field(a, egress_);
+  ckpt::field(a, slot_bookings_);
+  ckpt::field(a, rx_failed_);
+  ckpt::field(a, input_block_depth_);
+  ckpt::field(a, receiver_conflicts_);
+  ckpt::field(a, offered_);
+  ckpt::field(a, grant_corruptions_);
+  ckpt::field(a, retransmissions_);
+  ckpt::field(a, faults_injected_);
+  ckpt::field(a, faults_repaired_);
+  ckpt::field(a, delivered_per_port_);
+  if constexpr (Ar::kLoading) {
+    if (egress_.size() != static_cast<std::size_t>(cfg_.ports) ||
+        request_times_.size() != static_cast<std::size_t>(cfg_.ports) *
+                                     static_cast<std::size_t>(cfg_.ports))
+      throw ckpt::Error("event-switch state sized for a different port "
+                        "count");
+  }
+}
+
+template <class Ar>
+void EventSwitchSim::io_stats(Ar& a) {
+  ckpt::field(a, delay_ns_);
+  ckpt::field(a, grant_ns_);
+  ckpt::field(a, meter_);
+  ckpt::field(a, reorder_);
+  ckpt::field(a, invariants_);
+  ckpt::field(a, recovery_);
+  ckpt::field(a, health_);
+}
+
+void EventSwitchSim::save_state(ckpt::Writer& w) const {
+  auto* self = const_cast<EventSwitchSim*>(this);
+  ckpt::write_chunk(w, "event.core",
+                    [&](ckpt::Sink& s) { self->io_core(s); });
+  ckpt::write_chunk(w, "event.traffic",
+                    [&](ckpt::Sink& s) { traffic_->save_state(s); });
+  ckpt::write_chunk(w, "event.sched",
+                    [&](ckpt::Sink& s) { sched_->save_state(s); });
+  ckpt::write_chunk(w, "event.voq", [&](ckpt::Sink& s) {
+    std::uint64_t n = voqs_.size();
+    ckpt::field(s, n);
+    for (auto& v : self->voqs_) ckpt::field(s, v);
+  });
+  ckpt::write_chunk(w, "event.stats",
+                    [&](ckpt::Sink& s) { self->io_stats(s); });
+  if (injector_)
+    ckpt::write_chunk(w, "event.faults", [&](ckpt::Sink& s) {
+      ckpt::field(s, *self->injector_);
+    });
+  ckpt::write_chunk(w, "event.telemetry",
+                    [&](ckpt::Sink& s) { ckpt::field(s, self->telem_); });
+}
+
+void EventSwitchSim::load_state(const ckpt::Reader& r) {
+  ckpt::read_chunk(r, "event.core", [&](ckpt::Source& s) { io_core(s); });
+  ckpt::read_chunk(r, "event.traffic",
+                   [&](ckpt::Source& s) { traffic_->load_state(s); });
+  ckpt::read_chunk(r, "event.sched",
+                   [&](ckpt::Source& s) { sched_->load_state(s); });
+  ckpt::read_chunk(r, "event.voq", [&](ckpt::Source& s) {
+    std::uint64_t n = 0;
+    ckpt::field(s, n);
+    if (n != voqs_.size())
+      throw ckpt::Error("VOQ bank count mismatch in checkpoint");
+    for (auto& v : voqs_) ckpt::field(s, v);
+  });
+  ckpt::read_chunk(r, "event.stats", [&](ckpt::Source& s) { io_stats(s); });
+  if (injector_)
+    ckpt::read_chunk(r, "event.faults",
+                     [&](ckpt::Source& s) { ckpt::field(s, *injector_); });
+  ckpt::read_chunk(r, "event.telemetry",
+                   [&](ckpt::Source& s) { ckpt::field(s, telem_); });
 }
 
 telemetry::RunReport EventSwitchSim::report() const {

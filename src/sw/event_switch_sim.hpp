@@ -22,11 +22,11 @@
 #include <optional>
 #include <vector>
 
+#include "src/ckpt/ckpt.hpp"
 #include "src/faults/fault_injector.hpp"
 #include "src/faults/fault_plan.hpp"
 #include "src/faults/invariant.hpp"
 #include "src/mgmt/health.hpp"
-#include "src/sim/event_queue.hpp"
 #include "src/sim/stats.hpp"
 #include "src/sim/traffic.hpp"
 #include "src/sw/scheduler.hpp"
@@ -93,6 +93,27 @@ class EventSwitchSim {
 
   EventSwitchResult run();
 
+  /// Incremental stepping for checkpoint/restore: performs one unit of
+  /// event-loop work (one fired event in the main window, one drain
+  /// cycle, or one flushed event) and returns false when the run is
+  /// complete. run() == { while (advance()) {} finalize(); }.
+  bool advance();
+
+  /// Assembles the result and writes the end-of-run telemetry counters.
+  /// Call exactly once, after advance() returns false.
+  EventSwitchResult finalize();
+
+  /// Number of advance() calls so far — the replay coordinate a
+  /// restored run must be driven to for lockstep comparison.
+  std::uint64_t advance_count() const { return advance_count_; }
+
+  /// Snapshots every mutable field — including the pending typed event
+  /// heap, so in-flight requests/grants/cells survive — into "event.*"
+  /// chunks. The loader must be an EventSwitchSim built from the
+  /// identical config; structural mismatches throw ckpt::Error.
+  void save_state(ckpt::Writer& w) const;
+  void load_state(const ckpt::Reader& r);
+
   telemetry::Telemetry& telemetry() { return telem_; }
   const telemetry::Telemetry& telemetry() const { return telem_; }
 
@@ -108,6 +129,50 @@ class EventSwitchSim {
   const sim::Histogram& grant_latency_histogram() const { return grant_ns_; }
 
  private:
+  // The event loop is a typed min-heap rather than closures so pending
+  // events serialize: each Ev is plain data interpreted by fire_next().
+  // Ordering matches sim::EventQueue exactly — (time_ns, seq) with FIFO
+  // tie-break among equal timestamps.
+  enum class EvKind : std::uint8_t {
+    kCycle = 0,    // cell-cycle boundary: on_cycle(), then re-arm
+    kRequest = 1,  // request lands at the scheduler; a=in, b=dst, d=issue time
+    kGrant = 2,    // grant lands at the adapter; a/b/c=Grant, d=requested_at
+    kRetry = 3,    // ARQ timeout expires; a=in, b=dst
+    kLanding = 4,  // cell crosses into the egress buffer
+  };
+  struct Ev {
+    double time_ns = 0.0;
+    std::uint64_t seq = 0;
+    EvKind kind = EvKind::kCycle;
+    int a = -1;
+    int b = -1;
+    int c = -1;
+    double d = 0.0;
+    Cell cell;
+
+    template <class Ar>
+    void io_state(Ar& ar) {
+      ckpt::field(ar, time_ns);
+      ckpt::field(ar, seq);
+      ckpt::field(ar, kind);
+      ckpt::field(ar, a);
+      ckpt::field(ar, b);
+      ckpt::field(ar, c);
+      ckpt::field(ar, d);
+      ckpt::field(ar, cell);
+    }
+  };
+  struct EvLater {
+    bool operator()(const Ev& x, const Ev& y) const {
+      if (x.time_ns != y.time_ns) return x.time_ns > y.time_ns;
+      return x.seq > y.seq;
+    }
+  };
+  enum class Phase : std::uint8_t { kMain = 0, kDrain = 1, kFlush = 2,
+                                    kDone = 3 };
+
+  void push_event(Ev ev);  // stamps seq, heapifies
+  void fire_next();
   double ctrl_ns(int adapter) const;
   void on_cycle();
   void on_grant_arrival(Grant g, double requested_at);
@@ -116,11 +181,21 @@ class EventSwitchSim {
   void block_input_ref(int in);
   void unblock_input_ref(int in);
   std::uint64_t backlog() const;
+  template <class Ar>
+  void io_core(Ar& a);
+  template <class Ar>
+  void io_stats(Ar& a);
 
   EventSwitchConfig cfg_;
   std::unique_ptr<sim::TrafficGen> traffic_;
   std::unique_ptr<Scheduler> sched_;
-  sim::EventQueue queue_;
+  std::vector<Ev> events_;  // min-heap (std::push_heap/pop_heap, EvLater)
+  double now_ns_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  Phase phase_ = Phase::kMain;
+  double drain_horizon_ = 0.0;
+  bool cycles_active_ = true;
+  std::uint64_t advance_count_ = 0;
   std::vector<VoqBank> voqs_;
   std::vector<std::deque<Cell>> egress_;
   std::vector<std::deque<double>> request_times_;  // per (in,out) FIFO

@@ -33,6 +33,33 @@ class FlpprScheduler final : public Scheduler {
 
   int depth() const { return depth_; }
 
+  /// In-flight sub-scheduler matchings and arbiter pointers are exactly
+  /// the pipeline state the checkpoint contract calls out; depth/phase
+  /// are configuration and only re-checked.
+  void save_state(ckpt::Sink& s) const override {
+    Scheduler::save_state(s);
+    auto* self = const_cast<FlpprScheduler*>(this);
+    ckpt::field(s, self->t_);
+    std::uint64_t n = subs_.size();
+    ckpt::field(s, n);
+    for (auto& sub : self->subs_) {
+      ckpt::field(s, sub.engine);
+      ckpt::field(s, sub.matching);
+    }
+  }
+  void load_state(ckpt::Source& s) override {
+    Scheduler::load_state(s);
+    ckpt::field(s, t_);
+    std::uint64_t n = 0;
+    ckpt::field(s, n);
+    if (n != subs_.size())
+      throw ckpt::Error("FLPPR pipeline depth mismatch in checkpoint");
+    for (auto& sub : subs_) {
+      ckpt::field(s, sub.engine);
+      ckpt::field(s, sub.matching);
+    }
+  }
+
  protected:
   void on_output_capacity_changed(int out, int capacity) override;
 

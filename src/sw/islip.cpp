@@ -213,6 +213,17 @@ void Scheduler::number_receivers(std::vector<Grant>& grants) const {
   }
 }
 
+void Scheduler::save_state(ckpt::Sink& s) const {
+  auto* self = const_cast<Scheduler*>(this);
+  ckpt::field(s, self->demand_);
+  ckpt::field(s, self->output_capacity_);
+}
+
+void Scheduler::load_state(ckpt::Source& s) {
+  ckpt::field(s, demand_);
+  ckpt::field(s, output_capacity_);
+}
+
 // ---- IslipScheduler --------------------------------------------------------------
 
 IslipScheduler::IslipScheduler(int ports, int receivers, int iterations)

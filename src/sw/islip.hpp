@@ -21,6 +21,15 @@ class IslipScheduler final : public Scheduler {
 
   int iterations() const { return iterations_; }
 
+  void save_state(ckpt::Sink& s) const override {
+    Scheduler::save_state(s);
+    ckpt::field(s, const_cast<IslipIteration&>(engine_));
+  }
+  void load_state(ckpt::Source& s) override {
+    Scheduler::load_state(s);
+    ckpt::field(s, engine_);
+  }
+
  private:
   int iterations_;
   IslipIteration engine_;

@@ -19,6 +19,15 @@ class PimScheduler final : public Scheduler {
 
   int iterations() const { return iterations_; }
 
+  void save_state(ckpt::Sink& s) const override {
+    Scheduler::save_state(s);
+    ckpt::field(s, const_cast<sim::Rng&>(rng_));
+  }
+  void load_state(ckpt::Source& s) override {
+    Scheduler::load_state(s);
+    ckpt::field(s, rng_);
+  }
+
  private:
   void run_iteration(IslipIteration::Matching& m);
 

@@ -28,6 +28,33 @@ class PipelinedIslipScheduler final : public Scheduler {
 
   int depth() const { return depth_; }
 
+  void save_state(ckpt::Sink& s) const override {
+    Scheduler::save_state(s);
+    auto* self = const_cast<PipelinedIslipScheduler*>(this);
+    ckpt::field(s, self->t_);
+    std::uint64_t n = subs_.size();
+    ckpt::field(s, n);
+    for (auto& sub : self->subs_) {
+      ckpt::field(s, sub.engine);
+      ckpt::field(s, sub.matching);
+      ckpt::field(s, sub.snapshot);
+    }
+  }
+  void load_state(ckpt::Source& s) override {
+    Scheduler::load_state(s);
+    ckpt::field(s, t_);
+    std::uint64_t n = 0;
+    ckpt::field(s, n);
+    if (n != subs_.size())
+      throw ckpt::Error(
+          "pipelined-iSLIP pipeline depth mismatch in checkpoint");
+    for (auto& sub : subs_) {
+      ckpt::field(s, sub.engine);
+      ckpt::field(s, sub.matching);
+      ckpt::field(s, sub.snapshot);
+    }
+  }
+
  protected:
   void on_output_capacity_changed(int out, int capacity) override;
 

@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/ckpt/archive.hpp"
+
 namespace osmosis::sw {
 
 class PortSet {
@@ -30,6 +32,16 @@ class PortSet {
 
   /// In-place intersection with another set of the same size.
   PortSet& operator&=(const PortSet& other);
+
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, ports_);
+    ckpt::field(a, words_);
+    if constexpr (Ar::kLoading) {
+      if (words_.size() != static_cast<std::size_t>((ports_ + 63) / 64))
+        throw ckpt::Error("PortSet word count inconsistent in checkpoint");
+    }
+  }
 
  private:
   int word_count() const { return static_cast<int>(words_.size()); }

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "src/ckpt/archive.hpp"
 #include "src/sw/cell.hpp"
 #include "src/sw/portset.hpp"
 
@@ -55,6 +56,22 @@ class DemandState {
   void unblock_input(int in);
   bool input_blocked(int in) const;
 
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, residual_);
+    ckpt::field(a, avail_);
+    ckpt::field(a, blocked_);
+    ckpt::field(a, input_blocked_);
+    ckpt::field(a, total_);
+    if constexpr (Ar::kLoading) {
+      if (residual_.size() !=
+              static_cast<std::size_t>(ports_) * static_cast<std::size_t>(
+                                                     ports_) ||
+          avail_.size() != static_cast<std::size_t>(ports_))
+        throw ckpt::Error("DemandState size inconsistent in checkpoint");
+    }
+  }
+
  private:
   int index(int in, int out) const { return in * ports_ + out; }
 
@@ -85,6 +102,14 @@ class IslipIteration {
     void reset(int ports, int receivers);
     /// Reset with per-output capacities (failure-degraded outputs).
     void reset(int ports, const std::vector<int>& capacities);
+
+    template <class Ar>
+    void io_state(Ar& a) {
+      ckpt::field(a, input_free);
+      ckpt::field(a, capacity);
+      ckpt::field(a, matches);
+      ckpt::field(a, iterations_run);
+    }
   };
 
   /// Runs one grant/accept round. `primary` supplies and pays the
@@ -96,6 +121,14 @@ class IslipIteration {
   /// iteration), which is what desynchronizes the arbiters.
   void run(DemandState& primary, DemandState* shared, Matching& m,
            bool update_pointers);
+
+  /// Only the round-robin pointers are state; the grant/accept scratch
+  /// vectors are cleared at the top of every run().
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, grant_ptr_);
+    ckpt::field(a, accept_ptr_);
+  }
 
  private:
   int ports_;
@@ -143,6 +176,15 @@ class Scheduler {
   /// each (output, receiver) appears at most once; every grant had
   /// residual demand when matched.
   virtual std::vector<Grant> tick() = 0;
+
+  /// Checkpoint hooks: persist every bit of mutable scheduler state
+  /// (residual demand, arbiter pointers, in-flight pipeline matchings,
+  /// PRNG). Configuration (ports, receivers, depth) is supplied by
+  /// rebuilding the scheduler from the same SchedulerConfig before
+  /// load_state; the overrides verify structural agreement and throw
+  /// ckpt::Error on mismatch.
+  virtual void save_state(ckpt::Sink& s) const;
+  virtual void load_state(ckpt::Source& s);
 
  protected:
   /// Assigns distinct receiver indices per output within one grant set.

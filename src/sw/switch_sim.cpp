@@ -461,43 +461,55 @@ void SwitchSim::step(std::uint64_t t, bool measuring, bool inject_traffic) {
   if (injector_) recovery_.observe(t, backlog());
 }
 
-SwitchSimResult SwitchSim::run() {
-  for (std::uint64_t t = 0; t < cfg_.warmup_slots; ++t) step(t, false, true);
-  // Windowed delivery accounting: the worst window is the depth of the
-  // throughput dip a mid-run fault carves out.
-  constexpr std::uint64_t kWindowSlots = 512;
-  std::uint64_t window_mark = 0;
-  double min_window_thr = -1.0;
-  for (std::uint64_t t = cfg_.warmup_slots;
-       t < cfg_.warmup_slots + cfg_.measure_slots; ++t) {
-    step(t, true, true);
+// Windowed delivery accounting: the worst window is the depth of the
+// throughput dip a mid-run fault carves out.
+constexpr std::uint64_t kWindowSlots = 512;
+
+bool SwitchSim::advance_slot() {
+  const std::uint64_t measure_end = cfg_.warmup_slots + cfg_.measure_slots;
+  if (now_ < cfg_.warmup_slots) {
+    step(now_, false, true);
+    ++now_;
+    return true;
+  }
+  if (now_ < measure_end) {
+    step(now_, true, true);
     meter_.advance_slots(1, static_cast<std::uint64_t>(cfg_.ports));
-    const std::uint64_t elapsed = t + 1 - cfg_.warmup_slots;
+    const std::uint64_t elapsed = now_ + 1 - cfg_.warmup_slots;
     if (elapsed % kWindowSlots == 0) {
-      const std::uint64_t in_window = delay_hist_.count() - window_mark;
-      window_mark = delay_hist_.count();
+      const std::uint64_t in_window = delay_hist_.count() - window_mark_;
+      window_mark_ = delay_hist_.count();
       const double thr =
           static_cast<double>(in_window) /
           (static_cast<double>(kWindowSlots) * static_cast<double>(cfg_.ports));
-      min_window_thr = min_window_thr < 0.0 ? thr
-                                            : std::min(min_window_thr, thr);
+      min_window_thr_ = min_window_thr_ < 0.0
+                            ? thr
+                            : std::min(min_window_thr_, thr);
     }
+    ++now_;
+    return true;
   }
   // Post-run drain: stop arrivals and let the recovered switch empty
   // its queues so the invariant checker can confirm exactly-once
   // delivery of everything offered.
-  if (cfg_.drain_max_slots > 0) {
-    std::uint64_t t = cfg_.warmup_slots + cfg_.measure_slots;
-    const std::uint64_t end = t + cfg_.drain_max_slots;
-    while (t < end &&
-           (backlog() > 0 || !retry_queue_.empty() ||
-            (injector_ && injector_->pending() > 0))) {
-      step(t, false, false);
-      ++drained_slots_;
-      ++t;
-    }
-  }
+  if (cfg_.drain_max_slots == 0) return false;
+  if (now_ >= measure_end + cfg_.drain_max_slots) return false;
+  if (backlog() == 0 && retry_queue_.empty() &&
+      !(injector_ && injector_->pending() > 0))
+    return false;
+  step(now_, false, false);
+  ++drained_slots_;
+  ++now_;
+  return true;
+}
 
+SwitchSimResult SwitchSim::run() {
+  while (advance_slot()) {
+  }
+  return finalize();
+}
+
+SwitchSimResult SwitchSim::finalize() {
   SwitchSimResult r;
   r.scheduler = sched_->name();
   r.offered_load = traffic_->offered_load();
@@ -523,8 +535,8 @@ SwitchSimResult SwitchSim::run() {
   r.faults_recovered = recovery_.recovered();
   r.mean_recovery_slots = recovery_.mean_recovery_slots();
   r.max_recovery_slots = recovery_.max_recovery_slots();
-  r.min_window_throughput = min_window_thr < 0.0 ? r.throughput
-                                                 : min_window_thr;
+  r.min_window_throughput = min_window_thr_ < 0.0 ? r.throughput
+                                                  : min_window_thr_;
   r.drained_slots = drained_slots_;
   const auto inv = invariants_.report();
   r.exactly_once_in_order = inv.exactly_once_in_order();
@@ -565,6 +577,101 @@ SwitchSimResult SwitchSim::run() {
     }
   }
   return r;
+}
+
+template <class Ar>
+void SwitchSim::io_core(Ar& a) {
+  ckpt::field(a, now_);
+  ckpt::field(a, window_mark_);
+  ckpt::field(a, min_window_thr_);
+  ckpt::field(a, flow_seq_);
+  ckpt::field(a, request_pipe_);
+  ckpt::field(a, request_times_);
+  ckpt::field(a, egress_);
+  ckpt::field(a, surviving_rx_);
+  ckpt::field(a, dark_input_);
+  ckpt::field(a, rx_failed_);
+  ckpt::field(a, input_block_depth_);
+  ckpt::field(a, retry_queue_);
+  ckpt::field(a, offered_);
+  ckpt::field(a, grant_corruptions_);
+  ckpt::field(a, retransmissions_);
+  ckpt::field(a, faults_injected_);
+  ckpt::field(a, faults_repaired_);
+  ckpt::field(a, drained_slots_);
+  ckpt::field(a, max_egress_depth_);
+  ckpt::field(a, enqueued_per_port_);
+  ckpt::field(a, delivered_per_port_);
+  ckpt::field(a, grants_issued_);
+  if constexpr (Ar::kLoading) {
+    if (egress_.size() != static_cast<std::size_t>(cfg_.ports) ||
+        dark_input_.size() != static_cast<std::size_t>(cfg_.ports))
+      throw ckpt::Error("switch core state sized for a different port count");
+  }
+}
+
+template <class Ar>
+void SwitchSim::io_stats(Ar& a) {
+  ckpt::field(a, delay_hist_);
+  ckpt::field(a, control_delay_);
+  ckpt::field(a, data_delay_);
+  ckpt::field(a, grant_latency_);
+  ckpt::field(a, meter_);
+  ckpt::field(a, reorder_);
+  ckpt::field(a, invariants_);
+  ckpt::field(a, recovery_);
+  ckpt::field(a, health_);
+}
+
+void SwitchSim::save_state(ckpt::Writer& w) const {
+  auto* self = const_cast<SwitchSim*>(this);
+  ckpt::write_chunk(w, "switch.core",
+                    [&](ckpt::Sink& s) { self->io_core(s); });
+  ckpt::write_chunk(w, "switch.traffic",
+                    [&](ckpt::Sink& s) { traffic_->save_state(s); });
+  ckpt::write_chunk(w, "switch.sched",
+                    [&](ckpt::Sink& s) { sched_->save_state(s); });
+  ckpt::write_chunk(w, "switch.voq", [&](ckpt::Sink& s) {
+    std::uint64_t n = voqs_.size();
+    ckpt::field(s, n);
+    for (auto& v : self->voqs_) ckpt::field(s, v);
+  });
+  ckpt::write_chunk(w, "switch.stats",
+                    [&](ckpt::Sink& s) { self->io_stats(s); });
+  if (injector_)
+    ckpt::write_chunk(w, "switch.faults", [&](ckpt::Sink& s) {
+      ckpt::field(s, *self->injector_);
+    });
+  if (optical_)
+    ckpt::write_chunk(w, "switch.optical", [&](ckpt::Sink& s) {
+      ckpt::field(s, *self->optical_);
+    });
+  ckpt::write_chunk(w, "switch.telemetry",
+                    [&](ckpt::Sink& s) { ckpt::field(s, self->telem_); });
+}
+
+void SwitchSim::load_state(const ckpt::Reader& r) {
+  ckpt::read_chunk(r, "switch.core", [&](ckpt::Source& s) { io_core(s); });
+  ckpt::read_chunk(r, "switch.traffic",
+                   [&](ckpt::Source& s) { traffic_->load_state(s); });
+  ckpt::read_chunk(r, "switch.sched",
+                   [&](ckpt::Source& s) { sched_->load_state(s); });
+  ckpt::read_chunk(r, "switch.voq", [&](ckpt::Source& s) {
+    std::uint64_t n = 0;
+    ckpt::field(s, n);
+    if (n != voqs_.size())
+      throw ckpt::Error("VOQ bank count mismatch in checkpoint");
+    for (auto& v : voqs_) ckpt::field(s, v);
+  });
+  ckpt::read_chunk(r, "switch.stats", [&](ckpt::Source& s) { io_stats(s); });
+  if (injector_)
+    ckpt::read_chunk(r, "switch.faults",
+                     [&](ckpt::Source& s) { ckpt::field(s, *injector_); });
+  if (optical_)
+    ckpt::read_chunk(r, "switch.optical",
+                     [&](ckpt::Source& s) { ckpt::field(s, *optical_); });
+  ckpt::read_chunk(r, "switch.telemetry",
+                   [&](ckpt::Source& s) { ckpt::field(s, telem_); });
 }
 
 telemetry::RunReport SwitchSim::report() const {

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/ckpt/ckpt.hpp"
 #include "src/faults/fault_injector.hpp"
 #include "src/faults/fault_plan.hpp"
 #include "src/faults/invariant.hpp"
@@ -121,7 +122,28 @@ class SwitchSim {
   SwitchSim(SwitchSimConfig cfg, std::unique_ptr<sim::TrafficGen> traffic);
 
   /// Runs warmup + measurement and returns the aggregated result.
+  /// Equivalent to `while (advance_slot()) {}` followed by finalize().
   SwitchSimResult run();
+
+  /// Incremental execution for checkpoint/restore: advances exactly one
+  /// slot of whichever phase is next (warmup, then measurement, then the
+  /// optional drain). Returns false once the run is complete.
+  bool advance_slot();
+
+  /// Assembles the result after advance_slot() has returned false.
+  /// run() == drive-to-completion + finalize(); call once per run.
+  SwitchSimResult finalize();
+
+  /// Next slot to execute (also: slots executed so far).
+  std::uint64_t current_slot() const { return now_; }
+
+  /// Checkpoint/restore (osmosis.ckpt.v1). save_state emits one chunk
+  /// per component; load_state expects a simulator freshly constructed
+  /// from the *same* config and traffic spec, and throws ckpt::Error on
+  /// structural mismatch. Resuming a restored simulator reproduces the
+  /// uninterrupted run bit-for-bit.
+  void save_state(ckpt::Writer& w) const;
+  void load_state(const ckpt::Reader& r);
 
   /// Access to the scheduler (tests poke FC hooks through this).
   Scheduler& scheduler() { return *sched_; }
@@ -148,6 +170,10 @@ class SwitchSim {
 
  private:
   void step(std::uint64_t t, bool measuring, bool inject_traffic);
+  template <class Ar>
+  void io_core(Ar& a);
+  template <class Ar>
+  void io_stats(Ar& a);
   void apply_fault_transitions(std::uint64_t t);
   void set_module_state(int out, int rx, bool failed, std::uint64_t t);
   void block_input_ref(int in);
@@ -156,15 +182,27 @@ class SwitchSim {
 
   SwitchSimConfig cfg_;
   std::unique_ptr<sim::TrafficGen> traffic_;
+  // Run-loop position (advance_slot): next slot to execute, plus the
+  // 512-slot window accounting formerly local to run().
+  std::uint64_t now_ = 0;
+  std::uint64_t window_mark_ = 0;
+  double min_window_thr_ = -1.0;  // -1 = no full window completed yet
   std::unique_ptr<Scheduler> sched_;
   std::vector<VoqBank> voqs_;
   std::vector<std::deque<Cell>> egress_;       // per output
   std::vector<std::uint64_t> flow_seq_;        // per (src,dst)
   // Requests in flight on the control path: (deliver_slot, in, out).
   struct PendingRequest {
-    std::uint64_t deliver_slot;
-    int in;
-    int out;
+    std::uint64_t deliver_slot = 0;
+    int in = -1;
+    int out = -1;
+
+    template <class Ar>
+    void io_state(Ar& a) {
+      ckpt::field(a, deliver_slot);
+      ckpt::field(a, in);
+      ckpt::field(a, out);
+    }
   };
   std::deque<PendingRequest> request_pipe_;
   // Issue times of requests, for grant-latency attribution (FIFO per VOQ).

@@ -16,6 +16,15 @@ class TdmScheduler final : public Scheduler {
   std::string name() const override { return "TDM"; }
   std::vector<Grant> tick() override;
 
+  void save_state(ckpt::Sink& s) const override {
+    Scheduler::save_state(s);
+    ckpt::field(s, const_cast<std::uint64_t&>(t_));
+  }
+  void load_state(ckpt::Source& s) override {
+    Scheduler::load_state(s);
+    ckpt::field(s, t_);
+  }
+
  private:
   std::uint64_t t_ = 0;
 };

@@ -11,6 +11,7 @@
 #include <deque>
 #include <vector>
 
+#include "src/ckpt/archive.hpp"
 #include "src/sw/cell.hpp"
 
 namespace osmosis::sw {
@@ -40,12 +41,29 @@ class VoqBank {
   /// Largest single-VOQ depth seen so far (buffer-sizing studies).
   int max_depth_seen() const { return max_depth_; }
 
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, queues_);
+    ckpt::field(a, total_);
+    ckpt::field(a, max_depth_);
+    if constexpr (Ar::kLoading) {
+      if (queues_.size() != static_cast<std::size_t>(outputs_))
+        throw ckpt::Error("VoqBank queue count inconsistent in checkpoint");
+    }
+  }
+
  private:
   struct ClassQueues {
     std::deque<Cell> control;
     std::deque<Cell> data;
     int size() const {
       return static_cast<int>(control.size() + data.size());
+    }
+
+    template <class Ar>
+    void io_state(Ar& a) {
+      ckpt::field(a, control);
+      ckpt::field(a, data);
     }
   };
 

@@ -18,6 +18,15 @@ class WfaScheduler final : public Scheduler {
   std::string name() const override { return "WFA"; }
   std::vector<Grant> tick() override;
 
+  void save_state(ckpt::Sink& s) const override {
+    Scheduler::save_state(s);
+    ckpt::field(s, const_cast<std::uint64_t&>(t_));
+  }
+  void load_state(ckpt::Source& s) override {
+    Scheduler::load_state(s);
+    ckpt::field(s, t_);
+  }
+
  private:
   std::uint64_t t_ = 0;
 };

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "src/ckpt/archive.hpp"
 #include "src/mgmt/counters.hpp"
 #include "src/sim/stats.hpp"
 
@@ -38,6 +39,16 @@ struct HistogramSummary {
   double max = 0.0;
 
   static HistogramSummary of(const sim::Histogram& h);
+
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, count);
+    ckpt::field(a, mean);
+    ckpt::field(a, min);
+    ckpt::field(a, p50);
+    ckpt::field(a, p99);
+    ckpt::field(a, max);
+  }
 };
 
 class JsonWriter;
@@ -67,6 +78,20 @@ struct RunReport {
   /// Parses a document produced by to_json (exact round trip for the
   /// schema fields; aborts on schema mismatch).
   static RunReport from_json(const std::string& text);
+
+  /// Binary checkpoint serialization (doubles as raw bits, never text) —
+  /// used by the campaign runner's per-job checkpoints so a resumed
+  /// campaign reproduces the exact report bytes.
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, sim);
+    ckpt::field(a, time_unit);
+    ckpt::field(a, config);
+    ckpt::field(a, info);
+    ckpt::field(a, counters);
+    ckpt::field(a, histograms);
+    ckpt::field(a, health);
+  }
 };
 
 }  // namespace osmosis::telemetry

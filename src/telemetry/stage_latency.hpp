@@ -10,6 +10,7 @@
 // core/latency_budget (see examples/telemetry_tour.cpp, which scales the
 // measured decomposition to ns and holds it against the budget total).
 
+#include "src/ckpt/archive.hpp"
 #include "src/sim/stats.hpp"
 #include "src/telemetry/trace.hpp"
 
@@ -36,6 +37,14 @@ class StageLatencyBook {
   /// Sum of the three stage means; equals end_to_end().mean() up to
   /// floating-point rounding.
   double decomposition_mean() const;
+
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, req_grant_);
+    ckpt::field(a, grant_tx_);
+    ckpt::field(a, tx_deliver_);
+    ckpt::field(a, end_to_end_);
+  }
 
  private:
   sim::Histogram req_grant_;

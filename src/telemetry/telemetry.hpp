@@ -74,6 +74,15 @@ class Telemetry {
   RunReport make_report(const std::string& sim_name,
                         const std::string& time_unit) const;
 
+  /// Checkpoint serialization: cfg_ is construction-time config (the
+  /// sim rebuilds Telemetry from the same TelemetryConfig before load).
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, trace_);
+    ckpt::field(a, stages_);
+    ckpt::field(a, counters_);
+  }
+
  private:
   TelemetryConfig cfg_;
   CellTrace trace_;

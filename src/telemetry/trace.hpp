@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/ckpt/archive.hpp"
+
 namespace osmosis::telemetry {
 
 /// Lifecycle stages of a cell crossing a switch or fabric, in order.
@@ -53,6 +55,17 @@ struct CellSpan {
   double grant_to_transmit() const { return at(Stage::kTransmit) - at(Stage::kGrant); }
   double transmit_to_deliver() const { return at(Stage::kDeliver) - at(Stage::kTransmit); }
   double end_to_end() const { return at(Stage::kDeliver) - at(Stage::kEnqueue); }
+
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, trace_seq);
+    ckpt::field(a, src);
+    ckpt::field(a, dst);
+    for (double& ts : t) ckpt::field(a, ts);
+    ckpt::field(a, stamped);
+    ckpt::field(a, fc_hold_cycles);
+    ckpt::field(a, retransmits);
+  }
 };
 
 /// Fixed-capacity ring of completed spans; push overwrites the oldest.
@@ -69,6 +82,27 @@ class TraceRing {
   std::uint64_t total_pushed() const { return pushed_; }
   /// i = 0 is the oldest retained span, size()-1 the newest.
   const CellSpan& at(std::size_t i) const;
+
+  /// The buffer is sized at construction (ring capacity is config);
+  /// load verifies the saved ring matches.
+  template <class Ar>
+  void io_state(Ar& a) {
+    std::uint64_t cap = buf_.size();
+    ckpt::field(a, cap);
+    if constexpr (Ar::kLoading) {
+      if (cap != buf_.size())
+        throw ckpt::Error("trace ring capacity mismatch in checkpoint");
+    }
+    for (auto& span : buf_) ckpt::field(a, span);
+    std::uint64_t head = head_;
+    ckpt::field(a, head);
+    if constexpr (Ar::kLoading) {
+      if (head >= buf_.size() && !(head == 0 && buf_.empty()))
+        throw ckpt::Error("trace ring head out of range in checkpoint");
+      head_ = static_cast<std::size_t>(head);
+    }
+    ckpt::field(a, pushed_);
+  }
 
  private:
   std::vector<CellSpan> buf_;
@@ -108,6 +142,26 @@ class CellTrace {
   std::uint64_t cells_sampled() const { return sampled_; }
   std::uint64_t cells_dropped() const { return dropped_; }
   std::size_t open_spans() const { return open_.size() - free_.size(); }
+
+  /// In-flight spans are persisted with their pool slots and free list
+  /// intact, so trace handles stored inside queued cells stay valid
+  /// across a restore.
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, seen_);
+    ckpt::field(a, sampled_);
+    ckpt::field(a, dropped_);
+    ckpt::field(a, ring_);
+    ckpt::field(a, open_);
+    ckpt::field(a, free_);
+    if constexpr (Ar::kLoading) {
+      if (free_.size() > open_.size())
+        throw ckpt::Error("trace pool free list inconsistent in checkpoint");
+      for (std::int32_t idx : free_)
+        if (idx < 0 || static_cast<std::size_t>(idx) >= open_.size())
+          throw ckpt::Error("trace pool free index out of range");
+    }
+  }
 
  private:
   std::uint32_t sample_every_;

@@ -87,6 +87,11 @@ bool parse_double_list(const std::string& text, std::vector<double>* out,
   return parse_list<double>(text, out, err, parse_strict_double);
 }
 
+bool is_boolean_literal(const std::string& text) {
+  return text == "true" || text == "false" || text == "1" || text == "0" ||
+         text == "yes" || text == "no" || text == "on" || text == "off";
+}
+
 Cli::Cli(int argc, const char* const* argv) {
   if (argc > 0) program_ = argv[0];
   for (int i = 1; i < argc; ++i) {
@@ -136,6 +141,16 @@ bool Cli::get_bool(const std::string& key, bool def) const {
   if (it == options_.end()) return def;
   const std::string& v = it->second;
   return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::string Cli::get_path(const std::string& key,
+                          const std::string& def) const {
+  auto it = options_.find(key);
+  if (it == options_.end()) return def;
+  if (is_boolean_literal(it->second))
+    usage_error(key, "'" + it->second + "' is not a path; use --" + key +
+                         "=PATH");
+  return it->second;
 }
 
 std::vector<long long> Cli::get_ints(const std::string& key,

@@ -27,6 +27,12 @@ bool parse_int_list(const std::string& text, std::vector<long long>* out,
 bool parse_double_list(const std::string& text, std::vector<double>* out,
                        std::string* err = nullptr);
 
+/// True for the boolean literals get_bool understands (either polarity):
+/// "true", "false", "1", "0", "yes", "no", "on", "off". Path-valued
+/// flags use this to catch `--resume` given without `=DIR` (the bare
+/// form binds "true", which is never a real path).
+bool is_boolean_literal(const std::string& text);
+
 /// Parsed command line with typed getters and defaults.
 class Cli {
  public:
@@ -38,6 +44,11 @@ class Cli {
   long long get_int(const std::string& key, long long def) const;
   double get_double(const std::string& key, double def) const;
   bool get_bool(const std::string& key, bool def) const;
+
+  /// Path-valued flags: like get(), but a boolean-like value ("true",
+  /// "0", "off", ...) is a usage error — it almost always means the flag
+  /// was passed bare (`--resume` instead of `--resume=DIR`).
+  std::string get_path(const std::string& key, const std::string& def) const;
 
   /// List-valued flags: `--key=a,b,c`. Absent key returns `def`;
   /// malformed values are a usage error (message to stderr, exit 2).

@@ -1,0 +1,446 @@
+// Tests for the checkpoint/restore subsystem (src/ckpt/ + DESIGN.md
+// §10): container validation (corruption and truncation fail loudly,
+// nothing partially loads), RNG round-trips, resume equivalence for all
+// four simulators — N slots straight must equal k slots, snapshot,
+// restore into a fresh sim, N-k slots — including a snapshot taken in
+// the middle of a combined fault outage, and kill-safe campaign resume
+// producing a byte-identical document.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ckpt/ckpt.hpp"
+#include "src/exec/campaign.hpp"
+#include "src/exec/campaign_runner.hpp"
+#include "src/fabric/fabric_sim.hpp"
+#include "src/fabric/multiplane.hpp"
+#include "src/sim/rng.hpp"
+#include "src/sim/traffic.hpp"
+#include "src/sw/event_switch_sim.hpp"
+#include "src/sw/switch_sim.hpp"
+#include "src/util/cli.hpp"
+
+namespace osmosis {
+namespace {
+
+// ---- container format -----------------------------------------------------
+
+std::string sample_container() {
+  ckpt::Writer w;
+  w.add_chunk("alpha", "payload-a");
+  w.add_chunk("beta", std::string("\0\x01\x02", 3));
+  return w.serialize();
+}
+
+TEST(CkptFormat, RoundTripsChunksByName) {
+  ckpt::Writer w;
+  std::string alpha = "payload-a";
+  std::uint64_t beta = 0xB17E;
+  ckpt::write_chunk(w, "alpha", [&](ckpt::Sink& s) { ckpt::field(s, alpha); });
+  ckpt::write_chunk(w, "beta", [&](ckpt::Sink& s) { ckpt::field(s, beta); });
+
+  const ckpt::Reader r = ckpt::Reader::from_bytes(w.serialize());
+  EXPECT_TRUE(r.has("alpha"));
+  EXPECT_FALSE(r.has("gamma"));
+  std::string got_alpha;
+  std::uint64_t got_beta = 0;
+  ckpt::read_chunk(r, "alpha",
+                   [&](ckpt::Source& s) { ckpt::field(s, got_alpha); });
+  ckpt::read_chunk(r, "beta",
+                   [&](ckpt::Source& s) { ckpt::field(s, got_beta); });
+  EXPECT_EQ(got_alpha, alpha);
+  EXPECT_EQ(got_beta, beta);
+}
+
+TEST(CkptFormat, UnknownChunksAreSkippable) {
+  // A reader that only knows "alpha" still opens a file carrying
+  // unknown chunks — explicit lengths keep it from desynchronizing.
+  const ckpt::Reader r = ckpt::Reader::from_bytes(sample_container());
+  EXPECT_NO_THROW(r.chunk("alpha"));
+}
+
+TEST(CkptFormat, EveryFlippedByteIsRejected) {
+  const std::string good = sample_container();
+  ASSERT_NO_THROW(ckpt::Reader::from_bytes(good));
+  int rejected = 0;
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    std::string bad = good;
+    bad[i] = static_cast<char>(bad[i] ^ 0x5A);
+    try {
+      ckpt::Reader::from_bytes(std::move(bad));
+    } catch (const ckpt::Error&) {
+      ++rejected;
+    }
+  }
+  // The CRC covers every byte, so a single-byte flip anywhere must fail
+  // validation (some flips also die earlier, on magic or structure).
+  EXPECT_EQ(rejected, static_cast<int>(good.size()));
+}
+
+TEST(CkptFormat, EveryTruncationIsRejected) {
+  const std::string good = sample_container();
+  for (std::size_t n = 0; n < good.size(); ++n) {
+    EXPECT_THROW(ckpt::Reader::from_bytes(good.substr(0, n)), ckpt::Error)
+        << "truncation to " << n << " bytes was accepted";
+  }
+}
+
+TEST(CkptFormat, MissingChunkAndMissingFileThrow) {
+  const ckpt::Reader r = ckpt::Reader::from_bytes(sample_container());
+  EXPECT_THROW(r.chunk("gamma"), ckpt::Error);
+  EXPECT_THROW(ckpt::Reader::from_file("/nonexistent/dir/x.ckpt"),
+               ckpt::Error);
+}
+
+TEST(CkptFormat, WriteFileIsAtomicAndReadable) {
+  const std::string path = ::testing::TempDir() + "ckpt_atomic.ckpt";
+  ckpt::Writer w;
+  w.add_chunk("alpha", "payload-a");
+  w.write_file(path);
+  const ckpt::Reader r = ckpt::Reader::from_file(path);
+  EXPECT_TRUE(r.has("alpha"));
+  std::remove(path.c_str());
+}
+
+// ---- RNG round-trip -------------------------------------------------------
+
+TEST(CkptRng, ThousandDrawsIdenticalAfterRestore) {
+  sim::Rng a(0xDEAD'BEEF);
+  for (int i = 0; i < 137; ++i) a.next();  // advance off the seed point
+
+  ckpt::Sink sink;
+  ckpt::field(sink, a);
+  std::string bytes = sink.take();
+
+  sim::Rng b(1);  // different seed: load must overwrite all state
+  ckpt::Source src(bytes);
+  ckpt::field(src, b);
+  src.expect_end();
+
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next()) << "draw " << i;
+}
+
+TEST(CkptRng, RestoredGeneratorMatchesAcrossDistributions) {
+  sim::Rng a(42);
+  a.uniform();
+  a.geometric(0.25);
+
+  ckpt::Sink sink;
+  ckpt::field(sink, a);
+  std::string bytes = sink.take();
+  sim::Rng b(7);
+  ckpt::Source src(bytes);
+  ckpt::field(src, b);
+
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(a.uniform(), b.uniform());
+    ASSERT_EQ(a.uniform_int(97), b.uniform_int(97));
+    ASSERT_EQ(a.bernoulli(0.3), b.bernoulli(0.3));
+  }
+}
+
+// ---- resume equivalence: all four simulators ------------------------------
+
+// Serialized RunReport bytes — the strongest equality we can ask for:
+// config echo, counters, histograms, health verdicts, all of it.
+std::string report_bytes(const telemetry::RunReport& rep) {
+  ckpt::Sink s;
+  ckpt::field(s, const_cast<telemetry::RunReport&>(rep));
+  return s.take();
+}
+
+sw::SwitchSimConfig small_switch_cfg(bool faulty) {
+  sw::SwitchSimConfig cfg;
+  cfg.ports = 16;  // the combined plan stalls adapter 12
+  cfg.sched.kind = sw::SchedulerKind::kFlppr;
+  cfg.sched.receivers = 2;
+  cfg.warmup_slots = 200;
+  cfg.measure_slots = 2'000;
+  cfg.telemetry.enabled = true;
+  cfg.telemetry.sample_every = 4;
+  cfg.drain_max_slots = 20'000;
+  if (faulty) {
+    // Combined scenario, same derivation the campaign layer uses.
+    cfg.fault_plan = exec::make_fault_plan(exec::FaultScenario::kCombined,
+                                           cfg.warmup_slots,
+                                           cfg.measure_slots);
+    cfg.fault_plan.seeded(0x5EED);
+  }
+  return cfg;
+}
+
+TEST(CkptResume, SwitchSimMidRunRestoreIsExact) {
+  for (bool faulty : {false, true}) {
+    SCOPED_TRACE(faulty ? "combined faults" : "fault-free");
+    const auto cfg = small_switch_cfg(faulty);
+    // With faults on, k lands mid-outage: the combined plan opens at
+    // warmup + measure/4 = 700 and spans 500 slots.
+    const std::uint64_t k = faulty ? 900 : 777;
+
+    sw::SwitchSim a(cfg, sim::make_uniform(cfg.ports, 0.6, 99));
+    const auto straight = a.run();
+
+    sw::SwitchSim b(cfg, sim::make_uniform(cfg.ports, 0.6, 99));
+    for (std::uint64_t i = 0; i < k; ++i) ASSERT_TRUE(b.advance_slot());
+    ckpt::Writer w;
+    b.save_state(w);
+    const std::string bytes = w.serialize();
+
+    sw::SwitchSim c(cfg, sim::make_uniform(cfg.ports, 0.6, 99));
+    c.load_state(ckpt::Reader::from_bytes(bytes));
+    const auto resumed = c.run();
+
+    EXPECT_EQ(straight.delivered, resumed.delivered);
+    EXPECT_EQ(straight.mean_delay, resumed.mean_delay);
+    EXPECT_EQ(report_bytes(a.report()), report_bytes(c.report()));
+  }
+}
+
+TEST(CkptResume, SwitchSimRejectsForeignConfig) {
+  const auto cfg = small_switch_cfg(false);
+  sw::SwitchSim a(cfg, sim::make_uniform(cfg.ports, 0.6, 99));
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(a.advance_slot());
+  ckpt::Writer w;
+  a.save_state(w);
+
+  auto other = cfg;
+  other.ports = 8;
+  sw::SwitchSim b(other, sim::make_uniform(other.ports, 0.6, 99));
+  EXPECT_THROW(b.load_state(ckpt::Reader::from_bytes(w.serialize())),
+               ckpt::Error);
+}
+
+TEST(CkptResume, EventSwitchSimMidRunRestoreIsExact) {
+  sw::EventSwitchConfig cfg;
+  cfg.ports = 16;  // the combined plan stalls adapter 12
+  cfg.sched.kind = sw::SchedulerKind::kFlppr;
+  cfg.sched.receivers = 2;
+  cfg.default_ctrl_ns = 100.0;
+  cfg.warmup_ns = 200 * cfg.cell_ns;
+  cfg.measure_ns = 2'000 * cfg.cell_ns;
+  cfg.telemetry.enabled = true;
+  cfg.telemetry.sample_every = 4;
+  cfg.fault_plan = exec::make_fault_plan(exec::FaultScenario::kCombined,
+                                         200, 2'000);
+  cfg.fault_plan.seeded(0x5EED);
+  cfg.drain_max_cycles = 20'000;
+
+  sw::EventSwitchSim a(cfg, sim::make_uniform(cfg.ports, 0.5, 7));
+  const auto straight = a.run();
+
+  sw::EventSwitchSim b(cfg, sim::make_uniform(cfg.ports, 0.5, 7));
+  for (int i = 0; i < 5'000; ++i) ASSERT_TRUE(b.advance());  // mid-outage
+  ckpt::Writer w;
+  b.save_state(w);
+
+  sw::EventSwitchSim c(cfg, sim::make_uniform(cfg.ports, 0.5, 7));
+  c.load_state(ckpt::Reader::from_bytes(w.serialize()));
+  const auto resumed = c.run();
+
+  EXPECT_EQ(straight.delivered, resumed.delivered);
+  EXPECT_EQ(straight.mean_delay_ns, resumed.mean_delay_ns);
+  EXPECT_EQ(report_bytes(a.report()), report_bytes(c.report()));
+}
+
+TEST(CkptResume, FabricSimMidOutageRestoreIsExact) {
+  fabric::FabricSimConfig cfg;
+  cfg.radix = 4;
+  cfg.warmup_slots = 200;
+  cfg.measure_slots = 2'000;
+  cfg.telemetry.enabled = true;
+  cfg.telemetry.sample_every = 4;
+  cfg.fault_plan = exec::make_fault_plan(exec::FaultScenario::kSpineOutage,
+                                         cfg.warmup_slots, cfg.measure_slots);
+  cfg.fault_plan.seeded(0x5EED);
+  cfg.drain_max_slots = 20'000;
+  const int hosts = cfg.radix * cfg.radix / 2;
+
+  fabric::FabricSim a(cfg, sim::make_uniform(hosts, 0.4, 11));
+  const auto straight = a.run();
+
+  fabric::FabricSim b(cfg, sim::make_uniform(hosts, 0.4, 11));
+  for (int i = 0; i < 900; ++i) ASSERT_TRUE(b.advance_slot());  // spine down
+  ckpt::Writer w;
+  b.save_state(w);
+
+  fabric::FabricSim c(cfg, sim::make_uniform(hosts, 0.4, 11));
+  c.load_state(ckpt::Reader::from_bytes(w.serialize()));
+  const auto resumed = c.run();
+
+  EXPECT_EQ(straight.delivered, resumed.delivered);
+  EXPECT_EQ(straight.mean_delay_slots, resumed.mean_delay_slots);
+  EXPECT_EQ(report_bytes(a.report()), report_bytes(c.report()));
+}
+
+TEST(CkptResume, MultiPlaneSimMidOutageRestoreIsExact) {
+  fabric::MultiPlaneConfig cfg;
+  cfg.ports = 8;
+  cfg.planes = 2;
+  cfg.warmup_slots = 200;
+  cfg.measure_slots = 2'000;
+  cfg.fault_plan.fail_plane(700, 1, 500);
+  cfg.drain_max_slots = 20'000;
+
+  auto gens = [&] {
+    std::vector<std::unique_ptr<sim::TrafficGen>> v;
+    for (int p = 0; p < cfg.planes; ++p)
+      v.push_back(sim::make_uniform(cfg.ports, 0.3,
+                                    0x9000 + static_cast<std::uint64_t>(p)));
+    return v;
+  };
+
+  fabric::MultiPlaneSim a(cfg, gens());
+  const auto straight = a.run();
+
+  fabric::MultiPlaneSim b(cfg, gens());
+  for (int i = 0; i < 900; ++i) ASSERT_TRUE(b.advance_slot());  // plane dead
+  ckpt::Writer w;
+  b.save_state(w);
+
+  fabric::MultiPlaneSim c(cfg, gens());
+  c.load_state(ckpt::Reader::from_bytes(w.serialize()));
+  const auto resumed = c.run();
+
+  EXPECT_EQ(straight.delivered, resumed.delivered);
+  EXPECT_EQ(straight.mean_delay_slots, resumed.mean_delay_slots);
+  EXPECT_EQ(straight.resteered, resumed.resteered);
+  EXPECT_EQ(straight.cross_plane_ooo, resumed.cross_plane_ooo);
+  EXPECT_TRUE(resumed.exactly_once_in_order);
+}
+
+TEST(CkptResume, TamperedSnapshotNeverLoadsPartially) {
+  const auto cfg = small_switch_cfg(false);
+  sw::SwitchSim a(cfg, sim::make_uniform(cfg.ports, 0.6, 99));
+  for (int i = 0; i < 500; ++i) ASSERT_TRUE(a.advance_slot());
+  ckpt::Writer w;
+  a.save_state(w);
+  std::string bytes = w.serialize();
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0xFF);
+
+  sw::SwitchSim fresh(cfg, sim::make_uniform(cfg.ports, 0.6, 99));
+  // Validation fails at open, before any chunk is handed out...
+  EXPECT_THROW(fresh.load_state(ckpt::Reader::from_bytes(std::move(bytes))),
+               ckpt::Error);
+  // ...so the sim is untouched and still runs the pristine trajectory.
+  sw::SwitchSim straight(cfg, sim::make_uniform(cfg.ports, 0.6, 99));
+  (void)straight.run();
+  (void)fresh.run();
+  EXPECT_EQ(report_bytes(straight.report()), report_bytes(fresh.report()));
+}
+
+// ---- campaign checkpoint/resume -------------------------------------------
+
+exec::CampaignSpec tiny_campaign() {
+  exec::CampaignSpec spec;
+  spec.name = "ckpt_tiny";
+  spec.ports = {16};  // combined plan stalls adapter 12
+  spec.schedulers = {sw::SchedulerKind::kFlppr};
+  spec.receivers = {2};
+  spec.loads = {0.4, 0.8};
+  spec.faults = {exec::FaultScenario::kNone, exec::FaultScenario::kCombined};
+  spec.warmup_slots = 200;
+  spec.measure_slots = 1'000;
+  spec.campaign_seed = 0xC4;
+  return spec;
+}
+
+TEST(CkptCampaign, InFlightJobResumesToIdenticalResult) {
+  const auto jobs = tiny_campaign().expand();
+  ASSERT_FALSE(jobs.empty());
+  const exec::JobSpec job = jobs.back();  // kCombined fault job
+
+  const exec::JobResult straight = exec::run_job(job);
+
+  exec::CheckpointPolicy ck;
+  ck.dir = ::testing::TempDir() + "ckpt_inflight";
+  std::filesystem::create_directories(ck.dir);
+  ck.every = 300;
+  std::uint64_t last_step = 0;
+  ck.on_checkpoint = [&](const std::string&, std::uint64_t step) {
+    last_step = step;
+  };
+  (void)exec::run_job_checkpointed(job, ck);
+  ASSERT_GT(last_step, 0u);  // a state file exists from step last_step
+
+  ck.resume = true;  // restore mid-flight and finish
+  const exec::JobResult resumed = exec::run_job_checkpointed(job, ck);
+
+  EXPECT_EQ(straight.metrics, resumed.metrics);
+  EXPECT_EQ(report_bytes(straight.report), report_bytes(resumed.report));
+}
+
+TEST(CkptCampaign, ResumedCampaignDocumentIsByteIdentical) {
+  const auto spec = tiny_campaign();
+
+  exec::RunnerOptions straight_opts;
+  straight_opts.threads = 2;
+  const std::string want =
+      exec::CampaignRunner(straight_opts).run(spec).to_json(2, false);
+
+  const std::string dir = ::testing::TempDir() + "ckpt_campaign";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  exec::RunnerOptions opts;
+  opts.threads = 2;
+  opts.checkpoint.dir = dir;
+  opts.checkpoint.every = 250;
+  EXPECT_EQ(exec::CampaignRunner(opts).run(spec).to_json(2, false), want);
+
+  // Simulate a kill: drop one done file entirely and corrupt another,
+  // then resume — both jobs re-run, the rest load verbatim.
+  std::filesystem::remove(dir + "/job_0.done.ckpt");
+  {
+    std::ofstream f(dir + "/job_1.done.ckpt",
+                    std::ios::binary | std::ios::trunc);
+    f << "not a checkpoint";
+  }
+  opts.checkpoint.resume = true;
+  EXPECT_EQ(exec::CampaignRunner(opts).run(spec).to_json(2, false), want);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CkptCampaign, DoneFileForOneSpecRejectsAnother) {
+  const auto jobs = tiny_campaign().expand();
+  ASSERT_GE(jobs.size(), 2u);
+  const std::string path = ::testing::TempDir() + "ckpt_done_swap.ckpt";
+  exec::write_job_result_file(exec::run_job(jobs[0]), path);
+  EXPECT_NO_THROW(exec::read_job_result_file(jobs[0], path));
+  exec::JobSpec other = jobs[1];
+  other.index = jobs[0].index;  // same slot, different axes
+  EXPECT_THROW(exec::read_job_result_file(other, path), ckpt::Error);
+  std::remove(path.c_str());
+}
+
+// ---- cli path flags -------------------------------------------------------
+
+TEST(CliPath, BooleanLiteralsAreRecognized) {
+  for (const char* t : {"true", "false", "1", "0", "yes", "no", "on", "off"})
+    EXPECT_TRUE(util::is_boolean_literal(t)) << t;
+  for (const char* t : {"./true", "out.json", "", "2", "TRUE", "/tmp/x"})
+    EXPECT_FALSE(util::is_boolean_literal(t)) << t;
+}
+
+TEST(CliPath, GetPathReturnsValueOrDefault) {
+  const char* argv[] = {"prog", "--json=/tmp/out.json"};
+  const util::Cli cli(2, argv);
+  EXPECT_EQ(cli.get_path("json", ""), "/tmp/out.json");
+  EXPECT_EQ(cli.get_path("resume", "fallback"), "fallback");
+}
+
+TEST(CliPathDeathTest, BareFlagForPathOptionIsAUsageError) {
+  const char* argv[] = {"prog", "--resume"};
+  const util::Cli cli(2, argv);
+  EXPECT_EXIT((void)cli.get_path("resume", ""),
+              ::testing::ExitedWithCode(2), "is not a path");
+}
+
+}  // namespace
+}  // namespace osmosis
