@@ -5,9 +5,19 @@
 //
 //   bench_campaign [--threads=N] [--slots=S] [--loads=a,b,c]
 //                  [--receivers=1,2,4] [--seed=S] [--json=<path>]
-//                  [--timing=false] [--smoke]
+//                  [--timing=false] [--smoke] [--progress]
+//                  [--trace=<path>]
 //                  [--checkpoint-dir=DIR] [--checkpoint-every=N]
 //                  [--resume=DIR]
+//
+// --progress emits one JSON heartbeat line to stderr per completed job
+// ({"job", "digest", "wall_ms", "throughput", "ok"}), so a supervisor
+// tailing the stream sees liveness without parsing the final document.
+//
+// --trace=<path> records wall-clock profiler spans for the whole
+// campaign and writes a Chrome-trace JSON (open in Perfetto or
+// chrome://tracing): one track per pool worker, one slice per job —
+// the campaign's Gantt chart. See DESIGN.md §11.
 //
 // --threads=0 (default) uses every hardware thread; results are
 // byte-identical at any thread count because each job's seed derives
@@ -24,12 +34,17 @@
 // byte-identical (with --timing=false) to an uninterrupted run. See
 // DESIGN.md §10.
 
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 
+#include "src/ckpt/ckpt.hpp"
 #include "src/exec/campaign_runner.hpp"
+#include "src/prof/profiler.hpp"
+#include "src/prof/trace_export.hpp"
+#include "src/telemetry/json.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/table.hpp"
 
@@ -96,11 +111,53 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (cli.has("progress")) {
+    // One line per finished job; the runner serializes calls, so lines
+    // never interleave. stderr keeps the machine-readable stream clear
+    // of the human-readable stdout tables.
+    opts.on_job_done = [](const exec::JobResult& r) {
+      const std::string label = r.spec.label();
+      telemetry::JsonWriter w(0);
+      w.open('{');
+      w.key("job");
+      w.number(static_cast<double>(r.spec.index));
+      w.key("digest");
+      char digest[16];
+      std::snprintf(digest, sizeof digest, "%08x", ckpt::crc32(label));
+      w.string(digest);
+      w.key("label");
+      w.string(label);
+      w.key("wall_ms");
+      w.number(r.wall_ms);
+      w.key("throughput");
+      w.number(r.ok ? r.metrics.at("throughput") : 0.0);
+      w.key("ok");
+      w.boolean(r.ok);
+      w.close('}');
+      std::fprintf(stderr, "%s\n", w.str().c_str());
+    };
+  }
+
+  const bool tracing = cli.has("trace");
+  if (tracing) prof::Profiler::instance().enable(/*capture_spans=*/true);
+
   std::cout << "campaign '" << spec.name << "': " << spec.job_count()
             << " jobs\n";
 
   exec::CampaignRunner runner(opts);
   const exec::CampaignResult result = runner.run(spec);
+
+  if (tracing) {
+    prof::Profiler::instance().disable();
+    const std::string path = cli.get_path("trace", "");
+    std::ofstream out(path);
+    if (!(out << prof::wall_trace_json(prof::Profiler::instance(), 0)
+              << "\n")) {
+      std::cerr << "error: cannot write trace JSON to " << path << "\n";
+      return 1;
+    }
+    std::cout << "Chrome trace written to " << path << "\n";
+  }
 
   util::Table t({"label", "throughput", "mean delay", "p99 delay",
                  "grant lat"},

@@ -7,6 +7,7 @@
 
 #include "src/fec/gf256.hpp"
 #include "src/fec/hamming272.hpp"
+#include "src/prof/profiler.hpp"
 #include "src/sim/event_queue.hpp"
 #include "src/sim/rng.hpp"
 #include "src/sim/traffic.hpp"
@@ -128,6 +129,29 @@ void BM_SwitchSimRun(benchmark::State& state) {
   }
 }
 
+// Cost of one OSMOSIS_PROF_SCOPE with the profiler disabled (the
+// steady state in every hot loop — one relaxed atomic load) and
+// enabled (two clock reads plus a thread-local accumulate). The
+// disabled number backs the <2%-per-slot bound schema_check --micro
+// asserts against BM_SwitchSimRun/0.
+void BM_ProfScopeDisabled(benchmark::State& state) {
+  prof::Profiler::instance().disable();
+  for (auto _ : state) {
+    OSMOSIS_PROF_SCOPE("bench.micro");
+    benchmark::ClobberMemory();
+  }
+}
+
+void BM_ProfScopeEnabled(benchmark::State& state) {
+  prof::Profiler::instance().enable(/*capture_spans=*/false);
+  for (auto _ : state) {
+    OSMOSIS_PROF_SCOPE("bench.micro");
+    benchmark::ClobberMemory();
+  }
+  prof::Profiler::instance().disable();
+  prof::Profiler::instance().reset();
+}
+
 void BM_CellTraceSpan(benchmark::State& state) {
   telemetry::CellTrace trace(/*ring_capacity=*/1024, /*sample_every=*/1);
   double t = 0.0;
@@ -154,4 +178,6 @@ BENCHMARK(BM_EventQueueScheduleFire);
 BENCHMARK(BM_PortSetNextCircular)->Arg(64)->Arg(256);
 BENCHMARK(BM_Rng);
 BENCHMARK(BM_SwitchSimRun)->Arg(0)->Arg(16)->Arg(1);
+BENCHMARK(BM_ProfScopeDisabled);
+BENCHMARK(BM_ProfScopeEnabled);
 BENCHMARK(BM_CellTraceSpan);

@@ -1,0 +1,328 @@
+// In-repo schema checker for the observability artifacts (DESIGN.md
+// §11), used by scripts/check.sh and runnable by hand:
+//
+//   schema_check --trace=<chrome_trace.json>
+//       Valid JSON, every event carries ph/pid/tid, timestamps are
+//       globally nondecreasing, B/E duration events nest and balance per
+//       (pid, tid) track, async b/e events balance per (pid, cat, id).
+//
+//   schema_check --perf=<BENCH_perf.json> [--baseline=<path>]
+//       osmosis.bench_perf.v1 shape: build provenance, profiler-cost
+//       block under its bound, positive slots/sec and cells/sec for
+//       every row. With --baseline, the (sim, ports) row set must match
+//       the committed baseline — a vanished simulator or size fails CI
+//       even though raw rates are machine-dependent and never compared.
+//
+//   schema_check --report=<run_report.json> [--need-profile]
+//                [--need-timeseries]
+//       osmosis.run_report.v1 shape, optionally requiring the "profile"
+//       and "timeseries" sections to be present and well formed.
+//
+//   schema_check --micro=<bench_micro.json>
+//       google-benchmark JSON from bench_micro: asserts the disabled
+//       OSMOSIS_PROF_SCOPE (BM_ProfScopeDisabled) costs < 2% of a
+//       16-port SwitchSim slot (BM_SwitchSimRun/0, 1100 slots/iter).
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/telemetry/json.hpp"
+#include "src/util/cli.hpp"
+
+using namespace osmosis;
+using telemetry::JsonValue;
+
+namespace {
+
+int fail(const std::string& msg) {
+  std::cerr << "schema_check: FAIL: " << msg << "\n";
+  return 1;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+// ---- Chrome trace ---------------------------------------------------------
+
+int check_trace(const JsonValue& doc) {
+  if (!doc.has("traceEvents") || !doc.at("traceEvents").is_array())
+    return fail("trace: missing traceEvents array");
+  const auto& events = doc.at("traceEvents").array;
+  if (events.empty()) return fail("trace: traceEvents is empty");
+
+  // Duration-event stacks per (pid, tid); async open-counts per
+  // (pid, cat, id).
+  std::map<std::pair<int, int>, std::vector<std::string>> stacks;
+  std::map<std::tuple<int, std::string, std::uint64_t>, int> async_open;
+  double last_ts = 0.0;
+  bool have_ts = false;
+  std::size_t timed = 0;
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& e = events[i];
+    const std::string where = "trace event " + std::to_string(i);
+    if (!e.is_object()) return fail(where + ": not an object");
+    if (!e.has("ph") || !e.at("ph").is_string() || e.at("ph").str.size() != 1)
+      return fail(where + ": missing one-char ph");
+    const char ph = e.at("ph").str[0];
+    if (std::string("MBEbeCiX").find(ph) == std::string::npos)
+      return fail(where + ": unknown ph '" + e.at("ph").str + "'");
+    if (!e.has("pid") || !e.at("pid").is_number())
+      return fail(where + ": missing pid");
+    const int pid = static_cast<int>(e.at("pid").number);
+    const int tid =
+        e.has("tid") ? static_cast<int>(e.at("tid").number) : 0;
+    if (ph == 'M') continue;  // metadata carries no timestamp
+    if (!e.has("tid")) return fail(where + ": missing tid");
+    if (!e.has("ts") || !e.at("ts").is_number())
+      return fail(where + ": missing ts");
+    const double ts = e.at("ts").number;
+    if (have_ts && ts < last_ts)
+      return fail(where + ": ts decreases (" + telemetry::json_number(ts) +
+                  " after " + telemetry::json_number(last_ts) + ")");
+    last_ts = ts;
+    have_ts = true;
+    ++timed;
+
+    if (ph == 'B' || ph == 'b') {
+      if (!e.has("name") || !e.at("name").is_string())
+        return fail(where + ": begin event without a name");
+    }
+    if (ph == 'B') {
+      stacks[{pid, tid}].push_back(e.at("name").str);
+    } else if (ph == 'E') {
+      auto& stack = stacks[{pid, tid}];
+      if (stack.empty())
+        return fail(where + ": E with no open B on its track");
+      const std::string open = stack.back();
+      stack.pop_back();
+      if (e.has("name") && e.at("name").str != open)
+        return fail(where + ": E for '" + e.at("name").str +
+                    "' but innermost open span is '" + open + "'");
+    } else if (ph == 'b' || ph == 'e') {
+      if (!e.has("cat") || !e.has("id"))
+        return fail(where + ": async event without cat/id");
+      const auto key = std::make_tuple(
+          pid, e.at("cat").str,
+          static_cast<std::uint64_t>(e.at("id").number));
+      if (ph == 'b') {
+        ++async_open[key];
+      } else {
+        auto it = async_open.find(key);
+        if (it == async_open.end() || it->second == 0)
+          return fail(where + ": async e with no matching b");
+        --it->second;
+      }
+    }
+  }
+
+  for (const auto& [track, stack] : stacks)
+    if (!stack.empty())
+      return fail("trace: track pid=" + std::to_string(track.first) +
+                  " tid=" + std::to_string(track.second) + " ends with '" +
+                  stack.back() + "' still open");
+  for (const auto& [key, open] : async_open)
+    if (open != 0)
+      return fail("trace: async id " + std::to_string(std::get<2>(key)) +
+                  " in cat '" + std::get<1>(key) + "' never closed");
+
+  std::cout << "trace OK: " << events.size() << " events (" << timed
+            << " timed), all tracks balanced, ts nondecreasing\n";
+  return 0;
+}
+
+// ---- BENCH_perf -----------------------------------------------------------
+
+int check_perf(const JsonValue& doc, const JsonValue* baseline) {
+  if (!doc.has("schema") || doc.at("schema").str != "osmosis.bench_perf.v1")
+    return fail("perf: schema is not osmosis.bench_perf.v1");
+  if (!doc.has("meta") || !doc.at("meta").has("build"))
+    return fail("perf: missing meta.build provenance");
+  const JsonValue& build = doc.at("meta").at("build");
+  for (const char* key : {"build_type", "compiler", "git_sha"})
+    if (!build.has(key))
+      return fail(std::string("perf: meta.build missing ") + key);
+
+  if (!doc.has("profiler")) return fail("perf: missing profiler block");
+  const JsonValue& prof = doc.at("profiler");
+  for (const char* key :
+       {"disabled_scope_ns", "enabled_scope_ns", "disabled_overhead_frac",
+        "bound"})
+    if (!prof.has(key) || !prof.at(key).is_number())
+      return fail(std::string("perf: profiler block missing ") + key);
+  if (prof.at("disabled_overhead_frac").number >= prof.at("bound").number)
+    return fail("perf: disabled-profiler overhead " +
+                telemetry::json_number(
+                    prof.at("disabled_overhead_frac").number) +
+                " exceeds bound " +
+                telemetry::json_number(prof.at("bound").number));
+
+  if (!doc.has("sims") || !doc.at("sims").is_array() ||
+      doc.at("sims").array.empty())
+    return fail("perf: missing sims rows");
+  std::set<std::string> sims_seen;
+  std::set<std::pair<std::string, int>> keys;
+  for (const JsonValue& row : doc.at("sims").array) {
+    for (const char* key : {"sim", "ports", "slots", "cells", "wall_ms",
+                            "slots_per_sec", "cells_per_sec",
+                            "telemetry_overhead"})
+      if (!row.has(key))
+        return fail(std::string("perf: sims row missing ") + key);
+    const std::string sim = row.at("sim").str;
+    if (row.at("slots_per_sec").number <= 0.0 ||
+        row.at("cells_per_sec").number <= 0.0)
+      return fail("perf: " + sim + " row has a non-positive rate");
+    sims_seen.insert(sim);
+    keys.insert({sim, static_cast<int>(row.at("ports").number)});
+  }
+  for (const char* sim : {"switch", "event", "fabric", "multiplane"})
+    if (sims_seen.count(sim) == 0)
+      return fail(std::string("perf: simulator '") + sim + "' has no rows");
+
+  if (baseline) {
+    std::set<std::pair<std::string, int>> base_keys;
+    for (const JsonValue& row : baseline->at("sims").array)
+      base_keys.insert(
+          {row.at("sim").str, static_cast<int>(row.at("ports").number)});
+    if (keys != base_keys)
+      return fail("perf: (sim, ports) row set differs from the baseline");
+    if (doc.at("mode").str != baseline->at("mode").str)
+      return fail("perf: mode differs from the baseline");
+  }
+
+  std::cout << "perf OK: " << doc.at("sims").array.size()
+            << " rows over 4 simulators, overhead "
+            << telemetry::json_number(
+                   prof.at("disabled_overhead_frac").number * 100.0)
+            << "% < bound\n";
+  return 0;
+}
+
+// ---- RunReport ------------------------------------------------------------
+
+int check_report(const JsonValue& doc, bool need_profile,
+                 bool need_timeseries) {
+  if (!doc.has("schema") || doc.at("schema").str != "osmosis.run_report.v1")
+    return fail("report: schema is not osmosis.run_report.v1");
+  for (const char* key :
+       {"sim", "time_unit", "config", "info", "counters", "histograms",
+        "health"})
+    if (!doc.has(key))
+      return fail(std::string("report: missing ") + key);
+  if (need_profile) {
+    if (!doc.has("profile") || !doc.at("profile").is_object() ||
+        doc.at("profile").object.empty())
+      return fail("report: profile section required but absent/empty");
+    for (const auto& [phase, stats] : doc.at("profile").object)
+      for (const char* key : {"count", "total_ns", "mean_ns", "max_ns"})
+        if (!stats.has(key))
+          return fail("report: profile phase '" + phase + "' missing " + key);
+  }
+  if (need_timeseries) {
+    if (!doc.has("timeseries"))
+      return fail("report: timeseries section required but absent");
+    const JsonValue& ts = doc.at("timeseries");
+    for (const char* key : {"every_slots", "channels", "slots", "values"})
+      if (!ts.has(key))
+        return fail(std::string("report: timeseries missing ") + key);
+    const std::size_t rows = ts.at("slots").array.size();
+    if (rows == 0) return fail("report: timeseries has no rows");
+    if (ts.at("values").array.size() != rows)
+      return fail("report: timeseries values/slots row mismatch");
+    const std::size_t nch = ts.at("channels").array.size();
+    for (const JsonValue& row : ts.at("values").array)
+      if (row.array.size() != nch)
+        return fail("report: timeseries row width != channel count");
+  }
+  std::cout << "report OK: sim=" << doc.at("sim").str
+            << (need_profile ? ", profile present" : "")
+            << (need_timeseries ? ", timeseries present" : "") << "\n";
+  return 0;
+}
+
+// ---- bench_micro ----------------------------------------------------------
+
+int check_micro(const JsonValue& doc) {
+  if (!doc.has("benchmarks") || !doc.at("benchmarks").is_array())
+    return fail("micro: missing benchmarks array");
+  double disabled_ns = -1.0;
+  double run_ns = -1.0;
+  for (const JsonValue& b : doc.at("benchmarks").array) {
+    if (!b.has("name") || !b.has("real_time")) continue;
+    const std::string& name = b.at("name").str;
+    if (b.has("time_unit") && b.at("time_unit").str != "ns")
+      return fail("micro: " + name + " not reported in ns");
+    if (name == "BM_ProfScopeDisabled") disabled_ns = b.at("real_time").number;
+    if (name == "BM_SwitchSimRun/0") run_ns = b.at("real_time").number;
+  }
+  if (disabled_ns < 0.0) return fail("micro: BM_ProfScopeDisabled not found");
+  if (run_ns < 0.0) return fail("micro: BM_SwitchSimRun/0 not found");
+  // BM_SwitchSimRun/0 executes 1100 slots (100 warmup + 1000 measured)
+  // of a 16-port switch per iteration; ~8 scopes guard each slot.
+  const double slot_ns = run_ns / 1100.0;
+  const double frac = disabled_ns * 8.0 / slot_ns;
+  if (frac >= 0.02)
+    return fail("micro: disabled scope costs " +
+                telemetry::json_number(disabled_ns) + " ns = " +
+                telemetry::json_number(frac * 100.0) +
+                "% of a slot (bound 2%)");
+  std::cout << "micro OK: disabled scope " << disabled_ns << " ns, "
+            << telemetry::json_number(frac * 100.0)
+            << "% of a 16-port slot (< 2%)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+
+  auto load = [](const std::string& path, JsonValue& out) {
+    std::string text;
+    if (!read_file(path, text)) {
+      std::cerr << "schema_check: cannot read " << path << "\n";
+      return false;
+    }
+    out = telemetry::json_parse(text);
+    return true;
+  };
+
+  JsonValue doc;
+  if (cli.has("trace")) {
+    if (!load(cli.get_path("trace", ""), doc)) return 1;
+    return check_trace(doc);
+  }
+  if (cli.has("perf")) {
+    if (!load(cli.get_path("perf", ""), doc)) return 1;
+    JsonValue baseline;
+    const bool with_base = cli.has("baseline");
+    if (with_base && !load(cli.get_path("baseline", ""), baseline)) return 1;
+    return check_perf(doc, with_base ? &baseline : nullptr);
+  }
+  if (cli.has("report")) {
+    if (!load(cli.get_path("report", ""), doc)) return 1;
+    return check_report(doc, cli.has("need-profile"),
+                        cli.has("need-timeseries"));
+  }
+  if (cli.has("micro")) {
+    if (!load(cli.get_path("micro", ""), doc)) return 1;
+    return check_micro(doc);
+  }
+  std::cerr << "usage: schema_check --trace=F | --perf=F [--baseline=F] | "
+               "--report=F [--need-profile] [--need-timeseries] | "
+               "--micro=F\n";
+  return 2;
+}

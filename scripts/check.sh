@@ -5,8 +5,11 @@
 # and hold it against the committed perf baseline with campaign_compare,
 # SIGKILL a checkpointing smoke campaign mid-flight and prove the
 # resumed document is byte-identical to the uninterrupted run (plus a
-# ckpt_verify divergence replay of any surviving state file), then
-# rebuild under ASan+UBSan (failure/fault/checkpoint tests — mid-run
+# ckpt_verify divergence replay of any surviving state file), run the
+# tracked perf suite (bench_perf --smoke) and validate every artifact it
+# emits — BENCH_perf.json, both Chrome traces, the profiled RunReport —
+# with schema_check, assert the disabled-profiler overhead bound on
+# bench_micro numbers, then rebuild under ASan+UBSan (failure/fault/checkpoint tests — mid-run
 # structural changes and raw-byte deserialization, where memory bugs
 # hide) and under TSan (the exec tests plus a multi-threaded smoke
 # campaign — the campaign runner's worker pool is the only concurrency
@@ -47,10 +50,19 @@ echo "all schema keys present"
 
 echo "== smoke campaign + perf-regression gate =="
 smoke_json="$build/campaign_smoke.json"
+# --progress and --trace ride along: the heartbeat stream must carry one
+# JSON line per job and the wall-clock trace must pass the schema check.
 "$build/bench/bench_campaign" --smoke --json="$smoke_json" --timing=false \
-  > /dev/null
+  --progress --trace="$build/campaign_trace.json" \
+  > /dev/null 2> "$build/campaign_progress.jsonl"
 "$build/bench/campaign_compare" "$repo/bench/baselines/campaign_smoke.json" \
   "$smoke_json"
+jobs_done=$(grep -c '"wall_ms"' "$build/campaign_progress.jsonl")
+if [ "$jobs_done" != 8 ]; then
+  echo "FAIL: expected 8 progress heartbeat lines, saw $jobs_done" >&2
+  exit 1
+fi
+"$build/bench/schema_check" --trace="$build/campaign_trace.json"
 
 echo "== campaign determinism: 1 thread vs 8 threads =="
 "$build/bench/bench_campaign" --smoke --threads=1 \
@@ -92,6 +104,26 @@ fi
   --json="$build/campaign_resumed.json" > /dev/null
 cmp "$build/campaign_smoke_t1.json" "$build/campaign_resumed.json"
 echo "resumed document byte-identical to the uninterrupted run"
+
+echo "== perf suite: bench_perf --smoke + schema checks =="
+perf_json="$build/BENCH_perf.json"
+"$build/bench/bench_perf" --smoke --json="$perf_json" \
+  --trace="$build/prof_wall_trace.json" \
+  --sim-trace="$build/prof_sim_trace.json" \
+  --report="$build/prof_report.json" > /dev/null
+"$build/bench/schema_check" --perf="$perf_json" \
+  --baseline="$repo/bench/baselines/BENCH_perf_smoke.json"
+"$build/bench/schema_check" --trace="$build/prof_wall_trace.json"
+"$build/bench/schema_check" --trace="$build/prof_sim_trace.json"
+"$build/bench/schema_check" --report="$build/prof_report.json" \
+  --need-profile --need-timeseries
+
+echo "== disabled-profiler overhead bound (bench_micro) =="
+"$build/bench/bench_micro" \
+  --benchmark_filter='BM_ProfScope|BM_SwitchSimRun/0' \
+  --benchmark_format=json --benchmark_min_time=0.05 \
+  > "$build/bench_micro_prof.json" 2> /dev/null
+"$build/bench/schema_check" --micro="$build/bench_micro_prof.json"
 
 echo "== sanitizer build (ASan + UBSan) =="
 san_build="$repo/build-asan"

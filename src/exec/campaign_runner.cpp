@@ -7,6 +7,7 @@
 
 #include "src/exec/thread_pool.hpp"
 #include "src/fabric/fabric_sim.hpp"
+#include "src/prof/profiler.hpp"
 #include "src/sim/traffic.hpp"
 #include "src/sw/event_switch_sim.hpp"
 #include "src/sw/switch_sim.hpp"
@@ -582,6 +583,9 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) {
       // Each task writes only its own pre-sized slot, so no cross-job
       // synchronization is needed beyond the pool's queue.
       pool.submit([this, job, &out, &done_mu, &ck] {
+        // One span per job on the worker's track: the campaign's Gantt
+        // chart in the wall-clock Chrome trace.
+        prof::ScopedTask task_span(job.label());
         JobResult r = execute_with_retry(job);
         if (!ck.dir.empty() && r.ok) {
           try {

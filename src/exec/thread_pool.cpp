@@ -1,6 +1,9 @@
 #include "src/exec/thread_pool.hpp"
 
+#include <string>
 #include <utility>
+
+#include "src/prof/profiler.hpp"
 
 namespace osmosis::exec {
 
@@ -13,7 +16,13 @@ ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) threads = default_threads();
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      // Label the worker's track in wall-clock trace exports; a no-op
+      // cheap registration when the profiler never runs.
+      prof::Profiler::instance().set_thread_name("worker-" +
+                                                 std::to_string(i));
+      worker_loop();
+    });
 }
 
 ThreadPool::~ThreadPool() {

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <string>
 
+#include "src/prof/profiler.hpp"
 #include "src/util/log.hpp"
 
 namespace osmosis::fabric {
@@ -72,6 +73,9 @@ FabricSim::FabricSim(FabricSimConfig cfg,
   flow_seq_.assign(
       static_cast<std::size_t>(hosts_) * static_cast<std::size_t>(hosts_), 0);
   grants_per_switch_.assign(static_cast<std::size_t>(total_switches), 0);
+  telem_.series().set_channels({"backlog", "host_backlog", "input_occupancy",
+                                "credit_occupancy", "throughput",
+                                "sched_matches"});
 
   // ---- runtime fault plan ----------------------------------------------
   spine_down_.assign(static_cast<std::size_t>(m_), 0);
@@ -154,10 +158,14 @@ int FabricSim::route(int sw_id, int dst) const {
 
 void FabricSim::step(std::uint64_t t, bool measuring, bool inject_traffic) {
   // 0. Scheduled faults begin / get repaired at the slot boundary.
-  if (injector_) apply_fault_transitions(t);
+  if (injector_) {
+    OSMOSIS_PROF_SCOPE("fabric.faults");
+    apply_fault_transitions(t);
+  }
 
   // 1. Hosts generate traffic.
   if (inject_traffic) {
+    OSMOSIS_PROF_SCOPE("fabric.ingest");
     for (int h = 0; h < hosts_; ++h) {
       sim::Arrival a;
       if (!traffic_->sample(h, a)) continue;
@@ -177,6 +185,8 @@ void FabricSim::step(std::uint64_t t, bool measuring, bool inject_traffic) {
   }
 
   // 2. Credits come home.
+  {
+  OSMOSIS_PROF_SCOPE("fabric.credits");
   for (int h = 0; h < hosts_; ++h) {
     auto& q = host_credit_in_[static_cast<std::size_t>(h)];
     while (!q.empty() && q.front() <= t) {
@@ -192,6 +202,7 @@ void FabricSim::step(std::uint64_t t, bool measuring, bool inject_traffic) {
         ++node.out_credits[static_cast<std::size_t>(p)];
       }
     }
+  }
   }
 
   // Helper: a cell lands on a switch input port.
@@ -211,6 +222,8 @@ void FabricSim::step(std::uint64_t t, bool measuring, bool inject_traffic) {
   };
 
   // 3a. Host-to-leaf cable arrivals.
+  {
+  OSMOSIS_PROF_SCOPE("fabric.cables");
   for (int h = 0; h < hosts_; ++h) {
     auto& q = host_out_[static_cast<std::size_t>(h)];
     while (!q.empty() && q.front().slot <= t) {
@@ -236,6 +249,7 @@ void FabricSim::step(std::uint64_t t, bool measuring, bool inject_traffic) {
                                     static_cast<std::uint64_t>(cell.dst),
                                 cell.seq);
           telem_.finish_cell(cell.trace, static_cast<double>(t), measuring);
+          ++total_delivered_;
           if (measuring) {
             delay_hist_.add(static_cast<double>(t - cell.inject_slot));
             meter_.add_delivery();
@@ -248,9 +262,12 @@ void FabricSim::step(std::uint64_t t, bool measuring, bool inject_traffic) {
       }
     }
   }
+  }
 
   // 4. Host injection, gated by credits into the leaf input buffer. A
   //    stalled adapter holds its queue (generation continues upstream).
+  {
+  OSMOSIS_PROF_SCOPE("fabric.inject");
   for (int h = 0; h < hosts_; ++h) {
     if (host_stalled_[static_cast<std::size_t>(h)]) continue;
     auto& q = host_queue_[static_cast<std::size_t>(h)];
@@ -268,8 +285,11 @@ void FabricSim::step(std::uint64_t t, bool measuring, bool inject_traffic) {
       q.pop_front();
     }
   }
+  }
 
   // 5. Per-stage scheduling and crossbar transfer.
+  {
+  OSMOSIS_PROF_SCOPE("fabric.sched");
   for (int s = 0; s < static_cast<int>(switches_.size()); ++s) {
     SwitchNode& node = switches_[static_cast<std::size_t>(s)];
     // A downed spine's scheduler and crossbar freeze: its buffered
@@ -339,21 +359,67 @@ void FabricSim::step(std::uint64_t t, bool measuring, bool inject_traffic) {
           Timed{t + static_cast<std::uint64_t>(delay), cell});
     }
   }
+  }
 
   // 6. Recovery bookkeeping: a repaired fault counts as recovered once
   //    the fabric-wide backlog returns to its pre-fault baseline.
-  if (injector_) recovery_.observe(t, backlog());
+  if (injector_) {
+    OSMOSIS_PROF_SCOPE("fabric.recovery");
+    recovery_.observe(t, backlog());
+  }
+}
+
+void FabricSim::sample_series(std::uint64_t t) {
+  prof::TimeSeriesSampler& s = telem_.series();
+  if (!s.due(t)) return;
+  OSMOSIS_PROF_SCOPE("fabric.telemetry");
+  std::uint64_t host_backlog = 0;
+  for (const auto& q : host_queue_) host_backlog += q.size();
+  std::uint64_t input_occ = 0;
+  for (const auto& node : switches_)
+    for (const int occ : node.input_occupancy)
+      input_occ += static_cast<std::uint64_t>(occ);
+  // Credit occupancy: grantable downstream buffer slots, host links
+  // included (host egress ports carry -1 = no FC and are skipped).
+  std::uint64_t credits = 0;
+  for (const int c : host_credits_) credits += static_cast<std::uint64_t>(c);
+  for (const auto& node : switches_)
+    for (const int c : node.out_credits)
+      if (c >= 0) credits += static_cast<std::uint64_t>(c);
+  std::uint64_t grants_total = 0;
+  for (const std::uint64_t g : grants_per_switch_) grants_total += g;
+  // Rates over the window since the previous sample; the first sample
+  // of a run has no window yet and records 0.
+  const std::uint64_t dslots = t - last_sample_slot_;
+  const double ddeliv =
+      static_cast<double>(total_delivered_ - last_sample_delivered_);
+  const double dgrants =
+      static_cast<double>(grants_total - last_sample_grants_);
+  const double thr =
+      dslots ? ddeliv / (static_cast<double>(dslots) *
+                         static_cast<double>(hosts_))
+             : 0.0;
+  s.record(t, {static_cast<double>(backlog()),
+               static_cast<double>(host_backlog),
+               static_cast<double>(input_occ), static_cast<double>(credits),
+               thr,
+               dslots ? dgrants / static_cast<double>(dslots) : 0.0});
+  last_sample_slot_ = t;
+  last_sample_delivered_ = total_delivered_;
+  last_sample_grants_ = grants_total;
 }
 
 bool FabricSim::advance_slot() {
   const std::uint64_t measure_end = cfg_.warmup_slots + cfg_.measure_slots;
   if (now_ < cfg_.warmup_slots) {
     step(now_, false, true);
+    sample_series(now_);
     ++now_;
     return true;
   }
   if (now_ < measure_end) {
     step(now_, true, true);
+    sample_series(now_);
     meter_.advance_slots(1, static_cast<std::uint64_t>(hosts_));
     ++now_;
     return true;
@@ -365,6 +431,7 @@ bool FabricSim::advance_slot() {
   if (backlog() == 0 && !(injector_ && injector_->pending() > 0))
     return false;
   step(now_, false, false);
+  sample_series(now_);
   ++drained_slots_;
   ++now_;
   return true;
@@ -461,6 +528,10 @@ void FabricSim::io_core(Ar& a) {
   ckpt::field(a, grants_per_switch_);
   ckpt::field(a, fc_blocked_output_cycles_);
   ckpt::field(a, fc_host_hold_cycles_);
+  ckpt::field(a, total_delivered_);
+  ckpt::field(a, last_sample_slot_);
+  ckpt::field(a, last_sample_delivered_);
+  ckpt::field(a, last_sample_grants_);
   if constexpr (Ar::kLoading) {
     if (host_queue_.size() != static_cast<std::size_t>(hosts_) ||
         spine_down_.size() != static_cast<std::size_t>(m_) ||

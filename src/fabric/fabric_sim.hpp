@@ -178,6 +178,10 @@ class FabricSim {
   bool is_leaf(int sw_id) const { return sw_id < radix_; }
 
   void step(std::uint64_t t, bool measuring, bool inject_traffic);
+  /// Records one time-series row (DESIGN.md §11) after slot `t` when the
+  /// sampler is enabled and due. Purely slot-driven, so the recorded
+  /// series is identical at any thread count and across checkpoints.
+  void sample_series(std::uint64_t t);
   template <class Ar>
   void io_core(Ar& a);
   template <class Ar>
@@ -212,6 +216,11 @@ class FabricSim {
   std::vector<std::uint64_t> grants_per_switch_;
   std::uint64_t fc_blocked_output_cycles_ = 0;
   std::uint64_t fc_host_hold_cycles_ = 0;
+  // Time-series rate cursors (checkpointed with the core).
+  std::uint64_t total_delivered_ = 0;
+  std::uint64_t last_sample_slot_ = 0;
+  std::uint64_t last_sample_delivered_ = 0;
+  std::uint64_t last_sample_grants_ = 0;
 
   // Runtime fault injection & recovery.
   std::optional<faults::FaultInjector> injector_;

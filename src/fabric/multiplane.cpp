@@ -4,6 +4,7 @@
 #include <sstream>
 #include <string>
 
+#include "src/prof/profiler.hpp"
 #include "src/util/log.hpp"
 
 namespace osmosis::fabric {
@@ -176,13 +177,17 @@ void MultiPlaneSim::step(std::uint64_t t, bool measuring,
   const int n = cfg_.ports;
 
   // 0. Scheduled faults begin / get repaired at the slot boundary.
-  if (injector_) apply_fault_transitions(t);
+  if (injector_) {
+    OSMOSIS_PROF_SCOPE("multiplane.faults");
+    apply_fault_transitions(t);
+  }
 
   // 1. Arrivals: each plane's generator feeds that plane; sequences are
   //    assigned globally per flow, so one flow's cells interleave over
   //    all planes (striping). Arrivals for a dead plane are re-steered
   //    to the next live one by the ingress adapter.
   if (inject_traffic) {
+    OSMOSIS_PROF_SCOPE("multiplane.ingest");
     for (int p = 0; p < cfg_.planes; ++p) {
       const int lane = plane_down_[static_cast<std::size_t>(p)]
                            ? next_live_plane(p)
@@ -209,6 +214,8 @@ void MultiPlaneSim::step(std::uint64_t t, bool measuring,
 
   // 2. Each live plane arbitrates and transfers independently; a dead
   //    plane's scheduler and crossbar are frozen.
+  {
+  OSMOSIS_PROF_SCOPE("multiplane.sched");
   for (int p = 0; p < cfg_.planes; ++p) {
     if (plane_down_[static_cast<std::size_t>(p)]) continue;
     Plane& plane = planes_[static_cast<std::size_t>(p)];
@@ -218,9 +225,12 @@ void MultiPlaneSim::step(std::uint64_t t, bool measuring,
       plane.egress[static_cast<std::size_t>(g.output)].push_back(cell);
     }
   }
+  }
 
   // 3. Plane egress lines feed the resequencers (one cell per plane per
   //    slot — the P physical lanes of the port).
+  {
+  OSMOSIS_PROF_SCOPE("multiplane.egress");
   for (auto& plane : planes_) {
     for (int out = 0; out < n; ++out) {
       auto& q = plane.egress[static_cast<std::size_t>(out)];
@@ -234,10 +244,14 @@ void MultiPlaneSim::step(std::uint64_t t, bool measuring,
     }
   }
   for (int out = 0; out < n; ++out) deliver_in_order(out, t, measuring);
+  }
 
   // 4. Recovery bookkeeping: a repaired fault counts as recovered once
   //    the port-wide backlog returns to its pre-fault baseline.
-  if (injector_) recovery_.observe(t, backlog());
+  if (injector_) {
+    OSMOSIS_PROF_SCOPE("multiplane.recovery");
+    recovery_.observe(t, backlog());
+  }
 }
 
 bool MultiPlaneSim::advance_slot() {

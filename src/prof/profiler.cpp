@@ -1,0 +1,237 @@
+#include "src/prof/profiler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace osmosis::prof {
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+// Raw span as recorded on the hot path: literal phase pointer plus an
+// optional owned name (campaign jobs). Converted to WallSpan (name
+// resolved, ns -> us) only at snapshot time.
+struct RawSpan {
+  const char* phase = nullptr;
+  std::string task;  // non-empty for ScopedTask spans
+  std::uint64_t t0_ns = 0;
+  std::uint64_t dur_ns = 0;
+};
+}  // namespace
+
+// Per-thread accumulation state. Created on a thread's first enabled
+// scope, registered in the global registry, and kept alive after the
+// thread exits so a post-join snapshot still sees every worker.
+struct ThreadState {
+  explicit ThreadState(std::uint32_t id) : tid(id) {}
+
+  std::uint32_t tid;
+  mutable std::mutex mu;
+  // Literal-keyed accumulators: the macro passes string literals, so
+  // pointer identity is the common case; snapshot re-merges by string
+  // to fold identical names from different translation units.
+  std::unordered_map<const char*, PhaseStats> by_phase;
+  std::map<std::string, PhaseStats> by_task_phase;  // ScopedTask phases
+  std::string name;
+  std::vector<RawSpan> spans;
+  std::uint64_t spans_dropped = 0;
+};
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  // unique_ptr so ThreadState addresses are stable while the vector
+  // grows; states are never destroyed until process exit.
+  std::vector<std::unique_ptr<ThreadState>> states;
+  std::uint64_t epoch_ns = 0;
+  // Read on the hot path without mu; atomic keeps the read race-free.
+  std::atomic<bool> capture_spans{false};
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives exiting threads
+  return *r;
+}
+
+// Bound per thread, not global: one misbehaving phase cannot evict the
+// other threads' spans. 1 << 18 spans ~= 12 MiB/thread worst case.
+constexpr std::size_t kMaxSpansPerThread = std::size_t{1} << 18;
+
+void push_span(ThreadState* st, RawSpan&& span) {
+  if (st->spans.size() >= kMaxSpansPerThread) {
+    ++st->spans_dropped;
+    return;
+  }
+  st->spans.push_back(std::move(span));
+}
+
+}  // namespace
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+ThreadState* thread_state() {
+  thread_local ThreadState* st = [] {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto id = static_cast<std::uint32_t>(r.states.size());
+    r.states.push_back(std::make_unique<ThreadState>(id));
+    return r.states.back().get();
+  }();
+  return st;
+}
+
+void record_phase(ThreadState* st, const char* name, std::uint64_t t0_ns) {
+  const std::uint64_t end_ns = now_ns();
+  const auto dur = static_cast<double>(end_ns - t0_ns);
+  std::lock_guard<std::mutex> lock(st->mu);
+  PhaseStats& ps = st->by_phase[name];
+  ++ps.count;
+  ps.total_ns += dur;
+  ps.max_ns = std::max(ps.max_ns, dur);
+  if (registry().capture_spans.load(std::memory_order_relaxed))
+    push_span(st, RawSpan{name, {}, t0_ns, end_ns - t0_ns});
+}
+
+void record_task(ThreadState* st, const std::string& name,
+                 std::uint64_t t0_ns) {
+  const std::uint64_t end_ns = now_ns();
+  const auto dur = static_cast<double>(end_ns - t0_ns);
+  std::lock_guard<std::mutex> lock(st->mu);
+  PhaseStats& ps = st->by_task_phase[name];
+  ++ps.count;
+  ps.total_ns += dur;
+  ps.max_ns = std::max(ps.max_ns, dur);
+}
+
+}  // namespace detail
+
+ScopedTask::~ScopedTask() {
+  if (!st_) return;
+  const std::uint64_t end_ns = detail::now_ns();
+  detail::record_task(st_, phase_, t0_ns_);
+  detail::Registry& r = detail::registry();
+  if (r.capture_spans.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(st_->mu);
+    detail::push_span(
+        st_, detail::RawSpan{phase_, std::move(name_), t0_ns_,
+                             end_ns - t0_ns_});
+  }
+}
+
+Profiler& Profiler::instance() {
+  static Profiler p;
+  return p;
+}
+
+void Profiler::enable(bool capture_spans) {
+  detail::Registry& r = detail::registry();
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.capture_spans.store(capture_spans, std::memory_order_relaxed);
+    r.epoch_ns = detail::now_ns();
+  }
+  detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Profiler::disable() {
+  detail::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+void Profiler::reset() {
+  detail::Registry& r = detail::registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& st : r.states) {
+    std::lock_guard<std::mutex> slock(st->mu);
+    st->by_phase.clear();
+    st->by_task_phase.clear();
+    st->spans.clear();
+    st->spans_dropped = 0;
+    st->name.clear();
+  }
+}
+
+void Profiler::set_thread_name(const std::string& name) {
+  detail::ThreadState* st = detail::thread_state();
+  std::lock_guard<std::mutex> lock(st->mu);
+  st->name = name;
+}
+
+std::map<std::string, PhaseStats> Profiler::flat_profile() const {
+  detail::Registry& r = detail::registry();
+  std::map<std::string, PhaseStats> merged;
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& st : r.states) {
+    std::lock_guard<std::mutex> slock(st->mu);
+    auto merge = [&merged](const std::string& key, const PhaseStats& ps) {
+      PhaseStats& dst = merged[key];
+      dst.count += ps.count;
+      dst.total_ns += ps.total_ns;
+      dst.max_ns = std::max(dst.max_ns, ps.max_ns);
+    };
+    for (const auto& [name, ps] : st->by_phase) merge(name, ps);
+    for (const auto& [name, ps] : st->by_task_phase) merge(name, ps);
+  }
+  return merged;
+}
+
+std::vector<WallSpan> Profiler::spans() const {
+  detail::Registry& r = detail::registry();
+  std::vector<WallSpan> out;
+  std::lock_guard<std::mutex> lock(r.mu);
+  const std::uint64_t epoch = r.epoch_ns;
+  for (auto& st : r.states) {
+    std::lock_guard<std::mutex> slock(st->mu);
+    for (const detail::RawSpan& raw : st->spans) {
+      WallSpan w;
+      w.name = raw.task.empty() ? std::string(raw.phase) : raw.task;
+      w.tid = st->tid;
+      // Spans recorded before the current epoch (enable() after a prior
+      // run) would go negative; clamp to the epoch start.
+      const std::uint64_t t0 = std::max(raw.t0_ns, epoch);
+      w.t0_us = static_cast<double>(t0 - epoch) / 1000.0;
+      w.dur_us = static_cast<double>(raw.dur_ns) / 1000.0;
+      out.push_back(std::move(w));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const WallSpan& a, const WallSpan& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.t0_us != b.t0_us) return a.t0_us < b.t0_us;
+              return a.dur_us > b.dur_us;  // outer span first
+            });
+  return out;
+}
+
+std::map<std::uint32_t, std::string> Profiler::thread_names() const {
+  detail::Registry& r = detail::registry();
+  std::map<std::uint32_t, std::string> names;
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& st : r.states) {
+    std::lock_guard<std::mutex> slock(st->mu);
+    if (!st->name.empty()) names[st->tid] = st->name;
+  }
+  return names;
+}
+
+std::uint64_t Profiler::spans_dropped() const {
+  detail::Registry& r = detail::registry();
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& st : r.states) {
+    std::lock_guard<std::mutex> slock(st->mu);
+    total += st->spans_dropped;
+  }
+  return total;
+}
+
+}  // namespace osmosis::prof

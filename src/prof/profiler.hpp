@@ -1,0 +1,169 @@
+#pragma once
+// Wall-clock profiling for the hot loops (DESIGN.md §11). A process-wide
+// Profiler collects per-phase timing from RAII scoped timers placed in
+// the simulators' slot loops (VOQ ingest, scheduler tick, crossbar
+// transfer, ARQ, fault injector, telemetry sampling) and around campaign
+// jobs. Two products:
+//
+//   * a flat profile — count / total / mean / max wall time per phase,
+//     merged across threads, landed in RunReport under "profile";
+//   * optionally the raw spans (begin timestamp + duration per thread),
+//     the input of the Chrome-trace exporter (trace_export.hpp), which
+//     renders an 8-thread campaign as a per-worker Gantt chart.
+//
+// Cost discipline: the profiler is DISABLED by default. A disabled
+// OSMOSIS_PROF_SCOPE is one relaxed atomic load and a branch (< 2% of
+// any simulator slot; bench_perf measures and asserts the bound), so the
+// hooks stay compiled into release binaries. Building with
+// -DOSMOSIS_PROF_DISABLED removes even that. Enabled, a scope costs two
+// steady_clock reads plus one uncontended mutex acquisition on exit.
+//
+// Thread model: each thread owns its accumulation state (registered
+// globally on first use and kept alive after thread exit, so pool
+// workers joined before the snapshot still report). State is mutated
+// under a per-thread mutex, so flat_profile()/spans() may be called
+// while instrumented threads are running.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/ckpt/archive.hpp"
+
+namespace osmosis::prof {
+
+/// Flat-profile entry for one phase: wall time across all threads.
+struct PhaseStats {
+  std::uint64_t count = 0;
+  double total_ns = 0.0;
+  double max_ns = 0.0;
+
+  double mean_ns() const {
+    return count ? total_ns / static_cast<double>(count) : 0.0;
+  }
+
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, count);
+    ckpt::field(a, total_ns);
+    ckpt::field(a, max_ns);
+  }
+};
+
+/// One captured span: phase name, owning thread, and its wall-clock
+/// window relative to the enable() epoch.
+struct WallSpan {
+  std::string name;
+  std::uint32_t tid = 0;
+  double t0_us = 0.0;
+  double dur_us = 0.0;
+};
+
+namespace detail {
+// The one branch a disabled scope pays. Relaxed is enough: enabling
+// mid-scope only means that scope is not counted, never a torn stat.
+extern std::atomic<bool> g_enabled;
+struct ThreadState;
+ThreadState* thread_state();
+void record_phase(ThreadState* st, const char* name, std::uint64_t t0_ns);
+void record_task(ThreadState* st, const std::string& name,
+                 std::uint64_t t0_ns);
+std::uint64_t now_ns();
+}  // namespace detail
+
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+class Profiler {
+ public:
+  static Profiler& instance();
+
+  /// Turns collection on. `capture_spans` additionally retains the raw
+  /// spans (bounded per thread; overflow is counted, never blocking) for
+  /// Chrome-trace export. Resets the epoch; does not clear prior stats.
+  void enable(bool capture_spans = false);
+  void disable();
+
+  /// Drops all accumulated stats, spans, and thread names. The thread
+  /// registrations themselves survive (tids stay stable).
+  void reset();
+
+  /// Names the calling thread's track in trace exports ("worker-3").
+  void set_thread_name(const std::string& name);
+
+  /// Per-phase stats merged across every registered thread, keyed by
+  /// phase name. Sorted map => deterministic serialization order.
+  std::map<std::string, PhaseStats> flat_profile() const;
+
+  /// All captured spans (enable(true) only), ordered by thread then
+  /// start time. Thread names come back through `names` (tid-indexed
+  /// entries may be empty when a thread never named itself).
+  std::vector<WallSpan> spans() const;
+  std::map<std::uint32_t, std::string> thread_names() const;
+  std::uint64_t spans_dropped() const;
+
+ private:
+  Profiler() = default;
+};
+
+/// RAII phase timer for string-literal phase names (the macro's target).
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(const char* name) {
+    if (!prof::enabled()) return;
+    st_ = detail::thread_state();
+    name_ = name;
+    t0_ns_ = detail::now_ns();
+  }
+  ~ScopedPhase() {
+    if (st_) detail::record_phase(st_, name_, t0_ns_);
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  detail::ThreadState* st_ = nullptr;
+  const char* name_ = nullptr;
+  std::uint64_t t0_ns_ = 0;
+};
+
+/// RAII timer for dynamically named work items (campaign jobs): the span
+/// carries the full name; the flat profile aggregates under `phase`.
+class ScopedTask {
+ public:
+  ScopedTask(std::string name, const char* phase = "exec.job") {
+    if (!prof::enabled()) return;
+    st_ = detail::thread_state();
+    name_ = std::move(name);
+    phase_ = phase;
+    t0_ns_ = detail::now_ns();
+  }
+  ~ScopedTask();
+  ScopedTask(const ScopedTask&) = delete;
+  ScopedTask& operator=(const ScopedTask&) = delete;
+
+ private:
+  detail::ThreadState* st_ = nullptr;
+  std::string name_;
+  const char* phase_ = nullptr;
+  std::uint64_t t0_ns_ = 0;
+};
+
+}  // namespace osmosis::prof
+
+// OSMOSIS_PROF_SCOPE("sim.phase"): times the enclosing scope under the
+// given phase name. Compiles to nothing with -DOSMOSIS_PROF_DISABLED.
+#ifdef OSMOSIS_PROF_DISABLED
+#define OSMOSIS_PROF_SCOPE(name) \
+  do {                           \
+  } while (false)
+#else
+#define OSMOSIS_PROF_CONCAT2(a, b) a##b
+#define OSMOSIS_PROF_CONCAT(a, b) OSMOSIS_PROF_CONCAT2(a, b)
+#define OSMOSIS_PROF_SCOPE(name)                    \
+  ::osmosis::prof::ScopedPhase OSMOSIS_PROF_CONCAT( \
+      osmosis_prof_scope_, __COUNTER__)(name)
+#endif

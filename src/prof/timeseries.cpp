@@ -1,0 +1,56 @@
+#include "src/prof/timeseries.hpp"
+
+namespace osmosis::prof {
+
+TimeSeriesSampler::TimeSeriesSampler(const TimeSeriesConfig& cfg)
+    : cfg_(cfg) {
+  if (cfg_.every_slots == 0) cfg_.every_slots = 1;
+  if (cfg_.max_samples < 2) cfg_.max_samples = 2;
+  stride_ = cfg_.every_slots;
+}
+
+void TimeSeriesSampler::set_channels(std::vector<std::string> channels) {
+  channels_ = std::move(channels);
+}
+
+void TimeSeriesSampler::record(std::uint64_t slot,
+                               const std::vector<double>& values) {
+  if (!enabled() || values.size() != channels_.size()) return;
+  // A doubled stride can make a previously due slot stale (decimation
+  // happened between due() and record() never occurs — record itself
+  // decimates — but a caller recording without consulting due() must
+  // not corrupt spacing).
+  if (slot % stride_ != 0) return;
+  if (!slots_.empty() && slot <= slots_.back()) return;  // monotonic only
+  slots_.push_back(slot);
+  rows_.push_back(values);
+  if (slots_.size() >= cfg_.max_samples) decimate();
+}
+
+void TimeSeriesSampler::decimate() {
+  // Keep even-indexed rows. Row 0's slot is a multiple of the old
+  // stride; retained rows stay multiples of the doubled stride because
+  // consecutive retained rows were 2 old strides apart.
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < slots_.size(); r += 2) {
+    if (w != r) {  // guard the r==0 self-move, which would hollow the row
+      slots_[w] = slots_[r];
+      rows_[w] = std::move(rows_[r]);
+    }
+    ++w;
+  }
+  slots_.resize(w);
+  rows_.resize(w);
+  stride_ *= 2;
+}
+
+TimeSeriesData TimeSeriesSampler::snapshot() const {
+  TimeSeriesData d;
+  d.every_slots = stride_;
+  d.channels = channels_;
+  d.slots = slots_;
+  d.values = rows_;
+  return d;
+}
+
+}  // namespace osmosis::prof

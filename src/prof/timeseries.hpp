@@ -1,0 +1,123 @@
+#pragma once
+// Deterministic in-run time series (DESIGN.md §11). The simulators call
+// `due(slot)` at each slot boundary and, when it fires, record one row
+// of channel values (per-port VOQ depth, aggregate backlog, link
+// utilization, credit occupancy, instantaneous throughput). Rows land in
+// a fixed-capacity buffer with stride-doubling decimation: when the
+// buffer fills, every other row (the odd-indexed ones) is dropped and
+// the sampling stride doubles, so an arbitrarily long run keeps at most
+// `max_samples` uniformly spaced rows.
+//
+// Determinism contract: `due()` depends only on (slot, stride), and the
+// stride evolves only through record() calls — both functions of the
+// simulated schedule, never of wall time or thread interleaving. The
+// serialized series is therefore byte-identical at any thread count and
+// across checkpoint/resume (the stride and retained rows ride along via
+// io_state).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ckpt/archive.hpp"
+
+namespace osmosis::prof {
+
+struct TimeSeriesConfig {
+  bool enabled = false;
+  /// Initial sampling period in slots; decimation doubles it as needed.
+  std::uint64_t every_slots = 256;
+  /// Retained-row bound; buffer never holds more rows than this.
+  std::size_t max_samples = 512;
+};
+
+/// Immutable snapshot of a sampled series, the shape serialized into
+/// RunReport ("timeseries" key): column names plus row-major values.
+struct TimeSeriesData {
+  std::uint64_t every_slots = 0;  // effective (post-decimation) stride
+  std::vector<std::string> channels;
+  std::vector<std::uint64_t> slots;          // one entry per row
+  std::vector<std::vector<double>> values;   // values[row][channel]
+
+  bool empty() const { return slots.empty(); }
+
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, every_slots);
+    ckpt::field(a, channels);
+    ckpt::field(a, slots);
+    ckpt::field(a, values);
+    if constexpr (Ar::kLoading) {
+      if (slots.size() != values.size())
+        throw ckpt::Error("timeseries row count mismatch in checkpoint");
+      for (const auto& row : values)
+        if (row.size() != channels.size())
+          throw ckpt::Error("timeseries channel count mismatch");
+    }
+  }
+};
+
+class TimeSeriesSampler {
+ public:
+  explicit TimeSeriesSampler(const TimeSeriesConfig& cfg = {});
+
+  /// Declares the column layout. Must be called (once) before the first
+  /// record(); the sampler is inert until it has channels.
+  void set_channels(std::vector<std::string> channels);
+
+  bool enabled() const { return cfg_.enabled && !channels_.empty(); }
+
+  /// True when `slot` is a sampling point under the current stride.
+  /// Callers gate the (possibly expensive) channel evaluation on this.
+  bool due(std::uint64_t slot) const {
+    return enabled() && stride_ != 0 && slot % stride_ == 0;
+  }
+
+  /// Appends one row; `values.size()` must equal the channel count.
+  /// May decimate: afterwards `stride()` can have doubled.
+  void record(std::uint64_t slot, const std::vector<double>& values);
+
+  std::uint64_t stride() const { return stride_; }
+  std::size_t size() const { return slots_.size(); }
+
+  TimeSeriesData snapshot() const;
+
+  /// Checkpoint body. Channels are config-derived (re-set on restore by
+  /// the owning simulator), so only their count is verified here; the
+  /// stride and retained rows are restored exactly, keeping `due()`
+  /// answers identical on both sides of a mid-window resume.
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, stride_);
+    std::uint64_t nch = channels_.size();
+    ckpt::field(a, nch);
+    if constexpr (Ar::kLoading) {
+      if (nch != channels_.size())
+        throw ckpt::Error("timeseries sampler channel mismatch");
+      if (cfg_.enabled && stride_ == 0)
+        throw ckpt::Error("timeseries sampler stride zero in checkpoint");
+    }
+    ckpt::field(a, slots_);
+    ckpt::field(a, rows_);
+    if constexpr (Ar::kLoading) {
+      if (slots_.size() != rows_.size())
+        throw ckpt::Error("timeseries sampler row mismatch");
+      if (slots_.size() > cfg_.max_samples)
+        throw ckpt::Error("timeseries sampler over capacity in checkpoint");
+      for (const auto& row : rows_)
+        if (row.size() != channels_.size())
+          throw ckpt::Error("timeseries sampler row width mismatch");
+    }
+  }
+
+ private:
+  void decimate();
+
+  TimeSeriesConfig cfg_;
+  std::vector<std::string> channels_;
+  std::uint64_t stride_ = 0;
+  std::vector<std::uint64_t> slots_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace osmosis::prof

@@ -1,0 +1,327 @@
+#include "src/prof/trace_export.hpp"
+
+#include <algorithm>
+
+#include "src/telemetry/json.hpp"
+
+namespace osmosis::prof {
+
+void ChromeTraceBuilder::process_name(int pid, const std::string& name) {
+  process_names_[pid] = name;
+}
+
+void ChromeTraceBuilder::thread_name(int pid, int tid,
+                                     const std::string& name) {
+  thread_names_[{pid, tid}] = name;
+}
+
+void ChromeTraceBuilder::duration(int pid, int tid, const std::string& name,
+                                  double ts_us, double dur_us,
+                                  const std::map<std::string, double>& args) {
+  spans_.push_back(Span{pid, tid, name, ts_us, std::max(dur_us, 0.0), args});
+}
+
+void ChromeTraceBuilder::async_begin(
+    int pid, int tid, const std::string& cat, std::uint64_t id,
+    const std::string& name, double ts_us,
+    const std::map<std::string, double>& args) {
+  Event e;
+  e.ph = 'b';
+  e.pid = pid;
+  e.tid = tid;
+  e.name = name;
+  e.cat = cat;
+  e.id = id;
+  e.has_id = true;
+  e.ts_us = ts_us;
+  e.args = args;
+  events_.push_back(std::move(e));
+}
+
+void ChromeTraceBuilder::async_end(int pid, int tid, const std::string& cat,
+                                   std::uint64_t id, double ts_us) {
+  Event e;
+  e.ph = 'e';
+  e.pid = pid;
+  e.tid = tid;
+  e.cat = cat;
+  e.id = id;
+  e.has_id = true;
+  e.ts_us = ts_us;
+  events_.push_back(std::move(e));
+}
+
+void ChromeTraceBuilder::counter(int pid, int tid, const std::string& name,
+                                 double ts_us,
+                                 const std::map<std::string, double>& series) {
+  Event e;
+  e.ph = 'C';
+  e.pid = pid;
+  e.tid = tid;
+  e.name = name;
+  e.ts_us = ts_us;
+  e.args = series;
+  events_.push_back(std::move(e));
+}
+
+void ChromeTraceBuilder::instant(int pid, int tid, const std::string& name,
+                                 double ts_us) {
+  Event e;
+  e.ph = 'i';
+  e.pid = pid;
+  e.tid = tid;
+  e.name = name;
+  e.ts_us = ts_us;
+  events_.push_back(std::move(e));
+}
+
+std::size_t ChromeTraceBuilder::event_count() const {
+  // Each duration span expands to a B and an E event.
+  return process_names_.size() + thread_names_.size() + 2 * spans_.size() +
+         events_.size();
+}
+
+std::string ChromeTraceBuilder::to_json(int indent) const {
+  // 1. Expand duration spans into properly nested B/E streams, one per
+  // (pid, tid). Spans are sorted (start asc, duration desc) so an outer
+  // span precedes the spans it contains; a stack then closes spans in
+  // LIFO order.
+  std::vector<Event> timed;
+  timed.reserve(2 * spans_.size() + events_.size());
+
+  std::map<std::pair<int, int>, std::vector<const Span*>> by_track;
+  for (const Span& s : spans_) by_track[{s.pid, s.tid}].push_back(&s);
+
+  for (auto& [track, list] : by_track) {
+    std::sort(list.begin(), list.end(), [](const Span* a, const Span* b) {
+      if (a->ts_us != b->ts_us) return a->ts_us < b->ts_us;
+      if (a->dur_us != b->dur_us) return a->dur_us > b->dur_us;
+      return a->name < b->name;
+    });
+    struct Open {
+      const Span* span;
+      double end_us;
+    };
+    std::vector<Open> stack;
+    auto emit = [&timed, &track](char ph, const Span* s, double ts) {
+      Event e;
+      e.ph = ph;
+      e.pid = track.first;
+      e.tid = track.second;
+      e.name = s->name;
+      e.ts_us = ts;
+      if (ph == 'B') e.args = s->args;
+      timed.push_back(std::move(e));
+    };
+    for (const Span* s : list) {
+      while (!stack.empty() && stack.back().end_us <= s->ts_us) {
+        emit('E', stack.back().span, stack.back().end_us);
+        stack.pop_back();
+      }
+      double end = s->ts_us + s->dur_us;
+      // Clamp a straddler: profiler scopes nest by construction, so
+      // this only fires on clock jitter at span boundaries.
+      if (!stack.empty() && end > stack.back().end_us)
+        end = stack.back().end_us;
+      emit('B', s, s->ts_us);
+      stack.push_back(Open{s, end});
+    }
+    while (!stack.empty()) {
+      emit('E', stack.back().span, stack.back().end_us);
+      stack.pop_back();
+    }
+  }
+
+  for (const Event& e : events_) timed.push_back(e);
+
+  // 2. Global nondecreasing ts. stable_sort keeps each track's internal
+  // order for equal timestamps, preserving B/E nesting.
+  std::stable_sort(timed.begin(), timed.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+
+  // 3. Serialize: metadata first, then the timed stream.
+  telemetry::JsonWriter w(indent);
+  w.open('{');
+  w.key("traceEvents");
+  w.open('[');
+
+  auto meta = [&w](const char* name, int pid, int tid, bool with_tid,
+                   const std::string& value) {
+    w.open('{');
+    w.key("ph");
+    w.string("M");
+    w.key("name");
+    w.string(name);
+    w.key("pid");
+    w.number(pid);
+    if (with_tid) {
+      w.key("tid");
+      w.number(tid);
+    }
+    w.key("args");
+    w.open('{');
+    w.key("name");
+    w.string(value);
+    w.close('}');
+    w.close('}');
+  };
+  for (const auto& [pid, name] : process_names_)
+    meta("process_name", pid, 0, false, name);
+  for (const auto& [track, name] : thread_names_)
+    meta("thread_name", track.first, track.second, true, name);
+
+  for (const Event& e : timed) {
+    w.open('{');
+    w.key("ph");
+    w.string(std::string(1, e.ph));
+    if (!e.name.empty() || e.ph == 'B' || e.ph == 'b') {
+      w.key("name");
+      w.string(e.name);
+    }
+    if (!e.cat.empty()) {
+      w.key("cat");
+      w.string(e.cat);
+    }
+    if (e.has_id) {
+      w.key("id");
+      w.number(static_cast<double>(e.id));
+    }
+    w.key("pid");
+    w.number(e.pid);
+    w.key("tid");
+    w.number(e.tid);
+    w.key("ts");
+    w.number(e.ts_us);
+    if (e.ph == 'i') {
+      w.key("s");
+      w.string("t");
+    }
+    if (!e.args.empty()) {
+      w.key("args");
+      w.open('{');
+      for (const auto& [k, v] : e.args) {
+        w.key(k);
+        w.number(v);
+      }
+      w.close('}');
+    }
+    w.close('}');
+  }
+
+  w.close(']');
+  w.key("displayTimeUnit");
+  w.string("ms");
+  w.close('}');
+  return w.str();
+}
+
+std::string wall_trace_json(const Profiler& profiler, int indent) {
+  ChromeTraceBuilder b;
+  constexpr int kPid = 0;
+  b.process_name(kPid, "osmosis wall-clock");
+  const auto names = profiler.thread_names();
+  const auto spans = profiler.spans();
+  for (const WallSpan& s : spans) {
+    const int tid = static_cast<int>(s.tid);
+    b.duration(kPid, tid, s.name, s.t0_us, s.dur_us);
+  }
+  // Name every track that has spans; fall back to "thread-N".
+  std::map<int, std::string> track_names;
+  for (const WallSpan& s : spans) {
+    const int tid = static_cast<int>(s.tid);
+    if (track_names.count(tid)) continue;
+    auto it = names.find(s.tid);
+    track_names[tid] = it != names.end() && !it->second.empty()
+                           ? it->second
+                           : "thread-" + std::to_string(tid);
+  }
+  for (const auto& [tid, name] : track_names) b.thread_name(kPid, tid, name);
+  return b.to_json(indent);
+}
+
+std::string sim_trace_json(const telemetry::CellTrace* trace,
+                           const faults::FaultPlan* plan,
+                           const TimeSeriesData* series, double us_per_slot,
+                           int indent) {
+  ChromeTraceBuilder b;
+  constexpr int kPid = 1;
+  constexpr int kFaultTid = 1'000'000;  // clear of any real port index
+  constexpr int kCounterTid = 1'000'001;
+  b.process_name(kPid, "osmosis sim-time");
+
+  double horizon_us = 0.0;  // end of permanent-fault windows
+
+  if (trace) {
+    const telemetry::TraceRing& ring = trace->ring();
+    std::map<int, bool> ports;
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      const telemetry::CellSpan& s = ring.at(i);
+      if (!s.has(telemetry::Stage::kEnqueue) ||
+          !s.has(telemetry::Stage::kDeliver))
+        continue;
+      const double t0 = s.at(telemetry::Stage::kEnqueue) * us_per_slot;
+      const double t1 = s.at(telemetry::Stage::kDeliver) * us_per_slot;
+      std::map<std::string, double> args{
+          {"dst", static_cast<double>(s.dst)},
+          {"fc_hold", static_cast<double>(s.fc_hold_cycles)},
+          {"retransmits", static_cast<double>(s.retransmits)},
+      };
+      if (s.has(telemetry::Stage::kGrant))
+        args["wait_grant"] = s.request_to_grant() * us_per_slot;
+      if (s.has(telemetry::Stage::kTransmit) &&
+          s.has(telemetry::Stage::kGrant))
+        args["xbar"] = s.grant_to_transmit() * us_per_slot;
+      const std::string name = "cell " + std::to_string(s.src) + "->" +
+                               std::to_string(s.dst);
+      b.async_begin(kPid, s.src, "cell", s.trace_seq, name, t0, args);
+      b.async_end(kPid, s.src, "cell", s.trace_seq, t1);
+      ports[s.src] = true;
+      horizon_us = std::max(horizon_us, t1);
+    }
+    for (const auto& [port, _] : ports)
+      b.thread_name(kPid, port, "src port " + std::to_string(port));
+  }
+
+  if (series) {
+    for (std::size_t row = 0; row < series->slots.size(); ++row) {
+      const double ts = static_cast<double>(series->slots[row]) * us_per_slot;
+      horizon_us = std::max(horizon_us, ts);
+      for (std::size_t c = 0;
+           c < series->channels.size() && c < series->values[row].size();
+           ++c) {
+        b.counter(kPid, kCounterTid, series->channels[c], ts,
+                  {{"value", series->values[row][c]}});
+      }
+    }
+  }
+
+  if (plan && !plan->empty()) {
+    b.thread_name(kPid, kFaultTid, "injected faults");
+    for (const faults::FaultEvent& e : plan->events())
+      horizon_us =
+          std::max(horizon_us, static_cast<double>(e.at_slot) * us_per_slot);
+    horizon_us += us_per_slot;  // permanent faults get a visible window
+    std::uint64_t id = 0;
+    for (const faults::FaultEvent& e : plan->events()) {
+      std::string name = faults::to_string(e.kind);
+      if (e.a >= 0) name += " a=" + std::to_string(e.a);
+      if (e.b >= 0) name += " b=" + std::to_string(e.b);
+      std::map<std::string, double> args{
+          {"permanent", e.transient() ? 0.0 : 1.0}};
+      if (e.rate > 0.0) args["rate"] = e.rate;
+      const double t0 = static_cast<double>(e.at_slot) * us_per_slot;
+      const double t1 =
+          e.transient() ? static_cast<double>(e.end_slot()) * us_per_slot
+                        : horizon_us;
+      b.async_begin(kPid, kFaultTid, "fault", id, name, t0, args);
+      b.async_end(kPid, kFaultTid, "fault", id, std::max(t1, t0));
+      ++id;
+    }
+  }
+
+  return b.to_json(indent);
+}
+
+}  // namespace osmosis::prof

@@ -1,0 +1,106 @@
+#pragma once
+// Chrome trace_event export (DESIGN.md §11): renders the two clocks of
+// the observability layer as files loadable in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing.
+//
+//   * wall-clock mode — the Profiler's captured spans become per-thread
+//     duration (B/E) tracks; a campaign run shows one Gantt row per
+//     worker with each job as a named block.
+//   * sim-time mode — virtual time, 1 slot = 1 µs by default. CellTrace
+//     lifecycle spans become async (b/e) tracks grouped per source port,
+//     fault-plan windows become an injected-faults track, and the in-run
+//     time series becomes counter (C) tracks.
+//
+// ChromeTraceBuilder is the shared writer. It buffers events and
+// serializes them sorted by timestamp (metadata first), with duration
+// events generated per (pid, tid) through an explicit span stack so the
+// B/E stream is always properly nested — the invariants the schema
+// checker (bench/schema_check.cpp) and tests/prof_test.cpp verify.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/faults/fault_plan.hpp"
+#include "src/prof/profiler.hpp"
+#include "src/prof/timeseries.hpp"
+#include "src/telemetry/trace.hpp"
+
+namespace osmosis::prof {
+
+class ChromeTraceBuilder {
+ public:
+  void process_name(int pid, const std::string& name);
+  void thread_name(int pid, int tid, const std::string& name);
+
+  /// A B/E duration span on a thread track. Spans on one (pid, tid) are
+  /// assumed to nest (RAII scopes do by construction); a span that
+  /// straddles its enclosing span's end is clamped to keep the emitted
+  /// stream well formed.
+  void duration(int pid, int tid, const std::string& name, double ts_us,
+                double dur_us,
+                const std::map<std::string, double>& args = {});
+
+  /// An async (b/e) span: the Chrome idiom for windows that may overlap
+  /// on one track — cell lifetimes sharing a source port, concurrent
+  /// fault windows. Grouped by (cat, id) in the viewer.
+  void async_begin(int pid, int tid, const std::string& cat,
+                   std::uint64_t id, const std::string& name, double ts_us,
+                   const std::map<std::string, double>& args = {});
+  void async_end(int pid, int tid, const std::string& cat, std::uint64_t id,
+                 double ts_us);
+
+  /// A counter sample; each entry of `series` renders as one line in the
+  /// counter track named `name`.
+  void counter(int pid, int tid, const std::string& name, double ts_us,
+               const std::map<std::string, double>& series);
+
+  void instant(int pid, int tid, const std::string& name, double ts_us);
+
+  std::size_t event_count() const;
+
+  /// The {"traceEvents": [...]} document. Timed events are emitted in
+  /// nondecreasing `ts` order.
+  std::string to_json(int indent = 0) const;
+
+ private:
+  struct Event {
+    char ph = 'i';  // B/E produced from spans_; others stored directly
+    int pid = 0;
+    int tid = 0;
+    std::string name;
+    std::string cat;
+    std::uint64_t id = 0;
+    bool has_id = false;
+    double ts_us = 0.0;
+    std::map<std::string, double> args;
+  };
+  struct Span {
+    int pid = 0;
+    int tid = 0;
+    std::string name;
+    double ts_us = 0.0;
+    double dur_us = 0.0;
+    std::map<std::string, double> args;
+  };
+
+  std::map<int, std::string> process_names_;
+  std::map<std::pair<int, int>, std::string> thread_names_;
+  std::vector<Span> spans_;
+  std::vector<Event> events_;
+};
+
+/// Wall-clock trace: every captured profiler span on its thread's track.
+/// Requires Profiler::enable(/*capture_spans=*/true) during the run.
+std::string wall_trace_json(const Profiler& profiler, int indent = 0);
+
+/// Sim-time trace from a run's artifacts. Any input may be empty; pass
+/// nullptr to skip a section. `us_per_slot` maps virtual slots onto the
+/// trace's microsecond axis (default: 1 slot = 1 µs).
+std::string sim_trace_json(const telemetry::CellTrace* trace,
+                           const faults::FaultPlan* plan,
+                           const TimeSeriesData* series,
+                           double us_per_slot = 1.0, int indent = 0);
+
+}  // namespace osmosis::prof

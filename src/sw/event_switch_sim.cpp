@@ -5,6 +5,7 @@
 #include <sstream>
 #include <string>
 
+#include "src/prof/profiler.hpp"
 #include "src/util/log.hpp"
 
 namespace osmosis::sw {
@@ -57,6 +58,9 @@ EventSwitchSim::EventSwitchSim(EventSwitchConfig cfg,
                        static_cast<std::size_t>(cfg_.ports) * 2,
                    0);
   delivered_per_port_.assign(static_cast<std::size_t>(cfg_.ports), 0);
+  telem_.series().set_channels({"backlog", "voq_backlog", "voq_max",
+                                "egress_backlog", "in_flight", "retry_pending",
+                                "throughput"});
 
   // ---- runtime fault plan ----------------------------------------------
   fibers_ = 1;
@@ -342,9 +346,14 @@ void EventSwitchSim::on_cycle() {
   const double now = now_ns_;
 
   // 0. Scheduled faults begin / get repaired at the cycle boundary.
-  if (injector_) apply_fault_transitions(cycle_);
+  if (injector_) {
+    OSMOSIS_PROF_SCOPE("event.faults");
+    apply_fault_transitions(cycle_);
+  }
 
   // 1. Arrivals this cycle; requests fly to the scheduler.
+  {
+  OSMOSIS_PROF_SCOPE("event.ingest");
   for (int in = 0; in < cfg_.ports && !draining_; ++in) {
     sim::Arrival a;
     if (!traffic_->sample(in, a)) continue;
@@ -372,8 +381,11 @@ void EventSwitchSim::on_cycle() {
     req.d = now;  // the grant latency clock starts at request issue
     push_event(req);
   }
+  }
 
   // 2. The central scheduler arbitrates once per cycle; grants fly back.
+  {
+  OSMOSIS_PROF_SCOPE("event.sched");
   for (const Grant& g : sched_->tick()) {
     auto& times = request_times_[static_cast<std::size_t>(g.input) *
                                      static_cast<std::size_t>(cfg_.ports) +
@@ -390,9 +402,12 @@ void EventSwitchSim::on_cycle() {
     gr.d = requested_at;
     push_event(gr);
   }
+  }
 
   // 3. Egress lines drain one cell per cycle.
   const bool measuring = now >= cfg_.warmup_ns;
+  {
+  OSMOSIS_PROF_SCOPE("event.egress");
   for (int out = 0; out < cfg_.ports; ++out) {
     auto& q = egress_[static_cast<std::size_t>(out)];
     if (q.empty()) continue;
@@ -408,6 +423,7 @@ void EventSwitchSim::on_cycle() {
             static_cast<std::uint64_t>(cls_bit),
         cell.seq);
     telem_.finish_cell(cell.trace, now + cfg_.cell_ns, measuring);
+    ++total_delivered_;
     if (measuring) {
       const double delay =
           now + cfg_.cell_ns -
@@ -417,11 +433,17 @@ void EventSwitchSim::on_cycle() {
       ++delivered_per_port_[static_cast<std::size_t>(out)];
     }
   }
+  }
   if (measuring) meter_.advance_slots(1, static_cast<std::uint64_t>(cfg_.ports));
 
   // Recovery bookkeeping: a repaired fault counts as recovered once the
   // backlog returns to its pre-fault baseline.
-  if (injector_) recovery_.observe(cycle_, backlog());
+  if (injector_) {
+    OSMOSIS_PROF_SCOPE("event.recovery");
+    recovery_.observe(cycle_, backlog());
+  }
+
+  sample_series(cycle_);
 
   // Trim stale slot bookings to keep the map bounded.
   if (cycle_ % 4096 == 0 && cycle_ > 0) {
@@ -477,6 +499,35 @@ bool EventSwitchSim::advance() {
       return false;
   }
   return false;
+}
+
+void EventSwitchSim::sample_series(std::uint64_t cycle) {
+  prof::TimeSeriesSampler& s = telem_.series();
+  if (!s.due(cycle)) return;
+  OSMOSIS_PROF_SCOPE("event.telemetry");
+  std::uint64_t voq_total = 0;
+  std::uint64_t voq_max = 0;
+  for (const auto& v : voqs_) {
+    const auto occ = static_cast<std::uint64_t>(v.total_occupancy());
+    voq_total += occ;
+    voq_max = std::max(voq_max, occ);
+  }
+  std::uint64_t egress_total = 0;
+  for (const auto& q : egress_) egress_total += q.size();
+  const std::uint64_t dcycles = cycle - last_sample_cycle_;
+  const double ddeliv =
+      static_cast<double>(total_delivered_ - last_sample_delivered_);
+  const double thr =
+      dcycles ? ddeliv / (static_cast<double>(dcycles) *
+                          static_cast<double>(cfg_.ports))
+              : 0.0;
+  s.record(cycle,
+           {static_cast<double>(backlog()), static_cast<double>(voq_total),
+            static_cast<double>(voq_max), static_cast<double>(egress_total),
+            static_cast<double>(in_flight_),
+            static_cast<double>(retry_pending_), thr});
+  last_sample_cycle_ = cycle;
+  last_sample_delivered_ = total_delivered_;
 }
 
 EventSwitchResult EventSwitchSim::run() {
@@ -551,6 +602,9 @@ void EventSwitchSim::io_core(Ar& a) {
   ckpt::field(a, faults_injected_);
   ckpt::field(a, faults_repaired_);
   ckpt::field(a, delivered_per_port_);
+  ckpt::field(a, total_delivered_);
+  ckpt::field(a, last_sample_cycle_);
+  ckpt::field(a, last_sample_delivered_);
   if constexpr (Ar::kLoading) {
     if (egress_.size() != static_cast<std::size_t>(cfg_.ports) ||
         request_times_.size() != static_cast<std::size_t>(cfg_.ports) *

@@ -175,6 +175,9 @@ class EventSwitchSim {
   void fire_next();
   double ctrl_ns(int adapter) const;
   void on_cycle();
+  /// Records one time-series row after cycle `cycle` when the sampler is
+  /// enabled and due (DESIGN.md §11); cycle-count driven, deterministic.
+  void sample_series(std::uint64_t cycle);
   void on_grant_arrival(Grant g, double requested_at);
   void apply_fault_transitions(std::uint64_t cycle);
   void set_module_state(int out, int rx, bool failed, std::uint64_t cycle);
@@ -234,6 +237,10 @@ class EventSwitchSim {
   // telemetry
   telemetry::Telemetry telem_;
   std::vector<std::uint64_t> delivered_per_port_;
+  // Time-series rate cursors (checkpointed with the core).
+  std::uint64_t total_delivered_ = 0;
+  std::uint64_t last_sample_cycle_ = 0;
+  std::uint64_t last_sample_delivered_ = 0;
 };
 
 /// Uniform Bernoulli helper.

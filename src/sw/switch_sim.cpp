@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/prof/profiler.hpp"
 #include "src/util/log.hpp"
 
 namespace osmosis::sw {
@@ -70,6 +71,9 @@ SwitchSim::SwitchSim(SwitchSimConfig cfg,
                           static_cast<std::size_t>(cfg_.ports));
   enqueued_per_port_.assign(static_cast<std::size_t>(cfg_.ports), 0);
   delivered_per_port_.assign(static_cast<std::size_t>(cfg_.ports), 0);
+  telem_.series().set_channels({"backlog", "voq_backlog", "voq_max",
+                                "egress_backlog", "retry_queue",
+                                "throughput", "link_util", "sched_matches"});
   // Square-ish fiber/wavelength split, used for optical validation and
   // for mapping failed fibers to their dark ingress ports.
   fibers_ = 1;
@@ -291,11 +295,15 @@ void SwitchSim::step(std::uint64_t t, bool measuring, bool inject_traffic) {
   const int n = cfg_.ports;
 
   // 0. Scheduled faults begin / get repaired at the cycle boundary.
-  if (injector_) apply_fault_transitions(t);
+  if (injector_) {
+    OSMOSIS_PROF_SCOPE("switch.faults");
+    apply_fault_transitions(t);
+  }
 
   // 1. Arrivals into the VOQs; requests enter the control pipe. Dark
   //    inputs (failed broadcast fiber) are offline hosts: no arrivals.
   if (inject_traffic) {
+    OSMOSIS_PROF_SCOPE("switch.ingest");
     for (int in = 0; in < n; ++in) {
       sim::Arrival a;
       if (!traffic_->sample(in, a)) continue;
@@ -331,6 +339,8 @@ void SwitchSim::step(std::uint64_t t, bool measuring, bool inject_traffic) {
 
   // 2. Control-path delivery of requests to the scheduler, including
   //    re-filed requests from missed-grant / ARQ timeouts.
+  {
+  OSMOSIS_PROF_SCOPE("switch.control");
   while (!retry_queue_.empty() && retry_queue_.begin()->first <= t) {
     const auto [in, out] = retry_queue_.begin()->second;
     retry_queue_.erase(retry_queue_.begin());
@@ -351,11 +361,18 @@ void SwitchSim::step(std::uint64_t t, bool measuring, bool inject_traffic) {
                      static_cast<std::size_t>(req.out)]
           .push_back(t);
   }
+  }
 
   // 3. The central scheduler arbitrates this cell cycle.
-  const std::vector<Grant> grants = sched_->tick();
+  std::vector<Grant> grants;
+  {
+    OSMOSIS_PROF_SCOPE("switch.sched");
+    grants = sched_->tick();
+  }
 
   // 4. Crossbar transfer: granted cells move VOQ -> egress queue.
+  {
+  OSMOSIS_PROF_SCOPE("switch.xbar");
   if (optical_) optical_->release_all();
   for (const Grant& g : grants) {
     // A grant can be lost on the control path (corrupted grant message:
@@ -425,8 +442,11 @@ void SwitchSim::step(std::uint64_t t, bool measuring, bool inject_traffic) {
   }
   for (const auto& q : egress_)
     max_egress_depth_ = std::max(max_egress_depth_, static_cast<int>(q.size()));
+  }
 
   // 5. Egress lines drain.
+  {
+  OSMOSIS_PROF_SCOPE("switch.egress");
   for (int out = 0; out < n; ++out) {
     auto& q = egress_[static_cast<std::size_t>(out)];
     for (int k = 0; k < cfg_.egress_line_rate && !q.empty(); ++k) {
@@ -445,6 +465,7 @@ void SwitchSim::step(std::uint64_t t, bool measuring, bool inject_traffic) {
           cell.seq);
       if (cfg_.on_delivery) cfg_.on_delivery(cell, t);
       telem_.finish_cell(cell.trace, static_cast<double>(t) + 1.0, measuring);
+      ++total_delivered_;
       if (measuring) {
         delay_hist_.add(delay);
         (cell.cls == sim::TrafficClass::kControl ? control_delay_
@@ -455,10 +476,54 @@ void SwitchSim::step(std::uint64_t t, bool measuring, bool inject_traffic) {
       }
     }
   }
+  }
 
   // 6. Recovery bookkeeping: a repaired fault counts as recovered once
   //    the backlog returns to its pre-fault baseline.
-  if (injector_) recovery_.observe(t, backlog());
+  if (injector_) {
+    OSMOSIS_PROF_SCOPE("switch.recovery");
+    recovery_.observe(t, backlog());
+  }
+}
+
+void SwitchSim::sample_series(std::uint64_t t) {
+  prof::TimeSeriesSampler& s = telem_.series();
+  if (!s.due(t)) return;
+  OSMOSIS_PROF_SCOPE("switch.telemetry");
+  std::uint64_t voq_total = 0;
+  std::uint64_t voq_max = 0;
+  for (const auto& v : voqs_) {
+    const auto occ = static_cast<std::uint64_t>(v.total_occupancy());
+    voq_total += occ;
+    voq_max = std::max(voq_max, occ);
+  }
+  std::uint64_t egress_total = 0;
+  for (const auto& q : egress_) egress_total += q.size();
+  // Rates over the window since the previous sample; the first sample
+  // of a run has no window yet and records 0.
+  const std::uint64_t dslots = t - last_sample_slot_;
+  const double ddeliv =
+      static_cast<double>(total_delivered_ - last_sample_delivered_);
+  const double dgrants =
+      static_cast<double>(grants_issued_ - last_sample_grants_);
+  const double thr =
+      dslots ? ddeliv / (static_cast<double>(dslots) *
+                         static_cast<double>(cfg_.ports))
+             : 0.0;
+  const double link_util =
+      dslots ? dgrants / (static_cast<double>(dslots) *
+                          static_cast<double>(cfg_.ports))
+             : 0.0;
+  s.record(t, {static_cast<double>(voq_total + egress_total),
+               static_cast<double>(voq_total), static_cast<double>(voq_max),
+               static_cast<double>(egress_total),
+               static_cast<double>(retry_queue_.size()), thr, link_util,
+               static_cast<double>(dslots ? dgrants /
+                                                static_cast<double>(dslots)
+                                          : 0.0)});
+  last_sample_slot_ = t;
+  last_sample_delivered_ = total_delivered_;
+  last_sample_grants_ = grants_issued_;
 }
 
 // Windowed delivery accounting: the worst window is the depth of the
@@ -469,11 +534,13 @@ bool SwitchSim::advance_slot() {
   const std::uint64_t measure_end = cfg_.warmup_slots + cfg_.measure_slots;
   if (now_ < cfg_.warmup_slots) {
     step(now_, false, true);
+    sample_series(now_);
     ++now_;
     return true;
   }
   if (now_ < measure_end) {
     step(now_, true, true);
+    sample_series(now_);
     meter_.advance_slots(1, static_cast<std::uint64_t>(cfg_.ports));
     const std::uint64_t elapsed = now_ + 1 - cfg_.warmup_slots;
     if (elapsed % kWindowSlots == 0) {
@@ -498,6 +565,7 @@ bool SwitchSim::advance_slot() {
       !(injector_ && injector_->pending() > 0))
     return false;
   step(now_, false, false);
+  sample_series(now_);
   ++drained_slots_;
   ++now_;
   return true;
@@ -603,6 +671,10 @@ void SwitchSim::io_core(Ar& a) {
   ckpt::field(a, enqueued_per_port_);
   ckpt::field(a, delivered_per_port_);
   ckpt::field(a, grants_issued_);
+  ckpt::field(a, total_delivered_);
+  ckpt::field(a, last_sample_slot_);
+  ckpt::field(a, last_sample_delivered_);
+  ckpt::field(a, last_sample_grants_);
   if constexpr (Ar::kLoading) {
     if (egress_.size() != static_cast<std::size_t>(cfg_.ports) ||
         dark_input_.size() != static_cast<std::size_t>(cfg_.ports))

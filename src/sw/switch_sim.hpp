@@ -170,6 +170,10 @@ class SwitchSim {
 
  private:
   void step(std::uint64_t t, bool measuring, bool inject_traffic);
+  /// Records one time-series row (DESIGN.md §11) after slot `t` when the
+  /// sampler is enabled and due. Purely slot-driven, so the recorded
+  /// series is identical at any thread count and across checkpoints.
+  void sample_series(std::uint64_t t);
   template <class Ar>
   void io_core(Ar& a);
   template <class Ar>
@@ -249,6 +253,13 @@ class SwitchSim {
   std::vector<std::uint64_t> enqueued_per_port_;   // per input
   std::vector<std::uint64_t> delivered_per_port_;  // per output, measured
   std::uint64_t grants_issued_ = 0;
+  // Time-series rate cursors: deliveries (all phases) and the previous
+  // sample's cursor values, for per-window rates. Checkpointed with the
+  // core so a resumed run records identical rows.
+  std::uint64_t total_delivered_ = 0;
+  std::uint64_t last_sample_slot_ = 0;
+  std::uint64_t last_sample_delivered_ = 0;
+  std::uint64_t last_sample_grants_ = 0;
 };
 
 /// Convenience: build, run, and return the result for a uniform

@@ -1,0 +1,54 @@
+#include "src/telemetry/build_info.hpp"
+
+namespace osmosis::telemetry {
+
+namespace {
+
+std::string compiler_id() {
+#if defined(__clang__)
+  return "clang";
+#elif defined(__GNUC__)
+  return "gcc";
+#else
+  return "unknown";
+#endif
+}
+
+std::string compiler_version() {
+#if defined(__clang_major__)
+  return std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return std::to_string(__GNUC__) + "." + std::to_string(__GNUC_MINOR__) +
+         "." + std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+std::map<std::string, std::string> build_info() {
+  std::map<std::string, std::string> info;
+#ifdef OSMOSIS_BUILD_TYPE
+  info["build_type"] = OSMOSIS_BUILD_TYPE;
+#else
+  info["build_type"] = "unknown";
+#endif
+  info["compiler"] = compiler_id();
+  info["compiler_version"] = compiler_version();
+#ifdef OSMOSIS_GIT_SHA
+  info["git_sha"] = OSMOSIS_GIT_SHA;
+#else
+  info["git_sha"] = "unknown";
+#endif
+#ifdef OSMOSIS_SANITIZE_FLAGS
+  info["sanitize"] = OSMOSIS_SANITIZE_FLAGS;
+#else
+  info["sanitize"] = "OFF";
+#endif
+  return info;
+}
+
+}  // namespace osmosis::telemetry

@@ -1,0 +1,22 @@
+#pragma once
+// Build provenance for RunReport's "meta.build" block: which binary
+// produced this JSON? Values come from two places — the compiler's
+// predefined macros (compiler id/version, always correct for the object
+// actually built) and configure-time CMake definitions (git SHA, build
+// type, sanitizer set; "unknown" when built outside CMake/git).
+//
+// Reports do NOT carry this block by default — RunReport stays
+// byte-identical to its pre-profiling form unless a harness opts in via
+// RunReport::attach_build_info() — so determinism comparisons across
+// builds keep working.
+
+#include <map>
+#include <string>
+
+namespace osmosis::telemetry {
+
+/// Key → value provenance map with deterministic key order:
+/// build_type, compiler, compiler_version, git_sha, sanitize.
+std::map<std::string, std::string> build_info();
+
+}  // namespace osmosis::telemetry

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "src/telemetry/build_info.hpp"
 #include "src/telemetry/json.hpp"
 #include "src/util/log.hpp"
 
@@ -46,6 +47,8 @@ HistogramSummary parse_histogram_summary(const JsonValue& h) {
   return s;
 }
 
+void RunReport::attach_build_info() { build = build_info(); }
+
 std::string RunReport::to_json(int indent) const {
   JsonWriter w(indent);
   w.open('{');
@@ -55,6 +58,21 @@ std::string RunReport::to_json(int indent) const {
   w.string(sim);
   w.key("time_unit");
   w.string(time_unit);
+
+  // Optional keys are omitted when empty so reports from runs without
+  // provenance/profiling stay byte-identical to the original schema.
+  if (!build.empty()) {
+    w.key("meta");
+    w.open('{');
+    w.key("build");
+    w.open('{');
+    for (const auto& [k, v] : build) {
+      w.key(k);
+      w.string(v);
+    }
+    w.close('}');
+    w.close('}');
+  }
 
   w.key("config");
   w.open('{');
@@ -88,6 +106,50 @@ std::string RunReport::to_json(int indent) const {
   }
   w.close('}');
 
+  if (!profile.empty()) {
+    w.key("profile");
+    w.open('{');
+    for (const auto& [name, ps] : profile) {
+      w.key(name);
+      w.open('{');
+      w.key("count");
+      w.number(static_cast<double>(ps.count));
+      w.key("total_ns");
+      w.number(ps.total_ns);
+      w.key("mean_ns");
+      w.number(ps.mean_ns());
+      w.key("max_ns");
+      w.number(ps.max_ns);
+      w.close('}');
+    }
+    w.close('}');
+  }
+
+  if (!timeseries.empty()) {
+    w.key("timeseries");
+    w.open('{');
+    w.key("every_slots");
+    w.number(static_cast<double>(timeseries.every_slots));
+    w.key("channels");
+    w.open('[');
+    for (const auto& c : timeseries.channels) w.string(c);
+    w.close(']');
+    w.key("slots");
+    w.open('[');
+    for (std::uint64_t s : timeseries.slots)
+      w.number(static_cast<double>(s));
+    w.close(']');
+    w.key("values");
+    w.open('[');
+    for (const auto& row : timeseries.values) {
+      w.open('[');
+      for (double v : row) w.number(v);
+      w.close(']');
+    }
+    w.close(']');
+    w.close('}');
+  }
+
   w.key("health");
   w.open('[');
   for (const auto& e : health) w.string(e);
@@ -105,12 +167,38 @@ RunReport RunReport::from_json(const std::string& text) {
   RunReport r;
   r.sim = doc.at("sim").str;
   r.time_unit = doc.at("time_unit").str;
+  if (doc.has("meta") && doc.at("meta").has("build"))
+    for (const auto& [k, v] : doc.at("meta").at("build").object)
+      r.build[k] = v.str;
   for (const auto& [k, v] : doc.at("config").object) r.config[k] = v.number;
   for (const auto& [k, v] : doc.at("info").object) r.info[k] = v.str;
   for (const auto& [k, v] : doc.at("counters").object)
     r.counters[k] = v.number;
   for (const auto& [name, h] : doc.at("histograms").object)
     r.histograms.emplace(name, parse_histogram_summary(h));
+  if (doc.has("profile")) {
+    for (const auto& [name, p] : doc.at("profile").object) {
+      prof::PhaseStats ps;
+      ps.count = static_cast<std::uint64_t>(p.at("count").number);
+      ps.total_ns = p.at("total_ns").number;
+      ps.max_ns = p.at("max_ns").number;
+      r.profile.emplace(name, ps);
+    }
+  }
+  if (doc.has("timeseries")) {
+    const JsonValue& ts = doc.at("timeseries");
+    r.timeseries.every_slots =
+        static_cast<std::uint64_t>(ts.at("every_slots").number);
+    for (const auto& c : ts.at("channels").array)
+      r.timeseries.channels.push_back(c.str);
+    for (const auto& s : ts.at("slots").array)
+      r.timeseries.slots.push_back(static_cast<std::uint64_t>(s.number));
+    for (const auto& row : ts.at("values").array) {
+      std::vector<double> vals;
+      for (const auto& v : row.array) vals.push_back(v.number);
+      r.timeseries.values.push_back(std::move(vals));
+    }
+  }
   for (const auto& e : doc.at("health").array) r.health.push_back(e.str);
   return r;
 }

@@ -6,15 +6,20 @@
 // simulator emits the same schema (DESIGN.md "Telemetry & metrics"), so
 // benches and tooling can diff runs without parsing per-bench tables.
 //
-// Schema (all keys always present):
+// Schema (bracketed keys appear only when their data is non-empty, so a
+// run with profiling/provenance off emits byte-identical documents to
+// the pre-observability schema):
 //   {
 //     "schema": "osmosis.run_report.v1",
 //     "sim": "<simulator name>",
 //     "time_unit": "cycles" | "ns",
+//     ["meta": { "build": { "git_sha": "...", "compiler": "...", ... } },]
 //     "config": { "<knob>": <number>, ... },
 //     "info": { "<key>": "<string>", ... },
 //     "counters": { "<subsystem.port.metric>": <number>, ... },
 //     "histograms": { "<name>": {"count","mean","min","p50","p99","max"} },
+//     ["profile": { "<phase>": {"count","total_ns","mean_ns","max_ns"} },]
+//     ["timeseries": { "every_slots", "channels", "slots", "values" },]
 //     "health": [ "<event>", ... ]
 //   }
 
@@ -25,6 +30,8 @@
 
 #include "src/ckpt/archive.hpp"
 #include "src/mgmt/counters.hpp"
+#include "src/prof/profiler.hpp"
+#include "src/prof/timeseries.hpp"
 #include "src/sim/stats.hpp"
 
 namespace osmosis::telemetry {
@@ -65,11 +72,19 @@ struct RunReport {
 
   std::string sim;        // simulator name, e.g. "SwitchSim"
   std::string time_unit;  // unit of every histogram: "cycles" or "ns"
+  std::map<std::string, std::string> build;  // "meta.build" when non-empty
   std::map<std::string, double> config;
   std::map<std::string, std::string> info;
   mgmt::Snapshot counters;
   std::map<std::string, HistogramSummary> histograms;
+  std::map<std::string, prof::PhaseStats> profile;  // emitted when non-empty
+  prof::TimeSeriesData timeseries;                  // emitted when non-empty
   std::vector<std::string> health;
+
+  /// Stamps the producing binary's provenance (telemetry::build_info)
+  /// into the report. Opt-in per harness: without this call the report
+  /// stays byte-identical across builds.
+  void attach_build_info();
 
   /// Serializes to JSON with deterministic key order (maps are sorted).
   /// indent <= 0 emits a single line.
@@ -86,10 +101,13 @@ struct RunReport {
   void io_state(Ar& a) {
     ckpt::field(a, sim);
     ckpt::field(a, time_unit);
+    ckpt::field(a, build);
     ckpt::field(a, config);
     ckpt::field(a, info);
     ckpt::field(a, counters);
     ckpt::field(a, histograms);
+    ckpt::field(a, profile);
+    ckpt::field(a, timeseries);
     ckpt::field(a, health);
   }
 };

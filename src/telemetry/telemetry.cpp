@@ -5,7 +5,8 @@ namespace osmosis::telemetry {
 Telemetry::Telemetry(const TelemetryConfig& cfg)
     : cfg_(cfg),
       trace_(cfg.ring_capacity, cfg.sample_every, cfg.max_open_spans),
-      stages_(cfg.hist_linear_limit, cfg.hist_growth) {}
+      stages_(cfg.hist_linear_limit, cfg.hist_growth),
+      series_(cfg.timeseries) {}
 
 RunReport Telemetry::make_report(const std::string& sim_name,
                                  const std::string& time_unit) const {
@@ -29,6 +30,10 @@ RunReport Telemetry::make_report(const std::string& sim_name,
                        HistogramSummary::of(stages_.transmit_to_deliver()));
   r.histograms.emplace("stage.end_to_end",
                        HistogramSummary::of(stages_.end_to_end()));
+  // The timeseries key rides along only when the sampler captured rows;
+  // an inert sampler keeps the report byte-identical to prior schemas.
+  if (series_.enabled() && series_.size() > 0)
+    r.timeseries = series_.snapshot();
   return r;
 }
 

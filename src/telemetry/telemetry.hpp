@@ -11,6 +11,7 @@
 #include <string>
 
 #include "src/mgmt/counters.hpp"
+#include "src/prof/timeseries.hpp"
 #include "src/telemetry/run_report.hpp"
 #include "src/telemetry/stage_latency.hpp"
 #include "src/telemetry/trace.hpp"
@@ -25,6 +26,10 @@ struct TelemetryConfig {
   // Stage-histogram shape; raise linear_limit for ns-unit simulators.
   double hist_linear_limit = 256.0;
   double hist_growth = 1.25;
+  // In-run time series (DESIGN.md §11). Off by default and independent
+  // of `enabled` above: the sampler is driven by slot count only, so it
+  // stays deterministic regardless of cell-trace sampling.
+  prof::TimeSeriesConfig timeseries;
 };
 
 class Telemetry {
@@ -62,6 +67,8 @@ class Telemetry {
 
   CellTrace& trace() { return trace_; }
   const CellTrace& trace() const { return trace_; }
+  prof::TimeSeriesSampler& series() { return series_; }
+  const prof::TimeSeriesSampler& series() const { return series_; }
   StageLatencyBook& stages() { return stages_; }
   const StageLatencyBook& stages() const { return stages_; }
   mgmt::CounterRegistry& counters() { return counters_; }
@@ -81,6 +88,7 @@ class Telemetry {
     ckpt::field(a, trace_);
     ckpt::field(a, stages_);
     ckpt::field(a, counters_);
+    ckpt::field(a, series_);
   }
 
  private:
@@ -88,6 +96,7 @@ class Telemetry {
   CellTrace trace_;
   StageLatencyBook stages_;
   mgmt::CounterRegistry counters_;
+  prof::TimeSeriesSampler series_;
 };
 
 }  // namespace osmosis::telemetry

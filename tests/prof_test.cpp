@@ -1,0 +1,465 @@
+// Tests for the profiling & tracing layer (src/prof/ + DESIGN.md §11):
+// the flat wall-clock profile and its enable/disable discipline, the
+// deterministic time-series sampler (stride-doubling decimation,
+// checkpoint round trip mid-sample-window, byte-identity at any thread
+// count), Chrome-trace export invariants (parseable JSON, nondecreasing
+// timestamps, balanced B/E and b/e streams), and the RunReport contract
+// that the new "profile"/"timeseries"/"build" keys appear only when
+// populated — so a run with the layer off serializes exactly as before.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/ckpt/ckpt.hpp"
+#include "src/exec/campaign.hpp"
+#include "src/exec/thread_pool.hpp"
+#include "src/prof/profiler.hpp"
+#include "src/prof/timeseries.hpp"
+#include "src/prof/trace_export.hpp"
+#include "src/sim/traffic.hpp"
+#include "src/sw/switch_sim.hpp"
+#include "src/telemetry/build_info.hpp"
+#include "src/telemetry/json.hpp"
+#include "src/telemetry/run_report.hpp"
+
+namespace osmosis {
+namespace {
+
+using telemetry::JsonValue;
+
+// The profiler is process-global; every test leaves it disabled+clean.
+struct ProfilerGuard {
+  ProfilerGuard() { reset(); }
+  ~ProfilerGuard() { reset(); }
+  static void reset() {
+    prof::Profiler::instance().disable();
+    prof::Profiler::instance().reset();
+  }
+};
+
+// ---- Profiler flat profile -------------------------------------------------
+
+TEST(Profiler, DisabledScopesRecordNothing) {
+  ProfilerGuard guard;
+  EXPECT_FALSE(prof::enabled());
+  for (int i = 0; i < 100; ++i) {
+    OSMOSIS_PROF_SCOPE("prof_test.noop");
+  }
+  EXPECT_TRUE(prof::Profiler::instance().flat_profile().empty());
+}
+
+// The next two tests exercise OSMOSIS_PROF_SCOPE itself, which a
+// -DOSMOSIS_PROF_DISABLED build compiles to nothing by design.
+#ifndef OSMOSIS_PROF_DISABLED
+TEST(Profiler, EnabledScopesCountAndAccumulate) {
+  ProfilerGuard guard;
+  prof::Profiler::instance().enable();
+  for (int i = 0; i < 32; ++i) {
+    OSMOSIS_PROF_SCOPE("prof_test.outer");
+    OSMOSIS_PROF_SCOPE("prof_test.inner");
+  }
+  prof::Profiler::instance().disable();
+
+  const auto profile = prof::Profiler::instance().flat_profile();
+  ASSERT_TRUE(profile.count("prof_test.outer"));
+  ASSERT_TRUE(profile.count("prof_test.inner"));
+  const prof::PhaseStats& outer = profile.at("prof_test.outer");
+  EXPECT_EQ(outer.count, 32u);
+  EXPECT_GT(outer.total_ns, 0.0);
+  EXPECT_GE(outer.max_ns, outer.mean_ns());
+  // Outer encloses inner, so its total cannot be smaller.
+  EXPECT_GE(outer.total_ns, profile.at("prof_test.inner").total_ns);
+}
+
+TEST(Profiler, MergesPhasesAcrossThreads) {
+  ProfilerGuard guard;
+  prof::Profiler::instance().enable();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  {
+    exec::ThreadPool pool(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+      pool.submit([] {
+        for (int i = 0; i < kPerThread; ++i) {
+          OSMOSIS_PROF_SCOPE("prof_test.pooled");
+        }
+      });
+    pool.wait_idle();
+  }
+  prof::Profiler::instance().disable();
+  const auto profile = prof::Profiler::instance().flat_profile();
+  ASSERT_TRUE(profile.count("prof_test.pooled"));
+  EXPECT_EQ(profile.at("prof_test.pooled").count,
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+#endif  // OSMOSIS_PROF_DISABLED
+
+TEST(Profiler, CapturedSpansCarryThreadNames) {
+  ProfilerGuard guard;
+  prof::Profiler::instance().enable(/*capture_spans=*/true);
+  prof::Profiler::instance().set_thread_name("prof-test-main");
+  { prof::ScopedTask task("job[alpha]"); }
+  // ScopedPhase directly (not the macro), so this also covers the
+  // -DOSMOSIS_PROF_DISABLED build, where the classes remain available.
+  { prof::ScopedPhase span("prof_test.span"); }
+  prof::Profiler::instance().disable();
+
+  const auto spans = prof::Profiler::instance().spans();
+  std::set<std::string> names;
+  for (const auto& s : spans) names.insert(s.name);
+  EXPECT_TRUE(names.count("job[alpha]"));
+  EXPECT_TRUE(names.count("prof_test.span"));
+  bool named = false;
+  for (const auto& [tid, name] : prof::Profiler::instance().thread_names())
+    named = named || name == "prof-test-main";
+  EXPECT_TRUE(named);
+  // ScopedTask also lands in the flat profile under its phase bucket.
+  EXPECT_TRUE(prof::Profiler::instance().flat_profile().count("exec.job"));
+}
+
+// ---- Time-series sampler ---------------------------------------------------
+
+prof::TimeSeriesSampler make_sampler(std::uint64_t every,
+                                     std::size_t max_samples) {
+  prof::TimeSeriesConfig cfg;
+  cfg.enabled = true;
+  cfg.every_slots = every;
+  cfg.max_samples = max_samples;
+  prof::TimeSeriesSampler s(cfg);
+  s.set_channels({"a", "b"});
+  return s;
+}
+
+TEST(TimeSeries, InertWithoutChannelsOrEnable) {
+  prof::TimeSeriesConfig cfg;
+  cfg.enabled = true;
+  prof::TimeSeriesSampler no_channels(cfg);
+  EXPECT_FALSE(no_channels.enabled());
+  EXPECT_FALSE(no_channels.due(0));
+
+  prof::TimeSeriesSampler disabled;  // default config: enabled = false
+  EXPECT_FALSE(disabled.enabled());
+  EXPECT_FALSE(disabled.due(0));
+}
+
+TEST(TimeSeries, StrideDoublingKeepsUniformSpacingUnderCap) {
+  auto s = make_sampler(/*every=*/1, /*max_samples=*/8);
+  for (std::uint64_t slot = 0; slot < 1000; ++slot)
+    if (s.due(slot))
+      s.record(slot, {static_cast<double>(slot), 2.0 * slot});
+
+  EXPECT_LE(s.size(), 8u);
+  const prof::TimeSeriesData data = s.snapshot();
+  ASSERT_GE(data.slots.size(), 2u);
+  EXPECT_EQ(data.every_slots, s.stride());
+  // Retained rows are uniformly spaced by the final stride and each
+  // row still carries the value recorded at that slot.
+  for (std::size_t i = 0; i < data.slots.size(); ++i) {
+    EXPECT_EQ(data.slots[i], i * data.every_slots);
+    EXPECT_DOUBLE_EQ(data.values[i][0], static_cast<double>(data.slots[i]));
+    EXPECT_DOUBLE_EQ(data.values[i][1], 2.0 * data.slots[i]);
+  }
+  // Decimation fires on reaching capacity, so the stride is a power of
+  // two and 1000 slots of pressure have pushed it to 256.
+  EXPECT_EQ(s.stride(), 256u);
+}
+
+TEST(TimeSeries, DueDependsOnlyOnSlotAndStride) {
+  auto s = make_sampler(/*every=*/4, /*max_samples=*/512);
+  // Asking in any order, repeatedly, never perturbs the answer: due()
+  // is a pure predicate of (slot, stride).
+  EXPECT_TRUE(s.due(0));
+  EXPECT_FALSE(s.due(2));
+  EXPECT_TRUE(s.due(8));
+  EXPECT_TRUE(s.due(8));
+  EXPECT_FALSE(s.due(7));
+  EXPECT_TRUE(s.due(0));
+}
+
+TEST(TimeSeries, CheckpointRoundTripMidSampleWindow) {
+  // Straight run: sample slots 0..N with decimation pressure.
+  auto straight = make_sampler(/*every=*/2, /*max_samples=*/16);
+  // Interrupted run: identical, but serialized and restored at a slot
+  // that is NOT a sampling point (mid-window), the worst case for any
+  // phase-dependent bug.
+  auto first = make_sampler(2, 16);
+
+  constexpr std::uint64_t kCut = 333;  // odd => not on the stride grid
+  constexpr std::uint64_t kEnd = 1000;
+  for (std::uint64_t slot = 0; slot <= kEnd; ++slot) {
+    if (straight.due(slot))
+      straight.record(slot, {static_cast<double>(slot), 0.5 * slot});
+    if (slot <= kCut && first.due(slot))
+      first.record(slot, {static_cast<double>(slot), 0.5 * slot});
+  }
+  ASSERT_FALSE(first.due(kCut));
+
+  ckpt::Sink sink;
+  first.io_state(sink);
+  std::string bytes = sink.take();
+
+  auto resumed = make_sampler(2, 16);
+  ckpt::Source src(bytes);
+  resumed.io_state(src);
+
+  for (std::uint64_t slot = kCut + 1; slot <= kEnd; ++slot)
+    if (resumed.due(slot))
+      resumed.record(slot, {static_cast<double>(slot), 0.5 * slot});
+
+  // Byte-level equality of the serialized series.
+  ckpt::Sink sa, sb;
+  straight.io_state(sa);
+  resumed.io_state(sb);
+  EXPECT_EQ(sa.take(), sb.take());
+}
+
+TEST(TimeSeries, CheckpointRejectsChannelCountMismatch) {
+  auto two = make_sampler(4, 16);
+  two.record(0, {1.0, 2.0});
+  ckpt::Sink sink;
+  two.io_state(sink);
+  std::string bytes = sink.take();
+
+  prof::TimeSeriesConfig cfg;
+  cfg.enabled = true;
+  cfg.every_slots = 4;
+  cfg.max_samples = 16;
+  prof::TimeSeriesSampler three(cfg);
+  three.set_channels({"a", "b", "c"});
+  ckpt::Source src(bytes);
+  EXPECT_THROW(three.io_state(src), ckpt::Error);
+}
+
+// ---- End-to-end determinism through SwitchSim ------------------------------
+
+sw::SwitchSimConfig series_cfg() {
+  sw::SwitchSimConfig cfg;
+  cfg.ports = 16;
+  cfg.warmup_slots = 200;
+  cfg.measure_slots = 2'000;
+  cfg.telemetry.enabled = true;
+  cfg.telemetry.sample_every = 4;
+  cfg.telemetry.timeseries.enabled = true;
+  cfg.telemetry.timeseries.every_slots = 8;
+  cfg.telemetry.timeseries.max_samples = 64;
+  cfg.drain_max_slots = 20'000;
+  cfg.fault_plan = exec::make_fault_plan(exec::FaultScenario::kCombined,
+                                         cfg.warmup_slots,
+                                         cfg.measure_slots);
+  cfg.fault_plan.seeded(0x5EED);
+  return cfg;
+}
+
+std::string run_report_json(const sw::SwitchSimConfig& cfg) {
+  sw::SwitchSim sim(cfg, sim::make_uniform(cfg.ports, 0.6, 99));
+  sim.run();
+  return sim.report().to_json();
+}
+
+TEST(TimeSeries, SwitchSimSeriesByteIdenticalAtAnyThreadCount) {
+  // Profiler on (worst case: wall-clock instrumentation active) while
+  // four identical simulations race on a pool; every report, including
+  // its "timeseries" section, must equal the serial single-thread run.
+  ProfilerGuard guard;
+  prof::Profiler::instance().enable();
+  const std::string serial = run_report_json(series_cfg());
+  ASSERT_NE(serial.find("\"timeseries\""), std::string::npos);
+
+  constexpr int kJobs = 4;
+  std::vector<std::string> parallel(kJobs);
+  {
+    exec::ThreadPool pool(kJobs);
+    for (int j = 0; j < kJobs; ++j)
+      pool.submit([&parallel, j] { parallel[j] = run_report_json(series_cfg()); });
+    pool.wait_idle();
+  }
+  for (int j = 0; j < kJobs; ++j) EXPECT_EQ(parallel[j], serial) << "job " << j;
+}
+
+TEST(TimeSeries, SwitchSimSeriesSurvivesCheckpointMidWindow) {
+  const auto cfg = series_cfg();
+  sw::SwitchSim a(cfg, sim::make_uniform(cfg.ports, 0.6, 99));
+  a.run();
+
+  // 901 is mid-window for every stride the 64-row buffer can reach, and
+  // mid-outage for the combined fault plan.
+  sw::SwitchSim b(cfg, sim::make_uniform(cfg.ports, 0.6, 99));
+  for (int i = 0; i < 901; ++i) ASSERT_TRUE(b.advance_slot());
+  ckpt::Writer w;
+  b.save_state(w);
+
+  sw::SwitchSim c(cfg, sim::make_uniform(cfg.ports, 0.6, 99));
+  c.load_state(ckpt::Reader::from_bytes(w.serialize()));
+  c.run();
+
+  EXPECT_EQ(a.report().to_json(), c.report().to_json());
+  EXPECT_FALSE(a.telemetry().series().snapshot().empty());
+}
+
+// ---- Chrome-trace export ---------------------------------------------------
+
+// Minimal structural validator mirroring bench/schema_check.cpp: every
+// timed event timestamped in nondecreasing order, duration events
+// balanced per (pid, tid), async events balanced per (pid, cat, id).
+void check_chrome_trace(const std::string& json, std::size_t* timed_out) {
+  const JsonValue doc = telemetry::json_parse(json);
+  ASSERT_TRUE(doc.has("traceEvents"));
+  const auto& events = doc.at("traceEvents").array;
+  ASSERT_FALSE(events.empty());
+
+  std::map<std::pair<int, int>, std::vector<std::string>> stacks;
+  std::map<std::string, int> async_open;
+  double last_ts = -1.0;
+  std::size_t timed = 0;
+  for (const JsonValue& e : events) {
+    ASSERT_TRUE(e.has("ph"));
+    const char ph = e.at("ph").str.at(0);
+    if (ph == 'M') continue;
+    ASSERT_TRUE(e.has("ts"));
+    const double ts = e.at("ts").number;
+    EXPECT_GE(ts, last_ts);
+    last_ts = ts;
+    ++timed;
+    const int pid = static_cast<int>(e.at("pid").number);
+    const int tid = static_cast<int>(e.at("tid").number);
+    if (ph == 'B') {
+      stacks[{pid, tid}].push_back(e.at("name").str);
+    } else if (ph == 'E') {
+      auto& st = stacks[{pid, tid}];
+      ASSERT_FALSE(st.empty());
+      EXPECT_EQ(e.at("name").str, st.back());
+      st.pop_back();
+    } else if (ph == 'b' || ph == 'e') {
+      const std::string key = e.at("cat").str + "#" +
+                              telemetry::json_number(e.at("id").number);
+      if (ph == 'b') {
+        ++async_open[key];
+      } else {
+        ASSERT_GT(async_open[key], 0) << key;
+        --async_open[key];
+      }
+    }
+  }
+  for (const auto& [track, st] : stacks) EXPECT_TRUE(st.empty());
+  for (const auto& [key, open] : async_open) EXPECT_EQ(open, 0) << key;
+  if (timed_out) *timed_out = timed;
+}
+
+TEST(ChromeTrace, BuilderNestsStraddlingSpansAndSorts) {
+  prof::ChromeTraceBuilder b;
+  b.process_name(0, "test");
+  b.thread_name(0, 1, "t1");
+  // Inserted out of order, with a child straddling its parent's end:
+  // the builder must clamp and emit a well-formed nondecreasing stream.
+  b.duration(0, 1, "child", 5.0, 10.0);
+  b.duration(0, 1, "parent", 0.0, 12.0);
+  b.duration(0, 1, "later", 20.0, 1.0, {{"x", 3.0}});
+  b.async_begin(0, 1, "win", 7, "window", 2.0);
+  b.async_end(0, 1, "win", 7, 18.0);
+  b.counter(0, 2, "depth", 4.0, {{"value", 9.0}});
+  b.instant(0, 1, "mark", 6.0);
+
+  std::size_t timed = 0;
+  check_chrome_trace(b.to_json(), &timed);
+  EXPECT_GE(timed, 8u);  // 3 spans => 6 B/E, plus b/e, C, i
+}
+
+TEST(ChromeTrace, WallTraceFromProfilerSpans) {
+  ProfilerGuard guard;
+  prof::Profiler::instance().enable(/*capture_spans=*/true);
+  prof::Profiler::instance().set_thread_name("main");
+  {
+    prof::ScopedTask job("job[fig7:load=0.5]");
+    for (int i = 0; i < 3; ++i) {
+      prof::ScopedPhase phase("prof_test.phase");
+    }
+  }
+  prof::Profiler::instance().disable();
+
+  const std::string json =
+      prof::wall_trace_json(prof::Profiler::instance());
+  std::size_t timed = 0;
+  check_chrome_trace(json, &timed);
+  EXPECT_GE(timed, 8u);  // 4 spans as B/E pairs
+  EXPECT_NE(json.find("job[fig7:load=0.5]"), std::string::npos);
+  EXPECT_NE(json.find("\"main\""), std::string::npos);
+}
+
+TEST(ChromeTrace, SimTraceCoversCellsFaultsAndCounters) {
+  auto cfg = series_cfg();
+  cfg.telemetry.sample_every = 1;  // trace every cell
+  sw::SwitchSim sim(cfg, sim::make_uniform(cfg.ports, 0.6, 11));
+  sim.run();
+
+  const prof::TimeSeriesData series = sim.telemetry().series().snapshot();
+  const std::string json = prof::sim_trace_json(
+      &sim.telemetry().trace(), &cfg.fault_plan, &series);
+  std::size_t timed = 0;
+  check_chrome_trace(json, &timed);
+  EXPECT_GT(timed, 100u);
+  // All three sections present: cell lifecycles, the fault timeline,
+  // and one counter track per series channel.
+  EXPECT_NE(json.find("\"cell\""), std::string::npos);
+  EXPECT_NE(json.find("\"fault\""), std::string::npos);
+  EXPECT_NE(json.find("backlog"), std::string::npos);
+}
+
+// ---- RunReport integration -------------------------------------------------
+
+TEST(RunReport, NewSectionsOmittedWhenEmpty) {
+  ProfilerGuard guard;  // profiler off => sim runs collect no profile
+  sw::SwitchSimConfig cfg;
+  cfg.ports = 8;
+  cfg.warmup_slots = 50;
+  cfg.measure_slots = 500;
+  cfg.telemetry.enabled = true;
+  cfg.telemetry.sample_every = 4;
+  // timeseries left disabled (the default): the key must not appear.
+  sw::SwitchSim sim(cfg, sim::make_uniform(cfg.ports, 0.5, 7));
+  sim.run();
+  const std::string json = sim.report().to_json();
+  EXPECT_EQ(json.find("\"profile\""), std::string::npos);
+  EXPECT_EQ(json.find("\"timeseries\""), std::string::npos);
+  EXPECT_EQ(json.find("\"build\""), std::string::npos);
+}
+
+TEST(RunReport, ProfileAndBuildRoundTripThroughJson) {
+  ProfilerGuard guard;
+  prof::Profiler::instance().enable();
+  { prof::ScopedPhase phase("prof_test.report"); }
+  prof::Profiler::instance().disable();
+
+  sw::SwitchSimConfig cfg;
+  cfg.ports = 8;
+  cfg.warmup_slots = 50;
+  cfg.measure_slots = 500;
+  cfg.telemetry.enabled = true;
+  sw::SwitchSim sim(cfg, sim::make_uniform(cfg.ports, 0.5, 7));
+  sim.run();
+  telemetry::RunReport rep = sim.report();
+  rep.profile = prof::Profiler::instance().flat_profile();
+  rep.attach_build_info();
+
+  const JsonValue doc = telemetry::json_parse(rep.to_json());
+  ASSERT_TRUE(doc.has("profile"));
+  ASSERT_TRUE(doc.at("profile").has("prof_test.report"));
+  EXPECT_GE(doc.at("profile").at("prof_test.report").at("count").number,
+            1.0);
+  ASSERT_TRUE(doc.has("meta"));
+  ASSERT_TRUE(doc.at("meta").has("build"));
+  EXPECT_TRUE(doc.at("meta").at("build").has("compiler"));
+  EXPECT_TRUE(doc.at("meta").at("build").has("git_sha"));
+
+  const telemetry::RunReport back =
+      telemetry::RunReport::from_json(rep.to_json());
+  EXPECT_EQ(back.to_json(), rep.to_json());
+}
+
+}  // namespace
+}  // namespace osmosis

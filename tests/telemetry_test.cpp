@@ -367,6 +367,32 @@ TEST(Json, EscapeRoundTrip) {
   EXPECT_EQ(v.str, nasty);
 }
 
+// Regression: every control character U+0000..U+001F must leave
+// json_escape as an escape sequence, never as a raw byte — a raw 0x1F
+// (or NUL) in a string key renders the whole document unparseable for
+// strict consumers like Perfetto. Exercised via JsonWriter, the path
+// every report/trace string takes.
+TEST(Json, EscapesAllControlCharacters) {
+  std::string all;
+  for (int c = 0; c < 0x20; ++c) all.push_back(static_cast<char>(c));
+  const std::string escaped = json_escape(all);
+  for (const char c : escaped)
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u)
+        << "raw control byte leaked into escaped output";
+  EXPECT_NE(escaped.find("\\u0000"), std::string::npos);
+  EXPECT_NE(escaped.find("\\u001f"), std::string::npos);
+  EXPECT_NE(escaped.find("\\n"), std::string::npos);
+
+  JsonWriter w(0);
+  w.open('{');
+  w.key(all);
+  w.string(all);
+  w.close('}');
+  const JsonValue doc = json_parse(w.str());
+  ASSERT_TRUE(doc.has(all));
+  EXPECT_EQ(doc.at(all).str, all);
+}
+
 TEST(Json, RejectsMalformedInput) {
   EXPECT_DEATH(json_parse("{"), "");
   EXPECT_DEATH(json_parse("{} trailing"), "");
