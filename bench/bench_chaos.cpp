@@ -1,0 +1,258 @@
+// Chaos soak driver (DESIGN.md §12): generate seeded randomized trials
+// across all four simulators, run them under the invariant monitor, and
+// report any violation as a failure. Two modes:
+//
+//   fixed     (default) run exactly --trials trials; the emitted
+//             osmosis.chaos_manifest.v1 document is byte-identical for a
+//             given (--seed, --trials) at any --threads value;
+//   soak      (--soak --budget-seconds=B) keep launching trial waves
+//             until the wall-clock budget expires — trial count varies,
+//             violations still fail the run.
+//
+// A deliberate accounting defect can be armed with --inject-defect to
+// exercise the failure path end-to-end: the run then *expects*
+// violations, and --shrink reduces the first violating trial to a
+// minimal osmosis.repro.v1 file (--repro-out) that `chaos_repro`
+// replays.
+//
+// Flags: --trials=100 --seed=1 --threads=0 --soak --budget-seconds=60
+//        --json=PATH (manifest out) --inject-defect=KIND
+//        --defect-period=7 --shrink --repro-out=PATH --verbose
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/chaos/generator.hpp"
+#include "src/chaos/repro.hpp"
+#include "src/chaos/shrink.hpp"
+#include "src/chaos/trial.hpp"
+#include "src/exec/thread_pool.hpp"
+#include "src/telemetry/json.hpp"
+#include "src/util/cli.hpp"
+
+namespace {
+
+using osmosis::chaos::Defect;
+using osmosis::chaos::TrialResult;
+using osmosis::chaos::TrialSpec;
+
+struct TrialRow {
+  TrialSpec spec;
+  TrialResult result;
+  bool ran = false;
+};
+
+std::string u64_str(std::uint64_t v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+/// Deterministic manifest: rows in trial-index order, no timing fields.
+std::string manifest_json(std::uint64_t seed,
+                          const std::vector<TrialRow>& rows) {
+  std::uint64_t violations = 0, checks = 0, offered = 0, delivered = 0;
+  for (const auto& r : rows) {
+    violations += r.result.violations;
+    checks += r.result.checks;
+    offered += r.result.offered;
+    delivered += r.result.delivered;
+  }
+  osmosis::telemetry::JsonWriter w(2);
+  w.open('{');
+  w.key("format");
+  w.string("osmosis.chaos_manifest.v1");
+  w.key("campaign_seed");
+  w.string(u64_str(seed));
+  w.key("trials");
+  w.number(static_cast<double>(rows.size()));
+  w.key("violations");
+  w.number(static_cast<double>(violations));
+  w.key("checks");
+  w.number(static_cast<double>(checks));
+  w.key("offered");
+  w.number(static_cast<double>(offered));
+  w.key("delivered");
+  w.number(static_cast<double>(delivered));
+  w.key("per_trial");
+  w.open('[');
+  for (const auto& r : rows) {
+    w.open('{');
+    w.key("index");
+    w.number(static_cast<double>(r.spec.trial_index));
+    w.key("label");
+    w.string(r.spec.label());
+    w.key("sim");
+    w.string(osmosis::chaos::to_string(r.spec.sim));
+    w.key("seed");
+    w.string(u64_str(r.spec.seed));
+    w.key("faults");
+    w.number(static_cast<double>(r.spec.plan.size()));
+    w.key("checks");
+    w.number(static_cast<double>(r.result.checks));
+    w.key("offered");
+    w.number(static_cast<double>(r.result.offered));
+    w.key("delivered");
+    w.number(static_cast<double>(r.result.delivered));
+    w.key("violations");
+    w.number(static_cast<double>(r.result.violations));
+    if (r.result.violated) {
+      w.key("invariant");
+      w.string(r.result.invariant);
+      w.key("first_violation");
+      w.string(r.result.first_violation);
+    }
+    w.close('}');
+  }
+  w.close(']');
+  w.close('}');
+  return w.str() + "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  osmosis::util::Cli cli(argc, argv);
+  const std::uint64_t campaign_seed =
+      static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const long long trials = cli.get_int("trials", 100);
+  const unsigned threads =
+      static_cast<unsigned>(cli.get_int("threads", 0));
+  const bool soak = cli.get_bool("soak", false);
+  const double budget_s = cli.get_double("budget-seconds", 60.0);
+  const std::string json_path = cli.get("json", "");
+  const std::string defect_name = cli.get("inject-defect", "");
+  const std::uint64_t defect_period =
+      static_cast<std::uint64_t>(cli.get_int("defect-period", 7));
+  const bool do_shrink = cli.get_bool("shrink", false);
+  const std::string repro_out = cli.get("repro-out", "");
+  const bool verbose = cli.get_bool("verbose", false);
+
+  const Defect defect = defect_name.empty()
+                            ? Defect::kNone
+                            : osmosis::chaos::defect_from_string(defect_name);
+
+  osmosis::exec::ThreadPool pool(threads);
+  std::vector<TrialRow> rows;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto elapsed_s = [&t0]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
+
+  std::uint64_t next_index = 0;
+  const auto launch_wave = [&](std::uint64_t count) {
+    const std::size_t base = rows.size();
+    rows.resize(base + count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t index = next_index++;
+      TrialRow* row = &rows[base + i];
+      pool.submit([row, campaign_seed, index, defect, defect_period]() {
+        TrialSpec spec = osmosis::chaos::generate_trial(campaign_seed, index);
+        spec.defect = defect;
+        spec.defect_period = defect_period;
+        row->spec = spec;
+        row->result = osmosis::chaos::run_trial(spec);
+        row->ran = true;
+      });
+    }
+    pool.wait_idle();
+    for (std::exception_ptr& e : pool.take_exceptions()) {
+      try {
+        std::rethrow_exception(e);
+      } catch (const std::exception& ex) {
+        std::cerr << "bench_chaos: trial crashed: " << ex.what() << "\n";
+        return false;
+      }
+    }
+    return true;
+  };
+
+  bool crashed = false;
+  if (soak) {
+    const std::uint64_t wave = std::max(1u, pool.size()) * 4;
+    while (elapsed_s() < budget_s) {
+      if (!launch_wave(wave)) {
+        crashed = true;
+        break;
+      }
+    }
+  } else {
+    crashed = !launch_wave(static_cast<std::uint64_t>(trials));
+  }
+
+  // Verdict sweep (index order — rows were appended in index order).
+  std::uint64_t violated_trials = 0, total_violations = 0;
+  const TrialRow* first_bad = nullptr;
+  for (const auto& r : rows) {
+    if (!r.ran) continue;
+    if (verbose || r.result.violated) {
+      std::cout << (r.result.violated ? "VIOLATED " : "ok       ")
+                << r.spec.label();
+      if (r.result.violated)
+        std::cout << "  [" << r.result.first_violation << "]";
+      std::cout << "\n";
+    }
+    if (r.result.violated) {
+      ++violated_trials;
+      total_violations += r.result.violations;
+      if (!first_bad) first_bad = &r;
+    }
+  }
+
+  std::printf(
+      "bench_chaos: %zu trials, %llu violated (%llu violations), "
+      "%.1f s elapsed\n",
+      rows.size(), static_cast<unsigned long long>(violated_trials),
+      static_cast<unsigned long long>(total_violations), elapsed_s());
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out.good()) {
+      std::cerr << "bench_chaos: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << manifest_json(campaign_seed, rows);
+  }
+
+  // Shrink the first violating trial to a minimal repro.
+  if (do_shrink && first_bad) {
+    osmosis::chaos::ShrinkResult sr =
+        osmosis::chaos::shrink(first_bad->spec);
+    std::printf(
+        "shrink: %s -> %zu/%zu fault events, %llu/%llu slots, %zu muted "
+        "sources (%d runs)\n",
+        sr.invariant.c_str(), sr.shrunk_events, sr.original_events,
+        static_cast<unsigned long long>(sr.shrunk_slots),
+        static_cast<unsigned long long>(sr.original_slots),
+        sr.muted_sources, sr.runs);
+    if (!repro_out.empty()) {
+      osmosis::chaos::Repro repro;
+      repro.spec = sr.spec;
+      repro.expected_violated = true;
+      repro.expected_invariant = sr.invariant;
+      repro.expected_violations = sr.result.violations;
+      repro.note = "shrunk from " + first_bad->spec.label();
+      osmosis::chaos::write_repro_file(repro_out, repro);
+      std::printf("shrink: wrote %s\n", repro_out.c_str());
+    }
+  }
+
+  if (crashed) return 2;
+  if (defect != Defect::kNone) {
+    // Defect mode inverts the verdict: the armed bug must be caught.
+    if (violated_trials == 0) {
+      std::cerr << "bench_chaos: armed defect was never detected\n";
+      return 1;
+    }
+    return 0;
+  }
+  return violated_trials == 0 ? 0 : 1;
+}

@@ -1,0 +1,46 @@
+// Replays an osmosis.repro.v1 file (the chaos shrinker's minimal-repro
+// output) and checks the observed verdict against the one recorded in
+// the file: same violated/clean flag and, when violated, the same
+// invariant token. Exit 0 = reproduced, 1 = verdict mismatch, 2 = usage.
+//
+//   chaos_repro <repro.json> [--verbose]
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "src/chaos/repro.hpp"
+#include "src/chaos/trial.hpp"
+#include "src/util/cli.hpp"
+
+int main(int argc, char** argv) {
+  osmosis::util::Cli cli(argc, argv);
+  if (cli.positional().size() != 1) {
+    std::cerr << "usage: chaos_repro <repro.json> [--verbose]\n";
+    return 2;
+  }
+  const bool verbose = cli.get_bool("verbose", false);
+
+  const osmosis::chaos::Repro repro =
+      osmosis::chaos::read_repro_file(cli.positional()[0]);
+  std::printf("chaos_repro: %s\n", repro.spec.label().c_str());
+  if (!repro.note.empty()) std::printf("  note: %s\n", repro.note.c_str());
+  std::printf("  expecting: %s%s\n",
+              repro.expected_violated ? "violated " : "clean",
+              repro.expected_violated ? repro.expected_invariant.c_str()
+                                      : "");
+
+  osmosis::chaos::TrialResult r;
+  const bool match = osmosis::chaos::replay_matches(repro, r);
+  std::printf("  observed:  %s%s (%llu violations over %llu checks)\n",
+              r.violated ? "violated " : "clean",
+              r.violated ? r.invariant.c_str() : "",
+              static_cast<unsigned long long>(r.violations),
+              static_cast<unsigned long long>(r.checks));
+  if (verbose) {
+    for (const std::string& line : r.violation_log)
+      std::printf("    %s\n", line.c_str());
+  }
+  std::printf("chaos_repro: %s\n", match ? "REPRODUCED" : "MISMATCH");
+  return match ? 0 : 1;
+}

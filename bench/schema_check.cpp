@@ -22,6 +22,19 @@
 //       google-benchmark JSON from bench_micro: asserts the disabled
 //       OSMOSIS_PROF_SCOPE (BM_ProfScopeDisabled) costs < 2% of a
 //       16-port SwitchSim slot (BM_SwitchSimRun/0, 1100 slots/iter).
+//
+//   schema_check --campaign=<campaign.json>
+//       osmosis.campaign.v1 shape: campaign seed, per-job rows with
+//       index/label/seed/ok/attempts, an aggregate block whose job and
+//       failure counts agree with the rows, and a consistent quarantine
+//       view — every quarantined row appears in the top-level
+//       "quarantine" section and vice versa, with a known class.
+//
+//   schema_check --repro=<repro.json>
+//       osmosis.repro.v1 shape (DESIGN.md §12): 64-bit seeds as decimal
+//       strings, a known simulator/scheduler/defect, a non-degenerate
+//       slot horizon, well-formed fault events, and an expected-verdict
+//       block naming an invariant whenever a violation is recorded.
 
 #include <cstdint>
 #include <fstream>
@@ -285,6 +298,172 @@ int check_micro(const JsonValue& doc) {
   return 0;
 }
 
+// ---- campaign -------------------------------------------------------------
+
+int check_campaign(const JsonValue& doc) {
+  if (!doc.has("schema") || doc.at("schema").str != "osmosis.campaign.v1")
+    return fail("campaign: schema is not osmosis.campaign.v1");
+  if (!doc.has("name") || !doc.at("name").is_string())
+    return fail("campaign: missing name");
+  if (!doc.has("campaign_seed") || !doc.at("campaign_seed").is_string() ||
+      doc.at("campaign_seed").str.rfind("0x", 0) != 0)
+    return fail("campaign: campaign_seed is not an 0x-prefixed string");
+
+  if (!doc.has("jobs") || !doc.at("jobs").is_array() ||
+      doc.at("jobs").array.empty())
+    return fail("campaign: missing jobs rows");
+  const auto& jobs = doc.at("jobs").array;
+  std::size_t failed = 0;
+  std::set<std::size_t> quarantined_rows;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const JsonValue& j = jobs[i];
+    const std::string where = "campaign job " + std::to_string(i);
+    for (const char* key : {"index", "label", "seed", "ok", "attempts"})
+      if (!j.has(key)) return fail(where + ": missing " + key);
+    if (static_cast<std::size_t>(j.at("index").number) != i)
+      return fail(where + ": index out of order");
+    if (j.at("attempts").number < 1.0)
+      return fail(where + ": attempts < 1");
+    const bool ok = j.at("ok").boolean;
+    if (!ok) ++failed;
+    if (ok && j.has("metrics") && !j.at("metrics").is_object())
+      return fail(where + ": metrics is not an object");
+    const bool quarantined =
+        j.has("quarantined") && j.at("quarantined").boolean;
+    if (quarantined) {
+      if (ok) return fail(where + ": quarantined but ok");
+      quarantined_rows.insert(i);
+    }
+    if (j.has("failure_class")) {
+      const std::string& cls = j.at("failure_class").str;
+      if (cls != "deterministic" && cls != "transient" && cls != "timeout")
+        return fail(where + ": unknown failure_class '" + cls + "'");
+      if ((cls != "transient") != quarantined)
+        return fail(where + ": failure_class '" + cls +
+                    "' disagrees with quarantined flag");
+    } else if (quarantined) {
+      return fail(where + ": quarantined without a failure_class");
+    }
+  }
+
+  if (!doc.has("aggregate") || !doc.at("aggregate").is_object())
+    return fail("campaign: missing aggregate block");
+  const JsonValue& agg = doc.at("aggregate");
+  for (const char* key : {"jobs", "failed", "counters", "histograms"})
+    if (!agg.has(key))
+      return fail(std::string("campaign: aggregate missing ") + key);
+  if (static_cast<std::size_t>(agg.at("jobs").number) != jobs.size())
+    return fail("campaign: aggregate.jobs != row count");
+  if (static_cast<std::size_t>(agg.at("failed").number) != failed)
+    return fail("campaign: aggregate.failed disagrees with rows (" +
+                std::to_string(failed) + " rows not ok)");
+
+  // The quarantine section and the per-job flags must be the same set.
+  std::set<std::size_t> section_rows;
+  if (doc.has("quarantine")) {
+    if (!doc.at("quarantine").is_array())
+      return fail("campaign: quarantine is not an array");
+    for (const JsonValue& q : doc.at("quarantine").array) {
+      for (const char* key : {"index", "label", "class", "error"})
+        if (!q.has(key))
+          return fail(std::string("campaign: quarantine entry missing ") +
+                      key);
+      section_rows.insert(static_cast<std::size_t>(q.at("index").number));
+    }
+  }
+  if (section_rows != quarantined_rows)
+    return fail("campaign: quarantine section does not match the "
+                "quarantined job rows");
+
+  std::cout << "campaign OK: " << jobs.size() << " jobs, " << failed
+            << " failed, " << quarantined_rows.size() << " quarantined\n";
+  return 0;
+}
+
+// ---- repro ----------------------------------------------------------------
+
+bool is_decimal_string(const JsonValue& v) {
+  if (!v.is_string() || v.str.empty()) return false;
+  for (char c : v.str)
+    if (c < '0' || c > '9') return false;
+  return true;
+}
+
+int check_repro(const JsonValue& doc) {
+  if (!doc.has("format") || doc.at("format").str != "osmosis.repro.v1")
+    return fail("repro: format is not osmosis.repro.v1");
+  for (const char* key : {"campaign_seed", "seed", "fault_seed"})
+    if (!doc.has(key) || !is_decimal_string(doc.at(key)))
+      return fail(std::string("repro: ") + key +
+                  " is not a decimal string (JSON numbers are doubles and "
+                  "would round 64-bit seeds)");
+
+  if (!doc.has("sim") || !doc.at("sim").is_string())
+    return fail("repro: missing sim");
+  const std::string& sim = doc.at("sim").str;
+  if (sim != "switch" && sim != "event-switch" && sim != "fabric" &&
+      sim != "multiplane")
+    return fail("repro: unknown sim '" + sim + "'");
+  static const std::set<std::string> kSchedulers = {
+      "islip", "pim", "pislip", "flppr", "tdm", "wfa"};
+  if (!doc.has("scheduler") || kSchedulers.count(doc.at("scheduler").str) == 0)
+    return fail("repro: unknown scheduler");
+
+  for (const char* key : {"ports", "planes", "receivers", "load",
+                          "mean_burst", "warmup_slots", "measure_slots",
+                          "drain_max_slots", "deadlock_slots",
+                          "defect_period"})
+    if (!doc.has(key) || !doc.at(key).is_number())
+      return fail(std::string("repro: missing numeric ") + key);
+  if (doc.at("ports").number < 2.0)
+    return fail("repro: ports < 2");
+  if (doc.at("measure_slots").number < 1.0)
+    return fail("repro: degenerate measure_slots");
+  const double load = doc.at("load").number;
+  if (load <= 0.0 || load > 1.0)
+    return fail("repro: load outside (0, 1]");
+  if (!doc.has("defect") || !doc.at("defect").is_string())
+    return fail("repro: missing defect");
+  if (!doc.has("muted_sources") || !doc.at("muted_sources").is_array())
+    return fail("repro: missing muted_sources array");
+
+  if (!doc.has("faults") || !doc.at("faults").is_array())
+    return fail("repro: missing faults array");
+  const auto& faults = doc.at("faults").array;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const JsonValue& e = faults[i];
+    const std::string where = "repro fault " + std::to_string(i);
+    if (!e.has("kind") || !e.at("kind").is_string())
+      return fail(where + ": missing kind");
+    for (const char* key : {"at_slot", "a", "b", "duration_slots", "rate"})
+      if (!e.has(key) || !e.at(key).is_number())
+        return fail(where + ": missing numeric " + key);
+    const double rate = e.at("rate").number;
+    if (rate < 0.0 || rate > 1.0)
+      return fail(where + ": rate outside [0, 1]");
+  }
+
+  if (!doc.has("expected") || !doc.at("expected").is_object())
+    return fail("repro: missing expected block");
+  const JsonValue& exp = doc.at("expected");
+  for (const char* key : {"violated", "invariant", "violations"})
+    if (!exp.has(key))
+      return fail(std::string("repro: expected block missing ") + key);
+  if (exp.at("violated").boolean && exp.at("invariant").str.empty())
+    return fail("repro: expected.violated without an invariant token");
+  if (exp.at("violated").boolean && faults.empty())
+    return fail("repro: records a violation but carries no fault events "
+                "(the monitor's defects only fire under an open fault)");
+
+  std::cout << "repro OK: sim=" << sim << ", " << faults.size()
+            << " fault event(s), expected "
+            << (exp.at("violated").boolean
+                    ? "violation of '" + exp.at("invariant").str + "'"
+                    : std::string("clean run"))
+            << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -321,8 +500,16 @@ int main(int argc, char** argv) {
     if (!load(cli.get_path("micro", ""), doc)) return 1;
     return check_micro(doc);
   }
+  if (cli.has("campaign")) {
+    if (!load(cli.get_path("campaign", ""), doc)) return 1;
+    return check_campaign(doc);
+  }
+  if (cli.has("repro")) {
+    if (!load(cli.get_path("repro", ""), doc)) return 1;
+    return check_repro(doc);
+  }
   std::cerr << "usage: schema_check --trace=F | --perf=F [--baseline=F] | "
                "--report=F [--need-profile] [--need-timeseries] | "
-               "--micro=F\n";
+               "--micro=F | --campaign=F | --repro=F\n";
   return 2;
 }

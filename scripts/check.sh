@@ -8,12 +8,16 @@
 # ckpt_verify divergence replay of any surviving state file), run the
 # tracked perf suite (bench_perf --smoke) and validate every artifact it
 # emits — BENCH_perf.json, both Chrome traces, the profiled RunReport —
-# with schema_check, assert the disabled-profiler overhead bound on
-# bench_micro numbers, then rebuild under ASan+UBSan (failure/fault/checkpoint tests — mid-run
-# structural changes and raw-byte deserialization, where memory bugs
-# hide) and under TSan (the exec tests plus a multi-threaded smoke
-# campaign — the campaign runner's worker pool is the only concurrency
-# in the tree).
+# with schema_check, run the fixed-seed chaos smoke soak (25 randomized
+# fault-fuzzing trials, zero invariant violations, manifest
+# byte-identical to the committed baseline and across thread counts),
+# assert the disabled-profiler overhead bound on
+# bench_micro numbers, then rebuild under ASan+UBSan (failure/fault/
+# chaos/checkpoint tests plus the full injected-defect -> shrink ->
+# chaos_repro round trip — mid-run structural changes and raw-byte
+# deserialization, where memory bugs hide) and under TSan (the exec
+# tests plus a multi-threaded smoke campaign and the chaos soak's
+# thread pool — the only concurrency in the tree).
 #
 #   scripts/check.sh [build-dir]    (default: build)
 
@@ -57,6 +61,7 @@ smoke_json="$build/campaign_smoke.json"
   > /dev/null 2> "$build/campaign_progress.jsonl"
 "$build/bench/campaign_compare" "$repo/bench/baselines/campaign_smoke.json" \
   "$smoke_json"
+"$build/bench/schema_check" --campaign="$smoke_json"
 jobs_done=$(grep -c '"wall_ms"' "$build/campaign_progress.jsonl")
 if [ "$jobs_done" != 8 ]; then
   echo "FAIL: expected 8 progress heartbeat lines, saw $jobs_done" >&2
@@ -118,6 +123,19 @@ perf_json="$build/BENCH_perf.json"
 "$build/bench/schema_check" --report="$build/prof_report.json" \
   --need-profile --need-timeseries
 
+echo "== chaos smoke: 25 fixed-seed trials, zero violations =="
+chaos_json="$build/chaos_smoke.json"
+"$build/bench/bench_chaos" --trials=25 --seed=1 --threads=1 \
+  --json="$chaos_json" > /dev/null
+cmp "$repo/bench/baselines/chaos_smoke.json" "$chaos_json"
+echo "manifest matches the committed baseline"
+
+echo "== chaos determinism: manifest byte-identical at 1 and 8 threads =="
+"$build/bench/bench_chaos" --trials=25 --seed=1 --threads=8 \
+  --json="$build/chaos_smoke_t8.json" > /dev/null
+cmp "$chaos_json" "$build/chaos_smoke_t8.json"
+echo "byte-identical at 1 and 8 threads"
+
 echo "== disabled-profiler overhead bound (bench_micro) =="
 "$build/bench/bench_micro" \
   --benchmark_filter='BM_ProfScope|BM_SwitchSimRun/0' \
@@ -129,19 +147,33 @@ echo "== sanitizer build (ASan + UBSan) =="
 san_build="$repo/build-asan"
 cmake -B "$san_build" -S "$repo" -DOSMOSIS_SANITIZE=ON
 cmake --build "$san_build" -j "$(nproc)" \
-  --target failures_test faults_test arq_test fec_test ckpt_test
+  --target failures_test faults_test arq_test fec_test ckpt_test \
+           chaos_test bench_chaos chaos_repro schema_check
 
 echo "== sanitizer run: failure, fault-injection & checkpoint tests =="
-for t in failures_test faults_test arq_test fec_test ckpt_test; do
+for t in failures_test faults_test arq_test fec_test ckpt_test \
+         chaos_test; do
   echo "-- $t"
   "$san_build/tests/$t" --gtest_brief=1
 done
+
+echo "== sanitizer run: shrinker round trip on an injected defect =="
+# Arm a deliberate accounting bug (dropped deliveries inside fault
+# windows), let the soak detect it, shrink the failing trial to a
+# minimal repro, then replay the repro file and demand the same
+# verdict — the full chaos pipeline under ASan+UBSan.
+san_repro="$san_build/chaos_defect_repro.json"
+"$san_build/bench/bench_chaos" --trials=25 --seed=7 \
+  --inject-defect=drop_delivery_during_fault --shrink \
+  --repro-out="$san_repro" > /dev/null
+"$san_build/bench/schema_check" --repro="$san_repro"
+"$san_build/bench/chaos_repro" "$san_repro"
 
 echo "== sanitizer build (TSan) =="
 tsan_build="$repo/build-tsan"
 cmake -B "$tsan_build" -S "$repo" -DOSMOSIS_SANITIZE=thread
 cmake --build "$tsan_build" -j "$(nproc)" \
-  --target exec_test bench_campaign campaign_compare
+  --target exec_test bench_campaign campaign_compare bench_chaos
 
 echo "== sanitizer run: exec tests + multi-threaded smoke campaign =="
 "$tsan_build/tests/exec_test" --gtest_brief=1
@@ -150,5 +182,7 @@ echo "== sanitizer run: exec tests + multi-threaded smoke campaign =="
 "$tsan_build/bench/campaign_compare" \
   "$repo/bench/baselines/campaign_smoke.json" \
   "$tsan_build/campaign_smoke.json"
+"$tsan_build/bench/bench_chaos" --trials=10 --seed=1 --threads=8 \
+  > /dev/null
 
 echo "== OK =="

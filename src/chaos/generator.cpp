@@ -1,0 +1,384 @@
+#include "src/chaos/generator.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "src/core/config.hpp"
+#include "src/exec/campaign.hpp"
+#include "src/mgmt/config_check.hpp"
+#include "src/sim/rng.hpp"
+#include "src/util/log.hpp"
+
+namespace osmosis::chaos {
+namespace {
+
+/// Weighted pick: returns an index into `weights`.
+std::size_t pick_weighted(sim::Rng& rng, const std::vector<int>& weights) {
+  int total = 0;
+  for (int w : weights) total += w;
+  int roll = static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(total)));
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    roll -= weights[i];
+    if (roll < 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+/// Mirrors the fibers derivation in SwitchSim/EventSwitchSim: smallest
+/// power of two whose square covers the port count.
+int derive_fibers(int ports) {
+  int fibers = 1;
+  while (fibers * fibers < ports) fibers <<= 1;
+  return fibers;
+}
+
+/// Management-layer vetting: would the plan plus this event still pass
+/// mgmt::validate_fault_plan against a config mirroring the trial's
+/// geometry?
+bool event_valid(const TrialSpec& spec, const faults::FaultEvent& e) {
+  core::OsmosisConfig mirror;
+  mirror.ports = spec.sources();
+  mirror.receivers = spec.receivers;
+  if (spec.sim == TrialSim::kSwitch || spec.sim == TrialSim::kEventSwitch) {
+    mirror.fibers = derive_fibers(spec.ports);
+    mirror.wavelengths = spec.ports / mirror.fibers;
+  }
+  faults::FaultPlan probe = spec.plan;
+  probe.add(e);
+  return mgmt::config_ok(mgmt::validate_fault_plan(mirror, probe));
+}
+
+bool windows_overlap(const faults::FaultEvent& a, const faults::FaultEvent& b) {
+  const std::uint64_t a_end = a.transient() ? a.end_slot() : ~0ULL;
+  const std::uint64_t b_end = b.transient() ? b.end_slot() : ~0ULL;
+  return a.at_slot < b_end && b.at_slot < a_end;
+}
+
+/// True when the candidate overlaps an existing event of the same kind
+/// on the same target. The injector composes *different* kinds on one
+/// input (refcounted masks), but same-kind same-target nesting would
+/// repair early on the first window's end — keep the grammar clear of it.
+bool same_target_overlap(const faults::FaultPlan& plan,
+                         const faults::FaultEvent& e) {
+  for (const auto& prev : plan.events()) {
+    if (prev.kind != e.kind) continue;
+    if (prev.kind != faults::FaultKind::kGrantCorruption &&
+        (prev.a != e.a || prev.b != e.b))
+      continue;
+    if (windows_overlap(prev, e)) return true;
+  }
+  return false;
+}
+
+/// Multi-plane guard: adding `e` must never leave an instant with every
+/// plane down (MultiPlaneSim aborts when there is nothing to re-steer
+/// onto). The down-set only changes at window begins, so checking each
+/// begin instant suffices.
+bool keeps_a_plane_alive(const faults::FaultPlan& plan,
+                         const faults::FaultEvent& e, int planes) {
+  std::vector<faults::FaultEvent> all(plan.events());
+  all.push_back(e);
+  for (const auto& at : all) {
+    std::vector<std::uint8_t> down(static_cast<std::size_t>(planes), 0);
+    for (const auto& w : all) {
+      const std::uint64_t end = w.transient() ? w.end_slot() : ~0ULL;
+      if (w.at_slot <= at.at_slot && at.at_slot < end)
+        down[static_cast<std::size_t>(w.a)] = 1;
+    }
+    int alive = 0;
+    for (std::uint8_t d : down)
+      if (!d) ++alive;
+    if (alive == 0) return false;
+  }
+  return true;
+}
+
+/// Window placement shared by all grammars: begins mid-warmup through
+/// late measurement, and transient windows always close by the end of
+/// the measurement phase so the drain starts fault-free (a window still
+/// open when the drain budget expires would strand cells and read as a
+/// false liveness violation).
+std::uint64_t roll_at_slot(sim::Rng& rng, const TrialSpec& spec) {
+  const std::uint64_t lo = spec.warmup_slots / 2;
+  const std::uint64_t hi = spec.warmup_slots + spec.measure_slots - 128;
+  return lo + rng.uniform_int(hi - lo);
+}
+
+std::uint64_t roll_duration(sim::Rng& rng, const TrialSpec& spec,
+                            std::uint64_t at_slot) {
+  const std::uint64_t close_by = spec.warmup_slots + spec.measure_slots;
+  const std::uint64_t room = close_by - at_slot;
+  const std::uint64_t cap = std::min<std::uint64_t>(spec.measure_slots / 2,
+                                                    room);
+  if (cap <= 32) return std::max<std::uint64_t>(cap, 1);
+  return 32 + rng.uniform_int(cap - 32);
+}
+
+/// Grammar for the two switch simulators: the five single-stage fault
+/// kinds, weighted toward the data-path ones, with a small chance of a
+/// permanent module death / fiber cut.
+faults::FaultEvent roll_switch_event(sim::Rng& rng, const TrialSpec& spec) {
+  static const std::vector<int> kWeights = {3, 2, 3, 2, 2};
+  static const faults::FaultKind kKinds[] = {
+      faults::FaultKind::kModuleDeath, faults::FaultKind::kFiberCut,
+      faults::FaultKind::kBurstErrors, faults::FaultKind::kGrantCorruption,
+      faults::FaultKind::kAdapterStall};
+  faults::FaultEvent e;
+  e.kind = kKinds[pick_weighted(rng, kWeights)];
+  e.at_slot = roll_at_slot(rng, spec);
+  e.duration_slots = roll_duration(rng, spec, e.at_slot);
+  switch (e.kind) {
+    case faults::FaultKind::kModuleDeath:
+      e.a = static_cast<int>(rng.uniform_int(spec.ports));
+      e.b = static_cast<int>(rng.uniform_int(spec.receivers));
+      if (rng.bernoulli(0.12)) e.duration_slots = 0;  // permanent
+      break;
+    case faults::FaultKind::kFiberCut:
+      e.a = static_cast<int>(rng.uniform_int(derive_fibers(spec.ports)));
+      if (rng.bernoulli(0.12)) e.duration_slots = 0;  // permanent
+      break;
+    case faults::FaultKind::kBurstErrors:
+      e.a = rng.bernoulli(0.2)
+                ? -1
+                : static_cast<int>(rng.uniform_int(spec.ports));
+      e.rate = 0.05 + 0.55 * rng.uniform();
+      break;
+    case faults::FaultKind::kGrantCorruption:
+      e.a = -1;
+      e.rate = 0.05 + 0.45 * rng.uniform();
+      break;
+    case faults::FaultKind::kAdapterStall:
+      e.a = static_cast<int>(rng.uniform_int(spec.ports));
+      break;
+    case faults::FaultKind::kPlaneFailure:
+      break;  // unreachable
+  }
+  return e;
+}
+
+/// Grammar for the two-stage fabric: transient spine failures and host
+/// adapter stalls (the only kinds its constructor accepts).
+faults::FaultEvent roll_fabric_event(sim::Rng& rng, const TrialSpec& spec) {
+  const int spines = spec.ports / 2;  // radix/2 spine switches
+  faults::FaultEvent e;
+  e.kind = rng.bernoulli(0.6) ? faults::FaultKind::kPlaneFailure
+                              : faults::FaultKind::kAdapterStall;
+  e.at_slot = roll_at_slot(rng, spec);
+  e.duration_slots = roll_duration(rng, spec, e.at_slot);
+  if (e.kind == faults::FaultKind::kPlaneFailure)
+    e.a = static_cast<int>(rng.uniform_int(spines));
+  else
+    e.a = static_cast<int>(rng.uniform_int(spec.sources()));
+  return e;
+}
+
+/// Grammar for the multi-plane fabric: plane failures only, with a small
+/// permanent chance; the caller enforces the >= 1 live plane invariant.
+faults::FaultEvent roll_multiplane_event(sim::Rng& rng,
+                                         const TrialSpec& spec) {
+  faults::FaultEvent e;
+  e.kind = faults::FaultKind::kPlaneFailure;
+  e.at_slot = roll_at_slot(rng, spec);
+  e.duration_slots = roll_duration(rng, spec, e.at_slot);
+  e.a = static_cast<int>(rng.uniform_int(spec.planes));
+  if (spec.planes > 1 && rng.bernoulli(0.10)) e.duration_slots = 0;
+  return e;
+}
+
+}  // namespace
+
+const char* to_string(TrialSim s) {
+  switch (s) {
+    case TrialSim::kSwitch:
+      return "switch";
+    case TrialSim::kEventSwitch:
+      return "event-switch";
+    case TrialSim::kFabric:
+      return "fabric";
+    case TrialSim::kMultiPlane:
+      return "multiplane";
+  }
+  return "unknown";
+}
+
+TrialSim trial_sim_from_string(const std::string& name) {
+  for (TrialSim s : {TrialSim::kSwitch, TrialSim::kEventSwitch,
+                     TrialSim::kFabric, TrialSim::kMultiPlane}) {
+    if (name == to_string(s)) return s;
+  }
+  OSMOSIS_REQUIRE(false, "unknown trial simulator name: " << name);
+  return TrialSim::kSwitch;
+}
+
+const char* scheduler_name(sw::SchedulerKind k) {
+  switch (k) {
+    case sw::SchedulerKind::kIslip:
+      return "islip";
+    case sw::SchedulerKind::kPim:
+      return "pim";
+    case sw::SchedulerKind::kPipelinedIslip:
+      return "pislip";
+    case sw::SchedulerKind::kFlppr:
+      return "flppr";
+    case sw::SchedulerKind::kTdm:
+      return "tdm";
+    case sw::SchedulerKind::kWfa:
+      return "wfa";
+  }
+  return "unknown";
+}
+
+sw::SchedulerKind scheduler_from_name(const std::string& name) {
+  for (sw::SchedulerKind k :
+       {sw::SchedulerKind::kIslip, sw::SchedulerKind::kPim,
+        sw::SchedulerKind::kPipelinedIslip, sw::SchedulerKind::kFlppr,
+        sw::SchedulerKind::kTdm, sw::SchedulerKind::kWfa}) {
+    if (name == scheduler_name(k)) return k;
+  }
+  OSMOSIS_REQUIRE(false, "unknown scheduler name: " << name);
+  return sw::SchedulerKind::kFlppr;
+}
+
+int TrialSpec::sources() const {
+  return sim == TrialSim::kFabric ? ports * ports / 2 : ports;
+}
+
+std::string TrialSpec::label() const {
+  std::ostringstream os;
+  os << 't' << std::setw(4) << std::setfill('0') << trial_index << ' '
+     << to_string(sim) << '/' << scheduler_name(scheduler) << " p" << ports;
+  if (sim == TrialSim::kMultiPlane) os << " x" << planes;
+  os << " r" << receivers << ' ' << (bursty ? "bursty" : "uniform") << " l"
+     << std::fixed << std::setprecision(2) << load << " w" << warmup_slots
+     << " m" << measure_slots << " faults=" << plan.size();
+  if (!muted_sources.empty()) os << " muted=" << muted_sources.size();
+  if (defect != Defect::kNone) os << " defect=" << to_string(defect);
+  return os.str();
+}
+
+TrialSpec generate_trial(std::uint64_t campaign_seed,
+                         std::uint64_t trial_index) {
+  TrialSpec spec;
+  spec.campaign_seed = campaign_seed;
+  spec.trial_index = trial_index;
+  spec.seed = exec::derive_job_seed(campaign_seed, trial_index);
+  sim::Rng rng(spec.seed);
+
+  // Simulator kind, then geometry from its legal menu.
+  static const TrialSim kSims[] = {TrialSim::kSwitch, TrialSim::kEventSwitch,
+                                   TrialSim::kFabric, TrialSim::kMultiPlane};
+  spec.sim = kSims[pick_weighted(rng, {7, 4, 5, 4})];
+  switch (spec.sim) {
+    case TrialSim::kSwitch: {
+      static const int kPorts[] = {8, 16, 32};
+      spec.ports = kPorts[pick_weighted(rng, {1, 2, 1})];
+      spec.receivers = rng.bernoulli(0.3) ? 1 : 2;
+      static const sw::SchedulerKind kScheds[] = {
+          sw::SchedulerKind::kFlppr, sw::SchedulerKind::kIslip,
+          sw::SchedulerKind::kPim,   sw::SchedulerKind::kPipelinedIslip,
+          sw::SchedulerKind::kWfa,   sw::SchedulerKind::kTdm};
+      spec.scheduler = kScheds[pick_weighted(rng, {3, 2, 2, 2, 1, 1})];
+      break;
+    }
+    case TrialSim::kEventSwitch: {
+      // The event sim pays per-event overhead; keep it on the small
+      // geometries so trials stay sub-second.
+      spec.ports = rng.bernoulli(0.5) ? 8 : 16;
+      spec.receivers = rng.bernoulli(0.3) ? 1 : 2;
+      static const sw::SchedulerKind kScheds[] = {
+          sw::SchedulerKind::kFlppr, sw::SchedulerKind::kIslip,
+          sw::SchedulerKind::kPim, sw::SchedulerKind::kPipelinedIslip};
+      spec.scheduler = kScheds[pick_weighted(rng, {3, 2, 2, 2})];
+      break;
+    }
+    case TrialSim::kFabric: {
+      // `ports` is the switch radix; hosts = radix^2/2.
+      spec.ports = rng.bernoulli(0.65) ? 4 : 8;
+      spec.receivers = 1;
+      // Immediate-issue kinds only (credit check must hold at issue).
+      static const sw::SchedulerKind kScheds[] = {
+          sw::SchedulerKind::kIslip, sw::SchedulerKind::kPim,
+          sw::SchedulerKind::kTdm, sw::SchedulerKind::kWfa};
+      spec.scheduler = kScheds[pick_weighted(rng, {3, 2, 1, 1})];
+      break;
+    }
+    case TrialSim::kMultiPlane: {
+      spec.ports = rng.bernoulli(0.5) ? 8 : 16;
+      spec.planes = 2 + static_cast<int>(rng.uniform_int(3));
+      spec.receivers = rng.bernoulli(0.3) ? 2 : 1;
+      static const sw::SchedulerKind kScheds[] = {
+          sw::SchedulerKind::kFlppr, sw::SchedulerKind::kIslip,
+          sw::SchedulerKind::kPim, sw::SchedulerKind::kPipelinedIslip};
+      spec.scheduler = kScheds[pick_weighted(rng, {3, 2, 2, 2})];
+      break;
+    }
+  }
+
+  // Traffic mix. Loads are quantized to 0.05 steps for readable labels;
+  // the multi-plane per-plane-line load and the fabric host load run a
+  // little lower so faulted trials still drain inside the budget.
+  spec.bursty = rng.bernoulli(0.35);
+  switch (spec.sim) {
+    case TrialSim::kFabric:
+      spec.load = 0.30 + 0.05 * static_cast<double>(rng.uniform_int(10));
+      break;
+    case TrialSim::kMultiPlane:
+      spec.load = 0.20 + 0.05 * static_cast<double>(rng.uniform_int(9));
+      break;
+    default:
+      spec.load = 0.30 + 0.05 * static_cast<double>(rng.uniform_int(11));
+      break;
+  }
+  static const double kBursts[] = {4.0, 8.0, 16.0};
+  spec.mean_burst = kBursts[rng.uniform_int(3)];
+
+  // Horizons.
+  spec.warmup_slots = rng.bernoulli(0.5) ? 128 : 256;
+  spec.measure_slots = 1'024 * (2 + rng.uniform_int(3));
+
+  // Fault schedule: 0-4 events from the per-simulator grammar, each
+  // vetted by the management validator; a candidate that fails vetting
+  // (or violates the cross-event constraints) is re-rolled a fixed
+  // number of times so generation stays deterministic.
+  const std::size_t kCountWeightsIdx =
+      pick_weighted(rng, {1, 3, 3, 2, 1});  // 0..4 events
+  for (std::size_t i = 0; i < kCountWeightsIdx; ++i) {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      faults::FaultEvent e;
+      switch (spec.sim) {
+        case TrialSim::kSwitch:
+        case TrialSim::kEventSwitch:
+          e = roll_switch_event(rng, spec);
+          break;
+        case TrialSim::kFabric:
+          e = roll_fabric_event(rng, spec);
+          break;
+        case TrialSim::kMultiPlane:
+          e = roll_multiplane_event(rng, spec);
+          break;
+      }
+      if (same_target_overlap(spec.plan, e)) continue;
+      if (spec.sim == TrialSim::kMultiPlane &&
+          !keeps_a_plane_alive(spec.plan, e, spec.planes))
+        continue;
+      if (!event_valid(spec, e)) continue;
+      spec.plan.add(e);
+      break;
+    }
+  }
+  std::uint64_t mix = spec.seed;  // splitmix64 advances its state in place
+  spec.plan.seeded(sim::splitmix64(mix) ^ 0x05'0A'7EULL);
+
+  // Permanent faults strand cells, so the drain can never terminate on
+  // empty queues — cap the budget burned walking to it. The two-stage
+  // fabric gets a bigger budget: a TDM timetable drains a deep faulted
+  // backlog at ~1/radix cells per slot per input.
+  if (spec.plan.has_permanent_fault())
+    spec.drain_max_slots = 4'096;
+  else
+    spec.drain_max_slots = spec.sim == TrialSim::kFabric ? 80'000 : 20'000;
+  return spec;
+}
+
+}  // namespace osmosis::chaos

@@ -1,0 +1,188 @@
+#pragma once
+// Runtime invariant verification for the chaos soak subsystem
+// (DESIGN.md §12). The InvariantMonitor extends the end-of-run
+// faults::ExactlyOnceChecker audit with continuously checked ledgers,
+// evaluated every slot inside all four simulators:
+//
+//  * cell conservation — offered == delivered + in-flight/queued +
+//    dropped-by-declared-fault, checked at every slot boundary and once
+//    more at end of run;
+//  * credit-balance accounting (fabric) — available credits + in-flight
+//    credit messages + downstream buffer occupancy + cells in flight
+//    toward flow-controlled buffers must equal the total credit pool
+//    exactly, and no pool may go negative;
+//  * occupancy caps — a named queue (e.g. a fabric input buffer) must
+//    never exceed its declared capacity;
+//  * liveness watchdog — backlog nonzero with no delivery progress for
+//    `deadlock_slots`, while no fault window is open and no retries are
+//    pending, is declared a deadlock.
+//
+// The monitor is pure accounting: it never changes simulator behavior,
+// so a fault-free run with the monitor on is bit-identical to one
+// without it. Violations are counted, timestamped (first offender), and
+// logged as human-readable strings that flow into RunReport under
+// "invariants" and into every chaos trial verdict.
+//
+// A seeded Defect can be armed through MonitorConfig as a test hook: it
+// corrupts the *accounting* (never the simulator) in a deterministic
+// way so the chaos shrinker and the `chaos_repro` replay tool can be
+// exercised end-to-end against a known injected bug.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ckpt/archive.hpp"
+#include "src/faults/invariant.hpp"
+
+namespace osmosis::telemetry {
+struct RunReport;
+}
+
+namespace osmosis::chaos {
+
+/// Deliberately injected accounting bugs (test hook for the shrinker /
+/// repro round trip). Every defect is gated on an open fault window so
+/// a minimal repro always retains at least one fault event.
+enum class Defect : std::uint8_t {
+  kNone = 0,
+  // Every Nth delivered() call while a fault window is open is silently
+  // swallowed — models a delivery-accounting bug in fault handling.
+  kDropDeliveryDuringFault = 1,
+  // Every Nth delivered() call while a fault window is open is recorded
+  // twice — models a duplicate-completion bug.
+  kDuplicateDeliveryDuringFault = 2,
+  // Every Nth credit-ledger check while a fault window is open leaks one
+  // credit from the reported balance — models a credit-return bug.
+  kLeakCreditDuringFault = 3,
+};
+
+const char* to_string(Defect d);
+/// Inverse of to_string; aborts (OSMOSIS_REQUIRE) on an unknown name.
+Defect defect_from_string(const std::string& name);
+
+struct MonitorConfig {
+  // Liveness watchdog horizon: backlog > 0 with zero deliveries for this
+  // many slots (no open fault, no pending retries) => deadlock verdict.
+  std::uint64_t deadlock_slots = 2'048;
+  // Retained violation messages (counting continues past the cap).
+  std::uint64_t max_violation_log = 8;
+  // A plan with a permanent fault may legitimately strand cells: the
+  // end-of-run "missing" audit is skipped (duplicates/reorders still
+  // count) and nonzero residual backlog is accepted at finish().
+  bool allow_stranded = false;
+  // True when the run ends with a drain phase (drain_max_slots > 0), so
+  // everything offered is expected to be delivered by finish(). Without
+  // a drain the run legitimately ends mid-flight and the end-of-run
+  // stranding/missing audits are skipped.
+  bool expect_drain = false;
+  // Test hook (see Defect).
+  Defect defect = Defect::kNone;
+  std::uint64_t defect_period = 7;  // apply to every Nth opportunity
+};
+
+class InvariantMonitor {
+ public:
+  InvariantMonitor() = default;
+  explicit InvariantMonitor(const MonitorConfig& cfg) : cfg_(cfg) {}
+
+  /// Re-arms the configuration; call before the first ledger feed.
+  void configure(const MonitorConfig& cfg) { cfg_ = cfg; }
+  const MonitorConfig& config() const { return cfg_; }
+
+  // ---- ledger feed (called from the simulators' hot paths) ------------
+  void offered(std::uint64_t flow) {
+    ++offered_;
+    checker_.offered(flow);
+  }
+  void delivered(std::uint64_t flow, std::uint64_t seq);
+  /// A cell lost to a *declared* fault semantic (none of the current
+  /// simulators drop cells; retained for future lossy fault kinds).
+  void dropped_by_fault(std::uint64_t n = 1) { dropped_ += n; }
+
+  // ---- per-slot checks ------------------------------------------------
+  struct SlotState {
+    std::uint64_t slot = 0;
+    std::uint64_t queued = 0;  // every cell resident in queues/pipelines
+    int active_faults = 0;     // open fault windows this slot
+    std::uint64_t retries_pending = 0;  // re-requests waiting on timeouts
+  };
+  /// Conservation + liveness, evaluated once per slot (or cycle).
+  void end_slot(const SlotState& s);
+
+  /// Occupancy cap: `value` must never exceed `cap` (cap 0 = disabled).
+  void check_occupancy(std::uint64_t slot, const char* what,
+                       std::uint64_t value, std::uint64_t cap);
+
+  /// Credit-conservation ledger (fabric): the reported balance must
+  /// equal the total credit pool exactly, and the smallest individual
+  /// pool must be non-negative.
+  void check_credits(std::uint64_t slot, std::uint64_t ledger,
+                     std::uint64_t pool_total, long long min_pool);
+
+  /// End-of-run audit: exactly-once verdict plus residual conservation.
+  /// Call once, from the simulator's finalize().
+  void finish(std::uint64_t slot, std::uint64_t residual_backlog);
+
+  // ---- verdict --------------------------------------------------------
+  bool ok() const { return violations_ == 0; }
+  std::uint64_t violations() const { return violations_; }
+  std::uint64_t checks() const { return checks_; }
+  /// Slot of the first violation; ~0 when clean.
+  std::uint64_t first_violation_slot() const { return first_violation_slot_; }
+  const std::vector<std::string>& violation_log() const { return log_; }
+  /// "invariant: detail" of the first violation, or "" when clean.
+  std::string first_violation() const {
+    return log_.empty() ? std::string() : log_.front();
+  }
+
+  std::uint64_t offered_cells() const { return offered_; }
+  std::uint64_t delivered_cells() const { return delivered_; }
+  const faults::ExactlyOnceChecker& exactly_once() const { return checker_; }
+
+  /// Fills RunReport::invariants (+ violation log). No-op before any
+  /// ledger feed so unrelated reports stay byte-identical.
+  void to_report(telemetry::RunReport& r) const;
+
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, checker_);
+    ckpt::field(a, offered_);
+    ckpt::field(a, delivered_);
+    ckpt::field(a, dropped_);
+    ckpt::field(a, checks_);
+    ckpt::field(a, violations_);
+    ckpt::field(a, first_violation_slot_);
+    ckpt::field(a, last_progress_slot_);
+    ckpt::field(a, last_delivered_);
+    ckpt::field(a, open_faults_);
+    ckpt::field(a, defect_counter_);
+    ckpt::field(a, credit_leak_);
+    ckpt::field(a, finished_);
+    ckpt::field(a, log_);
+  }
+
+ private:
+  void violate(std::uint64_t slot, const std::string& what);
+  bool defect_fires(Defect kind);
+
+  MonitorConfig cfg_;
+  faults::ExactlyOnceChecker checker_;
+  std::uint64_t offered_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t checks_ = 0;
+  std::uint64_t violations_ = 0;
+  std::uint64_t first_violation_slot_ = ~0ULL;
+  // Liveness watchdog state.
+  std::uint64_t last_progress_slot_ = 0;
+  std::uint64_t last_delivered_ = 0;
+  int open_faults_ = 0;  // last end_slot's active_faults (defect gating)
+  // Defect state.
+  std::uint64_t defect_counter_ = 0;
+  std::uint64_t credit_leak_ = 0;
+  bool finished_ = false;
+  std::vector<std::string> log_;
+};
+
+}  // namespace osmosis::chaos

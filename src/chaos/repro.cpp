@@ -1,0 +1,193 @@
+#include "src/chaos/repro.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/telemetry/json.hpp"
+#include "src/util/log.hpp"
+
+namespace osmosis::chaos {
+namespace {
+
+std::string u64_str(std::uint64_t v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+std::uint64_t parse_u64(const telemetry::JsonValue& v, const char* what) {
+  OSMOSIS_REQUIRE(v.is_string(), "repro: " << what
+                                           << " must be a decimal string");
+  std::uint64_t out = 0;
+  for (char c : v.str) {
+    OSMOSIS_REQUIRE(c >= '0' && c <= '9',
+                    "repro: " << what << " is not a decimal string: "
+                              << v.str);
+    out = out * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string repro_to_json(const Repro& r, int indent) {
+  const TrialSpec& s = r.spec;
+  telemetry::JsonWriter w(indent);
+  w.open('{');
+  w.key("format");
+  w.string(kReproFormat);
+  if (!r.note.empty()) {
+    w.key("note");
+    w.string(r.note);
+  }
+  w.key("campaign_seed");
+  w.string(u64_str(s.campaign_seed));
+  w.key("trial_index");
+  w.number(static_cast<double>(s.trial_index));
+  w.key("seed");
+  w.string(u64_str(s.seed));
+  w.key("sim");
+  w.string(to_string(s.sim));
+  w.key("ports");
+  w.number(s.ports);
+  w.key("planes");
+  w.number(s.planes);
+  w.key("receivers");
+  w.number(s.receivers);
+  w.key("scheduler");
+  w.string(scheduler_name(s.scheduler));
+  w.key("bursty");
+  w.boolean(s.bursty);
+  w.key("load");
+  w.number(s.load);
+  w.key("mean_burst");
+  w.number(s.mean_burst);
+  w.key("warmup_slots");
+  w.number(static_cast<double>(s.warmup_slots));
+  w.key("measure_slots");
+  w.number(static_cast<double>(s.measure_slots));
+  w.key("drain_max_slots");
+  w.number(static_cast<double>(s.drain_max_slots));
+  w.key("deadlock_slots");
+  w.number(static_cast<double>(s.deadlock_slots));
+  w.key("defect");
+  w.string(to_string(s.defect));
+  w.key("defect_period");
+  w.number(static_cast<double>(s.defect_period));
+  w.key("muted_sources");
+  w.open('[');
+  for (int m : s.muted_sources) w.number(m);
+  w.close(']');
+  w.key("fault_seed");
+  w.string(u64_str(s.plan.seed()));
+  w.key("faults");
+  w.open('[');
+  for (const auto& e : s.plan.events()) {
+    w.open('{');
+    w.key("kind");
+    w.string(faults::to_string(e.kind));
+    w.key("at_slot");
+    w.number(static_cast<double>(e.at_slot));
+    w.key("a");
+    w.number(e.a);
+    w.key("b");
+    w.number(e.b);
+    w.key("duration_slots");
+    w.number(static_cast<double>(e.duration_slots));
+    w.key("rate");
+    w.number(e.rate);
+    w.close('}');
+  }
+  w.close(']');
+  w.key("expected");
+  w.open('{');
+  w.key("violated");
+  w.boolean(r.expected_violated);
+  w.key("invariant");
+  w.string(r.expected_invariant);
+  w.key("violations");
+  w.number(static_cast<double>(r.expected_violations));
+  w.close('}');
+  w.close('}');
+  return w.str() + "\n";
+}
+
+Repro repro_from_json(const std::string& text) {
+  const telemetry::JsonValue doc = telemetry::json_parse(text);
+  OSMOSIS_REQUIRE(doc.is_object(), "repro: document must be an object");
+  OSMOSIS_REQUIRE(doc.has("format") && doc.at("format").str == kReproFormat,
+                  "repro: not an " << kReproFormat << " document");
+
+  Repro r;
+  TrialSpec& s = r.spec;
+  if (doc.has("note")) r.note = doc.at("note").str;
+  s.campaign_seed = parse_u64(doc.at("campaign_seed"), "campaign_seed");
+  s.trial_index = static_cast<std::uint64_t>(doc.at("trial_index").number);
+  s.seed = parse_u64(doc.at("seed"), "seed");
+  s.sim = trial_sim_from_string(doc.at("sim").str);
+  s.ports = static_cast<int>(doc.at("ports").number);
+  s.planes = static_cast<int>(doc.at("planes").number);
+  s.receivers = static_cast<int>(doc.at("receivers").number);
+  s.scheduler = scheduler_from_name(doc.at("scheduler").str);
+  s.bursty = doc.at("bursty").boolean;
+  s.load = doc.at("load").number;
+  s.mean_burst = doc.at("mean_burst").number;
+  s.warmup_slots = static_cast<std::uint64_t>(doc.at("warmup_slots").number);
+  s.measure_slots =
+      static_cast<std::uint64_t>(doc.at("measure_slots").number);
+  s.drain_max_slots =
+      static_cast<std::uint64_t>(doc.at("drain_max_slots").number);
+  s.deadlock_slots =
+      static_cast<std::uint64_t>(doc.at("deadlock_slots").number);
+  s.defect = defect_from_string(doc.at("defect").str);
+  s.defect_period =
+      static_cast<std::uint64_t>(doc.at("defect_period").number);
+  for (const auto& m : doc.at("muted_sources").array)
+    s.muted_sources.push_back(static_cast<int>(m.number));
+  faults::FaultPlan plan;
+  plan.seeded(parse_u64(doc.at("fault_seed"), "fault_seed"));
+  for (const auto& ev : doc.at("faults").array) {
+    faults::FaultEvent e;
+    e.kind = faults::fault_kind_from_string(ev.at("kind").str);
+    e.at_slot = static_cast<std::uint64_t>(ev.at("at_slot").number);
+    e.a = static_cast<int>(ev.at("a").number);
+    e.b = static_cast<int>(ev.at("b").number);
+    e.duration_slots =
+        static_cast<std::uint64_t>(ev.at("duration_slots").number);
+    e.rate = ev.at("rate").number;
+    plan.add(e);
+  }
+  s.plan = plan;
+  const auto& exp = doc.at("expected");
+  r.expected_violated = exp.at("violated").boolean;
+  r.expected_invariant = exp.at("invariant").str;
+  r.expected_violations =
+      static_cast<std::uint64_t>(exp.at("violations").number);
+  return r;
+}
+
+void write_repro_file(const std::string& path, const Repro& r) {
+  std::ofstream out(path, std::ios::binary);
+  OSMOSIS_REQUIRE(out.good(), "repro: cannot open " << path
+                                                    << " for writing");
+  out << repro_to_json(r);
+  out.flush();
+  OSMOSIS_REQUIRE(out.good(), "repro: short write to " << path);
+}
+
+Repro read_repro_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  OSMOSIS_REQUIRE(in.good(), "repro: cannot open " << path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return repro_from_json(buf.str());
+}
+
+bool replay_matches(const Repro& r, TrialResult& out) {
+  out = run_trial(r.spec);
+  if (out.violated != r.expected_violated) return false;
+  if (out.violated && out.invariant != r.expected_invariant) return false;
+  return true;
+}
+
+}  // namespace osmosis::chaos

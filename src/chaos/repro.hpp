@@ -1,0 +1,47 @@
+#pragma once
+// osmosis.repro.v1 — the minimal-repro interchange format produced by
+// the chaos shrinker and replayed by the `chaos_repro` tool. A repro
+// file is a complete, self-contained TrialSpec (geometry, traffic,
+// horizons, fault schedule, muted sources, optional armed defect) plus
+// the verdict the producer observed, so a replay can assert it
+// reproduces the same invariant violation.
+//
+// 64-bit seeds are serialized as decimal strings: JSON numbers are
+// doubles and would silently round anything above 2^53.
+
+#include <cstdint>
+#include <string>
+
+#include "src/chaos/generator.hpp"
+#include "src/chaos/trial.hpp"
+
+namespace osmosis::chaos {
+
+inline constexpr const char* kReproFormat = "osmosis.repro.v1";
+
+struct Repro {
+  TrialSpec spec;
+  // Verdict observed by the producer (the shrinker's final run).
+  bool expected_violated = false;
+  std::string expected_invariant;        // invariant token, "" when clean
+  std::uint64_t expected_violations = 0; // informational
+  std::string note;                      // freeform provenance line
+};
+
+/// Serializes to a pretty-printed osmosis.repro.v1 document.
+std::string repro_to_json(const Repro& r, int indent = 2);
+
+/// Parses a document; aborts (OSMOSIS_REQUIRE) on a malformed file or a
+/// format marker other than osmosis.repro.v1.
+Repro repro_from_json(const std::string& text);
+
+/// File convenience wrappers (abort on I/O failure).
+void write_repro_file(const std::string& path, const Repro& r);
+Repro read_repro_file(const std::string& path);
+
+/// Replays the repro and reports whether the observed verdict matches
+/// the expected one (same violated flag; same invariant token when
+/// violated). `out` receives the replay's result.
+bool replay_matches(const Repro& r, TrialResult& out);
+
+}  // namespace osmosis::chaos

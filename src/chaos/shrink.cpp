@@ -1,0 +1,155 @@
+#include "src/chaos/shrink.hpp"
+
+#include <algorithm>
+
+#include "src/util/log.hpp"
+
+namespace osmosis::chaos {
+namespace {
+
+/// Rebuilds a plan carrying a subset of the original's events (same
+/// error-roll seed, so surviving windows reproduce bit-identically).
+faults::FaultPlan plan_subset(const faults::FaultPlan& orig,
+                              const std::vector<faults::FaultEvent>& events) {
+  faults::FaultPlan plan;
+  plan.seeded(orig.seed());
+  for (const auto& e : events) plan.add(e);
+  return plan;
+}
+
+/// True when every fault window fires and closes inside the candidate
+/// horizon — a window sliced off by a shorter run would change what the
+/// trial even exercises, so such candidates are skipped, not re-run.
+bool plan_fits_horizon(const faults::FaultPlan& plan,
+                       std::uint64_t warmup, std::uint64_t measure) {
+  const std::uint64_t end = warmup + measure;
+  for (const auto& e : plan.events()) {
+    if (e.at_slot + 64 > end) return false;
+    if (e.transient() && e.end_slot() > end) return false;
+  }
+  return true;
+}
+
+class Shrinker {
+ public:
+  Shrinker(const TrialSpec& failing, const ShrinkOptions& opts)
+      : opts_(opts), best_(failing) {}
+
+  ShrinkResult run() {
+    TrialResult original = execute(best_);
+    OSMOSIS_REQUIRE(original.violated,
+                    "shrink: the original spec does not violate any "
+                    "invariant when re-run");
+    invariant_ = original.invariant;
+    best_result_ = original;
+
+    ShrinkResult out;
+    out.original_events = best_.plan.size();
+    out.original_slots = best_.warmup_slots + best_.measure_slots;
+
+    shrink_events();
+    shrink_horizon();
+    if (opts_.shrink_sources) shrink_sources();
+    // The horizon may shrink further once fewer sources feed the run.
+    shrink_horizon();
+
+    out.spec = best_;
+    out.result = best_result_;
+    out.invariant = invariant_;
+    out.runs = runs_;
+    out.shrunk_events = best_.plan.size();
+    out.shrunk_slots = best_.warmup_slots + best_.measure_slots;
+    out.muted_sources = best_.muted_sources.size();
+    return out;
+  }
+
+ private:
+  TrialResult execute(const TrialSpec& spec) {
+    ++runs_;
+    return run_trial(spec);
+  }
+
+  bool budget_left() const { return runs_ < opts_.max_runs; }
+
+  /// Re-runs `candidate`; adopts it as the new best when it still
+  /// violates the same invariant.
+  bool try_adopt(const TrialSpec& candidate) {
+    if (!budget_left()) return false;
+    TrialResult r = execute(candidate);
+    if (!r.violated || r.invariant != invariant_) return false;
+    best_ = candidate;
+    best_result_ = r;
+    return true;
+  }
+
+  /// Pass 1: drop fault events one at a time until no single removal
+  /// preserves the violation.
+  void shrink_events() {
+    bool progress = true;
+    while (progress && best_.plan.size() > 0 && budget_left()) {
+      progress = false;
+      const auto events = best_.plan.events();
+      for (std::size_t i = 0; i < events.size() && budget_left(); ++i) {
+        std::vector<faults::FaultEvent> kept;
+        for (std::size_t j = 0; j < events.size(); ++j)
+          if (j != i) kept.push_back(events[j]);
+        TrialSpec candidate = best_;
+        candidate.plan = plan_subset(best_.plan, kept);
+        if (try_adopt(candidate)) {
+          progress = true;
+          break;  // indices shifted; restart the sweep
+        }
+      }
+    }
+  }
+
+  /// Pass 2: bisect the measurement horizon, then try the short warmup.
+  void shrink_horizon() {
+    while (best_.measure_slots > 512 && budget_left()) {
+      TrialSpec candidate = best_;
+      candidate.measure_slots = best_.measure_slots / 2;
+      if (!plan_fits_horizon(candidate.plan, candidate.warmup_slots,
+                             candidate.measure_slots) ||
+          !try_adopt(candidate))
+        break;
+    }
+    if (best_.warmup_slots > 128 && budget_left()) {
+      TrialSpec candidate = best_;
+      candidate.warmup_slots = 128;
+      if (plan_fits_horizon(candidate.plan, candidate.warmup_slots,
+                            candidate.measure_slots))
+        try_adopt(candidate);
+    }
+  }
+
+  /// Pass 3: greedily mute one source at a time; a mute that keeps the
+  /// violation sticks, one that loses it is rolled back.
+  void shrink_sources() {
+    const int sources = best_.sources();
+    for (int s = 0; s < sources && budget_left(); ++s) {
+      if (std::find(best_.muted_sources.begin(), best_.muted_sources.end(),
+                    s) != best_.muted_sources.end())
+        continue;
+      TrialSpec candidate = best_;
+      candidate.muted_sources.push_back(s);
+      if (static_cast<int>(candidate.muted_sources.size()) == sources)
+        continue;  // muting everything reproduces nothing
+      try_adopt(candidate);
+    }
+    std::sort(best_.muted_sources.begin(), best_.muted_sources.end());
+  }
+
+  ShrinkOptions opts_;
+  TrialSpec best_;
+  TrialResult best_result_;
+  std::string invariant_;
+  int runs_ = 0;
+};
+
+}  // namespace
+
+ShrinkResult shrink(const TrialSpec& failing, const ShrinkOptions& opts) {
+  return Shrinker(failing, opts).run();
+}
+
+}  // namespace osmosis::chaos

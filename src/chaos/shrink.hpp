@@ -1,0 +1,48 @@
+#pragma once
+// Delta-debugging shrinker for violating chaos trials. Given a spec
+// whose run violates an invariant, shrink() searches for a smaller spec
+// that still violates the *same* invariant, reducing in order:
+//
+//   1. fault events   — remove-one-at-a-time to a fixpoint (plans are
+//                       small, so full ddmin machinery is overkill);
+//   2. slot horizon   — bisect measure_slots, then try the short warmup,
+//                       skipping candidates whose fault windows would no
+//                       longer fit inside the shrunk run;
+//   3. traffic sources — greedily mute sources whose arrivals are not
+//                        needed to reproduce the violation.
+//
+// Every candidate is verified by actually re-running the trial; the
+// total rerun budget is bounded and the search is deterministic, so the
+// same failing spec always shrinks to the same minimal repro.
+
+#include <cstdint>
+#include <string>
+
+#include "src/chaos/generator.hpp"
+#include "src/chaos/trial.hpp"
+
+namespace osmosis::chaos {
+
+struct ShrinkOptions {
+  int max_runs = 200;          // rerun budget (original check included)
+  bool shrink_sources = true;  // pass 3 costs one run per source
+};
+
+struct ShrinkResult {
+  TrialSpec spec;          // minimal spec still violating `invariant`
+  TrialResult result;      // verdict of the minimal spec's run
+  std::string invariant;   // invariant token being preserved
+  int runs = 0;            // trials executed, original check included
+  std::size_t original_events = 0;
+  std::size_t shrunk_events = 0;
+  std::uint64_t original_slots = 0;  // warmup + measure before/after
+  std::uint64_t shrunk_slots = 0;
+  std::size_t muted_sources = 0;
+};
+
+/// Shrinks a violating spec. Aborts (OSMOSIS_REQUIRE) if the original
+/// spec does not violate any invariant when re-run.
+ShrinkResult shrink(const TrialSpec& failing,
+                    const ShrinkOptions& opts = {});
+
+}  // namespace osmosis::chaos

@@ -1,0 +1,37 @@
+#pragma once
+// Chaos trial execution: materialize a TrialSpec into the simulator it
+// names, run it to completion, and distill the InvariantMonitor's
+// verdict into a TrialResult. run_trial is a pure function of the spec
+// (all randomness flows from spec.seed), which is what lets the
+// shrinker re-run mutated specs and trust that a reproduced violation
+// is the same violation.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/chaos/generator.hpp"
+
+namespace osmosis::chaos {
+
+struct TrialResult {
+  bool violated = false;
+  std::uint64_t violations = 0;
+  std::uint64_t checks = 0;       // per-slot invariant evaluations
+  std::uint64_t offered = 0;      // cells, all phases
+  std::uint64_t delivered = 0;
+  std::uint64_t first_violation_slot = ~0ULL;
+  std::string first_violation;    // "slot=<t> <invariant>: <detail>"
+  std::string invariant;          // parsed invariant token; "" when clean
+  std::vector<std::string> violation_log;
+};
+
+/// Extracts the invariant token from a violation message:
+/// "slot=12 conservation: offered=..." -> "conservation".
+std::string violation_invariant(const std::string& message);
+
+/// Builds the spec's simulator, runs warmup + measurement + drain, and
+/// returns the monitor's verdict. Deterministic in the spec.
+TrialResult run_trial(const TrialSpec& spec);
+
+}  // namespace osmosis::chaos

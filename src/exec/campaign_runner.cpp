@@ -1,9 +1,12 @@
 #include "src/exec/campaign_runner.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <mutex>
+#include <sstream>
+#include <thread>
 
 #include "src/exec/thread_pool.hpp"
 #include "src/fabric/fabric_sim.hpp"
@@ -239,6 +242,22 @@ bool file_exists(const std::string& path) {
   return std::ifstream(path, std::ios::binary).good();
 }
 
+// Cooperative watchdog granularity: wall-clock checks between advance
+// steps are this sparse so the fault-free hot loop stays unmeasurable.
+constexpr std::uint64_t kTimeoutCheckStride = 1024;
+
+void check_deadline(const JobSpec& spec, Clock::time_point t0,
+                    double timeout_ms, std::uint64_t steps) {
+  if (timeout_ms <= 0.0 || steps % kTimeoutCheckStride != 0) return;
+  const double elapsed = ms_since(t0);
+  if (elapsed <= timeout_ms) return;
+  std::ostringstream os;
+  os << "job '" << spec.label() << "' exceeded its " << timeout_ms
+     << " ms budget (" << elapsed << " ms after " << steps
+     << " advance steps)";
+  throw JobTimeout(os.str());
+}
+
 }  // namespace
 
 std::unique_ptr<JobDriver> make_job_driver(const JobSpec& spec) {
@@ -252,9 +271,12 @@ std::unique_ptr<JobDriver> make_job_driver(const JobSpec& spec) {
   return nullptr;
 }
 
-JobResult run_job(const JobSpec& spec) {
+JobResult run_job(const JobSpec& spec, double timeout_ms) {
+  const auto t0 = Clock::now();
   auto driver = make_job_driver(spec);
+  std::uint64_t steps = 0;
   while (driver->advance()) {
+    check_deadline(spec, t0, timeout_ms, ++steps);
   }
   JobResult out = driver->finalize();
   out.spec = spec;
@@ -291,6 +313,8 @@ void write_job_result_file(const JobResult& r, const std::string& path) {
     ckpt::field(s, self->ok);
     ckpt::field(s, self->attempts);
     ckpt::field(s, self->timed_out);
+    ckpt::field(s, self->quarantined);
+    ckpt::field(s, self->failure_class);
     ckpt::field(s, self->error);
     ckpt::field(s, self->metrics);
     ckpt::field(s, self->wall_ms);
@@ -325,6 +349,8 @@ JobResult read_job_result_file(const JobSpec& expected,
     ckpt::field(s, out.ok);
     ckpt::field(s, out.attempts);
     ckpt::field(s, out.timed_out);
+    ckpt::field(s, out.quarantined);
+    ckpt::field(s, out.failure_class);
     ckpt::field(s, out.error);
     ckpt::field(s, out.metrics);
     ckpt::field(s, out.wall_ms);
@@ -350,8 +376,10 @@ JobResult read_job_result_file(const JobSpec& expected,
 }
 
 JobResult run_job_checkpointed(const JobSpec& spec,
-                               const CheckpointPolicy& ck) {
-  if (ck.dir.empty()) return run_job(spec);
+                               const CheckpointPolicy& ck,
+                               double timeout_ms) {
+  if (ck.dir.empty()) return run_job(spec, timeout_ms);
+  const auto t0 = Clock::now();
   const std::string state_path = job_state_path(ck, spec.index);
   auto driver = make_job_driver(spec);
   std::uint64_t steps = 0;
@@ -372,6 +400,7 @@ JobResult run_job_checkpointed(const JobSpec& spec,
   }
   while (driver->advance()) {
     ++steps;
+    check_deadline(spec, t0, timeout_ms, steps);
     if (ck.every > 0 && steps % ck.every == 0) {
       ckpt::Writer w;
       write_spec_chunk(w, spec);
@@ -448,6 +477,14 @@ std::string CampaignResult::to_json(int indent, bool include_timing) const {
     w.number(j.attempts);
     w.key("error");
     w.string(j.error);
+    if (!j.failure_class.empty()) {
+      w.key("failure_class");
+      w.string(j.failure_class);
+    }
+    if (j.quarantined) {
+      w.key("quarantined");
+      w.boolean(true);
+    }
     w.key("metrics");
     w.open('{');
     for (const auto& [k, v] : j.metrics) {
@@ -495,6 +532,29 @@ std::string CampaignResult::to_json(int indent, bool include_timing) const {
   w.close('}');
   w.close('}');
 
+  // Quarantined jobs, only when any exist — clean campaigns stay
+  // byte-identical to documents written before this section existed.
+  bool any_quarantined = false;
+  for (const auto& j : jobs) any_quarantined |= j.quarantined;
+  if (any_quarantined) {
+    w.key("quarantine");
+    w.open('[');
+    for (const auto& j : jobs) {
+      if (!j.quarantined) continue;
+      w.open('{');
+      w.key("index");
+      w.number(static_cast<double>(j.spec.index));
+      w.key("label");
+      w.string(j.spec.label());
+      w.key("class");
+      w.string(j.failure_class);
+      w.key("error");
+      w.string(j.error);
+      w.close('}');
+    }
+    w.close(']');
+  }
+
   if (include_timing) {
     w.key("timing");
     w.open('{');
@@ -515,16 +575,39 @@ CampaignRunner::CampaignRunner(RunnerOptions opts) : opts_(std::move(opts)) {
 
 JobResult CampaignRunner::execute_with_retry(const JobSpec& spec) const {
   JobResult result;
+  std::string prev_error;
   for (int attempt = 1; attempt <= opts_.max_attempts; ++attempt) {
+    if (attempt > 1 && opts_.retry_backoff_ms > 0.0) {
+      const double mult =
+          std::min(8.0, std::pow(2.0, static_cast<double>(attempt - 2)));
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          opts_.retry_backoff_ms * mult));
+    }
     const auto t0 = Clock::now();
     try {
-      result = opts_.executor ? opts_.executor(spec)
-                              : run_job_checkpointed(spec, opts_.checkpoint);
+      result = opts_.executor
+                   ? opts_.executor(spec)
+                   : run_job_checkpointed(spec, opts_.checkpoint,
+                                          opts_.job_timeout_ms);
       result.spec = spec;
       result.attempts = attempt;
       result.wall_ms = ms_since(t0);
+      // A custom executor cannot be cancelled from outside; an overrun
+      // there is flagged but the completed result is kept.
       result.timed_out = opts_.job_timeout_ms > 0.0 &&
                          result.wall_ms > opts_.job_timeout_ms;
+      return result;
+    } catch (const JobTimeout& e) {
+      // Budget exceeded: retrying would burn another full budget on a
+      // job that is deterministic in its seed — quarantine immediately.
+      result = JobResult{};
+      result.spec = spec;
+      result.attempts = attempt;
+      result.error = e.what();
+      result.timed_out = true;
+      result.quarantined = true;
+      result.failure_class = "timeout";
+      result.wall_ms = ms_since(t0);
       return result;
     } catch (const std::exception& e) {
       result = JobResult{};
@@ -538,9 +621,17 @@ JobResult CampaignRunner::execute_with_retry(const JobSpec& spec) const {
       result.error = "unknown exception";
     }
     result.wall_ms = ms_since(t0);
-    result.timed_out = opts_.job_timeout_ms > 0.0 &&
-                       result.wall_ms > opts_.job_timeout_ms;
+    // Same failure twice in a row: the job is a pure function of its
+    // seed, so an identical message means an identical code path —
+    // deterministic, quarantine instead of retrying.
+    if (attempt > 1 && result.error == prev_error) {
+      result.quarantined = true;
+      result.failure_class = "deterministic";
+      return result;
+    }
+    prev_error = result.error;
   }
+  result.failure_class = "transient";
   return result;  // ok == false after exhausting attempts
 }
 

@@ -14,18 +14,32 @@
 //     "name": <campaign name>,
 //     "campaign_seed": "0x<16 hex digits>",
 //     "jobs": [ { "index", "label", axes..., "seed", "ok", "attempts",
-//                 "error", "metrics": {name: number},
+//                 "error"[, "failure_class"][, "quarantined"],
+//                 "metrics": {name: number},
 //                 "histograms": {name: {count,mean,min,p50,p99,max}}
 //                 [, "wall_ms", "timed_out"] }, ... ],
 //     "aggregate": { "jobs", "failed", "counters": {...},
 //                    "histograms": {"<sim>.<name>": summary} }
+//     [, "quarantine": [ {"index","label","class","error"}, ... ] ]
 //     [, "timing": { "wall_ms", "threads" } ]
 //   }
+//
+// Failure handling (DESIGN.md §12): a job whose attempts fail with the
+// *same* exception message twice in a row is classified deterministic
+// and quarantined immediately (retrying a pure function of its seed
+// cannot help); distinct messages are treated as transient and retried
+// up to max_attempts with bounded exponential backoff. A job that
+// overruns job_timeout_ms is cooperatively cancelled by the built-in
+// executors (JobTimeout) and quarantined without a retry, so one
+// wedged job cannot burn 2x its budget. Quarantined jobs land in the
+// document's "quarantine" section (present only when non-empty, keeping
+// clean campaigns byte-identical to earlier schema revisions).
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -43,6 +57,11 @@ struct JobResult {
   bool ok = false;
   int attempts = 0;
   bool timed_out = false;  // exceeded RunnerOptions::job_timeout_ms
+  // Pulled from the retry rotation: a deterministic failure (same
+  // exception twice in a row) or a cancelled timeout. Quarantined jobs
+  // are listed in the campaign document's "quarantine" section.
+  bool quarantined = false;
+  std::string failure_class;  // "" | "deterministic" | "transient" | "timeout"
   std::string error;       // last captured exception message
   // Scalar results, sorted by name for deterministic export. Keys vary
   // by simulator kind (e.g. "throughput", "mean_delay", "p99_delay",
@@ -76,7 +95,15 @@ struct CheckpointPolicy {
 struct RunnerOptions {
   unsigned threads = 0;     // 0 = hardware_concurrency
   int max_attempts = 2;     // retries per job on a captured exception
-  double job_timeout_ms = 0.0;  // 0 = no limit; exceeding flags the job
+  // Per-job wall-clock budget; 0 = no limit. The built-in executors
+  // check it cooperatively between advance steps and abort the job with
+  // JobTimeout => quarantine; a custom executor that overruns is only
+  // flagged (it cannot be cancelled from outside).
+  double job_timeout_ms = 0.0;
+  // Sleep before retry k (k >= 2): retry_backoff_ms * 2^(k-2), capped at
+  // 8x — bounded, so a transiently failing campaign still terminates
+  // promptly. 0 = retry immediately.
+  double retry_backoff_ms = 0.0;
   CheckpointPolicy checkpoint;
   // Test/extension hook: replaces the built-in job executor.
   std::function<JobResult(const JobSpec&)> executor;
@@ -108,9 +135,17 @@ struct CampaignResult {
   std::string to_json(int indent = 2, bool include_timing = true) const;
 };
 
+/// Thrown by the built-in executors when a job overruns its wall-clock
+/// budget (checked cooperatively between advance steps). The campaign
+/// runner quarantines the job instead of retrying it.
+struct JobTimeout : std::runtime_error {
+  explicit JobTimeout(const std::string& what) : std::runtime_error(what) {}
+};
+
 /// Built-in executor: builds and runs the simulator a JobSpec names.
 /// Exposed so tests can execute single grid points without a pool.
-JobResult run_job(const JobSpec& spec);
+/// `timeout_ms > 0` arms the cooperative watchdog (throws JobTimeout).
+JobResult run_job(const JobSpec& spec, double timeout_ms = 0.0);
 
 /// One simulator behind a uniform incremental interface — the unit the
 /// checkpointing executor and the ckpt_verify replay tool drive.
@@ -141,7 +176,8 @@ std::uint32_t job_state_digest(const JobDriver& d);
 /// job_<index>.state.ckpt under `ck` (falls back to run_job when
 /// checkpointing is off).
 JobResult run_job_checkpointed(const JobSpec& spec,
-                               const CheckpointPolicy& ck);
+                               const CheckpointPolicy& ck,
+                               double timeout_ms = 0.0);
 
 class CampaignRunner {
  public:

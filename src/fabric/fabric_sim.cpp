@@ -66,6 +66,14 @@ FabricSim::FabricSim(FabricSimConfig cfg,
     }
   }
 
+  {
+    chaos::MonitorConfig mc = cfg_.monitor;
+    mc.allow_stranded =
+        mc.allow_stranded || cfg_.fault_plan.has_permanent_fault();
+    mc.expect_drain = cfg_.drain_max_slots > 0;
+    monitor_.configure(mc);
+  }
+
   host_queue_.resize(static_cast<std::size_t>(hosts_));
   host_credits_.assign(static_cast<std::size_t>(hosts_), cfg_.buffer_cells);
   host_credit_in_.resize(static_cast<std::size_t>(hosts_));
@@ -175,7 +183,7 @@ void FabricSim::step(std::uint64_t t, bool measuring, bool inject_traffic) {
       FabricCell cell{h, a.dst, flow_seq_[flow]++, t,
                       telem_.begin_cell(h, a.dst, static_cast<double>(t))};
       ++offered_;
-      invariants_.offered(static_cast<std::uint64_t>(flow));
+      monitor_.offered(static_cast<std::uint64_t>(flow));
       host_queue_[static_cast<std::size_t>(h)].push_back(cell);
       max_host_backlog_ =
           std::max(max_host_backlog_,
@@ -244,7 +252,7 @@ void FabricSim::step(std::uint64_t t, bool measuring, bool inject_traffic) {
         if (is_leaf(s) && p < m_) {
           // Delivery to host s*m_ + p.
           reorder_.deliver(cell.src, cell.dst, cell.seq);
-          invariants_.delivered(static_cast<std::uint64_t>(cell.src) *
+          monitor_.delivered(static_cast<std::uint64_t>(cell.src) *
                                         static_cast<std::uint64_t>(hosts_) +
                                     static_cast<std::uint64_t>(cell.dst),
                                 cell.seq);
@@ -367,6 +375,63 @@ void FabricSim::step(std::uint64_t t, bool measuring, bool inject_traffic) {
     OSMOSIS_PROF_SCOPE("fabric.recovery");
     recovery_.observe(t, backlog());
   }
+
+  // 7. Slot-boundary invariant verification: cell conservation, the
+  //    credit-conservation ledger, occupancy caps, liveness watchdog.
+  check_invariants(t);
+}
+
+void FabricSim::check_invariants(std::uint64_t t) {
+  OSMOSIS_PROF_SCOPE("fabric.invariants");
+  // Credit-conservation ledger. Every flow-controlled input buffer in
+  // the fabric (leaf inputs fed by hosts, spine inputs fed by leaf
+  // uplinks, leaf inputs fed by spine down-ports) starts with
+  // buffer_cells credits in its upstream holder. At any slot boundary a
+  // credit is in exactly one place: the holder (host_credits_ /
+  // out_credits), in flight home (host_credit_in_ / credit_in), held by
+  // a cell resident in the downstream buffer (input_occupancy), or held
+  // by a cell in flight toward it (host_out_ / out_data of an FC
+  // output). Host-egress ports (out_credits == -1) carry no credits.
+  std::uint64_t ledger = 0;
+  long long min_pool = cfg_.buffer_cells;
+  for (const int c : host_credits_) {
+    ledger += static_cast<std::uint64_t>(c < 0 ? 0 : c);
+    min_pool = std::min<long long>(min_pool, c);
+  }
+  for (const auto& q : host_credit_in_) ledger += q.size();
+  for (const auto& q : host_out_) ledger += q.size();
+  std::uint64_t input_occ_total = 0;
+  for (const auto& node : switches_) {
+    for (int p = 0; p < radix_; ++p) {
+      const int c = node.out_credits[static_cast<std::size_t>(p)];
+      if (c >= 0) {
+        ledger += static_cast<std::uint64_t>(c);
+        min_pool = std::min<long long>(min_pool, c);
+        ledger += node.out_data[static_cast<std::size_t>(p)].size();
+      }
+      ledger += node.credit_in[static_cast<std::size_t>(p)].size();
+    }
+    for (int in = 0; in < radix_; ++in) {
+      const int occ = node.input_occupancy[static_cast<std::size_t>(in)];
+      input_occ_total += static_cast<std::uint64_t>(occ);
+      monitor_.check_occupancy(
+          t, "fabric.input_buffer", static_cast<std::uint64_t>(occ),
+          static_cast<std::uint64_t>(cfg_.buffer_cells));
+    }
+  }
+  ledger += input_occ_total;
+  // FC pools: hosts_ host links + radix_*m_ leaf uplinks + m_*radix_
+  // spine down-ports = 3 * radix_ * m_ pools of buffer_cells each.
+  const std::uint64_t pool_total =
+      static_cast<std::uint64_t>(cfg_.buffer_cells) * 3u *
+      static_cast<std::uint64_t>(radix_) * static_cast<std::uint64_t>(m_);
+  monitor_.check_credits(t, ledger, pool_total, min_pool);
+
+  // Cell conservation + liveness. A stalled host adapter or frozen
+  // spine shows up as an active fault window, which suspends the
+  // deadlock watchdog for the outage.
+  monitor_.end_slot(
+      {t, backlog(), injector_ ? injector_->active_faults() : 0, 0});
 }
 
 void FabricSim::sample_series(std::uint64_t t) {
@@ -471,10 +536,13 @@ FabricSimResult FabricSim::finalize() {
   r.mean_recovery_slots = recovery_.mean_recovery_slots();
   r.max_recovery_slots = recovery_.max_recovery_slots();
   r.drained_slots = drained_slots_;
-  const auto inv = invariants_.report();
+  monitor_.finish(now_, backlog());
+  const auto inv = monitor_.exactly_once().report();
   r.exactly_once_in_order = inv.exactly_once_in_order();
   r.duplicates = inv.duplicates;
   r.missing = inv.missing;
+  r.invariant_violations = monitor_.violations();
+  r.first_violation = monitor_.first_violation();
 
   if (telem_.enabled()) {
     auto& ctr = telem_.counters();
@@ -547,7 +615,7 @@ void FabricSim::io_stats(Ar& a) {
   ckpt::field(a, reorder_);
   ckpt::field(a, max_host_backlog_);
   ckpt::field(a, overflows_);
-  ckpt::field(a, invariants_);
+  ckpt::field(a, monitor_);
   ckpt::field(a, recovery_);
   ckpt::field(a, health_);
 }
@@ -630,6 +698,7 @@ telemetry::RunReport FabricSim::report() const {
   r.health = health_.event_log();
   r.histograms.emplace("delay",
                        telemetry::HistogramSummary::of(delay_hist_));
+  monitor_.to_report(r);
   return r;
 }
 

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "src/chaos/monitor.hpp"
 #include "src/ckpt/ckpt.hpp"
 #include "src/faults/fault_injector.hpp"
 #include "src/faults/fault_plan.hpp"
@@ -65,6 +66,10 @@ struct FabricSimConfig {
   // Extra slots (arrivals off) after the measurement window so the
   // invariant checker can confirm exactly-once delivery. 0 = no drain.
   std::uint64_t drain_max_slots = 0;
+  // Runtime invariant verification (chaos soak layer): cell conservation,
+  // the full credit-conservation ledger, input-buffer occupancy caps, and
+  // the liveness watchdog. Pure accounting, always on.
+  chaos::MonitorConfig monitor;
 };
 
 struct FabricSimResult {
@@ -92,6 +97,8 @@ struct FabricSimResult {
   bool exactly_once_in_order = false;
   std::uint64_t duplicates = 0;
   std::uint64_t missing = 0;
+  std::uint64_t invariant_violations = 0;
+  std::string first_violation;  // "" when clean
 };
 
 class FabricSim {
@@ -125,6 +132,9 @@ class FabricSim {
 
   /// Component health view with the injector-driven transitions.
   const mgmt::HealthRegistry& health() const { return health_; }
+
+  /// Runtime invariant verdict (chaos soak layer).
+  const chaos::InvariantMonitor& monitor() const { return monitor_; }
 
   /// Structured run export; stage histograms are in cell cycles and the
   /// counters carry the per-switch (leaf.<id>.* / spine.<id>.*) grant
@@ -188,6 +198,9 @@ class FabricSim {
   void io_stats(Ar& a);
   void apply_fault_transitions(std::uint64_t t);
   std::uint64_t backlog() const;
+  /// Feeds the slot-boundary invariant checks (conservation, credit
+  /// ledger, occupancy caps, liveness watchdog).
+  void check_invariants(std::uint64_t t);
 
   FabricSimConfig cfg_;
   int radix_;
@@ -225,7 +238,7 @@ class FabricSim {
   // Runtime fault injection & recovery.
   std::optional<faults::FaultInjector> injector_;
   mgmt::HealthRegistry health_;
-  faults::ExactlyOnceChecker invariants_;
+  chaos::InvariantMonitor monitor_;
   faults::RecoveryTracker recovery_;
   std::vector<std::uint8_t> spine_down_;    // per spine
   std::vector<std::uint8_t> host_stalled_;  // per host adapter

@@ -31,6 +31,14 @@ MultiPlaneSim::MultiPlaneSim(
     OSMOSIS_REQUIRE(gen != nullptr && gen->ports() == cfg_.ports,
                     "per-plane traffic generator port mismatch");
 
+  {
+    chaos::MonitorConfig mc = cfg_.monitor;
+    mc.allow_stranded =
+        mc.allow_stranded || cfg_.fault_plan.has_permanent_fault();
+    mc.expect_drain = cfg_.drain_max_slots > 0;
+    monitor_.configure(mc);
+  }
+
   planes_.resize(static_cast<std::size_t>(cfg_.planes));
   for (int p = 0; p < cfg_.planes; ++p) {
     Plane& plane = planes_[static_cast<std::size_t>(p)];
@@ -154,7 +162,7 @@ void MultiPlaneSim::deliver_in_order(int dst, std::uint64_t t,
       // Deliver.
       const Parked& parked_cell = it->second;
       post_reseq_.deliver(src, dst, seq);
-      invariants_.delivered(static_cast<std::uint64_t>(src) *
+      monitor_.delivered(static_cast<std::uint64_t>(src) *
                                     static_cast<std::uint64_t>(cfg_.ports) +
                                 static_cast<std::uint64_t>(dst),
                             seq);
@@ -205,7 +213,7 @@ void MultiPlaneSim::step(std::uint64_t t, bool measuring,
         cell.seq = flow_seq_[flow]++;
         cell.arrival_slot = t;
         ++offered_;
-        invariants_.offered(static_cast<std::uint64_t>(flow));
+        monitor_.offered(static_cast<std::uint64_t>(flow));
         plane.voqs[static_cast<std::size_t>(in)].push(cell);
         plane.sched->request(in, a.dst);
       }
@@ -252,6 +260,12 @@ void MultiPlaneSim::step(std::uint64_t t, bool measuring,
     OSMOSIS_PROF_SCOPE("multiplane.recovery");
     recovery_.observe(t, backlog());
   }
+
+  // 5. Slot-boundary invariant verification. A frozen plane keeps its
+  //    cells parked across the outage; the open fault window suspends
+  //    the deadlock watchdog until the repair lands.
+  monitor_.end_slot(
+      {t, backlog(), injector_ ? injector_->active_faults() : 0, 0});
 }
 
 bool MultiPlaneSim::advance_slot() {
@@ -307,10 +321,13 @@ MultiPlaneResult MultiPlaneSim::finalize() {
   r.mean_recovery_slots = recovery_.mean_recovery_slots();
   r.max_recovery_slots = recovery_.max_recovery_slots();
   r.drained_slots = drained_slots_;
-  const auto inv = invariants_.report();
+  monitor_.finish(now_, backlog());
+  const auto inv = monitor_.exactly_once().report();
   r.exactly_once_in_order = inv.exactly_once_in_order();
   r.duplicates = inv.duplicates;
   r.missing = inv.missing;
+  r.invariant_violations = monitor_.violations();
+  r.first_violation = monitor_.first_violation();
   return r;
 }
 
@@ -342,7 +359,7 @@ void MultiPlaneSim::io_stats(Ar& a) {
   ckpt::field(a, post_reseq_);
   ckpt::field(a, cross_plane_ooo_);
   ckpt::field(a, max_park_depth_);
-  ckpt::field(a, invariants_);
+  ckpt::field(a, monitor_);
   ckpt::field(a, recovery_);
   ckpt::field(a, health_);
 }

@@ -16,6 +16,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/chaos/monitor.hpp"
 #include "src/ckpt/ckpt.hpp"
 #include "src/faults/fault_injector.hpp"
 #include "src/faults/fault_plan.hpp"
@@ -48,6 +49,8 @@ struct MultiPlaneConfig {
   // Extra slots (arrivals off) after the measurement window so the
   // invariant checker can confirm exactly-once delivery. 0 = no drain.
   std::uint64_t drain_max_slots = 0;
+  // Runtime invariant verification (chaos soak layer); pure accounting.
+  chaos::MonitorConfig monitor;
 };
 
 struct MultiPlaneResult {
@@ -74,6 +77,8 @@ struct MultiPlaneResult {
   bool exactly_once_in_order = false;
   std::uint64_t duplicates = 0;
   std::uint64_t missing = 0;
+  std::uint64_t invariant_violations = 0;
+  std::string first_violation;  // "" when clean
 };
 
 class MultiPlaneSim {
@@ -103,6 +108,9 @@ class MultiPlaneSim {
 
   /// Component health view ("plane/<p>") with injector transitions.
   const mgmt::HealthRegistry& health() const { return health_; }
+
+  /// Runtime invariant verdict (chaos soak layer).
+  const chaos::InvariantMonitor& monitor() const { return monitor_; }
 
  private:
   struct Plane {
@@ -151,7 +159,7 @@ class MultiPlaneSim {
   // Runtime fault injection & recovery.
   std::optional<faults::FaultInjector> injector_;
   mgmt::HealthRegistry health_;
-  faults::ExactlyOnceChecker invariants_;
+  chaos::InvariantMonitor monitor_;
   faults::RecoveryTracker recovery_;
   std::vector<std::uint8_t> plane_down_;
   std::uint64_t offered_ = 0;

@@ -22,6 +22,17 @@ const char* to_string(FaultKind kind) {
   return "unknown";
 }
 
+FaultKind fault_kind_from_string(const std::string& name) {
+  for (FaultKind k :
+       {FaultKind::kModuleDeath, FaultKind::kFiberCut, FaultKind::kBurstErrors,
+        FaultKind::kGrantCorruption, FaultKind::kAdapterStall,
+        FaultKind::kPlaneFailure}) {
+    if (name == to_string(k)) return k;
+  }
+  OSMOSIS_REQUIRE(false, "unknown fault kind name: " << name);
+  return FaultKind::kModuleDeath;
+}
+
 FaultPlan& FaultPlan::kill_module(std::uint64_t at_slot, int egress,
                                   int receiver,
                                   std::uint64_t duration_slots) {

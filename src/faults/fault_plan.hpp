@@ -13,6 +13,7 @@
 // same plan + seed always reproduces the same degraded run.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace osmosis::faults {
@@ -47,6 +48,9 @@ enum class FaultKind : std::uint8_t {
 };
 
 const char* to_string(FaultKind kind);
+/// Inverse of to_string (used by the osmosis.repro.v1 (de)serializer);
+/// aborts (OSMOSIS_REQUIRE) on an unknown name.
+FaultKind fault_kind_from_string(const std::string& name);
 
 struct FaultEvent {
   std::uint64_t at_slot = 0;

@@ -22,6 +22,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/chaos/monitor.hpp"
 #include "src/ckpt/ckpt.hpp"
 #include "src/faults/fault_injector.hpp"
 #include "src/faults/fault_plan.hpp"
@@ -59,6 +60,8 @@ struct EventSwitchConfig {
   // Extra cycles (arrivals off) after the measurement window so the
   // invariant checker can confirm exactly-once delivery. 0 = no drain.
   std::uint64_t drain_max_cycles = 0;
+  // Runtime invariant verification (chaos soak layer); pure accounting.
+  chaos::MonitorConfig monitor;
 };
 
 struct EventSwitchResult {
@@ -84,6 +87,8 @@ struct EventSwitchResult {
   bool exactly_once_in_order = false;
   std::uint64_t duplicates = 0;
   std::uint64_t missing = 0;
+  std::uint64_t invariant_violations = 0;
+  std::string first_violation;  // "" when clean
 };
 
 class EventSwitchSim {
@@ -119,6 +124,9 @@ class EventSwitchSim {
 
   /// Component health view with the injector-driven transitions.
   const mgmt::HealthRegistry& health() const { return health_; }
+
+  /// Runtime invariant verdict (chaos soak layer).
+  const chaos::InvariantMonitor& monitor() const { return monitor_; }
 
   /// Structured run export; stage histograms are in nanoseconds.
   telemetry::RunReport report() const;
@@ -216,7 +224,7 @@ class EventSwitchSim {
   // ---- runtime fault injection & recovery -------------------------------
   std::optional<faults::FaultInjector> injector_;
   mgmt::HealthRegistry health_;
-  faults::ExactlyOnceChecker invariants_;
+  chaos::InvariantMonitor monitor_;
   faults::RecoveryTracker recovery_;
   int fibers_ = 1;
   int wavelengths_ = 1;

@@ -59,6 +59,17 @@ SwitchSim::SwitchSim(SwitchSimConfig cfg,
                   "fault-recovery timeouts must be >= 1 slot");
   cfg_.sched.ports = cfg_.ports;
   sched_ = make_scheduler(cfg_.sched);
+  {
+    // A permanent fault (or a static failure, which may take an output's
+    // last receiver) can legitimately strand cells past the drain.
+    chaos::MonitorConfig mc = cfg_.monitor;
+    mc.allow_stranded = mc.allow_stranded ||
+                        cfg_.fault_plan.has_permanent_fault() ||
+                        !cfg_.failed_receivers.empty() ||
+                        !cfg_.failed_fibers.empty();
+    mc.expect_drain = cfg_.drain_max_slots > 0;
+    monitor_.configure(mc);
+  }
   voqs_.reserve(static_cast<std::size_t>(cfg_.ports));
   for (int i = 0; i < cfg_.ports; ++i) voqs_.emplace_back(i, cfg_.ports);
   egress_.resize(static_cast<std::size_t>(cfg_.ports));
@@ -329,7 +340,7 @@ void SwitchSim::step(std::uint64_t t, bool measuring, bool inject_traffic) {
                                               cfg_.request_delay_slots)));
       ++enqueued_per_port_[static_cast<std::size_t>(in)];
       ++offered_;
-      invariants_.offered(static_cast<std::uint64_t>(flow));
+      monitor_.offered(static_cast<std::uint64_t>(flow));
       voqs_[static_cast<std::size_t>(in)].push(cell);
       request_pipe_.push_back(PendingRequest{
           t + static_cast<std::uint64_t>(cfg_.request_delay_slots), in,
@@ -456,7 +467,7 @@ void SwitchSim::step(std::uint64_t t, bool measuring, bool inject_traffic) {
       const double delay = static_cast<double>(t - cell.arrival_slot) + 1.0;
       const int cls_bit = cell.cls == sim::TrafficClass::kControl ? 0 : 1;
       reorder_.deliver(cell.src, cell.dst * 2 + cls_bit, cell.seq);
-      invariants_.delivered(
+      monitor_.delivered(
           (static_cast<std::uint64_t>(cell.src) *
                static_cast<std::uint64_t>(n) +
            static_cast<std::uint64_t>(cell.dst)) *
@@ -484,6 +495,14 @@ void SwitchSim::step(std::uint64_t t, bool measuring, bool inject_traffic) {
     OSMOSIS_PROF_SCOPE("switch.recovery");
     recovery_.observe(t, backlog());
   }
+
+  // 7. Invariant verification at the slot boundary: cell conservation
+  //    (retried cells stay VOQ-resident, so nothing is ever dropped) and
+  //    the liveness watchdog. Retries maturing toward their timeout
+  //    count as pending work, not as a stall.
+  monitor_.end_slot({t, backlog(),
+                     injector_ ? injector_->active_faults() : 0,
+                     retry_queue_.size()});
 }
 
 void SwitchSim::sample_series(std::uint64_t t) {
@@ -606,10 +625,13 @@ SwitchSimResult SwitchSim::finalize() {
   r.min_window_throughput = min_window_thr_ < 0.0 ? r.throughput
                                                   : min_window_thr_;
   r.drained_slots = drained_slots_;
-  const auto inv = invariants_.report();
+  monitor_.finish(now_, backlog());
+  const auto inv = monitor_.exactly_once().report();
   r.exactly_once_in_order = inv.exactly_once_in_order();
   r.duplicates = inv.duplicates;
   r.missing = inv.missing;
+  r.invariant_violations = monitor_.violations();
+  r.first_violation = monitor_.first_violation();
 
   if (telem_.enabled()) {
     auto& ctr = telem_.counters();
@@ -690,7 +712,7 @@ void SwitchSim::io_stats(Ar& a) {
   ckpt::field(a, grant_latency_);
   ckpt::field(a, meter_);
   ckpt::field(a, reorder_);
-  ckpt::field(a, invariants_);
+  ckpt::field(a, monitor_);
   ckpt::field(a, recovery_);
   ckpt::field(a, health_);
 }
@@ -772,6 +794,7 @@ telemetry::RunReport SwitchSim::report() const {
                        telemetry::HistogramSummary::of(control_delay_));
   r.histograms.emplace("data_delay",
                        telemetry::HistogramSummary::of(data_delay_));
+  monitor_.to_report(r);
   return r;
 }
 

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/chaos/monitor.hpp"
 #include "src/ckpt/ckpt.hpp"
 #include "src/faults/fault_injector.hpp"
 #include "src/faults/fault_plan.hpp"
@@ -77,6 +78,10 @@ struct SwitchSimConfig {
   // Cell-lifecycle tracing / RunReport export; off by default, no
   // measurable cost when off (see src/telemetry/).
   telemetry::TelemetryConfig telemetry;
+  // Runtime invariant verification (conservation / liveness / ordering);
+  // always on — pure accounting, never changes behavior. allow_stranded
+  // is forced on when the plan carries a permanent fault.
+  chaos::MonitorConfig monitor;
 };
 
 struct SwitchSimResult {
@@ -115,6 +120,10 @@ struct SwitchSimResult {
   bool exactly_once_in_order = false;
   std::uint64_t duplicates = 0;
   std::uint64_t missing = 0;
+  // Runtime invariant verdict (chaos::InvariantMonitor): violations of
+  // conservation / credit / occupancy / liveness observed during the run.
+  std::uint64_t invariant_violations = 0;
+  std::string first_violation;  // "" when clean
 };
 
 class SwitchSim {
@@ -155,6 +164,9 @@ class SwitchSim {
   /// Component health view (§VI.A monitoring): every FRU of the switch
   /// plus the transitions the fault injector drove, with timestamps.
   const mgmt::HealthRegistry& health() const { return health_; }
+
+  /// Runtime invariant verdict (chaos soak layer).
+  const chaos::InvariantMonitor& monitor() const { return monitor_; }
 
   /// Structured run export; meaningful after run() with
   /// cfg.telemetry.enabled. Stage histograms are in cell cycles.
@@ -222,7 +234,7 @@ class SwitchSim {
   // ---- runtime fault injection & recovery -------------------------------
   std::optional<faults::FaultInjector> injector_;
   mgmt::HealthRegistry health_;
-  faults::ExactlyOnceChecker invariants_;
+  chaos::InvariantMonitor monitor_;
   faults::RecoveryTracker recovery_;
   // Per-output receiver-failure flags (static + runtime combined).
   std::vector<std::vector<std::uint8_t>> rx_failed_;

@@ -106,6 +106,22 @@ std::string RunReport::to_json(int indent) const {
   }
   w.close('}');
 
+  if (!invariants.empty()) {
+    w.key("invariants");
+    w.open('{');
+    for (const auto& [k, v] : invariants) {
+      w.key(k);
+      w.number(v);
+    }
+    if (!invariant_violations.empty()) {
+      w.key("violation_log");
+      w.open('[');
+      for (const auto& v : invariant_violations) w.string(v);
+      w.close(']');
+    }
+    w.close('}');
+  }
+
   if (!profile.empty()) {
     w.key("profile");
     w.open('{');
@@ -176,6 +192,15 @@ RunReport RunReport::from_json(const std::string& text) {
     r.counters[k] = v.number;
   for (const auto& [name, h] : doc.at("histograms").object)
     r.histograms.emplace(name, parse_histogram_summary(h));
+  if (doc.has("invariants")) {
+    for (const auto& [name, v] : doc.at("invariants").object) {
+      if (name == "violation_log") {
+        for (const auto& e : v.array) r.invariant_violations.push_back(e.str);
+      } else {
+        r.invariants.emplace(name, v.number);
+      }
+    }
+  }
   if (doc.has("profile")) {
     for (const auto& [name, p] : doc.at("profile").object) {
       prof::PhaseStats ps;

@@ -18,6 +18,8 @@
 //     "info": { "<key>": "<string>", ... },
 //     "counters": { "<subsystem.port.metric>": <number>, ... },
 //     "histograms": { "<name>": {"count","mean","min","p50","p99","max"} },
+//     ["invariants": { "<metric>": <number>, ...,
+//                      ["violation_log": [ "<violation>", ... ]] },]
 //     ["profile": { "<phase>": {"count","total_ns","mean_ns","max_ns"} },]
 //     ["timeseries": { "every_slots", "channels", "slots", "values" },]
 //     "health": [ "<event>", ... ]
@@ -77,6 +79,11 @@ struct RunReport {
   std::map<std::string, std::string> info;
   mgmt::Snapshot counters;
   std::map<std::string, HistogramSummary> histograms;
+  // Runtime invariant-verification verdict (chaos::InvariantMonitor):
+  // check/violation counts plus the exactly-once audit, with retained
+  // violation messages. Emitted only when non-empty.
+  std::map<std::string, double> invariants;
+  std::vector<std::string> invariant_violations;
   std::map<std::string, prof::PhaseStats> profile;  // emitted when non-empty
   prof::TimeSeriesData timeseries;                  // emitted when non-empty
   std::vector<std::string> health;
@@ -109,6 +116,8 @@ struct RunReport {
     ckpt::field(a, profile);
     ckpt::field(a, timeseries);
     ckpt::field(a, health);
+    ckpt::field(a, invariants);
+    ckpt::field(a, invariant_violations);
   }
 };
 

@@ -1,0 +1,250 @@
+// Unit tests for the chaos soak subsystem (DESIGN.md §12): seeded trial
+// generation (determinism, diversity, validity), trial execution purity,
+// the delta-debugging shrinker, and the osmosis.repro.v1 round trip the
+// chaos_repro tool replays.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/chaos/generator.hpp"
+#include "src/chaos/repro.hpp"
+#include "src/chaos/shrink.hpp"
+#include "src/chaos/trial.hpp"
+#include "src/exec/campaign.hpp"
+#include "src/mgmt/config_check.hpp"
+
+namespace osmosis {
+namespace {
+
+bool specs_equal(const chaos::TrialSpec& a, const chaos::TrialSpec& b) {
+  if (a.seed != b.seed || a.sim != b.sim || a.ports != b.ports ||
+      a.planes != b.planes || a.receivers != b.receivers ||
+      a.scheduler != b.scheduler || a.bursty != b.bursty ||
+      a.load != b.load || a.mean_burst != b.mean_burst ||
+      a.warmup_slots != b.warmup_slots ||
+      a.measure_slots != b.measure_slots ||
+      a.drain_max_slots != b.drain_max_slots ||
+      a.plan.seed() != b.plan.seed() || a.plan.size() != b.plan.size())
+    return false;
+  for (std::size_t i = 0; i < a.plan.size(); ++i) {
+    const auto& x = a.plan.events()[i];
+    const auto& y = b.plan.events()[i];
+    if (x.kind != y.kind || x.at_slot != y.at_slot || x.a != y.a ||
+        x.b != y.b || x.duration_slots != y.duration_slots ||
+        x.rate != y.rate)
+      return false;
+  }
+  return true;
+}
+
+// ---- generator -------------------------------------------------------------
+
+TEST(ChaosGenerator, SameSeedAndIndexYieldIdenticalSpecs) {
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    const auto a = chaos::generate_trial(42, i);
+    const auto b = chaos::generate_trial(42, i);
+    EXPECT_TRUE(specs_equal(a, b)) << "trial " << i;
+    EXPECT_EQ(a.label(), b.label());
+  }
+}
+
+TEST(ChaosGenerator, SeedsFollowTheCampaignDerivation) {
+  const auto s = chaos::generate_trial(42, 7);
+  EXPECT_EQ(s.seed, exec::derive_job_seed(42, 7));
+  EXPECT_EQ(s.campaign_seed, 42u);
+  EXPECT_EQ(s.trial_index, 7u);
+}
+
+TEST(ChaosGenerator, TrialsAreDiverseAcrossIndices) {
+  std::set<chaos::TrialSim> sims;
+  std::set<int> ports;
+  std::size_t with_faults = 0, bursty = 0;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const auto s = chaos::generate_trial(1, i);
+    sims.insert(s.sim);
+    ports.insert(s.ports);
+    if (!s.plan.empty()) ++with_faults;
+    if (s.bursty) ++bursty;
+  }
+  EXPECT_EQ(sims.size(), 4u);   // all four simulators exercised
+  EXPECT_GE(ports.size(), 2u);
+  EXPECT_GT(with_faults, 32u);  // most trials inject at least one fault
+  EXPECT_GT(bursty, 8u);
+}
+
+TEST(ChaosGenerator, DifferentCampaignSeedsDiverge) {
+  std::size_t differing = 0;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    if (!specs_equal(chaos::generate_trial(1, i), chaos::generate_trial(2, i)))
+      ++differing;
+  }
+  EXPECT_GT(differing, 12u);
+}
+
+TEST(ChaosGenerator, GeneratedFaultWindowsCloseBeforeTheDrain) {
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const auto s = chaos::generate_trial(9, i);
+    const std::uint64_t horizon = s.warmup_slots + s.measure_slots;
+    for (const auto& e : s.plan.events()) {
+      EXPECT_LT(e.at_slot, horizon) << s.label();
+      if (e.transient())
+        EXPECT_LE(e.end_slot(), horizon) << s.label();
+      else
+        EXPECT_LE(s.drain_max_slots, 4'096u)
+            << s.label() << ": permanent fault with a long drain budget";
+    }
+  }
+}
+
+// ---- trial execution -------------------------------------------------------
+
+TEST(ChaosTrial, RunTrialIsAPureFunctionOfTheSpec) {
+  const auto spec = chaos::generate_trial(5, 3);
+  const auto a = chaos::run_trial(spec);
+  const auto b = chaos::run_trial(spec);
+  EXPECT_EQ(a.violated, b.violated);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.checks, b.checks);
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.first_violation, b.first_violation);
+}
+
+TEST(ChaosTrial, GeneratedTrialsRunCleanly) {
+  // A slice of the soak property: generated = valid = zero violations.
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const auto spec = chaos::generate_trial(11, i);
+    const auto r = chaos::run_trial(spec);
+    EXPECT_FALSE(r.violated) << spec.label() << ": " << r.first_violation;
+    EXPECT_GT(r.offered, 0u) << spec.label();
+  }
+}
+
+TEST(ChaosTrial, ViolationInvariantParsesTheToken) {
+  EXPECT_EQ(chaos::violation_invariant(
+                "slot=12 conservation: offered=5 != delivered=1"),
+            "conservation");
+  EXPECT_EQ(chaos::violation_invariant(
+                "slot=900 liveness(final): 3 cells stranded"),
+            "liveness(final)");
+  EXPECT_EQ(chaos::violation_invariant(""), "");
+}
+
+TEST(ChaosTrial, MutingASourceLeavesOthersArrivalsUntouched) {
+  // MaskedTraffic samples-then-discards, so muting must only remove the
+  // muted source's cells, never shift another source's stream: the
+  // offered count shrinks, and the run stays clean.
+  auto spec = chaos::generate_trial(11, 1);
+  const auto base = chaos::run_trial(spec);
+  spec.muted_sources.push_back(0);
+  const auto muted = chaos::run_trial(spec);
+  EXPECT_LT(muted.offered, base.offered);
+  EXPECT_FALSE(muted.violated) << muted.first_violation;
+}
+
+// ---- shrinker + repro round trip -------------------------------------------
+
+namespace {
+
+// A violating spec with a known injected accounting defect: a switch
+// trial whose delivery ledger drops every 3rd completion while its one
+// adapter-stall window is open.
+chaos::TrialSpec defective_spec() {
+  chaos::TrialSpec s;
+  s.campaign_seed = 1234;
+  s.trial_index = 0;
+  s.seed = 0x0123'4567'89ab'cdefULL;
+  s.sim = chaos::TrialSim::kSwitch;
+  s.ports = 8;
+  s.receivers = 2;
+  s.scheduler = sw::SchedulerKind::kIslip;
+  s.load = 0.6;
+  s.warmup_slots = 128;
+  s.measure_slots = 1'024;
+  s.drain_max_slots = 20'000;
+  s.plan.seeded(s.seed ^ 0x5eedULL);
+  s.plan.stall_adapter(300, 2, 400).kill_module(500, 4, 0, 200);
+  s.defect = chaos::Defect::kDropDeliveryDuringFault;
+  s.defect_period = 3;
+  return s;
+}
+
+}  // namespace
+
+TEST(ChaosShrink, ShrinksAnInjectedDefectToOneFaultEvent) {
+  const auto failing = defective_spec();
+  const auto original = chaos::run_trial(failing);
+  ASSERT_TRUE(original.violated);
+  ASSERT_EQ(original.invariant, "conservation");
+
+  const auto sh = chaos::shrink(failing);
+  EXPECT_EQ(sh.invariant, "conservation");
+  EXPECT_TRUE(sh.result.violated);
+  // The defect only fires inside a fault window, so exactly one of the
+  // two events must survive; the horizon must not grow.
+  EXPECT_EQ(sh.shrunk_events, 1u);
+  EXPECT_EQ(sh.original_events, 2u);
+  EXPECT_LE(sh.shrunk_slots, sh.original_slots);
+  EXPECT_LE(sh.runs, 200);
+  // Shrinking is deterministic: same failing spec, same minimal spec.
+  const auto again = chaos::shrink(failing);
+  EXPECT_TRUE(specs_equal(sh.spec, again.spec));
+  EXPECT_EQ(sh.runs, again.runs);
+}
+
+TEST(ChaosRepro, JsonRoundTripPreservesEveryField) {
+  chaos::Repro r;
+  r.spec = defective_spec();
+  // Force a seed above 2^53 to prove string serialization is lossless
+  // where a JSON double would round.
+  r.spec.seed = 0xffff'ffff'ffff'fff1ULL;
+  r.spec.muted_sources = {1, 5};
+  r.expected_violated = true;
+  r.expected_invariant = "conservation";
+  r.expected_violations = 42;
+  r.note = "unit-test round trip";
+
+  const auto back = chaos::repro_from_json(chaos::repro_to_json(r));
+  EXPECT_TRUE(specs_equal(back.spec, r.spec));
+  EXPECT_EQ(back.spec.seed, 0xffff'ffff'ffff'fff1ULL);
+  EXPECT_EQ(back.spec.muted_sources, r.spec.muted_sources);
+  EXPECT_EQ(back.spec.defect, r.spec.defect);
+  EXPECT_EQ(back.spec.defect_period, r.spec.defect_period);
+  EXPECT_EQ(back.expected_violated, true);
+  EXPECT_EQ(back.expected_invariant, "conservation");
+  EXPECT_EQ(back.expected_violations, 42u);
+  EXPECT_EQ(back.note, "unit-test round trip");
+}
+
+TEST(ChaosRepro, ShrunkReproReplaysToTheSameVerdict) {
+  const auto sh = chaos::shrink(defective_spec());
+  chaos::Repro r;
+  r.spec = sh.spec;
+  r.expected_violated = sh.result.violated;
+  r.expected_invariant = sh.invariant;
+  r.expected_violations = sh.result.violations;
+
+  // Round-trip through JSON first: the replay must work from the file
+  // format, not from the in-memory spec.
+  const auto loaded = chaos::repro_from_json(chaos::repro_to_json(r));
+  chaos::TrialResult replay;
+  EXPECT_TRUE(chaos::replay_matches(loaded, replay));
+  EXPECT_EQ(replay.invariant, sh.invariant);
+  EXPECT_EQ(replay.violations, sh.result.violations);
+}
+
+TEST(ChaosRepro, CleanSpecReplaysClean) {
+  auto s = defective_spec();
+  s.defect = chaos::Defect::kNone;  // same trial, no injected bug
+  chaos::Repro r;
+  r.spec = s;
+  r.expected_violated = false;
+  chaos::TrialResult replay;
+  EXPECT_TRUE(chaos::replay_matches(r, replay));
+  EXPECT_FALSE(replay.violated) << replay.first_violation;
+}
+
+}  // namespace
+}  // namespace osmosis

@@ -208,8 +208,14 @@ TEST(CampaignRunner, RetriesFailedJobsViaExecutorHook) {
   opts.threads = 2;
   opts.max_attempts = 3;
   opts.executor = [&](const JobSpec& j) {
-    if (j.index == 1 && attempts_of_job1.fetch_add(1) < 2)
-      throw std::runtime_error("transient failure");
+    // Distinct message per attempt: identical messages would be
+    // classified deterministic and quarantined instead of retried.
+    if (j.index == 1) {
+      const int attempt = attempts_of_job1.fetch_add(1);
+      if (attempt < 2)
+        throw std::runtime_error("transient failure #" +
+                                 std::to_string(attempt));
+    }
     JobResult r;
     r.ok = true;
     r.metrics["throughput"] = j.load;
@@ -246,6 +252,99 @@ TEST(CampaignRunner, ExhaustedRetriesMarkTheJobFailed) {
   // A failed job still serializes (ok=false, error filled in).
   const std::string doc = result.to_json(2, false);
   EXPECT_NE(doc.find("persistent failure"), std::string::npos);
+}
+
+// ---- runner: failure classification & quarantine ---------------------------
+
+TEST(CampaignRunner, DeterministicFailureShortCircuitsToQuarantine) {
+  CampaignSpec spec;
+  spec.name = "quarantine";
+  spec.loads = {0.1, 0.2};
+  std::atomic<int> attempts_of_job0{0};
+  RunnerOptions opts;
+  opts.threads = 2;
+  opts.max_attempts = 5;
+  opts.executor = [&](const JobSpec& j) -> JobResult {
+    if (j.index == 0) {
+      attempts_of_job0.fetch_add(1);
+      throw std::runtime_error("same message every time");
+    }
+    JobResult r;
+    r.ok = true;
+    return r;
+  };
+  CampaignRunner runner(opts);
+  const CampaignResult result = runner.run(spec);
+  // Identical messages on attempts 1 and 2 => deterministic; attempts
+  // 3..5 are never burned.
+  EXPECT_EQ(attempts_of_job0.load(), 2);
+  EXPECT_FALSE(result.jobs[0].ok);
+  EXPECT_TRUE(result.jobs[0].quarantined);
+  EXPECT_EQ(result.jobs[0].failure_class, "deterministic");
+  EXPECT_EQ(result.jobs[0].attempts, 2);
+  EXPECT_TRUE(result.jobs[1].ok);
+  EXPECT_FALSE(result.jobs[1].quarantined);
+  // The document grows a quarantine section naming the job.
+  const std::string doc = result.to_json(2, false);
+  EXPECT_NE(doc.find("\"quarantine\""), std::string::npos);
+  EXPECT_NE(doc.find("\"class\": \"deterministic\""), std::string::npos);
+}
+
+TEST(CampaignRunner, DistinctFailuresStayTransientAndRetry) {
+  CampaignSpec spec;
+  spec.name = "transient";
+  spec.loads = {0.1};
+  std::atomic<int> attempts{0};
+  RunnerOptions opts;
+  opts.threads = 1;
+  opts.max_attempts = 3;
+  opts.retry_backoff_ms = 0.1;  // exercise the backoff path
+  opts.executor = [&](const JobSpec&) -> JobResult {
+    throw std::runtime_error("flaky #" +
+                             std::to_string(attempts.fetch_add(1)));
+  };
+  CampaignRunner runner(opts);
+  const CampaignResult result = runner.run(spec);
+  EXPECT_EQ(result.jobs[0].attempts, 3);  // every attempt was used
+  EXPECT_FALSE(result.jobs[0].ok);
+  EXPECT_FALSE(result.jobs[0].quarantined);
+  EXPECT_EQ(result.jobs[0].failure_class, "transient");
+  // Not quarantined => no quarantine section.
+  const std::string doc = result.to_json(2, false);
+  EXPECT_EQ(doc.find("\"quarantine\""), std::string::npos);
+}
+
+TEST(CampaignRunner, TimeoutCancelsCooperativelyAndQuarantines) {
+  // A job far too large for a 1 ms budget: the built-in executor's
+  // watchdog must abort it mid-run rather than flagging it afterwards.
+  JobSpec big;
+  big.sim = SimKind::kSwitch;
+  big.ports = 16;
+  big.load = 0.5;
+  big.seed = derive_job_seed(1, 0);
+  big.warmup_slots = 1'000;
+  big.measure_slots = 50'000'000;
+  EXPECT_THROW(run_job(big, 1.0), JobTimeout);
+
+  CampaignSpec spec;
+  spec.name = "timeout";
+  spec.loads = {0.5};
+  spec.ports = {16};
+  spec.warmup_slots = 1'000;
+  spec.measure_slots = 50'000'000;
+  RunnerOptions opts;
+  opts.threads = 1;
+  opts.max_attempts = 3;
+  opts.job_timeout_ms = 1.0;
+  CampaignRunner runner(opts);
+  const CampaignResult result = runner.run(spec);
+  EXPECT_FALSE(result.jobs[0].ok);
+  EXPECT_TRUE(result.jobs[0].timed_out);
+  EXPECT_TRUE(result.jobs[0].quarantined);
+  EXPECT_EQ(result.jobs[0].failure_class, "timeout");
+  EXPECT_EQ(result.jobs[0].attempts, 1);  // no retry after a timeout
+  const std::string doc = result.to_json(2, false);
+  EXPECT_NE(doc.find("\"class\": \"timeout\""), std::string::npos);
 }
 
 // ---- campaign_compare ------------------------------------------------------

@@ -1,12 +1,17 @@
 // Unit tests for the fault-injection layer: FaultPlan builders, the
 // FaultInjector timeline/roll determinism contract, the exactly-once
-// invariant checker, the recovery-time tracker, and the management-side
-// validators for static failures and fault plans.
+// invariant checker, the recovery-time tracker, the management-side
+// validators for static failures and fault plans, and the chaos
+// InvariantMonitor (silent under every declared fault kind; every
+// invariant demonstrably fires against a deliberately broken ledger).
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
+#include "src/chaos/monitor.hpp"
+#include "src/chaos/trial.hpp"
 #include "src/core/config.hpp"
 #include "src/faults/fault_injector.hpp"
 #include "src/faults/fault_plan.hpp"
@@ -293,6 +298,245 @@ TEST(ValidateFaultPlan, NonOverlappingModuleKillsDoNotWarn) {
   plan.kill_module(100, 3, 0, 50).kill_module(500, 3, 1, 50);
   for (const auto& x : mgmt::validate_fault_plan(demo_config(), plan))
     EXPECT_NE(x.severity, mgmt::Severity::kWarning);
+}
+
+// ---- InvariantMonitor: silent under every declared fault kind --------------
+//
+// The monitor must never mistake a *declared* fault (whose effects the
+// simulators handle correctly — masking, retries, resequencing) for an
+// invariant violation. One trial per fault kind, on a simulator whose
+// constructor accepts it.
+
+namespace {
+
+chaos::TrialSpec chaos_spec(chaos::TrialSim sim) {
+  chaos::TrialSpec s;
+  s.campaign_seed = 77;
+  s.trial_index = 0;
+  s.seed = 0x6b45'9c1e'22f0'8d31ULL;
+  s.sim = sim;
+  s.ports = 8;
+  s.planes = 4;
+  s.receivers = 2;
+  s.scheduler = sw::SchedulerKind::kIslip;
+  s.load = 0.5;
+  s.warmup_slots = 128;
+  s.measure_slots = 1'024;
+  s.drain_max_slots = 20'000;
+  s.plan.seeded(s.seed ^ 0xfau);
+  return s;
+}
+
+void expect_silent(const chaos::TrialSpec& s) {
+  const chaos::TrialResult r = chaos::run_trial(s);
+  EXPECT_FALSE(r.violated) << s.label() << ": " << r.first_violation;
+  EXPECT_GT(r.offered, 0u);
+  EXPECT_GT(r.checks, 0u);
+}
+
+}  // namespace
+
+TEST(ChaosMonitorSilent, ModuleDeathOnSwitch) {
+  auto s = chaos_spec(chaos::TrialSim::kSwitch);
+  s.plan.kill_module(200, 3, 1, 300);
+  expect_silent(s);
+}
+
+TEST(ChaosMonitorSilent, PermanentFiberCutOnSwitch) {
+  auto s = chaos_spec(chaos::TrialSim::kSwitch);
+  s.plan.cut_fiber(200, 2);        // duration 0 = permanent
+  s.drain_max_slots = 4'096;       // stranded cells can never drain
+  expect_silent(s);
+}
+
+TEST(ChaosMonitorSilent, BurstErrorsOnSwitch) {
+  auto s = chaos_spec(chaos::TrialSim::kSwitch);
+  s.plan.burst_errors(200, -1, 300, 0.2);
+  expect_silent(s);
+}
+
+TEST(ChaosMonitorSilent, GrantCorruptionOnSwitch) {
+  auto s = chaos_spec(chaos::TrialSim::kSwitch);
+  s.plan.corrupt_grants(200, 300, 0.1);
+  expect_silent(s);
+}
+
+TEST(ChaosMonitorSilent, AdapterStallOnEventSwitch) {
+  auto s = chaos_spec(chaos::TrialSim::kEventSwitch);
+  s.plan.stall_adapter(200, 5, 300);
+  expect_silent(s);
+}
+
+TEST(ChaosMonitorSilent, PlaneFailureOnFabric) {
+  auto s = chaos_spec(chaos::TrialSim::kFabric);
+  s.plan.fail_plane(200, 1, 300);  // spine plane, transient only
+  s.drain_max_slots = 80'000;      // faulted fabric backlog drains slowly
+  expect_silent(s);
+}
+
+TEST(ChaosMonitorSilent, PlaneFailureOnMultiPlane) {
+  auto s = chaos_spec(chaos::TrialSim::kMultiPlane);
+  s.plan.fail_plane(200, 2, 300);
+  expect_silent(s);
+}
+
+// ---- InvariantMonitor: every invariant fires on a broken toy ledger --------
+//
+// Each test drives the monitor directly with a scripted, deliberately
+// inconsistent account of a "simulation" and asserts the matching
+// invariant (and only a sensible one) trips.
+
+namespace {
+
+std::string first_token(const chaos::InvariantMonitor& m) {
+  return chaos::violation_invariant(m.first_violation());
+}
+
+}  // namespace
+
+TEST(ChaosMonitorFires, ConservationOnLostCell) {
+  chaos::InvariantMonitor m;
+  for (int i = 0; i < 5; ++i) m.offered(0);
+  m.delivered(0, 0);
+  // 5 offered, 1 delivered, but only 3 accounted for in queues.
+  m.end_slot({/*slot=*/1, /*queued=*/3, /*active_faults=*/0, 0});
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(first_token(m), "conservation");
+  EXPECT_EQ(m.first_violation_slot(), 1u);
+}
+
+TEST(ChaosMonitorFires, DeadlockOnStalledBacklog) {
+  chaos::MonitorConfig cfg;
+  cfg.deadlock_slots = 16;
+  chaos::InvariantMonitor m(cfg);
+  m.offered(0);
+  for (std::uint64_t t = 0; t < 40; ++t)
+    m.end_slot({t, /*queued=*/1, /*active_faults=*/0, 0});
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(first_token(m), "deadlock");
+}
+
+TEST(ChaosMonitorFires, DeadlockSuppressedByOpenFaultOrRetries) {
+  chaos::MonitorConfig cfg;
+  cfg.deadlock_slots = 16;
+  chaos::InvariantMonitor m(cfg);
+  m.offered(0);
+  for (std::uint64_t t = 0; t < 40; ++t)
+    m.end_slot({t, 1, /*active_faults=*/1, 0});  // fault window open
+  for (std::uint64_t t = 40; t < 80; ++t)
+    m.end_slot({t, 1, 0, /*retries_pending=*/2});  // retries maturing
+  EXPECT_TRUE(m.ok()) << m.first_violation();
+}
+
+TEST(ChaosMonitorFires, OccupancyOverCap) {
+  chaos::InvariantMonitor m;
+  m.check_occupancy(7, "leaf_buffer", 8, 8);   // at cap: fine
+  EXPECT_TRUE(m.ok());
+  m.check_occupancy(9, "leaf_buffer", 9, 8);   // over cap
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(first_token(m), "occupancy");
+  EXPECT_NE(m.first_violation().find("leaf_buffer"), std::string::npos);
+}
+
+TEST(ChaosMonitorFires, CreditLedgerMismatchAndNegativePool) {
+  chaos::InvariantMonitor m;
+  m.check_credits(3, /*ledger=*/10, /*pool_total=*/10, /*min_pool=*/0);
+  EXPECT_TRUE(m.ok());
+  m.check_credits(4, 9, 10, 0);    // one credit vanished
+  m.check_credits(5, 10, 10, -1);  // a pool went negative
+  EXPECT_EQ(m.violations(), 2u);
+  EXPECT_EQ(first_token(m), "credit");
+}
+
+TEST(ChaosMonitorFires, DuplicateDeliveryAtFinish) {
+  chaos::InvariantMonitor m;
+  m.offered(1);
+  m.offered(1);
+  m.delivered(1, 0);
+  m.delivered(1, 0);  // duplicate completion
+  m.delivered(1, 1);
+  m.finish(10, /*residual_backlog=*/0);
+  ASSERT_FALSE(m.ok());
+  // The duplicate also skews the delivered count, so the residual
+  // conservation audit trips alongside the exactly-once verdict.
+  bool duplicate = false;
+  for (const auto& v : m.violation_log())
+    duplicate |= chaos::violation_invariant(v) == "exactly_once";
+  EXPECT_TRUE(duplicate) << m.first_violation();
+}
+
+TEST(ChaosMonitorFires, ReorderedDeliveryAtFinish) {
+  chaos::MonitorConfig cfg;
+  cfg.expect_drain = true;
+  chaos::InvariantMonitor m(cfg);
+  for (int i = 0; i < 2; ++i) m.offered(2);
+  m.delivered(2, 1);  // out of order
+  m.delivered(2, 0);
+  m.finish(10, 0);
+  ASSERT_FALSE(m.ok());
+  bool reordered = false;
+  for (const auto& v : m.violation_log())
+    reordered |= chaos::violation_invariant(v) == "ordering";
+  EXPECT_TRUE(reordered) << m.first_violation();
+}
+
+TEST(ChaosMonitorFires, MissingAndStrandedAtFinish) {
+  chaos::MonitorConfig cfg;
+  cfg.expect_drain = true;  // run claims to have fully drained
+  chaos::InvariantMonitor m(cfg);
+  for (int i = 0; i < 3; ++i) m.offered(4);
+  m.delivered(4, 0);
+  m.finish(20, /*residual_backlog=*/2);  // 2 stranded, no permanent fault
+  ASSERT_FALSE(m.ok());
+  bool stranded = false, missing = false;
+  for (const auto& v : m.violation_log()) {
+    stranded |= chaos::violation_invariant(v) == "liveness(final)";
+    missing |= chaos::violation_invariant(v) == "exactly_once";
+  }
+  EXPECT_TRUE(stranded);
+  EXPECT_TRUE(missing);
+}
+
+TEST(ChaosMonitorFires, AllowStrandedAcceptsPermanentFaultResidue) {
+  chaos::MonitorConfig cfg;
+  cfg.expect_drain = true;
+  cfg.allow_stranded = true;  // plan declared a permanent fault
+  chaos::InvariantMonitor m(cfg);
+  for (int i = 0; i < 3; ++i) m.offered(4);
+  m.delivered(4, 0);
+  m.finish(20, 2);  // same residue as above, now legitimate
+  EXPECT_TRUE(m.ok()) << m.first_violation();
+}
+
+TEST(ChaosMonitorFires, FinishIsIdempotent) {
+  chaos::MonitorConfig cfg;
+  cfg.expect_drain = true;
+  chaos::InvariantMonitor m(cfg);
+  m.offered(0);
+  m.finish(5, 1);  // stranded: one violation
+  const std::uint64_t first = m.violations();
+  m.finish(5, 1);  // double finalize must not double-count
+  EXPECT_EQ(m.violations(), first);
+}
+
+TEST(ChaosMonitorFires, DefectOnlyCorruptsInsideFaultWindows) {
+  chaos::MonitorConfig cfg;
+  cfg.defect = chaos::Defect::kDropDeliveryDuringFault;
+  cfg.defect_period = 1;  // every opportunity
+  chaos::InvariantMonitor m(cfg);
+  // No fault open: the armed defect must stay dormant.
+  m.offered(0);
+  m.end_slot({0, 1, /*active_faults=*/0, 0});
+  m.delivered(0, 0);
+  m.end_slot({1, 0, 0, 0});
+  EXPECT_TRUE(m.ok()) << m.first_violation();
+  // Fault window opens: the dropped delivery now breaks conservation.
+  m.offered(0);
+  m.end_slot({2, 1, /*active_faults=*/1, 0});
+  m.delivered(0, 1);  // silently swallowed by the defect
+  m.end_slot({3, 0, 1, 0});
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(first_token(m), "conservation");
 }
 
 }  // namespace
