@@ -14,9 +14,11 @@
 //       even though raw rates are machine-dependent and never compared.
 //
 //   schema_check --report=<run_report.json> [--need-profile]
-//                [--need-timeseries]
-//       osmosis.run_report.v1 shape, optionally requiring the "profile"
-//       and "timeseries" sections to be present and well formed.
+//                [--need-timeseries] [--need-availability]
+//       osmosis.run_report.v1 shape, optionally requiring the "profile",
+//       "timeseries", and "availability" sections to be present and well
+//       formed. An "availability" section is shape- and range-checked
+//       whenever present, required only under --need-availability.
 //
 //   schema_check --micro=<bench_micro.json>
 //       google-benchmark JSON from bench_micro: asserts the disabled
@@ -227,7 +229,7 @@ int check_perf(const JsonValue& doc, const JsonValue* baseline) {
 // ---- RunReport ------------------------------------------------------------
 
 int check_report(const JsonValue& doc, bool need_profile,
-                 bool need_timeseries) {
+                 bool need_timeseries, bool need_availability) {
   if (!doc.has("schema") || doc.at("schema").str != "osmosis.run_report.v1")
     return fail("report: schema is not osmosis.run_report.v1");
   for (const char* key :
@@ -235,6 +237,36 @@ int check_report(const JsonValue& doc, bool need_profile,
         "health"})
     if (!doc.has(key))
       return fail(std::string("report: missing ") + key);
+  // Availability/SLO section: validated whenever present, required under
+  // --need-availability (the graceful-degradation benches).
+  if (need_availability && !doc.has("availability"))
+    return fail("report: availability section required but absent");
+  if (doc.has("availability")) {
+    const JsonValue& av = doc.at("availability");
+    if (!av.is_object() || av.object.empty())
+      return fail("report: availability must be a non-empty object");
+    for (const char* key :
+         {"measured_slots", "brownout_slots", "brownout_fraction",
+          "capacity_fraction_min", "throughput_pre", "throughput_degraded",
+          "throughput_post", "min_window_throughput", "offered_cells",
+          "delivered_cells", "shed_cells", "shed_fraction",
+          "delivered_fraction", "recoveries"})
+      if (!av.has(key))
+        return fail(std::string("report: availability missing ") + key);
+    for (const char* frac : {"brownout_fraction", "capacity_fraction_min",
+                             "shed_fraction", "delivered_fraction"}) {
+      const double v = av.at(frac).number;
+      if (v < 0.0 || v > 1.0)
+        return fail(std::string("report: availability ") + frac +
+                    " outside [0, 1]");
+    }
+    if (av.at("brownout_slots").number > av.at("measured_slots").number)
+      return fail("report: availability brownout_slots > measured_slots");
+    if (av.at("delivered_cells").number + av.at("shed_cells").number <
+        av.at("offered_cells").number)
+      return fail("report: availability delivered + shed < offered "
+                  "(cells unaccounted for)");
+  }
   if (need_profile) {
     if (!doc.has("profile") || !doc.at("profile").is_object() ||
         doc.at("profile").object.empty())
@@ -262,7 +294,9 @@ int check_report(const JsonValue& doc, bool need_profile,
   }
   std::cout << "report OK: sim=" << doc.at("sim").str
             << (need_profile ? ", profile present" : "")
-            << (need_timeseries ? ", timeseries present" : "") << "\n";
+            << (need_timeseries ? ", timeseries present" : "")
+            << (doc.has("availability") ? ", availability present" : "")
+            << "\n";
   return 0;
 }
 
@@ -494,7 +528,8 @@ int main(int argc, char** argv) {
   if (cli.has("report")) {
     if (!load(cli.get_path("report", ""), doc)) return 1;
     return check_report(doc, cli.has("need-profile"),
-                        cli.has("need-timeseries"));
+                        cli.has("need-timeseries"),
+                        cli.has("need-availability"));
   }
   if (cli.has("micro")) {
     if (!load(cli.get_path("micro", ""), doc)) return 1;
@@ -509,7 +544,8 @@ int main(int argc, char** argv) {
     return check_repro(doc);
   }
   std::cerr << "usage: schema_check --trace=F | --perf=F [--baseline=F] | "
-               "--report=F [--need-profile] [--need-timeseries] | "
+               "--report=F [--need-profile] [--need-timeseries] "
+               "[--need-availability] | "
                "--micro=F | --campaign=F | --repro=F\n";
   return 2;
 }

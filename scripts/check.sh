@@ -11,6 +11,9 @@
 # with schema_check, run the fixed-seed chaos smoke soak (25 randomized
 # fault-fuzzing trials, zero invariant violations, manifest
 # byte-identical to the committed baseline and across thread counts),
+# run the graceful-degradation study (permanent spine cut under adaptive
+# routing + admission must hold the availability floor and emit a valid
+# availability/SLO report section),
 # assert the disabled-profiler overhead bound on
 # bench_micro numbers, then rebuild under ASan+UBSan (failure/fault/
 # chaos/checkpoint tests plus the full injected-defect -> shrink ->
@@ -136,6 +139,17 @@ echo "== chaos determinism: manifest byte-identical at 1 and 8 threads =="
 cmp "$chaos_json" "$build/chaos_smoke_t8.json"
 echo "byte-identical at 1 and 8 threads"
 
+echo "== graceful degradation: permanent spine cut, floor + availability =="
+# bench_failures --permanent exits non-zero if the degraded run drops
+# below (surviving fraction) x (fault-free throughput) x 0.9, is not
+# exactly-once for non-shed cells, or fails shed accounting; its report
+# must carry a well-formed availability/SLO section.
+degraded_json="$build/degraded_report.json"
+"$build/bench/bench_failures" --permanent --slots=8000 \
+  --json="$degraded_json" > /dev/null
+"$build/bench/schema_check" --report="$degraded_json" --need-availability
+echo "throughput floor, exactly-once, and shed accounting hold"
+
 echo "== disabled-profiler overhead bound (bench_micro) =="
 "$build/bench/bench_micro" \
   --benchmark_filter='BM_ProfScope|BM_SwitchSimRun/0' \
@@ -168,6 +182,12 @@ san_repro="$san_build/chaos_defect_repro.json"
   --repro-out="$san_repro" > /dev/null
 "$san_build/bench/schema_check" --repro="$san_repro"
 "$san_build/bench/chaos_repro" "$san_repro"
+
+echo "== sanitizer run: degraded-mode repro replay =="
+# The committed graceful-degradation reference trial (permanent spine
+# cut, adaptive routing + admission) under ASan+UBSan: re-steering,
+# resequencing, and shed accounting are fresh pointer-heavy paths.
+"$san_build/bench/chaos_repro" "$repo/bench/baselines/degraded_repro.json"
 
 echo "== sanitizer build (TSan) =="
 tsan_build="$repo/build-tsan"

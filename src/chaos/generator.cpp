@@ -44,9 +44,15 @@ bool event_valid(const TrialSpec& spec, const faults::FaultEvent& e) {
     mirror.fibers = derive_fibers(spec.ports);
     mirror.wavelengths = spec.ports / mirror.fibers;
   }
+  // Parallel-path count for the permanent-disconnection check: the
+  // fabric's spines or the multi-plane's planes.
+  int parallel_paths = 0;
+  if (spec.sim == TrialSim::kFabric) parallel_paths = spec.ports / 2;
+  if (spec.sim == TrialSim::kMultiPlane) parallel_paths = spec.planes;
   faults::FaultPlan probe = spec.plan;
   probe.add(e);
-  return mgmt::config_ok(mgmt::validate_fault_plan(mirror, probe));
+  return mgmt::config_ok(
+      mgmt::validate_fault_plan(mirror, probe, parallel_paths));
 }
 
 bool windows_overlap(const faults::FaultEvent& a, const faults::FaultEvent& b) {
@@ -71,13 +77,17 @@ bool same_target_overlap(const faults::FaultPlan& plan,
   return false;
 }
 
-/// Multi-plane guard: adding `e` must never leave an instant with every
-/// plane down (MultiPlaneSim aborts when there is nothing to re-steer
-/// onto). The down-set only changes at window begins, so checking each
-/// begin instant suffices.
+/// Parallel-path guard: adding `e` must never leave an instant with
+/// every plane/spine down (the re-steering simulators abort when there
+/// is nothing to re-steer onto). Only kPlaneFailure events count —
+/// fabric plans also carry adapter stalls, whose target indices range
+/// over hosts, not spines. The down-set only changes at window begins,
+/// so checking each begin instant suffices.
 bool keeps_a_plane_alive(const faults::FaultPlan& plan,
                          const faults::FaultEvent& e, int planes) {
-  std::vector<faults::FaultEvent> all(plan.events());
+  std::vector<faults::FaultEvent> all;
+  for (const auto& w : plan.events())
+    if (w.kind == faults::FaultKind::kPlaneFailure) all.push_back(w);
   all.push_back(e);
   for (const auto& at : all) {
     std::vector<std::uint8_t> down(static_cast<std::size_t>(planes), 0);
@@ -157,8 +167,11 @@ faults::FaultEvent roll_switch_event(sim::Rng& rng, const TrialSpec& spec) {
   return e;
 }
 
-/// Grammar for the two-stage fabric: transient spine failures and host
-/// adapter stalls (the only kinds its constructor accepts).
+/// Grammar for the two-stage fabric: spine failures and host adapter
+/// stalls (the only kinds its constructor accepts). Spine failures are
+/// transient-only in legacy mode; adaptive routing unlocks a permanent
+/// chance (the cross-event guard keeps a surviving spine) plus the
+/// reroute-inducing revive/re-fail mixes that exercise the hysteresis.
 faults::FaultEvent roll_fabric_event(sim::Rng& rng, const TrialSpec& spec) {
   const int spines = spec.ports / 2;  // radix/2 spine switches
   faults::FaultEvent e;
@@ -166,10 +179,13 @@ faults::FaultEvent roll_fabric_event(sim::Rng& rng, const TrialSpec& spec) {
                               : faults::FaultKind::kAdapterStall;
   e.at_slot = roll_at_slot(rng, spec);
   e.duration_slots = roll_duration(rng, spec, e.at_slot);
-  if (e.kind == faults::FaultKind::kPlaneFailure)
+  if (e.kind == faults::FaultKind::kPlaneFailure) {
     e.a = static_cast<int>(rng.uniform_int(spines));
-  else
+    if (spec.adaptive_routing && spines > 1 && rng.bernoulli(0.25))
+      e.duration_slots = 0;  // permanent: adaptive routing carries it
+  } else {
     e.a = static_cast<int>(rng.uniform_int(spec.sources()));
+  }
   return e;
 }
 
@@ -252,6 +268,8 @@ std::string TrialSpec::label() const {
   os << " r" << receivers << ' ' << (bursty ? "bursty" : "uniform") << " l"
      << std::fixed << std::setprecision(2) << load << " w" << warmup_slots
      << " m" << measure_slots << " faults=" << plan.size();
+  if (adaptive_routing) os << " adaptive";
+  if (admission) os << " admit";
   if (!muted_sources.empty()) os << " muted=" << muted_sources.size();
   if (defect != Defect::kNone) os << " defect=" << to_string(defect);
   return os.str();
@@ -301,6 +319,10 @@ TrialSpec generate_trial(std::uint64_t campaign_seed,
           sw::SchedulerKind::kIslip, sw::SchedulerKind::kPim,
           sw::SchedulerKind::kTdm, sw::SchedulerKind::kWfa};
       spec.scheduler = kScheds[pick_weighted(rng, {3, 2, 1, 1})];
+      // Graceful degradation: half the fabric trials run fault-aware
+      // adaptive routing, and half of those also shed at the sources.
+      spec.adaptive_routing = rng.bernoulli(0.5);
+      spec.admission = spec.adaptive_routing && rng.bernoulli(0.5);
       break;
     }
     case TrialSim::kMultiPlane: {
@@ -362,6 +384,13 @@ TrialSpec generate_trial(std::uint64_t campaign_seed,
       if (spec.sim == TrialSim::kMultiPlane &&
           !keeps_a_plane_alive(spec.plan, e, spec.planes))
         continue;
+      // Adaptive fabric: never leave an instant with every spine out —
+      // with zero survivors nothing re-steers and permanents would make
+      // the strand permanent.
+      if (spec.sim == TrialSim::kFabric && spec.adaptive_routing &&
+          e.kind == faults::FaultKind::kPlaneFailure &&
+          !keeps_a_plane_alive(spec.plan, e, spec.ports / 2))
+        continue;
       if (!event_valid(spec, e)) continue;
       spec.plan.add(e);
       break;
@@ -370,14 +399,32 @@ TrialSpec generate_trial(std::uint64_t campaign_seed,
   std::uint64_t mix = spec.seed;  // splitmix64 advances its state in place
   spec.plan.seeded(sim::splitmix64(mix) ^ 0x05'0A'7EULL);
 
-  // Permanent faults strand cells, so the drain can never terminate on
-  // empty queues — cap the budget burned walking to it. The two-stage
-  // fabric gets a bigger budget: a TDM timetable drains a deep faulted
-  // backlog at ~1/radix cells per slot per input.
-  if (spec.plan.has_permanent_fault())
+  // Permanent faults normally strand cells, so the drain can never
+  // terminate on empty queues — cap the budget burned walking to it.
+  // The adaptive fabric is the exception: it drains a permanent spine
+  // cut completely, just slower, so its budget is DERIVED from the
+  // surviving capacity (scale the fault-free budget by total/surviving
+  // spines). The two-stage fabric's fault-free budget is bigger to begin
+  // with: a TDM timetable drains a deep faulted backlog at ~1/radix
+  // cells per slot per input.
+  if (spec.sim == TrialSim::kFabric) {
+    const int spines = spec.ports / 2;
+    int dead = 0;
+    std::vector<std::uint8_t> seen(static_cast<std::size_t>(spines), 0);
+    for (const auto& e : spec.plan.events())
+      if (e.kind == faults::FaultKind::kPlaneFailure && !e.transient() &&
+          !seen[static_cast<std::size_t>(e.a)]) {
+        seen[static_cast<std::size_t>(e.a)] = 1;
+        ++dead;
+      }
+    spec.drain_max_slots =
+        80'000ULL * static_cast<std::uint64_t>(spines) /
+        static_cast<std::uint64_t>(std::max(1, spines - dead));
+  } else if (spec.plan.has_permanent_fault()) {
     spec.drain_max_slots = 4'096;
-  else
-    spec.drain_max_slots = spec.sim == TrialSim::kFabric ? 80'000 : 20'000;
+  } else {
+    spec.drain_max_slots = 20'000;
+  }
   return spec;
 }
 

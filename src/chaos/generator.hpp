@@ -61,6 +61,13 @@ struct TrialSpec {
   int receivers = 2;  // switch kinds + multi-plane
   sw::SchedulerKind scheduler = sw::SchedulerKind::kFlppr;
 
+  // Graceful degradation (two-stage fabric only): fault-aware adaptive
+  // routing unlocks permanent spine faults in the grammar, and admission
+  // additionally sheds at the sources while capacity is reduced (the
+  // monitor's shed accounting keeps conservation exact either way).
+  bool adaptive_routing = false;
+  bool admission = false;
+
   // Traffic mix.
   bool bursty = false;
   double load = 0.6;       // per source (per plane line for multi-plane)

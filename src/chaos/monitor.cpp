@@ -87,6 +87,15 @@ void InvariantMonitor::end_slot(const SlotState& s) {
   }
 }
 
+void InvariantMonitor::check_generated(std::uint64_t slot,
+                                       std::uint64_t generated) {
+  if (generated == offered_ + shed_) return;
+  std::ostringstream os;
+  os << "conservation(source): generated=" << generated
+     << " != offered=" << offered_ << " + shed=" << shed_;
+  violate(slot, os.str());
+}
+
 void InvariantMonitor::check_occupancy(std::uint64_t slot, const char* what,
                                        std::uint64_t value,
                                        std::uint64_t cap) {
@@ -161,6 +170,7 @@ void InvariantMonitor::to_report(telemetry::RunReport& r) const {
   r.invariants["offered"] = static_cast<double>(offered_);
   r.invariants["delivered"] = static_cast<double>(delivered_);
   r.invariants["dropped_declared"] = static_cast<double>(dropped_);
+  if (shed_ != 0) r.invariants["shed"] = static_cast<double>(shed_);
   r.invariants["duplicates"] = static_cast<double>(rep.duplicates);
   r.invariants["reordered"] = static_cast<double>(rep.reordered);
   r.invariants["missing"] = static_cast<double>(rep.missing);

@@ -99,6 +99,16 @@ class InvariantMonitor {
   /// A cell lost to a *declared* fault semantic (none of the current
   /// simulators drop cells; retained for future lossy fault kinds).
   void dropped_by_fault(std::uint64_t n = 1) { dropped_ += n; }
+  /// A cell refused at the source by degraded-mode admission control —
+  /// before it gets a sequence number, so it never enters the offered
+  /// ledger. Counted explicitly here (and cross-checked against the
+  /// simulator's generation counter via check_generated) so shedding is
+  /// never silent.
+  void shed(std::uint64_t n = 1) { shed_ += n; }
+
+  /// Source-side conservation: everything the traffic model generated
+  /// was either admitted (offered) or explicitly shed.
+  void check_generated(std::uint64_t slot, std::uint64_t generated);
 
   // ---- per-slot checks ------------------------------------------------
   struct SlotState {
@@ -138,6 +148,7 @@ class InvariantMonitor {
 
   std::uint64_t offered_cells() const { return offered_; }
   std::uint64_t delivered_cells() const { return delivered_; }
+  std::uint64_t shed_cells() const { return shed_; }
   const faults::ExactlyOnceChecker& exactly_once() const { return checker_; }
 
   /// Fills RunReport::invariants (+ violation log). No-op before any
@@ -160,6 +171,7 @@ class InvariantMonitor {
     ckpt::field(a, credit_leak_);
     ckpt::field(a, finished_);
     ckpt::field(a, log_);
+    ckpt::field(a, shed_);
   }
 
  private:
@@ -171,6 +183,7 @@ class InvariantMonitor {
   std::uint64_t offered_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t shed_ = 0;
   std::uint64_t checks_ = 0;
   std::uint64_t violations_ = 0;
   std::uint64_t first_violation_slot_ = ~0ULL;

@@ -56,6 +56,10 @@ std::string repro_to_json(const Repro& r, int indent) {
   w.number(s.receivers);
   w.key("scheduler");
   w.string(scheduler_name(s.scheduler));
+  w.key("adaptive_routing");
+  w.boolean(s.adaptive_routing);
+  w.key("admission");
+  w.boolean(s.admission);
   w.key("bursty");
   w.boolean(s.bursty);
   w.key("load");
@@ -129,6 +133,10 @@ Repro repro_from_json(const std::string& text) {
   s.planes = static_cast<int>(doc.at("planes").number);
   s.receivers = static_cast<int>(doc.at("receivers").number);
   s.scheduler = scheduler_from_name(doc.at("scheduler").str);
+  // Pre-graceful-degradation repro files lack these keys; default off.
+  if (doc.has("adaptive_routing"))
+    s.adaptive_routing = doc.at("adaptive_routing").boolean;
+  if (doc.has("admission")) s.admission = doc.at("admission").boolean;
   s.bursty = doc.at("bursty").boolean;
   s.load = doc.at("load").number;
   s.mean_burst = doc.at("mean_burst").number;

@@ -129,6 +129,8 @@ TrialResult run_trial(const TrialSpec& spec) {
       c.drain_max_slots = spec.drain_max_slots;
       c.fault_plan = spec.plan;
       c.monitor = monitor_config(spec);
+      c.adaptive_routing = spec.adaptive_routing;
+      c.admission.enabled = spec.admission;
       fabric::FabricSim sim(c,
                             make_traffic(spec, spec.sources(), traffic_seed));
       sim.run();

@@ -35,6 +35,7 @@ const char* to_string(FaultScenario scenario) {
     case FaultScenario::kAdapterStall: return "adapter_stall";
     case FaultScenario::kCombined: return "combined";
     case FaultScenario::kSpineOutage: return "spine_outage";
+    case FaultScenario::kSpinePermanent: return "spine_permanent";
   }
   return "?";
 }
@@ -97,6 +98,9 @@ faults::FaultPlan make_fault_plan(FaultScenario scenario,
       break;
     case FaultScenario::kSpineOutage:
       p.fail_plane(t0, 0, dur);
+      break;
+    case FaultScenario::kSpinePermanent:
+      p.fail_plane(t0, 0);  // duration 0 = never repaired
       break;
   }
   return p;
@@ -171,14 +175,17 @@ std::vector<JobSpec> CampaignSpec::expand() const {
                         OSMOSIS_REQUIRE(
                             fault == FaultScenario::kNone ||
                                 fault == FaultScenario::kAdapterStall ||
-                                fault == FaultScenario::kSpineOutage,
+                                fault == FaultScenario::kSpineOutage ||
+                                fault == FaultScenario::kSpinePermanent,
                             "fabric jobs accept only none/adapter_stall/"
-                            "spine_outage fault scenarios, got "
+                            "spine_outage/spine_permanent fault scenarios, "
+                            "got "
                                 << to_string(fault));
                       } else {
-                        OSMOSIS_REQUIRE(fault != FaultScenario::kSpineOutage,
-                                        "spine_outage is a fabric-only fault "
-                                        "scenario");
+                        OSMOSIS_REQUIRE(
+                            fault != FaultScenario::kSpineOutage &&
+                                fault != FaultScenario::kSpinePermanent,
+                            "spine fault scenarios are fabric-only");
                         // Module-killing scenarios take down receiver 1 of
                         // egress 7 — they presume the dual-receiver design.
                         const bool kills_module =

@@ -46,6 +46,8 @@ enum class FaultScenario : std::uint8_t {
   kAdapterStall,      // ingress adapter 12 stalls
   kCombined,          // overlapping mix of the above
   kSpineOutage,       // fabric only: spine 0 down, credit-FC backpressure
+  kSpinePermanent,    // fabric only: spine 0 dead for good; adaptive
+                      // routing + degraded-mode admission carry the run
 };
 const char* to_string(FaultScenario scenario);
 

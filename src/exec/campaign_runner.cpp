@@ -175,6 +175,14 @@ class FabricJobDriver final : public JobDriver {
       cfg.fault_plan.seeded(j.seed ^ 0x0FA7'17ULL);
       cfg.drain_max_slots = 50'000;
     }
+    if (j.fault == FaultScenario::kSpinePermanent) {
+      // A permanent spine cut is only viable under graceful degradation:
+      // adaptive routing re-spreads the flows and admission keeps the
+      // backlog bounded at the reduced capacity.
+      cfg.adaptive_routing = true;
+      cfg.admission.enabled = true;
+      degraded_ = true;
+    }
     const int hosts = cfg.radix * cfg.radix / 2;
     sim_ = std::make_unique<fabric::FabricSim>(
         cfg, j.traffic == TrafficKind::kBursty
@@ -189,6 +197,7 @@ class FabricJobDriver final : public JobDriver {
 
  private:
   std::unique_ptr<fabric::FabricSim> sim_;
+  bool degraded_ = false;  // graceful-degradation scenario: extra metrics
 };
 
 JobResult FabricJobDriver::finalize() {
@@ -203,6 +212,13 @@ JobResult FabricJobDriver::finalize() {
   out.metrics["out_of_order"] = static_cast<double>(r.out_of_order);
   out.metrics["buffer_overflows"] = static_cast<double>(r.buffer_overflows);
   out.metrics["hosts"] = r.hosts;
+  if (degraded_) {
+    out.metrics["shed_cells"] = static_cast<double>(r.shed_cells);
+    out.metrics["resteered"] = static_cast<double>(r.resteered);
+    out.metrics["brownout_slots"] = static_cast<double>(r.brownout_slots);
+    out.metrics["max_resequencer_depth"] =
+        static_cast<double>(r.max_resequencer_depth);
+  }
   out.report = sim.report();
   out.raw_hists.emplace("delay", sim.delay_histogram());
   return out;

@@ -166,7 +166,26 @@ ClosFabricSim::ClosFabricSim(ClosConfig cfg,
   OSMOSIS_REQUIRE(traffic_ != nullptr && traffic_->ports() == hosts_,
                   "traffic generator must cover all " << hosts_ << " hosts");
 
+  failed_.assign(switches_.size(), 0);
+  for (const int id : cfg_.failed_switches) {
+    OSMOSIS_REQUIRE(id >= 0 && id < static_cast<int>(switches_.size()),
+                    "failed switch " << id << " out of range (have "
+                                     << switches_.size() << " switches)");
+    const SwitchNode& node = switches_[static_cast<std::size_t>(id)];
+    if (node.level == 1) {
+      // A leaf is its hosts' only attachment point: no rerouting exists.
+      const int lo = node.down_ranges.front().lo;
+      const int hi = node.down_ranges.back().hi;
+      OSMOSIS_REQUIRE(false, "failed leaf switch "
+                                 << id << " disconnects hosts " << lo << ".."
+                                 << hi - 1 << " outright");
+    }
+    failed_[static_cast<std::size_t>(id)] = 1;
+    degraded_ = true;
+  }
+
   build_routes();
+  if (degraded_) verify_connectivity();
 
   host_queue_.resize(static_cast<std::size_t>(hosts_));
   host_credits_.assign(static_cast<std::size_t>(hosts_), cfg_.buffer_cells);
@@ -176,9 +195,48 @@ ClosFabricSim::ClosFabricSim(ClosConfig cfg,
       static_cast<std::size_t>(hosts_) * static_cast<std::size_t>(hosts_), 0);
 }
 
+bool ClosFabricSim::reachable(int sw, int dst,
+                              std::vector<signed char>& memo) const {
+  signed char& m = memo[static_cast<std::size_t>(sw) *
+                            static_cast<std::size_t>(hosts_) +
+                        static_cast<std::size_t>(dst)];
+  if (m != -1) return m != 0;
+  bool ok = false;
+  if (!failed_[static_cast<std::size_t>(sw)]) {
+    const SwitchNode& node = switches_[static_cast<std::size_t>(sw)];
+    int down = -1;
+    for (const auto& dr : node.down_ranges)
+      if (dst >= dr.lo && dst < dr.hi) {
+        down = dr.port;
+        break;
+      }
+    if (down >= 0) {
+      const Peer& peer = node.peer[static_cast<std::size_t>(down)];
+      ok = peer.kind == PeerKind::kHost || reachable(peer.id, dst, memo);
+    } else {
+      for (const int u : node.up_ports) {
+        const Peer& peer = node.peer[static_cast<std::size_t>(u)];
+        if (peer.kind == PeerKind::kSwitch && reachable(peer.id, dst, memo)) {
+          ok = true;
+          break;
+        }
+      }
+    }
+  }
+  m = ok ? 1 : 0;
+  return ok;
+}
+
 void ClosFabricSim::build_routes() {
+  std::vector<signed char> memo;
+  if (degraded_)
+    memo.assign(switches_.size() * static_cast<std::size_t>(hosts_), -1);
   for (auto& node : switches_) {
     node.route.assign(static_cast<std::size_t>(hosts_), -1);
+    const bool dead =
+        degraded_ &&
+        failed_[static_cast<std::size_t>(&node - switches_.data())];
+    if (dead) continue;  // carries no cells; routes stay unused
     for (int dst = 0; dst < hosts_; ++dst) {
       int port = -1;
       for (const auto& dr : node.down_ranges) {
@@ -199,9 +257,54 @@ void ClosFabricSim::build_routes() {
         std::uint64_t digit = static_cast<std::uint64_t>(dst);
         for (int l = 1; l < node.level; ++l)
           digit /= static_cast<std::uint64_t>(m_);
-        port = node.up_ports[digit % node.up_ports.size()];
+        if (!degraded_) {
+          port = node.up_ports[digit % node.up_ports.size()];
+        } else {
+          // Same digit choice, spread over the uplinks whose peer can
+          // still reach dst: the fault-free table is reproduced exactly
+          // when nothing failed, and flows re-spread deterministically
+          // around the holes when something did.
+          std::vector<int> valid;
+          for (const int u : node.up_ports) {
+            const Peer& peer = node.peer[static_cast<std::size_t>(u)];
+            if (peer.kind == PeerKind::kSwitch &&
+                reachable(peer.id, dst, memo))
+              valid.push_back(u);
+          }
+          if (valid.empty()) continue;  // verify_connectivity() reports
+          port = valid[digit % valid.size()];
+        }
       }
       node.route[static_cast<std::size_t>(dst)] = port;
+    }
+  }
+}
+
+void ClosFabricSim::verify_connectivity() const {
+  // Follow each host pair's actual routed path; a -1 route or a failed
+  // switch on the way means the failure set strands that pair.
+  for (int src = 0; src < hosts_; ++src) {
+    const HostAttach& at = host_attach_[static_cast<std::size_t>(src)];
+    for (int dst = 0; dst < hosts_; ++dst) {
+      int sw = at.sw;
+      const int max_hops = 2 * cfg_.levels - 1;
+      for (int hop = 0; hop <= max_hops; ++hop) {
+        OSMOSIS_REQUIRE(!failed_[static_cast<std::size_t>(sw)],
+                        "failed switches disconnect host "
+                            << dst << " from host " << src
+                            << " (path dead-ends at switch " << sw << ")");
+        const SwitchNode& node = switches_[static_cast<std::size_t>(sw)];
+        const int out = node.route[static_cast<std::size_t>(dst)];
+        OSMOSIS_REQUIRE(out >= 0, "failed switches disconnect host "
+                                      << dst << " from host " << src
+                                      << " (no surviving uplink at switch "
+                                      << sw << ")");
+        const Peer& peer = node.peer[static_cast<std::size_t>(out)];
+        if (peer.kind == PeerKind::kHost) break;
+        OSMOSIS_REQUIRE(hop < max_hops,
+                        "routing loop toward host " << dst);
+        sw = peer.id;
+      }
     }
   }
 }
@@ -299,6 +402,9 @@ void ClosFabricSim::step(std::uint64_t t, bool measuring) {
 
   // 5. Per-stage scheduling and crossbar transfer.
   for (auto& node : switches_) {
+    if (degraded_ &&
+        failed_[static_cast<std::size_t>(&node - switches_.data())])
+      continue;  // out of service: routing never sends cells here
     const int ports = static_cast<int>(node.peer.size());
     for (int p = 0; p < ports; ++p) {
       const bool fc = node.peer[static_cast<std::size_t>(p)].kind ==

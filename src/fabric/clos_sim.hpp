@@ -37,6 +37,14 @@ struct ClosConfig {
   int scheduler_iterations = 0;
   std::uint64_t warmup_slots = 2'000;
   std::uint64_t measure_slots = 20'000;
+  // Switches (by build id) permanently out of service: routing tables
+  // are computed over the survivors, so every flow re-spreads around the
+  // holes while the fixed per-destination digit choice keeps per-flow
+  // order. Leaf switches cannot fail (their hosts would be disconnected)
+  // and a set of failures that strands any host pair is rejected at
+  // construction with an error naming the unreachable host. Empty =
+  // byte-identical to the fault-free routing.
+  std::vector<int> failed_switches;
 };
 
 struct ClosResult {
@@ -118,6 +126,14 @@ class ClosFabricSim {
   int new_switch(int level, int ports);
   void wire(int sw_a, int port_a, int sw_b, int port_b, int delay);
   void build_routes();
+  /// True when the (alive) switch can deliver to `dst` over surviving
+  /// switches: down the intact branch when dst is below it, otherwise up
+  /// through some uplink peer that can. Memoized; no cycles because the
+  /// level strictly rises going up and falls going down.
+  bool reachable(int sw, int dst, std::vector<signed char>& memo) const;
+  /// Walks every host pair's routed path and rejects the failure set if
+  /// any path dead-ends, naming the disconnected host.
+  void verify_connectivity() const;
   void step(std::uint64_t t, bool measuring);
   void accept_cell(int sw_id, int in_port, FabricCell cell);
 
@@ -125,6 +141,8 @@ class ClosFabricSim {
   int m_;
   int hosts_ = 0;
   std::vector<SwitchNode> switches_;
+  std::vector<std::uint8_t> failed_;  // per switch; sized after build
+  bool degraded_ = false;             // any switch failed
   std::unique_ptr<sim::TrafficGen> traffic_;
 
   // Host state.

@@ -66,10 +66,37 @@ FabricSim::FabricSim(FabricSimConfig cfg,
     }
   }
 
+  // ---- graceful degradation (DESIGN.md §13) ----------------------------
+  adaptive_ = cfg_.adaptive_routing;
+  if (adaptive_) {
+    routes_ = SpineRouteTable(m_, cfg_.reroute_hysteresis_slots);
+    parked_.resize(static_cast<std::size_t>(hosts_));
+    expected_.assign(
+        static_cast<std::size_t>(hosts_),
+        std::vector<std::uint64_t>(static_cast<std::size_t>(hosts_), 0));
+  }
+  if (cfg_.admission.enabled) {
+    admission_ = host::AdmissionControl(cfg_.admission, hosts_);
+    admission_.set_capacity(m_, m_);
+  }
+  {
+    telemetry::AvailabilityConfig acfg = cfg_.availability;
+    acfg.enabled =
+        acfg.enabled || cfg_.adaptive_routing || cfg_.admission.enabled;
+    avail_ = telemetry::AvailabilityTracker(acfg, m_);
+  }
+
   {
     chaos::MonitorConfig mc = cfg_.monitor;
-    mc.allow_stranded =
-        mc.allow_stranded || cfg_.fault_plan.has_permanent_fault();
+    // Adaptive routing drains permanent spine outages fully (the dead
+    // spine keeps scheduling its resident cells, queued cells re-steer);
+    // any other permanent fault can legitimately strand cells.
+    bool permanent_stranding = false;
+    for (const faults::FaultEvent& e : cfg_.fault_plan.events())
+      if (!e.transient() &&
+          !(adaptive_ && e.kind == faults::FaultKind::kPlaneFailure))
+        permanent_stranding = true;
+    mc.allow_stranded = mc.allow_stranded || permanent_stranding;
     mc.expect_drain = cfg_.drain_max_slots > 0;
     monitor_.configure(mc);
   }
@@ -100,9 +127,11 @@ FabricSim::FabricSim(FabricSimConfig cfg,
         case faults::FaultKind::kPlaneFailure:
           OSMOSIS_REQUIRE(e.a >= 0 && e.a < m_,
                           "fault plan: spine " << e.a << " out of range");
-          // d-mod-k routing is static: a permanently dead spine strands
-          // every flow hashed onto it, so only outages are modeled.
-          OSMOSIS_REQUIRE(e.transient(),
+          // Static d-mod-k routing has no alternate path: a permanently
+          // dead spine strands every flow hashed onto it, so only
+          // transient outages are accepted unless adaptive routing can
+          // re-spread those flows over the survivors.
+          OSMOSIS_REQUIRE(e.transient() || adaptive_,
                           "fabric spine failures must be transient");
           break;
         case faults::FaultKind::kAdapterStall:
@@ -114,6 +143,21 @@ FabricSim::FabricSim(FabricSimConfig cfg,
                           "fabric fault plan accepts only spine "
                           "kPlaneFailure and host kAdapterStall entries");
       }
+    }
+    if (adaptive_) {
+      // Adaptive routing needs somewhere to steer: reject plans whose
+      // combined permanent spine faults kill every spine.
+      std::vector<std::uint8_t> perm(static_cast<std::size_t>(m_), 0);
+      int dead = 0;
+      for (const faults::FaultEvent& e : cfg_.fault_plan.events())
+        if (e.kind == faults::FaultKind::kPlaneFailure && !e.transient() &&
+            !perm[static_cast<std::size_t>(e.a)]) {
+          perm[static_cast<std::size_t>(e.a)] = 1;
+          ++dead;
+        }
+      OSMOSIS_REQUIRE(dead < m_,
+                      "permanent spine faults must leave at least one "
+                      "surviving spine");
     }
     injector_.emplace(cfg_.fault_plan);
   }
@@ -134,6 +178,14 @@ void FabricSim::apply_fault_transitions(std::uint64_t t) {
       health_.report("spine/" + std::to_string(e.a),
                      tr.begin ? mgmt::Status::kFailed : mgmt::Status::kOk, t,
                      tr.begin ? "spine down" : "spine restored");
+      if (adaptive_) {
+        if (tr.begin)
+          routes_.fail(e.a);
+        else
+          routes_.revive(e.a, t);  // quarantined until the hold-down ends
+        resteer_dead_uplinks();
+      }
+      update_admission_capacity();
     } else {  // kAdapterStall
       host_stalled_[static_cast<std::size_t>(e.a)] = tr.begin ? 1 : 0;
       health_.report("host/" + std::to_string(e.a),
@@ -152,6 +204,8 @@ std::uint64_t FabricSim::backlog() const {
       total += static_cast<std::uint64_t>(occ);
     for (const auto& q : node.out_data) total += q.size();
   }
+  // Resequencer-parked cells are queued work, not deliveries.
+  for (const auto& park : parked_) total += park.size();
   return total;
 }
 
@@ -159,9 +213,100 @@ int FabricSim::route(int sw_id, int dst) const {
   if (is_leaf(sw_id)) {
     const int dst_leaf = dst / m_;
     if (dst_leaf == sw_id) return dst % m_;  // down to the host port
+    if (adaptive_) return m_ + routes_.route(dst);  // fault-aware spread
     return m_ + (dst % m_);                  // d-mod-k spine selection
   }
   return dst / m_;  // spine: down-port toward the destination leaf
+}
+
+void FabricSim::deliver_now(const FabricCell& cell, std::uint64_t t,
+                            bool measuring) {
+  reorder_.deliver(cell.src, cell.dst, cell.seq);
+  monitor_.delivered(static_cast<std::uint64_t>(cell.src) *
+                             static_cast<std::uint64_t>(hosts_) +
+                         static_cast<std::uint64_t>(cell.dst),
+                     cell.seq);
+  telem_.finish_cell(cell.trace, static_cast<double>(t), measuring);
+  ++total_delivered_;
+  if (measuring) {
+    delay_hist_.add(static_cast<double>(t - cell.inject_slot));
+    meter_.add_delivery();
+  }
+}
+
+void FabricSim::deliver_or_park(const FabricCell& cell, std::uint64_t t,
+                                bool measuring) {
+  auto& park = parked_[static_cast<std::size_t>(cell.dst)];
+  std::uint64_t& next = expected_[static_cast<std::size_t>(cell.dst)]
+                                 [static_cast<std::size_t>(cell.src)];
+  if (cell.seq != next) {
+    // Early arrival via a detour: park until the gap closes.
+    ++reroute_ooo_;
+    park.emplace(std::make_pair(cell.src, cell.seq), cell);
+    max_park_depth_ =
+        std::max(max_park_depth_, static_cast<std::uint64_t>(park.size()));
+    return;
+  }
+  deliver_now(cell, t, measuring);
+  ++next;
+  for (auto it = park.find({cell.src, next}); it != park.end();
+       it = park.find({cell.src, next})) {
+    deliver_now(it->second, t, measuring);
+    park.erase(it);
+    ++next;
+  }
+}
+
+void FabricSim::resteer_dead_uplinks() {
+  for (int sp = 0; sp < m_; ++sp) {
+    if (routes_.usable(sp)) continue;
+    const int dead = m_ + sp;
+    for (int lf = 0; lf < radix_; ++lf) {
+      SwitchNode& leaf = switches_[static_cast<std::size_t>(lf)];
+      for (int in = 0; in < radix_; ++in) {
+        auto& fifo = leaf.voq[static_cast<std::size_t>(in)]
+                             [static_cast<std::size_t>(dead)];
+        if (fifo.empty()) continue;
+        std::deque<FabricCell> keep;
+        while (!fifo.empty()) {
+          const FabricCell cell = fifo.front();
+          fifo.pop_front();
+          const int out = route(lf, cell.dst);
+          if (out == dead) {
+            keep.push_back(cell);  // no survivor: wait out the outage
+            continue;
+          }
+          // Same input buffer, new VOQ: occupancy and the credit ledger
+          // are untouched, only the scheduler's demand moves.
+          leaf.sched->cancel(in, dead);
+          leaf.voq[static_cast<std::size_t>(in)]
+                  [static_cast<std::size_t>(out)]
+              .push_back(cell);
+          leaf.sched->request(in, out);
+          ++resteered_;
+        }
+        fifo.swap(keep);
+      }
+    }
+  }
+}
+
+int FabricSim::live_spines() const {
+  if (adaptive_) return routes_.usable_count();
+  int down = 0;
+  for (const std::uint8_t d : spine_down_) down += d;
+  return m_ - down;
+}
+
+void FabricSim::update_admission_capacity() {
+  if (!cfg_.admission.enabled) return;
+  // The health registry is the management-plane authority on terminal
+  // capacity; only fault transitions call this, so the lookups are cold.
+  int live = 0;
+  for (int sp = 0; sp < m_; ++sp)
+    if (health_.status("spine/" + std::to_string(sp)) == mgmt::Status::kOk)
+      ++live;
+  admission_.set_capacity(live, m_);
 }
 
 void FabricSim::step(std::uint64_t t, bool measuring, bool inject_traffic) {
@@ -170,13 +315,26 @@ void FabricSim::step(std::uint64_t t, bool measuring, bool inject_traffic) {
     OSMOSIS_PROF_SCOPE("fabric.faults");
     apply_fault_transitions(t);
   }
+  // Hold-down expiry re-homes routes onto re-admitted spines; anything
+  // still queued toward an out-of-service uplink gets a fresh chance.
+  if (adaptive_ && routes_.tick(t)) resteer_dead_uplinks();
 
-  // 1. Hosts generate traffic.
+  // 1. Hosts generate traffic, gated by degraded-mode admission.
   if (inject_traffic) {
     OSMOSIS_PROF_SCOPE("fabric.ingest");
+    if (cfg_.admission.enabled) admission_.begin_slot();
     for (int h = 0; h < hosts_; ++h) {
       sim::Arrival a;
       if (!traffic_->sample(h, a)) continue;
+      ++generated_;
+      // Shed BEFORE the cell takes a sequence number: per-flow sequence
+      // space stays dense, so exactly-once applies to admitted cells and
+      // shed cells are accounted separately (never silently dropped).
+      if (cfg_.admission.enabled && !admission_.admit(h)) {
+        ++shed_;
+        monitor_.shed();
+        continue;
+      }
       const std::size_t flow = static_cast<std::size_t>(h) *
                                    static_cast<std::size_t>(hosts_) +
                                static_cast<std::size_t>(a.dst);
@@ -250,18 +408,12 @@ void FabricSim::step(std::uint64_t t, bool measuring, bool inject_traffic) {
         const FabricCell cell = q.front().cell;
         q.pop_front();
         if (is_leaf(s) && p < m_) {
-          // Delivery to host s*m_ + p.
-          reorder_.deliver(cell.src, cell.dst, cell.seq);
-          monitor_.delivered(static_cast<std::uint64_t>(cell.src) *
-                                        static_cast<std::uint64_t>(hosts_) +
-                                    static_cast<std::uint64_t>(cell.dst),
-                                cell.seq);
-          telem_.finish_cell(cell.trace, static_cast<double>(t), measuring);
-          ++total_delivered_;
-          if (measuring) {
-            delay_hist_.add(static_cast<double>(t - cell.inject_slot));
-            meter_.add_delivery();
-          }
+          // Delivery to host s*m_ + p, through the egress resequencer
+          // when adaptive re-steering may have reshuffled the flow.
+          if (adaptive_)
+            deliver_or_park(cell, t, measuring);
+          else
+            deliver_now(cell, t, measuring);
         } else if (is_leaf(s)) {
           accept_cell(radix_ + (p - m_), s, cell);  // leaf -> spine
         } else {
@@ -300,9 +452,14 @@ void FabricSim::step(std::uint64_t t, bool measuring, bool inject_traffic) {
   OSMOSIS_PROF_SCOPE("fabric.sched");
   for (int s = 0; s < static_cast<int>(switches_.size()); ++s) {
     SwitchNode& node = switches_[static_cast<std::size_t>(s)];
-    // A downed spine's scheduler and crossbar freeze: its buffered
-    // cells wait out the outage and resume untouched on repair.
-    if (!is_leaf(s) && spine_down_[static_cast<std::size_t>(s - radix_)])
+    // Legacy mode: a downed spine's scheduler and crossbar freeze — its
+    // buffered cells wait out the outage and resume untouched on repair.
+    // Adaptive mode instead takes the spine out of service for NEW cells
+    // (the leaf uplink mask below) but keeps it scheduling so resident
+    // cells drain: the management-plane quiesce model, which is what
+    // makes permanent spine faults drainable at all.
+    if (!is_leaf(s) && spine_down_[static_cast<std::size_t>(s - radix_)] &&
+        !adaptive_)
       continue;
     // Remote-FC bookkeeping at the scheduler (§IV.B): an output with no
     // credit for the downstream input buffer is not grantable. The same
@@ -420,6 +577,9 @@ void FabricSim::check_invariants(std::uint64_t t) {
     }
   }
   ledger += input_occ_total;
+  // Source-side conservation: every generated cell was either offered
+  // into the fabric or explicitly shed by admission control.
+  monitor_.check_generated(t, generated_);
   // FC pools: hosts_ host links + radix_*m_ leaf uplinks + m_*radix_
   // spine down-ports = 3 * radix_ * m_ pools of buffer_cells each.
   const std::uint64_t pool_total =
@@ -483,7 +643,10 @@ bool FabricSim::advance_slot() {
     return true;
   }
   if (now_ < measure_end) {
+    const std::uint64_t before = total_delivered_;
     step(now_, true, true);
+    if (avail_.enabled())
+      avail_.record_slot(total_delivered_ - before, live_spines(), hosts_);
     sample_series(now_);
     meter_.advance_slots(1, static_cast<std::uint64_t>(hosts_));
     ++now_;
@@ -543,6 +706,12 @@ FabricSimResult FabricSim::finalize() {
   r.missing = inv.missing;
   r.invariant_violations = monitor_.violations();
   r.first_violation = monitor_.first_violation();
+  r.generated = generated_;
+  r.shed_cells = shed_;
+  r.resteered = resteered_;
+  r.reroute_ooo = reroute_ooo_;
+  r.max_resequencer_depth = max_park_depth_;
+  r.brownout_slots = avail_.degraded_slots();
 
   if (telem_.enabled()) {
     auto& ctr = telem_.counters();
@@ -575,6 +744,13 @@ FabricSimResult FabricSim::finalize() {
       ctr.set_gauge("faults.drained_slots",
                     static_cast<double>(r.drained_slots));
     }
+    if (adaptive_ || cfg_.admission.enabled) {
+      ctr.add("degraded.shed_cells", static_cast<double>(r.shed_cells));
+      ctr.add("degraded.resteered", static_cast<double>(r.resteered));
+      ctr.add("degraded.reroute_ooo", static_cast<double>(r.reroute_ooo));
+      ctr.set_gauge("degraded.max_resequencer_depth",
+                    static_cast<double>(r.max_resequencer_depth));
+    }
   }
   return r;
 }
@@ -600,6 +776,17 @@ void FabricSim::io_core(Ar& a) {
   ckpt::field(a, last_sample_slot_);
   ckpt::field(a, last_sample_delivered_);
   ckpt::field(a, last_sample_grants_);
+  ckpt::field(a, generated_);
+  ckpt::field(a, shed_);
+  ckpt::field(a, resteered_);
+  ckpt::field(a, reroute_ooo_);
+  ckpt::field(a, max_park_depth_);
+  if (adaptive_) {
+    ckpt::field(a, routes_);
+    ckpt::field(a, parked_);
+    ckpt::field(a, expected_);
+  }
+  if (cfg_.admission.enabled) ckpt::field(a, admission_);
   if constexpr (Ar::kLoading) {
     if (host_queue_.size() != static_cast<std::size_t>(hosts_) ||
         spine_down_.size() != static_cast<std::size_t>(m_) ||
@@ -618,6 +805,7 @@ void FabricSim::io_stats(Ar& a) {
   ckpt::field(a, monitor_);
   ckpt::field(a, recovery_);
   ckpt::field(a, health_);
+  ckpt::field(a, avail_);
 }
 
 void FabricSim::save_state(ckpt::Writer& w) const {
@@ -694,10 +882,21 @@ telemetry::RunReport FabricSim::report() const {
     r.config["fault_events"] = static_cast<double>(cfg_.fault_plan.size());
     r.config["drain_max_slots"] = static_cast<double>(cfg_.drain_max_slots);
   }
+  if (cfg_.adaptive_routing) {
+    r.config["adaptive_routing"] = 1;
+    r.config["reroute_hysteresis_slots"] =
+        static_cast<double>(cfg_.reroute_hysteresis_slots);
+  }
+  if (cfg_.admission.enabled) {
+    r.config["admission.margin_pct"] = cfg_.admission.margin_pct;
+    r.config["admission.burst_cells"] = cfg_.admission.burst_cells;
+  }
   r.info["scheduler"] = switches_.front().sched->name();
   r.health = health_.event_log();
   r.histograms.emplace("delay",
                        telemetry::HistogramSummary::of(delay_hist_));
+  avail_.to_report(r, offered_, total_delivered_, shed_,
+                   injector_ ? &recovery_.recovery_histogram() : nullptr);
   monitor_.to_report(r);
   return r;
 }

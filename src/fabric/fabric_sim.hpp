@@ -21,20 +21,25 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/chaos/monitor.hpp"
 #include "src/ckpt/ckpt.hpp"
+#include "src/fabric/route_table.hpp"
 #include "src/faults/fault_injector.hpp"
 #include "src/faults/fault_plan.hpp"
 #include "src/faults/invariant.hpp"
+#include "src/host/admission.hpp"
 #include "src/mgmt/health.hpp"
 #include "src/sim/stats.hpp"
 #include "src/sim/traffic.hpp"
 #include "src/sw/scheduler.hpp"
+#include "src/telemetry/availability.hpp"
 #include "src/telemetry/telemetry.hpp"
 
 namespace osmosis::fabric {
@@ -70,6 +75,25 @@ struct FabricSimConfig {
   // the full credit-conservation ledger, input-buffer occupancy caps, and
   // the liveness watchdog. Pure accounting, always on.
   chaos::MonitorConfig monitor;
+
+  // ---- graceful degradation (DESIGN.md §13) ----------------------------
+  // Fault-aware adaptive routing: spine failures (including permanent
+  // ones) take the spine out of service instead of freezing it — flows
+  // homed there re-spread deterministically over the survivors, the dead
+  // spine drains its resident cells, and an egress resequencer absorbs
+  // the reshuffle. Revival is damped by a hold-down so routes don't flap.
+  // Off by default: the legacy freeze-and-backpressure behavior (and its
+  // transient-only fault plan check) is byte-identical.
+  bool adaptive_routing = false;
+  // Hold-down after a spine revival before flows re-home onto it.
+  std::uint64_t reroute_hysteresis_slots = 256;
+  // Degraded-mode admission control at the hosts: when the health
+  // registry reports spines out of service, per-source token buckets
+  // shed excess arrivals fairly so backlog stays bounded. Off by default.
+  host::AdmissionConfig admission;
+  // Availability/SLO accounting (RunReport "availability" section).
+  // Forced on whenever adaptive routing or admission control is enabled.
+  telemetry::AvailabilityConfig availability;
 };
 
 struct FabricSimResult {
@@ -99,6 +123,13 @@ struct FabricSimResult {
   std::uint64_t missing = 0;
   std::uint64_t invariant_violations = 0;
   std::string first_violation;  // "" when clean
+  // Graceful-degradation accounting (adaptive routing / admission).
+  std::uint64_t generated = 0;      // offered + shed
+  std::uint64_t shed_cells = 0;     // refused at the source by admission
+  std::uint64_t resteered = 0;      // VOQ cells moved off a dead uplink
+  std::uint64_t reroute_ooo = 0;    // pre-resequencer reorder (absorbed)
+  std::uint64_t max_resequencer_depth = 0;
+  std::uint64_t brownout_slots = 0; // measured slots with a spine out
 };
 
 class FabricSim {
@@ -183,9 +214,26 @@ class FabricSim {
     int max_input_occ = 0;
   };
 
-  // Routing: output port of switch `sw_id` toward host `dst`.
+  // Routing: output port of switch `sw_id` toward host `dst`. Adaptive
+  // mode consults the fault-aware route table for the uplink choice.
   int route(int sw_id, int dst) const;
   bool is_leaf(int sw_id) const { return sw_id < radix_; }
+
+  // ---- graceful degradation helpers (adaptive mode only) --------------
+  /// Egress delivery through the resequencer: in-order cells pass
+  /// straight through (and unlock parked successors), early cells park.
+  void deliver_or_park(const FabricCell& cell, std::uint64_t t,
+                       bool measuring);
+  void deliver_now(const FabricCell& cell, std::uint64_t t, bool measuring);
+  /// Moves every leaf VOQ cell queued toward an out-of-service uplink to
+  /// its re-routed survivor (deterministic order: spines, leaves, inputs
+  /// ascending, FIFO within a queue), cancelling the stale scheduler
+  /// request per moved cell. Cells with no survivor stay parked in place.
+  void resteer_dead_uplinks();
+  /// Spines currently able to carry new cells.
+  int live_spines() const;
+  /// Pushes the health registry's spine capacity view into admission.
+  void update_admission_capacity();
 
   void step(std::uint64_t t, bool measuring, bool inject_traffic);
   /// Records one time-series row (DESIGN.md §11) after slot `t` when the
@@ -246,6 +294,22 @@ class FabricSim {
   std::uint64_t faults_injected_ = 0;
   std::uint64_t faults_repaired_ = 0;
   std::uint64_t drained_slots_ = 0;
+
+  // Graceful degradation (DESIGN.md §13). The resequencer mirrors
+  // MultiPlaneSim's failover scheme: parked_[dst] holds early cells
+  // keyed (src, seq); expected_[dst][src] is the next in-order sequence
+  // per flow. Both are allocated only in adaptive mode.
+  bool adaptive_ = false;
+  SpineRouteTable routes_;
+  host::AdmissionControl admission_;
+  telemetry::AvailabilityTracker avail_;
+  std::vector<std::map<std::pair<int, std::uint64_t>, FabricCell>> parked_;
+  std::vector<std::vector<std::uint64_t>> expected_;
+  std::uint64_t generated_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t resteered_ = 0;
+  std::uint64_t reroute_ooo_ = 0;
+  std::uint64_t max_park_depth_ = 0;
 };
 
 /// Builds and runs a fabric under uniform Bernoulli host traffic.

@@ -60,6 +60,7 @@ void RecoveryTracker::observe(std::uint64_t t, std::uint64_t backlog) {
       ++recovered_;
       sum_recovery_ += dt;
       max_recovery_ = std::max(max_recovery_, dt);
+      recovery_hist_.add(dt);
       it = open_.erase(it);
     } else {
       ++it;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/ckpt/archive.hpp"
+#include "src/sim/stats.hpp"
 
 namespace osmosis::faults {
 
@@ -92,6 +93,11 @@ class RecoveryTracker {
   }
   double max_recovery_slots() const { return max_recovery_; }
 
+  /// MTTR distribution: one sample per recovery (repair -> backlog back
+  /// at the fault-onset baseline), in slots. Feeds the RunReport
+  /// availability section's "mttr" histogram.
+  const sim::Histogram& recovery_histogram() const { return recovery_hist_; }
+
   template <class Ar>
   void io_state(Ar& a) {
     ckpt::field(a, open_);
@@ -100,6 +106,7 @@ class RecoveryTracker {
     ckpt::field(a, recovered_);
     ckpt::field(a, sum_recovery_);
     ckpt::field(a, max_recovery_);
+    ckpt::field(a, recovery_hist_);
   }
 
  private:
@@ -121,6 +128,7 @@ class RecoveryTracker {
   std::uint64_t recovered_ = 0;
   double sum_recovery_ = 0.0;
   double max_recovery_ = 0.0;
+  sim::Histogram recovery_hist_{256.0};
 };
 
 }  // namespace osmosis::faults

@@ -1,0 +1,69 @@
+#include "src/host/admission.hpp"
+
+#include <algorithm>
+
+#include "src/util/log.hpp"
+
+namespace osmosis::host {
+
+AdmissionControl::AdmissionControl(AdmissionConfig cfg, int sources)
+    : cfg_(cfg) {
+  OSMOSIS_REQUIRE(sources >= 1, "admission needs at least one source");
+  OSMOSIS_REQUIRE(cfg_.margin_pct >= 1 && cfg_.margin_pct <= 100,
+                  "admission margin_pct must be in 1..100");
+  OSMOSIS_REQUIRE(cfg_.burst_cells >= 1, "admission burst_cells must be >= 1");
+  tokens_.assign(static_cast<std::size_t>(sources),
+                 static_cast<std::int64_t>(cfg_.burst_cells) * kCellCost);
+  shed_.assign(static_cast<std::size_t>(sources), 0);
+}
+
+void AdmissionControl::set_capacity(int live, int total) {
+  OSMOSIS_REQUIRE(total >= 1 && live >= 0 && live <= total,
+                  "capacity (" << live << "/" << total << ") out of range");
+  live_ = live;
+  total_ = total;
+}
+
+void AdmissionControl::begin_slot() {
+  if (!cfg_.enabled) return;
+  const std::int64_t cap =
+      static_cast<std::int64_t>(cfg_.burst_cells) * kCellCost;
+  if (!engaged()) {
+    // Healthy fabric: buckets sit full so the first degraded slot still
+    // honors the configured burst allowance.
+    std::fill(tokens_.begin(), tokens_.end(), cap);
+    return;
+  }
+  // Fair share under degraded capacity: live/total of line rate, scaled
+  // by the admission margin. Integer micro-cells keep this exact.
+  const std::int64_t refill = kCellCost * live_ * cfg_.margin_pct /
+                              (static_cast<std::int64_t>(total_) * 100);
+  for (auto& t : tokens_) t = std::min(cap, t + refill);
+}
+
+bool AdmissionControl::admit(int src) {
+  if (!engaged()) return true;
+  auto& t = tokens_[static_cast<std::size_t>(src)];
+  if (t >= kCellCost) {
+    t -= kCellCost;
+    return true;
+  }
+  ++shed_[static_cast<std::size_t>(src)];
+  ++shed_total_;
+  return false;
+}
+
+std::uint64_t AdmissionControl::shed_max() const {
+  std::uint64_t m = 0;
+  for (auto s : shed_) m = std::max(m, s);
+  return m;
+}
+
+std::uint64_t AdmissionControl::shed_min() const {
+  if (shed_.empty()) return 0;
+  std::uint64_t m = ~0ULL;
+  for (auto s : shed_) m = std::min(m, s);
+  return m;
+}
+
+}  // namespace osmosis::host

@@ -159,7 +159,8 @@ std::vector<Finding> validate_failures(
 }
 
 std::vector<Finding> validate_fault_plan(const core::OsmosisConfig& cfg,
-                                         const faults::FaultPlan& plan) {
+                                         const faults::FaultPlan& plan,
+                                         int parallel_paths) {
   std::vector<Finding> out;
 
   for (const faults::FaultEvent& e : plan.events()) {
@@ -250,6 +251,27 @@ std::vector<Finding> validate_fault_plan(const core::OsmosisConfig& cfg,
           << " modules around slot " << a.at_slot
           << " (output fully masked until a repair)";
       finding(out, Severity::kWarning, "fault plan", oss.str());
+    }
+  }
+
+  // Combined permanent plane/spine failures that cover EVERY parallel
+  // path disconnect each leaf outright: no transient window ever
+  // reopens them and adaptive routing has no survivor to steer to.
+  if (parallel_paths > 0) {
+    std::vector<int> dead;
+    for (const auto& e : plan.events()) {
+      if (e.kind != faults::FaultKind::kPlaneFailure || e.transient())
+        continue;
+      if (e.a >= 0 && e.a < parallel_paths &&
+          std::find(dead.begin(), dead.end(), e.a) == dead.end())
+        dead.push_back(e.a);
+    }
+    if (static_cast<int>(dead.size()) >= parallel_paths) {
+      std::ostringstream oss;
+      oss << "permanent plane failures cover all " << parallel_paths
+          << " parallel paths: port 0 (and every other leaf port) is "
+             "isolated with no surviving spine/plane";
+      finding(out, Severity::kError, "fault plan", oss.str());
     }
   }
 

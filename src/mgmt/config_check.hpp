@@ -40,8 +40,15 @@ std::vector<Finding> validate_failures(
 /// Validates a runtime fault plan against the geometry: per-kind index
 /// ranges, probability rates, windows that must be transient, and
 /// overlapping module kills that would take a whole egress dark.
+/// `parallel_paths` > 0 declares how many parallel planes/spines the
+/// consuming simulator offers (fabric: radix/2 spines; multi-plane: the
+/// plane count); combined PERMANENT plane failures covering every path
+/// disconnect each leaf's uplink side outright — adaptive routing has
+/// nowhere left to steer — and are rejected with an error naming the
+/// isolated port.
 std::vector<Finding> validate_fault_plan(const core::OsmosisConfig& cfg,
-                                         const faults::FaultPlan& plan);
+                                         const faults::FaultPlan& plan,
+                                         int parallel_paths = 0);
 
 /// True when no finding is an error.
 bool config_ok(const std::vector<Finding>& findings);

@@ -40,6 +40,17 @@ void DemandState::reserve(int in, int out) {
   if (r == 0) avail_[static_cast<std::size_t>(out)].clear(in);
 }
 
+void DemandState::cancel_request(int in, int out) {
+  OSMOSIS_REQUIRE(in >= 0 && in < ports_ && out >= 0 && out < ports_,
+                  "cancel (" << in << "," << out << ") out of range");
+  auto& r = residual_[static_cast<std::size_t>(index(in, out))];
+  OSMOSIS_REQUIRE(r > 0, "cancel without residual demand (" << in << ","
+                                                            << out << ")");
+  --r;
+  --total_;
+  if (r == 0) avail_[static_cast<std::size_t>(out)].clear(in);
+}
+
 int DemandState::residual(int in, int out) const {
   OSMOSIS_REQUIRE(in >= 0 && in < ports_ && out >= 0 && out < ports_,
                   "query out of range");

@@ -38,6 +38,11 @@ class DemandState {
   /// so no other (sub)scheduler can promise the same cell.
   void reserve(int in, int out);
 
+  /// A queued cell was withdrawn before any grant (adaptive re-steer
+  /// moves a VOQ cell to a different output): the pending request must
+  /// vanish with it or a later grant would hit an empty FIFO.
+  void cancel_request(int in, int out);
+
   int residual(int in, int out) const;
   std::uint64_t total_residual() const { return total_; }
 
@@ -152,6 +157,12 @@ class Scheduler {
 
   /// One request per arriving cell (control-path message).
   void request(int in, int out) { demand_.add_request(in, out); }
+
+  /// Withdraws one pending request (the matching cell left the VOQ, e.g.
+  /// re-steered to a surviving spine). Only valid for immediate-issue
+  /// schedulers: pipelined kinds may hold the demand inside an in-flight
+  /// matching snapshot where it can no longer be recalled.
+  void cancel(int in, int out) { demand_.cancel_request(in, out); }
 
   /// Remote-FC hooks (§IV.B). Unblocking never revives an output whose
   /// capacity was set to zero by failure handling.

@@ -106,6 +106,16 @@ std::string RunReport::to_json(int indent) const {
   }
   w.close('}');
 
+  if (!availability.empty()) {
+    w.key("availability");
+    w.open('{');
+    for (const auto& [k, v] : availability) {
+      w.key(k);
+      w.number(v);
+    }
+    w.close('}');
+  }
+
   if (!invariants.empty()) {
     w.key("invariants");
     w.open('{');
@@ -192,6 +202,9 @@ RunReport RunReport::from_json(const std::string& text) {
     r.counters[k] = v.number;
   for (const auto& [name, h] : doc.at("histograms").object)
     r.histograms.emplace(name, parse_histogram_summary(h));
+  if (doc.has("availability"))
+    for (const auto& [name, v] : doc.at("availability").object)
+      r.availability.emplace(name, v.number);
   if (doc.has("invariants")) {
     for (const auto& [name, v] : doc.at("invariants").object) {
       if (name == "violation_log") {

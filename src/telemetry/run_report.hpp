@@ -18,6 +18,7 @@
 //     "info": { "<key>": "<string>", ... },
 //     "counters": { "<subsystem.port.metric>": <number>, ... },
 //     "histograms": { "<name>": {"count","mean","min","p50","p99","max"} },
+//     ["availability": { "<metric>": <number>, ... },]
 //     ["invariants": { "<metric>": <number>, ...,
 //                      ["violation_log": [ "<violation>", ... ]] },]
 //     ["profile": { "<phase>": {"count","total_ns","mean_ns","max_ns"} },]
@@ -79,6 +80,11 @@ struct RunReport {
   std::map<std::string, std::string> info;
   mgmt::Snapshot counters;
   std::map<std::string, HistogramSummary> histograms;
+  // Graceful-degradation / SLO accounting (DESIGN.md §13): delivered
+  // fraction, brownout duration, per-phase throughput floors, MTTR
+  // summary, shed-cell accounting. Emitted only when non-empty, so
+  // runs without the degradation layer stay byte-identical.
+  std::map<std::string, double> availability;
   // Runtime invariant-verification verdict (chaos::InvariantMonitor):
   // check/violation counts plus the exactly-once audit, with retained
   // violation messages. Emitted only when non-empty.
@@ -118,6 +124,7 @@ struct RunReport {
     ckpt::field(a, health);
     ckpt::field(a, invariants);
     ckpt::field(a, invariant_violations);
+    ckpt::field(a, availability);
   }
 };
 

@@ -21,7 +21,9 @@ namespace {
 bool specs_equal(const chaos::TrialSpec& a, const chaos::TrialSpec& b) {
   if (a.seed != b.seed || a.sim != b.sim || a.ports != b.ports ||
       a.planes != b.planes || a.receivers != b.receivers ||
-      a.scheduler != b.scheduler || a.bursty != b.bursty ||
+      a.scheduler != b.scheduler ||
+      a.adaptive_routing != b.adaptive_routing ||
+      a.admission != b.admission || a.bursty != b.bursty ||
       a.load != b.load || a.mean_burst != b.mean_burst ||
       a.warmup_slots != b.warmup_slots ||
       a.measure_slots != b.measure_slots ||
@@ -89,13 +91,53 @@ TEST(ChaosGenerator, GeneratedFaultWindowsCloseBeforeTheDrain) {
     const std::uint64_t horizon = s.warmup_slots + s.measure_slots;
     for (const auto& e : s.plan.events()) {
       EXPECT_LT(e.at_slot, horizon) << s.label();
-      if (e.transient())
+      if (e.transient()) {
         EXPECT_LE(e.end_slot(), horizon) << s.label();
-      else
+      } else if (s.sim == chaos::TrialSim::kFabric) {
+        // Permanent spine faults exist only under adaptive routing,
+        // which drains them completely — budget is capacity-derived
+        // (fault-free budget scaled by total/surviving spines), not
+        // the stranded-cell walk cap.
+        EXPECT_TRUE(s.adaptive_routing)
+            << s.label() << ": permanent fabric fault without adaptive";
+        EXPECT_GE(s.drain_max_slots, 80'000u) << s.label();
+        EXPECT_LE(s.drain_max_slots,
+                  80'000u * static_cast<std::uint64_t>(s.ports / 2))
+            << s.label();
+      } else {
         EXPECT_LE(s.drain_max_slots, 4'096u)
             << s.label() << ": permanent fault with a long drain budget";
+      }
     }
   }
+}
+
+TEST(ChaosGenerator, AdaptiveFabricTrialsAppearInTheGrammar) {
+  std::size_t adaptive = 0, admit = 0, permanent_spines = 0;
+  for (std::uint64_t i = 0; i < 128; ++i) {
+    const auto s = chaos::generate_trial(21, i);
+    if (s.sim != chaos::TrialSim::kFabric) continue;
+    if (s.adaptive_routing) ++adaptive;
+    if (s.admission) ++admit;
+    EXPECT_TRUE(s.adaptive_routing || !s.admission)
+        << s.label() << ": admission without adaptive routing";
+    int dead = 0;
+    std::set<int> dead_spines;
+    for (const auto& e : s.plan.events())
+      if (e.kind == faults::FaultKind::kPlaneFailure && !e.transient()) {
+        EXPECT_TRUE(s.adaptive_routing)
+            << s.label() << ": permanent spine fault without adaptive";
+        dead_spines.insert(e.a);
+        ++dead;
+      }
+    // The grammar must always keep at least one surviving spine.
+    EXPECT_LT(static_cast<int>(dead_spines.size()), s.ports / 2)
+        << s.label();
+    if (dead > 0) ++permanent_spines;
+  }
+  EXPECT_GT(adaptive, 4u);
+  EXPECT_GT(admit, 1u);
+  EXPECT_GT(permanent_spines, 0u);
 }
 
 // ---- trial execution -------------------------------------------------------
@@ -216,6 +258,59 @@ TEST(ChaosRepro, JsonRoundTripPreservesEveryField) {
   EXPECT_EQ(back.expected_invariant, "conservation");
   EXPECT_EQ(back.expected_violations, 42u);
   EXPECT_EQ(back.note, "unit-test round trip");
+}
+
+TEST(ChaosRepro, AdaptiveDegradedSpecRoundTripsAndReplaysClean) {
+  // A graceful-degradation trial: permanent spine cut under adaptive
+  // routing + admission. The repro format must carry both flags (a
+  // replay without them would reject the permanent fault outright).
+  chaos::TrialSpec s;
+  s.sim = chaos::TrialSim::kFabric;
+  s.ports = 8;
+  s.scheduler = sw::SchedulerKind::kIslip;
+  s.adaptive_routing = true;
+  s.admission = true;
+  s.load = 0.8;
+  s.warmup_slots = 256;
+  s.measure_slots = 2'048;
+  s.drain_max_slots = 106'666;
+  s.seed = 0xDE6;
+  s.plan.fail_plane(700, 0);  // duration 0 = permanent
+  chaos::Repro r;
+  r.spec = s;
+  r.expected_violated = false;
+
+  const std::string json = chaos::repro_to_json(r);
+  EXPECT_NE(json.find("\"adaptive_routing\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"admission\": true"), std::string::npos);
+  const auto back = chaos::repro_from_json(json);
+  EXPECT_TRUE(specs_equal(back.spec, s));
+  EXPECT_TRUE(back.spec.adaptive_routing);
+  EXPECT_TRUE(back.spec.admission);
+
+  chaos::TrialResult replay;
+  EXPECT_TRUE(chaos::replay_matches(back, replay));
+  EXPECT_EQ(replay.violations, 0u);
+}
+
+TEST(ChaosRepro, LegacyFilesWithoutDegradedKeysDefaultOff) {
+  // Pre-graceful-degradation repro files lack the adaptive_routing and
+  // admission keys; the reader must default both to false.
+  chaos::Repro r;
+  r.spec = chaos::generate_trial(3, 0);
+  r.spec.adaptive_routing = false;
+  r.spec.admission = false;
+  std::string json = chaos::repro_to_json(r);
+  const auto strip = [&](const std::string& key) {
+    const auto at = json.find("  \"" + key + "\":");
+    ASSERT_NE(at, std::string::npos);
+    json.erase(at, json.find('\n', at) - at + 1);
+  };
+  strip("adaptive_routing");
+  strip("admission");
+  const auto back = chaos::repro_from_json(json);
+  EXPECT_FALSE(back.spec.adaptive_routing);
+  EXPECT_FALSE(back.spec.admission);
 }
 
 TEST(ChaosRepro, ShrunkReproReplaysToTheSameVerdict) {

@@ -278,6 +278,46 @@ TEST(CkptResume, FabricSimMidOutageRestoreIsExact) {
   EXPECT_EQ(report_bytes(a.report()), report_bytes(c.report()));
 }
 
+TEST(CkptResume, FabricSimMidDegradedRestoreIsExact) {
+  // Checkpoint taken DURING a permanent degraded interval: adaptive
+  // route tables, resequencer parkings, admission bucket levels, and
+  // the availability accumulators must all restore so the resumed run
+  // is byte-identical to the uninterrupted one.
+  fabric::FabricSimConfig cfg;
+  cfg.radix = 8;
+  cfg.warmup_slots = 200;
+  cfg.measure_slots = 2'000;
+  cfg.adaptive_routing = true;
+  cfg.admission.enabled = true;
+  cfg.telemetry.enabled = true;
+  cfg.telemetry.sample_every = 4;
+  cfg.fault_plan = exec::make_fault_plan(exec::FaultScenario::kSpinePermanent,
+                                         cfg.warmup_slots, cfg.measure_slots);
+  cfg.fault_plan.seeded(0x5EED);
+  cfg.drain_max_slots = 60'000;
+  const int hosts = cfg.radix * cfg.radix / 2;
+
+  fabric::FabricSim a(cfg, sim::make_uniform(hosts, 0.8, 11));
+  const auto straight = a.run();
+  EXPECT_GT(straight.shed_cells, 0u);  // the snapshot interval is degraded
+
+  fabric::FabricSim b(cfg, sim::make_uniform(hosts, 0.8, 11));
+  for (int i = 0; i < 1'200; ++i) ASSERT_TRUE(b.advance_slot());  // spine cut
+  ckpt::Writer w;
+  b.save_state(w);
+
+  fabric::FabricSim c(cfg, sim::make_uniform(hosts, 0.8, 11));
+  c.load_state(ckpt::Reader::from_bytes(w.serialize()));
+  const auto resumed = c.run();
+
+  EXPECT_EQ(straight.delivered, resumed.delivered);
+  EXPECT_EQ(straight.shed_cells, resumed.shed_cells);
+  EXPECT_EQ(straight.resteered, resumed.resteered);
+  EXPECT_EQ(straight.brownout_slots, resumed.brownout_slots);
+  EXPECT_EQ(straight.mean_delay_slots, resumed.mean_delay_slots);
+  EXPECT_EQ(report_bytes(a.report()), report_bytes(c.report()));
+}
+
 TEST(CkptResume, MultiPlaneSimMidOutageRestoreIsExact) {
   fabric::MultiPlaneConfig cfg;
   cfg.ports = 8;

@@ -151,6 +151,61 @@ TEST(ClosSim, ConservationEveryInjectedCellDelivered) {
   EXPECT_EQ(r.out_of_order, 0u);
 }
 
+// ---- degraded topologies (failed switches) ---------------------------------
+
+TEST(ClosDegraded, FailedSpineReroutesAndConserves) {
+  // radix 8, L=2: leaves are ids 0..7, the 4 top-level spines 8..11.
+  // Killing one spine re-spreads every flow over the 3 survivors; the
+  // fabric must still deliver every accepted cell, in order.
+  ClosConfig cfg = clos_config(8, 2);
+  cfg.warmup_slots = 0;
+  cfg.measure_slots = 8'000;
+  cfg.failed_switches = {8};
+  ClosFabricSim sim(cfg, std::make_unique<TruncatedUniform>(32, 0.6,
+                                                            3'000, 7));
+  const auto r = sim.run();
+  EXPECT_GT(r.injected_total, 30'000u);
+  EXPECT_EQ(r.injected_total, r.delivered_total);
+  EXPECT_EQ(r.buffer_overflows, 0u);
+  EXPECT_EQ(r.out_of_order, 0u);
+}
+
+TEST(ClosDegraded, MidLevelFailureReroutesInsideThePod) {
+  // radix 4, L=3: each FT'(2) slice builds leaves then its level-2
+  // switches, so id 2 is the first slice's first level-2 switch. Flows
+  // out of that pod re-spread over its twin.
+  ClosConfig cfg = clos_config(4, 3);
+  cfg.warmup_slots = 500;
+  cfg.measure_slots = 6'000;
+  cfg.failed_switches = {2};
+  const auto r = run_clos_uniform(cfg, 0.5, 17);
+  EXPECT_EQ(r.buffer_overflows, 0u);
+  EXPECT_EQ(r.out_of_order, 0u);
+  EXPECT_GT(r.throughput, 0.35);  // degraded but alive
+}
+
+TEST(ClosDegraded, FailedLeafIsRejected) {
+  // A leaf is its hosts' only attachment point: no reroute exists, so
+  // the configuration is refused with the stranded host range named.
+  ClosConfig cfg = clos_config(8, 2);
+  cfg.failed_switches = {0};
+  EXPECT_DEATH(run_clos_uniform(cfg, 0.5, 1), "outright");
+}
+
+TEST(ClosDegraded, DisconnectingEveryTopSwitchIsRejected) {
+  // All 4 spines dead leaves no inter-leaf path at all; the
+  // connectivity audit names a disconnected host pair.
+  ClosConfig cfg = clos_config(8, 2);
+  cfg.failed_switches = {8, 9, 10, 11};
+  EXPECT_DEATH(run_clos_uniform(cfg, 0.5, 1), "disconnect");
+}
+
+TEST(ClosDegraded, OutOfRangeFailedSwitchIsRejected) {
+  ClosConfig cfg = clos_config(8, 2);
+  cfg.failed_switches = {12};  // only 12 switches: ids 0..11
+  EXPECT_DEATH(run_clos_uniform(cfg, 0.5, 1), "out of range");
+}
+
 TEST(ClosSim, RejectsBadConfigs) {
   EXPECT_DEATH(run_clos_uniform(clos_config(7, 2), 0.5, 1), "even");
   ClosConfig cfg = clos_config(8, 2);

@@ -169,6 +169,40 @@ TEST(CampaignRunner, ByteIdenticalAcrossThreadCounts) {
   EXPECT_NE(docs[0].find("faults_injected"), std::string::npos);
 }
 
+TEST(CampaignRunner, DegradedFabricByteIdenticalAcrossThreadCounts) {
+  // Graceful degradation determinism: a fabric campaign with a
+  // permanent spine cut (adaptive routing + admission engage in the
+  // driver) must serialize byte-identically at any worker count.
+  CampaignSpec spec;
+  spec.name = "degraded_determinism";
+  spec.sims = {SimKind::kFabric};
+  spec.schedulers = {sw::SchedulerKind::kIslip};
+  spec.ports = {8};
+  spec.receivers = {1};
+  spec.loads = {0.8};
+  spec.faults = {FaultScenario::kNone, FaultScenario::kSpinePermanent};
+  spec.warmup_slots = 200;
+  spec.measure_slots = 1'500;
+  spec.campaign_seed = 0xDE6;
+
+  std::vector<std::string> docs;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    RunnerOptions opts;
+    opts.threads = threads;
+    CampaignRunner runner(opts);
+    const CampaignResult result = runner.run(spec);
+    EXPECT_EQ(result.failed_jobs(), 0u);
+    docs.push_back(result.to_json(2, /*include_timing=*/false));
+  }
+  EXPECT_EQ(docs[0], docs[1]);
+  EXPECT_EQ(docs[1], docs[2]);
+  // The degraded scenario actually engaged: its extra metrics are in
+  // the document, and cells were shed under the permanent cut.
+  EXPECT_NE(docs[0].find("spine_permanent"), std::string::npos);
+  EXPECT_NE(docs[0].find("shed_cells"), std::string::npos);
+  EXPECT_NE(docs[0].find("brownout_slots"), std::string::npos);
+}
+
 TEST(CampaignRunner, TimingFieldsAreExcludedOnRequest) {
   RunnerOptions opts;
   opts.threads = 2;

@@ -215,5 +215,65 @@ TEST(FabricSim, RequiresImmediateIssueScheduler) {
   EXPECT_DEATH(run_fabric_uniform(cfg, 0.5, 61), "immediate-issue");
 }
 
+// ---- fault-aware spine route table -----------------------------------------
+
+TEST(SpineRouteTable, NominalRoutingIsDModK) {
+  SpineRouteTable rt(4, 100);
+  EXPECT_EQ(rt.usable_count(), 4);
+  for (int dst = 0; dst < 32; ++dst) EXPECT_EQ(rt.route(dst), dst % 4);
+}
+
+TEST(SpineRouteTable, FailureReSpreadsOnlyTheHomedFlows) {
+  SpineRouteTable rt(4, 100);
+  rt.fail(1);
+  EXPECT_EQ(rt.usable_count(), 3);
+  EXPECT_FALSE(rt.usable(1));
+  for (int dst = 0; dst < 64; ++dst) {
+    const int sp = rt.route(dst);
+    EXPECT_NE(sp, 1) << "dst " << dst;
+    if (dst % 4 != 1)
+      EXPECT_EQ(sp, dst % 4) << "unaffected flow moved, dst " << dst;
+  }
+  // Deterministic: the same destination always takes the same detour.
+  for (int dst = 1; dst < 64; dst += 4) EXPECT_EQ(rt.route(dst), rt.route(dst));
+}
+
+TEST(SpineRouteTable, RevivalIsQuarantinedForTheHoldDown) {
+  SpineRouteTable rt(4, 100);
+  rt.fail(2);
+  rt.revive(2, 1'000);
+  EXPECT_FALSE(rt.usable(2));  // up, but quarantined
+  EXPECT_FALSE(rt.tick(1'050));
+  EXPECT_FALSE(rt.usable(2));
+  EXPECT_TRUE(rt.tick(1'100));  // hold-down expired: re-admitted
+  EXPECT_TRUE(rt.usable(2));
+  EXPECT_EQ(rt.usable_count(), 4);
+  EXPECT_EQ(rt.route(2), 2);  // homed flows return
+}
+
+TEST(SpineRouteTable, ReFailureDuringQuarantineJustStaysDown) {
+  SpineRouteTable rt(4, 100);
+  rt.fail(3);
+  rt.revive(3, 500);
+  rt.fail(3);  // flap: re-failed inside the hold-down
+  EXPECT_FALSE(rt.tick(5'000));  // quarantine was cancelled by the fail
+  EXPECT_FALSE(rt.usable(3));
+  rt.revive(3, 6'000);
+  EXPECT_TRUE(rt.tick(6'100));
+  EXPECT_TRUE(rt.usable(3));
+}
+
+TEST(SpineRouteTable, ZeroSurvivorsFallBackToTheMaskedHome) {
+  SpineRouteTable rt(2, 10);
+  rt.fail(0);
+  rt.fail(1);
+  EXPECT_EQ(rt.usable_count(), 0);
+  for (int dst = 0; dst < 8; ++dst) {
+    const int sp = rt.route(dst);
+    EXPECT_GE(sp, 0);
+    EXPECT_LT(sp, 2);
+  }
+}
+
 }  // namespace
 }  // namespace osmosis::fabric

@@ -373,6 +373,93 @@ TEST(FabricFaults, PermanentSpineLossIsRejected) {
   EXPECT_DEATH(fabric::run_fabric_uniform(cfg, 0.5, 1), "transient");
 }
 
+TEST(FabricFaults, AdaptiveRoutingCarriesAPermanentSpineCut) {
+  // Graceful degradation: with fault-aware adaptive routing and
+  // degraded-mode admission, a permanent spine cut is survivable — the
+  // surviving spines carry re-spread flows, the sources shed the excess,
+  // and every non-shed cell still arrives exactly once in order.
+  fabric::FabricSimConfig cfg;
+  cfg.radix = 8;  // 4 spines, 32 hosts
+  cfg.warmup_slots = 1'000;
+  cfg.measure_slots = 8'000;
+  cfg.drain_max_slots = 200'000;
+  cfg.adaptive_routing = true;
+  cfg.admission.enabled = true;
+
+  const auto base = fabric::run_fabric_uniform(cfg, 0.85, 0xFB5);
+  EXPECT_TRUE(base.exactly_once_in_order);
+  EXPECT_EQ(base.shed_cells, 0u);  // full capacity: nothing engages
+
+  cfg.fault_plan.fail_plane(3'000, 1);  // duration 0 = permanent
+  const auto r = fabric::run_fabric_uniform(cfg, 0.85, 0xFB5);
+  EXPECT_TRUE(r.exactly_once_in_order);
+  EXPECT_EQ(r.out_of_order, 0u);
+  EXPECT_EQ(r.buffer_overflows, 0u);
+  EXPECT_GT(r.resteered, 0u);       // VOQ cells moved off the dead uplink
+  EXPECT_GT(r.shed_cells, 0u);      // 0.85 load > 0.75 surviving capacity
+  EXPECT_GT(r.brownout_slots, 0u);
+  EXPECT_EQ(r.generated, r.offered + r.shed_cells);  // shed accounting
+  EXPECT_EQ(r.faults_repaired, 0u);
+  // Availability floor: 3/4 survivors must sustain at least 3/4 of the
+  // fault-free throughput, less a 10% transient allowance.
+  EXPECT_GE(r.throughput, 0.75 * base.throughput * 0.9);
+}
+
+TEST(FabricFaults, AdaptiveResteerKeepsResequencerDepthBounded) {
+  // The egress resequencer only ever parks cells that were overtaken
+  // during a re-steer; its depth must stay far below the in-flight
+  // population (bounded by the trunk pipes + input buffers, not by the
+  // run length).
+  fabric::FabricSimConfig cfg;
+  cfg.radix = 8;
+  cfg.warmup_slots = 500;
+  cfg.measure_slots = 6'000;
+  cfg.drain_max_slots = 200'000;
+  cfg.adaptive_routing = true;
+  cfg.admission.enabled = true;
+  // Repeated cut/revive of two spines forces re-steers in both
+  // directions through the hysteresis hold-down.
+  cfg.fault_plan.fail_plane(1'000, 0, 800)
+      .fail_plane(2'500, 1, 800)
+      .fail_plane(4'000, 0);  // then spine 0 goes for good
+  const auto r = fabric::run_fabric_uniform(cfg, 0.7, 0xFB6);
+  EXPECT_TRUE(r.exactly_once_in_order);
+  EXPECT_EQ(r.out_of_order, 0u);
+  EXPECT_GT(r.resteered, 0u);
+  EXPECT_LE(r.max_resequencer_depth, 512u);
+  EXPECT_EQ(r.generated, r.offered + r.shed_cells);
+}
+
+TEST(FabricFaults, AdaptiveTransientOutageRecoversThroughHysteresis) {
+  // A transient outage under adaptive routing: flows re-spread away,
+  // then return only after the revival hold-down expires; the run must
+  // recover and stay exactly-once with no residual reorder.
+  fabric::FabricSimConfig cfg;
+  cfg.radix = 8;
+  cfg.warmup_slots = 1'000;
+  cfg.measure_slots = 8'000;
+  cfg.drain_max_slots = 60'000;
+  cfg.adaptive_routing = true;
+  cfg.reroute_hysteresis_slots = 400;
+  cfg.fault_plan.fail_plane(3'000, 1, 1'500);
+  const auto r = fabric::run_fabric_uniform(cfg, 0.5, 0xFB7);
+  EXPECT_TRUE(r.exactly_once_in_order);
+  EXPECT_EQ(r.out_of_order, 0u);
+  EXPECT_EQ(r.faults_repaired, 1u);
+  EXPECT_EQ(r.faults_recovered, 1u);
+  EXPECT_GT(r.resteered, 0u);
+}
+
+TEST(FabricFaults, CuttingEverySpineIsRejectedEvenWithAdaptiveRouting) {
+  // Adaptive routing needs at least one survivor to re-steer onto; a
+  // plan that permanently cuts all spines is refused up front.
+  fabric::FabricSimConfig cfg;
+  cfg.radix = 8;
+  cfg.adaptive_routing = true;
+  for (int sp = 0; sp < 4; ++sp) cfg.fault_plan.fail_plane(3'000, sp);
+  EXPECT_DEATH(fabric::run_fabric_uniform(cfg, 0.5, 1), "surviving");
+}
+
 TEST(FabricFaults, HostStallRecoversThroughCreditFlowControl) {
   fabric::FabricSimConfig cfg;
   cfg.radix = 8;

@@ -214,6 +214,43 @@ TEST(RecoveryTracker, UnrepairedFaultNeverRecovers) {
   EXPECT_EQ(rt.repaired(), 0u);
 }
 
+TEST(RecoveryTracker, OverlappingWindowsRecoverIndependently) {
+  // Two faults whose windows overlap: each recovery is timed from ITS
+  // OWN repair against ITS OWN onset baseline, not from the other's.
+  faults::RecoveryTracker rt;
+  rt.on_fault(100, "a", 4);   // baseline 4
+  rt.on_fault(150, "b", 20);  // opened while "a" is still down
+  rt.on_repair(200, "a");
+  rt.observe(230, 18);        // above a's baseline, b unrepaired: nothing
+  EXPECT_EQ(rt.recovered(), 0u);
+  rt.on_repair(250, "b");
+  rt.observe(260, 15);        // b recovers (15 <= 20), dt = 10; a waits
+  EXPECT_EQ(rt.recovered(), 1u);
+  rt.observe(300, 3);         // a recovers (3 <= 4), dt = 100
+  EXPECT_EQ(rt.faults(), 2u);
+  EXPECT_EQ(rt.repaired(), 2u);
+  EXPECT_EQ(rt.recovered(), 2u);
+  EXPECT_DOUBLE_EQ(rt.mean_recovery_slots(), 55.0);
+  EXPECT_DOUBLE_EQ(rt.max_recovery_slots(), 100.0);
+  EXPECT_EQ(rt.recovery_histogram().count(), 2u);
+}
+
+TEST(RecoveryTracker, AdjacentWindowsOnOneKeyCountSeparately) {
+  // The same component failing again right after recovering opens a
+  // fresh window with a fresh baseline and MTTR sample.
+  faults::RecoveryTracker rt;
+  rt.on_fault(100, "spine/0", 2);
+  rt.on_repair(150, "spine/0");
+  rt.observe(170, 1);  // recovered, dt = 20
+  rt.on_fault(180, "spine/0", 6);
+  rt.on_repair(240, "spine/0");
+  rt.observe(250, 6);  // recovered, dt = 10
+  EXPECT_EQ(rt.faults(), 2u);
+  EXPECT_EQ(rt.recovered(), 2u);
+  EXPECT_DOUBLE_EQ(rt.mean_recovery_slots(), 15.0);
+  EXPECT_EQ(rt.recovery_histogram().count(), 2u);
+}
+
 // ---- management-side validation --------------------------------------------
 
 core::OsmosisConfig demo_config() { return core::OsmosisConfig{}; }
@@ -291,6 +328,32 @@ TEST(ValidateFaultPlan, WarnsWhenBothModulesOfAnEgressOverlap) {
   for (const auto& x : f)
     warned |= x.severity == mgmt::Severity::kWarning;
   EXPECT_TRUE(warned);
+}
+
+TEST(ValidateFaultPlan, RejectsPermanentFaultsCoveringEveryParallelPath) {
+  // With 4 parallel spines/planes, permanently cutting all 4 strands
+  // every host no matter how adaptive the routing is — the plan must be
+  // rejected up front. 3 of 4 (plus a transient on the 4th) is fine.
+  faults::FaultPlan all;
+  for (int sp = 0; sp < 4; ++sp) all.fail_plane(100 + sp, sp);
+  EXPECT_FALSE(mgmt::config_ok(
+      mgmt::validate_fault_plan(demo_config(), all, /*parallel_paths=*/4)));
+
+  faults::FaultPlan three;
+  for (int sp = 0; sp < 3; ++sp) three.fail_plane(100 + sp, sp);
+  three.fail_plane(400, 3, 200);  // transient: repaired, does not count
+  EXPECT_TRUE(mgmt::config_ok(
+      mgmt::validate_fault_plan(demo_config(), three, 4)));
+
+  // Duplicate permanent events on one path count once.
+  faults::FaultPlan dup;
+  dup.fail_plane(100, 0).fail_plane(900, 0).fail_plane(200, 1);
+  EXPECT_TRUE(mgmt::config_ok(
+      mgmt::validate_fault_plan(demo_config(), dup, 4)));
+
+  // parallel_paths = 0 (single-path simulators) keeps legacy behaviour.
+  EXPECT_TRUE(mgmt::config_ok(
+      mgmt::validate_fault_plan(demo_config(), all, 0)));
 }
 
 TEST(ValidateFaultPlan, NonOverlappingModuleKillsDoNotWarn) {

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/host/admission.hpp"
 #include "src/host/hca.hpp"
 #include "src/host/message.hpp"
 #include "src/host/message_sim.hpp"
@@ -213,6 +214,73 @@ TEST(MessageSim, SmallMessageAppLatencyNearMicrosecond) {
   EXPECT_GT(r.completed, 10'000u);
   EXPECT_LT(r.control_app_latency_ns, 1'300.0);
   EXPECT_GT(r.control_app_latency_ns, 700.0);
+}
+
+// ---- degraded-mode admission control ---------------------------------------
+
+TEST(Admission, FullCapacityAdmitsEverything) {
+  AdmissionConfig cfg;
+  cfg.enabled = true;
+  AdmissionControl ac(cfg, 4);
+  ac.set_capacity(4, 4);
+  for (int slot = 0; slot < 100; ++slot) {
+    ac.begin_slot();
+    for (int src = 0; src < 4; ++src) EXPECT_TRUE(ac.admit(src));
+  }
+  EXPECT_EQ(ac.shed_total(), 0u);
+}
+
+TEST(Admission, DisabledControlNeverSheds) {
+  AdmissionControl ac(AdmissionConfig{}, 4);  // enabled = false
+  ac.set_capacity(1, 4);
+  for (int slot = 0; slot < 50; ++slot) {
+    ac.begin_slot();
+    for (int src = 0; src < 4; ++src) EXPECT_TRUE(ac.admit(src));
+  }
+  EXPECT_EQ(ac.shed_total(), 0u);
+}
+
+TEST(Admission, ReducedCapacityShedsTheOverflowFairly) {
+  AdmissionConfig cfg;
+  cfg.enabled = true;
+  cfg.margin_pct = 100;
+  cfg.burst_cells = 1;
+  AdmissionControl ac(cfg, 8);
+  ac.set_capacity(2, 4);  // half capacity: admit ~1 of every 2 cells
+  const int slots = 1'000;
+  std::uint64_t admitted = 0;
+  for (int slot = 0; slot < slots; ++slot) {
+    ac.begin_slot();
+    for (int src = 0; src < 8; ++src)
+      if (ac.admit(src)) ++admitted;
+  }
+  const std::uint64_t offered = 8ull * slots;
+  EXPECT_EQ(admitted + ac.shed_total(), offered);
+  EXPECT_NEAR(static_cast<double>(admitted), offered / 2.0, offered * 0.01);
+  // Identical buckets, identical arrivals: the shed spread across
+  // sources must be tight (fairness).
+  EXPECT_LE(ac.shed_max() - ac.shed_min(), 2u);
+}
+
+TEST(Admission, RestoredCapacityStopsShedding) {
+  AdmissionConfig cfg;
+  cfg.enabled = true;
+  AdmissionControl ac(cfg, 2);
+  ac.set_capacity(1, 4);
+  for (int slot = 0; slot < 100; ++slot) {
+    ac.begin_slot();
+    ac.admit(0);
+    ac.admit(1);
+  }
+  const std::uint64_t shed_degraded = ac.shed_total();
+  EXPECT_GT(shed_degraded, 0u);
+  ac.set_capacity(4, 4);  // repaired: disengage
+  for (int slot = 0; slot < 100; ++slot) {
+    ac.begin_slot();
+    EXPECT_TRUE(ac.admit(0));
+    EXPECT_TRUE(ac.admit(1));
+  }
+  EXPECT_EQ(ac.shed_total(), shed_degraded);
 }
 
 TEST(MessageSim, RejectsWorkloadPortMismatch) {
