@@ -1,0 +1,253 @@
+// Open-loop serving sweep over the libfabric-flavored front-end
+// (DESIGN.md §14): a population of clients (up to millions) issues
+// tagged sends and one-sided RMA into the switch at a rate independent
+// of completions, per-tenant token buckets shed the excess, and each
+// grid point reports offered/accepted/shed/delivered plus the end-to-end
+// latency tail (p50/p99/p999) against an optional SLO envelope.
+//
+//   bench_serve [--clients=1000,1000000] [--arrival=poisson,mmpp,diurnal]
+//               [--loads=0.5,0.8] [--tenants=4] [--ports=16]
+//               [--slots=S] [--warmup=W] [--threads=N] [--seed=S]
+//               [--slo-p99=CYCLES] [--slo-p999=CYCLES]
+//               [--json=<path>] [--timing=false] [--report=<path>]
+//               [--smoke] [--progress]
+//               [--checkpoint-dir=DIR] [--checkpoint-every=N]
+//               [--resume=DIR] [--help]
+//
+// The grid expands clients x arrival x load into one CampaignSpec with
+// sims = {serve}, so the sweep rides the campaign runner's worker pool,
+// retry/quarantine rotation, and kill-safe checkpointing unchanged. The
+// document is byte-identical at any --threads value (job seeds derive
+// from grid position) and across a SIGKILL + --resume.
+//
+// --smoke runs the small fixed grid whose output is committed as
+// bench/baselines/serve_smoke.json (includes a 1,000,000-client Poisson
+// point); scripts/check.sh re-runs it and diffs against the baseline.
+//
+// --report writes the first grid point's full RunReport (with the
+// "serving" section) for schema_check --report --need-serving.
+//
+// --slo-p99 / --slo-p999 (cell slots; 0 = unchecked) turn the table's
+// last column into a verdict and the exit status into a gate: any
+// measured-window quantile over its bound fails the run.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/api/openloop.hpp"
+#include "src/ckpt/ckpt.hpp"
+#include "src/exec/campaign_runner.hpp"
+#include "src/telemetry/json.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+using namespace osmosis;
+
+namespace {
+
+std::vector<api::ArrivalKind> parse_arrivals(const util::Cli& cli) {
+  std::vector<api::ArrivalKind> kinds;
+  std::string text = cli.get("arrival", "poisson");
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = text.find(',', start);
+    const std::string item = text.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    api::ArrivalKind k;
+    if (!api::parse_arrival(item, &k)) {
+      std::cerr << "error: --arrival: '" << item
+                << "' is not an arrival process (poisson/mmpp/diurnal)\n";
+      std::exit(2);
+    }
+    kinds.push_back(k);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return kinds;
+}
+
+exec::CampaignSpec smoke_spec() {
+  // Committed as bench/baselines/serve_smoke.json. Includes the headline
+  // acceptance point: one million Poisson clients on the 16-port switch.
+  exec::CampaignSpec spec;
+  spec.name = "serve_smoke";
+  spec.sims = {exec::SimKind::kServe};
+  spec.ports = {16};
+  spec.receivers = {2};
+  spec.loads = {0.65};
+  spec.clients = {1'000, 1'000'000};
+  spec.arrivals = {api::ArrivalKind::kPoisson, api::ArrivalKind::kMmpp,
+                   api::ArrivalKind::kDiurnal};
+  spec.tenants = 4;
+  spec.warmup_slots = 500;
+  spec.measure_slots = 4'000;
+  spec.campaign_seed = 0x5E12'FE;
+  return spec;
+}
+
+exec::CampaignSpec sweep_spec(const util::Cli& cli) {
+  exec::CampaignSpec spec;
+  spec.name = "serve_sweep";
+  spec.sims = {exec::SimKind::kServe};
+  spec.ports = {static_cast<int>(cli.get_int("ports", 16))};
+  spec.receivers = {2};
+  spec.loads = cli.get_doubles("loads", {0.5, 0.8});
+  spec.clients.clear();
+  for (long long c : cli.get_ints("clients", {1'000, 1'000'000}))
+    spec.clients.push_back(c);
+  spec.arrivals = parse_arrivals(cli);
+  spec.tenants = static_cast<int>(cli.get_int("tenants", 4));
+  spec.warmup_slots = static_cast<std::uint64_t>(cli.get_int("warmup", 2'000));
+  spec.measure_slots =
+      static_cast<std::uint64_t>(cli.get_int("slots", 20'000));
+  spec.campaign_seed = static_cast<std::uint64_t>(cli.get_int("seed", 0x5E12));
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+
+  const bool smoke = cli.has("smoke");
+  const exec::CampaignSpec spec = smoke ? smoke_spec() : sweep_spec(cli);
+  if (smoke) {
+    // Register the sweep flags so --smoke --help still lists them all.
+    if (cli.has("help")) sweep_spec(cli);
+  }
+
+  exec::RunnerOptions opts;
+  opts.threads = static_cast<unsigned>(cli.get_int("threads", 0));
+  const std::string resume_dir = cli.get_path("resume", "");
+  opts.checkpoint.dir = resume_dir.empty()
+                            ? cli.get_path("checkpoint-dir", "")
+                            : resume_dir;
+  opts.checkpoint.every =
+      static_cast<std::uint64_t>(cli.get_int("checkpoint-every", 0));
+  opts.checkpoint.resume = !resume_dir.empty();
+  const double slo_p99 = cli.get_double("slo-p99", 0.0);
+  const double slo_p999 = cli.get_double("slo-p999", 0.0);
+  const bool progress = cli.has("progress");
+  const bool timing = cli.get_bool("timing", true);
+  const std::string json_path = cli.get_path("json", "");
+  const std::string report_path = cli.get_path("report", "");
+  cli.maybe_help(
+      "open-loop serving sweep: clients x arrival x load on the serving "
+      "front-end,\nchecked against --slo-p99/--slo-p999 latency envelopes "
+      "(cell slots; 0 = off)");
+
+  if (!opts.checkpoint.dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(opts.checkpoint.dir, ec);
+    if (ec) {
+      std::cerr << "error: cannot create checkpoint dir "
+                << opts.checkpoint.dir << ": " << ec.message() << "\n";
+      return 1;
+    }
+  }
+
+  if (progress) {
+    opts.on_job_done = [](const exec::JobResult& r) {
+      const std::string label = r.spec.label();
+      telemetry::JsonWriter w(0);
+      w.open('{');
+      w.key("job");
+      w.number(static_cast<double>(r.spec.index));
+      w.key("digest");
+      char digest[16];
+      std::snprintf(digest, sizeof digest, "%08x", ckpt::crc32(label));
+      w.string(digest);
+      w.key("label");
+      w.string(label);
+      w.key("wall_ms");
+      w.number(r.wall_ms);
+      w.key("delivered");
+      w.number(r.ok ? r.metrics.at("delivered") : 0.0);
+      w.key("ok");
+      w.boolean(r.ok);
+      w.close('}');
+      std::fprintf(stderr, "%s\n", w.str().c_str());
+    };
+  }
+
+  std::cout << "serving campaign '" << spec.name << "': " << spec.job_count()
+            << " jobs\n";
+
+  exec::CampaignRunner runner(opts);
+  const exec::CampaignResult result = runner.run(spec);
+
+  const bool gated = slo_p99 > 0.0 || slo_p999 > 0.0;
+  bool slo_ok = true;
+  util::Table t({"label", "offered", "accepted", "shed", "delivered",
+                 "p50", "p99", "p999", gated ? "slo" : "cq_over"},
+                2);
+  t.set_title("per-job serving results (latencies in cell slots)");
+  for (const auto& j : result.jobs) {
+    if (!j.ok) {
+      t.add_row({j.spec.label(), std::string("FAILED: " + j.error),
+                 std::string("-"), std::string("-"), std::string("-"),
+                 std::string("-"), std::string("-"), std::string("-"),
+                 std::string("-")});
+      continue;
+    }
+    const double p99 = j.metrics.at("p99_latency");
+    const double p999 = j.metrics.at("p999_latency");
+    const bool pass = (slo_p99 <= 0.0 || p99 <= slo_p99) &&
+                      (slo_p999 <= 0.0 || p999 <= slo_p999);
+    slo_ok = slo_ok && pass;
+    t.add_row({j.spec.label(), j.metrics.at("offered"),
+               j.metrics.at("accepted"), j.metrics.at("shed"),
+               j.metrics.at("delivered"), j.metrics.at("p50_latency"), p99,
+               p999,
+               gated ? std::string(pass ? "ok" : "VIOLATED")
+                     : std::to_string(static_cast<long long>(
+                           j.metrics.at("cq_overruns")))});
+  }
+  t.print(std::cout);
+
+  std::cout << "\naggregate: " << result.jobs.size() << " jobs ("
+            << result.failed_jobs() << " failed), " << result.threads_used
+            << " threads, " << result.wall_ms << " ms wall\n";
+  for (const auto& [name, h] : result.aggregate_hists)
+    std::cout << "  " << name << ": n=" << h.count() << " mean=" << h.mean()
+              << " p99=" << h.p99() << " p999=" << h.p999() << "\n";
+
+  if (result.failed_jobs() > 0) {
+    std::cerr << "error: " << result.failed_jobs() << " jobs failed\n";
+    return 1;
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!(out << result.to_json(2, timing) << "\n")) {
+      std::cerr << "error: cannot write campaign JSON to " << json_path
+                << "\n";
+      return 1;
+    }
+    std::cout << "campaign JSON written to " << json_path << "\n";
+  }
+
+  if (!report_path.empty()) {
+    // The first grid point's full RunReport: the artifact schema_check
+    // validates with --report --need-serving.
+    std::ofstream out(report_path);
+    if (!(out << result.jobs.front().report.to_json(2) << "\n")) {
+      std::cerr << "error: cannot write run report to " << report_path
+                << "\n";
+      return 1;
+    }
+    std::cout << "run report written to " << report_path << "\n";
+  }
+
+  if (gated && !slo_ok) {
+    std::cerr << "error: SLO envelope violated (p99 <= " << slo_p99
+              << ", p999 <= " << slo_p999 << ")\n";
+    return 1;
+  }
+  return 0;
+}

@@ -14,11 +14,16 @@
 //       even though raw rates are machine-dependent and never compared.
 //
 //   schema_check --report=<run_report.json> [--need-profile]
-//                [--need-timeseries] [--need-availability]
+//                [--need-timeseries] [--need-availability] [--need-serving]
 //       osmosis.run_report.v1 shape, optionally requiring the "profile",
-//       "timeseries", and "availability" sections to be present and well
-//       formed. An "availability" section is shape- and range-checked
-//       whenever present, required only under --need-availability.
+//       "timeseries", "availability", and "serving" sections to be
+//       present and well formed. "availability" and "serving" are shape-
+//       and invariant-checked whenever present, required only under
+//       their --need flags. Serving checks: per-tenant rows sum to the
+//       summary, offered == accepted + shed >= delivered, and every
+//       latency summary's quantile ladder (min <= p50 <= p99 <= p999
+//       [<= p9999] <= max) is monotone. Histogram summaries in the main
+//       "histograms" map get the same ladder check.
 //
 //   schema_check --micro=<bench_micro.json>
 //       google-benchmark JSON from bench_micro: asserts the disabled
@@ -228,8 +233,94 @@ int check_perf(const JsonValue& doc, const JsonValue* baseline) {
 
 // ---- RunReport ------------------------------------------------------------
 
+// Histogram summaries in reports carry the full quantile ladder; empty
+// histograms export zeros (vacuously monotone). Returns "" when valid.
+std::string hist_summary_errors(const JsonValue& h, const std::string& name) {
+  for (const char* key : {"count", "mean", "min", "p50", "p99", "p999",
+                          "max"})
+    if (!h.has(key) || !h.at(key).is_number())
+      return "histogram '" + name + "' missing " + key;
+  const double mn = h.at("min").number;
+  const double mx = h.at("max").number;
+  const double p50 = h.at("p50").number;
+  const double p99 = h.at("p99").number;
+  const double p999 = h.at("p999").number;
+  if (h.at("count").number > 0.0) {
+    if (!(mn <= p50 && p50 <= p99 && p99 <= p999 && p999 <= mx))
+      return "histogram '" + name +
+             "' quantiles not monotone (min <= p50 <= p99 <= p999 <= max)";
+    if (h.has("p9999")) {
+      const double p9999 = h.at("p9999").number;
+      if (!(p999 <= p9999 && p9999 <= mx))
+        return "histogram '" + name + "' p9999 outside [p999, max]";
+    }
+  }
+  return "";
+}
+
+int check_serving(const JsonValue& sv) {
+  for (const char* key : {"arrival", "summary", "latency", "tenants"})
+    if (!sv.has(key))
+      return fail(std::string("report: serving missing ") + key);
+  if (!sv.at("arrival").is_string())
+    return fail("report: serving.arrival is not a string");
+  const JsonValue& sum = sv.at("summary");
+  if (!sum.is_object())
+    return fail("report: serving.summary is not an object");
+  for (const char* key :
+       {"offered", "accepted", "shed", "delivered", "inflight", "tenants"})
+    if (!sum.has(key) || !sum.at(key).is_number())
+      return fail(std::string("report: serving.summary missing ") + key);
+  const double offered = sum.at("offered").number;
+  const double accepted = sum.at("accepted").number;
+  const double shed = sum.at("shed").number;
+  const double delivered = sum.at("delivered").number;
+  if (offered != accepted + shed)
+    return fail("report: serving offered != accepted + shed "
+                "(requests unaccounted for)");
+  if (!(offered >= accepted && accepted >= delivered))
+    return fail("report: serving ledger not monotone "
+                "(offered >= accepted >= delivered)");
+  if (sum.at("inflight").number != accepted - delivered)
+    return fail("report: serving inflight != accepted - delivered");
+
+  std::string err = hist_summary_errors(sv.at("latency"), "serving.latency");
+  if (!err.empty()) return fail("report: " + err);
+
+  if (!sv.at("tenants").is_array() || sv.at("tenants").array.empty())
+    return fail("report: serving.tenants rows absent");
+  if (sv.at("tenants").array.size() !=
+      static_cast<std::size_t>(sum.at("tenants").number))
+    return fail("report: serving tenant row count != summary.tenants");
+  double t_offered = 0.0, t_accepted = 0.0, t_delivered = 0.0, t_shed = 0.0;
+  for (std::size_t i = 0; i < sv.at("tenants").array.size(); ++i) {
+    const JsonValue& row = sv.at("tenants").array[i];
+    const std::string where = "report: serving tenant " + std::to_string(i);
+    for (const char* key :
+         {"tenant", "offered", "accepted", "delivered", "shed", "latency"})
+      if (!row.has(key)) return fail(where + " missing " + key);
+    if (static_cast<std::size_t>(row.at("tenant").number) != i)
+      return fail(where + " out of order");
+    if (!(row.at("offered").number >= row.at("accepted").number &&
+          row.at("accepted").number >= row.at("delivered").number))
+      return fail(where + " ledger not monotone");
+    err = hist_summary_errors(row.at("latency"),
+                              "tenant " + std::to_string(i) + " latency");
+    if (!err.empty()) return fail("report: " + err);
+    t_offered += row.at("offered").number;
+    t_accepted += row.at("accepted").number;
+    t_delivered += row.at("delivered").number;
+    t_shed += row.at("shed").number;
+  }
+  if (t_offered != offered || t_accepted != accepted ||
+      t_delivered != delivered || t_shed != shed)
+    return fail("report: serving tenant rows do not sum to the summary");
+  return 0;
+}
+
 int check_report(const JsonValue& doc, bool need_profile,
-                 bool need_timeseries, bool need_availability) {
+                 bool need_timeseries, bool need_availability,
+                 bool need_serving) {
   if (!doc.has("schema") || doc.at("schema").str != "osmosis.run_report.v1")
     return fail("report: schema is not osmosis.run_report.v1");
   for (const char* key :
@@ -237,6 +328,13 @@ int check_report(const JsonValue& doc, bool need_profile,
         "health"})
     if (!doc.has(key))
       return fail(std::string("report: missing ") + key);
+  // Every exported histogram summary carries the full quantile ladder
+  // (p999 always; p9999 when the sample count supports it) and the
+  // quantiles are monotone.
+  for (const auto& [hname, h] : doc.at("histograms").object) {
+    const std::string err = hist_summary_errors(h, hname);
+    if (!err.empty()) return fail("report: " + err);
+  }
   // Availability/SLO section: validated whenever present, required under
   // --need-availability (the graceful-degradation benches).
   if (need_availability && !doc.has("availability"))
@@ -276,6 +374,16 @@ int check_report(const JsonValue& doc, bool need_profile,
         if (!stats.has(key))
           return fail("report: profile phase '" + phase + "' missing " + key);
   }
+  // Serving section: validated whenever present, required under
+  // --need-serving (bench_serve reports).
+  if (need_serving && !doc.has("serving"))
+    return fail("report: serving section required but absent");
+  if (doc.has("serving")) {
+    if (!doc.at("serving").is_object())
+      return fail("report: serving is not an object");
+    const int rc = check_serving(doc.at("serving"));
+    if (rc != 0) return rc;
+  }
   if (need_timeseries) {
     if (!doc.has("timeseries"))
       return fail("report: timeseries section required but absent");
@@ -296,7 +404,7 @@ int check_report(const JsonValue& doc, bool need_profile,
             << (need_profile ? ", profile present" : "")
             << (need_timeseries ? ", timeseries present" : "")
             << (doc.has("availability") ? ", availability present" : "")
-            << "\n";
+            << (doc.has("serving") ? ", serving present" : "") << "\n";
   return 0;
 }
 
@@ -529,7 +637,8 @@ int main(int argc, char** argv) {
     if (!load(cli.get_path("report", ""), doc)) return 1;
     return check_report(doc, cli.has("need-profile"),
                         cli.has("need-timeseries"),
-                        cli.has("need-availability"));
+                        cli.has("need-availability"),
+                        cli.has("need-serving"));
   }
   if (cli.has("micro")) {
     if (!load(cli.get_path("micro", ""), doc)) return 1;
@@ -545,7 +654,7 @@ int main(int argc, char** argv) {
   }
   std::cerr << "usage: schema_check --trace=F | --perf=F [--baseline=F] | "
                "--report=F [--need-profile] [--need-timeseries] "
-               "[--need-availability] | "
+               "[--need-availability] [--need-serving] | "
                "--micro=F | --campaign=F | --repro=F\n";
   return 2;
 }

@@ -13,7 +13,10 @@
 # byte-identical to the committed baseline and across thread counts),
 # run the graceful-degradation study (permanent spine cut under adaptive
 # routing + admission must hold the availability floor and emit a valid
-# availability/SLO report section),
+# availability/SLO report section), run the open-loop serving smoke sweep
+# (bench_serve --smoke, including the million-client Poisson point) and
+# hold it against its committed baseline plus 1-vs-8-thread and
+# kill-and-resume byte diffs and a schema_check --need-serving pass,
 # assert the disabled-profiler overhead bound on
 # bench_micro numbers, then rebuild under ASan+UBSan (failure/fault/
 # chaos/checkpoint tests plus the full injected-defect -> shrink ->
@@ -113,6 +116,44 @@ fi
 cmp "$build/campaign_smoke_t1.json" "$build/campaign_resumed.json"
 echo "resumed document byte-identical to the uninterrupted run"
 
+echo "== serve smoke: open-loop serving sweep vs committed baseline =="
+serve_json="$build/serve_smoke.json"
+"$build/bench/bench_serve" --smoke --json="$serve_json" --timing=false \
+  --report="$build/serve_report.json" > /dev/null
+cmp "$repo/bench/baselines/serve_smoke.json" "$serve_json"
+"$build/bench/schema_check" --campaign="$serve_json"
+"$build/bench/schema_check" --report="$build/serve_report.json" \
+  --need-serving
+echo "serving document matches the committed baseline"
+
+echo "== serve determinism: 1 thread vs 8 threads =="
+"$build/bench/bench_serve" --smoke --threads=1 \
+  --json="$build/serve_smoke_t1.json" --timing=false > /dev/null
+"$build/bench/bench_serve" --smoke --threads=8 \
+  --json="$build/serve_smoke_t8.json" --timing=false > /dev/null
+cmp "$build/serve_smoke_t1.json" "$build/serve_smoke_t8.json"
+echo "byte-identical at 1 and 8 threads"
+
+echo "== serve kill-and-resume: SIGKILL mid-sweep, resume, byte-diff =="
+serve_ck_dir="$build/ckpt_serve"
+rm -rf "$serve_ck_dir"
+"$build/bench/bench_serve" --smoke --timing=false \
+  --checkpoint-dir="$serve_ck_dir" --checkpoint-every=200 \
+  --json="$build/serve_killed.json" > /dev/null 2>&1 &
+victim=$!
+sleep 0.1
+kill -9 "$victim" 2> /dev/null || true
+wait "$victim" 2> /dev/null || true
+for f in "$serve_ck_dir"/job_*.state.ckpt; do
+  [ -e "$f" ] || continue
+  "$build/bench/ckpt_verify" --state="$f" --stride=500
+done
+"$build/bench/bench_serve" --smoke --timing=false \
+  --resume="$serve_ck_dir" --checkpoint-every=200 \
+  --json="$build/serve_resumed.json" > /dev/null
+cmp "$build/serve_smoke_t1.json" "$build/serve_resumed.json"
+echo "resumed serving document byte-identical to the uninterrupted run"
+
 echo "== perf suite: bench_perf --smoke + schema checks =="
 perf_json="$build/BENCH_perf.json"
 "$build/bench/bench_perf" --smoke --json="$perf_json" \
@@ -162,11 +203,11 @@ san_build="$repo/build-asan"
 cmake -B "$san_build" -S "$repo" -DOSMOSIS_SANITIZE=ON
 cmake --build "$san_build" -j "$(nproc)" \
   --target failures_test faults_test arq_test fec_test ckpt_test \
-           chaos_test bench_chaos chaos_repro schema_check
+           chaos_test api_test bench_chaos chaos_repro schema_check
 
-echo "== sanitizer run: failure, fault-injection & checkpoint tests =="
+echo "== sanitizer run: failure, fault-injection, checkpoint & api tests =="
 for t in failures_test faults_test arq_test fec_test ckpt_test \
-         chaos_test; do
+         chaos_test api_test; do
   echo "-- $t"
   "$san_build/tests/$t" --gtest_brief=1
 done

@@ -1,0 +1,40 @@
+#include "src/api/completion.hpp"
+
+#include "src/util/log.hpp"
+
+namespace osmosis::api {
+
+const char* to_string(CompletionKind k) {
+  switch (k) {
+    case CompletionKind::kSend: return "send";
+    case CompletionKind::kRecv: return "recv";
+    case CompletionKind::kRmaWrite: return "rma_write";
+    case CompletionKind::kRmaRead: return "rma_read";
+  }
+  return "?";
+}
+
+CompletionQueue::CompletionQueue(std::size_t capacity) : capacity_(capacity) {
+  OSMOSIS_REQUIRE(capacity >= 1, "completion queue capacity must be >= 1");
+}
+
+bool CompletionQueue::push(const Completion& c) {
+  if (entries_.size() >= capacity_) {
+    ++overruns_;
+    return false;
+  }
+  entries_.push_back(c);
+  ++pushed_;
+  if (entries_.size() > peak_depth_) peak_depth_ = entries_.size();
+  return true;
+}
+
+bool CompletionQueue::pop(Completion& out) {
+  if (entries_.empty()) return false;
+  out = entries_.front();
+  entries_.pop_front();
+  ++popped_;
+  return true;
+}
+
+}  // namespace osmosis::api

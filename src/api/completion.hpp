@@ -1,0 +1,102 @@
+#pragma once
+// Completion queues for the libfabric-flavored serving front-end
+// (DESIGN.md §14). Every data-transfer operation posted through an
+// api::Endpoint finishes by depositing a slot-stamped Completion into a
+// bounded CompletionQueue; a full queue drops the entry and counts an
+// overrun (the libfabric FI_ECANCELED-on-overrun model) — statistics are
+// recorded out-of-band by ServeSim, so an overrun loses the caller's
+// notification, never the accounting. Deterministic and checkpointable
+// via io_state.
+
+#include <cstdint>
+#include <deque>
+
+#include "src/ckpt/archive.hpp"
+
+namespace osmosis::api {
+
+enum class CompletionKind : std::uint8_t {
+  kSend = 0,      // tagged two-sided send, tx side
+  kRecv = 1,      // tagged two-sided receive matched, rx side
+  kRmaWrite = 2,  // one-sided write settled at the target
+  kRmaRead = 3,   // one-sided read data arrived back at the initiator
+};
+
+const char* to_string(CompletionKind k);
+
+enum class CompletionStatus : std::uint8_t {
+  kOk = 0,
+  kRmaError = 1,  // unknown MR key or out-of-bounds access at the target
+};
+
+/// One completion-queue entry.
+struct Completion {
+  std::uint64_t op_id = 0;  // operation that finished (0 = never valid)
+  CompletionKind kind = CompletionKind::kSend;
+  CompletionStatus status = CompletionStatus::kOk;
+  int peer = -1;              // remote port
+  std::uint64_t tag = 0;      // message tag (two-sided) or MR key (RMA)
+  double bytes = 0.0;         // application payload
+  std::uint64_t slot = 0;     // cell slot the completion was generated
+  std::uint64_t context = 0;  // caller's opaque cookie
+
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, op_id);
+    ckpt::field(a, kind);
+    ckpt::field(a, status);
+    ckpt::field(a, peer);
+    ckpt::field(a, tag);
+    ckpt::field(a, bytes);
+    ckpt::field(a, slot);
+    ckpt::field(a, context);
+  }
+};
+
+/// Bounded FIFO completion queue with overrun accounting.
+class CompletionQueue {
+ public:
+  CompletionQueue() = default;
+  explicit CompletionQueue(std::size_t capacity);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t depth() const { return entries_.size(); }
+
+  /// Deposits an entry. Returns false (and counts an overrun) when the
+  /// queue is at capacity; the entry is dropped, FIFO order preserved.
+  bool push(const Completion& c);
+
+  /// Pops the oldest entry. Returns false when empty.
+  bool pop(Completion& out);
+
+  std::uint64_t pushed() const { return pushed_; }
+  std::uint64_t popped() const { return popped_; }
+  std::uint64_t overruns() const { return overruns_; }
+  std::size_t peak_depth() const { return peak_depth_; }
+
+  /// Capacity is construction config: re-checked on load, never grafted.
+  template <class Ar>
+  void io_state(Ar& a) {
+    std::uint64_t cap = capacity_;
+    ckpt::field(a, cap);
+    if constexpr (Ar::kLoading) {
+      if (cap != capacity_)
+        throw ckpt::Error("CompletionQueue capacity mismatch in checkpoint");
+    }
+    ckpt::field(a, entries_);
+    ckpt::field(a, pushed_);
+    ckpt::field(a, popped_);
+    ckpt::field(a, overruns_);
+    ckpt::field(a, peak_depth_);
+  }
+
+ private:
+  std::size_t capacity_ = 0;
+  std::deque<Completion> entries_;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t popped_ = 0;
+  std::uint64_t overruns_ = 0;
+  std::size_t peak_depth_ = 0;
+};
+
+}  // namespace osmosis::api

@@ -1,0 +1,33 @@
+#include "src/api/endpoint.hpp"
+
+namespace osmosis::api {
+
+bool Endpoint::post_recv(const TaggedRecv& r, InboundMsg* matched_out) {
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (matches(r, it->tag)) {
+      if (matched_out) *matched_out = *it;
+      unexpected_.erase(it);
+      ++unexpected_matches_;
+      return true;
+    }
+  }
+  recvs_.push_back(r);
+  return false;
+}
+
+bool Endpoint::on_message(const InboundMsg& m, TaggedRecv* matched_out) {
+  for (auto it = recvs_.begin(); it != recvs_.end(); ++it) {
+    if (matches(*it, m.tag)) {
+      if (matched_out) *matched_out = *it;
+      recvs_.erase(it);
+      ++recv_matches_;
+      return true;
+    }
+  }
+  unexpected_.push_back(m);
+  if (unexpected_.size() > unexpected_peak_)
+    unexpected_peak_ = unexpected_.size();
+  return false;
+}
+
+}  // namespace osmosis::api

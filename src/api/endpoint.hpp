@@ -1,0 +1,104 @@
+#pragma once
+// Endpoints and tagged two-sided matching (DESIGN.md §14). An Endpoint
+// binds to one HCA port and owns the port's receive side: the list of
+// posted tagged receives (matched in post order — FIFO, first match
+// wins) and the unexpected-message queue (messages that arrived before a
+// matching receive was posted, kept in arrival order). Matching follows
+// the libfabric tagged model: a receive posted with (tag, ignore_mask)
+// matches a message whose tag agrees on every bit NOT set in the mask —
+// ignore_mask == 0 is an exact match, ignore_mask == ~0 a wildcard.
+//
+// Deterministic by construction: both queues are FIFOs scanned in order,
+// so the same sequence of posts and arrivals yields the same matches on
+// every run, at any campaign thread count, and across checkpoint/resume.
+
+#include <cstdint>
+#include <deque>
+
+#include "src/ckpt/archive.hpp"
+
+namespace osmosis::api {
+
+/// One posted tagged receive.
+struct TaggedRecv {
+  std::uint64_t tag = 0;
+  std::uint64_t ignore_mask = 0;  // bits of the tag to disregard
+  std::uint64_t context = 0;      // caller cookie, echoed in the completion
+
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, tag);
+    ckpt::field(a, ignore_mask);
+    ckpt::field(a, context);
+  }
+};
+
+/// A fully reassembled message waiting (or failing to wait) for a recv.
+struct InboundMsg {
+  std::uint64_t op_id = 0;  // sender's operation id
+  int src = -1;             // sending port
+  std::uint64_t tag = 0;
+  double bytes = 0.0;
+  std::uint64_t arrival_slot = 0;  // last cell's delivery slot
+
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, op_id);
+    ckpt::field(a, src);
+    ckpt::field(a, tag);
+    ckpt::field(a, bytes);
+    ckpt::field(a, arrival_slot);
+  }
+};
+
+class Endpoint {
+ public:
+  Endpoint() = default;
+  explicit Endpoint(int port) : port_(port) {}
+
+  int port() const { return port_; }
+
+  /// The tagged-matching predicate: tags agree on every bit outside the
+  /// receive's ignore mask.
+  static bool matches(const TaggedRecv& r, std::uint64_t msg_tag) {
+    return ((r.tag ^ msg_tag) & ~r.ignore_mask) == 0;
+  }
+
+  /// Posts a receive. If an unexpected message already matches, the
+  /// oldest such message is consumed into `matched_out` and the receive
+  /// completes immediately (returns true); otherwise the receive joins
+  /// the posted list (returns false).
+  bool post_recv(const TaggedRecv& r, InboundMsg* matched_out);
+
+  /// A reassembled message arrived. If a posted receive matches, the
+  /// first-posted such receive is consumed into `matched_out` (returns
+  /// true); otherwise the message joins the unexpected queue (returns
+  /// false).
+  bool on_message(const InboundMsg& m, TaggedRecv* matched_out);
+
+  std::size_t posted_recvs() const { return recvs_.size(); }
+  std::size_t unexpected_depth() const { return unexpected_.size(); }
+  std::size_t unexpected_peak() const { return unexpected_peak_; }
+  std::uint64_t recv_matches() const { return recv_matches_; }
+  std::uint64_t unexpected_matches() const { return unexpected_matches_; }
+
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, port_);
+    ckpt::field(a, recvs_);
+    ckpt::field(a, unexpected_);
+    ckpt::field(a, recv_matches_);
+    ckpt::field(a, unexpected_matches_);
+    ckpt::field(a, unexpected_peak_);
+  }
+
+ private:
+  int port_ = -1;
+  std::deque<TaggedRecv> recvs_;      // post order
+  std::deque<InboundMsg> unexpected_; // arrival order
+  std::uint64_t recv_matches_ = 0;        // matched against a posted recv
+  std::uint64_t unexpected_matches_ = 0;  // matched out of the unexpected q
+  std::size_t unexpected_peak_ = 0;
+};
+
+}  // namespace osmosis::api

@@ -1,0 +1,58 @@
+#include "src/api/memory.hpp"
+
+#include "src/util/log.hpp"
+
+namespace osmosis::api {
+
+std::uint64_t MemoryRegistry::register_region(int port,
+                                              std::uint64_t length) {
+  OSMOSIS_REQUIRE(port >= 0, "memory region needs an owning port");
+  OSMOSIS_REQUIRE(length >= 1, "memory region must be at least one byte");
+  MemoryRegion r;
+  r.key = next_key_++;
+  r.port = port;
+  r.length = length;
+  regions_.emplace(r.key, r);
+  return r.key;
+}
+
+bool MemoryRegistry::deregister(std::uint64_t key) {
+  return regions_.erase(key) > 0;
+}
+
+const MemoryRegion* MemoryRegistry::find(std::uint64_t key) const {
+  auto it = regions_.find(key);
+  return it == regions_.end() ? nullptr : &it->second;
+}
+
+RmaVerdict MemoryRegistry::check(std::uint64_t key, int target_port,
+                                 std::uint64_t offset, double bytes) {
+  auto it = regions_.find(key);
+  if (it == regions_.end() || it->second.port != target_port) {
+    ++bad_key_;
+    return RmaVerdict::kBadKey;
+  }
+  if (bytes < 0.0 ||
+      static_cast<double>(offset) + bytes >
+          static_cast<double>(it->second.length)) {
+    ++bad_bounds_;
+    return RmaVerdict::kBadBounds;
+  }
+  return RmaVerdict::kOk;
+}
+
+void MemoryRegistry::note_write(std::uint64_t key, double bytes) {
+  auto it = regions_.find(key);
+  OSMOSIS_REQUIRE(it != regions_.end(), "note_write on unknown MR key");
+  ++it->second.writes;
+  it->second.bytes_written += bytes;
+}
+
+void MemoryRegistry::note_read(std::uint64_t key, double bytes) {
+  auto it = regions_.find(key);
+  OSMOSIS_REQUIRE(it != regions_.end(), "note_read on unknown MR key");
+  ++it->second.reads;
+  it->second.bytes_read += bytes;
+}
+
+}  // namespace osmosis::api

@@ -1,0 +1,87 @@
+#pragma once
+// Memory-region registry for one-sided RMA (DESIGN.md §14). A region is
+// registered against an owning port and a byte length; the registry hands
+// out deterministic keys (a simple counter — remote peers name regions by
+// key, the libfabric rkey model). Every one-sided access is validated at
+// the target against key existence, ownership, and bounds; violations
+// complete the initiating operation with CompletionStatus::kRmaError and
+// are tallied here.
+
+#include <cstdint>
+#include <map>
+
+#include "src/ckpt/archive.hpp"
+
+namespace osmosis::api {
+
+/// One registered region.
+struct MemoryRegion {
+  std::uint64_t key = 0;
+  int port = -1;            // owning endpoint's port
+  std::uint64_t length = 0; // bytes
+  // Access statistics (settled operations only).
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  double bytes_written = 0.0;
+  double bytes_read = 0.0;
+
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, key);
+    ckpt::field(a, port);
+    ckpt::field(a, length);
+    ckpt::field(a, writes);
+    ckpt::field(a, reads);
+    ckpt::field(a, bytes_written);
+    ckpt::field(a, bytes_read);
+  }
+};
+
+enum class RmaVerdict : std::uint8_t {
+  kOk = 0,
+  kBadKey = 1,     // unknown or deregistered key, or wrong target port
+  kBadBounds = 2,  // offset + bytes exceeds the region
+};
+
+class MemoryRegistry {
+ public:
+  /// Registers `length` bytes owned by `port`; returns the region key
+  /// (keys start at 1 and never recycle, so a stale key is always
+  /// detected as kBadKey rather than aliasing a new region).
+  std::uint64_t register_region(int port, std::uint64_t length);
+
+  /// Deregisters a key. Returns false if unknown.
+  bool deregister(std::uint64_t key);
+
+  /// Region lookup; nullptr when unknown.
+  const MemoryRegion* find(std::uint64_t key) const;
+
+  /// Validates an access of `bytes` at `offset` into region `key`, which
+  /// must be owned by `target_port`. Tallies violations.
+  RmaVerdict check(std::uint64_t key, int target_port, std::uint64_t offset,
+                   double bytes);
+
+  /// Access accounting after a settled operation (key must be valid).
+  void note_write(std::uint64_t key, double bytes);
+  void note_read(std::uint64_t key, double bytes);
+
+  std::size_t size() const { return regions_.size(); }
+  std::uint64_t bad_key() const { return bad_key_; }
+  std::uint64_t bad_bounds() const { return bad_bounds_; }
+
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, next_key_);
+    ckpt::field(a, regions_);
+    ckpt::field(a, bad_key_);
+    ckpt::field(a, bad_bounds_);
+  }
+
+ private:
+  std::uint64_t next_key_ = 1;
+  std::map<std::uint64_t, MemoryRegion> regions_;
+  std::uint64_t bad_key_ = 0;
+  std::uint64_t bad_bounds_ = 0;
+};
+
+}  // namespace osmosis::api

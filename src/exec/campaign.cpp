@@ -12,6 +12,7 @@ const char* to_string(SimKind kind) {
     case SimKind::kSwitch: return "switch";
     case SimKind::kEventSwitch: return "event_switch";
     case SimKind::kFabric: return "fabric";
+    case SimKind::kServe: return "serve";
   }
   return "?";
 }
@@ -122,14 +123,26 @@ std::string JobSpec::label() const {
                 to_string(sim), to_string(scheduler), iterations,
                 to_string(policy), ports, receivers, to_string(traffic),
                 load, to_string(fault), repetition);
-  return buf;
+  if (sim != SimKind::kServe) return buf;
+  // Serving axes ride as a suffix so every legacy label stays
+  // byte-identical across documents produced before and after serving.
+  char sbuf[64];
+  std::snprintf(sbuf, sizeof sbuf, "/C%lld/%s/T%d",
+                static_cast<long long>(clients), to_string(arrival), tenants);
+  return std::string(buf) + sbuf;
 }
 
 std::size_t CampaignSpec::job_count() const {
-  return sims.size() * schedulers.size() * iterations.size() *
-         policies.size() * ports.size() * receivers.size() * traffics.size() *
-         loads.size() * faults.size() *
-         static_cast<std::size_t>(repetitions);
+  const std::size_t per_sim =
+      schedulers.size() * iterations.size() * policies.size() * ports.size() *
+      receivers.size() * traffics.size() * loads.size() * faults.size() *
+      static_cast<std::size_t>(repetitions);
+  std::size_t total = 0;
+  for (SimKind sim : sims)
+    total += per_sim * (sim == SimKind::kServe
+                            ? clients.size() * arrivals.size()
+                            : std::size_t{1});
+  return total;
 }
 
 std::vector<JobSpec> CampaignSpec::expand() const {
@@ -146,6 +159,19 @@ std::vector<JobSpec> CampaignSpec::expand() const {
             for (int rx : receivers)
               for (TrafficKind traffic : traffics)
                 for (double load : loads)
+                  // The serving axes expand only for serve jobs; every
+                  // other sim kind takes a single pass with clients = 0,
+                  // so legacy grids keep their exact job order and seeds.
+                  for (std::size_t ci = 0,
+                                   ce = sim == SimKind::kServe
+                                            ? clients.size()
+                                            : std::size_t{1};
+                       ci < ce; ++ci)
+                  for (std::size_t ai = 0,
+                                   ae = sim == SimKind::kServe
+                                            ? arrivals.size()
+                                            : std::size_t{1};
+                       ai < ae; ++ai)
                   for (FaultScenario fault : faults)
                     for (int rep = 0; rep < repetitions; ++rep) {
                       JobSpec j;
@@ -164,6 +190,21 @@ std::vector<JobSpec> CampaignSpec::expand() const {
                       j.seed = derive_job_seed(campaign_seed, j.index);
                       j.warmup_slots = warmup_slots;
                       j.measure_slots = measure_slots;
+                      if (sim == SimKind::kServe) {
+                        j.clients = clients[ci];
+                        j.arrival = arrivals[ai];
+                        j.tenants = tenants;
+                        OSMOSIS_REQUIRE(j.clients >= 1,
+                                        "serve jobs need clients >= 1, got "
+                                            << j.clients);
+                        OSMOSIS_REQUIRE(
+                            j.tenants >= 1 && j.tenants <= 64,
+                            "serve jobs need 1..64 tenants, got "
+                                << j.tenants);
+                        OSMOSIS_REQUIRE(n >= 2,
+                                        "serve jobs need >= 2 ports, got "
+                                            << n);
+                      }
                       if (sim == SimKind::kFabric) {
                         OSMOSIS_REQUIRE(
                             sched == sw::SchedulerKind::kIslip ||

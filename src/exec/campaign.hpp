@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/api/openloop.hpp"
 #include "src/faults/fault_plan.hpp"
 #include "src/sw/scheduler.hpp"
 
@@ -26,6 +27,7 @@ enum class SimKind : std::uint8_t {
   kSwitch,       // sw::SwitchSim — slot-accurate single-stage switch
   kEventSwitch,  // sw::EventSwitchSim — event-driven, ns time base
   kFabric,       // fabric::FabricSim — two-stage leaf/spine fabric
+  kServe,        // api::ServeSim — open-loop serving over the switch
 };
 const char* to_string(SimKind kind);
 
@@ -76,9 +78,15 @@ struct JobSpec {
   std::uint64_t seed = 0;  // derived; see derive_job_seed
   std::uint64_t warmup_slots = 2'000;
   std::uint64_t measure_slots = 20'000;
+  // Serving axes (kServe only; zero/default on every other sim kind so
+  // legacy jobs keep their exact labels and checkpoint bytes).
+  std::int64_t clients = 0;
+  api::ArrivalKind arrival = api::ArrivalKind::kPoisson;
+  int tenants = 4;
 
   /// Stable human/machine identifier carrying every axis value, e.g.
   /// "switch/flppr/K0/earliest/N64/R2/uniform/load0.700/none/rep0".
+  /// Serve jobs append "/C<clients>/<arrival>/T<tenants>".
   /// campaign_compare matches jobs across documents by this label.
   std::string label() const;
 
@@ -101,6 +109,9 @@ struct JobSpec {
     ckpt::field(a, seed);
     ckpt::field(a, warmup_slots);
     ckpt::field(a, measure_slots);
+    ckpt::field(a, clients);
+    ckpt::field(a, arrival);
+    ckpt::field(a, tenants);
   }
 };
 
@@ -123,6 +134,12 @@ struct CampaignSpec {
   std::vector<TrafficKind> traffics = {TrafficKind::kUniform};
   double mean_burst = 16.0;
   std::vector<double> loads = {0.5};
+  // Serving axes, iterated only for SimKind::kServe entries (other sim
+  // kinds take one pass with clients = 0, so a mixed grid never
+  // duplicates legacy jobs).
+  std::vector<std::int64_t> clients = {4096};
+  std::vector<api::ArrivalKind> arrivals = {api::ArrivalKind::kPoisson};
+  int tenants = 4;
   std::vector<FaultScenario> faults = {FaultScenario::kNone};
   int repetitions = 1;
   std::uint64_t campaign_seed = 0xCA3B'A167ULL;

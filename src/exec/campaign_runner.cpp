@@ -8,6 +8,7 @@
 #include <sstream>
 #include <thread>
 
+#include "src/api/serve_sim.hpp"
 #include "src/exec/thread_pool.hpp"
 #include "src/fabric/fabric_sim.hpp"
 #include "src/prof/profiler.hpp"
@@ -224,6 +225,85 @@ JobResult FabricJobDriver::finalize() {
   return out;
 }
 
+class ServeJobDriver final : public JobDriver {
+ public:
+  explicit ServeJobDriver(const JobSpec& j)
+      : faulty_(j.fault != FaultScenario::kNone) {
+    api::ServeSimConfig cfg;
+    cfg.sw.ports = j.ports;
+    cfg.sw.sched.kind = j.scheduler;
+    cfg.sw.sched.receivers = j.receivers;
+    cfg.sw.sched.iterations = j.iterations;
+    cfg.sw.sched.flppr_policy = j.policy;
+    cfg.sw.warmup_slots = j.warmup_slots;
+    cfg.sw.measure_slots = j.measure_slots;
+    cfg.sw.telemetry.enabled = true;
+    cfg.sw.telemetry.sample_every = 4;
+    if (faulty_) {
+      cfg.sw.fault_plan =
+          make_fault_plan(j.fault, j.warmup_slots, j.measure_slots);
+      cfg.sw.fault_plan.seeded(j.seed ^ 0x0FA7'17ULL);
+    }
+    cfg.sw.drain_max_slots = 50'000;
+    cfg.seed = j.seed;
+    cfg.openloop.clients = j.clients;
+    cfg.openloop.tenants = j.tenants;
+    cfg.openloop.arrival = j.arrival;
+    cfg.openloop.load = j.load;
+    cfg.admission.enabled = true;
+    sim_ = std::make_unique<api::ServeSim>(std::move(cfg));
+  }
+
+  bool advance() override { return sim_->advance_slot(); }
+  void save(ckpt::Writer& w) const override { sim_->save_state(w); }
+  void load(const ckpt::Reader& r) override { sim_->load_state(r); }
+  JobResult finalize() override;
+
+ private:
+  bool faulty_;
+  std::unique_ptr<api::ServeSim> sim_;
+};
+
+JobResult ServeJobDriver::finalize() {
+  const auto r = sim_->finalize();
+  auto& sim = *sim_;
+
+  JobResult out;
+  out.metrics["throughput"] = r.cell_level.throughput;
+  out.metrics["delivered_cells"] =
+      static_cast<double>(r.cell_level.delivered);
+  out.metrics["mean_delay"] = r.cell_level.mean_delay;
+  out.metrics["p99_delay"] = r.cell_level.p99_delay;
+  out.metrics["mean_grant_latency"] = r.cell_level.mean_grant_latency;
+  out.metrics["exactly_once_in_order"] =
+      r.cell_level.exactly_once_in_order ? 1.0 : 0.0;
+  out.metrics["offered"] = static_cast<double>(r.offered);
+  out.metrics["accepted"] = static_cast<double>(r.accepted);
+  out.metrics["shed"] = static_cast<double>(r.shed);
+  out.metrics["delivered"] = static_cast<double>(r.delivered);
+  out.metrics["sends"] = static_cast<double>(r.sends);
+  out.metrics["rma_writes"] = static_cast<double>(r.rma_writes);
+  out.metrics["rma_reads"] = static_cast<double>(r.rma_reads);
+  out.metrics["rma_errors"] = static_cast<double>(r.rma_errors);
+  out.metrics["cq_overruns"] = static_cast<double>(r.cq_overruns);
+  out.metrics["mean_latency"] = r.mean_latency;
+  out.metrics["p50_latency"] = r.p50_latency;
+  out.metrics["p99_latency"] = r.p99_latency;
+  out.metrics["p999_latency"] = r.p999_latency;
+  if (faulty_) {
+    out.metrics["faults_injected"] =
+        static_cast<double>(r.cell_level.faults_injected);
+    out.metrics["faults_recovered"] =
+        static_cast<double>(r.cell_level.faults_recovered);
+  }
+  out.report = sim.report();
+  out.raw_hists.emplace("delay", sim.switch_sim().delay_histogram());
+  out.raw_hists.emplace("grant_latency",
+                        sim.switch_sim().grant_latency_histogram());
+  out.raw_hists.emplace("serving_latency", sim.latency_histogram());
+  return out;
+}
+
 // Serialized-spec equality: two JobSpecs match iff every axis value
 // matches, byte for byte.
 std::string spec_bytes(const JobSpec& spec) {
@@ -282,6 +362,7 @@ std::unique_ptr<JobDriver> make_job_driver(const JobSpec& spec) {
     case SimKind::kEventSwitch:
       return std::make_unique<EventSwitchJobDriver>(spec);
     case SimKind::kFabric: return std::make_unique<FabricJobDriver>(spec);
+    case SimKind::kServe: return std::make_unique<ServeJobDriver>(spec);
   }
   OSMOSIS_REQUIRE(false, "unknown SimKind");
   return nullptr;
@@ -481,6 +562,16 @@ std::string CampaignResult::to_json(int indent, bool include_timing) const {
     w.string(to_string(j.spec.traffic));
     w.key("load");
     w.number(j.spec.load);
+    // Serving axes appear only on serve jobs, so documents from legacy
+    // grids keep their exact bytes.
+    if (j.spec.sim == SimKind::kServe) {
+      w.key("clients");
+      w.number(static_cast<double>(j.spec.clients));
+      w.key("arrival");
+      w.string(to_string(j.spec.arrival));
+      w.key("tenants");
+      w.number(j.spec.tenants);
+    }
     w.key("fault");
     w.string(to_string(j.spec.fault));
     w.key("rep");

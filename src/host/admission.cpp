@@ -24,6 +24,12 @@ void AdmissionControl::set_capacity(int live, int total) {
   total_ = total;
 }
 
+void AdmissionControl::set_rate(std::int64_t microcells_per_slot) {
+  OSMOSIS_REQUIRE(microcells_per_slot >= 0,
+                  "admission rate must be non-negative");
+  rate_ = microcells_per_slot;
+}
+
 void AdmissionControl::begin_slot() {
   if (!cfg_.enabled) return;
   const std::int64_t cap =
@@ -34,10 +40,13 @@ void AdmissionControl::begin_slot() {
     std::fill(tokens_.begin(), tokens_.end(), cap);
     return;
   }
-  // Fair share under degraded capacity: live/total of line rate, scaled
-  // by the admission margin. Integer micro-cells keep this exact.
-  const std::int64_t refill = kCellCost * live_ * cfg_.margin_pct /
-                              (static_cast<std::int64_t>(total_) * 100);
+  // Explicit serving rate when set; otherwise fair share under degraded
+  // capacity: live/total of line rate, scaled by the admission margin.
+  // Integer micro-cells keep this exact.
+  const std::int64_t refill =
+      rate_ > 0 ? rate_
+                : kCellCost * live_ * cfg_.margin_pct /
+                      (static_cast<std::int64_t>(total_) * 100);
   for (auto& t : tokens_) t = std::min(cap, t + refill);
 }
 
@@ -46,6 +55,20 @@ bool AdmissionControl::admit(int src) {
   auto& t = tokens_[static_cast<std::size_t>(src)];
   if (t >= kCellCost) {
     t -= kCellCost;
+    return true;
+  }
+  ++shed_[static_cast<std::size_t>(src)];
+  ++shed_total_;
+  return false;
+}
+
+bool AdmissionControl::admit_request(int src, int cells) {
+  OSMOSIS_REQUIRE(cells >= 1, "request must occupy at least one cell");
+  if (!engaged()) return true;
+  auto& t = tokens_[static_cast<std::size_t>(src)];
+  const std::int64_t cost = static_cast<std::int64_t>(cells) * kCellCost;
+  if (t >= cost) {
+    t -= cost;
     return true;
   }
   ++shed_[static_cast<std::size_t>(src)];

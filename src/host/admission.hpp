@@ -43,11 +43,28 @@ class AdmissionControl {
   /// burst depth and admit() short-circuits true).
   void set_capacity(int live, int total);
 
+  /// Serving-layer explicit-rate mode (DESIGN.md §14): every source
+  /// refills at this fixed micro-cell rate per slot, independent of
+  /// reported path health, and the buckets stay engaged even at full
+  /// capacity — an open-loop client population can offer more than line
+  /// rate to a perfectly healthy fabric, and the excess must still be
+  /// shed at the source. 0 (default) keeps the degraded-capacity refill
+  /// formula. kCellCost micro-cells == one cell per slot.
+  void set_rate(std::int64_t microcells_per_slot);
+  std::int64_t rate() const { return rate_; }
+
   /// Per-slot token refill. Call once per slot before admit() rolls.
   void begin_slot();
 
   /// One arriving cell at `src`: true = admit, false = shed.
   bool admit(int src);
+
+  /// All-or-nothing admission of a whole `cells`-cell request at `src`
+  /// (the serving layer's unit of work: a message is either accepted in
+  /// full or shed in full, never truncated mid-segmentation). Sheds are
+  /// counted per request, matching the per-cell admit() convention of
+  /// one shed event per rejected unit.
+  bool admit_request(int src, int cells);
 
   std::uint64_t shed_total() const { return shed_total_; }
   std::uint64_t shed_at(int src) const {
@@ -61,6 +78,7 @@ class AdmissionControl {
   void io_state(Ar& a) {
     ckpt::field(a, live_);
     ckpt::field(a, total_);
+    ckpt::field(a, rate_);
     ckpt::field(a, tokens_);
     ckpt::field(a, shed_);
     ckpt::field(a, shed_total_);
@@ -70,14 +88,17 @@ class AdmissionControl {
     }
   }
 
- private:
-  bool engaged() const { return cfg_.enabled && live_ < total_; }
-
   static constexpr std::int64_t kCellCost = 1'000'000;
+
+ private:
+  bool engaged() const {
+    return cfg_.enabled && (rate_ > 0 || live_ < total_);
+  }
 
   AdmissionConfig cfg_;
   int live_ = 0;
   int total_ = 0;
+  std::int64_t rate_ = 0;  // explicit refill (micro-cells/slot); 0 = health
   std::vector<std::int64_t> tokens_;  // micro-cells, per source
   std::vector<std::uint64_t> shed_;   // per source
   std::uint64_t shed_total_ = 0;

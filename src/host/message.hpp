@@ -12,6 +12,8 @@
 #include <map>
 #include <vector>
 
+#include "src/ckpt/archive.hpp"
+
 namespace osmosis::host {
 
 /// One application message.
@@ -22,6 +24,16 @@ struct Message {
   double bytes = 0.0;         // application payload
   std::uint64_t post_slot = 0;  // slot the application posted the send
   bool control = false;       // short latency-critical class
+
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, src);
+    ckpt::field(a, dst);
+    ckpt::field(a, id);
+    ckpt::field(a, bytes);
+    ckpt::field(a, post_slot);
+    ckpt::field(a, control);
+  }
 };
 
 /// Per-host segmentation engine: splits posted messages into cells (one
@@ -51,10 +63,25 @@ class Segmenter {
     return control_q_.size() + data_q_.size();
   }
 
+  /// In-flight segmentation state (queued messages + cells-left
+  /// cursors); `user_bytes_per_cell_` is construction config and is not
+  /// serialized — the owner rebuilds from the same config before load.
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, control_q_);
+    ckpt::field(a, data_q_);
+  }
+
  private:
   struct InProgress {
     Message msg;
     int cells_left = 0;
+
+    template <class Ar>
+    void io_state(Ar& a) {
+      ckpt::field(a, msg);
+      ckpt::field(a, cells_left);
+    }
   };
 
   double user_bytes_per_cell_;
@@ -75,6 +102,11 @@ class Reassembler {
   bool receive(std::uint64_t msg_id);
 
   std::size_t incomplete() const { return pending_.size(); }
+
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, pending_);
+  }
 
  private:
   std::map<std::uint64_t, int> pending_;  // id -> cells still missing

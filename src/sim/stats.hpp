@@ -67,6 +67,8 @@ class Histogram {
   double quantile(double q) const;
   double p50() const { return quantile(0.50); }
   double p99() const { return quantile(0.99); }
+  double p999() const { return quantile(0.999); }
+  double p9999() const { return quantile(0.9999); }
 
   /// Accumulates another histogram of the *same bin shape* (equal
   /// linear_limit and growth; enforced). Bins add element-wise and the

@@ -15,6 +15,8 @@ HistogramSummary HistogramSummary::of(const sim::Histogram& h) {
   s.min = h.min();
   s.p50 = h.p50();
   s.p99 = h.p99();
+  s.p999 = h.p999();
+  if (h.count() >= kP9999MinCount) s.p9999 = h.p9999();
   s.max = h.max();
   return s;
 }
@@ -31,6 +33,15 @@ void write_histogram_summary(JsonWriter& w, const HistogramSummary& h) {
   w.number(h.p50);
   w.key("p99");
   w.number(h.p99);
+  w.key("p999");
+  w.number(h.p999);
+  // p9999 is only trustworthy with enough mass behind it; emitting it
+  // conditionally keeps small-run documents free of a column that would
+  // always equal max.
+  if (h.has_p9999()) {
+    w.key("p9999");
+    w.number(h.p9999);
+  }
   w.key("max");
   w.number(h.max);
   w.close('}');
@@ -43,6 +54,9 @@ HistogramSummary parse_histogram_summary(const JsonValue& h) {
   s.min = h.at("min").number;
   s.p50 = h.at("p50").number;
   s.p99 = h.at("p99").number;
+  // Tolerate pre-p999 documents (older baselines): missing keys read 0.
+  if (h.has("p999")) s.p999 = h.at("p999").number;
+  if (h.has("p9999")) s.p9999 = h.at("p9999").number;
   s.max = h.at("max").number;
   return s;
 }
@@ -113,6 +127,42 @@ std::string RunReport::to_json(int indent) const {
       w.key(k);
       w.number(v);
     }
+    w.close('}');
+  }
+
+  if (!serving.empty()) {
+    w.key("serving");
+    w.open('{');
+    w.key("arrival");
+    w.string(serving.arrival);
+    w.key("summary");
+    w.open('{');
+    for (const auto& [k, v] : serving.summary) {
+      w.key(k);
+      w.number(v);
+    }
+    w.close('}');
+    w.key("latency");
+    write_histogram_summary(w, serving.latency);
+    w.key("tenants");
+    w.open('[');
+    for (const auto& t : serving.tenants) {
+      w.open('{');
+      w.key("tenant");
+      w.number(static_cast<double>(t.tenant));
+      w.key("offered");
+      w.number(static_cast<double>(t.offered));
+      w.key("accepted");
+      w.number(static_cast<double>(t.accepted));
+      w.key("delivered");
+      w.number(static_cast<double>(t.delivered));
+      w.key("shed");
+      w.number(static_cast<double>(t.shed));
+      w.key("latency");
+      write_histogram_summary(w, t.latency);
+      w.close('}');
+    }
+    w.close(']');
     w.close('}');
   }
 
@@ -205,6 +255,23 @@ RunReport RunReport::from_json(const std::string& text) {
   if (doc.has("availability"))
     for (const auto& [name, v] : doc.at("availability").object)
       r.availability.emplace(name, v.number);
+  if (doc.has("serving")) {
+    const JsonValue& sv = doc.at("serving");
+    r.serving.arrival = sv.at("arrival").str;
+    for (const auto& [k, v] : sv.at("summary").object)
+      r.serving.summary.emplace(k, v.number);
+    r.serving.latency = parse_histogram_summary(sv.at("latency"));
+    for (const auto& t : sv.at("tenants").array) {
+      ServingTenantRow row;
+      row.tenant = static_cast<int>(t.at("tenant").number);
+      row.offered = static_cast<std::uint64_t>(t.at("offered").number);
+      row.accepted = static_cast<std::uint64_t>(t.at("accepted").number);
+      row.delivered = static_cast<std::uint64_t>(t.at("delivered").number);
+      row.shed = static_cast<std::uint64_t>(t.at("shed").number);
+      row.latency = parse_histogram_summary(t.at("latency"));
+      r.serving.tenants.push_back(row);
+    }
+  }
   if (doc.has("invariants")) {
     for (const auto& [name, v] : doc.at("invariants").object) {
       if (name == "violation_log") {

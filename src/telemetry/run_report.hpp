@@ -19,6 +19,10 @@
 //     "counters": { "<subsystem.port.metric>": <number>, ... },
 //     "histograms": { "<name>": {"count","mean","min","p50","p99","max"} },
 //     ["availability": { "<metric>": <number>, ... },]
+//     ["serving": { "arrival": "<process>", "summary": {...},
+//                   "latency": {<histogram summary>},
+//                   "tenants": [ {"tenant","offered","accepted",
+//                                 "delivered","shed","latency"}, ... ] },]
 //     ["invariants": { "<metric>": <number>, ...,
 //                      ["violation_log": [ "<violation>", ... ]] },]
 //     ["profile": { "<phase>": {"count","total_ns","mean_ns","max_ns"} },]
@@ -39,14 +43,24 @@
 
 namespace osmosis::telemetry {
 
-/// Six-number summary of a latency histogram.
+/// Tail summary of a latency histogram. p999 is always carried; p9999 is
+/// only meaningful (and only serialized) once the sample count clears
+/// kP9999MinCount — below that the 0.9999 quantile is indistinguishable
+/// from the observed max and would just add noise to diffs.
 struct HistogramSummary {
+  /// Minimum sample count before the p9999 column is emitted.
+  static constexpr std::uint64_t kP9999MinCount = 10'000;
+
   std::uint64_t count = 0;
   double mean = 0.0;
   double min = 0.0;
   double p50 = 0.0;
   double p99 = 0.0;
+  double p999 = 0.0;
+  double p9999 = 0.0;  // 0 unless count >= kP9999MinCount
   double max = 0.0;
+
+  bool has_p9999() const { return count >= kP9999MinCount; }
 
   static HistogramSummary of(const sim::Histogram& h);
 
@@ -57,6 +71,8 @@ struct HistogramSummary {
     ckpt::field(a, min);
     ckpt::field(a, p50);
     ckpt::field(a, p99);
+    ckpt::field(a, p999);
+    ckpt::field(a, p9999);
     ckpt::field(a, max);
   }
 };
@@ -69,6 +85,49 @@ struct JsonValue;
 /// osmosis.campaign.v1 documents.
 void write_histogram_summary(JsonWriter& w, const HistogramSummary& h);
 HistogramSummary parse_histogram_summary(const JsonValue& h);
+
+/// One tenant's open-loop serving ledger (DESIGN.md §14). The offered /
+/// accepted / delivered chain is the SLO bookkeeping contract:
+///   offered == accepted + shed   and   accepted >= delivered
+/// (the gap is requests still in flight when the run stopped).
+struct ServingTenantRow {
+  int tenant = 0;
+  std::uint64_t offered = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t shed = 0;
+  HistogramSummary latency;  // end-to-end, issue slot -> completion slot
+
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, tenant);
+    ckpt::field(a, offered);
+    ckpt::field(a, accepted);
+    ckpt::field(a, delivered);
+    ckpt::field(a, shed);
+    ckpt::field(a, latency);
+  }
+};
+
+/// RunReport "serving" section: aggregate + per-tenant open-loop serving
+/// statistics from the api layer. Emitted only when non-empty, so every
+/// run without the serving front-end stays byte-identical.
+struct ServingReport {
+  std::string arrival;  // arrival-process name ("poisson", "mmpp", ...)
+  std::map<std::string, double> summary;
+  HistogramSummary latency;  // all tenants combined
+  std::vector<ServingTenantRow> tenants;
+
+  bool empty() const { return summary.empty() && tenants.empty(); }
+
+  template <class Ar>
+  void io_state(Ar& a) {
+    ckpt::field(a, arrival);
+    ckpt::field(a, summary);
+    ckpt::field(a, latency);
+    ckpt::field(a, tenants);
+  }
+};
 
 struct RunReport {
   static constexpr const char* kSchema = "osmosis.run_report.v1";
@@ -90,6 +149,10 @@ struct RunReport {
   // violation messages. Emitted only when non-empty.
   std::map<std::string, double> invariants;
   std::vector<std::string> invariant_violations;
+  // Open-loop serving statistics (api::ServeSim). Emitted only when
+  // non-empty, so legacy runs stay byte-identical with the api layer
+  // compiled in.
+  ServingReport serving;
   std::map<std::string, prof::PhaseStats> profile;  // emitted when non-empty
   prof::TimeSeriesData timeseries;                  // emitted when non-empty
   std::vector<std::string> health;
@@ -125,6 +188,7 @@ struct RunReport {
     ckpt::field(a, invariants);
     ckpt::field(a, invariant_violations);
     ckpt::field(a, availability);
+    ckpt::field(a, serving);
   }
 };
 

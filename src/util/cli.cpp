@@ -1,6 +1,8 @@
 #include "src/util/cli.hpp"
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string_view>
@@ -11,6 +13,12 @@ namespace {
 
 void set_err(std::string* err, const std::string& msg) {
   if (err) *err = msg;
+}
+
+std::string render_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
 }
 
 }  // namespace
@@ -111,14 +119,19 @@ Cli::Cli(int argc, const char* const* argv) {
   }
 }
 
-bool Cli::has(const std::string& key) const { return options_.count(key) > 0; }
+bool Cli::has(const std::string& key) const {
+  note(key, "flag", "off");
+  return options_.count(key) > 0;
+}
 
 std::string Cli::get(const std::string& key, const std::string& def) const {
+  note(key, "string", def);
   auto it = options_.find(key);
   return it == options_.end() ? def : it->second;
 }
 
 long long Cli::get_int(const std::string& key, long long def) const {
+  note(key, "int", std::to_string(def));
   auto it = options_.find(key);
   if (it == options_.end()) return def;
   long long v = 0;
@@ -128,6 +141,7 @@ long long Cli::get_int(const std::string& key, long long def) const {
 }
 
 double Cli::get_double(const std::string& key, double def) const {
+  note(key, "number", render_double(def));
   auto it = options_.find(key);
   if (it == options_.end()) return def;
   double v = 0.0;
@@ -137,6 +151,7 @@ double Cli::get_double(const std::string& key, double def) const {
 }
 
 bool Cli::get_bool(const std::string& key, bool def) const {
+  note(key, "bool", def ? "true" : "false");
   auto it = options_.find(key);
   if (it == options_.end()) return def;
   const std::string& v = it->second;
@@ -145,6 +160,7 @@ bool Cli::get_bool(const std::string& key, bool def) const {
 
 std::string Cli::get_path(const std::string& key,
                           const std::string& def) const {
+  note(key, "path", def);
   auto it = options_.find(key);
   if (it == options_.end()) return def;
   if (is_boolean_literal(it->second))
@@ -155,6 +171,12 @@ std::string Cli::get_path(const std::string& key,
 
 std::vector<long long> Cli::get_ints(const std::string& key,
                                      std::vector<long long> def) const {
+  std::string rendered;
+  for (std::size_t i = 0; i < def.size(); ++i) {
+    if (i) rendered += ',';
+    rendered += std::to_string(def[i]);
+  }
+  note(key, "int-list", rendered);
   auto it = options_.find(key);
   if (it == options_.end()) return def;
   std::vector<long long> v;
@@ -166,6 +188,12 @@ std::vector<long long> Cli::get_ints(const std::string& key,
 
 std::vector<double> Cli::get_doubles(const std::string& key,
                                      std::vector<double> def) const {
+  std::string rendered;
+  for (std::size_t i = 0; i < def.size(); ++i) {
+    if (i) rendered += ',';
+    rendered += render_double(def[i]);
+  }
+  note(key, "number-list", rendered);
   auto it = options_.find(key);
   if (it == options_.end()) return def;
   std::vector<double> v;
@@ -173,6 +201,56 @@ std::vector<double> Cli::get_doubles(const std::string& key,
   if (!parse_double_list(it->second, &v, &err))
     usage_error(key, err + " (expected comma-separated numbers)");
   return v;
+}
+
+void Cli::note(const std::string& key, const char* type,
+               std::string def) const {
+  // A bare has() probe registers as "flag", but a typed getter for the
+  // same key knows more — let it overwrite; never the other way round.
+  auto it = flags_.find(key);
+  if (it != flags_.end() &&
+      (it->second.type != "flag" || std::string(type) == "flag"))
+    return;
+  flags_[key] = FlagInfo{type, std::move(def)};
+}
+
+std::string Cli::usage(const std::string& synopsis) const {
+  std::string out = "usage: " +
+                    (program_.empty() ? std::string("osmosis") : program_) +
+                    " [--flag=value ...]\n";
+  if (!synopsis.empty()) out += "\n" + synopsis + "\n";
+  if (flags_.empty()) return out;
+  out += "\nflags:\n";
+  std::size_t width = 0;
+  std::map<std::string, std::string> lhs;
+  for (const auto& [key, info] : flags_) {
+    std::string l = "--";
+    l += key;
+    if (info.type != "flag") {
+      l += "=<";
+      l += info.type;
+      l += ">";
+    }
+    width = std::max(width, l.size());
+    lhs.emplace(key, std::move(l));
+  }
+  for (const auto& [key, info] : flags_) {
+    std::string line = "  " + lhs[key];
+    line.append(width + 2 - lhs[key].size(), ' ');
+    line += info.type == "flag" ? "(presence flag)"
+                                : "(default: " + info.def + ")";
+    out += line + "\n";
+  }
+  out += "  --help";
+  out.append(width + 2 - 6, ' ');
+  out += "(print this listing and exit)\n";
+  return out;
+}
+
+void Cli::maybe_help(const std::string& synopsis) const {
+  if (options_.count("help") == 0) return;
+  std::cout << usage(synopsis);
+  std::exit(0);
 }
 
 void Cli::usage_error(const std::string& key, const std::string& reason) const {

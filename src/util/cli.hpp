@@ -34,6 +34,15 @@ bool parse_double_list(const std::string& text, std::vector<double>* out,
 bool is_boolean_literal(const std::string& text);
 
 /// Parsed command line with typed getters and defaults.
+///
+/// Every typed getter records the flag it was asked for (key, value
+/// type, default) in a registry, so once a tool has read its full flag
+/// set, maybe_help() can print an accurate usage listing — no separate
+/// flag table to keep in sync. Convention for tools:
+///
+///   util::Cli cli(argc, argv);
+///   const auto ports = cli.get_int("ports", 64);   // ... all flags ...
+///   cli.maybe_help("sweep serving load envelopes");  // after the last get
 class Cli {
  public:
   Cli(int argc, const char* const* argv);
@@ -60,13 +69,35 @@ class Cli {
   const std::vector<std::string>& positional() const { return positional_; }
   const std::string& program() const { return program_; }
 
+  /// One registered flag: value type ("int", "number", "bool", "string",
+  /// "path", "int-list", "number-list", or "flag" for bare presence
+  /// checks) and the rendered default.
+  struct FlagInfo {
+    std::string type;
+    std::string def;
+  };
+  /// Flags the getters have been asked for so far, sorted by key.
+  const std::map<std::string, FlagInfo>& flags() const { return flags_; }
+
+  /// Renders the usage text: synopsis line plus one row per registered
+  /// flag. Deterministic (keys sorted, defaults from the getters).
+  std::string usage(const std::string& synopsis = "") const;
+
+  /// With --help (or -h as a positional) on the command line: prints
+  /// usage() to stdout and exits 0. Call after the tool's last getter so
+  /// the listing covers every flag.
+  void maybe_help(const std::string& synopsis = "") const;
+
  private:
   [[noreturn]] void usage_error(const std::string& key,
                                 const std::string& reason) const;
+  void note(const std::string& key, const char* type,
+            std::string def) const;
 
   std::string program_;
   std::map<std::string, std::string> options_;
   std::vector<std::string> positional_;
+  mutable std::map<std::string, FlagInfo> flags_;  // see flags()
 };
 
 }  // namespace osmosis::util

@@ -351,6 +351,85 @@ TEST(RunReport, FabricRollupSubtotalsMatchPerSwitchCounters) {
 
 // ---- JSON parser edge cases -------------------------------------------------
 
+// ---- HistogramSummary tails (p999 / p9999) ---------------------------------
+
+TEST(HistogramSummary, MergePreservesTailQuantilesExactly) {
+  // The campaign aggregation invariant, extended to the new tail
+  // columns: sharded collection + merge() must report the same
+  // p50/p99/p999/p9999 as one histogram fed every sample.
+  sim::Histogram a, b, combined;
+  std::uint64_t x = 0x9E37'79B9'7F4A'7C15ULL;
+  for (int i = 0; i < 30'000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const double v = static_cast<double>(x % 5'000) / 3.0;
+    (i % 2 ? a : b).add(v);
+    combined.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  // Mean combines via the Welford merge formula: same value to within
+  // reassociation ulps, not bit-identical to sequential adds.
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9 * combined.mean());
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+  EXPECT_DOUBLE_EQ(a.p50(), combined.p50());
+  EXPECT_DOUBLE_EQ(a.p99(), combined.p99());
+  EXPECT_DOUBLE_EQ(a.p999(), combined.p999());
+  EXPECT_DOUBLE_EQ(a.p9999(), combined.p9999());
+
+  const HistogramSummary sa = HistogramSummary::of(a);
+  const HistogramSummary sc = HistogramSummary::of(combined);
+  EXPECT_DOUBLE_EQ(sa.p999, sc.p999);
+  EXPECT_DOUBLE_EQ(sa.p9999, sc.p9999);
+  EXPECT_TRUE(sa.has_p9999());
+  // Quantile ladder is monotone.
+  EXPECT_LE(sa.p50, sa.p99);
+  EXPECT_LE(sa.p99, sa.p999);
+  EXPECT_LE(sa.p999, sa.p9999);
+  EXPECT_LE(sa.p9999, sa.max);
+}
+
+TEST(HistogramSummary, P9999GatedOnSampleCount) {
+  sim::Histogram small;
+  for (int i = 0; i < 100; ++i) small.add(static_cast<double>(i));
+  const HistogramSummary s = HistogramSummary::of(small);
+  EXPECT_FALSE(s.has_p9999());
+  EXPECT_EQ(s.p9999, 0.0);  // never emitted below kP9999MinCount
+  EXPECT_GT(s.p999, 0.0);   // p999 is always carried
+
+  sim::Histogram big;
+  for (std::uint64_t i = 0; i < HistogramSummary::kP9999MinCount; ++i)
+    big.add(static_cast<double>(i % 777));
+  const HistogramSummary sb = HistogramSummary::of(big);
+  EXPECT_TRUE(sb.has_p9999());
+  EXPECT_GT(sb.p9999, 0.0);
+}
+
+TEST(HistogramSummary, JsonCarriesP999AndGatesP9999) {
+  sim::Histogram small;
+  for (int i = 0; i < 500; ++i) small.add(static_cast<double>(i % 90));
+  JsonWriter ws(0);
+  write_histogram_summary(ws, HistogramSummary::of(small));
+  const JsonValue ds = json_parse(ws.str());
+  EXPECT_TRUE(ds.has("p999"));
+  EXPECT_FALSE(ds.has("p9999"));
+
+  sim::Histogram big;
+  for (int i = 0; i < 20'000; ++i) big.add(static_cast<double>(i % 90));
+  JsonWriter wb(0);
+  write_histogram_summary(wb, HistogramSummary::of(big));
+  const JsonValue db = json_parse(wb.str());
+  ASSERT_TRUE(db.has("p9999"));
+
+  // Round trip through the parser preserves both tails bit-exactly.
+  const HistogramSummary orig = HistogramSummary::of(big);
+  const HistogramSummary back = parse_histogram_summary(db);
+  EXPECT_DOUBLE_EQ(back.p999, orig.p999);
+  EXPECT_DOUBLE_EQ(back.p9999, orig.p9999);
+}
+
 TEST(Json, ParsesEscapesAndNesting) {
   const JsonValue v = json_parse(
       R"({"a": [1, 2.5, -3e2], "s": "x\"y\\z\n", "t": true, "n": null})");

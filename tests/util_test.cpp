@@ -175,6 +175,68 @@ TEST(Cli, ListFlagsWithDefaults) {
 
 using CliDeathTest = ::testing::Test;
 
+TEST(Cli, TypedGettersRegisterFlagsForUsage) {
+  const char* argv[] = {"prog", "--ports=8"};
+  Cli cli(2, argv);
+  cli.get_int("ports", 64);
+  cli.get_double("load", 0.5);
+  cli.get_bool("timing", true);
+  cli.get_path("json", "");
+  cli.get_ints("receivers", {1, 2, 4});
+  cli.get_doubles("loads", {0.1, 0.9});
+  cli.has("smoke");
+
+  const auto& flags = cli.flags();
+  ASSERT_EQ(flags.size(), 7u);
+  EXPECT_EQ(flags.at("ports").type, "int");
+  EXPECT_EQ(flags.at("ports").def, "64");  // the default, not the parsed 8
+  EXPECT_EQ(flags.at("load").type, "number");
+  EXPECT_EQ(flags.at("load").def, "0.5");
+  EXPECT_EQ(flags.at("timing").type, "bool");
+  EXPECT_EQ(flags.at("timing").def, "true");
+  EXPECT_EQ(flags.at("json").type, "path");
+  EXPECT_EQ(flags.at("receivers").type, "int-list");
+  EXPECT_EQ(flags.at("receivers").def, "1,2,4");
+  EXPECT_EQ(flags.at("loads").type, "number-list");
+  EXPECT_EQ(flags.at("smoke").type, "flag");
+}
+
+TEST(Cli, TypedGetterUpgradesBarePresenceProbeNeverTheReverse) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, argv);
+  // has() first, typed getter later: the richer type wins.
+  cli.has("json");
+  cli.get_path("json", "");
+  EXPECT_EQ(cli.flags().at("json").type, "path");
+  // Typed getter first, has() later: the probe must not downgrade it.
+  cli.get_int("ports", 16);
+  cli.has("ports");
+  EXPECT_EQ(cli.flags().at("ports").type, "int");
+}
+
+TEST(Cli, UsageListsEveryRegisteredFlagDeterministically) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, argv);
+  cli.get_int("ports", 64);
+  cli.has("smoke");
+  const std::string u = cli.usage("test synopsis");
+  EXPECT_NE(u.find("test synopsis"), std::string::npos);
+  EXPECT_NE(u.find("--ports=<int>"), std::string::npos);
+  EXPECT_NE(u.find("(default: 64)"), std::string::npos);
+  EXPECT_NE(u.find("--smoke"), std::string::npos);
+  EXPECT_NE(u.find("(presence flag)"), std::string::npos);
+  EXPECT_NE(u.find("--help"), std::string::npos);
+  EXPECT_EQ(u, cli.usage("test synopsis"));  // deterministic rendering
+}
+
+TEST(CliDeathTest, HelpPrintsUsageAndExitsZero) {
+  const char* argv[] = {"prog", "--help"};
+  Cli cli(2, argv);
+  cli.get_int("ports", 64);
+  EXPECT_EXIT(cli.maybe_help("synopsis"), ::testing::ExitedWithCode(0),
+              "");
+}
+
 TEST(CliDeathTest, MalformedIntExitsWithUsageError) {
   const char* argv[] = {"prog", "--ports=sixty-four"};
   Cli cli(2, argv);
