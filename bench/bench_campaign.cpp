@@ -5,14 +5,19 @@
 //
 //   bench_campaign [--threads=N] [--slots=S] [--loads=a,b,c]
 //                  [--receivers=1,2,4] [--seed=S] [--json=<path>]
-//                  [--timing=false] [--smoke] [--serve] [--progress]
-//                  [--trace=<path>]
+//                  [--timing=false] [--smoke] [--serve] [--topo]
+//                  [--progress] [--trace=<path>]
 //                  [--checkpoint-dir=DIR] [--checkpoint-every=N]
 //                  [--resume=DIR] [--help]
 //
 // --serve swaps the grid for the open-loop serving preset (serve jobs
 // on the 16-port switch, Poisson + MMPP arrivals) — same pool,
 // checkpointing, and document machinery, different simulator.
+//
+// --topo swaps the grid for the topology-zoo preset (fat tree, Clos,
+// Benes under credit/relayed/wormhole-VC flow control at 32 hosts,
+// clean and with a transient mid-run spine outage); its output is
+// committed as bench/baselines/topo_smoke.json.
 //
 // --progress emits one JSON heartbeat line to stderr per completed job
 // ({"job", "digest", "wall_ms", "throughput", "ok"}), so a supervisor
@@ -87,6 +92,31 @@ exec::CampaignSpec serve_spec() {
   return spec;
 }
 
+exec::CampaignSpec topo_spec() {
+  // Topology-zoo preset: the §VI.C scenario matrix as a campaign grid.
+  // Three topology families x all three flow-control kinds, clean and
+  // under a transient spine/middle-column outage — 18 jobs at 32 hosts
+  // (the smallest count every generator accepts).
+  exec::CampaignSpec spec;
+  spec.name = "campaign_topo";
+  spec.sims = {exec::SimKind::kTopo};
+  spec.schedulers = {sw::SchedulerKind::kIslip};
+  spec.ports = {32};  // hosts for topo jobs
+  spec.receivers = {1};
+  spec.loads = {0.6};
+  spec.topologies = {topo::TopoKind::kFatTree, topo::TopoKind::kClos,
+                     topo::TopoKind::kBenes};
+  spec.flow_controls = {topo::FcKind::kCredit, topo::FcKind::kRelayed,
+                        topo::FcKind::kWormholeVc};
+  spec.routings = {topo::RouteKind::kDestMod};
+  spec.faults = {exec::FaultScenario::kNone,
+                 exec::FaultScenario::kSpineOutage};
+  spec.warmup_slots = 500;
+  spec.measure_slots = 4'000;
+  spec.campaign_seed = 0x7090'CA;
+  return spec;
+}
+
 exec::CampaignSpec headline_spec(const util::Cli& cli) {
   exec::CampaignSpec spec;
   spec.name = "fig7_headline";
@@ -110,13 +140,15 @@ exec::CampaignSpec headline_spec(const util::Cli& cli) {
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
 
-  const exec::CampaignSpec spec = cli.has("smoke")
-                                      ? smoke_spec()
-                                      : cli.has("serve") ? serve_spec()
-                                                         : headline_spec(cli);
+  const exec::CampaignSpec spec =
+      cli.has("smoke")   ? smoke_spec()
+      : cli.has("serve") ? serve_spec()
+      : cli.has("topo")  ? topo_spec()
+                         : headline_spec(cli);
   // With a preset flag the sweep getters never run; invoke them anyway
   // under --help so the listing stays complete.
-  if (cli.has("help") && (cli.has("smoke") || cli.has("serve")))
+  if (cli.has("help") &&
+      (cli.has("smoke") || cli.has("serve") || cli.has("topo")))
     headline_spec(cli);
 
   exec::RunnerOptions opts;
@@ -201,9 +233,14 @@ int main(int argc, char** argv) {
                  std::string("-"), std::string("-"), std::string("-")});
       continue;
     }
-    t.add_row({j.spec.label(), j.metrics.at("throughput"),
-               j.metrics.at("mean_delay"), j.metrics.at("p99_delay"),
-               j.metrics.at("mean_grant_latency")});
+    // Not every simulator reports every column (topo jobs have no
+    // grant path), so missing metrics render as 0.
+    const auto metric = [&j](const char* key) {
+      const auto it = j.metrics.find(key);
+      return it == j.metrics.end() ? 0.0 : it->second;
+    };
+    t.add_row({j.spec.label(), metric("throughput"), metric("mean_delay"),
+               metric("p99_delay"), metric("mean_grant_latency")});
   }
   t.print(std::cout);
 

@@ -15,9 +15,10 @@
 //
 //   schema_check --report=<run_report.json> [--need-profile]
 //                [--need-timeseries] [--need-availability] [--need-serving]
+//                [--need-topology]
 //       osmosis.run_report.v1 shape, optionally requiring the "profile",
-//       "timeseries", "availability", and "serving" sections to be
-//       present and well formed. "availability" and "serving" are shape-
+//       "timeseries", "availability", "serving", and "topology" sections
+//       to be present and well formed. "availability" and "serving" are shape-
 //       and invariant-checked whenever present, required only under
 //       their --need flags. Serving checks: per-tenant rows sum to the
 //       summary, offered == accepted + shed >= delivered, and every
@@ -320,7 +321,7 @@ int check_serving(const JsonValue& sv) {
 
 int check_report(const JsonValue& doc, bool need_profile,
                  bool need_timeseries, bool need_availability,
-                 bool need_serving) {
+                 bool need_serving, bool need_topology) {
   if (!doc.has("schema") || doc.at("schema").str != "osmosis.run_report.v1")
     return fail("report: schema is not osmosis.run_report.v1");
   for (const char* key :
@@ -384,6 +385,34 @@ int check_report(const JsonValue& doc, bool need_profile,
     const int rc = check_serving(doc.at("serving"));
     if (rc != 0) return rc;
   }
+  // Topology section (TopoSim reports): a flat map of numbers carrying
+  // the graph shape plus per-stage wait/occupancy rows. Validated
+  // whenever present, required under --need-topology.
+  if (need_topology && !doc.has("topology"))
+    return fail("report: topology section required but absent");
+  if (doc.has("topology")) {
+    const JsonValue& tp = doc.at("topology");
+    if (!tp.is_object() || tp.object.empty())
+      return fail("report: topology must be a non-empty object");
+    for (const char* key : {"stages", "diameter", "switches", "hosts"})
+      if (!tp.has(key) || !tp.at(key).is_number())
+        return fail(std::string("report: topology missing ") + key);
+    for (const auto& [key, v] : tp.object)
+      if (!v.is_number())
+        return fail("report: topology." + key + " is not a number");
+    const double stages = tp.at("stages").number;
+    if (stages < 1.0) return fail("report: topology.stages < 1");
+    if (tp.at("diameter").number < stages)
+      return fail("report: topology.diameter < stages");
+    // Every traversed stage exports its queueing-wait and peak-occupancy
+    // rows; a missing row means the per-stage attribution broke.
+    for (int s = 1; s <= static_cast<int>(stages); ++s) {
+      const std::string base = "stage." + std::to_string(s) + ".";
+      for (const char* suffix : {"wait_mean", "occ_max"})
+        if (!tp.has(base + suffix))
+          return fail("report: topology missing " + base + suffix);
+    }
+  }
   if (need_timeseries) {
     if (!doc.has("timeseries"))
       return fail("report: timeseries section required but absent");
@@ -404,7 +433,8 @@ int check_report(const JsonValue& doc, bool need_profile,
             << (need_profile ? ", profile present" : "")
             << (need_timeseries ? ", timeseries present" : "")
             << (doc.has("availability") ? ", availability present" : "")
-            << (doc.has("serving") ? ", serving present" : "") << "\n";
+            << (doc.has("serving") ? ", serving present" : "")
+            << (doc.has("topology") ? ", topology present" : "") << "\n";
   return 0;
 }
 
@@ -544,7 +574,7 @@ int check_repro(const JsonValue& doc) {
     return fail("repro: missing sim");
   const std::string& sim = doc.at("sim").str;
   if (sim != "switch" && sim != "event-switch" && sim != "fabric" &&
-      sim != "multiplane")
+      sim != "multiplane" && sim != "topo")
     return fail("repro: unknown sim '" + sim + "'");
   static const std::set<std::string> kSchedulers = {
       "islip", "pim", "pislip", "flppr", "tdm", "wfa"};
@@ -638,7 +668,7 @@ int main(int argc, char** argv) {
     return check_report(doc, cli.has("need-profile"),
                         cli.has("need-timeseries"),
                         cli.has("need-availability"),
-                        cli.has("need-serving"));
+                        cli.has("need-serving"), cli.has("need-topology"));
   }
   if (cli.has("micro")) {
     if (!load(cli.get_path("micro", ""), doc)) return 1;
@@ -654,7 +684,7 @@ int main(int argc, char** argv) {
   }
   std::cerr << "usage: schema_check --trace=F | --perf=F [--baseline=F] | "
                "--report=F [--need-profile] [--need-timeseries] "
-               "[--need-availability] [--need-serving] | "
+               "[--need-availability] [--need-serving] [--need-topology] | "
                "--micro=F | --campaign=F | --repro=F\n";
   return 2;
 }

@@ -17,6 +17,11 @@
 # (bench_serve --smoke, including the million-client Poisson point) and
 # hold it against its committed baseline plus 1-vs-8-thread and
 # kill-and-resume byte diffs and a schema_check --need-serving pass,
+# run the topology-zoo scenario matrix (bench_campaign --topo across
+# fat-tree/Clos/Benes x credit/relayed/wormhole-VC) against its
+# committed baseline with the same 1-vs-8-thread and kill-and-resume
+# byte diffs, assert the §VI.C stage-count ordering with
+# bench_vi_c_stage_count and schema-check its topology report section,
 # assert the disabled-profiler overhead bound on
 # bench_micro numbers, then rebuild under ASan+UBSan (failure/fault/
 # chaos/checkpoint tests plus the full injected-defect -> shrink ->
@@ -180,6 +185,48 @@ echo "== chaos determinism: manifest byte-identical at 1 and 8 threads =="
 cmp "$chaos_json" "$build/chaos_smoke_t8.json"
 echo "byte-identical at 1 and 8 threads"
 
+echo "== topology zoo: scenario matrix vs committed baseline =="
+topo_json="$build/topo_smoke.json"
+"$build/bench/bench_campaign" --topo --threads=1 --timing=false \
+  --json="$topo_json" > /dev/null
+"$build/bench/campaign_compare" "$repo/bench/baselines/topo_smoke.json" \
+  "$topo_json"
+cmp "$repo/bench/baselines/topo_smoke.json" "$topo_json"
+"$build/bench/schema_check" --campaign="$topo_json"
+echo "topology x flow-control matrix matches the committed baseline"
+
+echo "== topo determinism: 1 thread vs 8 threads =="
+"$build/bench/bench_campaign" --topo --threads=8 --timing=false \
+  --json="$build/topo_smoke_t8.json" > /dev/null
+cmp "$topo_json" "$build/topo_smoke_t8.json"
+echo "byte-identical at 1 and 8 threads"
+
+echo "== topo kill-and-resume: SIGKILL mid-matrix, resume, byte-diff =="
+topo_ck_dir="$build/ckpt_topo"
+rm -rf "$topo_ck_dir"
+"$build/bench/bench_campaign" --topo --timing=false \
+  --checkpoint-dir="$topo_ck_dir" --checkpoint-every=200 \
+  --json="$build/topo_killed.json" > /dev/null 2>&1 &
+victim=$!
+sleep 0.3
+kill -9 "$victim" 2> /dev/null || true
+wait "$victim" 2> /dev/null || true
+"$build/bench/bench_campaign" --topo --timing=false \
+  --resume="$topo_ck_dir" --checkpoint-every=200 \
+  --json="$build/topo_resumed.json" > /dev/null
+cmp "$topo_json" "$build/topo_resumed.json"
+echo "resumed topology document byte-identical to the uninterrupted run"
+
+echo "== VI.C stage-count matrix: 3 vs 5 vs 9 stages, ordering asserted =="
+# The binary itself REQUIREs the paper's ordering (fat tree >= MIN
+# throughput, latency grows with stage count); here we also hold its
+# RunReport to the schema's topology section.
+"$build/bench/bench_vi_c_stage_count" --report="$build/topo_report.json" \
+  > /dev/null
+"$build/bench/schema_check" --report="$build/topo_report.json" \
+  --need-topology
+echo "stage-count ordering holds and the topology report is well-formed"
+
 echo "== graceful degradation: permanent spine cut, floor + availability =="
 # bench_failures --permanent exits non-zero if the degraded run drops
 # below (surviving fraction) x (fault-free throughput) x 0.9, is not
@@ -203,11 +250,12 @@ san_build="$repo/build-asan"
 cmake -B "$san_build" -S "$repo" -DOSMOSIS_SANITIZE=ON
 cmake --build "$san_build" -j "$(nproc)" \
   --target failures_test faults_test arq_test fec_test ckpt_test \
-           chaos_test api_test bench_chaos chaos_repro schema_check
+           chaos_test topo_sim_test api_test bench_chaos chaos_repro \
+           schema_check
 
 echo "== sanitizer run: failure, fault-injection, checkpoint & api tests =="
 for t in failures_test faults_test arq_test fec_test ckpt_test \
-         chaos_test api_test; do
+         chaos_test topo_sim_test api_test; do
   echo "-- $t"
   "$san_build/tests/$t" --gtest_brief=1
 done
@@ -243,6 +291,11 @@ echo "== sanitizer run: exec tests + multi-threaded smoke campaign =="
 "$tsan_build/bench/campaign_compare" \
   "$repo/bench/baselines/campaign_smoke.json" \
   "$tsan_build/campaign_smoke.json"
+"$tsan_build/bench/bench_campaign" --topo --threads=8 \
+  --json="$tsan_build/topo_smoke.json" --timing=false > /dev/null
+"$tsan_build/bench/campaign_compare" \
+  "$repo/bench/baselines/topo_smoke.json" \
+  "$tsan_build/topo_smoke.json"
 "$tsan_build/bench/bench_chaos" --trials=10 --seed=1 --threads=8 \
   > /dev/null
 

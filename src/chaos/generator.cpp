@@ -33,6 +33,19 @@ int derive_fibers(int ports) {
   return fibers;
 }
 
+/// Count of switches in the stage TopoSim aims mid-run plane faults at
+/// (top level of a folded tree, middle column of an unfolded MIN) —
+/// mirrors the top_stage_ derivation in TopoSim's constructor.
+int topo_fault_planes(const TrialSpec& spec) {
+  const topo::Topology t = topo::make_topology(
+      spec.topology, spec.ports, spec.routing, spec.failed_switches);
+  int max_stage = 1;
+  for (const topo::SwitchSpec& s : t.switches)
+    max_stage = std::max(max_stage, s.stage);
+  const int fault_stage = t.folded ? max_stage : (t.stages + 1) / 2;
+  return static_cast<int>(t.stage_switches(fault_stage).size());
+}
+
 /// Management-layer vetting: would the plan plus this event still pass
 /// mgmt::validate_fault_plan against a config mirroring the trial's
 /// geometry?
@@ -49,6 +62,7 @@ bool event_valid(const TrialSpec& spec, const faults::FaultEvent& e) {
   int parallel_paths = 0;
   if (spec.sim == TrialSim::kFabric) parallel_paths = spec.ports / 2;
   if (spec.sim == TrialSim::kMultiPlane) parallel_paths = spec.planes;
+  if (spec.sim == TrialSim::kTopo) parallel_paths = topo_fault_planes(spec);
   faults::FaultPlan probe = spec.plan;
   probe.add(e);
   return mgmt::config_ok(
@@ -202,6 +216,24 @@ faults::FaultEvent roll_multiplane_event(sim::Rng& rng,
   return e;
 }
 
+/// Grammar for the topology zoo: transient freezes of fault-stage
+/// switches (TopoSim rejects permanent mid-run faults — construction-
+/// time failed_switches cover the permanent case) plus host adapter
+/// stalls, the only two kinds its constructor accepts.
+faults::FaultEvent roll_topo_event(sim::Rng& rng, const TrialSpec& spec,
+                                   int planes) {
+  faults::FaultEvent e;
+  e.kind = rng.bernoulli(0.6) ? faults::FaultKind::kPlaneFailure
+                              : faults::FaultKind::kAdapterStall;
+  e.at_slot = roll_at_slot(rng, spec);
+  e.duration_slots = roll_duration(rng, spec, e.at_slot);
+  if (e.kind == faults::FaultKind::kPlaneFailure)
+    e.a = static_cast<int>(rng.uniform_int(planes));
+  else
+    e.a = static_cast<int>(rng.uniform_int(spec.sources()));
+  return e;
+}
+
 }  // namespace
 
 const char* to_string(TrialSim s) {
@@ -214,13 +246,16 @@ const char* to_string(TrialSim s) {
       return "fabric";
     case TrialSim::kMultiPlane:
       return "multiplane";
+    case TrialSim::kTopo:
+      return "topo";
   }
   return "unknown";
 }
 
 TrialSim trial_sim_from_string(const std::string& name) {
   for (TrialSim s : {TrialSim::kSwitch, TrialSim::kEventSwitch,
-                     TrialSim::kFabric, TrialSim::kMultiPlane}) {
+                     TrialSim::kFabric, TrialSim::kMultiPlane,
+                     TrialSim::kTopo}) {
     if (name == to_string(s)) return s;
   }
   OSMOSIS_REQUIRE(false, "unknown trial simulator name: " << name);
@@ -265,11 +300,15 @@ std::string TrialSpec::label() const {
   os << 't' << std::setw(4) << std::setfill('0') << trial_index << ' '
      << to_string(sim) << '/' << scheduler_name(scheduler) << " p" << ports;
   if (sim == TrialSim::kMultiPlane) os << " x" << planes;
+  if (sim == TrialSim::kTopo)
+    os << ' ' << topo::to_string(topology) << '/'
+       << topo::to_string(flow_control) << '/' << topo::to_string(routing);
   os << " r" << receivers << ' ' << (bursty ? "bursty" : "uniform") << " l"
      << std::fixed << std::setprecision(2) << load << " w" << warmup_slots
      << " m" << measure_slots << " faults=" << plan.size();
   if (adaptive_routing) os << " adaptive";
   if (admission) os << " admit";
+  if (!failed_switches.empty()) os << " dead_sw=" << failed_switches.size();
   if (!muted_sources.empty()) os << " muted=" << muted_sources.size();
   if (defect != Defect::kNone) os << " defect=" << to_string(defect);
   return os.str();
@@ -285,8 +324,9 @@ TrialSpec generate_trial(std::uint64_t campaign_seed,
 
   // Simulator kind, then geometry from its legal menu.
   static const TrialSim kSims[] = {TrialSim::kSwitch, TrialSim::kEventSwitch,
-                                   TrialSim::kFabric, TrialSim::kMultiPlane};
-  spec.sim = kSims[pick_weighted(rng, {7, 4, 5, 4})];
+                                   TrialSim::kFabric, TrialSim::kMultiPlane,
+                                   TrialSim::kTopo};
+  spec.sim = kSims[pick_weighted(rng, {7, 4, 5, 4, 5})];
   switch (spec.sim) {
     case TrialSim::kSwitch: {
       static const int kPorts[] = {8, 16, 32};
@@ -335,6 +375,45 @@ TrialSpec generate_trial(std::uint64_t campaign_seed,
       spec.scheduler = kScheds[pick_weighted(rng, {3, 2, 2, 2})];
       break;
     }
+    case TrialSim::kTopo: {
+      // `ports` is the host count; 32 is the smallest shape every
+      // generator accepts (128 keeps the bigger recursions honest).
+      spec.ports = rng.bernoulli(0.75) ? 32 : 128;
+      spec.receivers = 1;
+      static const topo::TopoKind kTopos[] = {
+          topo::TopoKind::kFatTree, topo::TopoKind::kClos,
+          topo::TopoKind::kOmega, topo::TopoKind::kBanyan,
+          topo::TopoKind::kBenes};
+      spec.topology = kTopos[pick_weighted(rng, {3, 3, 2, 2, 2})];
+      static const topo::FcKind kFcs[] = {topo::FcKind::kCredit,
+                                          topo::FcKind::kRelayed,
+                                          topo::FcKind::kWormholeVc};
+      spec.flow_control = kFcs[pick_weighted(rng, {3, 2, 3})];
+      spec.routing = rng.bernoulli(0.3) ? topo::RouteKind::kHashSpread
+                                        : topo::RouteKind::kDestMod;
+      // Immediate-issue kinds only (credit check must hold at issue;
+      // wormhole routes per-flit and ignores the scheduler entirely).
+      static const sw::SchedulerKind kScheds[] = {
+          sw::SchedulerKind::kIslip, sw::SchedulerKind::kPim,
+          sw::SchedulerKind::kTdm, sw::SchedulerKind::kWfa};
+      spec.scheduler = kScheds[pick_weighted(rng, {3, 2, 1, 1})];
+      // Construction-time permanent failure where path diversity exists
+      // (fat-tree non-leaf switches, Clos middles): roll a switch id and
+      // keep it only when the management validator accepts the wounded
+      // shape. A rejected roll simply runs the trial fault-free there.
+      if ((spec.topology == topo::TopoKind::kFatTree ||
+           spec.topology == topo::TopoKind::kClos) &&
+          rng.bernoulli(0.35)) {
+        const topo::Topology whole =
+            topo::make_topology(spec.topology, spec.ports);
+        const int id =
+            static_cast<int>(rng.uniform_int(whole.switch_count()));
+        if (mgmt::config_ok(
+                mgmt::validate_topology(spec.topology, spec.ports, {id})))
+          spec.failed_switches = {id};
+      }
+      break;
+    }
   }
 
   // Traffic mix. Loads are quantized to 0.05 steps for readable labels;
@@ -347,6 +426,14 @@ TrialSpec generate_trial(std::uint64_t campaign_seed,
       break;
     case TrialSim::kMultiPlane:
       spec.load = 0.20 + 0.05 * static_cast<double>(rng.uniform_int(9));
+      break;
+    case TrialSim::kTopo:
+      // Deep MINs saturate well below a single stage (bench_vi_c shows
+      // wormhole Benes peaking near 0.26) — keep the offered load under
+      // saturation so faulted backlogs still drain inside the budget.
+      spec.load = spec.flow_control == topo::FcKind::kWormholeVc
+                      ? 0.10 + 0.05 * static_cast<double>(rng.uniform_int(4))
+                      : 0.15 + 0.05 * static_cast<double>(rng.uniform_int(8));
       break;
     default:
       spec.load = 0.30 + 0.05 * static_cast<double>(rng.uniform_int(11));
@@ -365,6 +452,8 @@ TrialSpec generate_trial(std::uint64_t campaign_seed,
   // number of times so generation stays deterministic.
   const std::size_t kCountWeightsIdx =
       pick_weighted(rng, {1, 3, 3, 2, 1});  // 0..4 events
+  const int topo_planes =
+      spec.sim == TrialSim::kTopo ? topo_fault_planes(spec) : 0;
   for (std::size_t i = 0; i < kCountWeightsIdx; ++i) {
     for (int attempt = 0; attempt < 4; ++attempt) {
       faults::FaultEvent e;
@@ -379,10 +468,20 @@ TrialSpec generate_trial(std::uint64_t campaign_seed,
         case TrialSim::kMultiPlane:
           e = roll_multiplane_event(rng, spec);
           break;
+        case TrialSim::kTopo:
+          e = roll_topo_event(rng, spec, topo_planes);
+          break;
       }
       if (same_target_overlap(spec.plan, e)) continue;
       if (spec.sim == TrialSim::kMultiPlane &&
           !keeps_a_plane_alive(spec.plan, e, spec.planes))
+        continue;
+      // Topology zoo: a freeze is backpressure, not loss, but a window
+      // with the whole fault stage frozen stalls the machine and burns
+      // the drain budget — keep one stage switch running at all times.
+      if (spec.sim == TrialSim::kTopo &&
+          e.kind == faults::FaultKind::kPlaneFailure &&
+          !keeps_a_plane_alive(spec.plan, e, topo_planes))
         continue;
       // Adaptive fabric: never leave an instant with every spine out —
       // with zero survivors nothing re-steers and permanents would make
@@ -420,6 +519,12 @@ TrialSpec generate_trial(std::uint64_t campaign_seed,
     spec.drain_max_slots =
         80'000ULL * static_cast<std::uint64_t>(spines) /
         static_cast<std::uint64_t>(std::max(1, spines - dead));
+  } else if (spec.sim == TrialSim::kTopo) {
+    // Every topo fault is transient (construction-time failed_switches
+    // are routed around, not drained around), so the run always empties
+    // — but wormhole backlogs behind a long freeze clear one flit per
+    // lane per slot, so give the zoo the campaign driver's budget.
+    spec.drain_max_slots = 50'000;
   } else if (spec.plan.has_permanent_fault()) {
     spec.drain_max_slots = 4'096;
   } else {

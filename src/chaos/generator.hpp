@@ -21,6 +21,8 @@
 #include "src/chaos/monitor.hpp"
 #include "src/faults/fault_plan.hpp"
 #include "src/sw/scheduler.hpp"
+#include "src/topo/flow_control.hpp"
+#include "src/topo/topology.hpp"
 
 namespace osmosis::chaos {
 
@@ -32,6 +34,7 @@ enum class TrialSim : std::uint8_t {
   kEventSwitch = 1,  // sw::EventSwitchSim, event-driven ns timeline
   kFabric = 2,       // fabric::FabricSim, two-stage leaf/spine + credits
   kMultiPlane = 3,   // fabric::MultiPlaneSim, striped planes + resequencer
+  kTopo = 4,         // topo::TopoSim, topology x flow-control zoo
 };
 
 const char* to_string(TrialSim s);
@@ -60,6 +63,15 @@ struct TrialSpec {
   int planes = 4;     // multi-plane only
   int receivers = 2;  // switch kinds + multi-plane
   sw::SchedulerKind scheduler = sw::SchedulerKind::kFlppr;
+
+  // Topology-zoo axes (kTopo only; `ports` is the host count there).
+  // `failed_switches` are construction-time permanent failures, only
+  // rolled where the topology can route around them (fat-tree non-leaf
+  // switches, Clos middles) and vetted by mgmt::validate_topology.
+  topo::TopoKind topology = topo::TopoKind::kFatTree;
+  topo::FcKind flow_control = topo::FcKind::kCredit;
+  topo::RouteKind routing = topo::RouteKind::kDestMod;
+  std::vector<int> failed_switches;
 
   // Graceful degradation (two-stage fabric only): fault-aware adaptive
   // routing unlocks permanent spine faults in the grammar, and admission

@@ -56,6 +56,16 @@ std::string repro_to_json(const Repro& r, int indent) {
   w.number(s.receivers);
   w.key("scheduler");
   w.string(scheduler_name(s.scheduler));
+  w.key("topology");
+  w.string(topo::to_string(s.topology));
+  w.key("flow_control");
+  w.string(topo::to_string(s.flow_control));
+  w.key("routing");
+  w.string(topo::to_string(s.routing));
+  w.key("failed_switches");
+  w.open('[');
+  for (int id : s.failed_switches) w.number(id);
+  w.close(']');
   w.key("adaptive_routing");
   w.boolean(s.adaptive_routing);
   w.key("admission");
@@ -133,6 +143,16 @@ Repro repro_from_json(const std::string& text) {
   s.planes = static_cast<int>(doc.at("planes").number);
   s.receivers = static_cast<int>(doc.at("receivers").number);
   s.scheduler = scheduler_from_name(doc.at("scheduler").str);
+  // Pre-topology-zoo repro files lack these keys; keep the defaults.
+  if (doc.has("topology"))
+    s.topology = topo::topo_kind_from_string(doc.at("topology").str);
+  if (doc.has("flow_control"))
+    s.flow_control = topo::fc_kind_from_string(doc.at("flow_control").str);
+  if (doc.has("routing"))
+    s.routing = topo::route_kind_from_string(doc.at("routing").str);
+  if (doc.has("failed_switches"))
+    for (const auto& id : doc.at("failed_switches").array)
+      s.failed_switches.push_back(static_cast<int>(id.number));
   // Pre-graceful-degradation repro files lack these keys; default off.
   if (doc.has("adaptive_routing"))
     s.adaptive_routing = doc.at("adaptive_routing").boolean;

@@ -9,6 +9,7 @@
 #include "src/sim/traffic.hpp"
 #include "src/sw/event_switch_sim.hpp"
 #include "src/sw/switch_sim.hpp"
+#include "src/topo/topo_sim.hpp"
 
 namespace osmosis::chaos {
 namespace {
@@ -43,11 +44,13 @@ class MaskedTraffic final : public sim::TrafficGen {
 
 std::unique_ptr<sim::TrafficGen> make_traffic(const TrialSpec& spec,
                                               int sources,
-                                              std::uint64_t seed) {
+                                              std::uint64_t seed,
+                                              double load_override = -1.0) {
+  const double load = load_override < 0.0 ? spec.load : load_override;
   std::unique_ptr<sim::TrafficGen> gen =
       spec.bursty
-          ? sim::make_bursty(sources, spec.load, spec.mean_burst, seed)
-          : sim::make_uniform(sources, spec.load, seed);
+          ? sim::make_bursty(sources, load, spec.mean_burst, seed)
+          : sim::make_uniform(sources, load, seed);
   if (!spec.muted_sources.empty())
     gen = std::make_unique<MaskedTraffic>(std::move(gen),
                                           spec.muted_sources);
@@ -155,6 +158,29 @@ TrialResult run_trial(const TrialSpec& spec) {
                                   16 + static_cast<std::uint64_t>(p))));
       }
       fabric::MultiPlaneSim sim(c, std::move(per_plane));
+      sim.run();
+      return from_monitor(sim.monitor());
+    }
+    case TrialSim::kTopo: {
+      topo::TopoSimConfig c;
+      c.topology = spec.topology;
+      c.hosts = spec.ports;  // topo trials: the ports axis is hosts
+      c.routing = spec.routing;
+      c.failed_switches = spec.failed_switches;
+      c.fc.kind = spec.flow_control;
+      c.scheduler = spec.scheduler;
+      c.warmup_slots = spec.warmup_slots;
+      c.measure_slots = spec.measure_slots;
+      c.drain_max_slots = spec.drain_max_slots;
+      c.fault_plan = spec.plan;
+      c.monitor = monitor_config(spec);
+      // spec.load is per-host cell load; wormhole injects whole packets,
+      // so scale the packet probability to keep the flit load matched.
+      const double p = spec.flow_control == topo::FcKind::kWormholeVc
+                           ? spec.load / c.fc.flits_per_packet
+                           : spec.load;
+      topo::TopoSim sim(
+          c, make_traffic(spec, spec.sources(), traffic_seed, p));
       sim.run();
       return from_monitor(sim.monitor());
     }

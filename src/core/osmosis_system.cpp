@@ -68,8 +68,8 @@ phy::PowerBudgetReport OsmosisSystem::optical_budget() const {
   return phy::BroadcastSelectCrossbar(cfg_.crossbar()).power_budget();
 }
 
-fabric::FatTreeSizing OsmosisSystem::fabric_sizing() const {
-  return fabric::size_fat_tree(cfg_.ports, cfg_.fabric_ports);
+topo::FatTreeSizing OsmosisSystem::fabric_sizing() const {
+  return topo::size_fat_tree(cfg_.ports, cfg_.fabric_ports);
 }
 
 double OsmosisSystem::fabric_latency_ns() const {
@@ -79,9 +79,9 @@ double OsmosisSystem::fabric_latency_ns() const {
   // between switches and cabling, supporting a 50 m machine room.
   const double per_stage_ns = 2.0 * cfg_.cell.cycle_ns();
   const double cable_ns = util::fiber_delay_ns(cfg_.machine_diameter_m);
-  return fabric::path_latency_ns(sizing, per_stage_ns, cable_ns /
+  return topo::path_latency_ns(sizing, per_stage_ns, cable_ns /
                                      static_cast<double>(
-                                         fabric::cable_hops(sizing)));
+                                         topo::cable_hops(sizing)));
 }
 
 std::vector<ComplianceRow> OsmosisSystem::check_requirements(

@@ -11,7 +11,7 @@
 
 #include "src/core/config.hpp"
 #include "src/core/latency_budget.hpp"
-#include "src/fabric/fat_tree.hpp"
+#include "src/topo/sizing.hpp"
 #include "src/phy/crossbar_optical.hpp"
 #include "src/sim/traffic.hpp"
 #include "src/sw/switch_sim.hpp"
@@ -59,7 +59,7 @@ class OsmosisSystem {
   // ---- fabric ----------------------------------------------------------------
 
   /// Fat-tree sizing to reach cfg().fabric_ports endpoints.
-  fabric::FatTreeSizing fabric_sizing() const;
+  topo::FatTreeSizing fabric_sizing() const;
 
   /// Worst-case fabric latency with ASIC-mapped stages and the
   /// machine-room cable budget (§III: target < 500 ns).

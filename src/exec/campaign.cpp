@@ -13,6 +13,7 @@ const char* to_string(SimKind kind) {
     case SimKind::kEventSwitch: return "event_switch";
     case SimKind::kFabric: return "fabric";
     case SimKind::kServe: return "serve";
+    case SimKind::kTopo: return "topo";
   }
   return "?";
 }
@@ -123,13 +124,21 @@ std::string JobSpec::label() const {
                 to_string(sim), to_string(scheduler), iterations,
                 to_string(policy), ports, receivers, to_string(traffic),
                 load, to_string(fault), repetition);
-  if (sim != SimKind::kServe) return buf;
-  // Serving axes ride as a suffix so every legacy label stays
-  // byte-identical across documents produced before and after serving.
-  char sbuf[64];
-  std::snprintf(sbuf, sizeof sbuf, "/C%lld/%s/T%d",
-                static_cast<long long>(clients), to_string(arrival), tenants);
-  return std::string(buf) + sbuf;
+  if (sim == SimKind::kServe) {
+    // Serving axes ride as a suffix so every legacy label stays
+    // byte-identical across documents produced before and after serving.
+    char sbuf[64];
+    std::snprintf(sbuf, sizeof sbuf, "/C%lld/%s/T%d",
+                  static_cast<long long>(clients), to_string(arrival),
+                  tenants);
+    return std::string(buf) + sbuf;
+  }
+  if (sim == SimKind::kTopo) {
+    // Topology axes follow the same suffix rule as the serving axes.
+    return std::string(buf) + "/" + topo::to_string(topology) + "/" +
+           topo::to_string(flow_control) + "/" + topo::to_string(routing);
+  }
+  return buf;
 }
 
 std::size_t CampaignSpec::job_count() const {
@@ -138,10 +147,13 @@ std::size_t CampaignSpec::job_count() const {
       receivers.size() * traffics.size() * loads.size() * faults.size() *
       static_cast<std::size_t>(repetitions);
   std::size_t total = 0;
-  for (SimKind sim : sims)
-    total += per_sim * (sim == SimKind::kServe
-                            ? clients.size() * arrivals.size()
-                            : std::size_t{1});
+  for (SimKind sim : sims) {
+    std::size_t extra = 1;
+    if (sim == SimKind::kServe) extra = clients.size() * arrivals.size();
+    if (sim == SimKind::kTopo)
+      extra = topologies.size() * flow_controls.size() * routings.size();
+    total += per_sim * extra;
+  }
   return total;
 }
 
@@ -172,6 +184,23 @@ std::vector<JobSpec> CampaignSpec::expand() const {
                                             ? arrivals.size()
                                             : std::size_t{1};
                        ai < ae; ++ai)
+                  // The topology axes follow the same rule: they expand
+                  // only for topo jobs, one pass everywhere else.
+                  for (std::size_t ti = 0,
+                                   te = sim == SimKind::kTopo
+                                            ? topologies.size()
+                                            : std::size_t{1};
+                       ti < te; ++ti)
+                  for (std::size_t fci = 0,
+                                   fce = sim == SimKind::kTopo
+                                             ? flow_controls.size()
+                                             : std::size_t{1};
+                       fci < fce; ++fci)
+                  for (std::size_t ri = 0,
+                                   re = sim == SimKind::kTopo
+                                            ? routings.size()
+                                            : std::size_t{1};
+                       ri < re; ++ri)
                   for (FaultScenario fault : faults)
                     for (int rep = 0; rep < repetitions; ++rep) {
                       JobSpec j;
@@ -205,7 +234,26 @@ std::vector<JobSpec> CampaignSpec::expand() const {
                                         "serve jobs need >= 2 ports, got "
                                             << n);
                       }
-                      if (sim == SimKind::kFabric) {
+                      if (sim == SimKind::kTopo) {
+                        j.topology = topologies[ti];
+                        j.flow_control = flow_controls[fci];
+                        j.routing = routings[ri];
+                        OSMOSIS_REQUIRE(
+                            sched == sw::SchedulerKind::kIslip ||
+                                sched == sw::SchedulerKind::kPim ||
+                                sched == sw::SchedulerKind::kTdm ||
+                                sched == sw::SchedulerKind::kWfa,
+                            "topo jobs need an immediate-issue scheduler "
+                            "(islip/pim/tdm/wfa), got "
+                                << to_string(sched));
+                        OSMOSIS_REQUIRE(
+                            fault == FaultScenario::kNone ||
+                                fault == FaultScenario::kAdapterStall ||
+                                fault == FaultScenario::kSpineOutage,
+                            "topo jobs accept only none/adapter_stall/"
+                            "spine_outage fault scenarios, got "
+                                << to_string(fault));
+                      } else if (sim == SimKind::kFabric) {
                         OSMOSIS_REQUIRE(
                             sched == sw::SchedulerKind::kIslip ||
                                 sched == sw::SchedulerKind::kPim ||

@@ -19,6 +19,8 @@
 #include "src/api/openloop.hpp"
 #include "src/faults/fault_plan.hpp"
 #include "src/sw/scheduler.hpp"
+#include "src/topo/flow_control.hpp"
+#include "src/topo/topology.hpp"
 
 namespace osmosis::exec {
 
@@ -28,6 +30,7 @@ enum class SimKind : std::uint8_t {
   kEventSwitch,  // sw::EventSwitchSim — event-driven, ns time base
   kFabric,       // fabric::FabricSim — two-stage leaf/spine fabric
   kServe,        // api::ServeSim — open-loop serving over the switch
+  kTopo,         // topo::TopoSim — topology x flow-control zoo
 };
 const char* to_string(SimKind kind);
 
@@ -83,10 +86,17 @@ struct JobSpec {
   std::int64_t clients = 0;
   api::ArrivalKind arrival = api::ArrivalKind::kPoisson;
   int tenants = 4;
+  // Topology axes (kTopo only; defaults everywhere else so legacy jobs
+  // keep their exact labels and checkpoint bytes). For topo jobs
+  // `ports` is the host count (32/128/512/2048 fit every generator).
+  topo::TopoKind topology = topo::TopoKind::kFatTree;
+  topo::FcKind flow_control = topo::FcKind::kCredit;
+  topo::RouteKind routing = topo::RouteKind::kDestMod;
 
   /// Stable human/machine identifier carrying every axis value, e.g.
   /// "switch/flppr/K0/earliest/N64/R2/uniform/load0.700/none/rep0".
-  /// Serve jobs append "/C<clients>/<arrival>/T<tenants>".
+  /// Serve jobs append "/C<clients>/<arrival>/T<tenants>"; topo jobs
+  /// append "/<topology>/<flow_control>/<routing>".
   /// campaign_compare matches jobs across documents by this label.
   std::string label() const;
 
@@ -112,6 +122,9 @@ struct JobSpec {
     ckpt::field(a, clients);
     ckpt::field(a, arrival);
     ckpt::field(a, tenants);
+    ckpt::field(a, topology);
+    ckpt::field(a, flow_control);
+    ckpt::field(a, routing);
   }
 };
 
@@ -140,6 +153,11 @@ struct CampaignSpec {
   std::vector<std::int64_t> clients = {4096};
   std::vector<api::ArrivalKind> arrivals = {api::ArrivalKind::kPoisson};
   int tenants = 4;
+  // Topology axes, iterated only for SimKind::kTopo entries (same
+  // single-pass rule as the serving axes above).
+  std::vector<topo::TopoKind> topologies = {topo::TopoKind::kFatTree};
+  std::vector<topo::FcKind> flow_controls = {topo::FcKind::kCredit};
+  std::vector<topo::RouteKind> routings = {topo::RouteKind::kDestMod};
   std::vector<FaultScenario> faults = {FaultScenario::kNone};
   int repetitions = 1;
   std::uint64_t campaign_seed = 0xCA3B'A167ULL;

@@ -16,6 +16,7 @@
 #include "src/sw/event_switch_sim.hpp"
 #include "src/sw/switch_sim.hpp"
 #include "src/telemetry/json.hpp"
+#include "src/topo/topo_sim.hpp"
 #include "src/util/log.hpp"
 
 namespace osmosis::exec {
@@ -304,6 +305,75 @@ JobResult ServeJobDriver::finalize() {
   return out;
 }
 
+class TopoJobDriver final : public JobDriver {
+ public:
+  explicit TopoJobDriver(const JobSpec& j)
+      : faulty_(j.fault != FaultScenario::kNone) {
+    topo::TopoSimConfig cfg;
+    cfg.topology = j.topology;
+    cfg.hosts = j.ports;  // topo jobs: the ports axis is the host count
+    cfg.routing = j.routing;
+    cfg.fc.kind = j.flow_control;
+    cfg.scheduler = j.scheduler;
+    cfg.scheduler_iterations = j.iterations;
+    cfg.warmup_slots = j.warmup_slots;
+    cfg.measure_slots = j.measure_slots;
+    // Always drain, so the exactly-once audit sees every packet land.
+    cfg.drain_max_slots = 50'000;
+    if (faulty_) {
+      cfg.fault_plan =
+          make_fault_plan(j.fault, j.warmup_slots, j.measure_slots);
+      cfg.fault_plan.seeded(j.seed ^ 0x0FA7'17ULL);
+    }
+    // Wormhole streams flits_per_packet flits per packet, so inject
+    // packets at load / flits_per_packet to offer the same flit load as
+    // the cell kinds (the run_topo_uniform rule).
+    const double p = j.flow_control == topo::FcKind::kWormholeVc
+                         ? j.load / cfg.fc.flits_per_packet
+                         : j.load;
+    sim_ = std::make_unique<topo::TopoSim>(
+        cfg, j.traffic == TrafficKind::kBursty
+                 ? sim::make_bursty(cfg.hosts, p, j.mean_burst, j.seed)
+                 : sim::make_uniform(cfg.hosts, p, j.seed));
+  }
+
+  bool advance() override { return sim_->advance_slot(); }
+  void save(ckpt::Writer& w) const override { sim_->save_state(w); }
+  void load(const ckpt::Reader& r) override { sim_->load_state(r); }
+  JobResult finalize() override;
+
+ private:
+  bool faulty_;
+  std::unique_ptr<topo::TopoSim> sim_;
+};
+
+JobResult TopoJobDriver::finalize() {
+  const auto r = sim_->finalize();
+  auto& sim = *sim_;
+
+  JobResult out;
+  out.metrics["throughput"] = r.throughput;
+  out.metrics["delivered"] = static_cast<double>(r.delivered);
+  out.metrics["mean_delay"] = r.mean_delay_slots;
+  out.metrics["p99_delay"] = r.p99_delay_slots;
+  out.metrics["mean_hops"] = r.mean_hops;
+  out.metrics["stages"] = r.stages;
+  out.metrics["diameter"] = r.diameter;
+  out.metrics["hosts"] = r.hosts;
+  out.metrics["out_of_order"] = static_cast<double>(r.out_of_order);
+  out.metrics["buffer_overflows"] = static_cast<double>(r.buffer_overflows);
+  out.metrics["exactly_once_in_order"] = r.exactly_once_in_order ? 1.0 : 0.0;
+  out.metrics["invariant_violations"] =
+      static_cast<double>(r.invariant_violations);
+  if (faulty_) {
+    out.metrics["faults_injected"] = static_cast<double>(r.faults_injected);
+    out.metrics["faults_repaired"] = static_cast<double>(r.faults_repaired);
+  }
+  out.report = sim.report();
+  out.raw_hists.emplace("delay", sim.delay_histogram());
+  return out;
+}
+
 // Serialized-spec equality: two JobSpecs match iff every axis value
 // matches, byte for byte.
 std::string spec_bytes(const JobSpec& spec) {
@@ -363,6 +433,7 @@ std::unique_ptr<JobDriver> make_job_driver(const JobSpec& spec) {
       return std::make_unique<EventSwitchJobDriver>(spec);
     case SimKind::kFabric: return std::make_unique<FabricJobDriver>(spec);
     case SimKind::kServe: return std::make_unique<ServeJobDriver>(spec);
+    case SimKind::kTopo: return std::make_unique<TopoJobDriver>(spec);
   }
   OSMOSIS_REQUIRE(false, "unknown SimKind");
   return nullptr;
@@ -571,6 +642,15 @@ std::string CampaignResult::to_json(int indent, bool include_timing) const {
       w.string(to_string(j.spec.arrival));
       w.key("tenants");
       w.number(j.spec.tenants);
+    }
+    // Topology axes likewise appear only on topo jobs.
+    if (j.spec.sim == SimKind::kTopo) {
+      w.key("topology");
+      w.string(topo::to_string(j.spec.topology));
+      w.key("flow_control");
+      w.string(topo::to_string(j.spec.flow_control));
+      w.key("routing");
+      w.string(topo::to_string(j.spec.routing));
     }
     w.key("fault");
     w.string(to_string(j.spec.fault));

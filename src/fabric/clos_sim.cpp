@@ -7,111 +7,9 @@
 
 namespace osmosis::fabric {
 
-int ClosFabricSim::new_switch(int level, int ports) {
-  SwitchNode node;
-  node.level = level;
-  sw::SchedulerConfig sc;
-  sc.kind = cfg_.scheduler;
-  sc.ports = ports;
-  sc.receivers = 1;
-  sc.iterations = cfg_.scheduler_iterations;
-  sc.seed = 0xC105ULL + static_cast<std::uint64_t>(switches_.size());
-  node.sched = sw::make_scheduler(sc);
-  node.peer.resize(static_cast<std::size_t>(ports));
-  node.voq.assign(static_cast<std::size_t>(ports),
-                  std::vector<std::deque<FabricCell>>(
-                      static_cast<std::size_t>(ports)));
-  node.input_occupancy.assign(static_cast<std::size_t>(ports), 0);
-  node.out_credits.assign(static_cast<std::size_t>(ports),
-                          cfg_.buffer_cells);
-  node.out_data.resize(static_cast<std::size_t>(ports));
-  node.credit_in.resize(static_cast<std::size_t>(ports));
-  switches_.push_back(std::move(node));
-  return static_cast<int>(switches_.size()) - 1;
-}
-
-void ClosFabricSim::wire(int sw_a, int port_a, int sw_b, int port_b,
-                         int delay) {
-  auto& a = switches_[static_cast<std::size_t>(sw_a)];
-  auto& b = switches_[static_cast<std::size_t>(sw_b)];
-  OSMOSIS_REQUIRE(a.peer[static_cast<std::size_t>(port_a)].kind ==
-                          PeerKind::kNone &&
-                      b.peer[static_cast<std::size_t>(port_b)].kind ==
-                          PeerKind::kNone,
-                  "double wiring of a port");
-  a.peer[static_cast<std::size_t>(port_a)] =
-      Peer{PeerKind::kSwitch, sw_b, port_b, delay};
-  b.peer[static_cast<std::size_t>(port_b)] =
-      Peer{PeerKind::kSwitch, sw_a, port_a, delay};
-}
-
-std::vector<ClosFabricSim::Uplink> ClosFabricSim::build_slice(
-    int level, int& host_base) {
-  std::vector<Uplink> uplinks;
-  if (level == 1) {
-    const int sw = new_switch(1, cfg_.radix);
-    auto& node = switches_[static_cast<std::size_t>(sw)];
-    for (int p = 0; p < m_; ++p) {
-      const int host = host_base++;
-      node.peer[static_cast<std::size_t>(p)] =
-          Peer{PeerKind::kHost, host, -1, cfg_.host_cable_slots};
-      node.down_ranges.push_back({host, host + 1, p});
-      host_attach_.push_back(HostAttach{sw, p});
-    }
-    for (int u = 0; u < m_; ++u) {
-      node.up_ports.push_back(m_ + u);
-      uplinks.push_back(Uplink{sw, m_ + u});
-    }
-    return uplinks;
-  }
-
-  // m sub-pods, then m^(level-1) switches of this level on top of them.
-  std::vector<std::vector<Uplink>> pod_up;
-  std::vector<std::pair<int, int>> pod_range;  // hosts [lo, hi) per pod
-  pod_up.reserve(static_cast<std::size_t>(m_));
-  for (int i = 0; i < m_; ++i) {
-    const int lo = host_base;
-    pod_up.push_back(build_slice(level - 1, host_base));
-    pod_range.emplace_back(lo, host_base);
-  }
-  const int top_count = static_cast<int>(pod_up[0].size());
-  std::vector<int> tops;
-  tops.reserve(static_cast<std::size_t>(top_count));
-  for (int j = 0; j < top_count; ++j) {
-    const int sw = new_switch(level, cfg_.radix);
-    tops.push_back(sw);
-  }
-  for (int i = 0; i < m_; ++i) {
-    OSMOSIS_REQUIRE(static_cast<int>(pod_up[static_cast<std::size_t>(i)]
-                                         .size()) == top_count,
-                    "unbalanced pod uplink counts");
-    for (int j = 0; j < top_count; ++j) {
-      const Uplink& up = pod_up[static_cast<std::size_t>(i)]
-                               [static_cast<std::size_t>(j)];
-      wire(up.sw, up.port, tops[static_cast<std::size_t>(j)], i,
-           cfg_.trunk_cable_slots);
-      switches_[static_cast<std::size_t>(tops[static_cast<std::size_t>(j)])]
-          .down_ranges.push_back({pod_range[static_cast<std::size_t>(i)].first,
-                                  pod_range[static_cast<std::size_t>(i)].second,
-                                  i});
-    }
-  }
-  // Expose this slice's uplinks: ports m..2m-1 of every top switch,
-  // spread so consecutive indices hit distinct switches. Each (switch,
-  // port) pair is pushed exactly once.
-  for (int u = 0; u < m_; ++u) {
-    for (int j = 0; j < top_count; ++j) {
-      switches_[static_cast<std::size_t>(tops[static_cast<std::size_t>(j)])]
-          .up_ports.push_back(m_ + u);
-      uplinks.push_back(Uplink{tops[static_cast<std::size_t>(j)], m_ + u});
-    }
-  }
-  return uplinks;
-}
-
 ClosFabricSim::ClosFabricSim(ClosConfig cfg,
                              std::unique_ptr<sim::TrafficGen> traffic)
-    : cfg_(cfg), m_(cfg.radix / 2), traffic_(std::move(traffic)) {
+    : cfg_(cfg), traffic_(std::move(traffic)) {
   OSMOSIS_REQUIRE(cfg_.radix >= 4 && cfg_.radix % 2 == 0,
                   "radix must be even and >= 4");
   OSMOSIS_REQUIRE(cfg_.levels >= 1 && cfg_.levels <= 4,
@@ -122,197 +20,59 @@ ClosFabricSim::ClosFabricSim(ClosConfig cfg,
                       cfg_.scheduler == sw::SchedulerKind::kWfa,
                   "fabric stages need an immediate-issue scheduler kind");
 
-  int host_base = 0;
-  if (cfg_.levels == 1) {
-    // A single switch: every port is a host port.
-    const int sw = new_switch(1, cfg_.radix);
-    auto& node = switches_[static_cast<std::size_t>(sw)];
-    for (int p = 0; p < cfg_.radix; ++p) {
-      node.peer[static_cast<std::size_t>(p)] =
-          Peer{PeerKind::kHost, host_base, -1, cfg_.host_cable_slots};
-      node.down_ranges.push_back({host_base, host_base + 1, p});
-      host_attach_.push_back(HostAttach{sw, p});
-      ++host_base;
-    }
-  } else {
-    // 2m pods of FT'(L-1) + m^(L-1) top switches with all ports down.
-    std::vector<std::vector<Uplink>> pod_up;
-    std::vector<std::pair<int, int>> pod_range;
-    for (int p = 0; p < cfg_.radix; ++p) {
-      const int lo = host_base;
-      pod_up.push_back(build_slice(cfg_.levels - 1, host_base));
-      pod_range.emplace_back(lo, host_base);
-    }
-    const int top_count = static_cast<int>(pod_up[0].size());
-    for (int j = 0; j < top_count; ++j) {
-      const int top = new_switch(cfg_.levels, cfg_.radix);
-      for (int p = 0; p < cfg_.radix; ++p) {
-        const Uplink& up = pod_up[static_cast<std::size_t>(p)]
-                                 [static_cast<std::size_t>(j)];
-        wire(up.sw, up.port, top, p, cfg_.trunk_cable_slots);
-        switches_[static_cast<std::size_t>(top)].down_ranges.push_back(
-            {pod_range[static_cast<std::size_t>(p)].first,
-             pod_range[static_cast<std::size_t>(p)].second, p});
-      }
-    }
-  }
-  hosts_ = host_base;
-  const std::uint64_t expected =
-      static_cast<std::uint64_t>(cfg_.radix) *
-      util::ipow(static_cast<std::uint64_t>(m_),
-                 static_cast<unsigned>(cfg_.levels - 1));
-  OSMOSIS_REQUIRE(static_cast<std::uint64_t>(hosts_) == expected,
-                  "built " << hosts_ << " hosts, expected " << expected);
-  OSMOSIS_REQUIRE(traffic_ != nullptr && traffic_->ports() == hosts_,
-                  "traffic generator must cover all " << hosts_ << " hosts");
+  topo::FatTreeParams fp;
+  fp.radix = cfg_.radix;
+  fp.levels = cfg_.levels;
+  fp.host_delay = cfg_.host_cable_slots;
+  fp.trunk_delay = cfg_.trunk_cable_slots;
+  fp.routing = topo::RouteKind::kDestMod;
+  fp.failed_switches = cfg_.failed_switches;
+  topo_ = topo::make_fat_tree(fp);
 
-  failed_.assign(switches_.size(), 0);
-  for (const int id : cfg_.failed_switches) {
-    OSMOSIS_REQUIRE(id >= 0 && id < static_cast<int>(switches_.size()),
-                    "failed switch " << id << " out of range (have "
-                                     << switches_.size() << " switches)");
-    const SwitchNode& node = switches_[static_cast<std::size_t>(id)];
-    if (node.level == 1) {
-      // A leaf is its hosts' only attachment point: no rerouting exists.
-      const int lo = node.down_ranges.front().lo;
-      const int hi = node.down_ranges.back().hi;
-      OSMOSIS_REQUIRE(false, "failed leaf switch "
-                                 << id << " disconnects hosts " << lo << ".."
-                                 << hi - 1 << " outright");
-    }
-    failed_[static_cast<std::size_t>(id)] = 1;
-    degraded_ = true;
+  OSMOSIS_REQUIRE(traffic_ != nullptr && traffic_->ports() == topo_.hosts,
+                  "traffic generator must cover all " << topo_.hosts
+                                                      << " hosts");
+  if (!cfg_.failed_switches.empty()) {
+    const auto findings = topo_.audit(1);
+    OSMOSIS_REQUIRE(findings.empty(), findings.front());
   }
 
-  build_routes();
-  if (degraded_) verify_connectivity();
-
-  host_queue_.resize(static_cast<std::size_t>(hosts_));
-  host_credits_.assign(static_cast<std::size_t>(hosts_), cfg_.buffer_cells);
-  host_credit_in_.resize(static_cast<std::size_t>(hosts_));
-  host_out_.resize(static_cast<std::size_t>(hosts_));
-  flow_seq_.assign(
-      static_cast<std::size_t>(hosts_) * static_cast<std::size_t>(hosts_), 0);
-}
-
-bool ClosFabricSim::reachable(int sw, int dst,
-                              std::vector<signed char>& memo) const {
-  signed char& m = memo[static_cast<std::size_t>(sw) *
-                            static_cast<std::size_t>(hosts_) +
-                        static_cast<std::size_t>(dst)];
-  if (m != -1) return m != 0;
-  bool ok = false;
-  if (!failed_[static_cast<std::size_t>(sw)]) {
-    const SwitchNode& node = switches_[static_cast<std::size_t>(sw)];
-    int down = -1;
-    for (const auto& dr : node.down_ranges)
-      if (dst >= dr.lo && dst < dr.hi) {
-        down = dr.port;
-        break;
-      }
-    if (down >= 0) {
-      const Peer& peer = node.peer[static_cast<std::size_t>(down)];
-      ok = peer.kind == PeerKind::kHost || reachable(peer.id, dst, memo);
-    } else {
-      for (const int u : node.up_ports) {
-        const Peer& peer = node.peer[static_cast<std::size_t>(u)];
-        if (peer.kind == PeerKind::kSwitch && reachable(peer.id, dst, memo)) {
-          ok = true;
-          break;
-        }
-      }
-    }
+  switches_.resize(topo_.switches.size());
+  for (std::size_t id = 0; id < switches_.size(); ++id) {
+    SwitchNode& node = switches_[id];
+    sw::SchedulerConfig sc;
+    sc.kind = cfg_.scheduler;
+    sc.ports = cfg_.radix;
+    sc.receivers = 1;
+    sc.iterations = cfg_.scheduler_iterations;
+    sc.seed = 0xC105ULL + static_cast<std::uint64_t>(id);
+    node.sched = sw::make_scheduler(sc);
+    node.voq.assign(static_cast<std::size_t>(cfg_.radix),
+                    std::vector<std::deque<FabricCell>>(
+                        static_cast<std::size_t>(cfg_.radix)));
+    node.input_occupancy.assign(static_cast<std::size_t>(cfg_.radix), 0);
+    node.out_credits.assign(static_cast<std::size_t>(cfg_.radix),
+                            cfg_.buffer_cells);
+    node.out_data.resize(static_cast<std::size_t>(cfg_.radix));
+    node.credit_in.resize(static_cast<std::size_t>(cfg_.radix));
   }
-  m = ok ? 1 : 0;
-  return ok;
-}
 
-void ClosFabricSim::build_routes() {
-  std::vector<signed char> memo;
-  if (degraded_)
-    memo.assign(switches_.size() * static_cast<std::size_t>(hosts_), -1);
-  for (auto& node : switches_) {
-    node.route.assign(static_cast<std::size_t>(hosts_), -1);
-    const bool dead =
-        degraded_ &&
-        failed_[static_cast<std::size_t>(&node - switches_.data())];
-    if (dead) continue;  // carries no cells; routes stay unused
-    for (int dst = 0; dst < hosts_; ++dst) {
-      int port = -1;
-      for (const auto& dr : node.down_ranges) {
-        if (dst >= dr.lo && dst < dr.hi) {
-          port = dr.port;
-          break;
-        }
-      }
-      if (port < 0) {
-        OSMOSIS_REQUIRE(!node.up_ports.empty(),
-                        "top-level switch cannot reach host " << dst);
-        // Static destination-digit uplink choice (d-mod-k): level l keys
-        // on the l-th base-m digit of the destination. Using a DIFFERENT
-        // digit per level is essential — traffic reaching a level-l
-        // switch already shares the lower digits, so reusing them would
-        // funnel everything onto one uplink. Deterministic per
-        // destination, so per-flow order is preserved.
-        std::uint64_t digit = static_cast<std::uint64_t>(dst);
-        for (int l = 1; l < node.level; ++l)
-          digit /= static_cast<std::uint64_t>(m_);
-        if (!degraded_) {
-          port = node.up_ports[digit % node.up_ports.size()];
-        } else {
-          // Same digit choice, spread over the uplinks whose peer can
-          // still reach dst: the fault-free table is reproduced exactly
-          // when nothing failed, and flows re-spread deterministically
-          // around the holes when something did.
-          std::vector<int> valid;
-          for (const int u : node.up_ports) {
-            const Peer& peer = node.peer[static_cast<std::size_t>(u)];
-            if (peer.kind == PeerKind::kSwitch &&
-                reachable(peer.id, dst, memo))
-              valid.push_back(u);
-          }
-          if (valid.empty()) continue;  // verify_connectivity() reports
-          port = valid[digit % valid.size()];
-        }
-      }
-      node.route[static_cast<std::size_t>(dst)] = port;
-    }
-  }
-}
-
-void ClosFabricSim::verify_connectivity() const {
-  // Follow each host pair's actual routed path; a -1 route or a failed
-  // switch on the way means the failure set strands that pair.
-  for (int src = 0; src < hosts_; ++src) {
-    const HostAttach& at = host_attach_[static_cast<std::size_t>(src)];
-    for (int dst = 0; dst < hosts_; ++dst) {
-      int sw = at.sw;
-      const int max_hops = 2 * cfg_.levels - 1;
-      for (int hop = 0; hop <= max_hops; ++hop) {
-        OSMOSIS_REQUIRE(!failed_[static_cast<std::size_t>(sw)],
-                        "failed switches disconnect host "
-                            << dst << " from host " << src
-                            << " (path dead-ends at switch " << sw << ")");
-        const SwitchNode& node = switches_[static_cast<std::size_t>(sw)];
-        const int out = node.route[static_cast<std::size_t>(dst)];
-        OSMOSIS_REQUIRE(out >= 0, "failed switches disconnect host "
-                                      << dst << " from host " << src
-                                      << " (no surviving uplink at switch "
-                                      << sw << ")");
-        const Peer& peer = node.peer[static_cast<std::size_t>(out)];
-        if (peer.kind == PeerKind::kHost) break;
-        OSMOSIS_REQUIRE(hop < max_hops,
-                        "routing loop toward host " << dst);
-        sw = peer.id;
-      }
-    }
-  }
+  host_queue_.resize(static_cast<std::size_t>(topo_.hosts));
+  host_credits_.assign(static_cast<std::size_t>(topo_.hosts),
+                       cfg_.buffer_cells);
+  host_credit_in_.resize(static_cast<std::size_t>(topo_.hosts));
+  host_out_.resize(static_cast<std::size_t>(topo_.hosts));
+  flow_seq_.assign(static_cast<std::size_t>(topo_.hosts) *
+                       static_cast<std::size_t>(topo_.hosts),
+                   0);
 }
 
 void ClosFabricSim::accept_cell(int sw_id, int in_port, FabricCell cell) {
   SwitchNode& node = switches_[static_cast<std::size_t>(sw_id)];
   ++cell.hops;
-  const int out = node.route[static_cast<std::size_t>(cell.dst)];
+  const int out =
+      topo_.switches[static_cast<std::size_t>(sw_id)]
+          .route[static_cast<std::size_t>(cell.dst)];
   node.voq[static_cast<std::size_t>(in_port)][static_cast<std::size_t>(out)]
       .push_back(cell);
   int& occ = node.input_occupancy[static_cast<std::size_t>(in_port)];
@@ -323,12 +83,15 @@ void ClosFabricSim::accept_cell(int sw_id, int in_port, FabricCell cell) {
 }
 
 void ClosFabricSim::step(std::uint64_t t, bool measuring) {
+  const int hosts = topo_.hosts;
+  const bool degraded = !cfg_.failed_switches.empty();
+
   // 1. Hosts generate traffic.
-  for (int h = 0; h < hosts_; ++h) {
+  for (int h = 0; h < hosts; ++h) {
     sim::Arrival a;
     if (!traffic_->sample(h, a)) continue;
     const std::size_t flow = static_cast<std::size_t>(h) *
-                                 static_cast<std::size_t>(hosts_) +
+                                 static_cast<std::size_t>(hosts) +
                              static_cast<std::size_t>(a.dst);
     host_queue_[static_cast<std::size_t>(h)].push_back(
         FabricCell{h, a.dst, flow_seq_[flow]++, t, 0});
@@ -336,7 +99,7 @@ void ClosFabricSim::step(std::uint64_t t, bool measuring) {
   }
 
   // 2. Credits come home.
-  for (int h = 0; h < hosts_; ++h) {
+  for (int h = 0; h < hosts; ++h) {
     auto& q = host_credit_in_[static_cast<std::size_t>(h)];
     while (!q.empty() && q.front() <= t) {
       q.pop_front();
@@ -354,25 +117,27 @@ void ClosFabricSim::step(std::uint64_t t, bool measuring) {
   }
 
   // 3a. Host-to-leaf arrivals.
-  for (int h = 0; h < hosts_; ++h) {
+  for (int h = 0; h < hosts; ++h) {
     auto& q = host_out_[static_cast<std::size_t>(h)];
     while (!q.empty() && q.front().slot <= t) {
       const FabricCell cell = q.front().cell;
       q.pop_front();
-      const auto& at = host_attach_[static_cast<std::size_t>(h)];
+      const auto& at = topo_.inject[static_cast<std::size_t>(h)];
       accept_cell(at.sw, at.port, cell);
     }
   }
 
   // 3b. Inter-switch and egress cable arrivals.
-  for (auto& node : switches_) {
+  for (std::size_t s = 0; s < switches_.size(); ++s) {
+    SwitchNode& node = switches_[s];
+    const topo::SwitchSpec& spec = topo_.switches[s];
     for (std::size_t p = 0; p < node.out_data.size(); ++p) {
       auto& q = node.out_data[p];
       while (!q.empty() && q.front().slot <= t) {
         const FabricCell cell = q.front().cell;
         q.pop_front();
-        const Peer& peer = node.peer[p];
-        if (peer.kind == PeerKind::kHost) {
+        const topo::Peer& peer = spec.out_peer[p];
+        if (peer.kind == topo::PeerKind::kHost) {
           reorder_.deliver(cell.src, cell.dst, cell.seq);
           ++delivered_total_;
           if (measuring) {
@@ -388,7 +153,7 @@ void ClosFabricSim::step(std::uint64_t t, bool measuring) {
   }
 
   // 4. Host injection, gated by leaf input-buffer credits.
-  for (int h = 0; h < hosts_; ++h) {
+  for (int h = 0; h < hosts; ++h) {
     auto& q = host_queue_[static_cast<std::size_t>(h)];
     int& credits = host_credits_[static_cast<std::size_t>(h)];
     if (!q.empty() && credits > 0) {
@@ -401,14 +166,15 @@ void ClosFabricSim::step(std::uint64_t t, bool measuring) {
   }
 
   // 5. Per-stage scheduling and crossbar transfer.
-  for (auto& node : switches_) {
-    if (degraded_ &&
-        failed_[static_cast<std::size_t>(&node - switches_.data())])
+  for (std::size_t s = 0; s < switches_.size(); ++s) {
+    if (degraded && topo_.dead(static_cast<int>(s)))
       continue;  // out of service: routing never sends cells here
-    const int ports = static_cast<int>(node.peer.size());
+    SwitchNode& node = switches_[s];
+    const topo::SwitchSpec& spec = topo_.switches[s];
+    const int ports = spec.out_ports();
     for (int p = 0; p < ports; ++p) {
-      const bool fc = node.peer[static_cast<std::size_t>(p)].kind ==
-                      PeerKind::kSwitch;
+      const bool fc = spec.out_peer[static_cast<std::size_t>(p)].kind ==
+                      topo::PeerKind::kSwitch;
       if (fc && node.out_credits[static_cast<std::size_t>(p)] == 0)
         node.sched->block_output(p);
       else
@@ -423,8 +189,9 @@ void ClosFabricSim::step(std::uint64_t t, bool measuring) {
       --node.input_occupancy[static_cast<std::size_t>(g.input)];
 
       // Credit back to whatever feeds this input port.
-      const Peer& upstream = node.peer[static_cast<std::size_t>(g.input)];
-      if (upstream.kind == PeerKind::kHost) {
+      const topo::Peer& upstream =
+          spec.in_peer[static_cast<std::size_t>(g.input)];
+      if (upstream.kind == topo::PeerKind::kHost) {
         host_credit_in_[static_cast<std::size_t>(upstream.id)].push_back(
             t + static_cast<std::uint64_t>(upstream.delay));
       } else {
@@ -434,8 +201,9 @@ void ClosFabricSim::step(std::uint64_t t, bool measuring) {
       }
 
       // Consume downstream credit (switch links only) and launch.
-      const Peer& downstream = node.peer[static_cast<std::size_t>(g.output)];
-      if (downstream.kind == PeerKind::kSwitch) {
+      const topo::Peer& downstream =
+          spec.out_peer[static_cast<std::size_t>(g.output)];
+      if (downstream.kind == topo::PeerKind::kSwitch) {
         int& credits = node.out_credits[static_cast<std::size_t>(g.output)];
         OSMOSIS_REQUIRE(credits > 0, "clos grant to credit-less output");
         --credits;
@@ -451,14 +219,14 @@ ClosResult ClosFabricSim::run() {
   for (std::uint64_t t = cfg_.warmup_slots;
        t < cfg_.warmup_slots + cfg_.measure_slots; ++t) {
     step(t, true);
-    meter_.advance_slots(1, static_cast<std::uint64_t>(hosts_));
+    meter_.advance_slots(1, static_cast<std::uint64_t>(topo_.hosts));
   }
 
   ClosResult r;
   r.radix = cfg_.radix;
   r.levels = cfg_.levels;
-  r.hosts = hosts_;
-  r.switches = static_cast<int>(switches_.size());
+  r.hosts = topo_.hosts;
+  r.switches = topo_.switch_count();
   r.path_stages = 2 * cfg_.levels - 1;
   r.offered_load = traffic_->offered_load();
   r.throughput = meter_.utilization();
@@ -468,10 +236,10 @@ ClosResult ClosFabricSim::run() {
   r.mean_hops = hops_.mean();
   r.max_input_occupancy_per_level.assign(
       static_cast<std::size_t>(cfg_.levels), 0);
-  for (const auto& node : switches_) {
+  for (std::size_t s = 0; s < switches_.size(); ++s) {
     auto& slot = r.max_input_occupancy_per_level[static_cast<std::size_t>(
-        node.level - 1)];
-    slot = std::max(slot, node.max_input_occ);
+        topo_.switches[s].stage - 1)];
+    slot = std::max(slot, switches_[s].max_input_occ);
   }
   r.buffer_overflows = overflows_;
   r.out_of_order = reorder_.out_of_order();

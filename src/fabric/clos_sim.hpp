@@ -3,18 +3,14 @@
 // multistage machine of §VI.C at cell granularity, for any level count:
 // L = 2 is the paper's three-stage OSMOSIS fabric, L = 3 the five-stage
 // high-end-electronic alternative. Same input-only buffering and
-// credit-based scheduler-relayed flow control as FabricSim (Figs. 3-4),
-// built on an explicit recursive topology:
+// credit-based scheduler-relayed flow control as FabricSim (Figs. 3-4).
 //
-//   FT'(1)  = one switch: m host ports down, m uplinks (m = radix/2)
-//   FT'(l)  = m pods of FT'(l-1) + m^(l-1) level-l switches; pod p's
-//             j-th uplink -> switch j, down-port p
-//   Machine = 2m pods of FT'(L-1) + m^(L-1) top switches using all
-//             radix ports down  =>  radix * m^(L-1) hosts, 2L-1 stages.
-//
-// Routing is up/down with static per-destination uplink choice
-// (dst mod m), so per-flow order is preserved; each switch's routing
-// table is precomputed from its descendant host ranges.
+// The wiring, routing tables, and fault handling come from the topology
+// zoo (topo::make_fat_tree): the FT' recursion, static d-mod-k up/down
+// routing, degraded re-spreading around failed switches, and the
+// connectivity audit all live in src/topo/ — this class only owns the
+// cell-moving machinery (VOQs, per-switch central schedulers, credit
+// flow control, cable-flight queues).
 
 #include <cstdint>
 #include <deque>
@@ -24,6 +20,7 @@
 #include "src/sim/stats.hpp"
 #include "src/sim/traffic.hpp"
 #include "src/sw/scheduler.hpp"
+#include "src/topo/topology.hpp"
 
 namespace osmosis::fabric {
 
@@ -74,8 +71,9 @@ class ClosFabricSim {
 
   ClosResult run();
 
-  int hosts() const { return hosts_; }
-  int switch_count() const { return static_cast<int>(switches_.size()); }
+  int hosts() const { return topo_.hosts; }
+  int switch_count() const { return topo_.switch_count(); }
+  const topo::Topology& topology() const { return topo_; }
 
  private:
   struct FabricCell {
@@ -89,68 +87,27 @@ class ClosFabricSim {
     std::uint64_t slot;
     FabricCell cell;
   };
-  enum class PeerKind { kNone, kHost, kSwitch };
-  struct Peer {
-    PeerKind kind = PeerKind::kNone;
-    int id = -1;    // host id or switch id
-    int port = -1;  // peer's port (switches only)
-    int delay = 1;  // cable flight time in slots
-  };
+  // Per-switch cell-moving state; the wiring and routes live in the
+  // matching topo_.switches[id] entry.
   struct SwitchNode {
-    int level = 1;  // 1 = leaf
     std::unique_ptr<sw::Scheduler> sched;
-    std::vector<Peer> peer;                      // per port
     std::vector<std::vector<std::deque<FabricCell>>> voq;  // [in][out]
     std::vector<int> input_occupancy;
     std::vector<int> out_credits;                // -1 = host egress
     std::vector<std::deque<Timed>> out_data;     // per port
     std::vector<std::deque<std::uint64_t>> credit_in;  // per port
-    std::vector<int> route;                      // dst host -> out port
-    // Topology metadata used to derive the routing table.
-    struct DownRange {
-      int lo, hi, port;  // hosts [lo, hi) live below down-port `port`
-    };
-    std::vector<DownRange> down_ranges;
-    std::vector<int> up_ports;
     int max_input_occ = 0;
   };
 
-  /// Recursive FT'(level) builder; appends switches, wires hosts
-  /// starting at host id `host_base`, and returns the ids/ports of the
-  /// exposed uplinks (ordered).
-  struct Uplink {
-    int sw;
-    int port;
-  };
-  std::vector<Uplink> build_slice(int level, int& host_base);
-  int new_switch(int level, int ports);
-  void wire(int sw_a, int port_a, int sw_b, int port_b, int delay);
-  void build_routes();
-  /// True when the (alive) switch can deliver to `dst` over surviving
-  /// switches: down the intact branch when dst is below it, otherwise up
-  /// through some uplink peer that can. Memoized; no cycles because the
-  /// level strictly rises going up and falls going down.
-  bool reachable(int sw, int dst, std::vector<signed char>& memo) const;
-  /// Walks every host pair's routed path and rejects the failure set if
-  /// any path dead-ends, naming the disconnected host.
-  void verify_connectivity() const;
   void step(std::uint64_t t, bool measuring);
   void accept_cell(int sw_id, int in_port, FabricCell cell);
 
   ClosConfig cfg_;
-  int m_;
-  int hosts_ = 0;
+  topo::Topology topo_;
   std::vector<SwitchNode> switches_;
-  std::vector<std::uint8_t> failed_;  // per switch; sized after build
-  bool degraded_ = false;             // any switch failed
   std::unique_ptr<sim::TrafficGen> traffic_;
 
   // Host state.
-  struct HostAttach {
-    int sw = -1;
-    int port = -1;
-  };
-  std::vector<HostAttach> host_attach_;
   std::vector<std::deque<FabricCell>> host_queue_;
   std::vector<int> host_credits_;
   std::vector<std::deque<std::uint64_t>> host_credit_in_;

@@ -40,6 +40,20 @@ FabricSim::FabricSim(FabricSimConfig cfg,
   OSMOSIS_REQUIRE(traffic_ != nullptr && traffic_->ports() == hosts_,
                   "traffic generator must cover all " << hosts_ << " hosts");
 
+  // The two-level fat tree from the topology zoo: leaves 0..k-1 (hosts
+  // on ports 0..m-1, uplinks m..2m-1), spines k..k+m-1, static d-mod-k
+  // routes. Switch ids and port assignments match the arithmetic wiring
+  // this simulator historically computed inline.
+  topo::FatTreeParams fp;
+  fp.radix = radix_;
+  fp.levels = 2;
+  fp.host_delay = cfg_.host_cable_slots;
+  fp.trunk_delay = cfg_.trunk_cable_slots;
+  fp.routing = topo::RouteKind::kDestMod;
+  topo_ = topo::make_fat_tree(fp);
+  OSMOSIS_REQUIRE(topo_.hosts == hosts_ && topo_.switch_count() == radix_ + m_,
+                  "fat-tree generator shape mismatch");
+
   const int total_switches = radix_ + m_;  // leaves + spines
   switches_.resize(static_cast<std::size_t>(total_switches));
   for (int s = 0; s < total_switches; ++s) {
@@ -210,13 +224,14 @@ std::uint64_t FabricSim::backlog() const {
 }
 
 int FabricSim::route(int sw_id, int dst) const {
-  if (is_leaf(sw_id)) {
-    const int dst_leaf = dst / m_;
-    if (dst_leaf == sw_id) return dst % m_;  // down to the host port
-    if (adaptive_) return m_ + routes_.route(dst);  // fault-aware spread
-    return m_ + (dst % m_);                  // d-mod-k spine selection
-  }
-  return dst / m_;  // spine: down-port toward the destination leaf
+  const int port =
+      topo_.switches[static_cast<std::size_t>(sw_id)]
+          .route[static_cast<std::size_t>(dst)];
+  // Fault-aware uplink spread replaces the static d-mod-k spine choice
+  // (down-ports are unique paths either way).
+  if (adaptive_ && is_leaf(sw_id) && port >= m_)
+    return m_ + routes_.route(dst);
+  return port;
 }
 
 void FabricSim::deliver_now(const FabricCell& cell, std::uint64_t t,
@@ -395,29 +410,30 @@ void FabricSim::step(std::uint64_t t, bool measuring, bool inject_traffic) {
     while (!q.empty() && q.front().slot <= t) {
       const FabricCell cell = q.front().cell;
       q.pop_front();
-      accept_cell(h / m_, h % m_, cell);
+      const topo::HostAttach& at = topo_.inject[static_cast<std::size_t>(h)];
+      accept_cell(at.sw, at.port, cell);
     }
   }
 
   // 3b. Switch output cables: either host delivery or next-stage input.
   for (int s = 0; s < static_cast<int>(switches_.size()); ++s) {
     SwitchNode& node = switches_[static_cast<std::size_t>(s)];
+    const topo::SwitchSpec& spec = topo_.switches[static_cast<std::size_t>(s)];
     for (int p = 0; p < radix_; ++p) {
       auto& q = node.out_data[static_cast<std::size_t>(p)];
       while (!q.empty() && q.front().slot <= t) {
         const FabricCell cell = q.front().cell;
         q.pop_front();
-        if (is_leaf(s) && p < m_) {
-          // Delivery to host s*m_ + p, through the egress resequencer
-          // when adaptive re-steering may have reshuffled the flow.
+        const topo::Peer& peer = spec.out_peer[static_cast<std::size_t>(p)];
+        if (peer.kind == topo::PeerKind::kHost) {
+          // Delivery, through the egress resequencer when adaptive
+          // re-steering may have reshuffled the flow.
           if (adaptive_)
             deliver_or_park(cell, t, measuring);
           else
             deliver_now(cell, t, measuring);
-        } else if (is_leaf(s)) {
-          accept_cell(radix_ + (p - m_), s, cell);  // leaf -> spine
         } else {
-          accept_cell(p, m_ + (s - radix_), cell);  // spine -> leaf
+          accept_cell(peer.id, peer.port, cell);
         }
       }
     }
@@ -494,34 +510,30 @@ void FabricSim::step(std::uint64_t t, bool measuring, bool inject_traffic) {
                   static_cast<double>(t));
 
       // Return a credit to whatever feeds this input port.
-      if (is_leaf(s) && g.input < m_) {
-        const int h = s * m_ + g.input;
-        host_credit_in_[static_cast<std::size_t>(h)].push_back(
-            t + static_cast<std::uint64_t>(cfg_.host_cable_slots));
-      } else if (is_leaf(s)) {
-        // Fed by spine (g.input - m_), its output port s.
-        SwitchNode& spine =
-            switches_[static_cast<std::size_t>(radix_ + (g.input - m_))];
-        spine.credit_in[static_cast<std::size_t>(s)].push_back(
-            t + static_cast<std::uint64_t>(cfg_.trunk_cable_slots));
+      const topo::Peer& upstream =
+          topo_.switches[static_cast<std::size_t>(s)]
+              .in_peer[static_cast<std::size_t>(g.input)];
+      if (upstream.kind == topo::PeerKind::kHost) {
+        host_credit_in_[static_cast<std::size_t>(upstream.id)].push_back(
+            t + static_cast<std::uint64_t>(upstream.delay));
       } else {
-        // Spine input g.input is fed by leaf g.input, output m_+spineIdx.
-        SwitchNode& leaf = switches_[static_cast<std::size_t>(g.input)];
-        leaf.credit_in[static_cast<std::size_t>(m_ + (s - radix_))].push_back(
-            t + static_cast<std::uint64_t>(cfg_.trunk_cable_slots));
+        switches_[static_cast<std::size_t>(upstream.id)]
+            .credit_in[static_cast<std::size_t>(upstream.port)]
+            .push_back(t + static_cast<std::uint64_t>(upstream.delay));
       }
 
-      // Consume a credit toward the downstream buffer and launch.
+      // Consume a credit toward the downstream buffer and launch; the
+      // egress link (host peer, out_credits == -1) carries no FC.
+      const topo::Peer& downstream =
+          topo_.switches[static_cast<std::size_t>(s)]
+              .out_peer[static_cast<std::size_t>(g.output)];
       int& credits = node.out_credits[static_cast<std::size_t>(g.output)];
-      int delay = cfg_.trunk_cable_slots;
       if (credits >= 0) {
         OSMOSIS_REQUIRE(credits > 0, "grant issued to credit-less output");
         --credits;
-      } else {
-        delay = cfg_.host_cable_slots;  // egress link, no FC
       }
       node.out_data[static_cast<std::size_t>(g.output)].push_back(
-          Timed{t + static_cast<std::uint64_t>(delay), cell});
+          Timed{t + static_cast<std::uint64_t>(downstream.delay), cell});
     }
   }
   }

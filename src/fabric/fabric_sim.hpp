@@ -41,6 +41,7 @@
 #include "src/sw/scheduler.hpp"
 #include "src/telemetry/availability.hpp"
 #include "src/telemetry/telemetry.hpp"
+#include "src/topo/topology.hpp"
 
 namespace osmosis::fabric {
 
@@ -214,8 +215,9 @@ class FabricSim {
     int max_input_occ = 0;
   };
 
-  // Routing: output port of switch `sw_id` toward host `dst`. Adaptive
-  // mode consults the fault-aware route table for the uplink choice.
+  // Routing: output port of switch `sw_id` toward host `dst`, read from
+  // the topology's static d-mod-k table. Adaptive mode overrides the
+  // uplink choice with the fault-aware route table.
   int route(int sw_id, int dst) const;
   bool is_leaf(int sw_id) const { return sw_id < radix_; }
 
@@ -254,6 +256,9 @@ class FabricSim {
   int radix_;
   int m_;       // radix / 2: spine count = uplinks per leaf = hosts per leaf
   int hosts_;
+  // Wiring, static routes, and host attach points (topo::make_fat_tree
+  // with levels = 2); this class owns only the cell-moving machinery.
+  topo::Topology topo_;
   std::unique_ptr<sim::TrafficGen> traffic_;
   std::vector<SwitchNode> switches_;  // leaves 0..k-1, spines k..k+m-1
   std::uint64_t now_ = 0;             // next slot advance_slot() will run

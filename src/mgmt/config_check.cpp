@@ -283,6 +283,185 @@ std::vector<Finding> validate_fault_plan(const core::OsmosisConfig& cfg,
   return out;
 }
 
+namespace {
+
+// Per-switch stage list in build-id order, mirroring the FT' recursion
+// of topo::make_fat_tree without wiring anything: slice(l) = m pods of
+// slice(l-1) followed by m^(l-1) level-l tops; the machine = radix pods
+// of slice(L-1) followed by m^(L-1) top switches.
+std::uint64_t tops_of_level(int m, int level) {
+  std::uint64_t t = 1;
+  for (int i = 1; i < level; ++i) t *= static_cast<std::uint64_t>(m);
+  return t;
+}
+
+void slice_stages(int m, int l, std::vector<int>& out) {
+  if (l == 1) {
+    out.push_back(1);
+    return;
+  }
+  for (int i = 0; i < m; ++i) slice_stages(m, l - 1, out);
+  for (std::uint64_t j = 0; j < tops_of_level(m, l); ++j) out.push_back(l);
+}
+
+void fat_tree_stages(int radix, int levels, std::vector<int>& stages) {
+  const int m = radix / 2;
+  if (levels == 1) {
+    stages.push_back(1);
+    return;
+  }
+  for (int q = 0; q < radix; ++q) slice_stages(m, levels - 1, stages);
+  for (std::uint64_t j = 0; j < tops_of_level(m, levels); ++j)
+    stages.push_back(levels);
+}
+
+}  // namespace
+
+std::vector<Finding> validate_topology(
+    topo::TopoKind kind, int hosts,
+    const std::vector<int>& failed_switches) {
+  std::vector<Finding> out;
+
+  const topo::Shape shape = topo::derive_shape(kind, hosts);
+  if (!shape.ok) {
+    finding(out, Severity::kError, "topology", shape.error);
+    return out;  // every failure check needs the shape
+  }
+
+  switch (kind) {
+    case topo::TopoKind::kOmega:
+    case topo::TopoKind::kBanyan:
+    case topo::TopoKind::kBenes: {
+      if (!failed_switches.empty()) {
+        std::ostringstream oss;
+        oss << topo::to_string(kind)
+            << " has a unique path per (src, dst): a permanent switch "
+               "failure disconnects hosts — use a transient fault window "
+               "instead";
+        finding(out, Severity::kError, "topology", oss.str());
+      }
+      break;
+    }
+    case topo::TopoKind::kClos: {
+      const int total = 2 * shape.r + shape.m;
+      std::set<int> dead_middles;
+      for (const int id : failed_switches) {
+        std::ostringstream oss;
+        if (id < 0 || id >= total) {
+          oss << "failed switch " << id << " out of range (clos(m" << shape.m
+              << ",n" << shape.n << ",r" << shape.r << ") has " << total
+              << " switches)";
+          finding(out, Severity::kError, "topology", oss.str());
+        } else if (id < shape.r) {
+          oss << "failed ingress switch " << id << " disconnects hosts "
+              << id * shape.n << ".." << (id + 1) * shape.n - 1
+              << " outright";
+          finding(out, Severity::kError, "topology", oss.str());
+        } else if (id >= shape.r + shape.m) {
+          const int eg = id - shape.r - shape.m;
+          oss << "failed egress switch " << id << " disconnects hosts "
+              << eg * shape.n << ".." << (eg + 1) * shape.n - 1
+              << " outright";
+          finding(out, Severity::kError, "topology", oss.str());
+        } else {
+          dead_middles.insert(id);
+        }
+      }
+      if (static_cast<int>(dead_middles.size()) >= shape.m && shape.m > 0) {
+        std::ostringstream oss;
+        oss << "all " << shape.m
+            << " middle switches failed: no ingress can reach any egress";
+        finding(out, Severity::kError, "topology", oss.str());
+      }
+      break;
+    }
+    case topo::TopoKind::kFatTree: {
+      std::vector<int> stages;
+      fat_tree_stages(shape.radix, shape.levels, stages);
+      const int total = static_cast<int>(stages.size());
+      std::set<int> dead_tops;
+      int top_count = 0;
+      for (const int st : stages)
+        if (st == shape.levels) ++top_count;
+      for (const int id : failed_switches) {
+        std::ostringstream oss;
+        if (id < 0 || id >= total) {
+          oss << "failed switch " << id << " out of range (fat_tree(r"
+              << shape.radix << ",L" << shape.levels << ") has " << total
+              << " switches)";
+          finding(out, Severity::kError, "topology", oss.str());
+        } else if (stages[static_cast<std::size_t>(id)] == 1) {
+          oss << "failed leaf switch " << id
+              << " disconnects its hosts outright (leaves have no path "
+                 "diversity)";
+          finding(out, Severity::kError, "topology", oss.str());
+        } else if (stages[static_cast<std::size_t>(id)] == shape.levels &&
+                   shape.levels > 1) {
+          dead_tops.insert(id);
+        }
+      }
+      if (static_cast<int>(dead_tops.size()) >= top_count && top_count > 0 &&
+          shape.levels > 1) {
+        std::ostringstream oss;
+        oss << "all " << top_count << " top-level switches failed: no "
+            << "inter-pod path survives";
+        finding(out, Severity::kError, "topology", oss.str());
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> validate_flow_control(const topo::FcParams& fc,
+                                           int buffer_cells,
+                                           int trunk_cable_slots) {
+  std::vector<Finding> out;
+  if (trunk_cable_slots < 1)
+    finding(out, Severity::kError, "flow control",
+            "trunk cable delay must be >= 1 slot");
+  if (fc.kind == topo::FcKind::kWormholeVc) {
+    if (fc.lanes < 1 || fc.lane_flits < 1 || fc.flits_per_packet < 1) {
+      std::ostringstream oss;
+      oss << "wormhole VC shape must be positive (lanes " << fc.lanes
+          << ", lane_flits " << fc.lane_flits << ", flits_per_packet "
+          << fc.flits_per_packet << ")";
+      finding(out, Severity::kError, "flow control", oss.str());
+      return out;
+    }
+    // Per-lane credit round trip: flit flight down + credit flight back.
+    if (fc.lane_flits < 2 * trunk_cable_slots + 1) {
+      std::ostringstream oss;
+      oss << "lane depth " << fc.lane_flits << " flits below the "
+          << 2 * trunk_cable_slots + 1 << "-slot credit round trip of a "
+          << trunk_cable_slots << "-slot trunk: a lone worm cannot "
+          << "stream at line rate";
+      finding(out, Severity::kWarning, "flow control", oss.str());
+    }
+    return out;
+  }
+  if (buffer_cells < 1) {
+    finding(out, Severity::kError, "flow control",
+            "cell flow control needs at least one buffer cell");
+    return out;
+  }
+  // §IV.B buffer sizing: credit FC pays the full cable round trip;
+  // relayed FC returns credits on the control path (next cell cycle),
+  // so only the downstream data flight remains.
+  const int rtt = fc.kind == topo::FcKind::kRelayed
+                      ? trunk_cable_slots + 1
+                      : 2 * trunk_cable_slots + 1;
+  if (buffer_cells < rtt) {
+    std::ostringstream oss;
+    oss << buffer_cells << " buffer cells below the " << rtt
+        << "-slot credit round trip of a " << trunk_cable_slots
+        << "-slot trunk under " << topo::to_string(fc.kind)
+        << " flow control: a single flow cannot sustain line rate";
+    finding(out, Severity::kWarning, "flow control", oss.str());
+  }
+  return out;
+}
+
 bool config_ok(const std::vector<Finding>& findings) {
   for (const auto& f : findings)
     if (f.severity == Severity::kError) return false;

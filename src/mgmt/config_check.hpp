@@ -13,6 +13,8 @@
 
 #include "src/core/config.hpp"
 #include "src/faults/fault_plan.hpp"
+#include "src/topo/flow_control.hpp"
+#include "src/topo/topology.hpp"
 
 namespace osmosis::mgmt {
 
@@ -49,6 +51,28 @@ std::vector<Finding> validate_failures(
 std::vector<Finding> validate_fault_plan(const core::OsmosisConfig& cfg,
                                          const faults::FaultPlan& plan,
                                          int parallel_paths = 0);
+
+/// Validates a topology-zoo scenario axis (generator kind x endpoint
+/// count x construction-time failed switches) WITHOUT building it, so a
+/// campaign/chaos grid can be reviewed before any simulator constructor
+/// aborts. Shape mismatches surface derive_shape()'s error verbatim —
+/// the "(m,n,r) / k-vs-port-count" messages naming the nearest valid
+/// counts. Failed-switch checks cover what is decidable from the shape
+/// alone: index ranges, zero-diversity switches (fat-tree leaves, Clos
+/// ingress/egress, any MIN switch), and failure sets that kill every
+/// parallel path (all Clos middles, every top-level fat-tree switch).
+std::vector<Finding> validate_topology(
+    topo::TopoKind kind, int hosts,
+    const std::vector<int>& failed_switches = {});
+
+/// Validates a flow-control configuration for the topo simulator:
+/// positive buffer/VC shape parameters (errors), plus buffer-sizing
+/// warnings when the per-link buffering cannot cover the credit round
+/// trip of a `trunk_cable_slots` link (§IV.B: full line rate then needs
+/// relayed FC or deeper buffers).
+std::vector<Finding> validate_flow_control(const topo::FcParams& fc,
+                                           int buffer_cells,
+                                           int trunk_cable_slots = 4);
 
 /// True when no finding is an error.
 bool config_ok(const std::vector<Finding>& findings);

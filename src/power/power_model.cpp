@@ -66,7 +66,7 @@ FabricPowerReport fabric_power(const SwitchTechProfile& tech,
                   "rate and cell size must be positive");
   FabricPowerReport r;
   r.technology = tech.name;
-  r.sizing = fabric::size_fat_tree(tech.radix, endpoint_ports);
+  r.sizing = topo::size_fat_tree(tech.radix, endpoint_ports);
 
   // Aggregate traffic through one switch at full load: every port busy.
   const double per_switch_gbps =

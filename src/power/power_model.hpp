@@ -13,7 +13,7 @@
 #include <string>
 #include <vector>
 
-#include "src/fabric/fat_tree.hpp"
+#include "src/topo/sizing.hpp"
 
 namespace osmosis::power {
 
@@ -50,7 +50,7 @@ double switch_power_w(const SwitchTechProfile& tech, double aggregate_gbps,
 /// fabric at `port_rate_gbps` per port.
 struct FabricPowerReport {
   std::string technology;
-  fabric::FatTreeSizing sizing;
+  topo::FatTreeSizing sizing;
   double switch_power_w = 0.0;       // all crossbars + schedulers
   double transceiver_power_w = 0.0;  // all OEO endpoints
   double total_power_w = 0.0;

@@ -130,6 +130,16 @@ std::string RunReport::to_json(int indent) const {
     w.close('}');
   }
 
+  if (!topology.empty()) {
+    w.key("topology");
+    w.open('{');
+    for (const auto& [k, v] : topology) {
+      w.key(k);
+      w.number(v);
+    }
+    w.close('}');
+  }
+
   if (!serving.empty()) {
     w.key("serving");
     w.open('{');
@@ -255,6 +265,9 @@ RunReport RunReport::from_json(const std::string& text) {
   if (doc.has("availability"))
     for (const auto& [name, v] : doc.at("availability").object)
       r.availability.emplace(name, v.number);
+  if (doc.has("topology"))
+    for (const auto& [name, v] : doc.at("topology").object)
+      r.topology.emplace(name, v.number);
   if (doc.has("serving")) {
     const JsonValue& sv = doc.at("serving");
     r.serving.arrival = sv.at("arrival").str;

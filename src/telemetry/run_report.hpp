@@ -153,6 +153,12 @@ struct RunReport {
   // non-empty, so legacy runs stay byte-identical with the api layer
   // compiled in.
   ServingReport serving;
+  // Topology-zoo section (src/topo/): stage count, diameter, generator
+  // parameters, peak VC/buffer occupancy and per-stage latency, keyed
+  // flat ("stages", "diameter", "stage.<i>.wait_mean", ...). Emitted
+  // only when non-empty, so the fixed-topology simulators' reports stay
+  // byte-identical.
+  std::map<std::string, double> topology;
   std::map<std::string, prof::PhaseStats> profile;  // emitted when non-empty
   prof::TimeSeriesData timeseries;                  // emitted when non-empty
   std::vector<std::string> health;
@@ -189,6 +195,7 @@ struct RunReport {
     ckpt::field(a, invariant_violations);
     ckpt::field(a, availability);
     ckpt::field(a, serving);
+    ckpt::field(a, topology);
   }
 };
 

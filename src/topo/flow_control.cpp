@@ -1,0 +1,28 @@
+#include "src/topo/flow_control.hpp"
+
+#include "src/util/log.hpp"
+
+namespace osmosis::topo {
+
+const char* to_string(FcKind kind) {
+  switch (kind) {
+    case FcKind::kCredit:
+      return "credit";
+    case FcKind::kRelayed:
+      return "relayed";
+    case FcKind::kWormholeVc:
+      return "wormhole_vc";
+  }
+  return "?";
+}
+
+FcKind fc_kind_from_string(const std::string& name) {
+  for (FcKind k :
+       {FcKind::kCredit, FcKind::kRelayed, FcKind::kWormholeVc}) {
+    if (name == to_string(k)) return k;
+  }
+  OSMOSIS_REQUIRE(false, "unknown flow-control kind '" << name << "'");
+  return FcKind::kCredit;
+}
+
+}  // namespace osmosis::topo

@@ -1,0 +1,45 @@
+#pragma once
+// Flow-control seam for the topology zoo (§IV.B): the three link-level
+// schemes the topo simulator can cross with any Topology.
+//
+//  * kCredit     — the fabric simulators' scheme: credit-based FC with
+//                  the credit returning over the cable, delayed by the
+//                  link flight time. Buffers must cover the full
+//                  round trip for 100% throughput.
+//  * kRelayed    — the paper's relayed/piggybacked variant: buffer
+//                  state is relayed through the central scheduler on
+//                  the control path (piggybacked on grants), so the
+//                  upstream stage learns of a freed buffer immediately
+//                  (next cell cycle) instead of a cable flight later.
+//  * kWormholeVc — wormhole routing with multi-lane virtual-channel
+//                  flit buffers (Stergiou, PAPERS.md): packets of
+//                  `flits_per_packet` flits advance head-first, each
+//                  link multiplexes `lanes` VC lanes of `lane_flits`
+//                  flit slots, and a packet holds its lane from head
+//                  allocation to tail departure so flits of different
+//                  packets never interleave within a lane.
+
+#include <cstdint>
+#include <string>
+
+namespace osmosis::topo {
+
+enum class FcKind : std::uint8_t {
+  kCredit = 0,
+  kRelayed = 1,
+  kWormholeVc = 2,
+};
+
+const char* to_string(FcKind kind);
+/// Inverse of to_string; aborts (OSMOSIS_REQUIRE) on an unknown name.
+FcKind fc_kind_from_string(const std::string& name);
+
+struct FcParams {
+  FcKind kind = FcKind::kCredit;
+  // Wormhole-VC knobs (ignored by the cell-granular kinds).
+  int lanes = 2;            // virtual-channel lanes per link
+  int lane_flits = 4;       // flit-buffer depth per lane
+  int flits_per_packet = 4; // fixed packet length in flits
+};
+
+}  // namespace osmosis::topo

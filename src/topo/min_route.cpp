@@ -1,0 +1,160 @@
+#include "src/topo/min_route.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace osmosis::topo {
+namespace {
+
+bool is_permutation(int n, const std::vector<int>& perm) {
+  if (static_cast<int>(perm.size()) != n) return false;
+  std::vector<std::uint8_t> seen(static_cast<std::size_t>(n), 0);
+  for (const int d : perm) {
+    if (d < 0 || d >= n || seen[static_cast<std::size_t>(d)]) return false;
+    seen[static_cast<std::size_t>(d)] = 1;
+  }
+  return true;
+}
+
+}  // namespace
+
+BenesRoute benes_loop_route(int hosts, const std::vector<int>& perm) {
+  BenesRoute result;
+  if (hosts < 2 || (hosts & (hosts - 1)) != 0 || !is_permutation(hosts, perm))
+    return result;
+
+  int k = 0;
+  while ((1 << k) < hosts) ++k;
+  const int columns = 2 * k - 1;
+  result.lines.assign(
+      static_cast<std::size_t>(hosts),
+      std::vector<int>(static_cast<std::size_t>(columns + 1), -1));
+
+  // Explicit-stack recursion over subnetworks. A frame is one Benes of
+  // size 2^k_lvl spanning the lines whose high bits equal `prefix` and
+  // the global columns col_lo .. col_lo + 2*k_lvl - 2 (subnetworks of
+  // the same level share columns, which is exactly how make_benes lays
+  // the fundamental arrangements out).
+  struct Frame {
+    int k_lvl;
+    int col_lo;
+    int prefix;
+    std::vector<int> flow;  // global flow id per sub-input line
+    std::vector<int> out;   // sub-output line per sub-input line
+  };
+
+  std::vector<Frame> stack;
+  {
+    Frame top;
+    top.k_lvl = k;
+    top.col_lo = 0;
+    top.prefix = 0;
+    top.flow.resize(static_cast<std::size_t>(hosts));
+    top.out.resize(static_cast<std::size_t>(hosts));
+    for (int i = 0; i < hosts; ++i) {
+      top.flow[static_cast<std::size_t>(i)] = i;
+      top.out[static_cast<std::size_t>(i)] = perm[static_cast<std::size_t>(i)];
+    }
+    stack.push_back(std::move(top));
+  }
+
+  while (!stack.empty()) {
+    Frame fr = std::move(stack.back());
+    stack.pop_back();
+    const int n = 1 << fr.k_lvl;
+    const int half = n / 2;
+
+    if (n == 2) {
+      // Lone 2x2 switch: one column, exchange set by the permutation.
+      for (int i = 0; i < 2; ++i) {
+        const int f = fr.flow[static_cast<std::size_t>(i)];
+        result.lines[static_cast<std::size_t>(f)]
+                    [static_cast<std::size_t>(fr.col_lo)] = fr.prefix | i;
+        result.lines[static_cast<std::size_t>(f)]
+                    [static_cast<std::size_t>(fr.col_lo + 1)] =
+            fr.prefix | fr.out[static_cast<std::size_t>(i)];
+      }
+      continue;
+    }
+
+    // Looping step: input partners (i, i^half) must take different
+    // subnetworks, and so must the flows of output partners (o,
+    // o^half). The constraint cycles alternate input- and output-
+    // partner edges, hence have even length, so the walk 2-colors them
+    // without ever contradicting an earlier assignment.
+    std::vector<int> inv(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      inv[static_cast<std::size_t>(fr.out[static_cast<std::size_t>(i)])] = i;
+    std::vector<signed char> sub(static_cast<std::size_t>(n), -1);
+    for (int start = 0; start < n; ++start) {
+      int i = start;
+      while (sub[static_cast<std::size_t>(i)] == -1) {
+        sub[static_cast<std::size_t>(i)] = 0;
+        const int j = i ^ half;
+        sub[static_cast<std::size_t>(j)] = 1;
+        // j's output partner belongs to the opposite subnetwork of j,
+        // i.e. subnetwork 0: it is the next walk head.
+        i = inv[static_cast<std::size_t>(fr.out[static_cast<std::size_t>(j)] ^
+                                         half)];
+      }
+    }
+
+    // Record the outer-column lines this level decides, then split the
+    // middle 2*(k_lvl-1)-1 columns into the two half-size Benes.
+    const int col_last = fr.col_lo + 2 * fr.k_lvl - 2;
+    Frame lower, upper;
+    for (Frame* sf : {&lower, &upper}) {
+      sf->k_lvl = fr.k_lvl - 1;
+      sf->col_lo = fr.col_lo + 1;
+      sf->flow.resize(static_cast<std::size_t>(half));
+      sf->out.resize(static_cast<std::size_t>(half));
+    }
+    lower.prefix = fr.prefix;
+    upper.prefix = fr.prefix | half;
+    for (int i = 0; i < n; ++i) {
+      const int f = fr.flow[static_cast<std::size_t>(i)];
+      const int s = sub[static_cast<std::size_t>(i)];
+      const int o = fr.out[static_cast<std::size_t>(i)];
+      result.lines[static_cast<std::size_t>(f)]
+                  [static_cast<std::size_t>(fr.col_lo)] = fr.prefix | i;
+      result.lines[static_cast<std::size_t>(f)]
+                  [static_cast<std::size_t>(col_last + 1)] = fr.prefix | o;
+      Frame& sf = s == 0 ? lower : upper;
+      sf.flow[static_cast<std::size_t>(i & (half - 1))] = f;
+      sf.out[static_cast<std::size_t>(i & (half - 1))] = o & (half - 1);
+    }
+    stack.push_back(std::move(lower));
+    stack.push_back(std::move(upper));
+  }
+
+  result.ok = true;
+  return result;
+}
+
+bool omega_admits(int hosts, const std::vector<int>& perm) {
+  if (hosts < 4 || (hosts & (hosts - 1)) != 0 || !is_permutation(hosts, perm))
+    return false;
+  int k = 0;
+  while ((1 << k) < hosts) ++k;
+  const auto shuffle = [&](int l) {
+    return ((l << 1) | (l >> (k - 1))) & (hosts - 1);
+  };
+  std::vector<int> pos(static_cast<std::size_t>(hosts));
+  for (int f = 0; f < hosts; ++f)
+    pos[static_cast<std::size_t>(f)] = shuffle(f);
+  std::vector<std::uint8_t> taken(static_cast<std::size_t>(hosts));
+  for (int c = 0; c < k; ++c) {
+    std::fill(taken.begin(), taken.end(), 0);
+    for (int f = 0; f < hosts; ++f) {
+      const int sw = pos[static_cast<std::size_t>(f)] / 2;
+      const int q = (perm[static_cast<std::size_t>(f)] >> (k - 1 - c)) & 1;
+      const int out = 2 * sw + q;
+      if (taken[static_cast<std::size_t>(out)]) return false;
+      taken[static_cast<std::size_t>(out)] = 1;
+      pos[static_cast<std::size_t>(f)] = c == k - 1 ? out : shuffle(out);
+    }
+  }
+  return true;
+}
+
+}  // namespace osmosis::topo

@@ -1,0 +1,39 @@
+#pragma once
+// Permutation routability of the MIN generators (offline analysis; the
+// slot-level simulators never call this).
+//
+//  * benes_loop_route: the classical looping algorithm proving the
+//    Benes network rearrangeable — input partners (i, i + N/2) must use
+//    different subnetworks, output partners likewise, and the induced
+//    constraint graph is a union of even cycles, so a 2-coloring always
+//    exists. Recursing gives conflict-free switch settings for ANY
+//    permutation.
+//  * omega_admits: destination-tag simulation of an Omega pass. Paths
+//    are unique, so a port conflict cannot be routed around: the
+//    permutation is simply blocked.
+
+#include <vector>
+
+namespace osmosis::topo {
+
+struct BenesRoute {
+  bool ok = false;
+  // lines[f][c] = line that the flow entering at input f occupies at
+  // the INPUT of column c (c = 0..2k-2); lines[f][2k-1] is the output
+  // line, == perm[f]. Link-disjointness = per-column line sets are
+  // permutations; realizability = consecutive lines differ only in the
+  // column's exchange bit.
+  std::vector<std::vector<int>> lines;
+};
+
+/// Routes `perm` (perm[src] = dst, a permutation of 0..hosts-1) through
+/// the Benes(hosts) of make_benes() via the looping algorithm.
+/// `hosts` must be a power of two >= 2. ok == false only when `perm` is
+/// not a permutation — a valid permutation always routes.
+BenesRoute benes_loop_route(int hosts, const std::vector<int>& perm);
+
+/// True when the Omega network of `hosts` ports passes `perm` without
+/// internal output-port conflicts under destination-tag routing.
+bool omega_admits(int hosts, const std::vector<int>& perm);
+
+}  // namespace osmosis::topo

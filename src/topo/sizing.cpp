@@ -1,11 +1,11 @@
-#include "src/fabric/fat_tree.hpp"
+#include "src/topo/sizing.hpp"
 
 #include <sstream>
 
 #include "src/util/log.hpp"
 #include "src/util/units.hpp"
 
-namespace osmosis::fabric {
+namespace osmosis::topo {
 
 FatTreeSizing size_fat_tree(int radix, std::uint64_t min_ports) {
   OSMOSIS_REQUIRE(radix >= 2 && radix % 2 == 0,
@@ -64,4 +64,4 @@ std::string FatTreeSizing::to_string() const {
   return oss.str();
 }
 
-}  // namespace osmosis::fabric
+}  // namespace osmosis::topo

@@ -10,12 +10,15 @@
 // radix * m^(L-1) endpoints; a worst-case path traverses 2L-1 switches
 // ("stages" in the paper's counting: the two-level tree is the
 // three-stage fabric of §V).
+//
+// Lives in src/topo/ beside the graph generators (topology.hpp): this
+// header answers "how big", make_fat_tree() answers "which wires".
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
-namespace osmosis::fabric {
+namespace osmosis::topo {
 
 struct FatTreeSizing {
   int radix = 0;
@@ -46,4 +49,4 @@ double path_latency_ns(const FatTreeSizing& s, double per_stage_ns,
 /// hops, host link out.
 int cable_hops(const FatTreeSizing& s);
 
-}  // namespace osmosis::fabric
+}  // namespace osmosis::topo

@@ -1,0 +1,290 @@
+#pragma once
+// Slot-synchronous topology x flow-control simulator — the execution
+// engine behind the simulated §VI.C scenario matrix. One machine runs
+// any zoo Topology (fat tree, Clos(m,n,r), Omega/Banyan/Benes) under
+// any FcKind:
+//
+//  * kCredit / kRelayed move whole cells through per-switch VOQs with
+//    an independent central scheduler per switch (the fabric
+//    simulators' machinery, re-used over the Topology peer tables);
+//    they differ only in when a freed buffer's credit reaches the
+//    upstream stage (cable flight vs immediately, §IV.B).
+//  * kWormholeVc moves packets as flit worms through multi-lane VC
+//    buffers with per-output round-robin flit arbitration; a packet's
+//    lane on every link is dst mod lanes, so per-flow order is
+//    preserved by construction and the acyclic (feed-forward or
+//    up/down) routes stay deadlock-free.
+//
+// The simulator carries the full chaos-soak contract of the fabric
+// sims: per-slot cell-conservation and credit/flit-ledger invariants
+// (chaos::InvariantMonitor), transient mid-run switch faults with
+// freeze-and-backpressure semantics, kill-safe checkpoint/resume
+// ("topo.*" chunks), and a RunReport with the new "topology" section
+// (stage count, diameter, VC occupancy, per-stage latency).
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/chaos/monitor.hpp"
+#include "src/ckpt/ckpt.hpp"
+#include "src/faults/fault_plan.hpp"
+#include "src/sim/stats.hpp"
+#include "src/sim/traffic.hpp"
+#include "src/sw/scheduler.hpp"
+#include "src/topo/flow_control.hpp"
+#include "src/topo/topology.hpp"
+
+namespace osmosis::telemetry {
+struct RunReport;
+}
+
+namespace osmosis::topo {
+
+struct TopoSimConfig {
+  TopoKind topology = TopoKind::kFatTree;
+  int hosts = 16;
+  RouteKind routing = RouteKind::kDestMod;
+  // Construction-time permanent faults, routed around where the
+  // topology has path diversity (fat-tree non-leaf switches, Clos
+  // middles); rejected by the unique-path MINs.
+  std::vector<int> failed_switches;
+  FcParams fc;
+  int buffer_cells = 16;  // input-buffer capacity per port (cell kinds)
+  int host_cable_slots = 1;
+  int trunk_cable_slots = 4;
+  // Cell kinds only: per-switch central scheduler. Must be an
+  // immediate-issue kind (kIslip, kPim, kTdm, kWfa).
+  sw::SchedulerKind scheduler = sw::SchedulerKind::kIslip;
+  int scheduler_iterations = 0;
+  std::uint64_t warmup_slots = 2'000;
+  std::uint64_t measure_slots = 20'000;
+  // Extra arrival-free slots after the measurement window so the
+  // exactly-once audit can see every cell land. 0 = no drain.
+  std::uint64_t drain_max_slots = 0;
+  // Mid-run faults. Accepted kinds: kPlaneFailure (a = index into the
+  // fault stage's switch list — top level for folded trees, the middle
+  // column otherwise; must be transient: the switch freezes and credit
+  // FC backpressures losslessly until repair) and kAdapterStall
+  // (a = host index; the host buffers arrivals but injects nothing).
+  faults::FaultPlan fault_plan;
+  chaos::MonitorConfig monitor;
+};
+
+struct TopoSimResult {
+  std::string topology;      // Topology::name
+  std::string flow_control;  // FcKind name
+  int hosts = 0;
+  int switches = 0;
+  int stages = 0;
+  int diameter = 0;
+  double offered_load = 0.0;  // fraction of line rate (flit-normalized)
+  double throughput = 0.0;    // delivered fraction of line rate
+  std::uint64_t delivered = 0;  // packets in the measurement window
+  double mean_delay_slots = 0.0;
+  double p99_delay_slots = 0.0;
+  double mean_hops = 0.0;
+  // Per 1-based stage (levels for folded trees, columns otherwise):
+  // peak buffer occupancy (cells, or flits in one VC lane) and mean
+  // queueing wait of cells/flits forwarded by that stage.
+  std::vector<int> max_occupancy_per_stage;
+  std::vector<double> mean_stage_wait_slots;
+  std::uint64_t buffer_overflows = 0;  // must be 0 (lossless)
+  std::uint64_t out_of_order = 0;      // must be 0
+  std::uint64_t injected_total = 0;    // packets, warmup included
+  std::uint64_t delivered_total = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t faults_repaired = 0;
+  std::uint64_t drained_slots = 0;
+  bool exactly_once_in_order = false;
+  std::uint64_t invariant_violations = 0;
+  std::string first_violation;  // "" when clean
+};
+
+class TopoSim {
+ public:
+  TopoSim(TopoSimConfig cfg, std::unique_ptr<sim::TrafficGen> traffic);
+
+  TopoSimResult run();
+
+  /// Incremental stepping for checkpoint/restore: advances one slot of
+  /// the warmup / measurement / drain schedule; returns false when the
+  /// run is complete. run() == { while (advance_slot()) {} finalize(); }.
+  bool advance_slot();
+
+  /// Assembles the result; call exactly once after advance_slot()
+  /// returns false.
+  TopoSimResult finalize();
+
+  std::uint64_t current_slot() const { return now_; }
+  int hosts() const { return topo_.hosts; }
+  const Topology& topology() const { return topo_; }
+  const chaos::InvariantMonitor& monitor() const { return monitor_; }
+  const sim::Histogram& delay_histogram() const { return delay_hist_; }
+
+  /// Structured run export with the "topology" section (stage count,
+  /// diameter, VC occupancy, per-stage latency).
+  telemetry::RunReport report() const;
+
+  /// Snapshots every mutable field into "topo.*" chunks. The loader
+  /// must be a TopoSim built from the identical config; structural
+  /// mismatches throw ckpt::Error.
+  void save_state(ckpt::Writer& w) const;
+  void load_state(const ckpt::Reader& r);
+
+ private:
+  // One cell (cell kinds) or one flit of a packet (wormhole).
+  struct Flit {
+    int src = -1;
+    int dst = -1;
+    std::uint64_t seq = 0;         // per-flow packet sequence
+    std::uint64_t inject_slot = 0;
+    std::uint64_t enter_slot = 0;  // arrival at the current buffer
+    int hops = 0;
+    std::uint8_t head = 1;
+    std::uint8_t tail = 1;
+
+    template <class Ar>
+    void io_state(Ar& a) {
+      ckpt::field(a, src);
+      ckpt::field(a, dst);
+      ckpt::field(a, seq);
+      ckpt::field(a, inject_slot);
+      ckpt::field(a, enter_slot);
+      ckpt::field(a, hops);
+      ckpt::field(a, head);
+      ckpt::field(a, tail);
+    }
+  };
+  struct Timed {
+    std::uint64_t slot = 0;
+    Flit flit;
+
+    template <class Ar>
+    void io_state(Ar& a) {
+      ckpt::field(a, slot);
+      ckpt::field(a, flit);
+    }
+  };
+  struct Node {
+    // Cell kinds: per-switch central scheduler over VOQs.
+    std::unique_ptr<sw::Scheduler> sched;  // null in wormhole mode
+    std::vector<std::vector<std::deque<Flit>>> voq;  // [in][out]
+    std::vector<int> input_occupancy;
+    std::vector<int> out_credits;  // per out port; -1 = host egress
+    std::vector<std::deque<std::uint64_t>> credit_in;  // per out port
+    // Wormhole: VC lane buffers and per-lane credit bookkeeping.
+    std::vector<std::deque<Flit>> lane_buf;  // [in * lanes + lane]
+    std::vector<int> lane_out;      // bound out port per input lane; -1
+    std::vector<int> lane_credits;  // [out * lanes + lane]; flit slots
+    std::vector<int> lane_owner;    // [out * lanes + lane]; input lane
+    // Per out port: (arrival slot, lane) credit returns in flight.
+    std::vector<std::deque<std::pair<std::uint64_t, int>>> lane_credit_in;
+    std::vector<int> out_rr;  // per out port: round-robin cursor
+    // Shared: launched flits in cable flight, per out port.
+    std::vector<std::deque<Timed>> out_data;
+    int max_occ = 0;
+
+    template <class Ar>
+    void io_state(Ar& a) {
+      ckpt::field(a, voq);
+      ckpt::field(a, input_occupancy);
+      ckpt::field(a, out_credits);
+      ckpt::field(a, credit_in);
+      ckpt::field(a, lane_buf);
+      ckpt::field(a, lane_out);
+      ckpt::field(a, lane_credits);
+      ckpt::field(a, lane_owner);
+      ckpt::field(a, lane_credit_in);
+      ckpt::field(a, out_rr);
+      ckpt::field(a, out_data);
+      ckpt::field(a, max_occ);
+      if (sched) {
+        if constexpr (Ar::kLoading)
+          sched->load_state(a);
+        else
+          sched->save_state(a);
+      }
+    }
+  };
+
+  bool wormhole() const { return cfg_.fc.kind == FcKind::kWormholeVc; }
+  int lane_of(int dst) const { return dst % cfg_.fc.lanes; }
+  void step(std::uint64_t t, bool measuring, bool inject);
+  void accept_flit(int sw, int in_port, Flit f, std::uint64_t t);
+  void deliver(const Flit& f, std::uint64_t t, bool measuring);
+  void transfer_cells(Node& node, int sw, std::uint64_t t, bool measuring);
+  void transfer_flits(Node& node, int sw, std::uint64_t t, bool measuring);
+  void credit_upstream(const Peer& up, int lane, std::uint64_t t);
+  void apply_fault_transitions(std::uint64_t t);
+  void check_invariants(std::uint64_t t);
+  std::uint64_t backlog() const {
+    return injected_total_ - delivered_total_;
+  }
+  template <class Ar>
+  void io_core(Ar& a);
+  template <class Ar>
+  void io_stats(Ar& a);
+
+  TopoSimConfig cfg_;
+  Topology topo_;
+  std::unique_ptr<sim::TrafficGen> traffic_;
+  std::vector<Node> nodes_;
+  std::uint64_t now_ = 0;
+  std::uint64_t drained_slots_ = 0;
+
+  // Host state. Cell kinds use scalar credits; wormhole uses per-lane
+  // flit credits and streams the front packet one flit per slot.
+  std::vector<std::deque<Flit>> host_queue_;
+  std::vector<int> host_credits_;
+  std::vector<int> host_lane_credits_;  // [host * lanes + lane]
+  std::vector<std::deque<std::uint64_t>> host_credit_in_;
+  std::vector<std::deque<std::pair<std::uint64_t, int>>> host_lane_credit_in_;
+  std::vector<std::deque<Timed>> host_out_;
+  std::vector<std::uint64_t> flow_seq_;
+
+  // Mid-run fault timeline (expanded from cfg_.fault_plan; sorted).
+  struct Transition {
+    std::uint64_t slot = 0;
+    std::uint8_t begin = 1;
+    int event = -1;  // index into cfg_.fault_plan.events()
+  };
+  std::vector<Transition> transitions_;
+  std::size_t next_transition_ = 0;
+  std::vector<std::uint8_t> down_;          // per switch (mid-run freeze)
+  std::vector<std::uint8_t> host_stalled_;  // per host adapter
+  int open_faults_ = 0;
+  std::uint64_t faults_injected_ = 0;
+  std::uint64_t faults_repaired_ = 0;
+
+  // Statistics.
+  sim::Histogram delay_hist_{512.0};
+  sim::MeanVar hops_;
+  sim::ThroughputMeter meter_;
+  sim::ReorderDetector reorder_;
+  std::vector<sim::MeanVar> stage_wait_;  // per 1-based stage, index 0 unused
+  std::uint64_t overflows_ = 0;
+  std::uint64_t injected_total_ = 0;   // packets
+  std::uint64_t delivered_total_ = 0;  // packets
+  std::vector<std::uint64_t> grants_per_stage_;
+
+  chaos::InvariantMonitor monitor_;
+  int top_stage_ = 1;             // fault-stage index (see fault_plan doc)
+  std::uint64_t pool_total_ = 0;  // credit/flit ledger target
+
+  // Per-slot scratch (reset every step; never checkpointed).
+  std::vector<std::uint8_t> used_input_;
+  int cur_slot_max_occ_ = 0;
+};
+
+/// Builds and runs a topology under uniform Bernoulli host traffic.
+/// `load` is the offered fraction of line rate; for wormhole kinds the
+/// per-slot packet probability is load / flits_per_packet so the flit
+/// load (and thus the throughput scale) matches the cell kinds.
+TopoSimResult run_topo_uniform(const TopoSimConfig& cfg, double load,
+                               std::uint64_t seed);
+
+}  // namespace osmosis::topo

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <string>
 
@@ -21,7 +22,9 @@ namespace {
 bool specs_equal(const chaos::TrialSpec& a, const chaos::TrialSpec& b) {
   if (a.seed != b.seed || a.sim != b.sim || a.ports != b.ports ||
       a.planes != b.planes || a.receivers != b.receivers ||
-      a.scheduler != b.scheduler ||
+      a.scheduler != b.scheduler || a.topology != b.topology ||
+      a.flow_control != b.flow_control || a.routing != b.routing ||
+      a.failed_switches != b.failed_switches ||
       a.adaptive_routing != b.adaptive_routing ||
       a.admission != b.admission || a.bursty != b.bursty ||
       a.load != b.load || a.mean_burst != b.mean_burst ||
@@ -70,7 +73,7 @@ TEST(ChaosGenerator, TrialsAreDiverseAcrossIndices) {
     if (!s.plan.empty()) ++with_faults;
     if (s.bursty) ++bursty;
   }
-  EXPECT_EQ(sims.size(), 4u);   // all four simulators exercised
+  EXPECT_EQ(sims.size(), 5u);   // all five simulators exercised
   EXPECT_GE(ports.size(), 2u);
   EXPECT_GT(with_faults, 32u);  // most trials inject at least one fault
   EXPECT_GT(bursty, 8u);
@@ -138,6 +141,48 @@ TEST(ChaosGenerator, AdaptiveFabricTrialsAppearInTheGrammar) {
   EXPECT_GT(adaptive, 4u);
   EXPECT_GT(admit, 1u);
   EXPECT_GT(permanent_spines, 0u);
+}
+
+TEST(ChaosGenerator, TopoTrialsCoverTheZooWithValidFaults) {
+  std::size_t topo = 0, wormhole = 0, min_kind = 0;
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    const auto s = chaos::generate_trial(87, i);
+    if (s.sim != chaos::TrialSim::kTopo) continue;
+    ++topo;
+    if (s.flow_control == topo::FcKind::kWormholeVc) ++wormhole;
+    if (s.topology == topo::TopoKind::kOmega ||
+        s.topology == topo::TopoKind::kBanyan ||
+        s.topology == topo::TopoKind::kBenes) {
+      ++min_kind;
+      // Unique-path MINs never roll construction-time failures.
+      EXPECT_TRUE(s.failed_switches.empty()) << s.label();
+    }
+    // Mid-run faults honor the TopoSim contract: the two accepted
+    // kinds only, plane freezes transient and aimed inside the fault
+    // stage, which the wounded topology must still realize cleanly.
+    const topo::Topology t = topo::make_topology(
+        s.topology, s.ports, s.routing, s.failed_switches);
+    EXPECT_TRUE(t.audit().empty()) << s.label();
+    int max_stage = 1;
+    for (const auto& sw_spec : t.switches)
+      max_stage = std::max(max_stage, sw_spec.stage);
+    const int fault_stage = t.folded ? max_stage : (t.stages + 1) / 2;
+    const int planes =
+        static_cast<int>(t.stage_switches(fault_stage).size());
+    for (const auto& e : s.plan.events()) {
+      if (e.kind == faults::FaultKind::kPlaneFailure) {
+        EXPECT_TRUE(e.transient()) << s.label();
+        EXPECT_LT(e.a, planes) << s.label();
+      } else {
+        EXPECT_EQ(e.kind, faults::FaultKind::kAdapterStall) << s.label();
+        EXPECT_LT(e.a, s.ports) << s.label();
+      }
+      EXPECT_GE(e.a, 0) << s.label();
+    }
+  }
+  EXPECT_GT(topo, 16u);
+  EXPECT_GT(wormhole, 4u);
+  EXPECT_GT(min_kind, 4u);
 }
 
 // ---- trial execution -------------------------------------------------------
@@ -287,6 +332,43 @@ TEST(ChaosRepro, AdaptiveDegradedSpecRoundTripsAndReplaysClean) {
   EXPECT_TRUE(specs_equal(back.spec, s));
   EXPECT_TRUE(back.spec.adaptive_routing);
   EXPECT_TRUE(back.spec.admission);
+
+  chaos::TrialResult replay;
+  EXPECT_TRUE(chaos::replay_matches(back, replay));
+  EXPECT_EQ(replay.violations, 0u);
+}
+
+TEST(ChaosRepro, TopoSpecRoundTripsAndReplaysClean) {
+  // A zoo trial with every new axis set: wounded Clos under wormhole
+  // VC with a transient middle freeze. The repro format must carry
+  // topology/flow_control/routing/failed_switches or a replay would
+  // run the default fat tree instead.
+  chaos::TrialSpec s;
+  s.sim = chaos::TrialSim::kTopo;
+  s.ports = 32;
+  s.receivers = 1;
+  s.scheduler = sw::SchedulerKind::kIslip;
+  s.topology = topo::TopoKind::kClos;
+  s.flow_control = topo::FcKind::kWormholeVc;
+  s.routing = topo::RouteKind::kHashSpread;
+  s.failed_switches = {10};  // a middle, in global switch ids
+  s.load = 0.2;
+  s.warmup_slots = 128;
+  s.measure_slots = 1'024;
+  s.drain_max_slots = 50'000;
+  s.seed = 0x7070;
+  s.plan.fail_plane(300, 0, 200);
+  chaos::Repro r;
+  r.spec = s;
+  r.expected_violated = false;
+
+  const std::string json = chaos::repro_to_json(r);
+  EXPECT_NE(json.find("\"topology\": \"clos\""), std::string::npos);
+  EXPECT_NE(json.find("\"flow_control\": \"wormhole_vc\""),
+            std::string::npos);
+  const auto back = chaos::repro_from_json(json);
+  EXPECT_TRUE(specs_equal(back.spec, s));
+  EXPECT_EQ(back.spec.failed_switches, s.failed_switches);
 
   chaos::TrialResult replay;
   EXPECT_TRUE(chaos::replay_matches(back, replay));

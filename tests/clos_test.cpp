@@ -8,7 +8,7 @@
 
 #include "src/fabric/clos_sim.hpp"
 #include "src/fabric/fabric_sim.hpp"
-#include "src/fabric/fat_tree.hpp"
+#include "src/topo/sizing.hpp"
 
 namespace osmosis::fabric {
 namespace {
@@ -31,7 +31,7 @@ TEST(ClosSim, TopologyCountsMatchAnalyticSizing) {
     const int hosts = radix * static_cast<int>(std::pow(radix / 2.0,
                                                         levels - 1));
     ClosFabricSim sim(cfg, sim::make_uniform(hosts, 0.1, 1));
-    const auto sizing = size_fat_tree(radix, static_cast<std::uint64_t>(hosts));
+    const auto sizing = topo::size_fat_tree(radix, static_cast<std::uint64_t>(hosts));
     EXPECT_EQ(sim.hosts(), hosts) << radix << "/" << levels;
     EXPECT_EQ(static_cast<std::uint64_t>(sim.switch_count()),
               sizing.switches_total)

@@ -4,11 +4,15 @@
 #include <gtest/gtest.h>
 
 #include "src/fabric/fabric_sim.hpp"
-#include "src/fabric/fat_tree.hpp"
+#include "src/topo/sizing.hpp"
 #include "src/fabric/placement.hpp"
 
 namespace osmosis::fabric {
 namespace {
+
+using topo::cable_hops;
+using topo::path_latency_ns;
+using topo::size_fat_tree;
 
 // ---- sizing (§VI.C) ----------------------------------------------------------
 
